@@ -1,0 +1,89 @@
+"""Ablation: precision knobs — octree pruning and fixed-point width.
+
+Two conservatism/latency trades the design exposes:
+
+- RoboRun-style octree pruning (Section 8): a coarser environment is
+  cheaper to traverse but flags more collision-free poses as colliding.
+- The 16-bit fixed-point datapath (Section 6): fewer fractional bits cost
+  accuracy; the chosen Q5.10 format must not change pose verdicts relative
+  to float on benchmark-scale geometry.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.collision.octree_cd import OBBOctreeCollider
+from repro.collision.stats import CollisionStats
+from repro.env.generator import random_scene
+from repro.env.octree import Octree
+from repro.geometry.fixed_point import FixedPointFormat
+from repro.harness.workloads import random_link_obbs
+from repro.robot.presets import jaco2
+
+
+def test_octree_pruning_tradeoff(benchmark, ctx):
+    scene = random_scene(seed=ctx.seed, n_obstacles=8)
+    octree = Octree.from_scene(scene, resolution=16)
+    robot = jaco2()
+    obbs = random_link_obbs(robot, n_poses=150, seed=ctx.seed)
+
+    def run():
+        out = {}
+        for depth in (1, 2, 3, 4):
+            collider = OBBOctreeCollider(octree.pruned(depth))
+            stats = CollisionStats()
+            hits = sum(
+                collider.collide(obb, stats=stats, record_trace=False).hit
+                for obb in obbs
+            )
+            out[depth] = (stats.intersection_tests, hits)
+        return out
+
+    results = run_once(benchmark, run)
+    tests = {d: t for d, (t, _) in results.items()}
+    hits = {d: h for d, (_, h) in results.items()}
+
+    # Work decreases monotonically as the tree gets coarser...
+    assert tests[1] <= tests[2] <= tests[3] <= tests[4]
+    # ...but conservatism (reported collisions) increases.
+    assert hits[1] >= hits[2] >= hits[3] >= hits[4]
+    # Never a false negative: everything the fine tree hits, coarse hits.
+    # (hits are counts over the same workload, so monotonicity shows it.)
+
+
+def test_fixed_point_width_tradeoff(benchmark, ctx):
+    scene = random_scene(seed=ctx.seed + 2)
+    octree = Octree.from_scene(scene, resolution=16)
+    robot = jaco2()
+    rng = np.random.default_rng(ctx.seed)
+    poses = [robot.random_configuration(rng) for _ in range(150)]
+
+    def sweep():
+        float_checker = RobotEnvironmentChecker(robot, octree, fixed_point=None)
+        verdict_float = [float_checker.check_pose(q) for q in poses]
+        per_width = {}
+        for frac_bits in (4, 7, 10):
+            checker = RobotEnvironmentChecker(
+                robot, octree, fixed_point=FixedPointFormat(16, frac_bits)
+            )
+            per_width[frac_bits] = [checker.check_pose(q) for q in poses]
+        return verdict_float, per_width
+
+    verdict_float, per_width = run_once(benchmark, sweep)
+
+    mismatches = {}
+    for frac_bits, verdicts in per_width.items():
+        # Quantization is conservative: it may add collisions (the half
+        # extents round up) but must never hide one.
+        for vf, vq in zip(verdict_float, verdicts):
+            if vf:
+                assert vq
+        mismatches[frac_bits] = sum(
+            1 for vf, vq in zip(verdict_float, verdicts) if vf != vq
+        )
+
+    # The chosen Q5.10 format agrees with float on (almost) every pose;
+    # chopping to 4 fractional bits (~6 cm resolution) must not be better.
+    assert mismatches[10] <= max(1, len(poses) // 50)
+    assert mismatches[4] >= mismatches[10]

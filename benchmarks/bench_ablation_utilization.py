@@ -1,0 +1,71 @@
+"""Ablation: CDU utilization and runtime power across the pool size.
+
+Section 7.1: "SAS can schedule up to one CD query per cycle.  If the
+latency of CDUs is less than the number of CDUs, then increasing the
+number of CDUs does not help" — i.e. the dispatch rate bounds how many
+units stay busy.  This bench measures CDU utilization across pool sizes
+and prices the idle silicon with the Wattch-style runtime power report.
+"""
+
+from conftest import run_once
+
+from repro.accel.config import CECDUConfig, MPAccelConfig, SASConfig
+from repro.accel.power_report import activity_from_sas_run, runtime_power_report
+from repro.accel.sas import SASSimulator
+from repro.harness.traces import all_phases
+
+
+def test_utilization_vs_pool_size(benchmark, ctx):
+    phases = all_phases(ctx.baxter_traces())
+
+    def sweep():
+        out = {}
+        for n_cdus in (1, 4, 8, 16, 32, 64):
+            sim = SASSimulator(
+                n_cdus=n_cdus,
+                policy="mcsp",
+                config=SASConfig(dispatch_per_cycle=None),
+            )
+            total = sim.run_phases(phases)
+            out[n_cdus] = (total.utilization, total.cycles)
+        return out
+
+    results = run_once(benchmark, sweep)
+
+    # Utilization decays as the pool grows (there is only so much parallel
+    # work per phase), and runtime improvements flatten with it.
+    utils = {n: u for n, (u, _) in results.items()}
+    assert utils[1] > 0.9
+    assert utils[64] < utils[8]
+    assert utils[64] < utils[4] <= 1.0
+    cycles = {n: c for n, (_, c) in results.items()}
+    gain_4_8 = cycles[4] / cycles[8]
+    gain_32_64 = cycles[32] / cycles[64]
+    assert gain_32_64 < gain_4_8
+
+
+def test_runtime_power_tracks_activity(benchmark, ctx):
+    phases = all_phases(ctx.baxter_traces())
+    config = MPAccelConfig(n_cecdus=16, cecdu=CECDUConfig(n_oocds=4))
+
+    def run():
+        sim = SASSimulator(n_cdus=16, policy="mcsp")
+        total = sim.run_phases(phases)
+        activity = activity_from_sas_run(
+            config,
+            window_cycles=max(1, total.cycles),
+            tests=total.tests,
+            poses=total.tests,
+        )
+        return runtime_power_report(config, activity, max(1, total.cycles))
+
+    report = run_once(benchmark, run)
+
+    # Runtime power sits between pure leakage and the synthesis maximum.
+    from repro.accel.energy import HardwareBlockLibrary
+    from repro.accel.power_report import LEAKAGE_FRACTION
+
+    full_mw = HardwareBlockLibrary.mpaccel(config).power_mw
+    assert report.total_mw >= full_mw * LEAKAGE_FRACTION - 1e-9
+    assert report.total_mw <= full_mw + 1e-9
+    assert report.energy_pj > 0

@@ -1,0 +1,34 @@
+"""Figure 15: scheduler comparison with real CECDU latencies.
+
+Paper claims checked: MCSP beats NP on both speedup and energy at every
+parallelism scale; inter-motion-only parallelism (MP) saturates; NP's
+energy overhead grows with CDU count.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import REGISTRY
+
+
+def test_fig15(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["fig15"], ctx)
+    table = {}
+    for row in experiment.rows:
+        table.setdefault(row["policy"], {})[row["n_cdus"]] = row
+
+    for n in (8, 16):
+        assert table["MCSP"][n]["speedup"] > table["NP"][n]["speedup"]
+        assert (
+            table["MCSP"][n]["normalized_energy"]
+            < table["NP"][n]["normalized_energy"]
+        )
+    # NP's redundant work grows with parallelism.
+    assert (
+        table["NP"][32]["normalized_energy"] > table["NP"][4]["normalized_energy"]
+    )
+    # MP saturates well below the intra-motion policies.
+    assert table["MP"][32]["speedup"] < table["MCSP"][32]["speedup"] / 2
+    # Speedup gains flatten approaching 32 CDUs (dispatch-rate bound).
+    gain_8_16 = table["MCSP"][16]["speedup"] / table["MCSP"][8]["speedup"]
+    gain_16_32 = table["MCSP"][32]["speedup"] / table["MCSP"][16]["speedup"]
+    assert gain_16_32 < gain_8_16 + 0.15

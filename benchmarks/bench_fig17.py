@@ -1,0 +1,34 @@
+"""Figure 17: sequential vs parallel collision detection with the filters.
+
+Paper claims checked: parallel SAT trades extra computation for speedup;
+the bounding-sphere filter closes the computation gap; both filters
+together give ~4x speedup with large computation savings vs sequential.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import REGISTRY
+
+
+def test_fig17(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["fig17"], ctx)
+    rows = {row["config"]: row for row in experiment.rows}
+
+    # Parallel SAT: faster but with a computation multiple.
+    parallel = rows["parallel_no_filters"]
+    assert parallel["speedup_vs_sequential"] > 1.3
+    assert parallel["computation_vs_sequential"] > 1.3
+
+    # The staged 6-5-4 execution cuts the parallel computation overhead
+    # (the paper's 1.5x claim).
+    staged = rows["staged_no_filters"]
+    assert staged["computation_vs_sequential"] < parallel["computation_vs_sequential"]
+
+    # The bounding sphere closes the computation gap to ~sequential.
+    bounding = rows["bounding_sphere_only"]
+    assert bounding["computation_vs_sequential"] < 1.2
+
+    # Both filters: ~4x speedup with big computation savings (paper: 4.1x, -61%).
+    proposed = rows["proposed_both_filters"]
+    assert proposed["speedup_vs_sequential"] > 2.5
+    assert proposed["computation_vs_sequential"] < 0.6

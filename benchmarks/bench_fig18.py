@@ -1,0 +1,37 @@
+"""Figure 18: environment complexity effects on the CECDU.
+
+Paper claims checked: runtime grows with the obstacle count (~50% per
+doubling); four Intersection Units beat one at every complexity; the
+cascade keeps filtering most cases in cycle 1 across complexities.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import REGISTRY
+
+
+def test_fig18a(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["fig18a"], ctx)
+    table = {}
+    for row in experiment.rows:
+        table.setdefault(row["config"], {})[row["n_obstacles"]] = row
+
+    single, four = table["single_iu"], table["four_iu"]
+    # Runtime grows with obstacle count for both configurations.
+    assert single[16]["mean_cycles"] > single[2]["mean_cycles"]
+    assert four[16]["mean_cycles"] > four[2]["mean_cycles"]
+    # Four units are faster at every complexity.
+    for n in (2, 4, 8, 16):
+        assert four[n]["mean_cycles"] < single[n]["mean_cycles"]
+    # Growth per doubling is moderate (paper: ~50%), not explosive.
+    for n in (4, 8, 16):
+        ratio = single[n]["mean_cycles"] / single[n // 2]["mean_cycles"]
+        assert ratio < 2.2
+
+
+def test_fig18b(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["fig18b"], ctx)
+    for row in experiment.rows:
+        cycle1 = row.get("bounding_sphere", 0.0) + row.get("inscribed_sphere", 0.0)
+        # The filters catch the majority of tests at every complexity.
+        assert cycle1 > 0.5, row

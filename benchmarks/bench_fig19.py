@@ -1,0 +1,23 @@
+"""Figure 19: MPNet motion planning runtime on MPAccel per benchmark.
+
+Paper claims checked: every query completes well under the 1 ms real-time
+budget (paper band: 0.014-0.49 ms, 0.099 ms average), with visible
+variation across benchmark environments.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import REGISTRY
+
+
+def test_fig19(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["fig19"], ctx)
+    rows = {row["benchmark"]: row for row in experiment.rows}
+    overall = rows["overall"]
+
+    assert overall["max_ms"] < 1.0  # the real-time headline
+    assert overall["min_ms"] > 0.0
+    assert overall["mean_ms"] < 0.6
+    # Per-environment rows exist for every benchmark.
+    env_rows = [r for key, r in rows.items() if key != "overall"]
+    assert len(env_rows) == ctx.scale.n_envs

@@ -1,0 +1,31 @@
+"""Figure 1b: speedup vs computation for execution modes on ASIC hardware.
+
+Paper claim: naive parallelization buys speedup at a multiple of the
+sequential computation; MPAccel (MCSP scheduling) keeps computation close to
+sequential while retaining the speedup.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import REGISTRY
+
+
+def test_fig1b(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["fig1b"], ctx)
+    rows = {row["mode"]: row for row in experiment.rows}
+
+    assert rows["sequential"]["speedup"] == 1.0
+    # Parallelism yields real speedup at every scale.
+    assert rows["parallel_small_np8"]["speedup"] > 2.0
+    assert rows["parallel_large_np64"]["speedup"] > rows["parallel_small_np8"]["speedup"]
+    # Naive parallel inflates computation; large scale inflates it more.
+    assert (
+        rows["parallel_large_np64"]["computation"]
+        > rows["parallel_small_np8"]["computation"]
+    )
+    # MPAccel: competitive speedup at near-sequential computation.
+    assert rows["mpaccel_mcsp16"]["speedup"] > rows["parallel_small_np8"]["speedup"]
+    assert (
+        rows["mpaccel_mcsp16"]["computation"]
+        < rows["parallel_large_np64"]["computation"]
+    )

@@ -1,0 +1,31 @@
+"""Figure 20: MPAccel configuration space — latency vs area-power efficiency.
+
+Paper claims checked: more CECDUs and more OOCDs reduce latency; pipelined
+beats multi-cycle on latency; smaller configurations win the
+queries/(second x watt x mm^2) density metric.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import REGISTRY
+
+
+def test_fig20(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["fig20"], ctx)
+    rows = {row["config"]: row for row in experiment.rows}
+    assert len(rows) == 8
+
+    # More CECDUs reduce latency for the same CECDU internals.
+    assert rows["16_4_mc"]["mean_ms"] <= rows["8_4_mc"]["mean_ms"] * 1.05
+    # More OOCDs per CECDU reduce latency.
+    assert rows["16_4_mc"]["mean_ms"] < rows["16_1_mc"]["mean_ms"]
+    # Pipelined Intersection Units reduce latency.
+    assert rows["16_4_p"]["mean_ms"] < rows["16_4_mc"]["mean_ms"]
+    # Smaller configs win the density metric (paper's right axis).
+    assert (
+        rows["8_1_mc"]["queries_per_s_w_mm2"]
+        > rows["16_4_mc"]["queries_per_s_w_mm2"]
+    )
+    # All configurations stay real-time on this workload.
+    for row in rows.values():
+        assert row["mean_ms"] < 1.0

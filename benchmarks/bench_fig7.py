@@ -1,0 +1,37 @@
+"""Figure 7: the limit study (zero-latency scheduler, 1-cycle CDUs).
+
+Paper claims checked: naive parallelization's test count grows steeply with
+CDU count; MCSP reaches double-digit speedup at 16 CDUs with a small test
+overhead; inter-motion-only parallelism (MS) saturates early; CSP beats
+in-order sequential evaluation even with a single CDU.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import REGISTRY
+
+
+def test_fig7(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["fig7"], ctx)
+    table = {}
+    for row in experiment.rows:
+        table.setdefault(row["policy"], {})[row["n_cdus"]] = row
+
+    # NP wastes work as parallelism grows.
+    assert table["np"][64]["normalized_tests"] > table["np"][8]["normalized_tests"]
+    assert table["np"][16]["normalized_tests"] > 1.0
+
+    # MCSP: strong speedup at 16 CDUs with bounded extra tests.
+    assert table["mcsp"][16]["speedup"] > 8.0
+    assert table["mcsp"][16]["normalized_tests"] < table["np"][16]["normalized_tests"]
+
+    # MS (inter-motion only) saturates: 64 CDUs barely beat 8.
+    assert table["ms"][64]["speedup"] < table["ms"][8]["speedup"] * 2.0
+
+    # CSP with one CDU is at least as fast as in-order sequential.
+    assert table["csp"][1]["speedup"] >= 1.0
+
+    # BRP and CSP behave similarly (the paper's argument for the simpler CSP).
+    for n in (8, 16):
+        ratio = table["csp"][n]["speedup"] / table["brp"][n]["speedup"]
+        assert 0.6 < ratio < 1.6

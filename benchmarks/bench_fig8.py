@@ -1,0 +1,33 @@
+"""Figure 8: separating-axis test execution and axis-identifier histogram.
+
+Paper claims checked: parallel execution of the 15 axis tests costs a
+multiple of sequential energy on collision-free cases (8a); separating axes
+concentrate in the first six candidates and the bounding-sphere filter
+catches most of the axis-1 population (8b).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import REGISTRY
+
+
+def test_fig8a(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["fig8a"], ctx)
+    rows = {row["mode"]: row for row in experiment.rows}
+    # Parallel runs all 15 axes: more energy, fewer cycles.
+    assert rows["parallel"]["normalized_energy"] > 2.0
+    assert rows["parallel"]["normalized_runtime"] < 1.0
+    assert rows["sequential"]["normalized_energy"] == 1.0
+
+
+def test_fig8b(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["fig8b"], ctx)
+    rows = experiment.rows
+    total = sum(row["frequency"] for row in rows)
+    assert total > 0
+    first_six = sum(row["frequency"] for row in rows[:6])
+    assert first_six / total > 0.8  # "in most cases ... in the first six axes"
+    # The bounding sphere filters the bulk of the axis-1 separations.
+    axis1 = rows[0]
+    if axis1["frequency"]:
+        assert axis1["filtered_by_bounding_sphere"] / axis1["frequency"] > 0.5

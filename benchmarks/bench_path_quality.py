@@ -1,0 +1,86 @@
+"""Path quality: shortcutting and the learning-based planner.
+
+MPNet's software claim (Section 1): large runtime gains *and* better path
+quality than classical sampling.  This bench checks the mechanism on our
+substrate: greedy shortcutting (the path-optimization phase the
+accelerator executes in connectivity mode) must substantially shorten raw
+RRT-Connect paths, and the full MPNet pipeline must produce paths no
+longer than the raw classical ones.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.env.mapping import scan_scene_points
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+from repro.planning.metrics import evaluate_path
+from repro.planning.mpnet import MPNetPlanner
+from repro.planning.recorder import CDTraceRecorder
+from repro.planning.rrt_connect import RRTConnectPlanner
+from repro.planning.samplers import HeuristicSampler
+from repro.planning.shortcut import greedy_shortcut
+from repro.robot.presets import planar_arm
+
+
+def test_path_quality(benchmark, ctx):
+    scene = Scene(extent=4.0)
+    scene.add_obstacle(AABB.from_min_max([0.7, -0.4, 0.0], [0.9, 0.4, 0.2]))
+    octree = Octree.from_scene(scene, resolution=32)
+    robot = planar_arm(2)
+    checker = RobotEnvironmentChecker(robot, octree, motion_step=0.05)
+    q_start = np.array([np.pi * 0.9, 0.0])
+    q_goal = np.array([-np.pi * 0.9, 0.0])
+
+    # A free-space pair as well: there, raw sampling paths wiggle heavily
+    # and shortcutting must collapse them to near-straight.
+    q_free_a = np.array([np.pi * 0.9, 0.3])
+    q_free_b = np.array([np.pi * 0.4, -0.5])
+    straight = float(np.linalg.norm(q_free_b - q_free_a))
+
+    def run():
+        rng = np.random.default_rng(ctx.seed)
+        raw_lengths, short_lengths, mpnet_lengths, free_short = [], [], [], []
+        for trial in range(5):
+            recorder = CDTraceRecorder(checker, record=False)
+            rrt = RRTConnectPlanner(recorder, max_iterations=800, max_step=0.4)
+            path = rrt.plan(q_start, q_goal, rng)
+            if path is not None:
+                raw_lengths.append(evaluate_path(path).length)
+                short_lengths.append(
+                    evaluate_path(greedy_shortcut(path, recorder)).length
+                )
+            free_path = rrt.plan(q_free_a, q_free_b, rng)
+            if free_path is not None:
+                free_short.append(
+                    evaluate_path(greedy_shortcut(free_path, recorder)).length
+                )
+            planner = MPNetPlanner(
+                recorder,
+                HeuristicSampler(robot),
+                scan_scene_points(scene, 40, rng=rng),
+            )
+            result = planner.plan(q_start, q_goal, rng)
+            if result.success:
+                mpnet_lengths.append(result.length)
+        return raw_lengths, short_lengths, mpnet_lengths, free_short
+
+    raw, short, mpnet, free_short = run_once(benchmark, run)
+    assert len(raw) >= 3, "RRT-Connect failed too often for a comparison"
+
+    mean_raw = float(np.mean(raw))
+    mean_short = float(np.mean(short))
+    # Shortcutting strictly improves the mean and never lengthens a path.
+    assert mean_short < mean_raw
+    for r, s in zip(raw, short):
+        assert s <= r + 1e-9
+
+    # In free space the shortcut must land within 10% of the straight line.
+    assert free_short, "free-space queries all failed"
+    assert float(np.mean(free_short)) <= 1.10 * straight
+
+    if mpnet:
+        # The learning-based pipeline ends at shortcut-quality paths.
+        assert float(np.mean(mpnet)) <= mean_raw

@@ -1,0 +1,32 @@
+"""Table 1: CECDU collision detection latency, area, and power (Jaco2).
+
+Paper values: 154.4 / 137.5 / 54.8 / 46.3 cycles for the 1-OOCD
+multi-cycle / 1-OOCD pipelined / 4-OOCD multi-cycle / 4-OOCD pipelined
+configurations, with areas 0.21 / 0.32 / 0.69 / 1.12 mm^2 and powers
+92.6 / 100.8 / 215.7 / 248.7 mW.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import REGISTRY
+
+
+def test_table1(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["table1"], ctx)
+    rows = {
+        (row["intersection_units"], row["iu_kind"]): row for row in experiment.rows
+    }
+
+    # Latency ordering matches the paper: 4-OOCD < 1-OOCD, pipelined < mc.
+    assert rows[(4, "mc")]["latency_cycles"] < rows[(1, "mc")]["latency_cycles"]
+    assert rows[(4, "p")]["latency_cycles"] < rows[(4, "mc")]["latency_cycles"]
+    assert rows[(1, "p")]["latency_cycles"] < rows[(1, "mc")]["latency_cycles"]
+
+    # Measured latencies land within 2x of the paper's cycle counts.
+    for key, row in rows.items():
+        paper = row["paper_latency_cycles"]
+        assert 0.5 * paper < row["latency_cycles"] < 2.0 * paper, (key, row)
+
+    # Power composes to the paper's numbers almost exactly.
+    assert abs(rows[(1, "mc")]["power_mw"] - 92.6) < 2.0
+    assert abs(rows[(4, "p")]["power_mw"] - 248.7) < 2.0

@@ -1,0 +1,32 @@
+"""Table 2: area and power breakdown of the hardware blocks.
+
+The per-block values are the paper's synthesis constants (our calibration
+inputs); what this bench verifies is that the *composition* reproduces the
+paper's CECDU and full-MPAccel rows.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments import REGISTRY
+
+
+def test_table2(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["table2"], ctx)
+    rows = {row["module"]: row for row in experiment.rows}
+
+    cecdu = rows["CECDU (4 multi-cycle OOCDs)"]
+    assert abs(cecdu["power_mw"] - 215.7) < 2.0  # paper: 215.7 mW
+    assert abs(cecdu["area_mm2"] - 0.694) / 0.694 < 0.10
+
+    config1 = rows["MPAccel config 1 (16 CECDUs, 4 mc OOCDs)"]
+    assert abs(config1["power_mw"] / 1e3 - 3.51) < 0.05  # paper: 3.51 W
+    assert abs(config1["area_mm2"] - 11.21) / 11.21 < 0.10
+
+    config2 = rows["MPAccel config 2 (16 CECDUs, 4 p OOCDs)"]
+    assert abs(config2["power_mw"] / 1e3 - 4.03) < 0.06  # paper: 4.03 W
+    assert abs(config2["area_mm2"] - 18.12) / 18.12 < 0.15
+
+    # The Intersection Unit dominates CECDU area, as Section 7.3 notes.
+    iu = rows["Intersection Unit (multi-cycle)"]
+    trav = rows["Octree Traversal Unit"]
+    assert iu["area_mm2"] > trav["area_mm2"]

@@ -1,0 +1,49 @@
+"""Table 3: collision detection and motion planning on CPUs/GPUs vs MPAccel.
+
+Paper values (2^20 OBB-octree queries): Titan V 24/12/6 ms, Jetson TX2
+5833/3403/1373 ms, i7-4771 153/890 ms, Cortex-A57 360/3304 ms; MPAccel
+16x4: 0.91 ms (multi-cycle) / 0.53 ms (pipelined).  Motion planning:
+1.42 / 110.27 / 4.13 / 11.62 ms average.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.harness.experiments import REGISTRY
+
+
+def test_table3(benchmark, ctx):
+    experiment = run_once(benchmark, REGISTRY["table3"], ctx)
+    rows = {row["device"]: row for row in experiment.rows}
+
+    titan = rows["NVIDIA Titan V"]
+    tx2 = rows["NVIDIA Jetson TX2 (256-core Pascal)"]
+    i7 = rows["Intel i7-4771 (8-core)"]
+    a57 = rows["ARM Cortex-A57 (4-core)"]
+    mpaccel_mc = rows["MPAccel 16x4 multi-cycle"]
+    mpaccel_p = rows["MPAccel 16x4 pipelined"]
+
+    # Device ordering for the traversal kernel: Titan << i7 < A57 << TX2.
+    assert titan["obb_octree_ms"] < i7["obb_octree_ms"]
+    assert i7["obb_octree_ms"] < a57["obb_octree_ms"]
+    assert a57["obb_octree_ms"] < tx2["obb_octree_ms"]
+
+    # GPU optimizations help; CPU leaf kernel hurts; GPU leaf kernel helps.
+    assert titan["optimized_ms"] < titan["obb_octree_ms"]
+    assert tx2["optimized_ms"] < tx2["obb_octree_ms"]
+    assert titan["leaf_nodes_ms"] < titan["obb_octree_ms"]
+    assert i7["leaf_nodes_ms"] > i7["obb_octree_ms"]
+    assert a57["leaf_nodes_ms"] > a57["obb_octree_ms"]
+
+    # MPAccel beats every baseline by an order of magnitude or more.
+    assert mpaccel_mc["obb_octree_ms"] < titan["obb_octree_ms"] / 5
+    assert mpaccel_p["obb_octree_ms"] < mpaccel_mc["obb_octree_ms"]
+
+    # Motion planning: the desktop GPU system is the fastest baseline,
+    # and every measured value is finite and positive.
+    for row in (titan, tx2, i7, a57):
+        assert row["mean_planning_ms"] > 0
+        assert not math.isnan(row["mean_planning_ms"])
+    assert titan["mean_planning_ms"] < i7["mean_planning_ms"]
+    assert titan["mean_planning_ms"] < tx2["mean_planning_ms"]

@@ -1,0 +1,34 @@
+"""Shared context for the per-figure/table benchmarks.
+
+The benchmark suite runs every experiment of the paper's evaluation at a
+reduced scale (the workload sizes are knobs; see
+``repro.harness.experiments.context``).  Expensive shared state — the
+benchmark environments and MPNet planner traces — is built once per session.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments.context import ExperimentContext, ExperimentScale
+
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    n_envs=2,
+    queries_per_env=2,
+    random_poses=200,
+    cdu_counts=(1, 2, 4, 8, 16, 32, 64),
+    group_sizes=(1, 2, 4, 8, 16, 32, 64),
+)
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    return ExperimentContext(scale=BENCH_SCALE, seed=2023)
+
+
+def run_once(benchmark, func, *args):
+    """Time one full run of an experiment (they are too heavy to repeat)."""
+    return benchmark.pedantic(func, args=args, rounds=1, iterations=1)

@@ -1,0 +1,78 @@
+"""Scheduler design-space exploration with the limit study.
+
+Reproduces the Section 3 analysis interactively: sweep every scheduling
+policy over CDU counts on a freshly generated planner workload and print
+the speedup / work-efficiency frontier, including the step-size ablation
+for the coarse-step policy.
+
+Run:  python examples/scheduler_design_space.py
+"""
+
+import numpy as np
+
+from repro.accel.limit import limit_study, tabulate
+from repro.collision import RobotEnvironmentChecker
+from repro.env import Octree, random_scene
+from repro.env.mapping import scan_scene_points
+from repro.planning import CDTraceRecorder, HeuristicSampler, MPNetPlanner
+from repro.robot import jaco2
+
+
+def build_workload(n_queries: int = 4, seed: int = 17):
+    rng = np.random.default_rng(seed)
+    scene = random_scene(seed=seed, n_obstacles=8)
+    octree = Octree.from_scene(scene, resolution=16)
+    robot = jaco2()
+    checker = RobotEnvironmentChecker(robot, octree, collect_stats=False)
+    recorder = CDTraceRecorder(checker)
+    planner = MPNetPlanner(
+        recorder,
+        HeuristicSampler(robot),
+        environment_points=scan_scene_points(scene, 60, rng=rng),
+    )
+    planned = 0
+    attempts = 0
+    while planned < n_queries and attempts < 50 * n_queries:
+        attempts += 1
+        q_start = checker.sample_free_configuration(rng)
+        q_goal = checker.sample_free_configuration(rng)
+        # Keep only *blocked* queries — ones whose straight motion collides —
+        # so the workload exercises the early-exit scheduling the paper
+        # studies (trivially connectable queries make every policy tie).
+        if checker.motion_is_free(q_start, q_goal):
+            continue
+        planner.plan(q_start, q_goal, rng)
+        planned += 1
+    return recorder.phases
+
+
+def main() -> None:
+    phases = build_workload()
+    poses = sum(p.total_poses for p in phases)
+    print(f"workload: {len(phases)} phases, {poses} poses\n")
+
+    cdu_counts = (1, 4, 8, 16, 32, 64)
+    points = limit_study(phases, cdu_counts=cdu_counts)
+    table = tabulate(points)
+    print("speedup (x) / normalized collision tests, by policy and #CDUs:")
+    header = "policy | " + " | ".join(f"{n:>11d}" for n in cdu_counts)
+    print(header)
+    print("-" * len(header))
+    for policy in ("np", "rnd", "brp", "csp", "ms", "mnp", "mbrp", "mcsp"):
+        cells = [
+            f"{table[policy][n].speedup:5.1f}/{table[policy][n].normalized_tests:4.2f}"
+            for n in cdu_counts
+        ]
+        print(f"{policy:6s} | " + " | ".join(f"{c:>11s}" for c in cells))
+
+    # Ablation: the MCSP step size (hardware uses 8).
+    print("\nMCSP step-size ablation at 16 CDUs (speedup / normalized tests):")
+    for step in (1, 2, 4, 8, 16, 32):
+        point = limit_study(
+            phases, policies=("mcsp",), cdu_counts=(16,), step_size=step
+        )[0]
+        print(f"  step {step:2d}: {point.speedup:5.1f}x / {point.normalized_tests:4.2f}")
+
+
+if __name__ == "__main__":
+    main()

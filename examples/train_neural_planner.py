@@ -1,0 +1,96 @@
+"""Train the from-scratch MPNet networks and plan with the neural sampler.
+
+The faithful MPNet configuration: an environment encoder (ENet) and planning
+network (PNet), both plain-numpy MLPs, trained end-to-end on demonstration
+paths produced by RRT-Connect + shortcutting.  A planar arm keeps the demo
+laptop-fast; the same pipeline works for the Jaco2/Baxter presets with more
+demonstrations and epochs.
+
+Run:  python examples/train_neural_planner.py
+"""
+
+import numpy as np
+
+from repro.collision import RobotEnvironmentChecker
+from repro.env import Octree, Scene
+from repro.env.mapping import scan_scene_points
+from repro.geometry.aabb import AABB
+from repro.neural import default_mpnet_model, generate_demonstrations, train_mpnet
+from repro.planning import CDTraceRecorder, MPNetPlanner, NeuralSampler
+from repro.robot import planar_arm
+
+
+def training_scenes(n: int):
+    """Planar worlds with a wall obstacle at a random bearing."""
+    rng = np.random.default_rng(91)
+    scenes = []
+    for _ in range(n):
+        scene = Scene(extent=4.0)
+        angle = rng.uniform(-np.pi, np.pi)
+        center = 0.8 * np.array([np.cos(angle), np.sin(angle), 0.0])
+        scene.add_obstacle(
+            AABB(center=[center[0], center[1], 0.1], half_extents=[0.12, 0.3, 0.1])
+        )
+        scenes.append(scene)
+    return scenes
+
+
+def main() -> None:
+    dof = 2
+    robot_factory = lambda: planar_arm(dof)  # noqa: E731 - tiny local factory
+    scenes = training_scenes(6)
+
+    model = default_mpnet_model(dof=dof, n_cloud_points=24, latent=16, seed=3)
+    print(
+        f"model: ENet {model.enet.sizes} + PNet {model.pnet.sizes} "
+        f"({model.enet.parameter_count + model.pnet.parameter_count} parameters)"
+    )
+
+    print("generating RRT-Connect demonstrations...")
+    demos = generate_demonstrations(
+        robot_factory,
+        scenes,
+        n_cloud_points=model.n_cloud_points,
+        queries_per_scene=6,
+        octree_resolution=32,
+        seed=5,
+    )
+    n_pairs = sum(len(d.path) - 1 for d in demos)
+    print(f"{len(demos)} demonstrations, {n_pairs} training pairs")
+
+    losses = train_mpnet(model, demos, epochs=60, batch_size=16, lr=2e-3)
+    print(f"training loss: {losses[0]:.4f} -> {losses[-1]:.4f}")
+
+    # Plan in a held-out scene with the trained neural sampler.
+    rng = np.random.default_rng(17)
+    scene = training_scenes(8)[-1]
+    octree = Octree.from_scene(scene, resolution=32)
+    robot = robot_factory()
+    checker = RobotEnvironmentChecker(robot, octree, motion_step=0.05)
+    recorder = CDTraceRecorder(checker)
+    sampler = NeuralSampler(model, robot)
+    planner = MPNetPlanner(
+        recorder,
+        sampler,
+        environment_points=scan_scene_points(scene, 200, rng=rng),
+    )
+    successes = 0
+    trials = 5
+    for i in range(trials):
+        q_start = checker.sample_free_configuration(rng)
+        q_goal = checker.sample_free_configuration(rng)
+        result = planner.plan(q_start, q_goal, rng)
+        successes += result.success
+        print(
+            f"query {i}: success={result.success}, "
+            f"nn_inferences={result.nn_inferences}, fallback={result.fallback_used}"
+        )
+    print(f"\nneural planner: {successes}/{trials} queries solved")
+    print(
+        f"sampler cost: PNet {sampler.pnet_macs} MACs, ENet {sampler.enet_macs} MACs "
+        f"per inference (used by the DNN-accelerator timing model)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setuptools shim: enables legacy editable installs on toolchains
+without the ``wheel`` package (metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

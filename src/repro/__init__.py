@@ -1,0 +1,20 @@
+"""repro: a behavioral reproduction of MPAccel (ISCA 2023).
+
+Public API tour:
+
+- :mod:`repro.geometry` — OBB/AABB/sphere primitives, separating-axis test,
+  16-bit fixed-point quantization.
+- :mod:`repro.robot` — DH kinematics and the Jaco2/Baxter/planar presets.
+- :mod:`repro.env` — scenes, voxel grids, octrees, scenario generation.
+- :mod:`repro.collision` — the cascaded early-exit collision detection flow.
+- :mod:`repro.planning` — RRT/RRT-Connect, shortcutting, the MPNet-style
+  learning-based planner, and the CD trace recorder.
+- :mod:`repro.neural` — the from-scratch numpy MLP behind the neural planner.
+- :mod:`repro.accel` — the MPAccel cycle-level simulator: SAS scheduling
+  policies, CECDU/OOCD timing, energy/area/power models.
+- :mod:`repro.baselines` — behavioral CPU and GPU device models.
+- :mod:`repro.harness` — workload construction and the per-figure/table
+  experiment runners.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,71 @@
+"""The MPAccel cycle-level simulator.
+
+Structure mirrors Figure 11: a Spatially Aware Scheduler (SAS) dispatches
+collision detection queries to a pool of Cascaded Early-exit Collision
+Detection Units (CECDUs); each CECDU contains an OBB Generation Unit and one
+or four OBB-octree Collision Detectors (OOCDs) whose Intersection Units are
+multi-cycle or pipelined.  The energy/area/power model composes per-block
+constants calibrated to the paper's 45 nm synthesis (Table 2).
+"""
+
+from repro.accel.cecdu import CECDUModel, PoseCDOutcome
+from repro.accel.config import (
+    CECDUConfig,
+    IntersectionUnitKind,
+    MPAccelConfig,
+    SASConfig,
+)
+from repro.accel.energy import EnergyModel, HardwareBlockLibrary
+from repro.accel.limit import limit_study
+from repro.accel.mpaccel import MPAccelSimulator, MotionPlanningTiming
+from repro.accel.power_report import (
+    BlockActivity,
+    PowerReport,
+    activity_from_sas_run,
+    runtime_power_report,
+)
+from repro.accel.design_space import (
+    DesignPoint,
+    enumerate_configs,
+    evaluate_design_space,
+    pareto_frontier,
+)
+from repro.accel.runtime import RobotRuntime, RuntimeReport, TickReport
+from repro.accel.policies import (
+    POLICY_NAMES,
+    SchedulingPolicy,
+    make_policy,
+    pose_order,
+)
+from repro.accel.sas import SASResult, SASSimulator
+
+__all__ = [
+    "IntersectionUnitKind",
+    "CECDUConfig",
+    "SASConfig",
+    "MPAccelConfig",
+    "EnergyModel",
+    "HardwareBlockLibrary",
+    "CECDUModel",
+    "PoseCDOutcome",
+    "SASSimulator",
+    "SASResult",
+    "limit_study",
+    "MPAccelSimulator",
+    "MotionPlanningTiming",
+    "SchedulingPolicy",
+    "make_policy",
+    "pose_order",
+    "POLICY_NAMES",
+    "BlockActivity",
+    "PowerReport",
+    "activity_from_sas_run",
+    "runtime_power_report",
+    "RobotRuntime",
+    "RuntimeReport",
+    "TickReport",
+    "DesignPoint",
+    "enumerate_configs",
+    "evaluate_design_space",
+    "pareto_frontier",
+]

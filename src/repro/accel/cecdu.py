@@ -1,0 +1,152 @@
+"""The CECDU model: pose-level collision detection timing (Figure 13).
+
+A CECDU receives a robot pose, generates the link OBBs on-chip, and farms
+them out to its OOCDs:
+
+- with a single OOCD the links are checked serially, stopping at the first
+  colliding link (the Result Collector's kill);
+- with four OOCDs links run in synchronous batches of four — a batch costs
+  the *maximum* of its traversal times, and a hit in a batch discards the
+  later batches but not its batch-mates (Section 7.2.2 explains both
+  effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.accel.config import CECDUConfig
+from repro.accel.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.accel.obbgen import OBBGenerationUnit
+from repro.accel.oocd import OOCDTiming, price_traversal
+from repro.collision.cascade import CascadeConfig, DEFAULT_CASCADE
+from repro.collision.octree_cd import OBBOctreeCollider
+from repro.env.octree import Octree
+from repro.geometry.fixed_point import DEFAULT_FORMAT, FixedPointFormat
+from repro.robot.model import RobotModel
+
+
+@dataclass(frozen=True)
+class PoseCDOutcome:
+    """Full cost/verdict of one robot-pose collision detection on a CECDU."""
+
+    hit: bool
+    cycles: int
+    tests: int
+    multiplies: int
+    node_visits: int
+    energy_pj: float
+    links_checked: int
+
+
+class CECDUModel:
+    """Cycle/energy model of one CECDU bound to a robot and environment."""
+
+    def __init__(
+        self,
+        robot: RobotModel,
+        octree: Octree,
+        config: CECDUConfig = CECDUConfig(),
+        cascade: CascadeConfig = DEFAULT_CASCADE,
+        fixed_point: Optional[FixedPointFormat] = DEFAULT_FORMAT,
+        energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+    ):
+        self.robot = robot
+        self.octree = octree
+        self.config = config
+        self.collider = OBBOctreeCollider(octree, cascade)
+        self.obb_generator = OBBGenerationUnit(robot, fixed_point)
+        self.energy_model = energy_model
+        self._cache: Dict[bytes, PoseCDOutcome] = {}
+
+    # ------------------------------------------------------------------
+
+    def simulate_pose(self, q) -> PoseCDOutcome:
+        """Collision-detect one pose; returns verdict plus cycles/energy."""
+        generation = self.obb_generator.generate(q)
+        obbs = generation.obbs
+        ready = generation.ready_cycles
+        n_oocds = self.config.n_oocds
+        kind = self.config.iu_kind
+
+        tests = 0
+        multiplies = generation.multiplies
+        node_visits = 0
+        energy = len(obbs) * self.energy_model.obb_generation_pj_per_link
+        links_checked = 0
+        hit = False
+
+        if n_oocds == 1:
+            # Serial link checks with early exit on the first collision.
+            time = 0
+            for index, obb in enumerate(obbs):
+                trace = self.collider.collide(obb)
+                timing = price_traversal(trace, kind, self.energy_model)
+                time = max(time, ready[index]) + timing.cycles
+                tests += timing.tests
+                multiplies += timing.multiplies
+                node_visits += timing.node_visits
+                energy += timing.energy_pj
+                links_checked += 1
+                if timing.hit:
+                    hit = True
+                    break
+            total_cycles = time
+        else:
+            # Synchronous batches of n_oocds links: a batch costs its
+            # slowest member; a hit stops later batches only.
+            time = 0
+            for start in range(0, len(obbs), n_oocds):
+                batch = list(range(start, min(start + n_oocds, len(obbs))))
+                timings: List[OOCDTiming] = []
+                for index in batch:
+                    trace = self.collider.collide(obbs[index])
+                    timings.append(price_traversal(trace, kind, self.energy_model))
+                batch_start = max(time, max(ready[index] for index in batch))
+                time = batch_start + max(t.cycles for t in timings)
+                for t in timings:
+                    tests += t.tests
+                    multiplies += t.multiplies
+                    node_visits += t.node_visits
+                    energy += t.energy_pj
+                links_checked += len(batch)
+                if any(t.hit for t in timings):
+                    hit = True
+                    break
+            total_cycles = time
+
+        return PoseCDOutcome(
+            hit=hit,
+            cycles=total_cycles,
+            tests=tests,
+            multiplies=multiplies,
+            node_visits=node_visits,
+            energy_pj=energy,
+            links_checked=links_checked,
+        )
+
+    def simulate_pose_cached(self, q) -> PoseCDOutcome:
+        """Memoized :meth:`simulate_pose` (poses repeat across schedulers)."""
+        key = np.asarray(q, dtype=float).tobytes()
+        outcome = self._cache.get(key)
+        if outcome is None:
+            outcome = self.simulate_pose(q)
+            self._cache[key] = outcome
+        return outcome
+
+    def time_ns(self, outcome: PoseCDOutcome) -> float:
+        return outcome.cycles * self.config.clock_period_ns
+
+    # ------------------------------------------------------------------
+
+    def sas_latency_model(self):
+        """Adapter: use this CECDU as the SAS simulator's latency model."""
+
+        def model(motion, pose_index: int):
+            outcome = self.simulate_pose_cached(motion.poses[pose_index])
+            return outcome.hit, outcome.cycles, outcome.energy_pj
+
+        return model

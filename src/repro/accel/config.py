@@ -1,0 +1,112 @@
+"""Hardware configuration dataclasses for the MPAccel simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class IntersectionUnitKind(Enum):
+    """Intersection Unit implementation style (Section 5.2).
+
+    Both have the same end-to-end latency per test; the pipelined unit
+    accepts a new test every cycle (at a higher clock), the multi-cycle unit
+    one test at a time.
+    """
+
+    MULTI_CYCLE = "mc"
+    PIPELINED = "p"
+
+
+#: Clock periods from the synthesized critical paths (Section 7.3).
+CLOCK_PERIOD_NS = {
+    IntersectionUnitKind.MULTI_CYCLE: 2.24,
+    IntersectionUnitKind.PIPELINED: 1.48,
+}
+
+
+@dataclass(frozen=True)
+class CECDUConfig:
+    """One CECDU: how many OOCDs it contains and their IU style.
+
+    The paper evaluates 1 and 4 OOCDs per CECDU (Table 1).  With one OOCD
+    the robot's links are checked serially (early exit on the first
+    colliding link); with four, links run in synchronous batches of four.
+    """
+
+    n_oocds: int = 4
+    iu_kind: IntersectionUnitKind = IntersectionUnitKind.MULTI_CYCLE
+
+    def __post_init__(self):
+        if self.n_oocds < 1:
+            raise ValueError(f"n_oocds must be >= 1, got {self.n_oocds}")
+
+    @property
+    def pipelined(self) -> bool:
+        return self.iu_kind is IntersectionUnitKind.PIPELINED
+
+    @property
+    def clock_period_ns(self) -> float:
+        return CLOCK_PERIOD_NS[self.iu_kind]
+
+    @property
+    def clock_hz(self) -> float:
+        return 1e9 / self.clock_period_ns
+
+    def label(self) -> str:
+        return f"{self.n_oocds}oocd_{self.iu_kind.value}"
+
+
+@dataclass(frozen=True)
+class SASConfig:
+    """Scheduler parameters (Section 5.1).
+
+    ``step_size`` is the MCSP coarse step (hardware default 8);
+    ``group_size`` the number of motions considered for inter-motion
+    parallelism (hardware default 16); ``dispatch_per_cycle`` how many CD
+    queries the CD Query Generator can issue per cycle (1 in hardware;
+    ``None`` models the zero-latency scheduler of the limit study).
+    """
+
+    policy: str = "mcsp"
+    step_size: int = 8
+    group_size: int = 16
+    dispatch_per_cycle: int | None = 1
+
+    def __post_init__(self):
+        if self.step_size < 1:
+            raise ValueError(f"step_size must be >= 1, got {self.step_size}")
+        if self.group_size < 1:
+            raise ValueError(f"group_size must be >= 1, got {self.group_size}")
+        if self.dispatch_per_cycle is not None and self.dispatch_per_cycle < 1:
+            raise ValueError(
+                f"dispatch_per_cycle must be >= 1 or None, got {self.dispatch_per_cycle}"
+            )
+
+
+@dataclass(frozen=True)
+class MPAccelConfig:
+    """A full MPAccel instance: scheduler plus a pool of CECDUs.
+
+    Figure 20's configurations are ``X_Y_mc/p``: X CECDUs with Y OOCDs each
+    and multi-cycle or pipelined Intersection Units.
+    """
+
+    n_cecdus: int = 16
+    cecdu: CECDUConfig = field(default_factory=CECDUConfig)
+    sas: SASConfig = field(default_factory=SASConfig)
+    #: DNN accelerator throughput for neural planner inference (Section 7.4).
+    dnn_tops: float = 12.0
+    #: Controller <-> accelerator bus bandwidth (Section 5).
+    io_gbps: float = 5.0
+    #: Simple-CPU controller clock for instruction-count latency estimates.
+    controller_ghz: float = 1.0
+
+    def __post_init__(self):
+        if self.n_cecdus < 1:
+            raise ValueError(f"n_cecdus must be >= 1, got {self.n_cecdus}")
+        if self.dnn_tops <= 0 or self.io_gbps <= 0 or self.controller_ghz <= 0:
+            raise ValueError("throughput parameters must be positive")
+
+    def label(self) -> str:
+        return f"{self.n_cecdus}_{self.cecdu.n_oocds}_{self.cecdu.iu_kind.value}"

@@ -1,0 +1,101 @@
+"""Design-space exploration over MPAccel configurations.
+
+Enumerates accelerator configurations (CECDU count, OOCDs per CECDU, IU
+style), evaluates each on a workload, and extracts the Pareto frontier of
+latency versus silicon cost — the analysis behind Figure 20's discussion
+of which configuration to build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence
+
+from repro.accel.config import CECDUConfig, IntersectionUnitKind, MPAccelConfig
+from repro.accel.energy import HardwareBlockLibrary
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    config: MPAccelConfig
+    mean_latency_ms: float
+    area_mm2: float
+    power_w: float
+
+    @property
+    def silicon_cost(self) -> float:
+        """The Figure 20 denominator: watts x mm^2."""
+        return self.power_w * self.area_mm2
+
+    @property
+    def performance_density(self) -> float:
+        """Queries / (second x watt x mm^2)."""
+        if self.mean_latency_ms <= 0:
+            return 0.0
+        return (1e3 / self.mean_latency_ms) / self.silicon_cost
+
+    @property
+    def label(self) -> str:
+        return self.config.label()
+
+
+def enumerate_configs(
+    cecdu_counts: Sequence[int] = (8, 16),
+    oocd_counts: Sequence[int] = (1, 4),
+    iu_kinds: Sequence[IntersectionUnitKind] = tuple(IntersectionUnitKind),
+) -> List[MPAccelConfig]:
+    """The Figure 20 configuration grid (extensible to wider sweeps)."""
+    configs = []
+    for n_cecdus in cecdu_counts:
+        for n_oocds in oocd_counts:
+            for kind in iu_kinds:
+                configs.append(
+                    MPAccelConfig(
+                        n_cecdus=n_cecdus,
+                        cecdu=CECDUConfig(n_oocds=n_oocds, iu_kind=kind),
+                    )
+                )
+    return configs
+
+
+def evaluate_design_space(
+    configs: Iterable[MPAccelConfig],
+    latency_evaluator: Callable[[MPAccelConfig], float],
+) -> List[DesignPoint]:
+    """Evaluate each configuration's mean query latency (ms) and cost."""
+    points = []
+    for config in configs:
+        spec = HardwareBlockLibrary.mpaccel(config)
+        points.append(
+            DesignPoint(
+                config=config,
+                mean_latency_ms=float(latency_evaluator(config)),
+                area_mm2=spec.area_mm2,
+                power_w=spec.power_mw / 1e3,
+            )
+        )
+    return points
+
+
+def pareto_frontier(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Points not dominated on (latency, silicon cost), sorted by latency.
+
+    A point dominates another when it is no worse on both axes and strictly
+    better on at least one.
+    """
+    frontier: List[DesignPoint] = []
+    for candidate in points:
+        dominated = any(
+            other.mean_latency_ms <= candidate.mean_latency_ms
+            and other.silicon_cost <= candidate.silicon_cost
+            and (
+                other.mean_latency_ms < candidate.mean_latency_ms
+                or other.silicon_cost < candidate.silicon_cost
+            )
+            for other in points
+        )
+        if not dominated:
+            frontier.append(candidate)
+    return sorted(frontier, key=lambda p: p.mean_latency_ms)

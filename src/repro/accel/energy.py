@@ -1,0 +1,112 @@
+"""Energy, area, and power models.
+
+The paper synthesizes RTL at 45 nm (Synopsys DC + OpenRAM) and builds a
+Wattch-style activity-based power model (Section 6).  We cannot run
+synthesis here, so the per-block area/power constants below are taken from
+the paper's published Table 2 and the activity energy coefficients are
+representative 45 nm values; the simulator multiplies them by the activity
+counts (multiplies, SRAM reads, node fetches) it measures.  Absolute joules
+are therefore calibrated, but every comparison the figures make is a ratio
+of activity counts, which we measure directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.config import CECDUConfig, IntersectionUnitKind, MPAccelConfig
+from repro.collision.stats import CollisionStats
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """Area/power of one synthesized hardware block."""
+
+    area_mm2: float
+    power_mw: float
+
+
+class HardwareBlockLibrary:
+    """Per-block constants from Table 2 (45 nm, FreePDK)."""
+
+    SCHEDULER = BlockSpec(area_mm2=0.110, power_mw=60.7)
+    OBB_TRANSFORM_UNIT = BlockSpec(area_mm2=0.054, power_mw=51.6)
+    OCTREE_TRAVERSAL_UNIT = BlockSpec(area_mm2=0.029, power_mw=16.7)
+    INTERSECTION_UNIT_MC = BlockSpec(area_mm2=0.143, power_mw=24.34)
+    INTERSECTION_UNIT_P = BlockSpec(area_mm2=0.251, power_mw=32.57)
+
+    @classmethod
+    def intersection_unit(cls, kind: IntersectionUnitKind) -> BlockSpec:
+        if kind is IntersectionUnitKind.PIPELINED:
+            return cls.INTERSECTION_UNIT_P
+        return cls.INTERSECTION_UNIT_MC
+
+    @classmethod
+    def oocd(cls, kind: IntersectionUnitKind) -> BlockSpec:
+        """One OOCD = Octree Traversal Unit + one Intersection Unit."""
+        iu = cls.intersection_unit(kind)
+        trav = cls.OCTREE_TRAVERSAL_UNIT
+        return BlockSpec(
+            area_mm2=trav.area_mm2 + iu.area_mm2,
+            power_mw=trav.power_mw + iu.power_mw,
+        )
+
+    @classmethod
+    def cecdu(cls, config: CECDUConfig) -> BlockSpec:
+        """One CECDU = OBB Generation Unit + n OOCDs.
+
+        Composition reproduces the paper's Table 1/2 power entries exactly
+        (e.g. 51.6 + 4x(16.7 + 24.34) = 215.7 mW) and its area entries to
+        within ~10% (the paper's synthesized top level shares some glue
+        logic the composition double counts).
+        """
+        obbgen = cls.OBB_TRANSFORM_UNIT
+        oocd = cls.oocd(config.iu_kind)
+        return BlockSpec(
+            area_mm2=obbgen.area_mm2 + config.n_oocds * oocd.area_mm2,
+            power_mw=obbgen.power_mw + config.n_oocds * oocd.power_mw,
+        )
+
+    @classmethod
+    def mpaccel(cls, config: MPAccelConfig) -> BlockSpec:
+        """Full accelerator = scheduler + n CECDUs (Table 2 bottom rows)."""
+        cecdu = cls.cecdu(config.cecdu)
+        return BlockSpec(
+            area_mm2=cls.SCHEDULER.area_mm2 + config.n_cecdus * cecdu.area_mm2,
+            power_mw=cls.SCHEDULER.power_mw + config.n_cecdus * cecdu.power_mw,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Activity-based dynamic energy coefficients (representative 45 nm).
+
+    The dominant term is 16-bit fixed-point multiplies, matching the paper's
+    use of multiply count as its computation/energy proxy.
+    """
+
+    multiply_pj: float = 0.9
+    addition_pj: float = 0.12
+    sram_read_pj: float = 4.0
+    node_process_pj: float = 1.5
+    #: OBB generation per link: trig evaluations + 4x4 matrix products.
+    obb_generation_pj_per_link: float = 180.0
+
+    def cascade_energy_pj(self, stats: CollisionStats) -> float:
+        """Dynamic energy of the intersection tests recorded in ``stats``."""
+        return (
+            stats.multiplies * self.multiply_pj
+            + stats.additions * self.addition_pj
+            + stats.sram_reads * self.sram_read_pj
+            + stats.node_visits * self.node_process_pj
+        )
+
+    def pose_cd_energy_pj(self, stats: CollisionStats, links_generated: int) -> float:
+        """Energy of one robot-pose collision check including OBB generation."""
+        return (
+            self.cascade_energy_pj(stats)
+            + links_generated * self.obb_generation_pj_per_link
+        )
+
+
+DEFAULT_ENERGY_MODEL = EnergyModel()

@@ -1,0 +1,52 @@
+"""Intersection Unit timing (Section 5.2).
+
+The cascaded intersection test of Figure 10 maps onto the unit as stages:
+cycle 1 runs both sphere filters, and each executed SAT stage (6-5-4 axes)
+adds a cycle — that is the ``exit_cycle`` a :class:`CascadeResult` carries.
+
+- A *multi-cycle* unit processes one test at a time: a node's tests run
+  back to back, each occupying the unit for its exit cycle count.
+- A *pipelined* unit accepts one test per cycle; test ``i`` (0-based issue
+  order) completes at ``i + exit_cycle_i``.  Both styles therefore have the
+  same end-to-end latency per test, as the paper states; the pipelined unit
+  wins on throughput within a node.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.accel.config import IntersectionUnitKind
+from repro.collision.cascade import CascadeResult
+
+#: FSM overhead per visited octree node: memory request issue + node-word
+#: receive/decode by the Node Processing Unit.
+NODE_OVERHEAD_CYCLES = 1
+
+#: Depth of the pipelined unit (sphere stage + three SAT stages).
+PIPELINE_DEPTH = 4
+
+
+def multi_cycle_node_cycles(tests: Sequence[CascadeResult]) -> int:
+    """Cycles a multi-cycle IU spends on one node's intersection tests."""
+    return sum(test.exit_cycle for test in tests)
+
+
+def pipelined_node_cycles(tests: Sequence[CascadeResult]) -> int:
+    """Cycles a pipelined IU spends on one node's intersection tests.
+
+    Tests issue one per cycle; each result pops out of the pipeline at its
+    exit stage, so the node finishes when the slowest in-flight test does.
+    """
+    if not tests:
+        return 0
+    return max(issue + test.exit_cycle for issue, test in enumerate(tests))
+
+
+def node_cycles(tests: Sequence[CascadeResult], kind: IntersectionUnitKind) -> int:
+    """Dispatch on the IU style; includes the per-node FSM overhead."""
+    if kind is IntersectionUnitKind.PIPELINED:
+        busy = pipelined_node_cycles(tests)
+    else:
+        busy = multi_cycle_node_cycles(tests)
+    return NODE_OVERHEAD_CYCLES + busy

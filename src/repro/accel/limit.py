@@ -1,0 +1,90 @@
+"""The limit study of Section 3 (Figure 7).
+
+Assumptions: zero-latency scheduling (unlimited dispatch per cycle) and a
+one-cycle collision detection unit.  For each policy and CDU count the
+study reports speedup over the early-exiting sequential evaluation and the
+number of collision detection tests normalized to sequential.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.accel.config import SASConfig
+from repro.accel.sas import SASSimulator, unit_latency_model
+from repro.planning.motion import CDPhase
+
+
+@dataclass
+class LimitStudyPoint:
+    """One (policy, n_cdus) cell of Figure 7."""
+
+    policy: str
+    n_cdus: int
+    cycles: int
+    tests: int
+    sequential_cycles: int
+    sequential_tests: int
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_cycles / max(1, self.cycles)
+
+    @property
+    def normalized_tests(self) -> float:
+        return self.tests / max(1, self.sequential_tests)
+
+
+def limit_study(
+    phases: Sequence[CDPhase],
+    policies: Sequence[str] = ("np", "rnd", "brp", "csp", "ms", "mnp", "mbrp", "mcsp"),
+    cdu_counts: Sequence[int] = (1, 2, 4, 8, 16, 32, 64),
+    step_size: int = 8,
+    group_size: int = 16,
+    seed: int = 0,
+) -> List[LimitStudyPoint]:
+    """Run the Figure 7 sweep and return one point per (policy, CDU count).
+
+    The sequential baseline (1 test per cycle, early exit, in-order) is
+    computed once per phase and shared across all points.
+    """
+    sequential_tests = sum(p.sequential_reference().tests for p in phases)
+    sequential_cycles = sequential_tests  # one test per cycle, one CDU
+
+    points: List[LimitStudyPoint] = []
+    for policy in policies:
+        for n_cdus in cdu_counts:
+            config = SASConfig(
+                policy=policy,
+                step_size=step_size,
+                group_size=group_size,
+                dispatch_per_cycle=None,  # zero-latency scheduler
+            )
+            simulator = SASSimulator(
+                n_cdus=n_cdus,
+                policy=policy,
+                config=config,
+                latency_model=unit_latency_model,
+                seed=seed,
+            )
+            total = simulator.run_phases(list(phases))
+            points.append(
+                LimitStudyPoint(
+                    policy=policy,
+                    n_cdus=n_cdus,
+                    cycles=total.cycles,
+                    tests=total.tests,
+                    sequential_cycles=sequential_cycles,
+                    sequential_tests=sequential_tests,
+                )
+            )
+    return points
+
+
+def tabulate(points: List[LimitStudyPoint]) -> Dict[str, Dict[int, LimitStudyPoint]]:
+    """Index the study as table[policy][n_cdus] for plotting/reporting."""
+    table: Dict[str, Dict[int, LimitStudyPoint]] = {}
+    for point in points:
+        table.setdefault(point.policy, {})[point.n_cdus] = point
+    return table

@@ -1,0 +1,58 @@
+"""OOCD timing: replaying a traversal trace through the FSM model.
+
+The behavioral collider (:mod:`repro.collision.octree_cd`) records which
+nodes were fetched and which cascade tests ran; this module prices that
+trace in cycles and picojoules for a given Intersection Unit style.  The
+Octree Traverser processes one node at a time (single Address Register +
+Node Queue), so node costs add up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.config import IntersectionUnitKind
+from repro.accel.energy import DEFAULT_ENERGY_MODEL, EnergyModel
+from repro.accel.intersection import node_cycles
+from repro.collision.octree_cd import TraversalTrace
+
+
+@dataclass(frozen=True)
+class OOCDTiming:
+    """Cycle/energy cost of one OBB-vs-octree collision query."""
+
+    cycles: int
+    tests: int
+    multiplies: int
+    node_visits: int
+    energy_pj: float
+    hit: bool
+
+
+def price_traversal(
+    trace: TraversalTrace,
+    kind: IntersectionUnitKind,
+    energy_model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> OOCDTiming:
+    """Cycles and energy for one traversal trace on one OOCD."""
+    cycles = 0
+    tests = 0
+    multiplies = 0
+    for visit in trace.visits:
+        results = [t.result for t in visit.tests]
+        cycles += node_cycles(results, kind)
+        tests += len(results)
+        multiplies += sum(r.multiplies for r in results)
+    node_visits = trace.node_visits
+    energy = (
+        multiplies * energy_model.multiply_pj
+        + node_visits * (energy_model.sram_read_pj + energy_model.node_process_pj)
+    )
+    return OOCDTiming(
+        cycles=cycles,
+        tests=tests,
+        multiplies=multiplies,
+        node_visits=node_visits,
+        energy_pj=energy,
+        hit=trace.hit,
+    )

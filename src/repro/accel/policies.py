@@ -1,0 +1,135 @@
+"""Scheduling policies for coarse-grained parallelism (Section 3).
+
+A policy decides two things:
+
+1. the order in which a motion's discrete poses are scheduled
+   (naive front-to-back, random, binary-recursive, or coarse-step), and
+2. whether inter-motion parallelism is used (the ``M`` prefix in Figure 7):
+   how many motions are live at once, and whether a single motion may have
+   several poses in flight (intra-motion parallelism).
+
+The pose orderings are pure functions of the pose count, so they are easy
+to test exhaustively: every ordering must be a permutation of ``range(n)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+def naive_order(n: int) -> List[int]:
+    """Front-to-back: 0, 1, 2, ... (the NP baseline)."""
+    return list(range(n))
+
+
+def random_order(n: int, rng: np.random.Generator) -> List[int]:
+    """A uniformly random permutation (the RND baseline)."""
+    return list(map(int, rng.permutation(n)))
+
+
+def coarse_step_order(n: int, step: int = 8) -> List[int]:
+    """CSP: 0, s, 2s, ..., 1, s+1, ..., covering coarse-to-fine.
+
+    For step 4 and n poses: 0, 4, 8, ..., 1, 5, 9, ..., 2, 6, ..., 3, 7, ...
+    (Figure 6b.iv).  Implementable in hardware with registers and adders.
+    """
+    if step < 1:
+        raise ValueError(f"step must be >= 1, got {step}")
+    order = []
+    for offset in range(min(step, n)):
+        order.extend(range(offset, n, step))
+    return order
+
+
+def binary_recursive_order(n: int) -> List[int]:
+    """BRP: endpoints first, then midpoints breadth-first (Figure 6b.iii).
+
+    Samples the motion coarse-to-fine; needs a queue in hardware, which is
+    why the paper prefers CSP.
+    """
+    if n <= 0:
+        return []
+    if n == 1:
+        return [0]
+    order = [0, n - 1]
+    seen = {0, n - 1}
+    intervals = deque([(0, n - 1)])
+    while intervals:
+        lo, hi = intervals.popleft()
+        if hi - lo < 2:
+            continue
+        mid = (lo + hi) // 2
+        if mid not in seen:
+            order.append(mid)
+            seen.add(mid)
+        intervals.append((lo, mid))
+        intervals.append((mid, hi))
+    return order
+
+
+@dataclass(frozen=True)
+class SchedulingPolicy:
+    """A named combination of pose ordering and inter-motion behavior."""
+
+    name: str
+    order_kind: str  # "naive" | "random" | "coarse" | "binary"
+    inter_motion: bool  # M prefix: multiple motions live at once
+    intra_motion: bool  # may one motion have several poses in flight?
+    step_size: int = 8
+
+    def pose_order(self, n_poses: int, rng: Optional[np.random.Generator] = None) -> List[int]:
+        if self.order_kind == "naive":
+            return naive_order(n_poses)
+        if self.order_kind == "coarse":
+            return coarse_step_order(n_poses, self.step_size)
+        if self.order_kind == "binary":
+            return binary_recursive_order(n_poses)
+        if self.order_kind == "random":
+            if rng is None:
+                rng = np.random.default_rng(0)
+            return random_order(n_poses, rng)
+        raise ValueError(f"unknown order kind {self.order_kind!r}")
+
+
+#: Figure 7's policy menu.  Non-M policies process one motion at a time;
+#: MS uses inter-motion parallelism only (one in-flight pose per motion).
+_POLICIES = {
+    "seq": ("naive", False, False),
+    "np": ("naive", False, True),
+    "rnd": ("random", False, True),
+    "brp": ("binary", False, True),
+    "csp": ("coarse", False, True),
+    "ms": ("naive", True, False),
+    "mnp": ("naive", True, True),
+    "mrnd": ("random", True, True),
+    "mbrp": ("binary", True, True),
+    "mcsp": ("coarse", True, True),
+}
+
+POLICY_NAMES = tuple(_POLICIES)
+
+
+def make_policy(name: str, step_size: int = 8) -> SchedulingPolicy:
+    """Look up a Figure 7 policy by its lowercase name (e.g. ``"mcsp"``)."""
+    key = name.lower()
+    if key not in _POLICIES:
+        raise ValueError(f"unknown policy {name!r}; choose from {POLICY_NAMES}")
+    order_kind, inter, intra = _POLICIES[key]
+    return SchedulingPolicy(
+        name=key,
+        order_kind=order_kind,
+        inter_motion=inter,
+        intra_motion=intra,
+        step_size=step_size,
+    )
+
+
+def pose_order(
+    name: str, n_poses: int, step_size: int = 8, rng: Optional[np.random.Generator] = None
+) -> List[int]:
+    """Convenience: the pose ordering a named policy would use."""
+    return make_policy(name, step_size).pose_order(n_poses, rng)

@@ -1,0 +1,317 @@
+"""The Spatially Aware Scheduler: an event-driven cycle-accurate simulator.
+
+Models the SAS microarchitecture of Section 5.1: the CD Query Generator
+dispatches at most one collision detection query per cycle to a free CDU,
+ordering poses by the configured policy and keeping ``group_size`` motions
+live for inter-motion parallelism.  Results retire queries; a colliding
+pose kills its motion (its unscheduled poses are dropped), and the function
+mode decides when the whole phase may stop:
+
+- FEASIBILITY stops at the first colliding pose,
+- CONNECTIVITY stops at the first motion proven collision-free,
+- COMPLETE runs until every motion is decided.
+
+Queries in flight when the stop condition fires were already dispatched, so
+their work counts toward energy — exactly the redundant computation the
+paper's schedulers are designed to minimize.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.accel.config import SASConfig
+from repro.accel.policies import SchedulingPolicy, make_policy
+from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+
+#: A latency model maps (motion, pose_index) to the query's outcome:
+#: (hit, latency_cycles, energy_pj).  The limit study uses a constant
+#: single-cycle model; Section 7.1 plugs in the CECDU timing model.
+LatencyModel = Callable[[MotionRecord, int], tuple]
+
+
+@dataclass(frozen=True)
+class DispatchEvent:
+    """One scheduled query, for timeline inspection/debugging."""
+
+    dispatch_cycle: int
+    complete_cycle: int
+    motion_index: int
+    pose_index: int
+    hit: bool
+
+
+def unit_latency_model(motion: MotionRecord, pose_index: int) -> tuple:
+    """The limit-study CDU: ground-truth verdict in exactly one cycle."""
+    return motion.pose_collides(pose_index), 1, 1.0
+
+
+@dataclass
+class SASResult:
+    """Outcome of simulating one CD phase on SAS."""
+
+    cycles: int
+    tests: int
+    energy_pj: float
+    motion_outcomes: List[Optional[bool]] = field(default_factory=list)
+    stopped_early: bool = False
+    #: Total CDU-cycles spent executing queries (sum of query latencies).
+    busy_cycles: int = 0
+    #: CDU count the phase ran on (for utilization computation).
+    n_cdus: int = 1
+    #: Per-dispatch events (populated only when the simulator records them).
+    timeline: List["DispatchEvent"] = field(default_factory=list)
+
+    @property
+    def any_collision(self) -> bool:
+        return any(outcome is True for outcome in self.motion_outcomes)
+
+    @property
+    def any_free(self) -> bool:
+        return any(outcome is False for outcome in self.motion_outcomes)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of CDU-cycles that executed a query (0..1).
+
+        Low utilization at high CDU counts is the dispatch-rate bound the
+        paper describes in Section 7.1 ("if the latency of CDUs is less
+        than the number of CDUs ... the scheduler can not dispatch CD
+        queries fast enough").
+        """
+        if self.cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / (self.cycles * self.n_cdus))
+
+
+class _MotionState:
+    """Scheduler-side bookkeeping for one motion."""
+
+    __slots__ = ("motion", "order", "next_index", "in_flight", "returned", "killed", "decided")
+
+    def __init__(self, motion: MotionRecord, order: List[int]):
+        self.motion = motion
+        self.order = order
+        self.next_index = 0  # next position in `order` to dispatch
+        self.in_flight = 0
+        self.returned = 0
+        self.killed = False
+        self.decided: Optional[bool] = None  # True=colliding, False=free
+
+    @property
+    def exhausted(self) -> bool:
+        """No more poses to dispatch (killed motions stop scheduling)."""
+        return self.killed or self.next_index >= len(self.order)
+
+    def pop_pose(self) -> int:
+        pose = self.order[self.next_index]
+        self.next_index += 1
+        self.in_flight += 1
+        return pose
+
+
+class SASSimulator:
+    """Simulates SAS + a pool of CDUs over one CD phase."""
+
+    def __init__(
+        self,
+        n_cdus: int,
+        policy: SchedulingPolicy | str = "mcsp",
+        config: SASConfig | None = None,
+        latency_model: LatencyModel = unit_latency_model,
+        seed: int = 0,
+    ):
+        if n_cdus < 1:
+            raise ValueError(f"n_cdus must be >= 1, got {n_cdus}")
+        if config is None:
+            config = SASConfig()
+        if isinstance(policy, str):
+            policy = make_policy(policy, step_size=config.step_size)
+        self.n_cdus = n_cdus
+        self.policy = policy
+        self.config = config
+        self.latency_model = latency_model
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+
+    def run(self, phase: CDPhase, record_timeline: bool = False) -> SASResult:
+        """Simulate one phase; optionally record the dispatch timeline.
+
+        ``record_timeline=True`` fills ``SASResult.timeline`` with one
+        :class:`DispatchEvent` per query, in dispatch order — useful for
+        inspecting a schedule or asserting scheduling properties in tests.
+        """
+        policy = self.policy
+        group_size = self.config.group_size if policy.inter_motion else 1
+        throttled = self.config.dispatch_per_cycle is not None
+        timeline: List[DispatchEvent] = []
+        motion_index = {id(m): i for i, m in enumerate(phase.motions)}
+
+        states = [
+            _MotionState(m, policy.pose_order(m.num_poses, self._rng))
+            for m in phase.motions
+        ]
+        active: List[_MotionState] = []
+        backlog = list(states)
+
+        def refill_active():
+            while len(active) < group_size and backlog:
+                candidate = backlog.pop(0)
+                if candidate.exhausted and candidate.in_flight == 0:
+                    continue
+                active.append(candidate)
+
+        refill_active()
+
+        free_cdus = self.n_cdus
+        completions: list = []  # heap of (time, seq, state, pose_index, hit, energy)
+        seq = 0
+        now = 0
+        next_dispatch = 0
+        dispatch_cycle = -1
+        dispatch_budget = 0
+        rr_index = 0  # round-robin cursor over `active`
+        tests = 0
+        energy = 0.0
+        busy_cycles = 0
+        stop = False
+        stop_time = 0
+
+        def select_query() -> Optional[_MotionState]:
+            """Next motion to dispatch from, round-robin over the group."""
+            nonlocal rr_index
+            if not active:
+                return None
+            n = len(active)
+            for k in range(n):
+                state = active[(rr_index + k) % n]
+                if state.exhausted:
+                    continue
+                if not policy.intra_motion and state.in_flight > 0:
+                    continue
+                rr_index = (rr_index + k + 1) % n
+                return state
+            return None
+
+        def process(state: _MotionState, pose_index: int, hit: bool, t: int):
+            nonlocal stop, stop_time
+            state.in_flight -= 1
+            state.returned += 1
+            if state.decided is None:
+                if hit:
+                    # Kill: drop the motion's unscheduled poses and free its
+                    # slot in the scheduling group immediately.
+                    state.killed = True
+                    state.decided = True
+                    if state in active:
+                        active.remove(state)
+                        refill_active()
+                elif state.returned == len(state.order):
+                    state.decided = False
+            if not stop:
+                if phase.mode is FunctionMode.FEASIBILITY and state.decided is True:
+                    stop = True
+                    stop_time = t
+                elif phase.mode is FunctionMode.CONNECTIVITY and state.decided is False:
+                    stop = True
+                    stop_time = t
+
+        last_completion = 0
+        while True:
+            candidate = None if stop else select_query()
+            if candidate is not None and free_cdus > 0:
+                t = max(now, next_dispatch)
+                # Results that land strictly before this dispatch slot must
+                # be processed first: they may kill the motion we would
+                # otherwise schedule from.
+                if completions and completions[0][0] <= t:
+                    ct, _, state, pose_index, hit, _energy = heapq.heappop(completions)
+                    free_cdus += 1
+                    now = ct
+                    last_completion = max(last_completion, ct)
+                    process(state, pose_index, hit, ct)
+                    continue
+                pose_index = candidate.pop_pose()
+                if candidate.exhausted:
+                    # No poses left to schedule: free the group slot so the
+                    # next backlog motion can enter (Section 5.1).
+                    active.remove(candidate)
+                    refill_active()
+                hit, latency, query_energy = self.latency_model(
+                    candidate.motion, pose_index
+                )
+                tests += 1
+                energy += query_energy
+                busy_cycles += latency
+                if record_timeline:
+                    timeline.append(
+                        DispatchEvent(
+                            dispatch_cycle=t,
+                            complete_cycle=t + latency,
+                            motion_index=motion_index[id(candidate.motion)],
+                            pose_index=pose_index,
+                            hit=hit,
+                        )
+                    )
+                free_cdus -= 1
+                seq += 1
+                heapq.heappush(
+                    completions, (t + latency, seq, candidate, pose_index, hit, query_energy)
+                )
+                if throttled:
+                    if t == dispatch_cycle:
+                        dispatch_budget -= 1
+                    else:
+                        dispatch_cycle = t
+                        dispatch_budget = self.config.dispatch_per_cycle - 1
+                    if dispatch_budget <= 0:
+                        next_dispatch = t + 1
+                now = t
+                continue
+            if completions:
+                ct, _, state, pose_index, hit, _energy = heapq.heappop(completions)
+                free_cdus += 1
+                now = ct
+                last_completion = max(last_completion, ct)
+                process(state, pose_index, hit, ct)
+                continue
+            break  # no dispatchable work and nothing in flight
+
+        if stop:
+            cycles = stop_time
+        else:
+            cycles = last_completion
+        outcomes = [state.decided for state in states]
+        return SASResult(
+            cycles=cycles,
+            tests=tests,
+            energy_pj=energy,
+            motion_outcomes=outcomes,
+            stopped_early=stop,
+            busy_cycles=busy_cycles,
+            n_cdus=self.n_cdus,
+            timeline=timeline,
+        )
+
+    def run_phases(self, phases: List[CDPhase]) -> SASResult:
+        """Simulate a sequence of phases; totals cycles/tests/energy."""
+        total = SASResult(cycles=0, tests=0, energy_pj=0.0, n_cdus=self.n_cdus)
+        for phase in phases:
+            result = self.run(phase)
+            total.cycles += result.cycles
+            total.tests += result.tests
+            total.energy_pj += result.energy_pj
+            total.busy_cycles += result.busy_cycles
+            total.motion_outcomes.extend(result.motion_outcomes)
+            total.stopped_early = total.stopped_early or result.stopped_early
+        return total
+
+
+def sequential_reference_tests(phase: CDPhase) -> int:
+    """Work of the early-exiting sequential evaluation (the efficiency baseline)."""
+    return phase.sequential_reference().tests

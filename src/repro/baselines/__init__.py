@@ -1,0 +1,26 @@
+"""Behavioral CPU and GPU baseline models (Section 7.5, Table 3).
+
+The paper measures OBB-octree collision detection on two GPUs (NVIDIA
+Titan V, Jetson TX2) and two CPUs (Intel i7-4771, ARM Cortex-A57).  We
+cannot run those devices here, so this package models them behaviorally:
+the *work* (octree traversal steps, intersection tests, warp divergence)
+comes from the actual collision queries executed by our substrate, and
+per-device throughput constants are calibrated to the paper's published
+measurements.  The comparisons the table makes — divergence-aware warp
+formation helping GPUs, leaf-parallel kernels helping GPUs but hurting
+CPUs, the accelerator beating everything — emerge from the model structure,
+not from the constants.
+"""
+
+from repro.baselines.cpu import CPUModel
+from repro.baselines.device import CPU_DEVICES, DeviceSpec, GPU_DEVICES
+from repro.baselines.gpu import GPUModel, GPUKernel
+
+__all__ = [
+    "DeviceSpec",
+    "CPU_DEVICES",
+    "GPU_DEVICES",
+    "CPUModel",
+    "GPUModel",
+    "GPUKernel",
+]

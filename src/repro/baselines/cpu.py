@@ -1,0 +1,63 @@
+"""CPU baseline: scalar octree traversal, queries parallel across cores."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.baselines.device import DeviceSpec
+from repro.collision.octree_cd import OBBOctreeCollider, TraversalTrace
+from repro.env.octree import Octree
+from repro.geometry.obb import OBB
+
+
+@dataclass(frozen=True)
+class QueryWork:
+    """Per-query work counts extracted from a traversal trace."""
+
+    node_visits: int
+    tests: int
+    hit: bool
+
+    @classmethod
+    def from_trace(cls, trace: TraversalTrace) -> "QueryWork":
+        return cls(
+            node_visits=trace.node_visits,
+            tests=trace.intersection_tests,
+            hit=trace.hit,
+        )
+
+
+def collect_query_work(
+    obbs: Sequence[OBB], octree: Octree, collider: OBBOctreeCollider | None = None
+) -> List[QueryWork]:
+    """Run every OBB-octree query behaviorally and record its work."""
+    if collider is None:
+        collider = OBBOctreeCollider(octree)
+    return [QueryWork.from_trace(collider.collide(obb)) for obb in obbs]
+
+
+class CPUModel:
+    """Prices a batch of OBB-octree queries on a CPU device."""
+
+    def __init__(self, device: DeviceSpec):
+        if device.kind != "cpu":
+            raise ValueError(f"{device.name} is not a CPU spec")
+        self.device = device
+
+    def traversal_time_s(self, work: Sequence[QueryWork]) -> float:
+        """Tree-traversal kernel: per-query serial work, queries over cores."""
+        device = self.device
+        cycles = sum(
+            w.node_visits * device.cycles_per_node + w.tests * device.cycles_per_test
+            for w in work
+        )
+        return cycles / (device.clock_ghz * 1e9 * device.parallel_lanes)
+
+    def leaf_time_s(self, n_queries: int, n_leaves: int) -> float:
+        """Leaf-parallel kernel on a CPU: all query x leaf pairs, serially
+        shared across cores.  More total work with no divergence to win
+        back, which is why Table 3 shows it *slower* on CPUs."""
+        device = self.device
+        cycles = n_queries * n_leaves * device.cycles_per_leaf_test
+        return cycles / (device.clock_ghz * 1e9 * device.parallel_lanes)

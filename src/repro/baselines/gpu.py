@@ -1,0 +1,129 @@
+"""GPU baseline: SIMT warp-lockstep traversal with divergence modeling.
+
+The paper's GPU kernel assigns one OBB-octree query per thread (Section
+7.5).  Threads in a warp execute in lockstep, so a warp costs the *maximum*
+traversal work of its 32 threads — control divergence is the dominant
+inefficiency.  Two of the paper's optimizations are modeled structurally:
+
+- *locality-aware warp formation*: queries sorted by OBB position before
+  grouping, so warp-mates follow similar traversal paths (less divergence);
+- *leaf-parallel kernel*: one thread per (query, leaf) pair — uniform tiny
+  work items with zero divergence, trading extra total work for perfect
+  SIMD efficiency (a win on big GPUs, a loss on CPUs).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.baselines.cpu import QueryWork
+from repro.baselines.device import DeviceSpec, WARP_SIZE
+
+
+class GPUKernel(Enum):
+    """The three Table 3 GPU rows."""
+
+    TRAVERSAL = "obb_octree"
+    TRAVERSAL_OPTIMIZED = "obb_octree_optimized"
+    LEAF_PARALLEL = "obb_octree_leaf"
+
+
+class GPUModel:
+    """Prices a batch of OBB-octree queries on a GPU device."""
+
+    def __init__(self, device: DeviceSpec):
+        if device.kind != "gpu":
+            raise ValueError(f"{device.name} is not a GPU spec")
+        self.device = device
+
+    # ------------------------------------------------------------------
+
+    def _warp_cycles(self, work: Sequence[QueryWork]) -> float:
+        """Lockstep cost of one warp: the slowest thread's traversal."""
+        device = self.device
+        return max(
+            w.node_visits * device.cycles_per_node + w.tests * device.cycles_per_test
+            for w in work
+        )
+
+    def traversal_time_s(
+        self,
+        work: Sequence[QueryWork],
+        positions: np.ndarray | None = None,
+        locality_sort: bool = False,
+        memory_interleaving: bool = False,
+    ) -> float:
+        """Per-thread traversal kernel.
+
+        ``positions`` (one 3D point per query, e.g. the OBB centers) enables
+        locality-aware warp formation; ``memory_interleaving`` models the
+        interleaved per-thread FIFO queues (reduced memory divergence) as a
+        flat discount on the node-fetch share of each warp.
+        """
+        order = list(range(len(work)))
+        if locality_sort:
+            if positions is None:
+                raise ValueError("locality_sort needs per-query positions")
+            order = _morton_order(np.asarray(positions, dtype=float))
+        total_cycles = 0.0
+        for start in range(0, len(order), WARP_SIZE):
+            warp = [work[i] for i in order[start : start + WARP_SIZE]]
+            cycles = self._warp_cycles(warp)
+            if memory_interleaving:
+                # Interleaved queues coalesce node fetches across the warp:
+                # the fetch share of the warp's critical path drops sharply.
+                fetch_share = max(w.node_visits for w in warp) * self.device.cycles_per_node
+                cycles -= 0.75 * fetch_share
+            total_cycles += cycles
+        return total_cycles / (self.device.clock_ghz * 1e9 * self.device.parallel_lanes / WARP_SIZE)
+
+    def leaf_time_s(self, n_queries: int, n_leaves: int) -> float:
+        """Leaf-parallel kernel: uniform work, no divergence."""
+        device = self.device
+        total_threads = n_queries * max(1, n_leaves)
+        cycles_per_warp = device.cycles_per_leaf_test  # uniform -> max == each
+        n_warps = (total_threads + WARP_SIZE - 1) // WARP_SIZE
+        total_cycles = n_warps * cycles_per_warp * WARP_SIZE / WARP_SIZE
+        return total_cycles / (device.clock_ghz * 1e9 * device.parallel_lanes / WARP_SIZE)
+
+    def run_kernel(
+        self,
+        kernel: GPUKernel,
+        work: Sequence[QueryWork],
+        positions: np.ndarray | None = None,
+        n_leaves: int = 0,
+    ) -> float:
+        if kernel is GPUKernel.TRAVERSAL:
+            return self.traversal_time_s(work)
+        if kernel is GPUKernel.TRAVERSAL_OPTIMIZED:
+            return self.traversal_time_s(
+                work, positions=positions, locality_sort=True, memory_interleaving=True
+            )
+        return self.leaf_time_s(len(work), n_leaves)
+
+
+def _morton_order(positions: np.ndarray) -> List[int]:
+    """Sort order by interleaved-bit (Morton) code of quantized positions."""
+    if positions.ndim != 2 or positions.shape[1] != 3:
+        raise ValueError(f"positions must be (n, 3), got {positions.shape}")
+    lo = positions.min(axis=0)
+    hi = positions.max(axis=0)
+    span = np.where(hi - lo > 0, hi - lo, 1.0)
+    grid = np.clip(((positions - lo) / span * 1023).astype(np.int64), 0, 1023)
+
+    def spread(v: int) -> int:
+        v &= 0x3FF
+        v = (v | (v << 16)) & 0x030000FF
+        v = (v | (v << 8)) & 0x0300F00F
+        v = (v | (v << 4)) & 0x030C30C3
+        v = (v | (v << 2)) & 0x09249249
+        return v
+
+    codes = [
+        (spread(int(x)) << 2) | (spread(int(y)) << 1) | spread(int(z))
+        for x, y, z in grid
+    ]
+    return list(np.argsort(codes, kind="stable"))

@@ -1,0 +1,106 @@
+"""System-level baseline timing: motion planning on CPU/GPU hosts.
+
+Table 3's bottom row reports the average MPNet motion planning runtime per
+device.  The paper built simulators for the CPU+DNN-accelerator and
+GPU+controller+DNN-accelerator systems; we do the same behaviorally:
+
+- collision detection work comes from the recorded CD phases (sequential
+  early-exit semantics on a CPU core; phase-wide parallel evaluation with
+  no early exit on a GPU),
+- neural inference is priced with per-device inference-time constants,
+- a small per-phase host overhead models kernel launch / dispatch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.baselines.device import DeviceSpec
+from repro.harness.traces import QueryTrace
+from repro.planning.motion import CDPhase
+
+#: Per-device single-sample MPNet inference latency (seconds).  GPU values
+#: reflect the paper's profiling ("neural network inference consumes 2% of
+#: total time" on the Titan V system); CPU values are BLAS-on-host figures.
+NN_INFERENCE_S = {
+    "titan-v": 3.0e-5,
+    "jetson-tx2": 6.0e-4,
+    "i7-4771": 1.2e-4,
+    "cortex-a57": 8.0e-4,
+}
+
+#: Host-side overhead per CD phase (dispatch, kernel launch on GPUs).
+PHASE_OVERHEAD_S = {
+    "titan-v": 8.0e-6,
+    "jetson-tx2": 4.0e-5,
+    "i7-4771": 1.0e-6,
+    "cortex-a57": 3.0e-6,
+}
+
+
+@dataclass(frozen=True)
+class SystemTiming:
+    """Motion planning latency breakdown on a baseline system."""
+
+    collision_detection_s: float
+    nn_inference_s: float
+    overhead_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.collision_detection_s + self.nn_inference_s + self.overhead_s
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_s * 1e3
+
+
+class BaselineSystemModel:
+    """Prices a recorded MPNet query on a CPU or GPU host."""
+
+    def __init__(self, device_key: str, device: DeviceSpec, links_per_pose: float = 7.0):
+        self.device_key = device_key
+        self.device = device
+        self.links_per_pose = links_per_pose
+        # Average cycles for one OBB-octree query on this device, taken
+        # from the same per-query cost model as the Table 3 CD rows
+        # (typical traversal: ~3.8 node fetches, ~12.5 cascade tests).
+        self.cycles_per_obb_query = (
+            3.8 * device.cycles_per_node + 12.5 * device.cycles_per_test
+        )
+
+    def _pose_check_cycles(self) -> float:
+        # A pose check runs up to `links_per_pose` OBB queries; early exit
+        # on colliding links makes the average a bit lower, folded into a
+        # 0.9 utilization factor.
+        return 0.9 * self.links_per_pose * self.cycles_per_obb_query
+
+    def cd_time_s(self, phases: List[CDPhase]) -> float:
+        device = self.device
+        pose_cycles = self._pose_check_cycles()
+        total_cycles = 0.0
+        for phase in phases:
+            if device.kind == "cpu":
+                # One core runs the planner's CD loop with early exit.
+                tests = phase.sequential_reference().tests
+                total_cycles += tests * pose_cycles
+            else:
+                # GPU: every pose of every motion evaluated in parallel,
+                # no early exit; warps progress at the effective occupancy.
+                poses = phase.total_poses
+                warps = max(1, (poses + 31) // 32)
+                lanes = max(1, device.parallel_lanes // 32)
+                total_cycles += warps * pose_cycles / lanes
+        return total_cycles / (device.clock_ghz * 1e9)
+
+    def run_query(self, trace: QueryTrace) -> SystemTiming:
+        nn_s = (
+            trace.result.nn_inferences + trace.result.encoder_inferences
+        ) * NN_INFERENCE_S[self.device_key]
+        overhead_s = len(trace.phases) * PHASE_OVERHEAD_S[self.device_key]
+        return SystemTiming(
+            collision_detection_s=self.cd_time_s(trace.phases),
+            nn_inference_s=nn_s,
+            overhead_s=overhead_s,
+        )

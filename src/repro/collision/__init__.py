@@ -1,0 +1,35 @@
+"""Collision detection: the cascaded early-exit flow and octree traversal.
+
+This package implements the behavioral side of the CECDU (Section 4): the
+cascaded intersection test of Figure 10 (bounding-sphere filter, inscribed-
+sphere filter, 6-5-4 staged separating-axis test), the OBB-vs-octree
+traversal the OOCD hardware performs, and the robot-vs-environment checker
+that planners call.  Every test records operation counts in a
+:class:`CollisionStats` so the energy model can price the work.
+"""
+
+from repro.collision.cascade import (
+    CascadeConfig,
+    CascadeResult,
+    ExitStage,
+    cascade_intersect,
+)
+from repro.collision.checker import MotionCollisionResult, RobotEnvironmentChecker
+from repro.collision.octree_cd import NodeVisit, OBBOctreeCollider, TraversalTrace
+from repro.collision.stats import CollisionStats
+from repro.collision.voxel_cd import VoxelCDResult, VoxelizedCollisionDetector
+
+__all__ = [
+    "CascadeConfig",
+    "CascadeResult",
+    "ExitStage",
+    "cascade_intersect",
+    "CollisionStats",
+    "OBBOctreeCollider",
+    "TraversalTrace",
+    "NodeVisit",
+    "RobotEnvironmentChecker",
+    "MotionCollisionResult",
+    "VoxelizedCollisionDetector",
+    "VoxelCDResult",
+]

@@ -1,0 +1,275 @@
+"""The cascaded early-exit OBB-AABB intersection test (Figure 10).
+
+Test order:
+
+1. *Bounding-sphere filter* — if the OBB's bounding sphere misses the AABB
+   the boxes cannot collide (filters "far apart" cases for 3 multiplies).
+2. *Inscribed-sphere filter* — if the OBB's inscribed sphere overlaps the
+   AABB the boxes certainly collide (filters "significantly overlapping"
+   cases, the dominant cost after the bounding filter).
+3. *Staged separating-axis test* — the 15 axes run as stages of 6, 5, and 4;
+   a later stage only executes when the previous one found no separating
+   axis.  A stage executes all of its axis tests in parallel, so its full
+   multiply cost is spent even when its first axis separates.
+
+All three steps are exact, so the cascade's verdict always equals a full
+15-axis SAT — only the work performed differs.
+
+This is the innermost loop of every simulation, so the core
+(:func:`cascade_intersect_scalars`) operates on pre-extracted plain floats;
+:func:`cascade_intersect` is the object-level convenience wrapper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import NamedTuple, Optional, Tuple
+
+from repro.collision.stats import CollisionStats
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+from repro.geometry.sat import (
+    SAT_AXIS_MULTIPLIES,
+    extract_obb_scalars,
+    stage_axis_ids,
+    test_axis_scalars,
+)
+from repro.geometry.sphere import SPHERE_AABB_MULTIPLIES
+
+
+class SATMode(Enum):
+    """How the separating-axis tests execute on the Intersection Unit."""
+
+    STAGED = "staged"  # 6-5-4 stages, one stage per cycle (the proposal)
+    SEQUENTIAL = "sequential"  # one axis per cycle, per-axis early exit
+    PARALLEL = "parallel"  # all 15 axes in one cycle, no early exit
+
+
+class ExitStage(Enum):
+    """Where the cascade terminated (the Figure 18b breakdown categories)."""
+
+    BOUNDING_SPHERE = "bounding_sphere"  # no collision, far apart
+    INSCRIBED_SPHERE = "inscribed_sphere"  # collision, deep overlap
+    SAT_STAGE_1 = "sat_stage_1"  # separating axis in axes 1-6
+    SAT_STAGE_2 = "sat_stage_2"  # separating axis in axes 7-11
+    SAT_STAGE_3 = "sat_stage_3"  # separating axis in axes 12-15
+    SAT_EXHAUSTED = "sat_exhausted"  # no separating axis: collision
+
+
+@dataclass(frozen=True)
+class CascadeConfig:
+    """Which cascade features are enabled, and how the SAT executes."""
+
+    bounding_sphere: bool = True
+    inscribed_sphere: bool = True
+    sat_mode: SATMode = SATMode.STAGED
+    stages: Tuple[int, ...] = (6, 5, 4)
+
+    def __post_init__(self):
+        stage_axis_ids(self.stages)  # validates sizes
+
+    @property
+    def has_sphere_filters(self) -> bool:
+        return self.bounding_sphere or self.inscribed_sphere
+
+
+#: The full proposed configuration.
+DEFAULT_CASCADE = CascadeConfig()
+#: SAT only, no filters (the Figure 8a baselines).
+SAT_ONLY_SEQUENTIAL = CascadeConfig(
+    bounding_sphere=False, inscribed_sphere=False, sat_mode=SATMode.SEQUENTIAL
+)
+SAT_ONLY_PARALLEL = CascadeConfig(
+    bounding_sphere=False, inscribed_sphere=False, sat_mode=SATMode.PARALLEL
+)
+SAT_ONLY_STAGED = CascadeConfig(
+    bounding_sphere=False, inscribed_sphere=False, sat_mode=SATMode.STAGED
+)
+
+
+class CascadeResult(NamedTuple):
+    """Verdict plus the work and timing of one cascaded intersection test.
+
+    ``exit_cycle`` follows the multi-cycle Intersection Unit model: the
+    sphere filters share cycle 1, and each executed SAT step adds cycles
+    (one per stage when staged, one per axis when sequential, one total
+    when parallel).
+    """
+
+    hit: bool
+    exit_stage: ExitStage
+    exit_cycle: int
+    multiplies: int
+    sat_axes_tested: int
+    separating_axis: Optional[int]
+
+
+_STAGE_EXITS = (ExitStage.SAT_STAGE_1, ExitStage.SAT_STAGE_2, ExitStage.SAT_STAGE_3)
+_SAT_FULL_MULTIPLIES = sum(SAT_AXIS_MULTIPLIES)
+
+
+def _stage_multiplies(stages: Tuple[int, ...]) -> Tuple[int, ...]:
+    out = []
+    for ids in stage_axis_ids(stages):
+        out.append(sum(SAT_AXIS_MULTIPLIES[axis - 1] for axis in ids))
+    return tuple(out)
+
+
+def _sphere_box_separated(cx, cy, cz, bx, by, bz, hx, hy, hz, radius) -> bool:
+    """True when a sphere at (cx, cy, cz) misses the box (3 multiplies)."""
+    dx = abs(cx - bx) - hx
+    dy = abs(cy - by) - hy
+    dz = abs(cz - bz) - hz
+    dist_sq = 0.0
+    if dx > 0.0:
+        dist_sq += dx * dx
+    if dy > 0.0:
+        dist_sq += dy * dy
+    if dz > 0.0:
+        dist_sq += dz * dz
+    return dist_sq > radius * radius
+
+
+def cascade_intersect_scalars(
+    pre_obb,
+    box6,
+    config: CascadeConfig = DEFAULT_CASCADE,
+    stats: Optional[CollisionStats] = None,
+) -> CascadeResult:
+    """Cascade on pre-extracted scalars.
+
+    ``pre_obb`` comes from :func:`repro.geometry.sat.extract_obb_scalars`;
+    ``box6`` is the AABB as ``(cx, cy, cz, hx, hy, hz)``.
+    """
+    rot9, b3, c3, r_bound, r_inscribed = pre_obb
+    bx, by, bz, hx, hy, hz = box6
+    cx, cy, cz = c3
+    multiplies = 0
+    cycle = 0
+
+    if config.has_sphere_filters:
+        cycle = 1
+    if config.bounding_sphere:
+        multiplies += SPHERE_AABB_MULTIPLIES
+        if stats is not None:
+            stats.sphere_tests += 1
+        if _sphere_box_separated(cx, cy, cz, bx, by, bz, hx, hy, hz, r_bound):
+            result = CascadeResult(
+                False, ExitStage.BOUNDING_SPHERE, cycle, multiplies, 0, None
+            )
+            _record(stats, result)
+            return result
+    if config.inscribed_sphere:
+        multiplies += SPHERE_AABB_MULTIPLIES
+        if stats is not None:
+            stats.sphere_tests += 1
+        if not _sphere_box_separated(cx, cy, cz, bx, by, bz, hx, hy, hz, r_inscribed):
+            result = CascadeResult(
+                True, ExitStage.INSCRIBED_SPHERE, cycle, multiplies, 0, None
+            )
+            _record(stats, result)
+            return result
+
+    a3 = (hx, hy, hz)
+    t3 = (cx - bx, cy - by, cz - bz)
+    result = _run_sat(rot9, a3, b3, t3, config, multiplies, cycle)
+    _record(stats, result)
+    return result
+
+
+def cascade_intersect(
+    obb: OBB,
+    aabb: AABB,
+    config: CascadeConfig = DEFAULT_CASCADE,
+    stats: Optional[CollisionStats] = None,
+) -> CascadeResult:
+    """Run the cascaded early-exit intersection test of Figure 10."""
+    pre = extract_obb_scalars(obb)
+    box6 = (
+        float(aabb.center[0]),
+        float(aabb.center[1]),
+        float(aabb.center[2]),
+        float(aabb.half_extents[0]),
+        float(aabb.half_extents[1]),
+        float(aabb.half_extents[2]),
+    )
+    return cascade_intersect_scalars(pre, box6, config, stats)
+
+
+def _run_sat(rot9, a3, b3, t3, config, multiplies, base_cycle) -> CascadeResult:
+    if config.sat_mode is SATMode.SEQUENTIAL:
+        for axis in range(1, 16):
+            multiplies += SAT_AXIS_MULTIPLIES[axis - 1]
+            if test_axis_scalars(axis, rot9, a3, b3, t3):
+                return CascadeResult(
+                    False,
+                    _stage_of_axis(axis, config.stages),
+                    base_cycle + axis,
+                    multiplies,
+                    axis,
+                    axis,
+                )
+        return CascadeResult(
+            True, ExitStage.SAT_EXHAUSTED, base_cycle + 15, multiplies, 15, None
+        )
+
+    if config.sat_mode is SATMode.PARALLEL:
+        # All 15 axis tests execute in one cycle regardless of the outcome.
+        multiplies += _SAT_FULL_MULTIPLIES
+        separating = None
+        for axis in range(1, 16):
+            if test_axis_scalars(axis, rot9, a3, b3, t3):
+                separating = axis
+                break
+        if separating is None:
+            return CascadeResult(
+                True, ExitStage.SAT_EXHAUSTED, base_cycle + 1, multiplies, 15, None
+            )
+        return CascadeResult(
+            False,
+            _stage_of_axis(separating, config.stages),
+            base_cycle + 1,
+            multiplies,
+            15,
+            separating,
+        )
+
+    # Staged (6-5-4 by default) execution.
+    stage_ids = stage_axis_ids(config.stages)
+    stage_costs = _stage_multiplies(config.stages)
+    cycle = base_cycle
+    axes_tested = 0
+    for index, (ids, cost) in enumerate(zip(stage_ids, stage_costs)):
+        cycle += 1
+        multiplies += cost
+        axes_tested += len(ids)
+        for axis in ids:
+            if test_axis_scalars(axis, rot9, a3, b3, t3):
+                return CascadeResult(
+                    False,
+                    _STAGE_EXITS[min(index, len(_STAGE_EXITS) - 1)],
+                    cycle,
+                    multiplies,
+                    axes_tested,
+                    axis,
+                )
+    return CascadeResult(True, ExitStage.SAT_EXHAUSTED, cycle, multiplies, axes_tested, None)
+
+
+def _stage_of_axis(axis: Optional[int], stages: Tuple[int, ...]) -> ExitStage:
+    cumulative = 0
+    for index, size in enumerate(stages):
+        cumulative += size
+        if axis <= cumulative:
+            return _STAGE_EXITS[min(index, len(_STAGE_EXITS) - 1)]
+    return _STAGE_EXITS[-1]
+
+
+def _record(stats: Optional[CollisionStats], result: CascadeResult) -> None:
+    if stats is None:
+        return
+    stats.intersection_tests += 1
+    stats.multiplies += result.multiplies
+    stats.sat_axes_tested += result.sat_axes_tested
+    stats.cascade_exits[result.exit_stage.value] += 1

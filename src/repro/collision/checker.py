@@ -1,0 +1,162 @@
+"""Robot-vs-environment collision checking.
+
+A pose check evaluates forward kinematics, quantizes the link OBBs to the
+16-bit datapath, and runs each OBB against the environment octree with early
+exit on the first colliding link — exactly what one CECDU does for one pose.
+A motion check discretizes the straight C-space segment between two poses
+and checks the discrete poses (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.collision.cascade import CascadeConfig, DEFAULT_CASCADE
+from repro.collision.octree_cd import OBBOctreeCollider, TraversalTrace
+from repro.collision.stats import CollisionStats
+from repro.env.octree import Octree
+from repro.geometry.fixed_point import DEFAULT_FORMAT, FixedPointFormat, quantize_obb
+from repro.geometry.obb import OBB
+from repro.robot.model import RobotModel
+
+#: Default C-space discretization step (radians of joint-space distance).
+DEFAULT_MOTION_STEP = 0.05
+
+
+def interpolate_motion(q_start, q_end, step: float = DEFAULT_MOTION_STEP) -> np.ndarray:
+    """Discrete poses along the straight C-space segment, endpoints included.
+
+    The number of interior samples scales with the Euclidean joint-space
+    distance so the inter-pose spacing never exceeds ``step``.
+    """
+    q_start = np.asarray(q_start, dtype=float)
+    q_end = np.asarray(q_end, dtype=float)
+    if q_start.shape != q_end.shape:
+        raise ValueError("start and end configurations must have the same shape")
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    distance = float(np.linalg.norm(q_end - q_start))
+    n_segments = max(1, int(math.ceil(distance / step)))
+    return np.linspace(q_start, q_end, n_segments + 1)
+
+
+@dataclass
+class PoseCheckResult:
+    """Outcome of one pose check, with per-link traversal traces."""
+
+    collision: bool
+    link_traces: List[TraversalTrace] = field(default_factory=list)
+
+    @property
+    def links_checked(self) -> int:
+        return len(self.link_traces)
+
+
+@dataclass
+class MotionCollisionResult:
+    """Outcome of a sequential motion check with early exit."""
+
+    collision: bool
+    first_colliding_index: Optional[int]
+    poses_checked: int
+    total_poses: int
+
+
+class RobotEnvironmentChecker:
+    """Collision checker binding a robot model to an environment octree."""
+
+    def __init__(
+        self,
+        robot: RobotModel,
+        octree: Octree,
+        config: CascadeConfig = DEFAULT_CASCADE,
+        fixed_point: Optional[FixedPointFormat] = DEFAULT_FORMAT,
+        motion_step: float = DEFAULT_MOTION_STEP,
+        stats: Optional[CollisionStats] = None,
+        collect_stats: bool = True,
+    ):
+        self.robot = robot
+        self.octree = octree
+        self.collider = OBBOctreeCollider(octree, config)
+        self.fixed_point = fixed_point
+        if motion_step <= 0:
+            raise ValueError(f"motion_step must be positive, got {motion_step}")
+        self.motion_step = motion_step
+        self.stats = stats if stats is not None else CollisionStats()
+        # Planners that only need boolean verdicts can skip the per-test
+        # operation accounting (it costs real time in the hot loop).
+        self.collect_stats = collect_stats
+
+    def link_obbs(self, q) -> List[OBB]:
+        """World-space (quantized) link OBBs for configuration ``q``."""
+        obbs = self.robot.link_obbs(q)
+        if self.fixed_point is not None:
+            obbs = [quantize_obb(obb, self.fixed_point) for obb in obbs]
+        return obbs
+
+    def check_pose(self, q) -> bool:
+        """True when the robot collides with the environment at ``q``."""
+        self.stats.pose_checks += 1
+        stats = self.stats if self.collect_stats else None
+        for obb in self.link_obbs(q):
+            if self.collider.collides(obb, stats=stats):
+                return True
+        return False
+
+    def check_pose_detailed(self, q) -> PoseCheckResult:
+        """Pose check that keeps per-link traversal traces (for timing sims).
+
+        Early exit: links after the first colliding one are not checked,
+        matching the Result Collector's kill signal (Section 5.2).
+        """
+        self.stats.pose_checks += 1
+        traces: List[TraversalTrace] = []
+        collision = False
+        for obb in self.link_obbs(q):
+            trace = self.collider.collide(obb, stats=self.stats)
+            traces.append(trace)
+            if trace.hit:
+                collision = True
+                break
+        return PoseCheckResult(collision=collision, link_traces=traces)
+
+    def motion_poses(self, q_start, q_end) -> np.ndarray:
+        return interpolate_motion(q_start, q_end, self.motion_step)
+
+    def check_motion(self, q_start, q_end) -> MotionCollisionResult:
+        """Sequential motion check: stop at the first colliding pose."""
+        self.stats.motion_checks += 1
+        poses = self.motion_poses(q_start, q_end)
+        for index, pose in enumerate(poses):
+            if self.check_pose(pose):
+                return MotionCollisionResult(
+                    collision=True,
+                    first_colliding_index=index,
+                    poses_checked=index + 1,
+                    total_poses=len(poses),
+                )
+        return MotionCollisionResult(
+            collision=False,
+            first_colliding_index=None,
+            poses_checked=len(poses),
+            total_poses=len(poses),
+        )
+
+    def motion_is_free(self, q_start, q_end) -> bool:
+        return not self.check_motion(q_start, q_end).collision
+
+    def sample_free_configuration(
+        self, rng: np.random.Generator, max_attempts: int = 200
+    ) -> np.ndarray:
+        """A random collision-free configuration within joint limits."""
+        for _ in range(max_attempts):
+            q = self.robot.random_configuration(rng)
+            if not self.check_pose(q):
+                return q
+        raise RuntimeError(
+            f"no collision-free configuration found in {max_attempts} samples"
+        )

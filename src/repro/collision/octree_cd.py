@@ -1,0 +1,153 @@
+"""OBB-vs-octree collision detection: the behavioral twin of the OOCD.
+
+The hardware Octree Traverser (Figure 14b) starts from the root address,
+reads node words from SRAM, runs the cascaded intersection test against each
+occupied octant, pushes the child addresses of intersecting PARTIAL octants
+onto the Node Queue, and reports a collision as soon as a FULL octant
+intersects.  This module performs the same traversal and records a
+:class:`TraversalTrace` that the cycle-level OOCD simulator replays for
+timing and energy.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, NamedTuple, Optional, Tuple
+
+from repro.collision.cascade import (
+    CascadeConfig,
+    CascadeResult,
+    DEFAULT_CASCADE,
+    cascade_intersect_scalars,
+)
+from repro.geometry.sat import extract_obb_scalars
+from repro.collision.stats import CollisionStats
+from repro.env.octree import OctantState, Octree
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+
+
+class OctantTest(NamedTuple):
+    """One cascaded intersection test against an octant of a visited node."""
+
+    octant: int
+    state: OctantState
+    result: CascadeResult
+
+
+class NodeVisit(NamedTuple):
+    """One node-word fetch plus the intersection tests it triggered."""
+
+    address: int
+    tests: Tuple[OctantTest, ...]
+
+
+@dataclass
+class TraversalTrace:
+    """The full record of one OBB-octree collision query."""
+
+    hit: bool = False
+    visits: List[NodeVisit] = field(default_factory=list)
+
+    @property
+    def node_visits(self) -> int:
+        return len(self.visits)
+
+    @property
+    def intersection_tests(self) -> int:
+        return sum(len(v.tests) for v in self.visits)
+
+    @property
+    def multiplies(self) -> int:
+        return sum(t.result.multiplies for v in self.visits for t in v.tests)
+
+    def all_tests(self) -> List[CascadeResult]:
+        return [t.result for v in self.visits for t in v.tests]
+
+
+class OBBOctreeCollider:
+    """Breadth-first OBB-octree collision detection with early exit."""
+
+    def __init__(self, octree: Octree, config: CascadeConfig = DEFAULT_CASCADE):
+        self.octree = octree
+        self.config = config
+
+    def collide(
+        self,
+        obb: OBB,
+        stats: Optional[CollisionStats] = None,
+        record_trace: bool = True,
+    ) -> TraversalTrace:
+        """Collision query for one OBB; returns the traversal trace.
+
+        ``record_trace=False`` skips building per-visit records (the verdict
+        and stats are unaffected) for callers that only need the boolean.
+        """
+        trace = TraversalTrace()
+        octree = self.octree
+        pre_obb = extract_obb_scalars(obb)
+        config = self.config
+        bounds = octree.bounds
+        root_box = (
+            float(bounds.center[0]),
+            float(bounds.center[1]),
+            float(bounds.center[2]),
+            float(bounds.half_extents[0]),
+            float(bounds.half_extents[1]),
+            float(bounds.half_extents[2]),
+        )
+        full_state = OctantState.FULL
+        queue: deque = deque()
+        queue.append((0, root_box))
+        while queue:
+            address, box = queue.popleft()
+            node = octree.nodes[address]
+            if stats is not None:
+                stats.node_visits += 1
+                stats.sram_reads += 1
+            bx, by, bz, hx, hy, hz = box
+            qx, qy, qz = hx / 2.0, hy / 2.0, hz / 2.0
+            tests: List[OctantTest] = []
+            hit_full = False
+            for octant in node.occupied_octants():
+                state = node.states[octant]
+                octant_box = (
+                    bx + (qx if octant & 1 else -qx),
+                    by + (qy if octant & 2 else -qy),
+                    bz + (qz if octant & 4 else -qz),
+                    qx,
+                    qy,
+                    qz,
+                )
+                result = cascade_intersect_scalars(pre_obb, octant_box, config, stats)
+                if record_trace:
+                    tests.append(OctantTest(octant, state, result))
+                if not result.hit:
+                    continue
+                if state is full_state:
+                    hit_full = True
+                    break
+                queue.append((node.children[octant], octant_box))
+            if record_trace:
+                trace.visits.append(NodeVisit(address, tuple(tests)))
+            if hit_full:
+                trace.hit = True
+                return trace
+        trace.hit = False
+        return trace
+
+    def collides(self, obb: OBB, stats: Optional[CollisionStats] = None) -> bool:
+        """Boolean-only collision query."""
+        return self.collide(obb, stats=stats, record_trace=False).hit
+
+
+def reference_obb_octree_hit(obb: OBB, octree: Octree) -> bool:
+    """Slow reference: test the OBB against every occupied leaf box.
+
+    Used by tests to validate the traversal's early exits — the cascaded,
+    tree-pruned query must agree with the exhaustive leaf sweep.
+    """
+    from repro.geometry.sat import obb_aabb_overlap
+
+    return any(obb_aabb_overlap(obb, leaf) for leaf in octree.occupied_leaves())

@@ -1,0 +1,88 @@
+"""Operation counters shared by every collision-detection layer.
+
+The paper uses multiply counts as its computation/energy proxy (Figure 8a)
+and the number of collision detection tests as its coarse-grained energy
+measure (Figure 7/15); SRAM reads feed the memory term of the energy model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CollisionStats:
+    """Mutable tally of work performed during collision detection."""
+
+    multiplies: int = 0
+    additions: int = 0
+    sphere_tests: int = 0
+    sat_axes_tested: int = 0
+    intersection_tests: int = 0
+    node_visits: int = 0
+    sram_reads: int = 0
+    pose_checks: int = 0
+    motion_checks: int = 0
+    cascade_exits: Counter = field(default_factory=Counter)
+
+    def merge(self, other: "CollisionStats") -> "CollisionStats":
+        """Accumulate ``other`` into self (returns self for chaining)."""
+        self.multiplies += other.multiplies
+        self.additions += other.additions
+        self.sphere_tests += other.sphere_tests
+        self.sat_axes_tested += other.sat_axes_tested
+        self.intersection_tests += other.intersection_tests
+        self.node_visits += other.node_visits
+        self.sram_reads += other.sram_reads
+        self.pose_checks += other.pose_checks
+        self.motion_checks += other.motion_checks
+        self.cascade_exits.update(other.cascade_exits)
+        return self
+
+    def copy(self) -> "CollisionStats":
+        out = CollisionStats(
+            multiplies=self.multiplies,
+            additions=self.additions,
+            sphere_tests=self.sphere_tests,
+            sat_axes_tested=self.sat_axes_tested,
+            intersection_tests=self.intersection_tests,
+            node_visits=self.node_visits,
+            sram_reads=self.sram_reads,
+            pose_checks=self.pose_checks,
+            motion_checks=self.motion_checks,
+        )
+        out.cascade_exits = Counter(self.cascade_exits)
+        return out
+
+    def reset(self) -> None:
+        self.multiplies = 0
+        self.additions = 0
+        self.sphere_tests = 0
+        self.sat_axes_tested = 0
+        self.intersection_tests = 0
+        self.node_visits = 0
+        self.sram_reads = 0
+        self.pose_checks = 0
+        self.motion_checks = 0
+        self.cascade_exits.clear()
+
+    def as_dict(self) -> dict:
+        return {
+            "multiplies": self.multiplies,
+            "additions": self.additions,
+            "sphere_tests": self.sphere_tests,
+            "sat_axes_tested": self.sat_axes_tested,
+            "intersection_tests": self.intersection_tests,
+            "node_visits": self.node_visits,
+            "sram_reads": self.sram_reads,
+            "pose_checks": self.pose_checks,
+            "motion_checks": self.motion_checks,
+            "cascade_exits": dict(self.cascade_exits),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CollisionStats(mults={self.multiplies}, tests={self.intersection_tests}, "
+            f"poses={self.pose_checks})"
+        )

@@ -1,0 +1,99 @@
+"""Voxelized OBB collision detection (the CODAcc-style baseline).
+
+Section 7.2.2 compares the OOCD against CODAcc (Bakhshalipour et al.),
+which rasterizes the robot's OBB into voxels and issues one occupancy read
+per voxel against a voxelized environment.  The paper's approximate
+numbers for the Jaco2: 2.56 cm voxels over a 180 cm extent need 32 KB of
+environment storage and 30-154 memory accesses per OBB, versus the OOCD's
+0.75 KB octree and < 40 cycles.
+
+This module implements that baseline behaviorally so the comparison can be
+regenerated: rasterization cost scales with the voxel resolution (the
+paper's scalability argument against voxelization), while the verdict
+stays conservative-exact relative to the voxelized environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.env.voxel import VoxelGrid
+from repro.geometry.obb import OBB
+
+
+@dataclass(frozen=True)
+class VoxelCDResult:
+    """Verdict and cost of one voxelized OBB-environment query."""
+
+    hit: bool
+    voxels_rasterized: int
+    memory_accesses: int
+
+    @property
+    def cycles(self) -> int:
+        """One rasterization step + one occupancy read per voxel, with the
+        early exit CODAcc also has (stop at the first occupied voxel)."""
+        return self.voxels_rasterized + self.memory_accesses
+
+
+class VoxelizedCollisionDetector:
+    """OBB-vs-voxel-grid collision detection by OBB rasterization."""
+
+    def __init__(self, grid: VoxelGrid):
+        self.grid = grid
+
+    @property
+    def storage_bits(self) -> int:
+        """Environment storage: one bit per voxel."""
+        return self.grid.resolution**3
+
+    @property
+    def storage_bytes(self) -> int:
+        return (self.storage_bits + 7) // 8
+
+    def rasterize_obb(self, obb: OBB) -> np.ndarray:
+        """Indices of grid voxels the OBB touches, shape (n, 3).
+
+        Conservative rasterization: candidate voxels come from the OBB's
+        enclosing AABB; a candidate is kept when its center lies inside the
+        OBB expanded by half a voxel diagonal (never misses a touched
+        voxel, may include grazing neighbors — the same conservatism a
+        hardware rasterizer uses).
+        """
+        grid = self.grid
+        size = grid.voxel_size
+        enclosing = obb.enclosing_aabb()
+        lo = np.floor((enclosing.minimum - grid.bounds.minimum) / size).astype(int)
+        hi = np.ceil((enclosing.maximum - grid.bounds.minimum) / size).astype(int)
+        lo = np.clip(lo, 0, grid.resolution)
+        hi = np.clip(hi, 0, grid.resolution)
+        if np.any(hi <= lo):
+            return np.empty((0, 3), dtype=int)
+        axes = [np.arange(lo[d], hi[d]) for d in range(3)]
+        ii, jj, kk = np.meshgrid(*axes, indexing="ij")
+        indices = np.stack([ii.ravel(), jj.ravel(), kk.ravel()], axis=1)
+        centers = grid.bounds.minimum + (indices + 0.5) * size
+        # Inside test against the OBB expanded by half the voxel diagonal.
+        margin = 0.5 * size * np.sqrt(3.0)
+        local = (centers - obb.center) @ obb.rotation
+        inside = np.all(np.abs(local) <= obb.half_extents + margin, axis=1)
+        return indices[inside]
+
+    def query(self, obb: OBB) -> VoxelCDResult:
+        """Collision query with CODAcc's early exit on the first hit."""
+        indices = self.rasterize_obb(obb)
+        occupancy = self.grid.occupancy
+        accesses = 0
+        hit = False
+        for i, j, k in indices:
+            accesses += 1
+            if occupancy[i, j, k]:
+                hit = True
+                break
+        return VoxelCDResult(
+            hit=hit,
+            voxels_rasterized=len(indices),
+            memory_accesses=accesses,
+        )

@@ -1,0 +1,34 @@
+"""Environment representation: scenes, voxel grids, and octrees.
+
+MPAccel keeps the environment as an octree in on-chip SRAM (Section 5.2):
+each 24-bit node stores the occupancy of its eight octants plus 8-bit child
+addresses for the partially occupied ones.  This package builds that octree
+from a scene of cuboid obstacles, optionally through a simulated sensor
+point-cloud mapping stage (the Jia et al. mapping-accelerator substrate).
+"""
+
+from repro.env.generator import BENCHMARK_EXTENT, random_scene, scenario_suite
+from repro.env.mapping import OccupancyMapper, scan_scene_points
+from repro.env.diff import OctreeDelta, octree_delta
+from repro.env.octree import OctreeNode, Octree, OctantState
+from repro.env.render import render_octree, render_scene, render_top_down
+from repro.env.scene import Scene
+from repro.env.voxel import VoxelGrid
+
+__all__ = [
+    "Scene",
+    "VoxelGrid",
+    "Octree",
+    "OctreeNode",
+    "OctantState",
+    "random_scene",
+    "scenario_suite",
+    "BENCHMARK_EXTENT",
+    "OccupancyMapper",
+    "scan_scene_points",
+    "render_scene",
+    "render_octree",
+    "render_top_down",
+    "octree_delta",
+    "OctreeDelta",
+]

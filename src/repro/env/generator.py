@@ -1,0 +1,90 @@
+"""Random benchmark scenario generation.
+
+Section 6: "ten environmental scenarios ... each sample environment contains
+5-9 randomly placed cuboid-shaped obstacles.  The size of these obstacles in
+each dimension is limited to 3%-12% of the environment's extent."  A small
+sphere around the robot mount is kept clear so starting configurations are
+not trivially in collision.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+
+#: Extent used by the paper's Jaco2 measurements (Section 7.2.2: 180 cm).
+BENCHMARK_EXTENT = 1.8
+
+#: Obstacle size band, as a fraction of the extent per dimension (Section 6).
+OBSTACLE_SIZE_FRACTION = (0.03, 0.12)
+
+#: Obstacle count band (Section 6).
+OBSTACLE_COUNT_RANGE = (5, 9)
+
+#: Radius (fraction of extent) of the keep-out ball around the robot mount.
+_MOUNT_CLEARANCE_FRACTION = 0.12
+
+
+def _mount_clear(center: np.ndarray, half: np.ndarray, extent: float) -> bool:
+    """Whether an obstacle candidate stays clear of the robot mount region."""
+    mount = np.array([0.0, 0.0, 0.0])
+    closest = np.clip(mount, center - half, center + half)
+    clearance = _MOUNT_CLEARANCE_FRACTION * extent
+    return float(np.linalg.norm(closest - mount)) > clearance
+
+
+def random_scene(
+    seed: Optional[int] = None,
+    extent: float = BENCHMARK_EXTENT,
+    n_obstacles: Optional[int] = None,
+    size_fraction: Tuple[float, float] = OBSTACLE_SIZE_FRACTION,
+    rng: Optional[np.random.Generator] = None,
+) -> Scene:
+    """One benchmark environment with randomly placed cuboid obstacles."""
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    if n_obstacles is None:
+        n_obstacles = int(rng.integers(OBSTACLE_COUNT_RANGE[0], OBSTACLE_COUNT_RANGE[1] + 1))
+    if n_obstacles < 0:
+        raise ValueError(f"n_obstacles must be >= 0, got {n_obstacles}")
+    lo_frac, hi_frac = size_fraction
+    if not 0 < lo_frac <= hi_frac < 1:
+        raise ValueError(f"invalid size fraction band {size_fraction}")
+
+    scene = Scene(extent)
+    bounds = scene.bounds
+    placed = 0
+    attempts = 0
+    while placed < n_obstacles:
+        attempts += 1
+        if attempts > 200 * max(1, n_obstacles):
+            raise RuntimeError(
+                f"could not place {n_obstacles} obstacles in extent {extent}"
+            )
+        half = rng.uniform(lo_frac, hi_frac, size=3) * extent / 2.0
+        center = rng.uniform(bounds.minimum + half, bounds.maximum - half)
+        if not _mount_clear(center, half, extent):
+            continue
+        scene.add_obstacle(AABB(center, half))
+        placed += 1
+    return scene
+
+
+def scenario_suite(
+    n_scenes: int = 10,
+    seed: int = 2023,
+    extent: float = BENCHMARK_EXTENT,
+    n_obstacles: Optional[int] = None,
+) -> List[Scene]:
+    """The benchmark suite: ``n_scenes`` independent random environments."""
+    if n_scenes < 1:
+        raise ValueError(f"n_scenes must be >= 1, got {n_scenes}")
+    rng = np.random.default_rng(seed)
+    return [
+        random_scene(extent=extent, n_obstacles=n_obstacles, rng=rng)
+        for _ in range(n_scenes)
+    ]

@@ -1,0 +1,111 @@
+"""Sensor point-cloud to octree mapping (the OMU substrate).
+
+The paper assumes an upstream mapping accelerator (Jia et al., DATE 2022)
+turns sensor data into the environment octree once per motion planning
+query.  We simulate that pipeline: sample a synthetic point cloud from the
+obstacle surfaces, rasterize it into a voxel grid with optional dilation,
+and build the octree MPAccel consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.env.voxel import VoxelGrid
+from repro.geometry.aabb import AABB
+
+
+def _sample_surface(aabb: AABB, n_points: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform points on the surface of an AABB, area-weighted per face."""
+    h = aabb.half_extents
+    areas = np.array([h[1] * h[2], h[0] * h[2], h[0] * h[1]], dtype=float)
+    face_probs = np.repeat(areas / areas.sum() / 2.0, 2)  # +-x, +-y, +-z
+    faces = rng.choice(6, size=n_points, p=face_probs)
+    points = rng.uniform(-h, h, size=(n_points, 3))
+    axis = faces // 2
+    sign = np.where(faces % 2 == 0, 1.0, -1.0)
+    points[np.arange(n_points), axis] = sign * h[axis]
+    return points + aabb.center
+
+
+def scan_scene_points(
+    scene: Scene,
+    points_per_obstacle: int = 400,
+    noise_std: float = 0.0,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> np.ndarray:
+    """A synthetic depth-sensor point cloud of the scene's obstacle surfaces."""
+    if points_per_obstacle < 1:
+        raise ValueError(f"points_per_obstacle must be >= 1, got {points_per_obstacle}")
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    if not scene.obstacles:
+        return np.empty((0, 3))
+    clouds = [
+        _sample_surface(obstacle, points_per_obstacle, rng)
+        for obstacle in scene.obstacles
+    ]
+    points = np.concatenate(clouds, axis=0)
+    if noise_std > 0.0:
+        points = points + rng.normal(0.0, noise_std, size=points.shape)
+    return points
+
+
+class OccupancyMapper:
+    """Incremental point-cloud occupancy mapping into an octree.
+
+    Mirrors the role of the OMU mapping accelerator: MPAccel receives the
+    finished octree, and the environment is updated once per planning query
+    (Section 4).
+    """
+
+    def __init__(self, bounds: AABB, resolution: int = 16, dilation_cells: int = 0):
+        self.grid = VoxelGrid(bounds, resolution)
+        if dilation_cells < 0:
+            raise ValueError(f"dilation_cells must be >= 0, got {dilation_cells}")
+        self.dilation_cells = dilation_cells
+        self._points_integrated = 0
+
+    def integrate(self, points: np.ndarray) -> int:
+        """Mark the voxels hit by ``points``; returns how many were in bounds."""
+        points = np.asarray(points, dtype=float)
+        if points.size == 0:
+            return 0
+        if points.ndim != 2 or points.shape[1] != 3:
+            raise ValueError(f"points must be (n, 3), got {points.shape}")
+        in_bounds = 0
+        for point in points:
+            if self.grid.bounds.contains_point(point):
+                self.grid.mark_point(point)
+                in_bounds += 1
+        self._points_integrated += in_bounds
+        return in_bounds
+
+    @property
+    def points_integrated(self) -> int:
+        return self._points_integrated
+
+    def to_octree(self, max_depth: Optional[int] = None) -> Octree:
+        """Finalize the map into the octree the accelerator consumes."""
+        grid = self.grid
+        if self.dilation_cells:
+            grid = grid.dilated(self.dilation_cells)
+        return Octree.from_voxel_grid(grid, max_depth=max_depth)
+
+
+def scene_to_octree_via_mapping(
+    scene: Scene,
+    resolution: int = 16,
+    points_per_obstacle: int = 600,
+    dilation_cells: int = 1,
+    seed: Optional[int] = None,
+) -> Octree:
+    """Full sensor pipeline: scan the scene, map it, and build the octree."""
+    mapper = OccupancyMapper(scene.bounds, resolution, dilation_cells)
+    mapper.integrate(scan_scene_points(scene, points_per_obstacle, seed=seed))
+    return mapper.to_octree()

@@ -1,0 +1,155 @@
+"""ASCII rendering of scenes, octrees, and robot poses.
+
+Terminal-friendly visualization for examples and debugging: occupancy
+slices and top-down projections, with optional robot-link overlays.  No
+plotting dependency — the renderer emits plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.geometry.obb import OBB
+
+#: Glyphs: free space, obstacle, robot, robot-over-obstacle (collision).
+FREE_GLYPH = "."
+OBSTACLE_GLYPH = "#"
+ROBOT_GLYPH = "o"
+OVERLAP_GLYPH = "X"
+
+
+def _grid_points(bounds, axis_u: int, axis_v: int, fixed_axis: int, fixed_value: float, cells: int):
+    """World-space sample points for a 2D slice grid, shape (cells, cells, 3)."""
+    lo, hi = bounds.minimum, bounds.maximum
+    us = np.linspace(lo[axis_u], hi[axis_u], cells)
+    vs = np.linspace(lo[axis_v], hi[axis_v], cells)
+    points = np.zeros((cells, cells, 3))
+    for row, v in enumerate(vs[::-1]):  # top row = max v, like a map
+        for col, u in enumerate(us):
+            points[row, col, axis_u] = u
+            points[row, col, axis_v] = v
+            points[row, col, fixed_axis] = fixed_value
+    return points
+
+
+def render_slice(
+    occupied,
+    bounds,
+    plane: str = "xy",
+    offset: Optional[float] = None,
+    cells: int = 40,
+    robot_obbs: Sequence[OBB] = (),
+) -> str:
+    """Render one axis-aligned slice of an occupancy predicate.
+
+    ``occupied(point) -> bool`` is the environment (a Scene or Octree
+    lookup); ``plane`` picks the slice orientation (``"xy"``, ``"xz"``, or
+    ``"yz"``); ``offset`` is the fixed coordinate (defaults to the bounds
+    center).  Robot OBBs render as ``o`` (``X`` when over an obstacle).
+    """
+    axes = {"xy": (0, 1, 2), "xz": (0, 2, 1), "yz": (1, 2, 0)}
+    if plane not in axes:
+        raise ValueError(f"plane must be one of {sorted(axes)}, got {plane!r}")
+    if cells < 2:
+        raise ValueError(f"cells must be >= 2, got {cells}")
+    axis_u, axis_v, fixed_axis = axes[plane]
+    if offset is None:
+        offset = float(bounds.center[fixed_axis])
+    points = _grid_points(bounds, axis_u, axis_v, fixed_axis, offset, cells)
+
+    lines: List[str] = []
+    for row in range(cells):
+        chars = []
+        for col in range(cells):
+            point = points[row, col]
+            env_hit = bool(occupied(point))
+            robot_hit = any(obb.contains_point(point) for obb in robot_obbs)
+            if robot_hit and env_hit:
+                chars.append(OVERLAP_GLYPH)
+            elif robot_hit:
+                chars.append(ROBOT_GLYPH)
+            elif env_hit:
+                chars.append(OBSTACLE_GLYPH)
+            else:
+                chars.append(FREE_GLYPH)
+        lines.append("".join(chars))
+    return "\n".join(lines)
+
+
+def render_scene(
+    scene: Scene,
+    plane: str = "xy",
+    offset: Optional[float] = None,
+    cells: int = 40,
+    robot_obbs: Sequence[OBB] = (),
+) -> str:
+    """ASCII slice of a scene's ground-truth obstacles."""
+    return render_slice(
+        scene.occupied, scene.bounds, plane, offset, cells, robot_obbs
+    )
+
+
+def render_octree(
+    octree: Octree,
+    plane: str = "xy",
+    offset: Optional[float] = None,
+    cells: int = 40,
+    robot_obbs: Sequence[OBB] = (),
+) -> str:
+    """ASCII slice of an octree's occupancy (what the accelerator sees)."""
+    return render_slice(
+        octree.point_occupied, octree.bounds, plane, offset, cells, robot_obbs
+    )
+
+
+def render_top_down(
+    scene: Scene,
+    cells: int = 40,
+    robot_obbs: Sequence[OBB] = (),
+) -> str:
+    """Top-down projection: a cell is occupied if *any* height is occupied.
+
+    Obstacles are AABBs, so the projection only needs their footprints.
+    """
+
+    def column_occupied(point) -> bool:
+        return any(
+            ob.minimum[0] <= point[0] <= ob.maximum[0]
+            and ob.minimum[1] <= point[1] <= ob.maximum[1]
+            for ob in scene.obstacles
+        )
+
+    def any_obb_column(point) -> bool:
+        probe = np.array(point)
+        for obb in robot_obbs:
+            lo_z = obb.center[2] - obb.bounding_sphere_radius
+            hi_z = obb.center[2] + obb.bounding_sphere_radius
+            for z in np.linspace(lo_z, hi_z, 5):
+                probe[2] = z
+                if obb.contains_point(probe):
+                    return True
+        return False
+
+    bounds = scene.bounds
+    cells_grid = _grid_points(bounds, 0, 1, 2, 0.0, cells)
+    lines: List[str] = []
+    for row in range(cells):
+        chars = []
+        for col in range(cells):
+            point = cells_grid[row, col]
+            env_hit = column_occupied(point)
+            robot_hit = any_obb_column(point)
+            if robot_hit and env_hit:
+                chars.append(OVERLAP_GLYPH)
+            elif robot_hit:
+                chars.append(ROBOT_GLYPH)
+            elif env_hit:
+                chars.append(OBSTACLE_GLYPH)
+            else:
+                chars.append(FREE_GLYPH)
+        lines.append("".join(chars))
+    return "\n".join(lines)

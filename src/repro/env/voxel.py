@@ -1,0 +1,94 @@
+"""Dense voxel occupancy grid over a cubic workspace.
+
+The voxel grid is the intermediate representation between the scene (or a
+sensor point cloud) and the octree: partially or fully occupied voxels are
+set, the rest cleared (Section 2.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+
+
+class VoxelGrid:
+    """A cubic ``resolution**3`` boolean occupancy grid over ``bounds``."""
+
+    def __init__(self, bounds: AABB, resolution: int):
+        if resolution < 1:
+            raise ValueError(f"resolution must be >= 1, got {resolution}")
+        side = bounds.half_extents
+        if not np.allclose(side, side[0]):
+            raise ValueError("voxel grids require a cubic bounding box")
+        self.bounds = bounds
+        self.resolution = int(resolution)
+        self.occupancy = np.zeros((resolution,) * 3, dtype=bool)
+
+    @property
+    def voxel_size(self) -> float:
+        return float(2.0 * self.bounds.half_extents[0]) / self.resolution
+
+    @classmethod
+    def from_scene(cls, scene: Scene, resolution: int) -> "VoxelGrid":
+        """Rasterize scene obstacles: any voxel touching an obstacle is set."""
+        grid = cls(scene.bounds, resolution)
+        lo = grid.bounds.minimum
+        size = grid.voxel_size
+        for obstacle in scene.obstacles:
+            # Index range of voxels the obstacle can touch (half-open).
+            start = np.floor((obstacle.minimum - lo) / size).astype(int)
+            stop = np.ceil((obstacle.maximum - lo) / size).astype(int)
+            start = np.clip(start, 0, resolution)
+            stop = np.clip(stop, 0, resolution)
+            grid.occupancy[
+                start[0] : stop[0], start[1] : stop[1], start[2] : stop[2]
+            ] = True
+        return grid
+
+    def index_of(self, point) -> tuple:
+        """Voxel index containing a world point (clamped to the grid)."""
+        rel = (np.asarray(point, dtype=float) - self.bounds.minimum) / self.voxel_size
+        idx = np.clip(np.floor(rel).astype(int), 0, self.resolution - 1)
+        return int(idx[0]), int(idx[1]), int(idx[2])
+
+    def mark_point(self, point) -> None:
+        if not self.bounds.contains_point(point):
+            return
+        self.occupancy[self.index_of(point)] = True
+
+    def voxel_aabb(self, i: int, j: int, k: int) -> AABB:
+        size = self.voxel_size
+        lo = self.bounds.minimum + np.array([i, j, k], dtype=float) * size
+        return AABB.from_min_max(lo, lo + size)
+
+    @property
+    def occupied_count(self) -> int:
+        return int(np.count_nonzero(self.occupancy))
+
+    def occupied_indices(self) -> np.ndarray:
+        """Indices of occupied voxels, shape (n, 3)."""
+        return np.argwhere(self.occupancy)
+
+    def dilated(self, cells: int = 1) -> "VoxelGrid":
+        """A copy with occupancy dilated by ``cells`` voxels per axis.
+
+        Used to add a safety margin around sensed obstacles, the standard
+        conservative treatment for mapping noise.
+        """
+        if cells < 0:
+            raise ValueError(f"cells must be >= 0, got {cells}")
+        out = VoxelGrid(self.bounds, self.resolution)
+        occ = self.occupancy.copy()
+        for _ in range(cells):
+            grown = occ.copy()
+            grown[1:, :, :] |= occ[:-1, :, :]
+            grown[:-1, :, :] |= occ[1:, :, :]
+            grown[:, 1:, :] |= occ[:, :-1, :]
+            grown[:, :-1, :] |= occ[:, 1:, :]
+            grown[:, :, 1:] |= occ[:, :, :-1]
+            grown[:, :, :-1] |= occ[:, :, 1:]
+            occ = grown
+        out.occupancy = occ
+        return out

@@ -1,0 +1,49 @@
+"""Geometric primitives and intersection tests used by the MPAccel datapath.
+
+The hardware represents the robot as a set of oriented bounding boxes (OBBs)
+and the environment as an octree of axis-aligned bounding boxes (AABBs).
+Every intersection test in this package counts the fixed-point multiplies it
+performs, because the paper uses multiply count as its computation/energy
+proxy (Section 4 and Figure 8a).
+"""
+
+from repro.geometry.aabb import AABB
+from repro.geometry.fixed_point import FixedPointFormat, DEFAULT_FORMAT
+from repro.geometry.obb import OBB
+from repro.geometry.sat import (
+    SAT_AXIS_COUNT,
+    SAT_TOTAL_MULTIPLIES,
+    SATResult,
+    sat_axis_test,
+    sat_obb_aabb,
+)
+from repro.geometry.sphere import (
+    Sphere,
+    sphere_aabb_overlap,
+    sphere_sphere_overlap,
+)
+from repro.geometry.transform import (
+    RigidTransform,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+)
+
+__all__ = [
+    "AABB",
+    "OBB",
+    "Sphere",
+    "RigidTransform",
+    "FixedPointFormat",
+    "DEFAULT_FORMAT",
+    "SATResult",
+    "SAT_AXIS_COUNT",
+    "SAT_TOTAL_MULTIPLIES",
+    "sat_axis_test",
+    "sat_obb_aabb",
+    "sphere_aabb_overlap",
+    "sphere_sphere_overlap",
+    "rotation_x",
+    "rotation_y",
+    "rotation_z",
+]

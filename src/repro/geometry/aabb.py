@@ -1,0 +1,118 @@
+"""Axis-aligned bounding boxes.
+
+Octree nodes hand AABBs (center + half extents, 6 x 16-bit values in the
+hardware) to the Intersection Unit, so this is the environment-side primitive
+of every collision test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+# Offsets of the 8 octants of a box, in Morton (zyx bit) order.  Octant k has
+# bit 0 = +x half, bit 1 = +y half, bit 2 = +z half.
+OCTANT_SIGNS = np.array(
+    [
+        [-1, -1, -1],
+        [+1, -1, -1],
+        [-1, +1, -1],
+        [+1, +1, -1],
+        [-1, -1, +1],
+        [+1, -1, +1],
+        [-1, +1, +1],
+        [+1, +1, +1],
+    ],
+    dtype=float,
+)
+
+
+class AABB:
+    """Axis-aligned box given by center and (strictly positive) half extents."""
+
+    __slots__ = ("center", "half_extents")
+
+    def __init__(self, center, half_extents):
+        self.center = np.asarray(center, dtype=float)
+        self.half_extents = np.asarray(half_extents, dtype=float)
+        if self.center.shape != (3,) or self.half_extents.shape != (3,):
+            raise ValueError("AABB center and half_extents must be length-3")
+        if np.any(self.half_extents <= 0):
+            raise ValueError(f"half extents must be positive, got {self.half_extents}")
+
+    @classmethod
+    def from_min_max(cls, minimum, maximum) -> "AABB":
+        minimum = np.asarray(minimum, dtype=float)
+        maximum = np.asarray(maximum, dtype=float)
+        if np.any(maximum <= minimum):
+            raise ValueError("maximum must exceed minimum on every axis")
+        return cls((minimum + maximum) / 2.0, (maximum - minimum) / 2.0)
+
+    @property
+    def minimum(self) -> np.ndarray:
+        return self.center - self.half_extents
+
+    @property
+    def maximum(self) -> np.ndarray:
+        return self.center + self.half_extents
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(2.0 * self.half_extents))
+
+    def contains_point(self, point) -> bool:
+        point = np.asarray(point, dtype=float)
+        return bool(np.all(np.abs(point - self.center) <= self.half_extents))
+
+    def overlaps(self, other: "AABB") -> bool:
+        """Axis-interval overlap test between two AABBs (closed boxes)."""
+        return bool(
+            np.all(
+                np.abs(self.center - other.center)
+                <= self.half_extents + other.half_extents
+            )
+        )
+
+    def octant(self, index: int) -> "AABB":
+        """The ``index``-th (0-7, Morton order) octant of this box."""
+        if not 0 <= index < 8:
+            raise ValueError(f"octant index must be in [0, 8), got {index}")
+        quarter = self.half_extents / 2.0
+        return AABB(self.center + OCTANT_SIGNS[index] * quarter, quarter)
+
+    def octants(self) -> Iterator["AABB"]:
+        for index in range(8):
+            yield self.octant(index)
+
+    def corners(self) -> np.ndarray:
+        """The 8 corner points, shape (8, 3), Morton order."""
+        return self.center + OCTANT_SIGNS * self.half_extents
+
+    def expanded(self, margin: float) -> "AABB":
+        return AABB(self.center, self.half_extents + margin)
+
+    def intersection_volume(self, other: "AABB") -> float:
+        """Volume of the overlap region (0.0 when disjoint)."""
+        lo = np.maximum(self.minimum, other.minimum)
+        hi = np.minimum(self.maximum, other.maximum)
+        extent = np.clip(hi - lo, 0.0, None)
+        return float(np.prod(extent))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, AABB):
+            return NotImplemented
+        return bool(
+            np.array_equal(self.center, other.center)
+            and np.array_equal(self.half_extents, other.half_extents)
+        )
+
+    def __hash__(self):
+        return hash((tuple(self.center), tuple(self.half_extents)))
+
+    def __repr__(self) -> str:
+        c, h = self.center, self.half_extents
+        return (
+            f"AABB(center=[{c[0]:.3f}, {c[1]:.3f}, {c[2]:.3f}], "
+            f"half=[{h[0]:.3f}, {h[1]:.3f}, {h[2]:.3f}])"
+        )

@@ -1,0 +1,158 @@
+"""16-bit fixed-point quantization emulating the MPAccel datapath.
+
+The accelerator stores poses, OBBs, and AABBs as 16-bit fixed-point values
+(Section 6).  We emulate that by snapping floats to a signed Qm.n grid with
+saturation, so the behavioral simulator sees exactly the rounded values the
+hardware would.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point format with ``total_bits`` bits, ``frac_bits`` fractional.
+
+    The representable range is [-2^(i), 2^(i) - 2^-f] for i integer bits
+    (total - frac - 1 sign bit) and f fractional bits.
+    """
+
+    total_bits: int = 16
+    frac_bits: int = 10
+
+    def __post_init__(self):
+        if self.total_bits < 2:
+            raise ValueError("need at least a sign bit and one value bit")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError(
+                f"frac_bits must be in [0, {self.total_bits}), got {self.frac_bits}"
+            )
+
+    @property
+    def scale(self) -> float:
+        return float(2**self.frac_bits)
+
+    @property
+    def resolution(self) -> float:
+        """Smallest representable step."""
+        return 1.0 / self.scale
+
+    @property
+    def max_value(self) -> float:
+        return (2 ** (self.total_bits - 1) - 1) / self.scale
+
+    @property
+    def min_value(self) -> float:
+        return -(2 ** (self.total_bits - 1)) / self.scale
+
+    def quantize(self, value):
+        """Round to the grid with saturation; works on scalars and arrays."""
+        arr = np.asarray(value, dtype=float)
+        raw = np.rint(arr * self.scale)
+        raw = np.clip(raw, -(2 ** (self.total_bits - 1)), 2 ** (self.total_bits - 1) - 1)
+        out = raw / self.scale
+        if np.isscalar(value) or getattr(value, "shape", None) == ():
+            return float(out)
+        return out
+
+    def quantization_error(self, value) -> float:
+        """Max absolute error introduced by quantizing ``value``."""
+        arr = np.asarray(value, dtype=float)
+        return float(np.max(np.abs(arr - self.quantize(arr))))
+
+    def representable(self, value) -> bool:
+        """Whether ``value`` is exactly on the grid and within range."""
+        arr = np.asarray(value, dtype=float)
+        if np.any(arr > self.max_value) or np.any(arr < self.min_value):
+            return False
+        return bool(np.allclose(arr * self.scale, np.rint(arr * self.scale)))
+
+
+#: Format used across the simulator: Q5.10 covers a +-32 m workspace at
+#: sub-millimeter (2^-10 m) resolution, matching the paper's 16-bit datapath.
+DEFAULT_FORMAT = FixedPointFormat(total_bits=16, frac_bits=10)
+
+#: Rotation matrix entries live in [-1, 1], so they get a dedicated format
+#: with all value bits fractional for maximum angular resolution.
+ROTATION_FORMAT = FixedPointFormat(total_bits=16, frac_bits=14)
+
+
+def quantize_aabb(aabb: AABB, fmt: FixedPointFormat = DEFAULT_FORMAT) -> AABB:
+    """An AABB with center and half extents snapped to the fixed-point grid.
+
+    Half extents round *up* to the next representable value so quantization
+    never shrinks an obstacle (a false negative in collision detection would
+    be unsafe; a false positive is merely conservative).
+    """
+    step = fmt.resolution
+    half = np.ceil(np.asarray(aabb.half_extents) / step) * step
+    half = np.clip(half, step, fmt.max_value)
+    return AABB(fmt.quantize(aabb.center), half)
+
+
+def quantize_obb(
+    obb: OBB,
+    fmt: FixedPointFormat = DEFAULT_FORMAT,
+    rot_fmt: FixedPointFormat = ROTATION_FORMAT,
+) -> OBB:
+    """An OBB with all 17 stored values snapped to their fixed-point grids.
+
+    Half extents round up (conservative, like :func:`quantize_aabb`).  This
+    runs once per link per pose check, so it uses scalar math rather than
+    numpy ufuncs.
+    """
+    scale = fmt.scale
+    inv = 1.0 / scale
+    raw_max = 2 ** (fmt.total_bits - 1) - 1
+    raw_min = -(2 ** (fmt.total_bits - 1))
+
+    def snap(value: float) -> float:
+        raw = round(value * scale)
+        if raw > raw_max:
+            raw = raw_max
+        elif raw < raw_min:
+            raw = raw_min
+        return raw * inv
+
+    def snap_up(value: float) -> float:
+        raw = math.ceil(value * scale)
+        if raw > raw_max:
+            raw = raw_max
+        elif raw < 1:
+            raw = 1
+        return raw * inv
+
+    rscale = rot_fmt.scale
+    rinv = 1.0 / rscale
+    rmax = 2 ** (rot_fmt.total_bits - 1) - 1
+    rmin = -(2 ** (rot_fmt.total_bits - 1))
+
+    def snap_rot(value: float) -> float:
+        raw = round(value * rscale)
+        if raw > rmax:
+            raw = rmax
+        elif raw < rmin:
+            raw = rmin
+        return raw * rinv
+
+    c = obb.center
+    h = obb.half_extents
+    rot = obb.rotation
+    center = np.array([snap(c[0]), snap(c[1]), snap(c[2])])
+    half = np.array([snap_up(h[0]), snap_up(h[1]), snap_up(h[2])])
+    rotation = np.array(
+        [
+            [snap_rot(rot[0, 0]), snap_rot(rot[0, 1]), snap_rot(rot[0, 2])],
+            [snap_rot(rot[1, 0]), snap_rot(rot[1, 1]), snap_rot(rot[1, 2])],
+            [snap_rot(rot[2, 0]), snap_rot(rot[2, 1]), snap_rot(rot[2, 2])],
+        ]
+    )
+    return OBB(center, half, rotation)

@@ -1,0 +1,87 @@
+"""Oriented bounding boxes: the robot-side collision primitive.
+
+The hardware encodes each OBB with 17 16-bit values: 3 for the center, 3 for
+the half extents, 9 for the 3x3 orientation, and 2 for the radii of its
+bounding and inscribed spheres (Section 5.2).  The sphere radii are what the
+cascaded early-exit filters use, so they are first-class here.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.aabb import AABB, OCTANT_SIGNS
+from repro.geometry.transform import RigidTransform
+
+
+class OBB:
+    """Oriented box: center, half extents, and a 3x3 rotation matrix.
+
+    The rotation's columns are the box's local axes expressed in world
+    coordinates.
+    """
+
+    __slots__ = ("center", "half_extents", "rotation")
+
+    def __init__(self, center, half_extents, rotation=None):
+        self.center = np.asarray(center, dtype=float)
+        self.half_extents = np.asarray(half_extents, dtype=float)
+        self.rotation = (
+            np.eye(3) if rotation is None else np.asarray(rotation, dtype=float)
+        )
+        if self.center.shape != (3,) or self.half_extents.shape != (3,):
+            raise ValueError("OBB center and half_extents must be length-3")
+        if self.rotation.shape != (3, 3):
+            raise ValueError("OBB rotation must be a 3x3 matrix")
+        if np.any(self.half_extents <= 0):
+            raise ValueError(f"half extents must be positive, got {self.half_extents}")
+
+    @classmethod
+    def from_aabb(cls, aabb: AABB) -> "OBB":
+        return cls(aabb.center, aabb.half_extents, np.eye(3))
+
+    @property
+    def bounding_sphere_radius(self) -> float:
+        """Radius of the smallest sphere containing the box (half diagonal)."""
+        return float(math.sqrt(float(np.dot(self.half_extents, self.half_extents))))
+
+    @property
+    def inscribed_sphere_radius(self) -> float:
+        """Radius of the largest sphere inside the box (smallest half extent)."""
+        return float(np.min(self.half_extents))
+
+    @property
+    def volume(self) -> float:
+        return float(np.prod(2.0 * self.half_extents))
+
+    def transformed(self, transform: RigidTransform) -> "OBB":
+        """This box re-expressed after applying a rigid transform."""
+        return OBB(
+            transform.apply(self.center),
+            self.half_extents,
+            transform.rotation @ self.rotation,
+        )
+
+    def corners(self) -> np.ndarray:
+        """The 8 corner points in world coordinates, shape (8, 3)."""
+        local = OCTANT_SIGNS * self.half_extents
+        return self.center + local @ self.rotation.T
+
+    def enclosing_aabb(self) -> AABB:
+        """Tightest axis-aligned box containing this OBB."""
+        reach = np.abs(self.rotation) @ self.half_extents
+        return AABB(self.center, reach)
+
+    def contains_point(self, point) -> bool:
+        """Whether a world-space point lies inside the box."""
+        local = self.rotation.T @ (np.asarray(point, dtype=float) - self.center)
+        return bool(np.all(np.abs(local) <= self.half_extents))
+
+    def __repr__(self) -> str:
+        c, h = self.center, self.half_extents
+        return (
+            f"OBB(center=[{c[0]:.3f}, {c[1]:.3f}, {c[2]:.3f}], "
+            f"half=[{h[0]:.3f}, {h[1]:.3f}, {h[2]:.3f}])"
+        )

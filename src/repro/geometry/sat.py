@@ -1,0 +1,242 @@
+"""Separating-axis test between an OBB and an AABB.
+
+There are 15 candidate separating axes for a pair of boxes (Section 2.2):
+
+* axes 1-3: the AABB's face normals (the world axes),
+* axes 4-6: the OBB's face normals (its rotation columns),
+* axes 7-15: the 9 cross products of one edge direction from each box.
+
+The per-axis multiply counts mirror the fixed-point datapath: 3 for an AABB
+face axis, 6 for an OBB face axis, and 6 for a cross axis — 81 multiplies for
+all 15 axes, the figure the paper quotes for a full test.
+
+This module is the innermost hot loop of the whole simulator, so it works on
+plain Python floats extracted once from the numpy-backed primitives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+
+SAT_AXIS_COUNT = 15
+#: Multiplies per axis test, indexed by 0-based axis identifier.
+SAT_AXIS_MULTIPLIES = (3, 3, 3, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6, 6)
+SAT_TOTAL_MULTIPLIES = sum(SAT_AXIS_MULTIPLIES)  # == 81
+
+# Numerical guard: treat near-parallel cross axes as degenerate rather than
+# reporting a phantom separation from floating-point noise.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SATResult:
+    """Outcome of a (possibly partial) separating-axis test.
+
+    ``separating_axis`` is the 1-based identifier of the first axis that
+    separated the boxes, or ``None`` when no tested axis separated them.
+    ``axes_tested`` and ``multiplies`` record the work performed, including
+    the failed tests before the successful one.
+    """
+
+    separating_axis: Optional[int]
+    axes_tested: int
+    multiplies: int
+
+    @property
+    def overlapping(self) -> bool:
+        """True when no separating axis was found among the tested axes."""
+        return self.separating_axis is None
+
+
+def _extract(obb: OBB, aabb: AABB):
+    """Pull the 21 scalars the axis tests need out of the numpy primitives."""
+    rot = obb.rotation
+    r00, r01, r02 = float(rot[0, 0]), float(rot[0, 1]), float(rot[0, 2])
+    r10, r11, r12 = float(rot[1, 0]), float(rot[1, 1]), float(rot[1, 2])
+    r20, r21, r22 = float(rot[2, 0]), float(rot[2, 1]), float(rot[2, 2])
+    a0 = float(aabb.half_extents[0])
+    a1 = float(aabb.half_extents[1])
+    a2 = float(aabb.half_extents[2])
+    b0 = float(obb.half_extents[0])
+    b1 = float(obb.half_extents[1])
+    b2 = float(obb.half_extents[2])
+    t0 = float(obb.center[0]) - float(aabb.center[0])
+    t1 = float(obb.center[1]) - float(aabb.center[1])
+    t2 = float(obb.center[2]) - float(aabb.center[2])
+    return (
+        (r00, r01, r02, r10, r11, r12, r20, r21, r22),
+        (a0, a1, a2),
+        (b0, b1, b2),
+        (t0, t1, t2),
+    )
+
+
+def extract_obb_scalars(obb: OBB):
+    """Plain-float view of an OBB for the scalar hot path.
+
+    Returns ``(rot9, half3, center3, r_bounding, r_inscribed)`` where rot9 is
+    the row-major rotation and the radii are the bounding/inscribed sphere
+    radii the hardware stores alongside the box (Section 5.2).
+    """
+    rot = obb.rotation
+    rot9 = (
+        float(rot[0, 0]),
+        float(rot[0, 1]),
+        float(rot[0, 2]),
+        float(rot[1, 0]),
+        float(rot[1, 1]),
+        float(rot[1, 2]),
+        float(rot[2, 0]),
+        float(rot[2, 1]),
+        float(rot[2, 2]),
+    )
+    half3 = (
+        float(obb.half_extents[0]),
+        float(obb.half_extents[1]),
+        float(obb.half_extents[2]),
+    )
+    center3 = (float(obb.center[0]), float(obb.center[1]), float(obb.center[2]))
+    return rot9, half3, center3, obb.bounding_sphere_radius, obb.inscribed_sphere_radius
+
+
+def test_axis_scalars(axis_id: int, rot, a, b, t) -> bool:
+    """Single-axis SAT on pre-extracted scalars (see :func:`extract_obb_scalars`).
+
+    ``a`` is the AABB half extents, ``b`` the OBB half extents, and ``t`` the
+    OBB center minus the AABB center.
+    """
+    return _test_axis(axis_id, rot, a, b, t)
+
+
+def sat_axis_test(obb: OBB, aabb: AABB, axis_id: int) -> bool:
+    """Run a single axis test; True when axis ``axis_id`` (1-based) separates."""
+    if not 1 <= axis_id <= SAT_AXIS_COUNT:
+        raise ValueError(f"axis_id must be in [1, 15], got {axis_id}")
+    rot, a, b, t = _extract(obb, aabb)
+    return _test_axis(axis_id, rot, a, b, t)
+
+
+def _test_axis(axis_id, rot, a, b, t) -> bool:
+    (r00, r01, r02, r10, r11, r12, r20, r21, r22) = rot
+    a0, a1, a2 = a
+    b0, b1, b2 = b
+    t0, t1, t2 = t
+    ar00, ar01, ar02 = abs(r00), abs(r01), abs(r02)
+    ar10, ar11, ar12 = abs(r10), abs(r11), abs(r12)
+    ar20, ar21, ar22 = abs(r20), abs(r21), abs(r22)
+
+    if axis_id == 1:  # AABB face x
+        return abs(t0) > a0 + b0 * ar00 + b1 * ar01 + b2 * ar02
+    if axis_id == 2:  # AABB face y
+        return abs(t1) > a1 + b0 * ar10 + b1 * ar11 + b2 * ar12
+    if axis_id == 3:  # AABB face z
+        return abs(t2) > a2 + b0 * ar20 + b1 * ar21 + b2 * ar22
+    if axis_id == 4:  # OBB face 0
+        return abs(t0 * r00 + t1 * r10 + t2 * r20) > (
+            b0 + a0 * ar00 + a1 * ar10 + a2 * ar20
+        )
+    if axis_id == 5:  # OBB face 1
+        return abs(t0 * r01 + t1 * r11 + t2 * r21) > (
+            b1 + a0 * ar01 + a1 * ar11 + a2 * ar21
+        )
+    if axis_id == 6:  # OBB face 2
+        return abs(t0 * r02 + t1 * r12 + t2 * r22) > (
+            b2 + a0 * ar02 + a1 * ar12 + a2 * ar22
+        )
+
+    # Cross axes: e_i x B_j for i, j in {0, 1, 2}, axis_id 7..15.
+    cross_index = axis_id - 7
+    i, j = divmod(cross_index, 3)
+    if i == 0:
+        if j == 0:
+            ra = a1 * ar20 + a2 * ar10
+            rb = b1 * ar02 + b2 * ar01
+            tl = t2 * r10 - t1 * r20
+        elif j == 1:
+            ra = a1 * ar21 + a2 * ar11
+            rb = b0 * ar02 + b2 * ar00
+            tl = t2 * r11 - t1 * r21
+        else:
+            ra = a1 * ar22 + a2 * ar12
+            rb = b0 * ar01 + b1 * ar00
+            tl = t2 * r12 - t1 * r22
+    elif i == 1:
+        if j == 0:
+            ra = a0 * ar20 + a2 * ar00
+            rb = b1 * ar12 + b2 * ar11
+            tl = t0 * r20 - t2 * r00
+        elif j == 1:
+            ra = a0 * ar21 + a2 * ar01
+            rb = b0 * ar12 + b2 * ar10
+            tl = t0 * r21 - t2 * r01
+        else:
+            ra = a0 * ar22 + a2 * ar02
+            rb = b0 * ar11 + b1 * ar10
+            tl = t0 * r22 - t2 * r02
+    else:
+        if j == 0:
+            ra = a0 * ar10 + a1 * ar00
+            rb = b1 * ar22 + b2 * ar21
+            tl = t1 * r00 - t0 * r10
+        elif j == 1:
+            ra = a0 * ar11 + a1 * ar01
+            rb = b0 * ar22 + b2 * ar20
+            tl = t1 * r01 - t0 * r11
+        else:
+            ra = a0 * ar12 + a1 * ar02
+            rb = b0 * ar21 + b1 * ar20
+            tl = t1 * r02 - t0 * r12
+    return abs(tl) > ra + rb + _EPS
+
+
+def sat_obb_aabb(
+    obb: OBB,
+    aabb: AABB,
+    axis_ids: Optional[Sequence[int]] = None,
+) -> SATResult:
+    """Run axis tests in order, stopping at the first separating axis.
+
+    ``axis_ids`` selects which (1-based) axes to test and in what order;
+    by default all 15 axes run in their canonical order.  When a subset is
+    given and no axis in it separates, the result reports overlap *for that
+    subset* — callers staging the test (6-5-4 cascade) chain subsets.
+    """
+    if axis_ids is None:
+        axis_ids = range(1, SAT_AXIS_COUNT + 1)
+    rot, a, b, t = _extract(obb, aabb)
+    tested = 0
+    multiplies = 0
+    for axis_id in axis_ids:
+        tested += 1
+        multiplies += SAT_AXIS_MULTIPLIES[axis_id - 1]
+        if _test_axis(axis_id, rot, a, b, t):
+            return SATResult(axis_id, tested, multiplies)
+    return SATResult(None, tested, multiplies)
+
+
+def obb_aabb_overlap(obb: OBB, aabb: AABB) -> bool:
+    """Exact boolean overlap test (all 15 axes, early exit)."""
+    return sat_obb_aabb(obb, aabb).overlapping
+
+
+def first_separating_axis(obb: OBB, aabb: AABB) -> Optional[int]:
+    """1-based identifier of the first separating axis, or None if colliding."""
+    return sat_obb_aabb(obb, aabb).separating_axis
+
+
+def stage_axis_ids(stages: Tuple[int, ...] = (6, 5, 4)) -> Tuple[Tuple[int, ...], ...]:
+    """Split the canonical axis order into contiguous stages (default 6-5-4)."""
+    if sum(stages) != SAT_AXIS_COUNT:
+        raise ValueError(f"stage sizes must sum to {SAT_AXIS_COUNT}, got {stages}")
+    if any(s <= 0 for s in stages):
+        raise ValueError(f"stage sizes must be positive, got {stages}")
+    out = []
+    start = 1
+    for size in stages:
+        out.append(tuple(range(start, start + size)))
+        start += size
+    return tuple(out)

@@ -1,0 +1,105 @@
+"""Rigid 3D transforms (rotation + translation) backed by 4x4 matrices."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def rotation_x(angle: float) -> np.ndarray:
+    """3x3 rotation about the X axis by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    return np.array([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+
+
+def rotation_y(angle: float) -> np.ndarray:
+    """3x3 rotation about the Y axis by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    return np.array([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+
+
+def rotation_z(angle: float) -> np.ndarray:
+    """3x3 rotation about the Z axis by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+class RigidTransform:
+    """A rotation followed by a translation, stored as a 4x4 matrix.
+
+    The class wraps a homogeneous matrix but only ever stores proper rigid
+    transforms; composition and inversion stay closed under that set.
+    """
+
+    __slots__ = ("matrix",)
+
+    def __init__(self, matrix: np.ndarray | None = None):
+        if matrix is None:
+            matrix = np.eye(4)
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.shape != (4, 4):
+            raise ValueError(f"expected a 4x4 matrix, got shape {matrix.shape}")
+        self.matrix = matrix
+
+    @classmethod
+    def identity(cls) -> "RigidTransform":
+        return cls(np.eye(4))
+
+    @classmethod
+    def from_parts(cls, rotation: np.ndarray, translation) -> "RigidTransform":
+        """Build from a 3x3 rotation and a length-3 translation."""
+        rotation = np.asarray(rotation, dtype=float)
+        translation = np.asarray(translation, dtype=float)
+        if rotation.shape != (3, 3):
+            raise ValueError(f"rotation must be 3x3, got {rotation.shape}")
+        if translation.shape != (3,):
+            raise ValueError(f"translation must be length 3, got {translation.shape}")
+        matrix = np.eye(4)
+        matrix[:3, :3] = rotation
+        matrix[:3, 3] = translation
+        return cls(matrix)
+
+    @classmethod
+    def from_translation(cls, translation) -> "RigidTransform":
+        return cls.from_parts(np.eye(3), translation)
+
+    @property
+    def rotation(self) -> np.ndarray:
+        return self.matrix[:3, :3]
+
+    @property
+    def translation(self) -> np.ndarray:
+        return self.matrix[:3, 3]
+
+    def compose(self, other: "RigidTransform") -> "RigidTransform":
+        """Return ``self @ other`` (apply ``other`` first, then ``self``)."""
+        return RigidTransform(self.matrix @ other.matrix)
+
+    def __matmul__(self, other: "RigidTransform") -> "RigidTransform":
+        return self.compose(other)
+
+    def apply(self, point) -> np.ndarray:
+        """Transform a point (or an (N, 3) array of points)."""
+        point = np.asarray(point, dtype=float)
+        return point @ self.rotation.T + self.translation
+
+    def apply_direction(self, direction) -> np.ndarray:
+        """Rotate a direction vector without translating it."""
+        direction = np.asarray(direction, dtype=float)
+        return direction @ self.rotation.T
+
+    def inverse(self) -> "RigidTransform":
+        rot_t = self.rotation.T
+        return RigidTransform.from_parts(rot_t, -rot_t @ self.translation)
+
+    def is_rigid(self, tol: float = 1e-6) -> bool:
+        """Check orthonormality and unit determinant of the rotation part."""
+        rot = self.rotation
+        if not np.allclose(rot @ rot.T, np.eye(3), atol=tol):
+            return False
+        return abs(np.linalg.det(rot) - 1.0) <= tol
+
+    def __repr__(self) -> str:
+        t = self.translation
+        return f"RigidTransform(t=[{t[0]:.3f}, {t[1]:.3f}, {t[2]:.3f}])"

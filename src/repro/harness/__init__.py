@@ -1,0 +1,26 @@
+"""Benchmark harness: workloads, planner traces, and experiment runners.
+
+Every table and figure in the paper's evaluation has a runner in
+:mod:`repro.harness.experiments`; the pytest-benchmark files under
+``benchmarks/`` are thin wrappers over those runners, and
+``python -m repro.harness.experiments --all`` regenerates EXPERIMENTS.md.
+"""
+
+from repro.harness.workloads import (
+    Benchmark,
+    build_benchmarks,
+    collect_cascade_pairs,
+    random_link_obbs,
+)
+from repro.harness.traces import QueryTrace, generate_mpnet_traces
+from repro.harness.tables import format_table
+
+__all__ = [
+    "Benchmark",
+    "build_benchmarks",
+    "random_link_obbs",
+    "collect_cascade_pairs",
+    "QueryTrace",
+    "generate_mpnet_traces",
+    "format_table",
+]

@@ -1,0 +1,80 @@
+"""ASCII bar/line charts for experiment reports.
+
+EXPERIMENTS.md carries tables; these helpers add terminal-friendly charts
+so trends (speedup curves, histograms) are visible without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+BAR_GLYPH = "█"
+HALF_GLYPH = "▌"
+
+
+def bar_chart(
+    items: Sequence[Tuple[str, float]],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bars scaled to the max value, one labeled row per item."""
+    if not items:
+        return "(no data)"
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    peak = max(value for _, value in items)
+    label_width = max(len(label) for label, _ in items)
+    lines: List[str] = []
+    for label, value in items:
+        if peak <= 0:
+            filled = 0
+            half = False
+        else:
+            scaled = value / peak * width
+            filled = int(scaled)
+            half = (scaled - filled) >= 0.5
+        bar = BAR_GLYPH * filled + (HALF_GLYPH if half else "")
+        lines.append(f"{label.ljust(label_width)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    series: Dict[str, Sequence[Tuple[float, float]]],
+    width: int = 50,
+    height: int = 12,
+) -> str:
+    """A rough scatter/line chart for several (x, y) series.
+
+    Each series gets its label's first character as the glyph.  Intended
+    for speedup-vs-CDU-count style curves in text reports.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    for label, pts in series.items():
+        glyph = label[0] if label else "?"
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            canvas[row][col] = glyph
+    lines = ["".join(row) for row in canvas]
+    lines.append(f"x: {x_lo:g}..{x_hi:g}   y: {y_lo:g}..{y_hi:g}")
+    legend = "  ".join(f"{label[0]}={label}" for label in series if label)
+    if legend:
+        lines.append(legend)
+    return "\n".join(lines)
+
+
+def histogram(
+    counts: Sequence[Tuple[str, int]], width: int = 40
+) -> str:
+    """Alias of :func:`bar_chart` for integer-count data."""
+    return bar_chart([(label, float(count)) for label, count in counts], width=width)

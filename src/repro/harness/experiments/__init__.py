@@ -1,0 +1,48 @@
+"""Experiment runners: one per table/figure in the paper's evaluation.
+
+Each runner returns an :class:`~repro.harness.experiments.context.Experiment`
+with structured rows; ``python -m repro.harness.experiments --all``
+regenerates EXPERIMENTS.md from them.  The registry maps experiment ids
+(``fig7``, ``table1``, ...) to runners.
+"""
+
+from repro.harness.experiments.cascade_experiments import (
+    run_fig8a,
+    run_fig8b,
+    run_fig17,
+    run_fig18a,
+    run_fig18b,
+    run_table1,
+)
+from repro.harness.experiments.context import Experiment, ExperimentContext
+from repro.harness.experiments.scheduler_experiments import (
+    run_fig1b,
+    run_fig7,
+    run_fig15,
+    run_fig16,
+)
+from repro.harness.experiments.system_experiments import (
+    run_fig19,
+    run_fig20,
+    run_table2,
+    run_table3,
+)
+
+REGISTRY = {
+    "fig1b": run_fig1b,
+    "fig7": run_fig7,
+    "fig8a": run_fig8a,
+    "fig8b": run_fig8b,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17": run_fig17,
+    "fig18a": run_fig18a,
+    "fig18b": run_fig18b,
+    "fig19": run_fig19,
+    "fig20": run_fig20,
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+}
+
+__all__ = ["Experiment", "ExperimentContext", "REGISTRY"]

@@ -1,0 +1,8 @@
+"""CLI entry point: ``python -m repro.harness.experiments --all``."""
+
+import sys
+
+from repro.harness.experiments.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""EXPERIMENTS.md generation from the experiment registry."""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List
+
+from repro.harness.experiments import REGISTRY
+from repro.harness.experiments.context import Experiment, ExperimentContext, SCALES
+from repro.harness.tables import format_table
+
+_HEADER = """# EXPERIMENTS — paper vs. measured
+
+Reproduction record for every table and figure in the evaluation of
+*Energy-Efficient Realtime Motion Planning* (ISCA 2023).  Regenerate with:
+
+```
+python -m repro.harness.experiments --all [--scale quick|paper] [--out EXPERIMENTS.md]
+```
+
+Absolute cycle counts come from a behavioral Python simulator calibrated to
+the paper's published synthesis constants; the claims to check are the
+*shapes* — who wins, by what factor, where the crossovers fall.  Scale:
+`{scale}` ({detail}).
+"""
+
+
+def run_experiments(
+    names: Iterable[str], ctx: ExperimentContext
+) -> List[Experiment]:
+    results = []
+    for name in names:
+        if name not in REGISTRY:
+            raise KeyError(f"unknown experiment {name!r}; known: {sorted(REGISTRY)}")
+        results.append(REGISTRY[name](ctx))
+    return results
+
+
+def render_report(experiments: List[Experiment], ctx: ExperimentContext) -> str:
+    detail = (
+        f"{ctx.scale.n_envs} environments x {ctx.scale.queries_per_env} queries, "
+        f"{ctx.scale.random_poses} random poses"
+    )
+    parts = [_HEADER.format(scale=ctx.scale.name, detail=detail)]
+    for experiment in experiments:
+        parts.append(f"\n## {experiment.id}: {experiment.title}\n")
+        parts.append(f"**Paper:** {experiment.paper_reference}\n")
+        parts.append("**Measured:**\n")
+        parts.append(format_table(experiment.rows, experiment.columns))
+        parts.append("")
+        if experiment.chart:
+            parts.append("```")
+            parts.append(experiment.chart)
+            parts.append("```")
+            parts.append("")
+        if experiment.notes:
+            parts.append(f"*Notes:* {experiment.notes}\n")
+    parts.append(f"\n---\nGenerated in {time.strftime('%Y-%m-%d %H:%M:%S')}.\n")
+    return "\n".join(parts)
+
+
+def main(argv: List[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.experiments",
+        description="Run the paper-reproduction experiments.",
+    )
+    parser.add_argument("names", nargs="*", help="experiment ids (e.g. fig7 table1)")
+    parser.add_argument("--all", action="store_true", help="run every experiment")
+    parser.add_argument("--scale", choices=sorted(SCALES), default="quick")
+    parser.add_argument("--out", default=None, help="write the report to this file")
+    parser.add_argument("--seed", type=int, default=2023)
+    args = parser.parse_args(argv)
+
+    names = list(REGISTRY) if args.all else args.names
+    if not names:
+        parser.error("give experiment names or --all")
+    ctx = ExperimentContext(scale=SCALES[args.scale], seed=args.seed)
+    experiments = run_experiments(names, ctx)
+    report = render_report(experiments, ctx)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0

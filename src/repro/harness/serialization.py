@@ -1,0 +1,145 @@
+"""Trace serialization: the artifact-style workflow.
+
+The paper's artifact ships pre-generated trace files (motions, per-pose
+collision outcomes, phase boundaries) that drive the SAS/MPAccel simulators
+without re-running the planner or the collision substrate.  This module
+provides the same workflow: record planner traces once, save them as JSON,
+and replay them through any simulator configuration later.
+
+JSON schema (version 1):
+
+```
+{
+  "version": 1,
+  "traces": [
+    {
+      "benchmark_index": 0,
+      "result": {"success": true, "nn_inferences": 12, ...},
+      "phases": [
+        {
+          "mode": "feasibility",
+          "label": "steer",
+          "motions": [
+            {"poses": [[...], ...], "outcomes": [false, ...]}
+          ]
+        }
+      ]
+    }
+  ]
+}
+```
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional
+
+import numpy as np
+
+from repro.harness.traces import QueryTrace
+from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+from repro.planning.mpnet import PlanResult
+
+SCHEMA_VERSION = 1
+
+
+def phase_to_dict(phase: CDPhase) -> dict:
+    """Serialize one phase, forcing ground truth for every pose."""
+    return {
+        "mode": phase.mode.value,
+        "label": phase.label,
+        "motions": [
+            {
+                "poses": motion.poses.tolist(),
+                "outcomes": motion.evaluate_all(),
+            }
+            for motion in phase.motions
+        ],
+    }
+
+
+def phase_from_dict(data: dict) -> CDPhase:
+    motions = [
+        MotionRecord.from_precomputed(
+            np.asarray(m["poses"], dtype=float), m["outcomes"]
+        )
+        for m in data["motions"]
+    ]
+    return CDPhase(FunctionMode(data["mode"]), motions, data.get("label", ""))
+
+
+def trace_to_dict(trace: QueryTrace) -> dict:
+    result = trace.result
+    return {
+        "benchmark_index": trace.benchmark_index,
+        "result": {
+            "success": result.success,
+            "nn_inferences": result.nn_inferences,
+            "encoder_inferences": result.encoder_inferences,
+            "fallback_used": result.fallback_used,
+            "replans": result.replans,
+            "path": [np.asarray(q, dtype=float).tolist() for q in result.path],
+        },
+        "phases": [phase_to_dict(p) for p in trace.phases],
+    }
+
+
+def trace_from_dict(data: dict) -> QueryTrace:
+    result_data = data["result"]
+    result = PlanResult(
+        success=result_data["success"],
+        path=[np.asarray(q, dtype=float) for q in result_data.get("path", [])],
+        nn_inferences=result_data["nn_inferences"],
+        encoder_inferences=result_data["encoder_inferences"],
+        fallback_used=result_data["fallback_used"],
+        replans=result_data["replans"],
+    )
+    return QueryTrace(
+        benchmark_index=data["benchmark_index"],
+        result=result,
+        phases=[phase_from_dict(p) for p in data["phases"]],
+    )
+
+
+def save_traces(path: str, traces: List[QueryTrace]) -> None:
+    """Write traces to a JSON file (ground truth fully evaluated)."""
+    payload = {
+        "version": SCHEMA_VERSION,
+        "traces": [trace_to_dict(t) for t in traces],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_traces(path: str) -> List[QueryTrace]:
+    """Load traces written by :func:`save_traces`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema version {version!r}; expected {SCHEMA_VERSION}"
+        )
+    return [trace_from_dict(t) for t in payload["traces"]]
+
+
+def save_phases(path: str, phases: List[CDPhase]) -> None:
+    """Write a bare phase list (no planner metadata)."""
+    payload = {
+        "version": SCHEMA_VERSION,
+        "phases": [phase_to_dict(p) for p in phases],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_phases(path: str) -> List[CDPhase]:
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema version {version!r}; expected {SCHEMA_VERSION}"
+        )
+    return [phase_from_dict(p) for p in payload["phases"]]

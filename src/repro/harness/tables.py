@@ -1,0 +1,37 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict], columns: Sequence[str] | None = None) -> str:
+    """Render dict rows as a GitHub-flavored markdown table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 10:
+                return f"{value:.1f}"
+            return f"{value:.3f}"
+        return str(value)
+
+    table: List[List[str]] = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    header = "| " + " | ".join(str(c).ljust(w) for c, w in zip(columns, widths)) + " |"
+    rule = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    body = [
+        "| " + " | ".join(cell.ljust(w) for cell, w in zip(line, widths)) + " |"
+        for line in table
+    ]
+    return "\n".join([header, rule] + body)

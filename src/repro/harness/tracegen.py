@@ -1,0 +1,55 @@
+"""Trace generation CLI: ``python -m repro.harness.tracegen``.
+
+Mirrors the paper artifact's trace-generation scripts: run the MPNet-style
+planner over a benchmark suite and store the resulting CD phase stream
+(with ground-truth per-pose outcomes) as a JSON file that the SAS/MPAccel
+simulators can replay without the collision substrate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.serialization import save_traces
+from repro.harness.traces import generate_mpnet_traces
+from repro.harness.workloads import build_benchmarks
+from repro.robot.presets import baxter_arm, jaco2
+
+ROBOTS = {"jaco2": jaco2, "baxter": baxter_arm}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.tracegen",
+        description="Generate MPNet planner traces for simulator replay.",
+    )
+    parser.add_argument("--robot", choices=sorted(ROBOTS), default="baxter")
+    parser.add_argument("--envs", type=int, default=3)
+    parser.add_argument("--queries", type=int, default=3)
+    parser.add_argument("--resolution", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--out", required=True, help="output JSON path")
+    args = parser.parse_args(argv)
+
+    benchmarks = build_benchmarks(
+        ROBOTS[args.robot],
+        n_envs=args.envs,
+        queries_per_env=args.queries,
+        octree_resolution=args.resolution,
+        seed=args.seed,
+    )
+    traces = generate_mpnet_traces(benchmarks, seed=args.seed + 1)
+    save_traces(args.out, traces)
+    n_phases = sum(len(t.phases) for t in traces)
+    n_poses = sum(p.total_poses for t in traces for p in t.phases)
+    print(
+        f"wrote {args.out}: {len(traces)} queries, {n_phases} phases, "
+        f"{n_poses} poses ({args.robot}, {args.envs} envs)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

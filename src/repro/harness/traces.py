@@ -1,0 +1,70 @@
+"""MPNet trace generation: planner runs recorded as CD phase streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.env.mapping import scan_scene_points
+from repro.harness.workloads import Benchmark
+from repro.planning.mpnet import MPNetPlanner, PlanResult
+from repro.planning.motion import CDPhase
+from repro.planning.recorder import CDTraceRecorder
+from repro.planning.samplers import HeuristicSampler
+
+
+@dataclass
+class QueryTrace:
+    """One planning query's result plus the CD phases it generated."""
+
+    benchmark_index: int
+    result: PlanResult
+    phases: List[CDPhase]
+
+
+def generate_mpnet_traces(
+    benchmarks: List[Benchmark],
+    queries_per_env: Optional[int] = None,
+    sampler_factory=None,
+    seed: int = 7,
+) -> List[QueryTrace]:
+    """Run the MPNet-style planner over the benchmark suite.
+
+    ``sampler_factory(robot)`` builds the pose sampler (defaults to the
+    fast :class:`HeuristicSampler`; pass a factory wrapping a trained
+    :class:`~repro.planning.samplers.NeuralSampler` for the faithful
+    configuration).  Returns one :class:`QueryTrace` per planning query.
+    """
+    rng = np.random.default_rng(seed)
+    traces: List[QueryTrace] = []
+    for benchmark in benchmarks:
+        robot = benchmark.robot
+        sampler = (
+            HeuristicSampler(robot) if sampler_factory is None else sampler_factory(robot)
+        )
+        points = scan_scene_points(benchmark.scene, points_per_obstacle=60, rng=rng)
+        queries = benchmark.queries
+        if queries_per_env is not None:
+            queries = queries[:queries_per_env]
+        for q_start, q_goal in queries:
+            recorder = CDTraceRecorder(benchmark.checker)
+            planner = MPNetPlanner(recorder, sampler, points)
+            result = planner.plan(q_start, q_goal, rng)
+            traces.append(
+                QueryTrace(
+                    benchmark_index=benchmark.index,
+                    result=result,
+                    phases=list(recorder.phases),
+                )
+            )
+    return traces
+
+
+def all_phases(traces: List[QueryTrace]) -> List[CDPhase]:
+    """Flatten every query's phases into one workload list."""
+    phases: List[CDPhase] = []
+    for trace in traces:
+        phases.extend(trace.phases)
+    return phases

@@ -1,0 +1,131 @@
+"""Workload construction: benchmark environments, queries, and test pairs.
+
+Section 6: ten environmental scenarios with 5-9 cuboid obstacles (3%-12%
+of the extent per dimension) and 100 start/goal pairs each.  The harness
+builds scaled-down versions by default so full figure sweeps finish in
+minutes of pure Python; every size knob is a parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.collision.octree_cd import OBBOctreeCollider
+from repro.env.generator import random_scene
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+from repro.geometry.fixed_point import quantize_obb
+from repro.geometry.obb import OBB
+from repro.robot.model import RobotModel
+
+
+@dataclass
+class Benchmark:
+    """One environment plus its octree, checker, and planning queries."""
+
+    index: int
+    scene: Scene
+    octree: Octree
+    checker: RobotEnvironmentChecker
+    queries: List[Tuple[np.ndarray, np.ndarray]]
+
+    @property
+    def robot(self) -> RobotModel:
+        return self.checker.robot
+
+
+def build_benchmarks(
+    robot_factory: Callable[[], RobotModel],
+    n_envs: int = 10,
+    queries_per_env: int = 100,
+    octree_resolution: int = 16,
+    n_obstacles: Optional[int] = None,
+    motion_step: float = 0.05,
+    seed: int = 2023,
+) -> List[Benchmark]:
+    """The Section 6 benchmark suite (sizes configurable)."""
+    if n_envs < 1 or queries_per_env < 1:
+        raise ValueError("need at least one environment and one query")
+    rng = np.random.default_rng(seed)
+    benchmarks: List[Benchmark] = []
+    for index in range(n_envs):
+        scene = random_scene(rng=rng, n_obstacles=n_obstacles)
+        octree = Octree.from_scene(scene, resolution=octree_resolution)
+        checker = RobotEnvironmentChecker(
+            robot_factory(), octree, motion_step=motion_step, collect_stats=False
+        )
+        queries = []
+        for _ in range(queries_per_env):
+            q_start = checker.sample_free_configuration(rng)
+            q_goal = checker.sample_free_configuration(rng)
+            queries.append((q_start, q_goal))
+        benchmarks.append(
+            Benchmark(
+                index=index,
+                scene=scene,
+                octree=octree,
+                checker=checker,
+                queries=queries,
+            )
+        )
+    return benchmarks
+
+
+def random_link_obbs(
+    robot: RobotModel, n_poses: int, seed: int = 0, quantized: bool = True
+) -> List[OBB]:
+    """Link OBBs of random robot poses (the Figure 8/17 query population)."""
+    rng = np.random.default_rng(seed)
+    obbs: List[OBB] = []
+    for _ in range(n_poses):
+        q = robot.random_configuration(rng)
+        for obb in robot.link_obbs(q):
+            obbs.append(quantize_obb(obb) if quantized else obb)
+    return obbs
+
+
+def collect_cascade_pairs(
+    obbs: List[OBB], octree: Octree, max_pairs: Optional[int] = None
+) -> List[Tuple[OBB, AABB]]:
+    """(OBB, octant AABB) pairs actually tested during octree traversal.
+
+    This reproduces the Figure 8 methodology: the distribution of
+    separating-axis identifiers is measured over the intersection tests a
+    real traversal performs, not over synthetic box pairs.
+    """
+    collider = OBBOctreeCollider(octree)
+    pairs: List[Tuple[OBB, AABB]] = []
+    for obb in obbs:
+        trace = collider.collide(obb)
+        boxes = _visit_boxes(trace, octree)
+        for (address, octant), aabb in boxes.items():
+            pairs.append((obb, aabb))
+            if max_pairs is not None and len(pairs) >= max_pairs:
+                return pairs
+    return pairs
+
+
+def _visit_boxes(trace, octree: Octree):
+    """Recover the octant AABBs for every test in a traversal trace."""
+    boxes = {}
+    # Re-walk the trace: we know the visit order is BFS from the root, and
+    # each visit's tests carry their octant indices.
+    # Reconstruct node boxes level by level.
+    node_box = {0: octree.bounds}
+    for visit in trace.visits:
+        parent_box = node_box.get(visit.address)
+        if parent_box is None:
+            continue
+        node = octree.nodes[visit.address]
+        for test in visit.tests:
+            child_box = octree.octant_aabb(parent_box, test.octant)
+            boxes[(visit.address, test.octant)] = child_box
+            child = node.children[test.octant]
+            if child is not None and test.result.hit:
+                node_box[child] = child_box
+    return boxes

@@ -1,0 +1,21 @@
+"""From-scratch numpy neural networks for the learning-based planner.
+
+The paper's workload generator is MPNet (Qureshi et al.), which pairs an
+environment encoder (ENet) with a planning network (PNet).  This package
+implements both as plain-numpy MLPs with manual backprop and Adam, plus a
+small self-supervised training loop over RRT-Connect demonstration paths.
+No external ML framework is used.
+"""
+
+from repro.neural.mlp import MLP, AdamState
+from repro.neural.mpnet_nets import MPNetModel, default_mpnet_model
+from repro.neural.training import generate_demonstrations, train_mpnet
+
+__all__ = [
+    "MLP",
+    "AdamState",
+    "MPNetModel",
+    "default_mpnet_model",
+    "generate_demonstrations",
+    "train_mpnet",
+]

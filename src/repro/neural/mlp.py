@@ -1,0 +1,183 @@
+"""A minimal multilayer perceptron with manual backprop and Adam.
+
+Supports ReLU hidden activations, inference-time dropout (MPNet uses
+dropout as its stochastic sampling mechanism), MSE loss, and returns input
+gradients so two networks can be trained end-to-end (encoder -> planner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class AdamState:
+    """First/second moment buffers for one parameter tensor."""
+
+    m: np.ndarray
+    v: np.ndarray
+    t: int = 0
+
+
+class MLP:
+    """Fully connected network: linear layers with ReLU between them.
+
+    ``sizes`` lists the layer widths, e.g. ``[42, 256, 128, 7]``.  Dropout
+    (applied after each hidden activation) stays active at inference when
+    ``dropout_at_inference`` is set — that is how MPNet draws diverse
+    samples from a deterministic network.
+    """
+
+    def __init__(
+        self,
+        sizes: List[int],
+        dropout: float = 0.0,
+        dropout_at_inference: bool = False,
+        seed: int = 0,
+    ):
+        if len(sizes) < 2:
+            raise ValueError(f"need at least input and output sizes, got {sizes}")
+        if any(s < 1 for s in sizes):
+            raise ValueError(f"layer sizes must be positive, got {sizes}")
+        if not 0.0 <= dropout < 1.0:
+            raise ValueError(f"dropout must be in [0, 1), got {dropout}")
+        self.sizes = list(sizes)
+        self.dropout = dropout
+        self.dropout_at_inference = dropout_at_inference
+        rng = np.random.default_rng(seed)
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)  # He initialization for ReLU
+            self.weights.append(rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self._adam: Optional[List[Tuple[AdamState, AdamState]]] = None
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.weights)
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulates per single-sample forward pass."""
+        return int(sum(w.size for w in self.weights))
+
+    @property
+    def parameter_count(self) -> int:
+        return int(sum(w.size + b.size for w, b in zip(self.weights, self.biases)))
+
+    # ------------------------------------------------------------------
+    # Forward / backward
+    # ------------------------------------------------------------------
+
+    def forward(
+        self, x: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Inference forward pass (dropout only if ``dropout_at_inference``)."""
+        use_dropout = self.dropout > 0.0 and self.dropout_at_inference
+        if use_dropout and rng is None:
+            raise ValueError("dropout at inference needs an rng")
+        h = np.atleast_2d(np.asarray(x, dtype=float))
+        for layer in range(self.num_layers):
+            h = h @ self.weights[layer] + self.biases[layer]
+            if layer < self.num_layers - 1:
+                h = np.maximum(h, 0.0)
+                if use_dropout:
+                    mask = rng.random(h.shape) >= self.dropout
+                    h = h * mask / (1.0 - self.dropout)
+        return h[0] if np.asarray(x).ndim == 1 else h
+
+    def _forward_training(self, x: np.ndarray, rng: np.random.Generator):
+        """Forward with cached activations and dropout masks for backprop."""
+        h = np.atleast_2d(np.asarray(x, dtype=float))
+        activations = [h]
+        masks: List[Optional[np.ndarray]] = []
+        for layer in range(self.num_layers):
+            h = h @ self.weights[layer] + self.biases[layer]
+            if layer < self.num_layers - 1:
+                h = np.maximum(h, 0.0)
+                if self.dropout > 0.0:
+                    mask = (rng.random(h.shape) >= self.dropout) / (1.0 - self.dropout)
+                    h = h * mask
+                    masks.append(mask)
+                else:
+                    masks.append(None)
+            activations.append(h)
+        return activations, masks
+
+    def backward(
+        self,
+        activations: List[np.ndarray],
+        masks: List[Optional[np.ndarray]],
+        grad_output: np.ndarray,
+    ):
+        """Backprop; returns (weight grads, bias grads, input grad)."""
+        grad = np.atleast_2d(grad_output)
+        weight_grads: List[np.ndarray] = [np.empty(0)] * self.num_layers
+        bias_grads: List[np.ndarray] = [np.empty(0)] * self.num_layers
+        for layer in reversed(range(self.num_layers)):
+            if layer < self.num_layers - 1:
+                # Undo dropout scaling, then the ReLU gate.
+                if masks[layer] is not None:
+                    grad = grad * masks[layer]
+                grad = grad * (activations[layer + 1] > 0.0)
+            weight_grads[layer] = activations[layer].T @ grad
+            bias_grads[layer] = grad.sum(axis=0)
+            grad = grad @ self.weights[layer].T
+        return weight_grads, bias_grads, grad
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def _ensure_adam(self) -> List[Tuple[AdamState, AdamState]]:
+        if self._adam is None:
+            self._adam = [
+                (
+                    AdamState(np.zeros_like(w), np.zeros_like(w)),
+                    AdamState(np.zeros_like(b), np.zeros_like(b)),
+                )
+                for w, b in zip(self.weights, self.biases)
+            ]
+        return self._adam
+
+    def apply_gradients(
+        self,
+        weight_grads,
+        bias_grads,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        """One Adam step with the provided gradients."""
+        states = self._ensure_adam()
+        for layer in range(self.num_layers):
+            for param, grad, state in (
+                (self.weights[layer], weight_grads[layer], states[layer][0]),
+                (self.biases[layer], bias_grads[layer], states[layer][1]),
+            ):
+                state.t += 1
+                state.m = beta1 * state.m + (1.0 - beta1) * grad
+                state.v = beta2 * state.v + (1.0 - beta2) * grad * grad
+                m_hat = state.m / (1.0 - beta1**state.t)
+                v_hat = state.v / (1.0 - beta2**state.t)
+                param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    def train_batch(
+        self, x: np.ndarray, y: np.ndarray, rng: np.random.Generator, lr: float = 1e-3
+    ) -> float:
+        """One MSE training step; returns the batch loss."""
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.atleast_2d(np.asarray(y, dtype=float))
+        activations, masks = self._forward_training(x, rng)
+        pred = activations[-1]
+        diff = pred - y
+        loss = float(np.mean(diff**2))
+        grad_out = 2.0 * diff / diff.size
+        weight_grads, bias_grads, _ = self.backward(activations, masks, grad_out)
+        self.apply_gradients(weight_grads, bias_grads, lr=lr)
+        return loss

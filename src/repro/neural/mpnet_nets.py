@@ -1,0 +1,105 @@
+"""The MPNet network pair: environment encoder (ENet) + planner (PNet).
+
+ENet consumes a fixed-size obstacle point cloud and emits a latent code;
+PNet consumes [latent, current pose, goal pose] and predicts the next pose.
+Dropout stays on at inference (MPNet's stochastic sampling).  Layer widths
+are scaled down from the original PyTorch MPNet so training on synthetic
+demonstrations stays laptop-fast; ``nominal_macs`` preserves the original
+network's compute for the DNN-accelerator timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.neural.mlp import MLP
+
+#: MACs of the original MPNet PNet (Qureshi et al.) used for timing: the
+#: published network is an 11-layer MLP around 3.8M parameters.
+ORIGINAL_PNET_MACS = 3_800_000
+#: MACs of the original ENet (fully connected encoder over a 1400-point cloud).
+ORIGINAL_ENET_MACS = 1_300_000
+
+
+@dataclass
+class MPNetModel:
+    """Encoder + planner pair operating on a fixed robot DOF."""
+
+    enet: MLP
+    pnet: MLP
+    n_cloud_points: int
+    dof: int
+
+    def __post_init__(self):
+        expected_enet_in = 3 * self.n_cloud_points
+        if self.enet.sizes[0] != expected_enet_in:
+            raise ValueError(
+                f"ENet input must be {expected_enet_in} for {self.n_cloud_points} points"
+            )
+        latent = self.enet.sizes[-1]
+        expected_pnet_in = latent + 2 * self.dof
+        if self.pnet.sizes[0] != expected_pnet_in:
+            raise ValueError(
+                f"PNet input must be latent+2*dof = {expected_pnet_in}, "
+                f"got {self.pnet.sizes[0]}"
+            )
+        if self.pnet.sizes[-1] != self.dof:
+            raise ValueError(
+                f"PNet output must equal dof = {self.dof}, got {self.pnet.sizes[-1]}"
+            )
+
+    @property
+    def latent_size(self) -> int:
+        return self.enet.sizes[-1]
+
+    def encode(self, cloud: np.ndarray) -> np.ndarray:
+        """Latent code for an (n_cloud_points, 3) obstacle point cloud."""
+        cloud = np.asarray(cloud, dtype=float)
+        if cloud.shape != (self.n_cloud_points, 3):
+            raise ValueError(
+                f"expected cloud of shape ({self.n_cloud_points}, 3), got {cloud.shape}"
+            )
+        return self.enet.forward(cloud.reshape(-1))
+
+    def next_pose(
+        self,
+        latent: np.ndarray,
+        q_current: np.ndarray,
+        q_goal: np.ndarray,
+        rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Predict the next intermediate pose toward the goal."""
+        x = np.concatenate([latent, np.asarray(q_current), np.asarray(q_goal)])
+        return self.pnet.forward(x, rng=rng)
+
+
+def default_mpnet_model(
+    dof: int, n_cloud_points: int = 32, latent: int = 24, seed: int = 7
+) -> MPNetModel:
+    """The downscaled MPNet used for in-repo training and tests."""
+    enet = MLP([3 * n_cloud_points, 96, latent], seed=seed)
+    pnet = MLP(
+        [latent + 2 * dof, 192, 128, 64, dof],
+        dropout=0.1,
+        dropout_at_inference=True,
+        seed=seed + 1,
+    )
+    return MPNetModel(enet=enet, pnet=pnet, n_cloud_points=n_cloud_points, dof=dof)
+
+
+def fixed_size_cloud(
+    points: np.ndarray, n_points: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Resample an arbitrary point cloud to exactly ``n_points`` rows.
+
+    Pads by resampling with replacement; truncates by random choice.  An
+    empty input yields a cloud at the origin (an obstacle-free scene).
+    """
+    points = np.asarray(points, dtype=float).reshape(-1, 3)
+    if len(points) == 0:
+        return np.zeros((n_points, 3))
+    indices = rng.choice(len(points), size=n_points, replace=len(points) < n_points)
+    return points[indices]

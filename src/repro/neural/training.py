@@ -1,0 +1,136 @@
+"""End-to-end training of the MPNet pair on RRT-Connect demonstrations.
+
+For each training scene we plan expert paths with RRT-Connect, shortcut
+them, and turn every consecutive pose pair into a supervised sample
+(cloud, q_i, q_goal) -> q_{i+1}.  ENet and PNet train jointly: the MSE
+gradient at PNet's input flows back into the encoder, exactly as in the
+original MPNet training setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.env.mapping import scan_scene_points
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.neural.mpnet_nets import MPNetModel, fixed_size_cloud
+from repro.planning.recorder import CDTraceRecorder
+from repro.planning.rrt_connect import RRTConnectPlanner
+from repro.planning.shortcut import greedy_shortcut
+
+
+@dataclass
+class Demonstration:
+    """One expert path in one scene, with that scene's point cloud."""
+
+    cloud: np.ndarray  # (n_cloud_points, 3)
+    path: List[np.ndarray]
+
+
+def generate_demonstrations(
+    robot_factory,
+    scenes: List[Scene],
+    n_cloud_points: int,
+    queries_per_scene: int = 3,
+    octree_resolution: int = 16,
+    seed: int = 11,
+) -> List[Demonstration]:
+    """Expert demonstrations from RRT-Connect + shortcutting.
+
+    ``robot_factory`` is a zero-argument callable returning the robot model
+    (e.g. :func:`repro.robot.jaco2`).
+    """
+    rng = np.random.default_rng(seed)
+    demos: List[Demonstration] = []
+    for scene in scenes:
+        octree = Octree.from_scene(scene, resolution=octree_resolution)
+        robot = robot_factory()
+        checker = RobotEnvironmentChecker(robot, octree, collect_stats=False)
+        recorder = CDTraceRecorder(checker, record=False)
+        planner = RRTConnectPlanner(recorder, max_iterations=400, max_step=0.6)
+        cloud = fixed_size_cloud(
+            scan_scene_points(scene, points_per_obstacle=80, rng=rng),
+            n_cloud_points,
+            rng,
+        )
+        for _ in range(queries_per_scene):
+            try:
+                q_start = checker.sample_free_configuration(rng)
+                q_goal = checker.sample_free_configuration(rng)
+            except RuntimeError:
+                continue
+            path = planner.plan(q_start, q_goal, rng)
+            if path is None or len(path) < 2:
+                continue
+            path = greedy_shortcut(path, recorder)
+            demos.append(Demonstration(cloud=cloud, path=path))
+    return demos
+
+
+def demonstrations_to_samples(
+    demos: List[Demonstration],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten demos into (clouds, [q_i, q_goal] pairs, q_{i+1} targets)."""
+    clouds, inputs, targets = [], [], []
+    for demo in demos:
+        goal = demo.path[-1]
+        for i in range(len(demo.path) - 1):
+            clouds.append(demo.cloud.reshape(-1))
+            inputs.append(np.concatenate([demo.path[i], goal]))
+            targets.append(np.asarray(demo.path[i + 1], dtype=float))
+    if not clouds:
+        raise ValueError("no training samples: every demonstration was empty")
+    return np.asarray(clouds), np.asarray(inputs), np.asarray(targets)
+
+
+def train_mpnet(
+    model: MPNetModel,
+    demos: List[Demonstration],
+    epochs: int = 40,
+    batch_size: int = 32,
+    lr: float = 1e-3,
+    seed: int = 13,
+) -> List[float]:
+    """Joint ENet+PNet training; returns the per-epoch mean loss curve."""
+    clouds, pose_inputs, targets = demonstrations_to_samples(demos)
+    rng = np.random.default_rng(seed)
+    n = len(clouds)
+    losses: List[float] = []
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        batches = 0
+        for start in range(0, n, batch_size):
+            index = order[start : start + batch_size]
+            cloud_batch = clouds[index]
+            pose_batch = pose_inputs[index]
+            target_batch = targets[index]
+
+            enet_acts, enet_masks = model.enet._forward_training(cloud_batch, rng)
+            latent = enet_acts[-1]
+            pnet_in = np.concatenate([latent, pose_batch], axis=1)
+            pnet_acts, pnet_masks = model.pnet._forward_training(pnet_in, rng)
+            pred = pnet_acts[-1]
+            diff = pred - target_batch
+            loss = float(np.mean(diff**2))
+            grad_out = 2.0 * diff / diff.size
+
+            w_grads, b_grads, input_grad = model.pnet.backward(
+                pnet_acts, pnet_masks, grad_out
+            )
+            model.pnet.apply_gradients(w_grads, b_grads, lr=lr)
+            latent_grad = input_grad[:, : model.latent_size]
+            ew_grads, eb_grads, _ = model.enet.backward(
+                enet_acts, enet_masks, latent_grad
+            )
+            model.enet.apply_gradients(ew_grads, eb_grads, lr=lr)
+
+            epoch_loss += loss
+            batches += 1
+        losses.append(epoch_loss / max(1, batches))
+    return losses

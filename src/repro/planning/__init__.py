@@ -1,0 +1,40 @@
+"""Sampling-based motion planning on top of the collision substrate.
+
+This package provides the motion planning workload the accelerator executes:
+classical planners (RRT, RRT-Connect) used for training data and fallback,
+greedy shortcutting (path optimization), and an MPNet-style learning-based
+planner.  Every collision query a planner issues flows through a
+:class:`CDTraceRecorder`, which captures the *phases* (groups of motions plus
+a scheduler function mode) that the SAS and MPAccel simulators replay.
+"""
+
+from repro.planning.cspace import path_length, straight_line_path
+from repro.planning.metrics import PathQuality, evaluate_path, path_smoothness
+from repro.planning.motion import FunctionMode, MotionRecord, CDPhase
+from repro.planning.mpnet import MPNetPlanner, PlanResult
+from repro.planning.prm import PRMPlanner
+from repro.planning.recorder import CDTraceRecorder
+from repro.planning.rrt import RRTPlanner
+from repro.planning.rrt_connect import RRTConnectPlanner
+from repro.planning.samplers import HeuristicSampler, NeuralSampler
+from repro.planning.shortcut import greedy_shortcut
+
+__all__ = [
+    "FunctionMode",
+    "MotionRecord",
+    "CDPhase",
+    "CDTraceRecorder",
+    "RRTPlanner",
+    "RRTConnectPlanner",
+    "PRMPlanner",
+    "MPNetPlanner",
+    "PlanResult",
+    "HeuristicSampler",
+    "NeuralSampler",
+    "greedy_shortcut",
+    "path_length",
+    "straight_line_path",
+    "PathQuality",
+    "evaluate_path",
+    "path_smoothness",
+]

@@ -1,0 +1,44 @@
+"""Configuration-space helpers (Section 2.1, Figure 2).
+
+A robot's C-space has one dimension per degree of freedom; a point is a
+pose, and the straight segment between two points is the short motion the
+local planner produces by linear interpolation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def cspace_distance(q_a, q_b) -> float:
+    """Euclidean joint-space distance between two configurations."""
+    return float(np.linalg.norm(np.asarray(q_b, dtype=float) - np.asarray(q_a, dtype=float)))
+
+
+def path_length(path: List[np.ndarray]) -> float:
+    """Total C-space length of a piecewise-linear path."""
+    if len(path) < 2:
+        return 0.0
+    return float(
+        sum(cspace_distance(path[i], path[i + 1]) for i in range(len(path) - 1))
+    )
+
+
+def straight_line_path(q_start, q_end, n_points: int = 2) -> List[np.ndarray]:
+    """A trivial path of ``n_points`` poses along the straight segment."""
+    if n_points < 2:
+        raise ValueError(f"n_points must be >= 2, got {n_points}")
+    return [np.array(q) for q in np.linspace(q_start, q_end, n_points)]
+
+
+def steer_toward(q_from, q_to, max_step: float) -> np.ndarray:
+    """Move from ``q_from`` toward ``q_to`` by at most ``max_step``."""
+    q_from = np.asarray(q_from, dtype=float)
+    q_to = np.asarray(q_to, dtype=float)
+    delta = q_to - q_from
+    distance = float(np.linalg.norm(delta))
+    if distance <= max_step or distance == 0.0:
+        return q_to.copy()
+    return q_from + delta * (max_step / distance)

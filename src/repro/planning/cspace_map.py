@@ -1,0 +1,113 @@
+"""C-space obstacle maps for 2-DOF robots (the Figure 2/3 picture).
+
+The paper explains motion planning in the robot's configuration space:
+workspace obstacles project into C-space regions ("C-obst") that paths
+must avoid.  For a 2-DOF robot the C-space is a plane, so the projection
+can be computed exactly by dense pose sampling and rendered as ASCII —
+useful for teaching, debugging planners, and validating that paths stay
+in free space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.collision.checker import RobotEnvironmentChecker
+
+FREE_GLYPH = "."
+COBST_GLYPH = "#"
+PATH_GLYPH = "*"
+ENDPOINT_GLYPH = "@"
+
+
+@dataclass
+class CSpaceMap:
+    """A sampled C-space occupancy grid for a 2-DOF robot."""
+
+    occupancy: np.ndarray  # (cells, cells) bool, True = colliding
+    lower: np.ndarray  # (2,) joint lower bounds
+    upper: np.ndarray  # (2,) joint upper bounds
+
+    @property
+    def cells(self) -> int:
+        return self.occupancy.shape[0]
+
+    @property
+    def obstacle_fraction(self) -> float:
+        """Fraction of C-space covered by C-obst."""
+        return float(np.count_nonzero(self.occupancy)) / self.occupancy.size
+
+    def index_of(self, q) -> tuple:
+        """Grid cell of a configuration (clamped)."""
+        q = np.asarray(q, dtype=float)
+        rel = (q - self.lower) / (self.upper - self.lower)
+        idx = np.clip((rel * self.cells).astype(int), 0, self.cells - 1)
+        return int(idx[0]), int(idx[1])
+
+    def is_colliding(self, q) -> bool:
+        return bool(self.occupancy[self.index_of(q)])
+
+    def render(self, path: Optional[Sequence[np.ndarray]] = None) -> str:
+        """ASCII map: rows are joint 2 (top = max), columns joint 1.
+
+        A piecewise-linear ``path`` overlays as ``*`` with ``@`` endpoints.
+        """
+        canvas = [
+            [COBST_GLYPH if self.occupancy[i, j] else FREE_GLYPH for i in range(self.cells)]
+            for j in range(self.cells)
+        ]
+
+        def plot(q, glyph):
+            i, j = self.index_of(q)
+            canvas[self.cells - 1 - j][i] = glyph
+
+        if path is not None and len(path) > 0:
+            for q_start, q_end in zip(path[:-1], path[1:]):
+                q_start = np.asarray(q_start, dtype=float)
+                q_end = np.asarray(q_end, dtype=float)
+                steps = max(2, 2 * self.cells)
+                for t in np.linspace(0.0, 1.0, steps):
+                    plot(q_start + t * (q_end - q_start), PATH_GLYPH)
+            plot(path[0], ENDPOINT_GLYPH)
+            plot(path[-1], ENDPOINT_GLYPH)
+        return "\n".join("".join(row) for row in canvas)
+
+
+def build_cspace_map(
+    checker: RobotEnvironmentChecker, cells: int = 48
+) -> CSpaceMap:
+    """Sample the checker over the 2-DOF joint box.
+
+    Cell (i, j) holds the verdict at the cell's center configuration, so
+    the map is a visualization aid, not a conservative planner input.
+    """
+    robot = checker.robot
+    if robot.dof != 2:
+        raise ValueError(f"C-space maps need a 2-DOF robot, got dof={robot.dof}")
+    if cells < 2:
+        raise ValueError(f"cells must be >= 2, got {cells}")
+    lower = robot.joint_limits[:, 0].copy()
+    upper = robot.joint_limits[:, 1].copy()
+    occupancy = np.zeros((cells, cells), dtype=bool)
+    q1s = lower[0] + (np.arange(cells) + 0.5) / cells * (upper[0] - lower[0])
+    q2s = lower[1] + (np.arange(cells) + 0.5) / cells * (upper[1] - lower[1])
+    for i, q1 in enumerate(q1s):
+        for j, q2 in enumerate(q2s):
+            occupancy[i, j] = checker.check_pose(np.array([q1, q2]))
+    return CSpaceMap(occupancy=occupancy, lower=lower, upper=upper)
+
+
+def path_stays_free(cspace_map: CSpaceMap, path: List[np.ndarray], steps: int = 200) -> bool:
+    """Whether a densely sampled path avoids the mapped C-obst cells."""
+    if len(path) < 2:
+        return True
+    for q_start, q_end in zip(path[:-1], path[1:]):
+        q_start = np.asarray(q_start, dtype=float)
+        q_end = np.asarray(q_end, dtype=float)
+        for t in np.linspace(0.0, 1.0, steps):
+            if cspace_map.is_colliding(q_start + t * (q_end - q_start)):
+                return False
+    return True

@@ -1,0 +1,162 @@
+"""Motions, CD phases, and scheduler function modes.
+
+A *motion* is the straight C-space segment between two adjacent poses,
+discretized into the poses the collision detector checks (Figure 6a).  A
+*phase* is the unit of work the controller hands to SAS: a group of motions
+plus a function mode telling the scheduler when it may stop (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+import numpy as np
+
+from repro.collision.checker import RobotEnvironmentChecker, interpolate_motion
+
+
+class FunctionMode(Enum):
+    """SAS function modes (Section 5.1)."""
+
+    #: Are *all* motions collision-free?  Stop on the first colliding pose.
+    FEASIBILITY = "feasibility"
+    #: Is *at least one* motion collision-free?  Stop on the first free motion.
+    CONNECTIVITY = "connectivity"
+    #: Report the outcome of every motion.
+    COMPLETE = "complete"
+
+
+class MotionRecord:
+    """One discretized motion with lazily computed ground-truth collisions.
+
+    The simulator may probe poses in any order (that is the whole point of
+    SAS), so per-pose outcomes are cached on first request rather than
+    precomputed front to back.
+    """
+
+    def __init__(self, poses: np.ndarray, checker: Optional[RobotEnvironmentChecker]):
+        poses = np.asarray(poses, dtype=float)
+        if poses.ndim != 2 or len(poses) < 2:
+            raise ValueError(f"a motion needs >= 2 poses, got shape {poses.shape}")
+        self.poses = poses
+        self._checker = checker
+        self._outcomes: List[Optional[bool]] = [None] * len(poses)
+
+    @classmethod
+    def from_endpoints(
+        cls, q_start, q_end, checker: RobotEnvironmentChecker
+    ) -> "MotionRecord":
+        return cls(interpolate_motion(q_start, q_end, checker.motion_step), checker)
+
+    @classmethod
+    def from_precomputed(cls, poses: np.ndarray, outcomes: List[bool]) -> "MotionRecord":
+        """A motion whose per-pose outcomes are already known.
+
+        Used when replaying serialized traces (the artifact-style workflow):
+        no collision substrate is needed, the stored ground truth answers
+        every query.
+        """
+        motion = cls(poses, checker=None)
+        if len(outcomes) != len(motion.poses):
+            raise ValueError(
+                f"need {len(motion.poses)} outcomes, got {len(outcomes)}"
+            )
+        motion._outcomes = [bool(o) for o in outcomes]
+        return motion
+
+    def evaluate_all(self) -> List[bool]:
+        """Force ground truth for every pose (used before serialization)."""
+        return [self.pose_collides(i) for i in range(self.num_poses)]
+
+    @property
+    def num_poses(self) -> int:
+        return len(self.poses)
+
+    @property
+    def start(self) -> np.ndarray:
+        return self.poses[0]
+
+    @property
+    def end(self) -> np.ndarray:
+        return self.poses[-1]
+
+    def pose_collides(self, index: int) -> bool:
+        """Ground-truth collision outcome of pose ``index`` (cached)."""
+        outcome = self._outcomes[index]
+        if outcome is None:
+            if self._checker is None:
+                raise RuntimeError(
+                    "motion has no checker and no precomputed outcome for "
+                    f"pose {index}"
+                )
+            outcome = self._checker.check_pose(self.poses[index])
+            self._outcomes[index] = outcome
+        return outcome
+
+    def is_collision_free(self) -> bool:
+        """Sequential ground truth for the whole motion (early exit)."""
+        return self.first_collision() is None
+
+    def first_collision(self) -> Optional[int]:
+        """Index of the first colliding pose in sequential order, or None."""
+        for index in range(self.num_poses):
+            if self.pose_collides(index):
+                return index
+        return None
+
+    def evaluated_count(self) -> int:
+        """How many poses have ground truth cached (for test introspection)."""
+        return sum(1 for outcome in self._outcomes if outcome is not None)
+
+
+@dataclass
+class CDPhase:
+    """A scheduler work unit: motions + function mode + a provenance label."""
+
+    mode: FunctionMode
+    motions: List[MotionRecord]
+    label: str = ""
+
+    def __post_init__(self):
+        if not self.motions:
+            raise ValueError("a CD phase needs at least one motion")
+
+    @property
+    def total_poses(self) -> int:
+        return sum(m.num_poses for m in self.motions)
+
+    def sequential_reference(self) -> "SequentialOutcome":
+        """Work and outcome of the early-exiting sequential evaluation.
+
+        This is the work-efficiency baseline the paper compares every
+        parallel schedule against: motions run one after another, poses in
+        order, stopping as soon as the function mode allows.
+        """
+        tests = 0
+        outcomes: List[Optional[bool]] = [None] * len(self.motions)
+        for index, motion in enumerate(self.motions):
+            collided = False
+            for pose_index in range(motion.num_poses):
+                tests += 1
+                if motion.pose_collides(pose_index):
+                    collided = True
+                    break
+            outcomes[index] = collided
+            if self.mode is FunctionMode.FEASIBILITY and collided:
+                break
+            if self.mode is FunctionMode.CONNECTIVITY and not collided:
+                break
+        return SequentialOutcome(tests=tests, outcomes=outcomes)
+
+
+@dataclass
+class SequentialOutcome:
+    """Reference sequential evaluation: test count and per-motion verdicts.
+
+    ``outcomes[i]`` is None when the mode allowed stopping before motion i.
+    """
+
+    tests: int
+    outcomes: List[Optional[bool]] = field(default_factory=list)

@@ -1,0 +1,207 @@
+"""The MPNet-style learning-based motion planner (Qureshi et al.).
+
+The algorithm the paper runs on MPAccel (Section 6): bidirectional neural
+planning builds a candidate sequence of intermediate poses, lazy vertex
+contraction (greedy shortcutting) smooths it, feasibility checking validates
+every segment, and infeasible segments trigger neural replanning with an
+RRT-Connect hybrid fallback.  Every collision query flows through the
+recorder, so a plan leaves behind the exact CD phase stream MPAccel would
+execute; the planner also counts neural inferences for the DNN-accelerator
+timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.planning.cspace import cspace_distance, path_length
+from repro.planning.recorder import CDTraceRecorder
+from repro.planning.rrt_connect import RRTConnectPlanner
+from repro.planning.shortcut import greedy_shortcut
+
+
+@dataclass
+class PlanResult:
+    """Outcome of one motion planning query."""
+
+    success: bool
+    path: List[np.ndarray] = field(default_factory=list)
+    nn_inferences: int = 0
+    encoder_inferences: int = 0
+    fallback_used: bool = False
+    replans: int = 0
+
+    @property
+    def length(self) -> float:
+        return path_length(self.path)
+
+
+class MPNetPlanner:
+    """Learning-based planner with hybrid classical fallback."""
+
+    def __init__(
+        self,
+        recorder: CDTraceRecorder,
+        sampler,
+        environment_points: np.ndarray,
+        max_neural_steps: int = 40,
+        max_replans: int = 6,
+        fallback_iterations: int = 600,
+        candidates_per_step: int = 1,
+    ):
+        if max_neural_steps < 2:
+            raise ValueError(f"max_neural_steps must be >= 2, got {max_neural_steps}")
+        if max_replans < 0:
+            raise ValueError(f"max_replans must be >= 0, got {max_replans}")
+        if candidates_per_step < 1:
+            raise ValueError(
+                f"candidates_per_step must be >= 1, got {candidates_per_step}"
+            )
+        self.recorder = recorder
+        self.sampler = sampler
+        self.environment_points = np.asarray(environment_points, dtype=float)
+        self.max_neural_steps = max_neural_steps
+        self.max_replans = max_replans
+        self.fallback_iterations = fallback_iterations
+        self.candidates_per_step = candidates_per_step
+
+    def plan(self, q_start, q_goal, rng: np.random.Generator) -> PlanResult:
+        """Plan a collision-free path from ``q_start`` to ``q_goal``."""
+        robot = self.recorder.checker.robot
+        q_start = robot.clamp(q_start)
+        q_goal = robot.clamp(q_goal)
+        result = PlanResult(success=False)
+
+        latent = self.sampler.encode(self.environment_points, rng)
+        result.encoder_inferences = 1
+
+        path = self._neural_plan(latent, q_start, q_goal, rng, result)
+        if path is None:
+            path = self._fallback(q_start, q_goal, rng, result)
+            if path is None:
+                return result
+
+        path = greedy_shortcut(self._prune_colliding(path), self.recorder, label="lvc")
+        bad = self.recorder.feasibility(path, label="feasibility")
+        while bad is not None and result.replans < self.max_replans:
+            result.replans += 1
+            repaired = self._replan_round(latent, path, rng, result)
+            if repaired is None:
+                return result
+            repaired = self._prune_colliding(repaired)
+            path = greedy_shortcut(repaired, self.recorder, label="lvc")
+            bad = self.recorder.feasibility(path, label="feasibility")
+
+        if bad is not None:
+            return result
+        result.success = True
+        result.path = path
+        return result
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _neural_plan(
+        self, latent, q_start, q_goal, rng, result: PlanResult
+    ) -> Optional[List[np.ndarray]]:
+        """Bidirectional neural planning: grow both ends toward each other."""
+        forward = [np.asarray(q_start, dtype=float)]
+        backward = [np.asarray(q_goal, dtype=float)]
+        grow_forward = True
+        for _ in range(self.max_neural_steps):
+            tip_a = forward[-1] if grow_forward else backward[-1]
+            tip_b = backward[-1] if grow_forward else forward[-1]
+            q_new = self._propose(latent, tip_a, tip_b, rng, result)
+            if grow_forward:
+                forward.append(q_new)
+            else:
+                backward.append(q_new)
+            if self.recorder.steer(forward[-1], backward[-1], label="neural_connect"):
+                self.sampler.notify_success()
+                return forward + backward[::-1]
+            self.sampler.notify_failure()
+            grow_forward = not grow_forward
+        return None
+
+    def _propose(self, latent, tip_a, tip_b, rng, result: PlanResult) -> np.ndarray:
+        """One planner step: a single sample, or the best of a dropout batch.
+
+        With ``candidates_per_step > 1`` the planner draws several
+        dropout-diverse proposals and keeps the one that makes the most
+        progress toward the target among those not in collision (each
+        candidate costs one pose check and one NN inference).
+        """
+        n = self.candidates_per_step
+        if n == 1:
+            result.nn_inferences += 1
+            return self.sampler.sample_next(latent, tip_a, tip_b, rng)
+        candidates = self.sampler.sample_candidates(latent, tip_a, tip_b, rng, n)
+        result.nn_inferences += n
+        checker = self.recorder.checker
+        best = None
+        best_distance = float("inf")
+        for candidate in candidates:
+            distance = cspace_distance(candidate, tip_b)
+            if distance < best_distance and not checker.check_pose(candidate):
+                best = candidate
+                best_distance = distance
+        return best if best is not None else candidates[0]
+
+    def _prune_colliding(self, path: List[np.ndarray]) -> List[np.ndarray]:
+        """Drop intermediate waypoints that are themselves in collision.
+
+        The neural sampler proposes states without checking them (lazy
+        evaluation, as in MPNet); a colliding waypoint can never anchor a
+        repair, so it is removed before contraction and replanning.
+        """
+        checker = self.recorder.checker
+        kept = [path[0]]
+        kept += [q for q in path[1:-1] if not checker.check_pose(q)]
+        kept.append(path[-1])
+        return kept
+
+    def _replan_round(
+        self, latent, path: List[np.ndarray], rng, result: PlanResult
+    ) -> Optional[List[np.ndarray]]:
+        """One MPNet replanning round: walk the path and re-plan *every*
+        consecutive pair that is not directly connectable, neurally first
+        and with the RRT-Connect hybrid as fallback."""
+        new_path: List[np.ndarray] = [path[0]]
+        for index in range(len(path) - 1):
+            seg_start, seg_end = path[index], path[index + 1]
+            if self.recorder.steer(seg_start, seg_end, label="replan_check"):
+                new_path.append(seg_end)
+                continue
+            sub = self._neural_plan(latent, seg_start, seg_end, rng, result)
+            if sub is not None and not self._subpath_feasible(sub):
+                # The neural patch connected its tips but left an infeasible
+                # interior segment; escalate to the classical planner, whose
+                # edges are verified by construction (hybrid replanning).
+                sub = None
+            if sub is None:
+                sub = self._fallback(seg_start, seg_end, rng, result)
+                if sub is None:
+                    return None
+            new_path.extend(sub[1:])
+        return new_path
+
+    def _subpath_feasible(self, sub: List[np.ndarray]) -> bool:
+        return all(
+            self.recorder.steer(a, b, label="replan_verify")
+            for a, b in zip(sub[:-1], sub[1:])
+        )
+
+    def _fallback(self, q_start, q_goal, rng, result: PlanResult):
+        """Hybrid replanning: classical RRT-Connect on the same recorder."""
+        result.fallback_used = True
+        planner = RRTConnectPlanner(
+            self.recorder, max_iterations=self.fallback_iterations, max_step=0.5
+        )
+        path = planner.plan(q_start, q_goal, rng)
+        if path is not None and cspace_distance(path[0], q_start) > 1e-9:
+            return None
+        return path

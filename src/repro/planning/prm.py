@@ -1,0 +1,155 @@
+"""Probabilistic Roadmap (PRM) planner.
+
+The algorithm family behind the prior motion planning accelerators the
+paper compares against (Murray et al., Lian et al.): sample a roadmap of
+collision-free configurations once, connect k-nearest neighbors with
+collision-checked edges, then answer queries with graph search.  Including
+it lets the repository demonstrate the paper's scalability argument — the
+roadmap's edge set (precomputed swept volumes in the accelerators) grows
+quickly with environment/task complexity, which is what pushed those
+designs to tens of MB of on-chip memory.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.planning.cspace import cspace_distance
+from repro.planning.recorder import CDTraceRecorder
+
+
+class PRMPlanner:
+    """k-nearest-neighbor PRM with lazy start/goal attachment."""
+
+    def __init__(
+        self,
+        recorder: CDTraceRecorder,
+        n_samples: int = 200,
+        k_neighbors: int = 8,
+    ):
+        if n_samples < 2:
+            raise ValueError(f"n_samples must be >= 2, got {n_samples}")
+        if k_neighbors < 1:
+            raise ValueError(f"k_neighbors must be >= 1, got {k_neighbors}")
+        self.recorder = recorder
+        self.n_samples = n_samples
+        self.k_neighbors = k_neighbors
+        self._nodes: List[np.ndarray] = []
+        self._adjacency: Dict[int, List[Tuple[int, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Roadmap construction
+    # ------------------------------------------------------------------
+
+    @property
+    def roadmap_built(self) -> bool:
+        return bool(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(edges) for edges in self._adjacency.values()) // 2
+
+    def build_roadmap(self, rng: np.random.Generator) -> None:
+        """Sample free configurations and connect k-nearest neighbors.
+
+        Edge checks go through the recorder (single-motion feasibility
+        phases), so roadmap construction produces the same CD workload
+        stream the PRM accelerators would precompute.
+        """
+        checker = self.recorder.checker
+        self._nodes = []
+        self._adjacency = {}
+        attempts = 0
+        while len(self._nodes) < self.n_samples and attempts < 50 * self.n_samples:
+            attempts += 1
+            q = checker.robot.random_configuration(rng)
+            if not checker.check_pose(q):
+                self._nodes.append(q)
+        for index in range(len(self._nodes)):
+            self._adjacency[index] = []
+        for index, q in enumerate(self._nodes):
+            for neighbor in self._nearest(q, self.k_neighbors + 1):
+                if neighbor == index:
+                    continue
+                if any(n == neighbor for n, _ in self._adjacency[index]):
+                    continue
+                if self.recorder.steer(q, self._nodes[neighbor], label="prm_edge"):
+                    weight = cspace_distance(q, self._nodes[neighbor])
+                    self._adjacency[index].append((neighbor, weight))
+                    self._adjacency[neighbor].append((index, weight))
+
+    def _nearest(self, q, k: int) -> List[int]:
+        stacked = np.asarray(self._nodes)
+        deltas = stacked - np.asarray(q, dtype=float)
+        distances = np.einsum("ij,ij->i", deltas, deltas)
+        return list(np.argsort(distances)[:k])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def plan(
+        self, q_start, q_goal, rng: np.random.Generator
+    ) -> Optional[List[np.ndarray]]:
+        """Answer a query against the roadmap (building it on first use)."""
+        if not self.roadmap_built:
+            self.build_roadmap(rng)
+        if not self._nodes:
+            return None
+        start_links = self._attach(q_start)
+        goal_links = self._attach(q_goal)
+        if not start_links or not goal_links:
+            return None
+        start_costs = dict(start_links)
+        goal_costs = dict(goal_links)
+        node_path = self._shortest_path(start_costs, goal_costs)
+        if node_path is None:
+            return None
+        return (
+            [np.asarray(q_start, dtype=float)]
+            + [self._nodes[i] for i in node_path]
+            + [np.asarray(q_goal, dtype=float)]
+        )
+
+    def _attach(self, q) -> List[Tuple[int, float]]:
+        """Connect a query configuration to its reachable nearest nodes."""
+        links = []
+        for index in self._nearest(q, self.k_neighbors):
+            if self.recorder.steer(q, self._nodes[index], label="prm_attach"):
+                links.append((index, cspace_distance(q, self._nodes[index])))
+        return links
+
+    def _shortest_path(self, start_costs, goal_costs) -> Optional[List[int]]:
+        """Dijkstra from the start attachments to any goal attachment."""
+        best: Dict[int, float] = {}
+        parent: Dict[int, Optional[int]] = {}
+        heap = []
+        for node, cost in start_costs.items():
+            heapq.heappush(heap, (cost, node))
+            best[node] = cost
+            parent[node] = None
+        while heap:
+            cost, node = heapq.heappop(heap)
+            if cost > best.get(node, float("inf")):
+                continue
+            if node in goal_costs:
+                path = []
+                cursor: Optional[int] = node
+                while cursor is not None:
+                    path.append(cursor)
+                    cursor = parent[cursor]
+                return list(reversed(path))
+            for neighbor, weight in self._adjacency.get(node, []):
+                candidate = cost + weight
+                if candidate < best.get(neighbor, float("inf")):
+                    best[neighbor] = candidate
+                    parent[neighbor] = node
+                    heapq.heappush(heap, (candidate, neighbor))
+        return None

@@ -1,0 +1,116 @@
+"""The CD trace recorder: the bridge between planners and the accelerator.
+
+Planners do not call the collision checker directly for motions; they go
+through this recorder, which both answers the query (using the early-exiting
+sequential semantics a CPU implementation would have) and appends a
+:class:`CDPhase` describing the work unit the controller would have shipped
+to SAS.  Replaying the recorded phases through the SAS/MPAccel simulators
+yields the runtime and energy numbers of Sections 7.1 and 7.4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+
+
+class CDTraceRecorder:
+    """Records collision-detection phases issued by a planner."""
+
+    def __init__(self, checker: RobotEnvironmentChecker, record: bool = True):
+        self.checker = checker
+        self.record = record
+        self.phases: List[CDPhase] = []
+
+    # ------------------------------------------------------------------
+    # Planner-facing queries
+    # ------------------------------------------------------------------
+
+    def steer(self, q_start, q_end, label: str = "steer") -> bool:
+        """Is the straight motion between two poses collision-free?
+
+        Recorded as a single-motion FEASIBILITY phase.
+        """
+        motion = MotionRecord.from_endpoints(q_start, q_end, self.checker)
+        self._append(CDPhase(FunctionMode.FEASIBILITY, [motion], label))
+        return motion.is_collision_free()
+
+    def feasibility(
+        self, path: Sequence[np.ndarray], label: str = "feasibility"
+    ) -> Optional[int]:
+        """Check every segment of a path; returns the first infeasible
+        segment index, or None when the whole path is collision-free.
+
+        Recorded as one FEASIBILITY phase over all segments.
+        """
+        if len(path) < 2:
+            return None
+        motions = [
+            MotionRecord.from_endpoints(path[i], path[i + 1], self.checker)
+            for i in range(len(path) - 1)
+        ]
+        self._append(CDPhase(FunctionMode.FEASIBILITY, motions, label))
+        for index, motion in enumerate(motions):
+            if not motion.is_collision_free():
+                return index
+        return None
+
+    def connectivity(
+        self, q_anchor, targets: Sequence[np.ndarray], label: str = "shortcut"
+    ) -> Optional[int]:
+        """Find the first target reachable from ``q_anchor`` by a free motion.
+
+        Recorded as one CONNECTIVITY phase; this is the shortcutting workload
+        (Section 2.1), where the scheduler may stop at the first free motion.
+        """
+        if not len(targets):
+            return None
+        motions = [
+            MotionRecord.from_endpoints(q_anchor, target, self.checker)
+            for target in targets
+        ]
+        self._append(CDPhase(FunctionMode.CONNECTIVITY, motions, label))
+        for index, motion in enumerate(motions):
+            if motion.is_collision_free():
+                return index
+        return None
+
+    def complete(self, segments: Sequence[tuple], label: str = "complete") -> List[bool]:
+        """Evaluate every (start, end) motion; returns per-motion collision flags."""
+        motions = [
+            MotionRecord.from_endpoints(q_start, q_end, self.checker)
+            for q_start, q_end in segments
+        ]
+        if motions:
+            self._append(CDPhase(FunctionMode.COMPLETE, motions, label))
+        return [not motion.is_collision_free() for motion in motions]
+
+    # ------------------------------------------------------------------
+    # Trace access
+    # ------------------------------------------------------------------
+
+    def _append(self, phase: CDPhase) -> None:
+        if self.record:
+            self.phases.append(phase)
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.phases)
+
+    @property
+    def total_motions(self) -> int:
+        return sum(len(phase.motions) for phase in self.phases)
+
+    @property
+    def total_poses(self) -> int:
+        return sum(phase.total_poses for phase in self.phases)
+
+    def clear(self) -> None:
+        self.phases.clear()
+
+    def phases_by_label(self, label: str) -> List[CDPhase]:
+        return [phase for phase in self.phases if phase.label == label]

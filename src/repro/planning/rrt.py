@@ -1,0 +1,87 @@
+"""Rapidly-exploring Random Tree (RRT) planner.
+
+The classical sampling-based baseline.  Every edge check goes through the
+trace recorder, so an RRT run produces the same kind of CD phase stream the
+accelerator consumes (a long sequence of single-motion feasibility checks).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.planning.cspace import cspace_distance, steer_toward
+from repro.planning.recorder import CDTraceRecorder
+
+
+class RRTPlanner:
+    """Single-tree RRT with goal biasing."""
+
+    def __init__(
+        self,
+        recorder: CDTraceRecorder,
+        max_iterations: int = 2000,
+        max_step: float = 0.5,
+        goal_bias: float = 0.1,
+        goal_tolerance: float = 1e-6,
+    ):
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        if max_step <= 0:
+            raise ValueError(f"max_step must be positive, got {max_step}")
+        if not 0.0 <= goal_bias <= 1.0:
+            raise ValueError(f"goal_bias must be in [0, 1], got {goal_bias}")
+        self.recorder = recorder
+        self.max_iterations = max_iterations
+        self.max_step = max_step
+        self.goal_bias = goal_bias
+        self.goal_tolerance = goal_tolerance
+
+    def plan(
+        self, q_start, q_goal, rng: np.random.Generator
+    ) -> Optional[List[np.ndarray]]:
+        """A collision-free path from start to goal, or None on failure."""
+        checker = self.recorder.checker
+        robot = checker.robot
+        q_start = robot.clamp(q_start)
+        q_goal = robot.clamp(q_goal)
+        nodes = [np.asarray(q_start, dtype=float)]
+        parents = [-1]
+
+        for _ in range(self.max_iterations):
+            if rng.random() < self.goal_bias:
+                target = q_goal
+            else:
+                target = robot.random_configuration(rng)
+            near_index = self._nearest(nodes, target)
+            q_new = steer_toward(nodes[near_index], target, self.max_step)
+            if not self.recorder.steer(nodes[near_index], q_new, label="rrt_extend"):
+                continue
+            nodes.append(q_new)
+            parents.append(near_index)
+            if cspace_distance(q_new, q_goal) <= self.goal_tolerance:
+                return self._trace_back(nodes, parents, len(nodes) - 1)
+            # Try to connect the new node straight to the goal.
+            if cspace_distance(q_new, q_goal) <= self.max_step and self.recorder.steer(
+                q_new, q_goal, label="rrt_goal"
+            ):
+                nodes.append(np.asarray(q_goal, dtype=float))
+                parents.append(len(nodes) - 2)
+                return self._trace_back(nodes, parents, len(nodes) - 1)
+        return None
+
+    @staticmethod
+    def _nearest(nodes: List[np.ndarray], target) -> int:
+        stacked = np.asarray(nodes)
+        deltas = stacked - np.asarray(target, dtype=float)
+        return int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))
+
+    @staticmethod
+    def _trace_back(nodes, parents, index) -> List[np.ndarray]:
+        path = []
+        while index >= 0:
+            path.append(nodes[index])
+            index = parents[index]
+        path.reverse()
+        return path

@@ -1,0 +1,105 @@
+"""Bidirectional RRT-Connect planner.
+
+Used both as the demonstration generator for training the neural sampler and
+as the hybrid fallback/replanning engine inside the MPNet-style planner
+(as in Qureshi et al.).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.planning.cspace import cspace_distance, steer_toward
+from repro.planning.recorder import CDTraceRecorder
+
+_TRAPPED, _ADVANCED, _REACHED = 0, 1, 2
+
+
+class _Tree:
+    def __init__(self, root):
+        self.nodes: List[np.ndarray] = [np.asarray(root, dtype=float)]
+        self.parents: List[int] = [-1]
+
+    def nearest(self, target) -> int:
+        stacked = np.asarray(self.nodes)
+        deltas = stacked - np.asarray(target, dtype=float)
+        return int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))
+
+    def add(self, q, parent: int) -> int:
+        self.nodes.append(np.asarray(q, dtype=float))
+        self.parents.append(parent)
+        return len(self.nodes) - 1
+
+    def path_to_root(self, index: int) -> List[np.ndarray]:
+        path = []
+        while index >= 0:
+            path.append(self.nodes[index])
+            index = self.parents[index]
+        return path
+
+
+class RRTConnectPlanner:
+    """RRT-Connect: grow two trees toward each other with a greedy connect."""
+
+    def __init__(
+        self,
+        recorder: CDTraceRecorder,
+        max_iterations: int = 1000,
+        max_step: float = 0.5,
+    ):
+        if max_iterations < 1:
+            raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
+        if max_step <= 0:
+            raise ValueError(f"max_step must be positive, got {max_step}")
+        self.recorder = recorder
+        self.max_iterations = max_iterations
+        self.max_step = max_step
+
+    def plan(
+        self, q_start, q_goal, rng: np.random.Generator
+    ) -> Optional[List[np.ndarray]]:
+        robot = self.recorder.checker.robot
+        tree_a = _Tree(robot.clamp(q_start))
+        tree_b = _Tree(robot.clamp(q_goal))
+        a_is_start = True
+
+        for _ in range(self.max_iterations):
+            sample = robot.random_configuration(rng)
+            status, new_index = self._extend(tree_a, sample)
+            if status != _TRAPPED:
+                q_new = tree_a.nodes[new_index]
+                status_b, index_b = self._connect(tree_b, q_new)
+                if status_b == _REACHED:
+                    return self._join(tree_a, new_index, tree_b, index_b, a_is_start)
+            tree_a, tree_b = tree_b, tree_a
+            a_is_start = not a_is_start
+        return None
+
+    def _extend(self, tree: _Tree, target):
+        near = tree.nearest(target)
+        q_new = steer_toward(tree.nodes[near], target, self.max_step)
+        if not self.recorder.steer(tree.nodes[near], q_new, label="rrtc_extend"):
+            return _TRAPPED, -1
+        index = tree.add(q_new, near)
+        if cspace_distance(q_new, target) < 1e-9:
+            return _REACHED, index
+        return _ADVANCED, index
+
+    def _connect(self, tree: _Tree, target):
+        status = _ADVANCED
+        index = -1
+        while status == _ADVANCED:
+            status, index = self._extend(tree, target)
+        return status, index
+
+    @staticmethod
+    def _join(tree_a, index_a, tree_b, index_b, a_is_start) -> List[np.ndarray]:
+        half_a = tree_a.path_to_root(index_a)  # new node ... root
+        half_b = tree_b.path_to_root(index_b)
+        if a_is_start:
+            path = list(reversed(half_a)) + half_b[1:]
+        else:
+            path = list(reversed(half_b)) + half_a[1:]
+        return path

@@ -1,0 +1,165 @@
+"""Pose samplers for the learning-based planner.
+
+The MPNet planner asks a sampler for "the next intermediate pose from here
+toward there".  Two implementations are provided:
+
+- :class:`NeuralSampler` wraps the trained ENet/PNet pair — the faithful
+  MPNet configuration.
+- :class:`HeuristicSampler` is a deterministic-cost stand-in (goal-directed
+  step plus Gaussian exploration noise) that produces the same *trace
+  structure* at a fraction of the Python cost; the benchmark harness uses
+  it by default so full figure sweeps stay fast.  Its ``macs`` mirror the
+  original MPNet networks so DNN-accelerator timing stays realistic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.neural.mpnet_nets import (
+    MPNetModel,
+    ORIGINAL_ENET_MACS,
+    ORIGINAL_PNET_MACS,
+    fixed_size_cloud,
+)
+from repro.robot.model import RobotModel
+
+
+class HeuristicSampler:
+    """Goal-directed stochastic sampler with MPNet-shaped cost accounting.
+
+    Each call steps at most ``max_step`` toward the target and perturbs the
+    step with Gaussian noise, mimicking the dropout-driven diversity of the
+    neural sampler.  The noise scale grows with ``stagnation`` so repeated
+    failures explore more aggressively (MPNet gets the same effect from
+    re-sampling with dropout).
+    """
+
+    def __init__(
+        self,
+        robot: RobotModel,
+        max_step: float = 0.6,
+        noise: float = 0.25,
+    ):
+        if max_step <= 0:
+            raise ValueError(f"max_step must be positive, got {max_step}")
+        if noise < 0:
+            raise ValueError(f"noise must be >= 0, got {noise}")
+        self.robot = robot
+        self.max_step = max_step
+        self.noise = noise
+        self.stagnation = 0
+
+    @property
+    def pnet_macs(self) -> int:
+        return ORIGINAL_PNET_MACS
+
+    @property
+    def enet_macs(self) -> int:
+        return ORIGINAL_ENET_MACS
+
+    def encode(self, environment_points: np.ndarray, rng: np.random.Generator):
+        """No latent needed; returns None (cost still accounted upstream)."""
+        return None
+
+    def sample_next(
+        self,
+        latent,
+        q_current: np.ndarray,
+        q_target: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        q_current = np.asarray(q_current, dtype=float)
+        q_target = np.asarray(q_target, dtype=float)
+        delta = q_target - q_current
+        distance = float(np.linalg.norm(delta))
+        if distance > self.max_step:
+            step = delta * (self.max_step / distance)
+        else:
+            step = delta
+        scale = self.noise * (1.0 + 0.5 * self.stagnation) * min(1.0, distance)
+        noise = rng.normal(0.0, scale, size=q_current.shape)
+        return self.robot.clamp(q_current + step + noise)
+
+    def sample_candidates(
+        self,
+        latent,
+        q_current: np.ndarray,
+        q_target: np.ndarray,
+        rng: np.random.Generator,
+        n: int,
+    ) -> list:
+        """``n`` independent proposals (diverse by the exploration noise)."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        return [self.sample_next(latent, q_current, q_target, rng) for _ in range(n)]
+
+    def notify_failure(self) -> None:
+        """Widen exploration after a failed connection attempt."""
+        self.stagnation = min(self.stagnation + 1, 8)
+
+    def notify_success(self) -> None:
+        self.stagnation = 0
+
+
+class NeuralSampler:
+    """The trained MPNet pair as a sampler."""
+
+    def __init__(self, model: MPNetModel, robot: RobotModel):
+        if model.dof != robot.dof:
+            raise ValueError(
+                f"model dof {model.dof} does not match robot dof {robot.dof}"
+            )
+        self.model = model
+        self.robot = robot
+
+    @property
+    def pnet_macs(self) -> int:
+        return self.model.pnet.macs
+
+    @property
+    def enet_macs(self) -> int:
+        return self.model.enet.macs
+
+    def encode(
+        self, environment_points: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        cloud = fixed_size_cloud(environment_points, self.model.n_cloud_points, rng)
+        return self.model.encode(cloud)
+
+    def sample_next(
+        self,
+        latent: np.ndarray,
+        q_current: np.ndarray,
+        q_target: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        prediction = self.model.next_pose(latent, q_current, q_target, rng=rng)
+        return self.robot.clamp(prediction)
+
+    def sample_candidates(
+        self,
+        latent: np.ndarray,
+        q_current: np.ndarray,
+        q_target: np.ndarray,
+        rng: np.random.Generator,
+        n: int,
+    ) -> list:
+        """``n`` dropout-diverse proposals from the same network state.
+
+        This is how MPNet draws multiple candidates: dropout stays active
+        at inference, so repeated forward passes differ.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        return [
+            self.sample_next(latent, q_current, q_target, rng) for _ in range(n)
+        ]
+
+    def notify_failure(self) -> None:
+        """Dropout already injects diversity; nothing to adapt."""
+
+    def notify_success(self) -> None:
+        pass

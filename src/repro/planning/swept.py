@@ -1,0 +1,118 @@
+"""Swept-volume computation and the PRM-accelerator memory model.
+
+Prior motion planning accelerators (Murray et al., Lian et al.) precompute
+the *swept volume* of every roadmap motion — the union of all space the
+robot occupies anywhere along the motion — and store it (as voxel sets or
+octrees) for constant-time collision checks at runtime.  The paper's
+scalability argument (Sections 1 and 8) is that those stores grow to tens
+of MB as the roadmap grows, which is what MPAccel's on-the-fly OBB
+generation avoids.
+
+This module computes swept volumes behaviorally and prices the
+precomputed-roadmap memory so the argument can be regenerated as an
+experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Set, Tuple
+
+import numpy as np
+
+from repro.collision.checker import interpolate_motion
+from repro.env.octree import NODE_BITS, Octree
+from repro.env.voxel import VoxelGrid
+from repro.geometry.aabb import AABB
+from repro.robot.model import RobotModel
+
+
+def swept_voxels(
+    robot: RobotModel,
+    q_start,
+    q_end,
+    grid: VoxelGrid,
+    step: float = 0.05,
+) -> Set[Tuple[int, int, int]]:
+    """Voxel indices the robot touches anywhere along a motion.
+
+    Conservative: a voxel is swept when its center lies within any link OBB
+    expanded by half a voxel diagonal at any discretized pose.
+    """
+    swept: Set[Tuple[int, int, int]] = set()
+    size = grid.voxel_size
+    margin = 0.5 * size * np.sqrt(3.0)
+    resolution = grid.resolution
+    lo_bound = grid.bounds.minimum
+    for pose in interpolate_motion(q_start, q_end, step):
+        for obb in robot.link_obbs(pose):
+            enclosing = obb.enclosing_aabb()
+            lo = np.floor((enclosing.minimum - lo_bound) / size).astype(int)
+            hi = np.ceil((enclosing.maximum - lo_bound) / size).astype(int)
+            lo = np.clip(lo, 0, resolution)
+            hi = np.clip(hi, 0, resolution)
+            if np.any(hi <= lo):
+                continue
+            axes = [np.arange(lo[d], hi[d]) for d in range(3)]
+            ii, jj, kk = np.meshgrid(*axes, indexing="ij")
+            indices = np.stack([ii.ravel(), jj.ravel(), kk.ravel()], axis=1)
+            centers = lo_bound + (indices + 0.5) * size
+            local = (centers - obb.center) @ obb.rotation
+            inside = np.all(np.abs(local) <= obb.half_extents + margin, axis=1)
+            swept.update(map(tuple, indices[inside]))
+    return swept
+
+
+def swept_volume_grid(
+    robot: RobotModel, q_start, q_end, bounds: AABB, resolution: int = 32,
+    step: float = 0.05,
+) -> VoxelGrid:
+    """The swept volume as an occupancy grid (for octree compression)."""
+    grid = VoxelGrid(bounds, resolution)
+    for index in swept_voxels(robot, q_start, q_end, grid, step):
+        grid.occupancy[index] = True
+    return grid
+
+
+@dataclass(frozen=True)
+class SweptMemoryEstimate:
+    """Storage cost of a precomputed-roadmap accelerator."""
+
+    n_motions: int
+    voxel_bits: int  # dense bitmap per motion (Murray et al. style)
+    octree_bits: int  # octree-compressed per motion (Lian et al. style)
+
+    @property
+    def voxel_mb(self) -> float:
+        return self.voxel_bits / 8 / 1e6
+
+    @property
+    def octree_mb(self) -> float:
+        return self.octree_bits / 8 / 1e6
+
+
+def roadmap_memory_estimate(
+    robot: RobotModel,
+    motions: List[Tuple[np.ndarray, np.ndarray]],
+    bounds: AABB,
+    resolution: int = 32,
+    step: float = 0.1,
+) -> SweptMemoryEstimate:
+    """Total swept-volume storage for a set of roadmap motions.
+
+    ``voxel_bits`` stores each motion's swept set as a sparse voxel list
+    (3 coordinates per voxel, log2(resolution) bits each, as the PRM chips
+    do); ``octree_bits`` stores each swept volume octree-compressed.
+    """
+    coord_bits = 3 * max(1, int(np.ceil(np.log2(resolution))))
+    voxel_bits = 0
+    octree_bits = 0
+    for q_start, q_end in motions:
+        grid = swept_volume_grid(robot, q_start, q_end, bounds, resolution, step)
+        voxel_bits += grid.occupied_count * coord_bits
+        octree_bits += Octree.from_voxel_grid(grid).node_count * NODE_BITS
+    return SweptMemoryEstimate(
+        n_motions=len(motions),
+        voxel_bits=voxel_bits,
+        octree_bits=octree_bits,
+    )

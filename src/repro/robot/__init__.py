@@ -1,0 +1,25 @@
+"""Robot models: DH kinematics and per-link collision geometry.
+
+A robot is a chain of revolute joints described by Denavit-Hartenberg
+parameters plus a set of link bounding boxes.  Evaluating forward kinematics
+for a configuration yields one OBB per link — the exact quantities the OBB
+Generation Unit produces on-chip (Section 5.2).
+"""
+
+from repro.robot.builder import robot_from_spec, spec_from_robot
+from repro.robot.dh import DHParam, dh_transform
+from repro.robot.link import LinkGeometry
+from repro.robot.model import RobotModel
+from repro.robot.presets import baxter_arm, jaco2, planar_arm
+
+__all__ = [
+    "DHParam",
+    "dh_transform",
+    "LinkGeometry",
+    "RobotModel",
+    "jaco2",
+    "baxter_arm",
+    "planar_arm",
+    "robot_from_spec",
+    "spec_from_robot",
+]

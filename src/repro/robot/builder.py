@@ -1,0 +1,134 @@
+"""Spec-driven robot construction.
+
+Lets downstream users describe a serial manipulator as plain data (e.g.
+loaded from JSON/YAML) instead of writing preset code:
+
+```python
+spec = {
+    "name": "myarm",
+    "joints": [
+        {"d": 0.3, "alpha": 1.5708, "limits": [-3.14, 3.14]},
+        {"d": 0.25, "alpha": -1.5708},
+    ],
+    "links": [
+        {"frame": 0, "length": 0.3, "width": 0.08},
+        {"frame": 1, "length": 0.25, "width": 0.06},
+    ],
+}
+robot = robot_from_spec(spec)
+```
+
+Joints default to full-circle limits; links default to the pure-z segment
+shape the presets use, or accept explicit ``half_extents`` + ``offset``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.geometry.transform import RigidTransform
+from repro.robot.dh import DHParam
+from repro.robot.link import LinkGeometry, link_along_z
+from repro.robot.model import RobotModel
+
+_DEFAULT_LIMIT = math.pi
+
+
+def _joint_from_spec(spec: dict) -> DHParam:
+    unknown = set(spec) - {"a", "alpha", "d", "theta_offset", "limits"}
+    if unknown:
+        raise ValueError(f"unknown joint fields: {sorted(unknown)}")
+    return DHParam(
+        a=float(spec.get("a", 0.0)),
+        alpha=float(spec.get("alpha", 0.0)),
+        d=float(spec.get("d", 0.0)),
+        theta_offset=float(spec.get("theta_offset", 0.0)),
+    )
+
+
+def _link_from_spec(index: int, spec: dict) -> LinkGeometry:
+    unknown = set(spec) - {"frame", "length", "width", "half_extents", "offset", "name"}
+    if unknown:
+        raise ValueError(f"unknown link fields: {sorted(unknown)}")
+    name = spec.get("name", f"link{index}")
+    frame = int(spec.get("frame", index))
+    if "half_extents" in spec:
+        offset = spec.get("offset", [0.0, 0.0, 0.0])
+        return LinkGeometry(
+            name=name,
+            frame_index=frame,
+            half_extents=tuple(float(h) for h in spec["half_extents"]),
+            local=RigidTransform.from_translation(offset),
+        )
+    if "length" not in spec or "width" not in spec:
+        raise ValueError(
+            f"link {name!r} needs either half_extents or length+width"
+        )
+    return link_along_z(name, frame, float(spec["length"]), float(spec["width"]))
+
+
+def robot_from_spec(spec: dict, base: RigidTransform | None = None) -> RobotModel:
+    """Build a :class:`RobotModel` from a plain-data description."""
+    unknown = set(spec) - {"name", "joints", "links"}
+    if unknown:
+        raise ValueError(f"unknown robot fields: {sorted(unknown)}")
+    if "joints" not in spec or not spec["joints"]:
+        raise ValueError("robot spec needs a non-empty 'joints' list")
+    joints: List[DHParam] = [_joint_from_spec(j) for j in spec["joints"]]
+
+    limits = []
+    for joint_spec in spec["joints"]:
+        lo, hi = joint_spec.get("limits", (-_DEFAULT_LIMIT, _DEFAULT_LIMIT))
+        limits.append([float(lo), float(hi)])
+
+    link_specs = spec.get("links")
+    if not link_specs:
+        # Default: one segment link per joint, sized from the DH offsets.
+        link_specs = [
+            {"frame": i, "length": max(abs(j.d) + abs(j.a), 0.05), "width": 0.06}
+            for i, j in enumerate(joints)
+        ]
+    links = [_link_from_spec(i, s) for i, s in enumerate(link_specs)]
+
+    return RobotModel(
+        name=str(spec.get("name", "custom")),
+        dh=joints,
+        links=links,
+        joint_limits=np.asarray(limits),
+        base=base,
+    )
+
+
+def spec_from_robot(robot: RobotModel) -> dict:
+    """The inverse: a plain-data description of an existing model.
+
+    Links are exported in explicit ``half_extents``/``offset`` form, so
+    ``robot_from_spec(spec_from_robot(r))`` reproduces the geometry exactly
+    for translation-only link offsets (which covers every preset; the spec
+    format does not carry link-local rotations).
+    """
+    return {
+        "name": robot.name,
+        "joints": [
+            {
+                "a": p.a,
+                "alpha": p.alpha,
+                "d": p.d,
+                "theta_offset": p.theta_offset,
+                "limits": [float(lo), float(hi)],
+            }
+            for p, (lo, hi) in zip(robot.dh, robot.joint_limits)
+        ],
+        "links": [
+            {
+                "name": link.name,
+                "frame": link.frame_index,
+                "half_extents": [float(h) for h in link.half_extents],
+                "offset": [float(v) for v in link.local.translation],
+            }
+            for link in robot.links
+        ],
+    }

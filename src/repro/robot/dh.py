@@ -1,0 +1,70 @@
+"""Classic Denavit-Hartenberg joint parameterization.
+
+Each revolute joint contributes the transform
+
+    A(theta) = Rz(theta + theta_offset) * Tz(d) * Tx(a) * Rx(alpha)
+
+mapping frame ``i`` coordinates into frame ``i-1``.  The OBB Generation Unit
+evaluates exactly this chain with its trigonometric function unit and matrix
+multipliers (Figure 14a).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.transform import RigidTransform
+
+
+@dataclass(frozen=True)
+class DHParam:
+    """Classic DH parameters of one revolute joint.
+
+    ``a``: link length along x, ``alpha``: link twist about x, ``d``: offset
+    along z, ``theta_offset``: fixed bias added to the joint variable.
+    """
+
+    a: float = 0.0
+    alpha: float = 0.0
+    d: float = 0.0
+    theta_offset: float = 0.0
+
+
+def dh_transform(param: DHParam, theta: float) -> RigidTransform:
+    """The frame-(i-1) <- frame-i transform for joint angle ``theta``."""
+    th = theta + param.theta_offset
+    ct, st = math.cos(th), math.sin(th)
+    ca, sa = math.cos(param.alpha), math.sin(param.alpha)
+    a, d = param.a, param.d
+    matrix = np.array(
+        [
+            [ct, -st * ca, st * sa, a * ct],
+            [st, ct * ca, -ct * sa, a * st],
+            [0.0, sa, ca, d],
+            [0.0, 0.0, 0.0, 1.0],
+        ]
+    )
+    return RigidTransform(matrix)
+
+
+def chain_forward_kinematics(
+    params: list, thetas, base: RigidTransform | None = None
+) -> list:
+    """Frames of every joint: ``frames[i]`` maps frame-i coords to world.
+
+    ``frames[0]`` is the base frame itself; ``frames[i]`` for i >= 1 is the
+    frame after applying joints 1..i.  Length is ``len(params) + 1``.
+    """
+    if len(params) != len(thetas):
+        raise ValueError(
+            f"got {len(thetas)} joint angles for {len(params)} DH joints"
+        )
+    current = base if base is not None else RigidTransform.identity()
+    frames = [current]
+    for param, theta in zip(params, thetas):
+        current = current @ dh_transform(param, float(theta))
+        frames.append(current)
+    return frames

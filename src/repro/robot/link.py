@@ -1,0 +1,72 @@
+"""Per-link collision geometry.
+
+Each link carries one OBB expressed in the coordinate frame of the joint it
+is rigidly attached to.  The hardware stores, per link, the OBB size plus the
+radii of its bounding and inscribed spheres in SRAM (Section 5.2); both radii
+derive from the half extents, so they are computed properties here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.obb import OBB
+from repro.geometry.transform import RigidTransform
+
+
+@dataclass(frozen=True)
+class LinkGeometry:
+    """An OBB rigidly attached to a kinematic frame.
+
+    ``frame_index`` selects which forward-kinematics frame the box rides on
+    (0 = robot base).  ``local`` places the box within that frame.
+    """
+
+    name: str
+    frame_index: int
+    half_extents: tuple
+    local: RigidTransform = field(default_factory=RigidTransform.identity)
+
+    def __post_init__(self):
+        if self.frame_index < 0:
+            raise ValueError(f"frame_index must be >= 0, got {self.frame_index}")
+        if len(self.half_extents) != 3 or any(h <= 0 for h in self.half_extents):
+            raise ValueError(
+                f"half_extents must be 3 positive values, got {self.half_extents}"
+            )
+
+    @property
+    def bounding_sphere_radius(self) -> float:
+        hx, hy, hz = self.half_extents
+        return math.sqrt(hx * hx + hy * hy + hz * hz)
+
+    @property
+    def inscribed_sphere_radius(self) -> float:
+        return min(self.half_extents)
+
+    def obb_in_world(self, frame: RigidTransform) -> OBB:
+        """The link's OBB in world coordinates for a given frame pose."""
+        pose = frame @ self.local
+        return OBB(pose.translation, np.asarray(self.half_extents), pose.rotation)
+
+
+def link_along_z(name: str, frame_index: int, length: float, width: float) -> LinkGeometry:
+    """Convenience: a box spanning [0, length] on the frame's z axis.
+
+    This is the common shape for arms whose DH tables use pure ``d`` offsets:
+    the physical link runs from the joint origin to the next joint origin.
+    A small width margin makes the box slightly fatter than the offset line,
+    standing in for the actual link shell.
+    """
+    if length <= 0 or width <= 0:
+        raise ValueError(f"length and width must be positive, got {length}, {width}")
+    local = RigidTransform.from_translation([0.0, 0.0, length / 2.0])
+    return LinkGeometry(
+        name=name,
+        frame_index=frame_index,
+        half_extents=(width / 2.0, width / 2.0, length / 2.0 + width / 4.0),
+        local=local,
+    )

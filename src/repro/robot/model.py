@@ -1,0 +1,103 @@
+"""The robot model: DH chain + link geometry + joint limits."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.geometry.obb import OBB
+from repro.geometry.transform import RigidTransform
+from repro.robot.dh import DHParam, chain_forward_kinematics
+from repro.robot.link import LinkGeometry
+
+
+class RobotModel:
+    """A serial-chain manipulator with revolute joints.
+
+    ``dh`` lists one :class:`DHParam` per joint, ``links`` the collision
+    boxes, and ``joint_limits`` the (dof, 2) array of [lower, upper] bounds
+    in radians.  ``base`` places the robot in the world.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dh: Sequence[DHParam],
+        links: Sequence[LinkGeometry],
+        joint_limits: np.ndarray,
+        base: RigidTransform | None = None,
+    ):
+        self.name = name
+        self.dh = list(dh)
+        self.links = list(links)
+        self.joint_limits = np.asarray(joint_limits, dtype=float)
+        self.base = base if base is not None else RigidTransform.identity()
+        if not self.dh:
+            raise ValueError("robot needs at least one joint")
+        if not self.links:
+            raise ValueError("robot needs at least one link geometry")
+        if self.joint_limits.shape != (self.dof, 2):
+            raise ValueError(
+                f"joint_limits must be ({self.dof}, 2), got {self.joint_limits.shape}"
+            )
+        if np.any(self.joint_limits[:, 0] >= self.joint_limits[:, 1]):
+            raise ValueError("every joint's lower limit must be below its upper limit")
+        max_frame = max(link.frame_index for link in self.links)
+        if max_frame > self.dof:
+            raise ValueError(
+                f"link frame index {max_frame} exceeds frame count {self.dof}"
+            )
+
+    @property
+    def dof(self) -> int:
+        """Number of degrees of freedom (revolute joints)."""
+        return len(self.dh)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.links)
+
+    def validate_configuration(self, q) -> np.ndarray:
+        q = np.asarray(q, dtype=float)
+        if q.shape != (self.dof,):
+            raise ValueError(f"configuration must have shape ({self.dof},), got {q.shape}")
+        return q
+
+    def within_limits(self, q) -> bool:
+        q = self.validate_configuration(q)
+        return bool(
+            np.all(q >= self.joint_limits[:, 0]) and np.all(q <= self.joint_limits[:, 1])
+        )
+
+    def clamp(self, q) -> np.ndarray:
+        q = self.validate_configuration(q)
+        return np.clip(q, self.joint_limits[:, 0], self.joint_limits[:, 1])
+
+    def random_configuration(self, rng: np.random.Generator) -> np.ndarray:
+        lo, hi = self.joint_limits[:, 0], self.joint_limits[:, 1]
+        return rng.uniform(lo, hi)
+
+    def forward_kinematics(self, q) -> List[RigidTransform]:
+        """World poses of frames 0..dof for configuration ``q``."""
+        q = self.validate_configuration(q)
+        return chain_forward_kinematics(self.dh, q, base=self.base)
+
+    def link_obbs(self, q) -> List[OBB]:
+        """The world-space OBB of every link for configuration ``q``.
+
+        This is the behavioral twin of the OBB Generation Unit: at runtime
+        the hardware evaluates the same DH chain with its trig unit and
+        matrix multipliers to orient each precomputed link box.
+        """
+        frames = self.forward_kinematics(q)
+        return [link.obb_in_world(frames[link.frame_index]) for link in self.links]
+
+    def reach(self) -> float:
+        """Upper bound on the robot's reach (sum of DH offsets and lengths)."""
+        return float(sum(abs(p.d) + abs(p.a) for p in self.dh))
+
+    def __repr__(self) -> str:
+        return (
+            f"RobotModel({self.name!r}, dof={self.dof}, links={self.num_links})"
+        )

@@ -1,0 +1,121 @@
+"""Robot presets used throughout the paper's evaluation.
+
+The paper evaluates a Kinova Jaco2 (6 DOF) and a Baxter arm (7 DOF), both
+modeled with 7 links (Section 6).  The DH tables below use published link
+lengths; twists alternate +-90 degrees, the standard articulated-arm layout.
+Exact vendor DH fidelity is not required for the reproduction — the collision
+workload depends on the scale and articulation of the link boxes, which these
+presets match — but the proportions follow the Kinova and Rethink spec sheets.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.transform import RigidTransform
+from repro.robot.dh import DHParam
+from repro.robot.link import LinkGeometry, link_along_z
+from repro.robot.model import RobotModel
+
+_HALF_PI = math.pi / 2.0
+
+
+def _symmetric_limits(dof: int, span: float = math.pi) -> np.ndarray:
+    return np.array([[-span, span]] * dof)
+
+
+def jaco2(base: RigidTransform | None = None) -> RobotModel:
+    """Kinova Jaco2: 6 revolute joints, 7 links, ~0.9 m reach.
+
+    Link offsets follow the Jaco2 spec (D1=0.2755, arm 0.41, forearm 0.2073,
+    wrist 2x0.0741, hand 0.16), distributed over a pure-d DH chain.
+    """
+    d = [0.2755, 0.2050, 0.2050, 0.2073, 0.0741, 0.1600]
+    alphas = [_HALF_PI, -_HALF_PI, _HALF_PI, -_HALF_PI, _HALF_PI, 0.0]
+    dh = [DHParam(a=0.0, alpha=al, d=di) for al, di in zip(alphas, d)]
+    widths = [0.10, 0.09, 0.07, 0.06, 0.055, 0.05]
+    links = [
+        # Base column: rides on the fixed base frame.
+        LinkGeometry(
+            name="base",
+            frame_index=0,
+            half_extents=(0.06, 0.06, 0.09),
+            local=RigidTransform.from_translation([0.0, 0.0, 0.09]),
+        )
+    ]
+    links += [
+        link_along_z(f"link{i + 1}", frame_index=i, length=d[i], width=widths[i])
+        for i in range(6)
+    ]
+    return RobotModel(
+        name="jaco2",
+        dh=dh,
+        links=links,
+        joint_limits=_symmetric_limits(6),
+        base=base,
+    )
+
+
+def baxter_arm(base: RigidTransform | None = None) -> RobotModel:
+    """One Baxter arm: 7 revolute joints, 7 links, ~1.2 m reach.
+
+    Segment lengths follow the Rethink Baxter arm (upper arm 0.364, forearm
+    0.374, shoulder/elbow/wrist offsets).
+    """
+    d = [0.2703, 0.1690, 0.3644, 0.1690, 0.3743, 0.1000, 0.2295]
+    alphas = [_HALF_PI, -_HALF_PI, _HALF_PI, -_HALF_PI, _HALF_PI, -_HALF_PI, 0.0]
+    dh = [DHParam(a=0.0, alpha=al, d=di) for al, di in zip(alphas, d)]
+    widths = [0.12, 0.11, 0.09, 0.08, 0.07, 0.06, 0.05]
+    links = [
+        link_along_z(f"link{i + 1}", frame_index=i, length=d[i], width=widths[i])
+        for i in range(7)
+    ]
+    limits = np.array(
+        [
+            [-1.70, 1.70],
+            [-2.14, 1.04],
+            [-3.05, 3.05],
+            [-0.05, 2.61],
+            [-3.05, 3.05],
+            [-1.57, 2.09],
+            [-3.05, 3.05],
+        ]
+    )
+    return RobotModel(name="baxter", dh=dh, links=links, joint_limits=limits, base=base)
+
+
+def planar_arm(
+    n_joints: int = 2,
+    link_length: float = 0.4,
+    width: float = 0.06,
+    base: RigidTransform | None = None,
+) -> RobotModel:
+    """A planar n-joint teaching robot (all joints rotate about world z).
+
+    Useful for tests and for illustrating C-space concepts (Figure 2): its
+    links stay in the z=0 plane so collision outcomes are easy to reason
+    about analytically.
+    """
+    if n_joints < 1:
+        raise ValueError(f"need at least one joint, got {n_joints}")
+    dh = [DHParam(a=link_length, alpha=0.0, d=0.0) for _ in range(n_joints)]
+    # With a pure-a DH chain, the link between joints i and i+1 runs along
+    # the x axis of frame i+1 from -a to 0.
+    links = [
+        LinkGeometry(
+            name=f"link{i + 1}",
+            frame_index=i + 1,
+            half_extents=(link_length / 2.0, width / 2.0, width / 2.0),
+            local=RigidTransform.from_translation([-link_length / 2.0, 0.0, 0.0]),
+        )
+        for i in range(n_joints)
+    ]
+    return RobotModel(
+        name=f"planar{n_joints}",
+        dh=dh,
+        links=links,
+        joint_limits=_symmetric_limits(n_joints),
+        base=base,
+    )

@@ -1,0 +1,133 @@
+"""Cross-implementation validation: ``python -m repro.selfcheck``.
+
+Runs the same random collision workload through every implementation in
+the repository and checks their agreement, the way the paper's artifact
+sanity scripts do before the long experiments:
+
+- octree traversal vs the exhaustive leaf sweep (must be *equal*),
+- cascaded early-exit vs full separating-axis test (must be *equal*),
+- CECDU model vs the software checker (must be *equal*),
+- voxelized CD and fixed-point quantization vs float geometry (must be
+  *conservative*: never miss a true collision).
+
+Exit code 0 means every check passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.accel.cecdu import CECDUModel
+from repro.accel.config import CECDUConfig
+from repro.collision.cascade import DEFAULT_CASCADE, cascade_intersect
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.collision.octree_cd import OBBOctreeCollider, reference_obb_octree_hit
+from repro.collision.voxel_cd import VoxelizedCollisionDetector
+from repro.env.generator import random_scene
+from repro.env.octree import Octree
+from repro.env.voxel import VoxelGrid
+from repro.geometry.sat import obb_aabb_overlap
+from repro.robot.presets import jaco2
+
+
+@dataclass
+class CheckResult:
+    name: str
+    cases: int
+    failures: int
+
+    @property
+    def passed(self) -> bool:
+        return self.failures == 0
+
+
+def run_selfcheck(n_poses: int = 150, seed: int = 0) -> List[CheckResult]:
+    """Run all cross-checks; returns one result per check."""
+    rng = np.random.default_rng(seed)
+    scene = random_scene(seed=seed)
+    octree = Octree.from_scene(scene, resolution=16)
+    robot = jaco2()
+    checker = RobotEnvironmentChecker(robot, octree, collect_stats=False)
+    collider = OBBOctreeCollider(octree)
+    cecdu = CECDUModel(robot, octree, CECDUConfig(n_oocds=4))
+    voxel_cd = VoxelizedCollisionDetector(VoxelGrid.from_scene(scene, 32))
+
+    results = []
+    poses = [robot.random_configuration(rng) for _ in range(n_poses)]
+    obbs = [obb for q in poses for obb in checker.link_obbs(q)]
+
+    # 1. Traversal vs exhaustive leaf sweep.
+    failures = sum(
+        1
+        for obb in obbs
+        if collider.collides(obb) != reference_obb_octree_hit(obb, octree)
+    )
+    results.append(CheckResult("octree traversal == leaf sweep", len(obbs), failures))
+
+    # 2. Cascade vs full SAT on traversal octants.
+    failures = 0
+    cases = 0
+    for obb in obbs[: len(obbs) // 2]:
+        box = octree.bounds
+        for octant in range(8):
+            aabb = octree.octant_aabb(box, octant)
+            cases += 1
+            if cascade_intersect(obb, aabb, DEFAULT_CASCADE).hit != obb_aabb_overlap(
+                obb, aabb
+            ):
+                failures += 1
+    results.append(CheckResult("cascade == full SAT", cases, failures))
+
+    # 3. CECDU model vs software checker.
+    failures = sum(
+        1 for q in poses if cecdu.simulate_pose(q).hit != checker.check_pose(q)
+    )
+    results.append(CheckResult("CECDU model == checker", len(poses), failures))
+
+    # 4. Voxelized CD conservative vs true geometry.
+    failures = 0
+    for obb in obbs:
+        truly = any(obb_aabb_overlap(obb, ob) for ob in scene.obstacles)
+        if truly and not voxel_cd.query(obb).hit:
+            failures += 1
+    results.append(CheckResult("voxelized CD conservative", len(obbs), failures))
+
+    # 5. Fixed-point conservative vs float checker.
+    float_checker = RobotEnvironmentChecker(
+        robot, octree, fixed_point=None, collect_stats=False
+    )
+    failures = sum(
+        1
+        for q in poses
+        if float_checker.check_pose(q) and not checker.check_pose(q)
+    )
+    results.append(CheckResult("fixed point conservative", len(poses), failures))
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.selfcheck",
+        description="Cross-validate every collision implementation.",
+    )
+    parser.add_argument("--poses", type=int, default=150)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    results = run_selfcheck(n_poses=args.poses, seed=args.seed)
+    width = max(len(r.name) for r in results)
+    all_ok = True
+    for result in results:
+        status = "ok" if result.passed else f"{result.failures} FAILURES"
+        print(f"{result.name.ljust(width)}  {result.cases:6d} cases  {status}")
+        all_ok = all_ok and result.passed
+    print("selfcheck:", "PASS" if all_ok else "FAIL")
+    return 0 if all_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Shared fixtures: small environments, robots, and checkers.
+
+Session-scoped where construction is expensive; tests must not mutate them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.env.generator import random_scene
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+from repro.robot.presets import baxter_arm, jaco2, planar_arm
+
+
+@pytest.fixture(scope="session")
+def bench_scene() -> Scene:
+    """A standard 5-9 obstacle benchmark scene."""
+    return random_scene(seed=1)
+
+
+@pytest.fixture(scope="session")
+def bench_octree(bench_scene) -> Octree:
+    return Octree.from_scene(bench_scene, resolution=16)
+
+
+@pytest.fixture(scope="session")
+def jaco(bench_octree):
+    return jaco2()
+
+
+@pytest.fixture(scope="session")
+def baxter():
+    return baxter_arm()
+
+
+@pytest.fixture(scope="session")
+def planar2():
+    return planar_arm(2)
+
+
+@pytest.fixture(scope="session")
+def jaco_checker(jaco, bench_octree) -> RobotEnvironmentChecker:
+    return RobotEnvironmentChecker(jaco, bench_octree, collect_stats=False)
+
+
+@pytest.fixture(scope="session")
+def simple_scene() -> Scene:
+    """One box obstacle in a corner, far from the robot mount."""
+    scene = Scene(extent=1.8)
+    scene.add_obstacle(AABB(center=[0.6, 0.6, 0.9], half_extents=[0.15, 0.15, 0.15]))
+    return scene
+
+
+@pytest.fixture(scope="session")
+def simple_octree(simple_scene) -> Octree:
+    return Octree.from_scene(simple_scene, resolution=16)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

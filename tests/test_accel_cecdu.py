@@ -1,0 +1,211 @@
+"""Tests for CECDU/OOCD timing, OBB generation, and the trig unit."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accel.cecdu import CECDUModel
+from repro.accel.config import CECDUConfig, IntersectionUnitKind
+from repro.accel.intersection import (
+    NODE_OVERHEAD_CYCLES,
+    multi_cycle_node_cycles,
+    node_cycles,
+    pipelined_node_cycles,
+)
+from repro.accel.obbgen import OBBGenerationUnit
+from repro.accel.oocd import price_traversal
+from repro.accel.trig import (
+    TrigFunctionUnit,
+    cos_approx,
+    max_approximation_error,
+    sin_approx,
+)
+from repro.collision.cascade import CascadeResult, ExitStage
+from repro.collision.octree_cd import OBBOctreeCollider
+
+
+def _result(exit_cycle, multiplies=10, hit=False):
+    return CascadeResult(hit, ExitStage.BOUNDING_SPHERE, exit_cycle, multiplies, 0, None)
+
+
+class TestTrigUnit:
+    def test_sine_error_bound(self):
+        assert max_approximation_error(4000) < 2e-4
+
+    def test_cosine_consistency(self):
+        for angle in np.linspace(-6, 6, 50):
+            assert cos_approx(angle) == pytest.approx(math.cos(angle), abs=2e-4)
+
+    def test_range_reduction(self):
+        assert sin_approx(2 * math.pi + 0.5) == pytest.approx(math.sin(0.5), abs=2e-4)
+        assert sin_approx(-7 * math.pi / 2) == pytest.approx(1.0, abs=2e-4)
+
+    def test_pipeline_latency(self):
+        unit = TrigFunctionUnit()
+        assert unit.latency_for(0) == 0
+        assert unit.latency_for(1) == 5
+        assert unit.latency_for(4) == 8  # 5 + 3 pipelined issues
+
+    def test_evaluate_counts_and_validates(self):
+        unit = TrigFunctionUnit()
+        unit.evaluate(0.3, "sin")
+        unit.evaluate(0.3, "cos")
+        assert unit.operations_issued == 2
+        with pytest.raises(ValueError):
+            unit.evaluate(0.3, "tan")
+
+
+class TestOBBGeneration:
+    def test_ready_cycles_monotonic(self, jaco):
+        unit = OBBGenerationUnit(jaco)
+        result = unit.generate(np.zeros(jaco.dof))
+        assert result.ready_cycles == sorted(result.ready_cycles)
+        assert result.total_cycles == result.ready_cycles[-1]
+        assert len(result.obbs) == jaco.num_links
+
+    def test_obbs_match_robot_model_quantized(self, jaco):
+        from repro.geometry.fixed_point import quantize_obb
+
+        unit = OBBGenerationUnit(jaco)
+        q = np.full(jaco.dof, 0.3)
+        generated = unit.generate(q).obbs
+        expected = [quantize_obb(o) for o in jaco.link_obbs(q)]
+        for g, e in zip(generated, expected):
+            assert np.allclose(g.center, e.center)
+            assert np.allclose(g.rotation, e.rotation)
+
+    def test_multiplies_scale_with_links(self, jaco, planar2):
+        j = OBBGenerationUnit(jaco).generate(np.zeros(jaco.dof))
+        p = OBBGenerationUnit(planar2).generate(np.zeros(2))
+        assert j.multiplies > p.multiplies
+
+    def test_first_obb_latency_positive(self, jaco):
+        assert OBBGenerationUnit(jaco).first_obb_latency() > 0
+
+
+class TestIntersectionTiming:
+    def test_multi_cycle_sums_exit_cycles(self):
+        tests = [_result(1), _result(3), _result(2)]
+        assert multi_cycle_node_cycles(tests) == 6
+
+    def test_pipelined_is_issue_plus_depth(self):
+        tests = [_result(1), _result(1), _result(1)]
+        # Issues at 0,1,2; completions at 1,2,3 -> 3 cycles.
+        assert pipelined_node_cycles(tests) == 3
+
+    def test_pipelined_never_slower_than_multi_cycle(self, rng):
+        for _ in range(100):
+            tests = [_result(int(rng.integers(1, 5))) for _ in range(rng.integers(1, 9))]
+            assert pipelined_node_cycles(tests) <= multi_cycle_node_cycles(tests) + 1e-9
+
+    def test_node_cycles_adds_overhead(self):
+        tests = [_result(2)]
+        assert node_cycles(tests, IntersectionUnitKind.MULTI_CYCLE) == (
+            NODE_OVERHEAD_CYCLES + 2
+        )
+
+    def test_empty_node(self):
+        assert pipelined_node_cycles([]) == 0
+        assert node_cycles([], IntersectionUnitKind.PIPELINED) == NODE_OVERHEAD_CYCLES
+
+
+class TestOOCDPricing:
+    def test_price_consistent_with_trace(self, jaco, bench_octree, rng):
+        collider = OBBOctreeCollider(bench_octree)
+        for _ in range(20):
+            obb = jaco.link_obbs(jaco.random_configuration(rng))[3]
+            trace = collider.collide(obb)
+            timing = price_traversal(trace, IntersectionUnitKind.MULTI_CYCLE)
+            assert timing.hit == trace.hit
+            assert timing.tests == trace.intersection_tests
+            assert timing.multiplies == trace.multiplies
+            assert timing.node_visits == trace.node_visits
+            assert timing.cycles >= timing.node_visits * NODE_OVERHEAD_CYCLES
+            assert timing.energy_pj > 0
+
+
+class TestCECDUModel:
+    @pytest.fixture(scope="class")
+    def models(self, jaco, bench_octree):
+        return {
+            (n, kind): CECDUModel(
+                jaco, bench_octree, CECDUConfig(n_oocds=n, iu_kind=kind)
+            )
+            for n in (1, 4)
+            for kind in IntersectionUnitKind
+        }
+
+    def test_verdict_matches_checker(self, models, jaco, jaco_checker, rng):
+        model = models[(1, IntersectionUnitKind.MULTI_CYCLE)]
+        for _ in range(40):
+            q = jaco.random_configuration(rng)
+            assert model.simulate_pose(q).hit == jaco_checker.check_pose(q)
+
+    def test_verdict_independent_of_config(self, models, jaco, rng):
+        for _ in range(30):
+            q = jaco.random_configuration(rng)
+            verdicts = {m.simulate_pose(q).hit for m in models.values()}
+            assert len(verdicts) == 1
+
+    def test_four_oocds_faster_on_average(self, models, jaco, rng):
+        single = models[(1, IntersectionUnitKind.MULTI_CYCLE)]
+        quad = models[(4, IntersectionUnitKind.MULTI_CYCLE)]
+        poses = [jaco.random_configuration(rng) for _ in range(60)]
+        t1 = np.mean([single.simulate_pose(q).cycles for q in poses])
+        t4 = np.mean([quad.simulate_pose(q).cycles for q in poses])
+        assert t4 < t1
+
+    def test_pipelined_faster_on_average(self, models, jaco, rng):
+        mc = models[(1, IntersectionUnitKind.MULTI_CYCLE)]
+        p = models[(1, IntersectionUnitKind.PIPELINED)]
+        poses = [jaco.random_configuration(rng) for _ in range(60)]
+        t_mc = np.mean([mc.simulate_pose(q).cycles for q in poses])
+        t_p = np.mean([p.simulate_pose(q).cycles for q in poses])
+        assert t_p < t_mc
+
+    def test_four_oocds_never_cheaper_in_energy(self, models, jaco, rng):
+        """Batch-mates of a colliding link are still evaluated (synchronous
+        scheduling), so the 4-OOCD energy is >= the serial early-exit energy."""
+        single = models[(1, IntersectionUnitKind.MULTI_CYCLE)]
+        quad = models[(4, IntersectionUnitKind.MULTI_CYCLE)]
+        for _ in range(30):
+            q = jaco.random_configuration(rng)
+            assert quad.simulate_pose(q).tests >= single.simulate_pose(q).tests
+
+    def test_cache_returns_same_outcome(self, models, jaco, rng):
+        model = models[(4, IntersectionUnitKind.MULTI_CYCLE)]
+        q = jaco.random_configuration(rng)
+        a = model.simulate_pose_cached(q)
+        b = model.simulate_pose_cached(q)
+        assert a is b
+
+    def test_latency_in_plausible_band(self, models, jaco, rng):
+        """Table 1 band: tens to low hundreds of cycles for Jaco2."""
+        poses = [jaco.random_configuration(rng) for _ in range(100)]
+        for (n, kind), model in models.items():
+            mean = np.mean([model.simulate_pose(q).cycles for q in poses])
+            assert 20 < mean < 400, (n, kind, mean)
+
+    def test_sas_latency_model_adapter(self, models, jaco, jaco_checker):
+        from repro.planning.motion import MotionRecord
+
+        model = models[(4, IntersectionUnitKind.MULTI_CYCLE)]
+        motion = MotionRecord.from_endpoints(
+            np.zeros(jaco.dof), np.full(jaco.dof, 0.5), jaco_checker
+        )
+        latency_model = model.sas_latency_model()
+        hit, cycles, energy = latency_model(motion, 0)
+        assert isinstance(hit, bool)
+        assert cycles > 0 and energy > 0
+
+    def test_clock_rates(self):
+        mc = CECDUConfig(iu_kind=IntersectionUnitKind.MULTI_CYCLE)
+        p = CECDUConfig(iu_kind=IntersectionUnitKind.PIPELINED)
+        assert mc.clock_period_ns == pytest.approx(2.24)
+        assert p.clock_period_ns == pytest.approx(1.48)
+        assert p.clock_hz > mc.clock_hz
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CECDUConfig(n_oocds=0)

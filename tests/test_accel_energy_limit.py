@@ -1,0 +1,143 @@
+"""Tests for the energy/area model, the limit study, and MPAccel configs."""
+
+import numpy as np
+import pytest
+
+from repro.accel.config import (
+    CECDUConfig,
+    IntersectionUnitKind,
+    MPAccelConfig,
+    SASConfig,
+)
+from repro.accel.energy import (
+    DEFAULT_ENERGY_MODEL,
+    EnergyModel,
+    HardwareBlockLibrary,
+)
+from repro.accel.limit import limit_study, tabulate
+from repro.collision.stats import CollisionStats
+from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+
+
+class TestBlockLibrary:
+    """The composition must reproduce the paper's Table 1/2 values."""
+
+    def test_cecdu_power_matches_table1(self):
+        # 1 OOCD mc: 51.6 + 16.7 + 24.34 = 92.64 mW (paper: 92.6).
+        spec = HardwareBlockLibrary.cecdu(
+            CECDUConfig(n_oocds=1, iu_kind=IntersectionUnitKind.MULTI_CYCLE)
+        )
+        assert spec.power_mw == pytest.approx(92.6, rel=0.01)
+        # 4 OOCD p: 51.6 + 4 x (16.7 + 32.57) = 248.68 (paper: 248.7).
+        spec = HardwareBlockLibrary.cecdu(
+            CECDUConfig(n_oocds=4, iu_kind=IntersectionUnitKind.PIPELINED)
+        )
+        assert spec.power_mw == pytest.approx(248.7, rel=0.01)
+
+    def test_cecdu_area_close_to_table1(self):
+        spec = HardwareBlockLibrary.cecdu(
+            CECDUConfig(n_oocds=4, iu_kind=IntersectionUnitKind.MULTI_CYCLE)
+        )
+        assert spec.area_mm2 == pytest.approx(0.694, rel=0.10)
+
+    def test_mpaccel_config1_matches_table2(self):
+        config = MPAccelConfig(n_cecdus=16, cecdu=CECDUConfig(n_oocds=4))
+        spec = HardwareBlockLibrary.mpaccel(config)
+        assert spec.power_mw / 1e3 == pytest.approx(3.51, rel=0.02)
+        assert spec.area_mm2 == pytest.approx(11.21, rel=0.10)
+
+    def test_mpaccel_config2_matches_table2(self):
+        config = MPAccelConfig(
+            n_cecdus=16,
+            cecdu=CECDUConfig(n_oocds=4, iu_kind=IntersectionUnitKind.PIPELINED),
+        )
+        spec = HardwareBlockLibrary.mpaccel(config)
+        assert spec.power_mw / 1e3 == pytest.approx(4.03, rel=0.02)
+        assert spec.area_mm2 == pytest.approx(18.12, rel=0.10)
+
+    def test_pipelined_iu_larger_than_multicycle(self):
+        assert (
+            HardwareBlockLibrary.INTERSECTION_UNIT_P.area_mm2
+            > HardwareBlockLibrary.INTERSECTION_UNIT_MC.area_mm2
+        )
+
+
+class TestEnergyModel:
+    def test_cascade_energy_dominated_by_multiplies(self):
+        model = EnergyModel()
+        stats = CollisionStats(multiplies=1000, sram_reads=10, node_visits=10)
+        energy = model.cascade_energy_pj(stats)
+        assert energy > 1000 * model.multiply_pj * 0.9
+
+    def test_pose_energy_adds_obb_generation(self):
+        model = DEFAULT_ENERGY_MODEL
+        stats = CollisionStats(multiplies=100)
+        without = model.cascade_energy_pj(stats)
+        with_links = model.pose_cd_energy_pj(stats, links_generated=7)
+        assert with_links == pytest.approx(
+            without + 7 * model.obb_generation_pj_per_link
+        )
+
+    def test_mpaccel_config_validation(self):
+        with pytest.raises(ValueError):
+            MPAccelConfig(n_cecdus=0)
+        with pytest.raises(ValueError):
+            MPAccelConfig(dnn_tops=0.0)
+
+    def test_labels(self):
+        config = MPAccelConfig(n_cecdus=8, cecdu=CECDUConfig(n_oocds=1))
+        assert config.label() == "8_1_mc"
+        assert CECDUConfig(n_oocds=4).label() == "4oocd_mc"
+
+
+class _FakeChecker:
+    def __init__(self, collides):
+        self._collides = collides
+        self.motion_step = 0.2
+
+    def check_pose(self, q):
+        return bool(self._collides(float(np.asarray(q)[0])))
+
+
+def _phases():
+    phases = []
+    for thresholds in ([None, 0.3], [None], [0.6, None, 0.2]):
+        motions = []
+        for t in thresholds:
+            checker = _FakeChecker((lambda x: False) if t is None else (lambda x, t=t: x > t))
+            motions.append(MotionRecord(np.linspace([0.0], [1.0], 24), checker))
+        phases.append(CDPhase(FunctionMode.FEASIBILITY, motions))
+    return phases
+
+
+class TestLimitStudy:
+    def test_point_metrics(self):
+        points = limit_study(_phases(), policies=("np", "mcsp"), cdu_counts=(1, 4, 16))
+        table = tabulate(points)
+        assert set(table) == {"np", "mcsp"}
+        for policy in table:
+            for n_cdus, point in table[policy].items():
+                assert point.speedup > 0
+                assert point.normalized_tests > 0
+        # For the *naive in-order* policy, a 1-cycle CDU caps speedup at the
+        # CDU count (smarter orderings may beat sequential even at 1 CDU by
+        # finding collisions sooner, so no such bound holds for them).
+        for n_cdus, point in table["np"].items():
+            assert point.speedup <= n_cdus + 1e-9
+
+    def test_np_single_cdu_is_baseline(self):
+        points = limit_study(_phases(), policies=("np",), cdu_counts=(1,))
+        assert points[0].speedup == pytest.approx(1.0)
+        assert points[0].normalized_tests == pytest.approx(1.0)
+
+    def test_parallel_np_wastes_work(self):
+        points = limit_study(_phases(), policies=("np",), cdu_counts=(16,))
+        assert points[0].normalized_tests > 1.0
+
+    def test_mcsp_more_efficient_than_np_at_scale(self):
+        table = tabulate(
+            limit_study(_phases(), policies=("np", "mcsp"), cdu_counts=(16,))
+        )
+        assert (
+            table["mcsp"][16].normalized_tests <= table["np"][16].normalized_tests
+        )

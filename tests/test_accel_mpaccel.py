@@ -1,0 +1,88 @@
+"""Tests for the end-to-end MPAccel simulator."""
+
+import numpy as np
+import pytest
+
+from repro.accel.cecdu import CECDUModel
+from repro.accel.config import CECDUConfig, IntersectionUnitKind, MPAccelConfig
+from repro.accel.mpaccel import MPAccelSimulator
+from repro.planning.mpnet import PlanResult
+from repro.planning.recorder import CDTraceRecorder
+
+
+@pytest.fixture(scope="module")
+def recorded_query(jaco, bench_octree, jaco_checker):
+    rng = np.random.default_rng(1)
+    recorder = CDTraceRecorder(jaco_checker)
+    q_a = jaco_checker.sample_free_configuration(rng)
+    q_b = jaco_checker.sample_free_configuration(rng)
+    q_c = jaco_checker.sample_free_configuration(rng)
+    recorder.steer(q_a, q_b)
+    recorder.feasibility([q_a, q_b, q_c])
+    recorder.connectivity(q_a, [q_b, q_c])
+    result = PlanResult(success=True, nn_inferences=5, encoder_inferences=1)
+    return result, list(recorder.phases)
+
+
+def _simulator(jaco, bench_octree, n_cecdus=16, n_oocds=4, kind=IntersectionUnitKind.MULTI_CYCLE):
+    config = MPAccelConfig(
+        n_cecdus=n_cecdus, cecdu=CECDUConfig(n_oocds=n_oocds, iu_kind=kind)
+    )
+    cecdu = CECDUModel(jaco, bench_octree, config.cecdu)
+    return MPAccelSimulator(config, cecdu, 3_800_000, 1_300_000)
+
+
+class TestTimingComposition:
+    def test_breakdown_positive_and_sums(self, jaco, bench_octree, recorded_query):
+        result, phases = recorded_query
+        sim = _simulator(jaco, bench_octree)
+        timing = sim.run_query(result, phases)
+        assert timing.collision_detection_s > 0
+        assert timing.nn_inference_s > 0
+        assert timing.io_s > 0
+        assert timing.controller_s > 0
+        assert timing.total_s == pytest.approx(
+            timing.collision_detection_s
+            + timing.nn_inference_s
+            + timing.io_s
+            + timing.controller_s
+        )
+        assert timing.total_ms == pytest.approx(timing.total_s * 1e3)
+        assert timing.phase_count == len(phases)
+
+    def test_nn_time_formula(self, jaco, bench_octree):
+        sim = _simulator(jaco, bench_octree)
+        # 12 TOPS, 2 ops per MAC: 6e12 MACs/s.
+        assert sim.nn_inference_time_s(6_000_000) == pytest.approx(1e-6)
+
+    def test_io_time_scales_with_motions(self, jaco, bench_octree):
+        sim = _simulator(jaco, bench_octree)
+        assert sim.io_time_s(100, dof=7) > sim.io_time_s(1, dof=7)
+
+    def test_controller_time_positive(self, jaco, bench_octree):
+        sim = _simulator(jaco, bench_octree)
+        assert sim.controller_time_s(0) > 0
+
+    def test_more_cecdus_not_slower(self, jaco, bench_octree, recorded_query):
+        result, phases = recorded_query
+        small = _simulator(jaco, bench_octree, n_cecdus=2).run_query(result, phases)
+        large = _simulator(jaco, bench_octree, n_cecdus=16).run_query(result, phases)
+        assert large.collision_detection_s <= small.collision_detection_s * 1.05
+
+    def test_sub_millisecond_for_small_query(self, jaco, bench_octree, recorded_query):
+        """The paper's headline: planning fits the < 1 ms real-time budget."""
+        result, phases = recorded_query
+        timing = _simulator(jaco, bench_octree).run_query(result, phases)
+        assert timing.total_ms < 1.0
+
+
+class TestAreaPower:
+    def test_area_power_from_table2(self, jaco, bench_octree):
+        sim = _simulator(jaco, bench_octree)
+        assert sim.area_mm2 () == pytest.approx(11.21, rel=0.1)
+        assert sim.power_w() == pytest.approx(3.51, rel=0.02)
+
+    def test_performance_metric(self, jaco, bench_octree):
+        sim = _simulator(jaco, bench_octree)
+        metric = sim.performance_metric(queries_per_second=1000.0)
+        assert metric == pytest.approx(1000.0 / (sim.power_w() * sim.area_mm2()))

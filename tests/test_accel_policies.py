@@ -1,0 +1,100 @@
+"""Tests for the scheduling-policy pose orderings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.policies import (
+    POLICY_NAMES,
+    binary_recursive_order,
+    coarse_step_order,
+    make_policy,
+    naive_order,
+    pose_order,
+    random_order,
+)
+
+
+class TestOrderings:
+    @settings(max_examples=100, deadline=None)
+    @given(n=st.integers(1, 200), step=st.integers(1, 32))
+    def test_coarse_step_is_permutation(self, n, step):
+        order = coarse_step_order(n, step)
+        assert sorted(order) == list(range(n))
+
+    @settings(max_examples=100, deadline=None)
+    @given(n=st.integers(1, 200))
+    def test_binary_recursive_is_permutation(self, n):
+        order = binary_recursive_order(n)
+        assert sorted(order) == list(range(n))
+
+    @settings(max_examples=50, deadline=None)
+    @given(n=st.integers(1, 200), seed=st.integers(0, 1000))
+    def test_random_is_permutation(self, n, seed):
+        order = random_order(n, np.random.default_rng(seed))
+        assert sorted(order) == list(range(n))
+
+    def test_naive_order(self):
+        assert naive_order(5) == [0, 1, 2, 3, 4]
+
+    def test_coarse_step_pattern_from_paper(self):
+        # Figure 6b.iv: step 4 over 12 poses.
+        assert coarse_step_order(12, 4) == [0, 4, 8, 1, 5, 9, 2, 6, 10, 3, 7, 11]
+
+    def test_coarse_step_one_is_naive(self):
+        assert coarse_step_order(9, 1) == list(range(9))
+
+    def test_coarse_step_validation(self):
+        with pytest.raises(ValueError):
+            coarse_step_order(5, 0)
+
+    def test_binary_recursive_endpoints_first(self):
+        order = binary_recursive_order(9)
+        assert order[:2] == [0, 8]
+        assert order[2] == 4  # midpoint next
+
+    def test_binary_recursive_small(self):
+        assert binary_recursive_order(1) == [0]
+        assert binary_recursive_order(2) == [0, 1]
+        assert binary_recursive_order(0) == []
+
+    def test_binary_recursive_coarse_to_fine(self):
+        """Earlier samples must be farther apart on average."""
+        order = binary_recursive_order(65)
+        first_gaps = sorted(order[:5])
+        gaps = np.diff(first_gaps)
+        assert np.all(gaps >= 8)  # first handful covers the range coarsely
+
+
+class TestPolicyLookup:
+    def test_all_names_resolve(self):
+        for name in POLICY_NAMES:
+            policy = make_policy(name)
+            assert policy.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("nope")
+
+    def test_m_prefix_sets_inter_motion(self):
+        assert make_policy("mcsp").inter_motion
+        assert not make_policy("csp").inter_motion
+
+    def test_ms_has_no_intra_motion(self):
+        policy = make_policy("ms")
+        assert policy.inter_motion and not policy.intra_motion
+
+    def test_case_insensitive(self):
+        assert make_policy("MCSP").name == "mcsp"
+
+    def test_pose_order_helper(self):
+        assert pose_order("np", 4) == [0, 1, 2, 3]
+        assert pose_order("csp", 8, step_size=4) == [0, 4, 1, 5, 2, 6, 3, 7]
+
+    def test_policy_orders_are_permutations(self):
+        for name in POLICY_NAMES:
+            policy = make_policy(name, step_size=8)
+            for n in (1, 7, 33):
+                order = policy.pose_order(n, np.random.default_rng(0))
+                assert sorted(order) == list(range(n))

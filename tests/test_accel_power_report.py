@@ -1,0 +1,97 @@
+"""Tests for the Wattch-style runtime power report."""
+
+import pytest
+
+from repro.accel.config import CECDUConfig, IntersectionUnitKind, MPAccelConfig
+from repro.accel.energy import HardwareBlockLibrary
+from repro.accel.power_report import (
+    BlockActivity,
+    LEAKAGE_FRACTION,
+    activity_from_sas_run,
+    runtime_power_report,
+)
+
+
+def _config(n_cecdus=16, n_oocds=4):
+    return MPAccelConfig(n_cecdus=n_cecdus, cecdu=CECDUConfig(n_oocds=n_oocds))
+
+
+class TestBlockActivity:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockActivity(scheduler=1.5)
+        with pytest.raises(ValueError):
+            BlockActivity(intersection=-0.1)
+
+    def test_from_sas_run_bounds(self):
+        activity = activity_from_sas_run(
+            _config(), window_cycles=10_000, tests=500, poses=500
+        )
+        for name in ("scheduler", "obb_generation", "octree_traversal", "intersection"):
+            assert 0.0 <= getattr(activity, name) <= 1.0
+
+    def test_from_sas_run_validation(self):
+        with pytest.raises(ValueError):
+            activity_from_sas_run(_config(), window_cycles=0, tests=1, poses=1)
+
+    def test_busier_run_has_higher_activity(self):
+        quiet = activity_from_sas_run(_config(), 100_000, tests=100, poses=100)
+        busy = activity_from_sas_run(_config(), 100_000, tests=5000, poses=5000)
+        assert busy.intersection > quiet.intersection
+        assert busy.scheduler > quiet.scheduler
+
+
+class TestPowerReport:
+    def test_idle_power_is_pure_leakage(self):
+        config = _config()
+        report = runtime_power_report(config, BlockActivity(), window_cycles=1000)
+        full = HardwareBlockLibrary.mpaccel(config).power_mw
+        assert report.total_mw == pytest.approx(full * LEAKAGE_FRACTION, rel=0.01)
+        for row in report.rows:
+            assert row.dynamic_mw == 0.0
+
+    def test_full_activity_recovers_synthesis_power(self):
+        config = _config()
+        activity = BlockActivity(
+            scheduler=1.0, obb_generation=1.0, octree_traversal=1.0, intersection=1.0
+        )
+        report = runtime_power_report(config, activity, window_cycles=1000)
+        full = HardwareBlockLibrary.mpaccel(config).power_mw
+        assert report.total_mw == pytest.approx(full, rel=0.01)
+
+    def test_power_monotone_in_activity(self):
+        config = _config()
+        low = runtime_power_report(config, BlockActivity(intersection=0.1), 1000)
+        high = runtime_power_report(config, BlockActivity(intersection=0.9), 1000)
+        assert high.total_mw > low.total_mw
+
+    def test_energy_scales_with_window(self):
+        config = _config()
+        activity = BlockActivity(intersection=0.5)
+        short = runtime_power_report(config, activity, window_cycles=1000)
+        long = runtime_power_report(config, activity, window_cycles=2000)
+        assert long.energy_pj == pytest.approx(2 * short.energy_pj)
+
+    def test_block_counts(self):
+        report = runtime_power_report(
+            _config(n_cecdus=8, n_oocds=4), BlockActivity(), 1000
+        )
+        counts = {row.block: row.count for row in report.rows}
+        assert counts["Scheduler"] == 1
+        assert counts["OBB Generation Units"] == 8
+        assert counts["Intersection Units"] == 32
+
+    def test_pipelined_units_cost_more(self):
+        mc = runtime_power_report(_config(), BlockActivity(intersection=1.0), 1000)
+        p_config = MPAccelConfig(
+            n_cecdus=16,
+            cecdu=CECDUConfig(n_oocds=4, iu_kind=IntersectionUnitKind.PIPELINED),
+        )
+        p = runtime_power_report(p_config, BlockActivity(intersection=1.0), 1000)
+        assert p.total_mw > mc.total_mw
+
+    def test_as_rows_shape(self):
+        report = runtime_power_report(_config(), BlockActivity(), 1000)
+        rows = report.as_rows()
+        assert len(rows) == 4
+        assert all("total_mw" in row for row in rows)

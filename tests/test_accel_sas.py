@@ -1,0 +1,202 @@
+"""Tests for the SAS event-driven scheduler simulator.
+
+The central invariant: whatever the policy, CDU count, or latency model,
+the *verdict* the scheduler reaches must agree with the early-exiting
+sequential reference for the phase's function mode.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.config import SASConfig
+from repro.accel.sas import SASSimulator, unit_latency_model
+from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+
+
+class FakeChecker:
+    def __init__(self, collides, motion_step=0.2):
+        self._collides = collides
+        self.motion_step = motion_step
+
+    def check_pose(self, q):
+        return bool(self._collides(np.asarray(q, dtype=float)))
+
+
+def make_phase(mode, specs, n_poses=12):
+    """specs: list of predicates over scalar pose position in [0, 1]."""
+    motions = []
+    for predicate in specs:
+        checker = FakeChecker(lambda q, p=predicate: p(float(q[0])))
+        poses = np.linspace([0.0], [1.0], n_poses)
+        motions.append(MotionRecord(poses, checker))
+    return CDPhase(mode, motions)
+
+
+def collides_after(threshold):
+    return lambda x: x > threshold
+
+
+def never(x):
+    return False
+
+
+MODES = [FunctionMode.FEASIBILITY, FunctionMode.CONNECTIVITY, FunctionMode.COMPLETE]
+
+
+class TestVerdictEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        mode=st.sampled_from(MODES),
+        policy=st.sampled_from(["np", "rnd", "csp", "brp", "ms", "mnp", "mcsp", "mbrp"]),
+        n_cdus=st.sampled_from([1, 3, 8, 16]),
+        layout=st.lists(
+            st.one_of(st.none(), st.floats(0.0, 0.95)), min_size=1, max_size=6
+        ),
+    )
+    def test_matches_sequential_semantics(self, mode, policy, n_cdus, layout):
+        """The phase-level verdict must be mode-consistent with ground truth.
+
+        FEASIBILITY: scheduler finds a collision iff one exists.
+        CONNECTIVITY: scheduler finds a free motion iff one exists.
+        COMPLETE: every motion's outcome must equal ground truth.
+        """
+        specs = [never if t is None else collides_after(t) for t in layout]
+        truth = [t is not None for t in layout]  # per-motion collides?
+        phase = make_phase(mode, specs)
+        sim = SASSimulator(n_cdus=n_cdus, policy=policy)
+        result = sim.run(phase)
+        if mode is FunctionMode.FEASIBILITY:
+            assert result.any_collision == any(truth)
+        elif mode is FunctionMode.CONNECTIVITY:
+            assert result.any_free == (not all(truth))
+        else:
+            assert result.motion_outcomes == truth
+
+    def test_complete_mode_decides_every_motion(self):
+        phase = make_phase(
+            FunctionMode.COMPLETE, [never, collides_after(0.5), never]
+        )
+        result = SASSimulator(n_cdus=4, policy="mcsp").run(phase)
+        assert None not in result.motion_outcomes
+
+
+class TestWorkAccounting:
+    def test_single_cdu_naive_equals_sequential_reference(self):
+        """1 CDU + in-order scheduling must do exactly the sequential work."""
+        for mode in MODES:
+            phase = make_phase(mode, [collides_after(0.4), never, collides_after(0.1)])
+            ref = phase.sequential_reference()
+            result = SASSimulator(
+                n_cdus=1,
+                policy="np",
+                config=SASConfig(group_size=1, dispatch_per_cycle=None),
+            ).run(phase)
+            assert result.tests == ref.tests
+
+    def test_parallel_never_tests_less_than_useful_work(self):
+        phase = make_phase(FunctionMode.COMPLETE, [never] * 3)
+        result = SASSimulator(n_cdus=8, policy="np").run(phase)
+        # Every pose of every motion is useful work in COMPLETE mode.
+        assert result.tests == phase.total_poses
+
+    def test_naive_parallel_overshoots_on_colliding_motion(self):
+        phase = make_phase(FunctionMode.FEASIBILITY, [collides_after(0.1)], n_poses=64)
+        seq = phase.sequential_reference().tests
+        par = SASSimulator(
+            n_cdus=16, policy="np", config=SASConfig(dispatch_per_cycle=None)
+        ).run(phase)
+        assert par.tests > seq  # redundant work: the cost of naive parallelism
+
+    def test_kill_drops_unscheduled_poses(self):
+        phase = make_phase(FunctionMode.COMPLETE, [collides_after(0.05)], n_poses=100)
+        result = SASSimulator(n_cdus=2, policy="np").run(phase)
+        assert result.tests < 100  # most poses never dispatched after the kill
+
+    def test_energy_counts_dispatched_tests(self):
+        phase = make_phase(FunctionMode.COMPLETE, [never], n_poses=10)
+        result = SASSimulator(n_cdus=2, policy="np").run(phase)
+        assert result.energy_pj == pytest.approx(result.tests * 1.0)
+
+
+class TestTiming:
+    def test_speedup_bounded_by_cdu_count(self):
+        phase = make_phase(FunctionMode.COMPLETE, [never] * 4, n_poses=32)
+        base = SASSimulator(
+            n_cdus=1, policy="np", config=SASConfig(dispatch_per_cycle=None)
+        ).run(phase)
+        for n_cdus in (2, 4, 8):
+            fast = SASSimulator(
+                n_cdus=n_cdus, policy="mnp", config=SASConfig(dispatch_per_cycle=None)
+            ).run(phase)
+            assert base.cycles / fast.cycles <= n_cdus + 1e-9
+
+    def test_dispatch_throttle_lower_bounds_cycles(self):
+        """At one dispatch per cycle, N tests need >= N cycles."""
+        phase = make_phase(FunctionMode.COMPLETE, [never] * 2, n_poses=50)
+        result = SASSimulator(
+            n_cdus=64, policy="mnp", config=SASConfig(dispatch_per_cycle=1)
+        ).run(phase)
+        assert result.cycles >= result.tests
+
+    def test_unthrottled_faster_than_throttled(self):
+        phase = make_phase(FunctionMode.COMPLETE, [never] * 4, n_poses=40)
+        throttled = SASSimulator(
+            n_cdus=32, policy="mnp", config=SASConfig(dispatch_per_cycle=1)
+        ).run(phase)
+        free = SASSimulator(
+            n_cdus=32, policy="mnp", config=SASConfig(dispatch_per_cycle=None)
+        ).run(phase)
+        assert free.cycles <= throttled.cycles
+
+    def test_latency_model_drives_cycles(self):
+        def slow_model(motion, pose_index):
+            return motion.pose_collides(pose_index), 10, 1.0
+
+        phase = make_phase(FunctionMode.COMPLETE, [never], n_poses=8)
+        fast = SASSimulator(n_cdus=1, policy="np").run(phase)
+        slow = SASSimulator(n_cdus=1, policy="np", latency_model=slow_model).run(phase)
+        assert slow.cycles > fast.cycles
+
+    def test_stopped_early_flag(self):
+        phase = make_phase(FunctionMode.FEASIBILITY, [collides_after(0.1)], n_poses=30)
+        result = SASSimulator(n_cdus=4, policy="np").run(phase)
+        assert result.stopped_early
+        free_phase = make_phase(FunctionMode.COMPLETE, [never])
+        result = SASSimulator(n_cdus=4, policy="np").run(free_phase)
+        assert not result.stopped_early
+
+
+class TestCoarseStepAdvantage:
+    def test_csp_beats_np_on_mid_motion_collision(self):
+        """A collision deep in the motion: coarse stepping finds it sooner."""
+        phase_np = make_phase(FunctionMode.FEASIBILITY, [collides_after(0.6)], n_poses=64)
+        phase_csp = make_phase(FunctionMode.FEASIBILITY, [collides_after(0.6)], n_poses=64)
+        np_result = SASSimulator(n_cdus=1, policy="np").run(phase_np)
+        csp_result = SASSimulator(n_cdus=1, policy="csp").run(phase_csp)
+        assert csp_result.tests < np_result.tests
+
+
+class TestConfigValidation:
+    def test_sas_config_validation(self):
+        with pytest.raises(ValueError):
+            SASConfig(step_size=0)
+        with pytest.raises(ValueError):
+            SASConfig(group_size=0)
+        with pytest.raises(ValueError):
+            SASConfig(dispatch_per_cycle=0)
+
+    def test_simulator_validation(self):
+        with pytest.raises(ValueError):
+            SASSimulator(n_cdus=0)
+
+    def test_run_phases_accumulates(self):
+        phases = [
+            make_phase(FunctionMode.COMPLETE, [never]),
+            make_phase(FunctionMode.COMPLETE, [never]),
+        ]
+        sim = SASSimulator(n_cdus=2, policy="np")
+        total = sim.run_phases(phases)
+        assert total.tests == sum(p.total_poses for p in phases)
+        assert len(total.motion_outcomes) == 2

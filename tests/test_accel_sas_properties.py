@@ -1,0 +1,127 @@
+"""Property-based tests for the SAS simulator under arbitrary latencies.
+
+The scheduler's verdicts must be a pure function of the ground truth and
+the function mode — never of the latency model, the policy, or the CDU
+count.  These tests drive all three through hypothesis.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel.config import SASConfig
+from repro.accel.sas import SASSimulator
+from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+
+
+class _FakeChecker:
+    def __init__(self, collides):
+        self._collides = collides
+        self.motion_step = 0.25
+
+    def check_pose(self, q):
+        return bool(self._collides(float(np.asarray(q)[0])))
+
+
+def _make_phase(mode, thresholds, n_poses):
+    motions = []
+    for t in thresholds:
+        predicate = (lambda x: False) if t is None else (lambda x, t=t: x >= t)
+        motions.append(
+            MotionRecord(np.linspace([0.0], [1.0], n_poses), _FakeChecker(predicate))
+        )
+    return CDPhase(mode, motions)
+
+
+def _latency_model(seed: int, max_latency: int):
+    """Deterministic pseudo-random per-(motion, pose) latency."""
+
+    def model(motion, pose_index):
+        key = (id(motion) * 31 + pose_index * 7 + seed) % max_latency
+        return motion.pose_collides(pose_index), 1 + key, 1.0
+
+    return model
+
+
+MODES = [FunctionMode.FEASIBILITY, FunctionMode.CONNECTIVITY, FunctionMode.COMPLETE]
+POLICIES = ["np", "csp", "brp", "rnd", "ms", "mnp", "mcsp"]
+
+
+class TestLatencyInvariance:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        mode=st.sampled_from(MODES),
+        policy=st.sampled_from(POLICIES),
+        n_cdus=st.sampled_from([1, 2, 5, 16]),
+        thresholds=st.lists(
+            st.one_of(st.none(), st.floats(0.0, 1.0)), min_size=1, max_size=5
+        ),
+        n_poses=st.integers(2, 30),
+        latency_seed=st.integers(0, 100),
+        max_latency=st.sampled_from([1, 3, 17]),
+    )
+    def test_verdict_pure_function_of_truth(
+        self, mode, policy, n_cdus, thresholds, n_poses, latency_seed, max_latency
+    ):
+        phase = _make_phase(mode, thresholds, n_poses)
+        truth = [t is not None and t <= 1.0 for t in thresholds]
+        sim = SASSimulator(
+            n_cdus=n_cdus,
+            policy=policy,
+            latency_model=_latency_model(latency_seed, max_latency),
+        )
+        result = sim.run(phase)
+        if mode is FunctionMode.FEASIBILITY:
+            assert result.any_collision == any(truth)
+        elif mode is FunctionMode.CONNECTIVITY:
+            assert result.any_free == (not all(truth))
+        else:
+            assert result.motion_outcomes == truth
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        policy=st.sampled_from(POLICIES),
+        n_cdus=st.sampled_from([1, 4, 16]),
+        n_poses=st.integers(2, 40),
+        latency_seed=st.integers(0, 50),
+    )
+    def test_work_and_time_sanity(self, policy, n_cdus, n_poses, latency_seed):
+        """Structural invariants that must hold for every run."""
+        phase = _make_phase(FunctionMode.COMPLETE, [0.5, None, 0.9], n_poses)
+        sim = SASSimulator(
+            n_cdus=n_cdus,
+            policy=policy,
+            config=SASConfig(dispatch_per_cycle=None),
+            latency_model=_latency_model(latency_seed, 9),
+        )
+        result = sim.run(phase)
+        # Dispatched work bounded by the phase's total poses.
+        assert 0 < result.tests <= phase.total_poses
+        # Busy cycles = sum of latencies >= tests (min latency is 1).
+        assert result.busy_cycles >= result.tests
+        # The run cannot finish before the critical path of one query.
+        assert result.cycles >= 1
+        # CDU-cycles actually available bound the busy cycles.
+        assert result.busy_cycles <= result.cycles * n_cdus
+        # COMPLETE mode never stops early and decides everything.
+        assert not result.stopped_early
+        assert None not in result.motion_outcomes
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_poses=st.integers(4, 40),
+        threshold=st.floats(0.1, 0.9),
+    )
+    def test_more_cdus_never_slower_complete_mode(self, n_poses, threshold):
+        """With naive ordering, unthrottled dispatch, and unit latency,
+        adding CDUs cannot increase COMPLETE-mode runtime."""
+        cycles = []
+        for n_cdus in (1, 4, 16):
+            phase = _make_phase(FunctionMode.COMPLETE, [threshold, None], n_poses)
+            sim = SASSimulator(
+                n_cdus=n_cdus,
+                policy="mnp",
+                config=SASConfig(dispatch_per_cycle=None),
+            )
+            cycles.append(sim.run(phase).cycles)
+        assert cycles[0] >= cycles[1] >= cycles[2]

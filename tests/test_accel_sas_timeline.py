@@ -1,0 +1,158 @@
+"""Tests for the SAS dispatch timeline and planner determinism."""
+
+import numpy as np
+import pytest
+
+from repro.accel.config import SASConfig
+from repro.accel.sas import SASSimulator
+from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+
+
+class _FakeChecker:
+    def __init__(self, collides):
+        self._collides = collides
+        self.motion_step = 0.25
+
+    def check_pose(self, q):
+        return bool(self._collides(float(np.asarray(q)[0])))
+
+
+def _phase(thresholds, n_poses=16, mode=FunctionMode.COMPLETE):
+    motions = []
+    for t in thresholds:
+        predicate = (lambda x: False) if t is None else (lambda x, t=t: x >= t)
+        motions.append(
+            MotionRecord(np.linspace([0.0], [1.0], n_poses), _FakeChecker(predicate))
+        )
+    return CDPhase(mode, motions)
+
+
+class TestTimeline:
+    def test_disabled_by_default(self):
+        result = SASSimulator(n_cdus=2, policy="np").run(_phase([None]))
+        assert result.timeline == []
+
+    def test_one_event_per_test(self):
+        result = SASSimulator(n_cdus=2, policy="np").run(
+            _phase([None, 0.5]), record_timeline=True
+        )
+        assert len(result.timeline) == result.tests
+
+    def test_dispatch_order_monotone(self):
+        result = SASSimulator(n_cdus=4, policy="mcsp").run(
+            _phase([None, None]), record_timeline=True
+        )
+        cycles = [e.dispatch_cycle for e in result.timeline]
+        assert cycles == sorted(cycles)
+
+    def test_throttle_respected_in_timeline(self):
+        """At 1 dispatch/cycle no two events share a dispatch cycle."""
+        result = SASSimulator(
+            n_cdus=8, policy="mnp", config=SASConfig(dispatch_per_cycle=1)
+        ).run(_phase([None, None]), record_timeline=True)
+        cycles = [e.dispatch_cycle for e in result.timeline]
+        assert len(set(cycles)) == len(cycles)
+
+    def test_cdu_capacity_respected(self):
+        """Never more than n_cdus queries in flight at once."""
+        n_cdus = 3
+
+        def slow(motion, pose_index):
+            return motion.pose_collides(pose_index), 7, 1.0
+
+        result = SASSimulator(
+            n_cdus=n_cdus,
+            policy="mnp",
+            config=SASConfig(dispatch_per_cycle=None),
+            latency_model=slow,
+        ).run(_phase([None, None, None]), record_timeline=True)
+        events = result.timeline
+        for event in events:
+            in_flight = sum(
+                1
+                for other in events
+                if other.dispatch_cycle <= event.dispatch_cycle < other.complete_cycle
+            )
+            assert in_flight <= n_cdus
+
+    def test_naive_order_within_motion(self):
+        result = SASSimulator(n_cdus=1, policy="np").run(
+            _phase([None]), record_timeline=True
+        )
+        poses = [e.pose_index for e in result.timeline]
+        assert poses == sorted(poses)
+
+    def test_coarse_step_order_in_timeline(self):
+        result = SASSimulator(
+            n_cdus=1, policy="csp", config=SASConfig(step_size=8)
+        ).run(_phase([None], n_poses=16), record_timeline=True)
+        poses = [e.pose_index for e in result.timeline]
+        assert poses[:2] == [0, 8]  # coarse-first
+
+    def test_hit_flag_matches_ground_truth(self):
+        phase = _phase([0.5])
+        result = SASSimulator(n_cdus=2, policy="np").run(phase, record_timeline=True)
+        for event in result.timeline:
+            truth = phase.motions[event.motion_index].pose_collides(event.pose_index)
+            assert event.hit == truth
+
+
+class TestDeterminism:
+    def test_sas_deterministic(self):
+        results = [
+            SASSimulator(n_cdus=4, policy="mcsp", seed=3).run(
+                _phase([0.3, None, 0.8])
+            )
+            for _ in range(2)
+        ]
+        assert results[0].cycles == results[1].cycles
+        assert results[0].tests == results[1].tests
+
+    def test_rnd_policy_seeded(self):
+        a = SASSimulator(n_cdus=4, policy="rnd", seed=5).run(_phase([0.3, None]))
+        b = SASSimulator(n_cdus=4, policy="rnd", seed=5).run(_phase([0.3, None]))
+        assert a.tests == b.tests and a.cycles == b.cycles
+
+    def test_planner_deterministic_for_seed(self, jaco_checker, rng):
+        from repro.env.mapping import scan_scene_points
+        from repro.planning.mpnet import MPNetPlanner
+        from repro.planning.recorder import CDTraceRecorder
+        from repro.planning.samplers import HeuristicSampler
+
+        q_start = jaco_checker.sample_free_configuration(rng)
+        q_goal = jaco_checker.sample_free_configuration(rng)
+        lengths = []
+        for _ in range(2):
+            recorder = CDTraceRecorder(jaco_checker)
+            planner = MPNetPlanner(
+                recorder,
+                HeuristicSampler(jaco_checker.robot),
+                np.zeros((8, 3)),
+            )
+            run_rng = np.random.default_rng(99)
+            result = planner.plan(q_start, q_goal, run_rng)
+            lengths.append((result.success, len(result.path), recorder.num_phases))
+        assert lengths[0] == lengths[1]
+
+
+class TestOctreeSerialization:
+    def test_roundtrip(self, bench_octree, rng):
+        from repro.env.octree import Octree
+
+        restored = Octree.from_dict(bench_octree.to_dict())
+        assert restored.node_count == bench_octree.node_count
+        assert restored.max_depth == bench_octree.max_depth
+        for _ in range(100):
+            point = rng.uniform(
+                bench_octree.bounds.minimum, bench_octree.bounds.maximum
+            )
+            assert restored.point_occupied(point) == bench_octree.point_occupied(point)
+
+    def test_json_compatible(self, bench_octree):
+        import json
+
+        from repro.env.octree import Octree
+
+        text = json.dumps(bench_octree.to_dict())
+        restored = Octree.from_dict(json.loads(text))
+        assert restored.node_count == bench_octree.node_count

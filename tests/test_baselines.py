@@ -1,0 +1,171 @@
+"""Tests for the behavioral CPU/GPU baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cpu import CPUModel, QueryWork, collect_query_work
+from repro.baselines.device import CPU_DEVICES, GPU_DEVICES, WARP_SIZE
+from repro.baselines.gpu import GPUKernel, GPUModel, _morton_order
+from repro.baselines.system import BaselineSystemModel
+from repro.geometry.fixed_point import quantize_obb
+
+
+@pytest.fixture(scope="module")
+def query_work(bench_octree):
+    from repro.robot.presets import jaco2
+
+    robot = jaco2()
+    rng = np.random.default_rng(0)
+    obbs = []
+    for _ in range(100):
+        q = robot.random_configuration(rng)
+        obbs.extend(quantize_obb(o) for o in robot.link_obbs(q))
+    work = collect_query_work(obbs, bench_octree)
+    positions = np.array([o.center for o in obbs])
+    return work, positions
+
+
+class TestQueryWork:
+    def test_from_trace_counts(self, bench_octree, jaco, rng):
+        from repro.collision.octree_cd import OBBOctreeCollider
+
+        collider = OBBOctreeCollider(bench_octree)
+        obb = jaco.link_obbs(jaco.random_configuration(rng))[2]
+        trace = collider.collide(obb)
+        work = QueryWork.from_trace(trace)
+        assert work.node_visits == trace.node_visits
+        assert work.tests == trace.intersection_tests
+        assert work.hit == trace.hit
+
+
+class TestCPUModel:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            CPUModel(GPU_DEVICES["titan-v"])
+
+    def test_time_scales_with_work(self, query_work):
+        work, _ = query_work
+        model = CPUModel(CPU_DEVICES["i7-4771"])
+        half = model.traversal_time_s(work[: len(work) // 2])
+        full = model.traversal_time_s(work)
+        assert full > half
+
+    def test_faster_device_is_faster(self, query_work):
+        work, _ = query_work
+        i7 = CPUModel(CPU_DEVICES["i7-4771"]).traversal_time_s(work)
+        a57 = CPUModel(CPU_DEVICES["cortex-a57"]).traversal_time_s(work)
+        assert i7 < a57
+
+    def test_leaf_kernel_slower_on_cpu(self, query_work, bench_octree):
+        """Table 3: leaf-parallel is a *loss* on CPUs."""
+        work, _ = query_work
+        model = CPUModel(CPU_DEVICES["i7-4771"])
+        n_leaves = len(bench_octree.occupied_leaves())
+        assert model.leaf_time_s(len(work), n_leaves) > model.traversal_time_s(work)
+
+
+class TestGPUModel:
+    def test_kind_validation(self):
+        with pytest.raises(ValueError):
+            GPUModel(CPU_DEVICES["i7-4771"])
+
+    def test_locality_sort_helps(self, query_work):
+        work, positions = query_work
+        model = GPUModel(GPU_DEVICES["titan-v"])
+        base = model.traversal_time_s(work)
+        sorted_time = model.traversal_time_s(work, positions=positions, locality_sort=True)
+        assert sorted_time <= base
+
+    def test_optimizations_compose(self, query_work):
+        work, positions = query_work
+        model = GPUModel(GPU_DEVICES["titan-v"])
+        optimized = model.traversal_time_s(
+            work, positions=positions, locality_sort=True, memory_interleaving=True
+        )
+        assert optimized < model.traversal_time_s(work)
+
+    def test_locality_sort_requires_positions(self, query_work):
+        work, _ = query_work
+        model = GPUModel(GPU_DEVICES["titan-v"])
+        with pytest.raises(ValueError):
+            model.traversal_time_s(work, locality_sort=True)
+
+    def test_leaf_kernel_wins_on_big_gpu(self, query_work, bench_octree):
+        """Table 3: leaf-parallel is a *win* on the Titan V."""
+        work, _ = query_work
+        model = GPUModel(GPU_DEVICES["titan-v"])
+        n_leaves = len(bench_octree.occupied_leaves())
+        assert model.leaf_time_s(len(work), n_leaves) < model.traversal_time_s(work)
+
+    def test_run_kernel_dispatch(self, query_work, bench_octree):
+        work, positions = query_work
+        model = GPUModel(GPU_DEVICES["titan-v"])
+        n_leaves = len(bench_octree.occupied_leaves())
+        t1 = model.run_kernel(GPUKernel.TRAVERSAL, work)
+        t2 = model.run_kernel(GPUKernel.TRAVERSAL_OPTIMIZED, work, positions=positions)
+        t3 = model.run_kernel(GPUKernel.LEAF_PARALLEL, work, n_leaves=n_leaves)
+        assert t2 < t1 and t3 > 0
+
+    def test_embedded_gpu_much_slower(self, query_work):
+        work, _ = query_work
+        titan = GPUModel(GPU_DEVICES["titan-v"]).traversal_time_s(work)
+        tx2 = GPUModel(GPU_DEVICES["jetson-tx2"]).traversal_time_s(work)
+        assert tx2 > 20 * titan
+
+
+class TestMortonOrder:
+    def test_is_permutation(self, rng):
+        positions = rng.normal(size=(100, 3))
+        order = _morton_order(positions)
+        assert sorted(order) == list(range(100))
+
+    def test_groups_nearby_points(self):
+        # Two well-separated clusters: the order must not interleave them.
+        a = np.zeros((32, 3)) + [0, 0, 0]
+        b = np.zeros((32, 3)) + [10, 10, 10]
+        positions = np.concatenate([a + np.arange(32)[:, None] * 1e-3, b])
+        order = _morton_order(positions)
+        first_half = set(order[:32])
+        assert first_half == set(range(32)) or first_half == set(range(32, 64))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            _morton_order(np.zeros((5, 2)))
+
+
+class TestSystemModel:
+    def test_motion_planning_ordering(self, jaco_checker, rng):
+        """End to end: desktop GPU < desktop CPU < embedded devices."""
+        from repro.harness.traces import QueryTrace
+        from repro.planning.mpnet import PlanResult
+        from repro.planning.recorder import CDTraceRecorder
+
+        recorder = CDTraceRecorder(jaco_checker)
+        q_a = jaco_checker.sample_free_configuration(rng)
+        q_b = jaco_checker.sample_free_configuration(rng)
+        recorder.feasibility([q_a, q_b, q_a])
+        trace = QueryTrace(
+            0, PlanResult(success=True, nn_inferences=10, encoder_inferences=1),
+            list(recorder.phases),
+        )
+        times = {}
+        for key, device in list(GPU_DEVICES.items()) + list(CPU_DEVICES.items()):
+            times[key] = BaselineSystemModel(key, device).run_query(trace).total_ms
+        assert times["titan-v"] < times["i7-4771"]
+        assert times["i7-4771"] < times["jetson-tx2"]
+
+    def test_timing_breakdown_positive(self, jaco_checker, rng):
+        from repro.harness.traces import QueryTrace
+        from repro.planning.mpnet import PlanResult
+        from repro.planning.recorder import CDTraceRecorder
+
+        recorder = CDTraceRecorder(jaco_checker)
+        q_a = jaco_checker.sample_free_configuration(rng)
+        recorder.steer(q_a, q_a + 0.1)
+        trace = QueryTrace(0, PlanResult(True, nn_inferences=2), list(recorder.phases))
+        timing = BaselineSystemModel("i7-4771", CPU_DEVICES["i7-4771"]).run_query(trace)
+        assert timing.collision_detection_s > 0
+        assert timing.nn_inference_s > 0
+        assert timing.total_s == pytest.approx(
+            timing.collision_detection_s + timing.nn_inference_s + timing.overhead_s
+        )

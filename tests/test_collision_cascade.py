@@ -1,0 +1,158 @@
+"""Tests for the cascaded early-exit intersection test (Figure 10)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collision.cascade import (
+    CascadeConfig,
+    DEFAULT_CASCADE,
+    ExitStage,
+    SAT_ONLY_PARALLEL,
+    SAT_ONLY_SEQUENTIAL,
+    SAT_ONLY_STAGED,
+    SATMode,
+    cascade_intersect,
+)
+from repro.collision.stats import CollisionStats
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+from repro.geometry.sat import SAT_TOTAL_MULTIPLIES, obb_aabb_overlap
+from repro.geometry.sphere import SPHERE_AABB_MULTIPLIES
+from repro.geometry.transform import rotation_x, rotation_y, rotation_z
+
+AABB_FIXED = AABB([0.0, 0.0, 0.0], [1.0, 0.8, 1.2])
+
+ALL_CONFIGS = [
+    DEFAULT_CASCADE,
+    SAT_ONLY_SEQUENTIAL,
+    SAT_ONLY_PARALLEL,
+    SAT_ONLY_STAGED,
+    CascadeConfig(bounding_sphere=True, inscribed_sphere=False),
+    CascadeConfig(bounding_sphere=False, inscribed_sphere=True),
+]
+
+
+def _rot(a, b, c):
+    return rotation_z(a) @ rotation_y(b) @ rotation_x(c)
+
+
+class TestVerdictExactness:
+    """Every cascade configuration must agree with the full SAT."""
+
+    @settings(max_examples=250, deadline=None)
+    @given(
+        center=st.tuples(*[st.floats(-2.5, 2.5) for _ in range(3)]),
+        half=st.tuples(*[st.floats(0.05, 1.0) for _ in range(3)]),
+        angles=st.tuples(*[st.floats(-math.pi, math.pi) for _ in range(3)]),
+        config_index=st.integers(0, len(ALL_CONFIGS) - 1),
+    )
+    def test_matches_exact_sat(self, center, half, angles, config_index):
+        obb = OBB(np.array(center), np.array(half), _rot(*angles))
+        config = ALL_CONFIGS[config_index]
+        result = cascade_intersect(obb, AABB_FIXED, config)
+        assert result.hit == obb_aabb_overlap(obb, AABB_FIXED)
+
+
+class TestExitStages:
+    def test_far_apart_exits_at_bounding_sphere(self):
+        obb = OBB([10, 0, 0], [0.2, 0.2, 0.2])
+        result = cascade_intersect(obb, AABB_FIXED)
+        assert result.exit_stage is ExitStage.BOUNDING_SPHERE
+        assert not result.hit
+        assert result.exit_cycle == 1
+        assert result.multiplies == SPHERE_AABB_MULTIPLIES
+        assert result.sat_axes_tested == 0
+
+    def test_deep_overlap_exits_at_inscribed_sphere(self):
+        obb = OBB([0, 0, 0], [0.5, 0.5, 0.5], rotation_z(0.3))
+        result = cascade_intersect(obb, AABB_FIXED)
+        assert result.exit_stage is ExitStage.INSCRIBED_SPHERE
+        assert result.hit
+        assert result.exit_cycle == 1
+        assert result.multiplies == 2 * SPHERE_AABB_MULTIPLIES
+
+    def test_filters_disabled_go_straight_to_sat(self):
+        obb = OBB([10, 0, 0], [0.2, 0.2, 0.2])
+        result = cascade_intersect(obb, AABB_FIXED, SAT_ONLY_STAGED)
+        assert result.exit_stage is ExitStage.SAT_STAGE_1
+        assert result.exit_cycle == 1  # first SAT stage is cycle 1 without filters
+
+    def test_sat_exhausted_is_collision(self):
+        # Grazing overlap that the inscribed sphere cannot certify.
+        obb = OBB([1.05, 0.85, 0.0], [0.2, 0.2, 0.2], rotation_z(math.pi / 4))
+        result = cascade_intersect(obb, AABB_FIXED, SAT_ONLY_STAGED)
+        if result.hit:
+            assert result.exit_stage is ExitStage.SAT_EXHAUSTED
+            assert result.exit_cycle == 3  # all three stages
+
+    def test_stage_exit_cycles_with_filters(self):
+        # A collision-free case that survives the bounding-sphere filter
+        # must exit at cycle >= 2 (sphere cycle + SAT stages).
+        obb = OBB([1.4, 0.9, 1.3], [0.3, 0.3, 0.3], rotation_z(0.5))
+        result = cascade_intersect(obb, AABB_FIXED)
+        if result.exit_stage in (
+            ExitStage.SAT_STAGE_1,
+            ExitStage.SAT_STAGE_2,
+            ExitStage.SAT_STAGE_3,
+        ):
+            assert result.exit_cycle >= 2
+
+
+class TestWorkAccounting:
+    def test_parallel_always_81_multiplies(self):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            obb = OBB(rng.uniform(-2, 2, 3), rng.uniform(0.1, 0.8, 3), _rot(*rng.uniform(-3, 3, 3)))
+            result = cascade_intersect(obb, AABB_FIXED, SAT_ONLY_PARALLEL)
+            assert result.multiplies == SAT_TOTAL_MULTIPLIES
+            assert result.exit_cycle == 1
+
+    def test_staged_multiplies_are_stage_quantized(self):
+        # Stage costs: 27 (axes 1-6), 30 (7-11), 24 (12-15).
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            obb = OBB(rng.uniform(-2, 2, 3), rng.uniform(0.1, 0.8, 3), _rot(*rng.uniform(-3, 3, 3)))
+            result = cascade_intersect(obb, AABB_FIXED, SAT_ONLY_STAGED)
+            assert result.multiplies in (27, 57, 81)
+
+    def test_sequential_cheaper_than_parallel_on_easy_cases(self):
+        obb = OBB([10, 0, 0], [0.2, 0.2, 0.2])
+        seq = cascade_intersect(obb, AABB_FIXED, SAT_ONLY_SEQUENTIAL)
+        par = cascade_intersect(obb, AABB_FIXED, SAT_ONLY_PARALLEL)
+        assert seq.multiplies < par.multiplies
+        assert seq.exit_cycle == 1 and par.exit_cycle == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CascadeConfig(stages=(6, 6, 6))
+
+
+class TestStatsRecording:
+    def test_stats_accumulate(self):
+        stats = CollisionStats()
+        obb = OBB([10, 0, 0], [0.2, 0.2, 0.2])
+        cascade_intersect(obb, AABB_FIXED, DEFAULT_CASCADE, stats)
+        cascade_intersect(obb, AABB_FIXED, DEFAULT_CASCADE, stats)
+        assert stats.intersection_tests == 2
+        assert stats.sphere_tests == 2  # bounding filter only, it exits
+        assert stats.multiplies == 2 * SPHERE_AABB_MULTIPLIES
+        assert stats.cascade_exits[ExitStage.BOUNDING_SPHERE.value] == 2
+
+    def test_stats_merge_and_copy(self):
+        a = CollisionStats(multiplies=5, intersection_tests=1)
+        a.cascade_exits["bounding_sphere"] = 1
+        b = a.copy()
+        b.merge(a)
+        assert b.multiplies == 10
+        assert b.cascade_exits["bounding_sphere"] == 2
+        assert a.multiplies == 5  # copy independent
+
+    def test_stats_reset_and_dict(self):
+        stats = CollisionStats(multiplies=3)
+        stats.reset()
+        assert stats.multiplies == 0
+        assert stats.as_dict()["multiplies"] == 0

@@ -1,0 +1,148 @@
+"""Tests for the robot-environment collision checker."""
+
+import numpy as np
+import pytest
+
+from repro.collision.checker import (
+    DEFAULT_MOTION_STEP,
+    RobotEnvironmentChecker,
+    interpolate_motion,
+)
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+from repro.robot.presets import planar_arm
+
+
+class TestInterpolateMotion:
+    def test_endpoints_included(self):
+        poses = interpolate_motion([0, 0], [1, 1], step=0.3)
+        assert np.allclose(poses[0], [0, 0])
+        assert np.allclose(poses[-1], [1, 1])
+
+    def test_spacing_never_exceeds_step(self):
+        poses = interpolate_motion([0, 0, 0], [2, 1, -1], step=0.25)
+        gaps = np.linalg.norm(np.diff(poses, axis=0), axis=1)
+        assert np.all(gaps <= 0.25 + 1e-12)
+
+    def test_identical_endpoints(self):
+        poses = interpolate_motion([1, 2], [1, 2], step=0.1)
+        assert len(poses) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            interpolate_motion([0, 0], [1, 1], step=0.0)
+        with pytest.raises(ValueError):
+            interpolate_motion([0, 0], [1, 1, 1])
+
+
+@pytest.fixture(scope="module")
+def planar_world():
+    """A planar 2-link arm with one obstacle blocking the +x direction."""
+    scene = Scene(extent=4.0)
+    # Wall in front of the arm at x ~ 0.75, tall enough to matter at z=0...
+    # the planar arm lives at z=0, so put the obstacle straddling z=0.
+    scene.add_obstacle(AABB.from_min_max([0.7, -0.4, 0.0], [0.9, 0.4, 0.2]))
+    octree = Octree.from_scene(scene, resolution=32)
+    robot = planar_arm(2)
+    checker = RobotEnvironmentChecker(robot, octree, motion_step=0.05)
+    return robot, checker
+
+
+class TestPoseChecks:
+    def test_straight_pose_hits_wall(self, planar_world):
+        robot, checker = planar_world
+        # Straight along +x: reaches x=0.8, through the wall.
+        assert checker.check_pose([0.0, 0.0])
+
+    def test_folded_pose_is_free(self, planar_world):
+        robot, checker = planar_world
+        # Pointing along -x: away from the wall.
+        assert not checker.check_pose([np.pi, 0.0])
+
+    def test_detailed_matches_boolean(self, planar_world, rng):
+        robot, checker = planar_world
+        for _ in range(30):
+            q = robot.random_configuration(rng)
+            assert checker.check_pose_detailed(q).collision == checker.check_pose(q)
+
+    def test_detailed_early_exit_on_first_hit(self, planar_world):
+        robot, checker = planar_world
+        result = checker.check_pose_detailed([0.0, 0.0])
+        assert result.collision
+        # Early exit: at most one trace may have hit, and it is the last.
+        assert result.link_traces[-1].hit
+        assert all(not t.hit for t in result.link_traces[:-1])
+
+    def test_pose_checks_counted(self, planar_world):
+        robot, checker = planar_world
+        before = checker.stats.pose_checks
+        checker.check_pose([0.0, 0.0])
+        assert checker.stats.pose_checks == before + 1
+
+
+class TestMotionChecks:
+    def test_free_motion(self, planar_world):
+        robot, checker = planar_world
+        result = checker.check_motion([np.pi, 0.0], [np.pi / 2 + 1.2, 0.0])
+        assert not result.collision
+        assert result.poses_checked == result.total_poses
+
+    def test_colliding_motion_early_exit(self, planar_world):
+        robot, checker = planar_world
+        # Swing from -x through +x: must pass through the wall.
+        result = checker.check_motion([np.pi, 0.0], [0.0, 0.0])
+        assert result.collision
+        assert result.poses_checked < result.total_poses + 1
+        assert result.first_colliding_index == result.poses_checked - 1
+
+    def test_motion_is_free_helper(self, planar_world):
+        robot, checker = planar_world
+        assert checker.motion_is_free([np.pi, 0.0], [np.pi - 0.3, 0.0])
+        assert not checker.motion_is_free([np.pi, 0.0], [0.0, 0.0])
+
+    def test_motion_step_validation(self, planar_world, bench_octree):
+        robot, _ = planar_world
+        with pytest.raises(ValueError):
+            RobotEnvironmentChecker(robot, bench_octree, motion_step=0.0)
+
+
+class TestConservativeness:
+    """Octree collision must be a superset of true scene collision."""
+
+    def test_true_overlap_implies_octree_hit(self, rng):
+        scene = Scene(extent=2.0)
+        scene.add_obstacle(AABB([0.5, 0.0, 0.8], [0.2, 0.2, 0.2]))
+        octree = Octree.from_scene(scene, resolution=16)
+        robot = planar_arm(2, base=None)
+        checker = RobotEnvironmentChecker(robot, octree)
+        for _ in range(100):
+            q = robot.random_configuration(rng)
+            truly_colliding = any(
+                scene.box_occupied(obb.enclosing_aabb()) and _obb_hits_scene(obb, scene)
+                for obb in robot.link_obbs(q)
+            )
+            if truly_colliding:
+                assert checker.check_pose(q)
+
+
+def _obb_hits_scene(obb, scene):
+    from repro.geometry.sat import obb_aabb_overlap
+
+    return any(obb_aabb_overlap(obb, obstacle) for obstacle in scene.obstacles)
+
+
+class TestSampling:
+    def test_sample_free_configuration_is_free(self, planar_world, rng):
+        robot, checker = planar_world
+        q = checker.sample_free_configuration(rng)
+        assert not checker.check_pose(q)
+
+    def test_sample_free_raises_when_impossible(self, rng):
+        # A world where everything collides: obstacle covering the arm.
+        scene = Scene(extent=4.0)
+        scene.add_obstacle(AABB.from_min_max([-1.0, -1.0, 0.0], [1.0, 1.0, 0.3]))
+        octree = Octree.from_scene(scene, resolution=16)
+        checker = RobotEnvironmentChecker(planar_arm(2), octree)
+        with pytest.raises(RuntimeError):
+            checker.sample_free_configuration(rng, max_attempts=20)

@@ -1,0 +1,123 @@
+"""Tests for OBB-octree traversal collision detection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collision.cascade import SAT_ONLY_SEQUENTIAL
+from repro.collision.octree_cd import (
+    OBBOctreeCollider,
+    reference_obb_octree_hit,
+)
+from repro.collision.stats import CollisionStats
+from repro.env.octree import OctantState, Octree
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+from repro.geometry.transform import rotation_z
+
+
+@pytest.fixture(scope="module")
+def one_box_octree():
+    scene = Scene(extent=2.0)
+    scene.add_obstacle(AABB([0.5, 0.5, 1.0], [0.2, 0.2, 0.2]))
+    return Octree.from_scene(scene, resolution=16)
+
+
+class TestVerdicts:
+    def test_hit_inside_obstacle(self, one_box_octree):
+        collider = OBBOctreeCollider(one_box_octree)
+        assert collider.collides(OBB([0.5, 0.5, 1.0], [0.05, 0.05, 0.05]))
+
+    def test_miss_far_away(self, one_box_octree):
+        collider = OBBOctreeCollider(one_box_octree)
+        assert not collider.collides(OBB([-0.7, -0.7, 0.3], [0.05, 0.05, 0.05]))
+
+    def test_rotated_grazing(self, one_box_octree):
+        collider = OBBOctreeCollider(one_box_octree)
+        obb = OBB([0.5, 0.5, 1.35], [0.3, 0.02, 0.02], rotation_z(0.8))
+        assert collider.collides(obb) == reference_obb_octree_hit(obb, one_box_octree)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        cx=st.floats(-0.9, 0.9),
+        cy=st.floats(-0.9, 0.9),
+        cz=st.floats(0.05, 1.9),
+        angle=st.floats(-3.1, 3.1),
+        hx=st.floats(0.02, 0.3),
+    )
+    def test_matches_leaf_reference(self, bench_octree, cx, cy, cz, angle, hx):
+        """Traversal with pruning must equal the exhaustive leaf sweep."""
+        obb = OBB([cx, cy, cz], [hx, 0.05, 0.1], rotation_z(angle))
+        collider = OBBOctreeCollider(bench_octree)
+        assert collider.collides(obb) == reference_obb_octree_hit(obb, bench_octree)
+
+    def test_verdict_independent_of_cascade_config(self, bench_octree, rng):
+        a = OBBOctreeCollider(bench_octree)
+        b = OBBOctreeCollider(bench_octree, SAT_ONLY_SEQUENTIAL)
+        for _ in range(50):
+            obb = OBB(
+                rng.uniform([-0.8, -0.8, 0.1], [0.8, 0.8, 1.7]),
+                rng.uniform(0.02, 0.25, 3),
+                rotation_z(rng.uniform(-3, 3)),
+            )
+            assert a.collides(obb) == b.collides(obb)
+
+
+class TestTraces:
+    def test_trace_starts_at_root(self, one_box_octree):
+        collider = OBBOctreeCollider(one_box_octree)
+        trace = collider.collide(OBB([-0.7, -0.7, 0.3], [0.05, 0.05, 0.05]))
+        assert trace.visits[0].address == 0
+
+    def test_trace_counts_consistent(self, one_box_octree):
+        collider = OBBOctreeCollider(one_box_octree)
+        trace = collider.collide(OBB([0.5, 0.5, 1.0], [0.1, 0.1, 0.1]))
+        assert trace.intersection_tests == sum(len(v.tests) for v in trace.visits)
+        assert trace.multiplies == sum(r.multiplies for r in trace.all_tests())
+        assert trace.node_visits == len(trace.visits)
+
+    def test_early_exit_on_full_octant(self, one_box_octree):
+        """Once a FULL octant hits, no later test may appear in the trace."""
+        collider = OBBOctreeCollider(one_box_octree)
+        trace = collider.collide(OBB([0.5, 0.5, 1.0], [0.05, 0.05, 0.05]))
+        assert trace.hit
+        last_visit = trace.visits[-1]
+        hits_full = [
+            t
+            for t in last_visit.tests
+            if t.state is OctantState.FULL and t.result.hit
+        ]
+        assert hits_full, "the final visit must contain the terminating hit"
+        assert last_visit.tests[-1] is hits_full[-1]
+
+    def test_record_trace_false_same_verdict_and_stats(self, bench_octree, rng):
+        collider = OBBOctreeCollider(bench_octree)
+        for _ in range(20):
+            obb = OBB(
+                rng.uniform([-0.8, -0.8, 0.1], [0.8, 0.8, 1.7]),
+                rng.uniform(0.02, 0.2, 3),
+                rotation_z(rng.uniform(-3, 3)),
+            )
+            s1, s2 = CollisionStats(), CollisionStats()
+            with_trace = collider.collide(obb, stats=s1, record_trace=True)
+            without = collider.collide(obb, stats=s2, record_trace=False)
+            assert with_trace.hit == without.hit
+            assert s1.multiplies == s2.multiplies
+            assert s1.node_visits == s2.node_visits
+            assert not without.visits
+
+    def test_stats_sram_reads_match_node_visits(self, one_box_octree):
+        stats = CollisionStats()
+        collider = OBBOctreeCollider(one_box_octree)
+        collider.collide(OBB([0.5, 0.5, 1.0], [0.1, 0.1, 0.1]), stats=stats)
+        assert stats.sram_reads == stats.node_visits
+
+    def test_empty_octree_never_hits(self):
+        octree = Octree.from_scene(Scene(extent=2.0), resolution=8)
+        collider = OBBOctreeCollider(octree)
+        trace = collider.collide(OBB([0, 0, 1.0], [0.5, 0.5, 0.5]))
+        assert not trace.hit
+        assert trace.node_visits == 1  # just the root
+        assert trace.intersection_tests == 0

@@ -1,0 +1,96 @@
+"""Tests for octree diffing and the cross-validation selfcheck."""
+
+import numpy as np
+import pytest
+
+from repro.env.diff import OctreeDelta, octree_delta
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+from repro.selfcheck import run_selfcheck
+
+
+def _scene(obstacles):
+    scene = Scene(extent=2.0)
+    for center, half in obstacles:
+        scene.add_obstacle(AABB(center, half))
+    return scene
+
+
+BOX_A = ([0.5, 0.5, 1.0], [0.15, 0.15, 0.15])
+BOX_B = ([-0.5, -0.5, 0.5], [0.1, 0.1, 0.1])
+
+
+class TestOctreeDelta:
+    def test_identical_trees(self):
+        a = Octree.from_scene(_scene([BOX_A]), resolution=16)
+        b = Octree.from_scene(_scene([BOX_A]), resolution=16)
+        delta = octree_delta(a, b)
+        assert delta.is_identical
+        assert delta.changed_nodes == 0
+        assert delta.transfer_bits() == 0
+
+    def test_added_obstacle_changes_nodes(self):
+        before = Octree.from_scene(_scene([BOX_A]), resolution=16)
+        after = Octree.from_scene(_scene([BOX_A, BOX_B]), resolution=16)
+        delta = octree_delta(before, after)
+        assert delta.changed_nodes > 0
+        assert not delta.is_identical
+
+    def test_delta_cheaper_than_reload_for_small_change(self):
+        before = Octree.from_scene(_scene([BOX_A]), resolution=16)
+        after = Octree.from_scene(_scene([BOX_A, BOX_B]), resolution=16)
+        delta = octree_delta(before, after)
+        assert delta.changed_bits < delta.full_bits
+        assert delta.transfer_bits() == delta.changed_bits
+
+    def test_total_change_falls_back_to_reload(self):
+        before = Octree.from_scene(_scene([BOX_A]), resolution=16)
+        # A completely different, much denser scene.
+        rng = np.random.default_rng(0)
+        boxes = [
+            (rng.uniform([-0.7, -0.7, 0.2], [0.7, 0.7, 1.6]), [0.12, 0.12, 0.12])
+            for _ in range(12)
+        ]
+        after = Octree.from_scene(_scene(boxes), resolution=16)
+        delta = octree_delta(before, after)
+        # transfer picks whichever payload is smaller.
+        assert delta.transfer_bits() == min(delta.changed_bits, delta.full_bits)
+
+    def test_transfer_time(self):
+        delta = OctreeDelta(nodes_before=10, nodes_after=12, changed_nodes=4)
+        seconds = delta.transfer_time_s(io_gbps=5.0)
+        assert seconds == pytest.approx(delta.transfer_bits() / 5e9)
+        with pytest.raises(ValueError):
+            delta.transfer_time_s(io_gbps=0.0)
+
+    def test_bounds_mismatch_rejected(self):
+        a = Octree.from_scene(_scene([BOX_A]), resolution=16)
+        bigger = Scene(extent=4.0)
+        bigger.add_obstacle(AABB(*BOX_A))
+        b = Octree.from_scene(bigger, resolution=16)
+        with pytest.raises(ValueError):
+            octree_delta(a, b)
+
+    def test_delta_symmetric_node_counts(self):
+        before = Octree.from_scene(_scene([BOX_A]), resolution=16)
+        after = Octree.from_scene(_scene([BOX_A, BOX_B]), resolution=16)
+        delta = octree_delta(before, after)
+        assert delta.nodes_before == before.node_count
+        assert delta.nodes_after == after.node_count
+
+
+class TestSelfcheck:
+    def test_all_checks_pass(self):
+        results = run_selfcheck(n_poses=30, seed=3)
+        assert len(results) == 5
+        for result in results:
+            assert result.passed, result
+            assert result.cases > 0
+
+    def test_cli_exit_code(self, capsys):
+        from repro.selfcheck import main
+
+        assert main(["--poses", "20", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out

@@ -1,0 +1,137 @@
+"""Tests for scenario generation and the point-cloud mapping substrate."""
+
+import numpy as np
+import pytest
+
+from repro.env.generator import (
+    BENCHMARK_EXTENT,
+    OBSTACLE_COUNT_RANGE,
+    OBSTACLE_SIZE_FRACTION,
+    random_scene,
+    scenario_suite,
+)
+from repro.env.mapping import (
+    OccupancyMapper,
+    scan_scene_points,
+    scene_to_octree_via_mapping,
+)
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+
+
+class TestGenerator:
+    def test_obstacle_count_in_band(self):
+        for seed in range(5):
+            scene = random_scene(seed=seed)
+            assert (
+                OBSTACLE_COUNT_RANGE[0]
+                <= scene.num_obstacles
+                <= OBSTACLE_COUNT_RANGE[1]
+            )
+
+    def test_obstacle_sizes_in_band(self):
+        scene = random_scene(seed=3)
+        lo = OBSTACLE_SIZE_FRACTION[0] * BENCHMARK_EXTENT
+        hi = OBSTACLE_SIZE_FRACTION[1] * BENCHMARK_EXTENT
+        for obstacle in scene.obstacles:
+            sizes = 2 * obstacle.half_extents
+            assert np.all(sizes >= lo - 1e-9)
+            assert np.all(sizes <= hi + 1e-9)
+
+    def test_obstacles_inside_workspace(self):
+        scene = random_scene(seed=4)
+        for obstacle in scene.obstacles:
+            assert np.all(obstacle.minimum >= scene.bounds.minimum - 1e-9)
+            assert np.all(obstacle.maximum <= scene.bounds.maximum + 1e-9)
+
+    def test_mount_kept_clear(self):
+        for seed in range(5):
+            scene = random_scene(seed=seed)
+            assert not scene.occupied([0.0, 0.0, 0.0])
+            assert not scene.occupied([0.0, 0.0, 0.1])
+
+    def test_deterministic_for_seed(self):
+        a = random_scene(seed=9)
+        b = random_scene(seed=9)
+        assert a.num_obstacles == b.num_obstacles
+        for oa, ob in zip(a.obstacles, b.obstacles):
+            assert oa == ob
+
+    def test_explicit_obstacle_count(self):
+        scene = random_scene(seed=1, n_obstacles=12)
+        assert scene.num_obstacles == 12
+
+    def test_suite_size_and_variety(self):
+        suite = scenario_suite(n_scenes=4, seed=1)
+        assert len(suite) == 4
+        counts = {s.num_obstacles for s in suite}
+        centers = {tuple(np.round(s.obstacles[0].center, 6)) for s in suite}
+        assert len(centers) == 4  # scenes differ
+
+    def test_suite_validation(self):
+        with pytest.raises(ValueError):
+            scenario_suite(n_scenes=0)
+
+    def test_invalid_size_fraction(self):
+        with pytest.raises(ValueError):
+            random_scene(seed=0, size_fraction=(0.5, 0.2))
+
+
+class TestScan:
+    def test_points_on_obstacle_surfaces(self):
+        scene = random_scene(seed=2)
+        points = scan_scene_points(scene, points_per_obstacle=50, seed=0)
+        assert points.shape == (50 * scene.num_obstacles, 3)
+        for point in points[:80]:
+            # Each noiseless point lies on some obstacle's boundary.
+            on_surface = any(
+                np.all(np.abs(point - ob.center) <= ob.half_extents + 1e-9)
+                and np.any(
+                    np.isclose(np.abs(point - ob.center), ob.half_extents, atol=1e-9)
+                )
+                for ob in scene.obstacles
+            )
+            assert on_surface
+
+    def test_empty_scene_returns_no_points(self):
+        assert scan_scene_points(Scene(extent=1.0), 10, seed=0).shape == (0, 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scan_scene_points(Scene(extent=1.0), 0)
+
+
+class TestMapper:
+    def test_integrate_counts_in_bounds_points(self):
+        scene = Scene(extent=2.0)
+        scene.add_obstacle(AABB([0.5, 0.5, 1.0], [0.2, 0.2, 0.2]))
+        mapper = OccupancyMapper(scene.bounds, resolution=8)
+        points = scan_scene_points(scene, 100, seed=1)
+        n = mapper.integrate(points)
+        assert n == len(points) == mapper.points_integrated
+
+    def test_integrate_validates_shape(self):
+        mapper = OccupancyMapper(Scene(extent=1.0).bounds, resolution=8)
+        with pytest.raises(ValueError):
+            mapper.integrate(np.zeros((3, 2)))
+
+    def test_integrate_empty_ok(self):
+        mapper = OccupancyMapper(Scene(extent=1.0).bounds, resolution=8)
+        assert mapper.integrate(np.empty((0, 3))) == 0
+
+    def test_dilation_validation(self):
+        with pytest.raises(ValueError):
+            OccupancyMapper(Scene(extent=1.0).bounds, 8, dilation_cells=-1)
+
+    def test_mapped_octree_covers_obstacle_surfaces(self):
+        scene = Scene(extent=2.0)
+        obstacle = AABB([0.5, 0.5, 1.0], [0.25, 0.25, 0.25])
+        scene.add_obstacle(obstacle)
+        octree = scene_to_octree_via_mapping(
+            scene, resolution=8, points_per_obstacle=2000, dilation_cells=1, seed=3
+        )
+        # Surface points of the obstacle must be occupied in the map.
+        for corner in obstacle.corners():
+            assert octree.point_occupied(corner * 0.999 + obstacle.center * 0.001)
+        # Far free space stays free.
+        assert not octree.point_occupied([-0.7, -0.7, 0.3])

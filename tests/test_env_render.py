@@ -1,0 +1,115 @@
+"""Tests for the ASCII scene/octree renderer."""
+
+import numpy as np
+import pytest
+
+from repro.env.octree import Octree
+from repro.env.render import (
+    FREE_GLYPH,
+    OBSTACLE_GLYPH,
+    OVERLAP_GLYPH,
+    ROBOT_GLYPH,
+    render_octree,
+    render_scene,
+    render_slice,
+    render_top_down,
+)
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+
+
+@pytest.fixture(scope="module")
+def boxy_scene():
+    scene = Scene(extent=2.0)
+    scene.add_obstacle(AABB([0.5, 0.5, 1.0], [0.3, 0.3, 0.3]))
+    return scene
+
+
+class TestRenderScene:
+    def test_dimensions(self, boxy_scene):
+        text = render_scene(boxy_scene, cells=20)
+        lines = text.splitlines()
+        assert len(lines) == 20
+        assert all(len(line) == 20 for line in lines)
+
+    def test_obstacle_appears(self, boxy_scene):
+        text = render_scene(boxy_scene, plane="xy", offset=1.0, cells=30)
+        assert OBSTACLE_GLYPH in text
+        assert FREE_GLYPH in text
+
+    def test_slice_misses_obstacle(self, boxy_scene):
+        # Slice at z=0.1: below the obstacle (z 0.7-1.3).
+        text = render_scene(boxy_scene, plane="xy", offset=0.1, cells=30)
+        assert OBSTACLE_GLYPH not in text
+
+    def test_obstacle_position_in_map(self, boxy_scene):
+        # The obstacle is at +x, +y: with top row = max y, it must appear in
+        # the upper-right quadrant.
+        text = render_scene(boxy_scene, plane="xy", offset=1.0, cells=20)
+        lines = text.splitlines()
+        upper_right = [line[10:] for line in lines[:10]]
+        lower_left = [line[:10] for line in lines[10:]]
+        assert any(OBSTACLE_GLYPH in chunk for chunk in upper_right)
+        assert not any(OBSTACLE_GLYPH in chunk for chunk in lower_left)
+
+    def test_robot_overlay(self, boxy_scene):
+        free_obb = OBB([-0.5, -0.5, 1.0], [0.1, 0.1, 0.1])
+        text = render_scene(
+            boxy_scene, plane="xy", offset=1.0, cells=30, robot_obbs=[free_obb]
+        )
+        assert ROBOT_GLYPH in text
+
+    def test_collision_overlay(self, boxy_scene):
+        colliding = OBB([0.5, 0.5, 1.0], [0.1, 0.1, 0.1])
+        text = render_scene(
+            boxy_scene, plane="xy", offset=1.0, cells=30, robot_obbs=[colliding]
+        )
+        assert OVERLAP_GLYPH in text
+
+    def test_validation(self, boxy_scene):
+        with pytest.raises(ValueError):
+            render_scene(boxy_scene, plane="ab")
+        with pytest.raises(ValueError):
+            render_scene(boxy_scene, cells=1)
+
+
+class TestRenderOctree:
+    def test_octree_matches_scene_coarsely(self, boxy_scene):
+        octree = Octree.from_scene(boxy_scene, resolution=16)
+        scene_text = render_scene(boxy_scene, plane="xy", offset=1.0, cells=20)
+        octree_text = render_octree(octree, plane="xy", offset=1.0, cells=20)
+        # Every scene obstacle cell must be occupied in the octree view
+        # (rasterization is conservative).
+        for s_line, o_line in zip(scene_text.splitlines(), octree_text.splitlines()):
+            for s_char, o_char in zip(s_line, o_line):
+                if s_char == OBSTACLE_GLYPH:
+                    assert o_char == OBSTACLE_GLYPH
+
+    def test_other_planes(self, boxy_scene):
+        octree = Octree.from_scene(boxy_scene, resolution=16)
+        for plane in ("xz", "yz"):
+            text = render_octree(octree, plane=plane, cells=16)
+            assert len(text.splitlines()) == 16
+
+
+class TestTopDown:
+    def test_footprint_appears(self, boxy_scene):
+        text = render_top_down(boxy_scene, cells=20)
+        assert OBSTACLE_GLYPH in text
+
+    def test_robot_column(self, boxy_scene):
+        obb = OBB([-0.5, -0.5, 0.5], [0.08, 0.08, 0.08])
+        text = render_top_down(boxy_scene, cells=20, robot_obbs=[obb])
+        assert ROBOT_GLYPH in text
+
+
+class TestGenericSlice:
+    def test_custom_predicate(self):
+        bounds = AABB([0, 0, 0], [1, 1, 1])
+        text = render_slice(lambda p: p[0] > 0, bounds, plane="xy", cells=10)
+        lines = text.splitlines()
+        # Right half occupied, left half free on every row.
+        for line in lines:
+            assert line[0] == FREE_GLYPH
+            assert line[-1] == OBSTACLE_GLYPH

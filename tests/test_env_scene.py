@@ -1,0 +1,61 @@
+"""Tests for the workspace scene."""
+
+import numpy as np
+import pytest
+
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+
+
+class TestSceneBounds:
+    def test_bounds_geometry(self):
+        scene = Scene(extent=2.0)
+        bounds = scene.bounds
+        assert np.allclose(bounds.minimum, [-1, -1, 0])
+        assert np.allclose(bounds.maximum, [1, 1, 2])
+
+    def test_rejects_nonpositive_extent(self):
+        with pytest.raises(ValueError):
+            Scene(extent=0.0)
+
+    def test_rejects_outside_obstacle(self):
+        scene = Scene(extent=1.0)
+        with pytest.raises(ValueError):
+            scene.add_obstacle(AABB([5, 5, 5], [0.1, 0.1, 0.1]))
+
+
+class TestOccupancy:
+    def test_occupied_point(self):
+        scene = Scene(extent=2.0)
+        scene.add_obstacle(AABB([0.5, 0.5, 1.0], [0.2, 0.2, 0.2]))
+        assert scene.occupied([0.5, 0.5, 1.0])
+        assert not scene.occupied([-0.5, -0.5, 1.0])
+
+    def test_box_occupied(self):
+        scene = Scene(extent=2.0)
+        scene.add_obstacle(AABB([0.5, 0.5, 1.0], [0.2, 0.2, 0.2]))
+        assert scene.box_occupied(AABB([0.8, 0.5, 1.0], [0.15, 0.1, 0.1]))
+        assert not scene.box_occupied(AABB([-0.8, -0.5, 1.0], [0.1, 0.1, 0.1]))
+
+    def test_box_fully_inside(self):
+        scene = Scene(extent=2.0)
+        scene.add_obstacle(AABB([0.5, 0.5, 1.0], [0.3, 0.3, 0.3]))
+        assert scene.box_fully_inside_obstacle(AABB([0.5, 0.5, 1.0], [0.1, 0.1, 0.1]))
+        assert not scene.box_fully_inside_obstacle(AABB([0.5, 0.5, 1.0], [0.4, 0.1, 0.1]))
+
+    def test_volume_fraction_single(self):
+        scene = Scene(extent=2.0)
+        scene.add_obstacle(AABB([0.5, 0.5, 1.0], [0.25, 0.25, 0.25]))
+        assert scene.occupied_volume_fraction() == pytest.approx(0.125 / 8.0)
+
+    def test_volume_fraction_overlap_not_double_counted(self):
+        scene = Scene(extent=2.0)
+        box = AABB([0.5, 0.5, 1.0], [0.25, 0.25, 0.25])
+        scene.add_obstacle(box)
+        scene.add_obstacle(box)
+        assert scene.occupied_volume_fraction() == pytest.approx(0.125 / 8.0)
+
+    def test_empty_scene(self):
+        scene = Scene(extent=1.0)
+        assert scene.occupied_volume_fraction() == 0.0
+        assert not scene.occupied([0, 0, 0.5])

@@ -1,0 +1,107 @@
+"""Tests for the voxel occupancy grid."""
+
+import numpy as np
+import pytest
+
+from repro.env.scene import Scene
+from repro.env.voxel import VoxelGrid
+from repro.geometry.aabb import AABB
+
+
+def _cube_bounds(extent=2.0):
+    return AABB([0, 0, extent / 2], [extent / 2] * 3)
+
+
+class TestConstruction:
+    def test_voxel_size(self):
+        grid = VoxelGrid(_cube_bounds(2.0), resolution=8)
+        assert grid.voxel_size == pytest.approx(0.25)
+
+    def test_rejects_noncubic(self):
+        with pytest.raises(ValueError):
+            VoxelGrid(AABB([0, 0, 0], [1, 2, 1]), 8)
+
+    def test_rejects_zero_resolution(self):
+        with pytest.raises(ValueError):
+            VoxelGrid(_cube_bounds(), 0)
+
+
+class TestFromScene:
+    def test_marks_obstacle_voxels(self):
+        scene = Scene(extent=2.0)
+        scene.add_obstacle(AABB([0.5, 0.5, 0.5], [0.1, 0.1, 0.1]))
+        grid = VoxelGrid.from_scene(scene, resolution=8)
+        assert grid.occupancy[grid.index_of([0.5, 0.5, 0.5])]
+        assert not grid.occupancy[grid.index_of([-0.5, -0.5, 0.5])]
+
+    def test_conservative_touching_voxels(self):
+        """Any voxel the obstacle touches must be marked."""
+        scene = Scene(extent=2.0)
+        # Obstacle straddling a voxel boundary at x=0.
+        scene.add_obstacle(AABB([0.0, 0.5, 0.5], [0.05, 0.05, 0.05]))
+        grid = VoxelGrid.from_scene(scene, resolution=8)
+        assert grid.occupancy[grid.index_of([-0.01, 0.5, 0.5])]
+        assert grid.occupancy[grid.index_of([0.01, 0.5, 0.5])]
+
+    def test_occupied_count_and_indices(self):
+        scene = Scene(extent=2.0)
+        scene.add_obstacle(AABB([0.5, 0.5, 0.5], [0.3, 0.3, 0.3]))
+        grid = VoxelGrid.from_scene(scene, resolution=8)
+        assert grid.occupied_count == len(grid.occupied_indices())
+        assert grid.occupied_count > 0
+
+    def test_empty_scene_grid_empty(self):
+        grid = VoxelGrid.from_scene(Scene(extent=2.0), resolution=8)
+        assert grid.occupied_count == 0
+
+
+class TestPointOps:
+    def test_mark_point(self):
+        grid = VoxelGrid(_cube_bounds(), 8)
+        grid.mark_point([0.3, 0.3, 0.9])
+        assert grid.occupancy[grid.index_of([0.3, 0.3, 0.9])]
+
+    def test_mark_point_out_of_bounds_ignored(self):
+        grid = VoxelGrid(_cube_bounds(), 8)
+        grid.mark_point([10.0, 0.0, 0.0])
+        assert grid.occupied_count == 0
+
+    def test_index_clamped(self):
+        grid = VoxelGrid(_cube_bounds(2.0), 8)
+        assert grid.index_of([1.0, 1.0, 2.0]) == (7, 7, 7)
+        assert grid.index_of([-1.0, -1.0, 0.0]) == (0, 0, 0)
+
+    def test_voxel_aabb_tiles_bounds(self):
+        grid = VoxelGrid(_cube_bounds(2.0), 4)
+        first = grid.voxel_aabb(0, 0, 0)
+        assert np.allclose(first.minimum, grid.bounds.minimum)
+        last = grid.voxel_aabb(3, 3, 3)
+        assert np.allclose(last.maximum, grid.bounds.maximum)
+
+
+class TestDilation:
+    def test_dilation_grows_neighbors(self):
+        grid = VoxelGrid(_cube_bounds(), 8)
+        grid.occupancy[4, 4, 4] = True
+        grown = grid.dilated(1)
+        assert grown.occupied_count == 7  # center + 6 face neighbors
+        assert grown.occupancy[3, 4, 4] and grown.occupancy[5, 4, 4]
+
+    def test_dilation_zero_is_copy(self):
+        grid = VoxelGrid(_cube_bounds(), 8)
+        grid.occupancy[1, 1, 1] = True
+        copy = grid.dilated(0)
+        assert copy.occupied_count == 1
+        copy.occupancy[0, 0, 0] = True
+        assert grid.occupied_count == 1  # original untouched
+
+    def test_dilation_validation(self):
+        grid = VoxelGrid(_cube_bounds(), 8)
+        with pytest.raises(ValueError):
+            grid.dilated(-1)
+
+    def test_dilation_clips_at_edges(self):
+        grid = VoxelGrid(_cube_bounds(), 8)
+        grid.occupancy[0, 0, 0] = True
+        grown = grid.dilated(1)
+        assert grown.occupied_count == 4  # corner: center + 3 neighbors

@@ -1,0 +1,110 @@
+"""Tests for axis-aligned bounding boxes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.aabb import AABB
+
+
+class TestConstruction:
+    def test_from_min_max(self):
+        box = AABB.from_min_max([0, 0, 0], [2, 4, 6])
+        assert np.allclose(box.center, [1, 2, 3])
+        assert np.allclose(box.half_extents, [1, 2, 3])
+
+    def test_from_min_max_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            AABB.from_min_max([0, 0, 0], [1, -1, 1])
+
+    def test_rejects_nonpositive_extents(self):
+        with pytest.raises(ValueError):
+            AABB([0, 0, 0], [1, 0, 1])
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            AABB([0, 0], [1, 1])
+
+    def test_min_max_roundtrip(self):
+        box = AABB([1, 2, 3], [0.5, 1.0, 1.5])
+        again = AABB.from_min_max(box.minimum, box.maximum)
+        assert again == box
+
+    def test_volume(self):
+        assert AABB([0, 0, 0], [1, 2, 3]).volume == pytest.approx(48.0)
+
+
+class TestPredicates:
+    def test_contains_point_inside_and_boundary(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        assert box.contains_point([0.5, -0.5, 0.0])
+        assert box.contains_point([1.0, 1.0, 1.0])  # closed box
+        assert not box.contains_point([1.0001, 0, 0])
+
+    def test_overlaps_symmetric(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([1.5, 0, 0], [1, 1, 1])
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_touching_boxes_overlap(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([2.0, 0, 0], [1, 1, 1])
+        assert a.overlaps(b)
+
+    def test_disjoint_boxes(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([2.01, 0, 0], [1, 1, 1])
+        assert not a.overlaps(b)
+
+    def test_intersection_volume(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([1, 0, 0], [1, 1, 1])
+        assert a.intersection_volume(b) == pytest.approx(4.0)  # 1 x 2 x 2
+        far = AABB([5, 5, 5], [1, 1, 1])
+        assert a.intersection_volume(far) == 0.0
+
+
+class TestOctants:
+    def test_octants_partition_volume(self):
+        box = AABB([1, 2, 3], [2, 2, 2])
+        total = sum(o.volume for o in box.octants())
+        assert total == pytest.approx(box.volume)
+
+    def test_octants_inside_parent(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        for octant in box.octants():
+            assert np.all(octant.minimum >= box.minimum - 1e-12)
+            assert np.all(octant.maximum <= box.maximum + 1e-12)
+
+    def test_octant_index_bits(self):
+        box = AABB([0, 0, 0], [2, 2, 2])
+        # Octant 0 has all-negative signs; octant 7 all-positive.
+        assert np.allclose(box.octant(0).center, [-1, -1, -1])
+        assert np.allclose(box.octant(7).center, [1, 1, 1])
+        # Bit 0 = +x, bit 1 = +y, bit 2 = +z.
+        assert np.allclose(box.octant(1).center, [1, -1, -1])
+        assert np.allclose(box.octant(2).center, [-1, 1, -1])
+        assert np.allclose(box.octant(4).center, [-1, -1, 1])
+
+    def test_octant_index_range(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        with pytest.raises(ValueError):
+            box.octant(8)
+        with pytest.raises(ValueError):
+            box.octant(-1)
+
+    def test_corners_are_contained(self):
+        box = AABB([3, -1, 2], [1, 2, 0.5])
+        corners = box.corners()
+        assert corners.shape == (8, 3)
+        for corner in corners:
+            assert box.contains_point(corner)
+
+    def test_expanded(self):
+        box = AABB([0, 0, 0], [1, 1, 1]).expanded(0.5)
+        assert np.allclose(box.half_extents, [1.5, 1.5, 1.5])
+
+    def test_hash_and_eq(self):
+        a = AABB([0, 0, 0], [1, 1, 1])
+        b = AABB([0, 0, 0], [1, 1, 1])
+        assert a == b and hash(a) == hash(b)
+        assert a != AABB([0, 0, 0], [2, 1, 1])

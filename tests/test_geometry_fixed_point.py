@@ -1,0 +1,112 @@
+"""Tests for 16-bit fixed-point quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.fixed_point import (
+    DEFAULT_FORMAT,
+    FixedPointFormat,
+    ROTATION_FORMAT,
+    quantize_aabb,
+    quantize_obb,
+)
+from repro.geometry.obb import OBB
+from repro.geometry.transform import rotation_z
+
+
+class TestFormat:
+    def test_default_resolution(self):
+        assert DEFAULT_FORMAT.resolution == pytest.approx(2**-10)
+
+    def test_range(self):
+        fmt = FixedPointFormat(16, 10)
+        assert fmt.max_value == pytest.approx((2**15 - 1) / 2**10)
+        assert fmt.min_value == pytest.approx(-(2**15) / 2**10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(16, 16)
+        with pytest.raises(ValueError):
+            FixedPointFormat(1, 0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(16, -1)
+
+    def test_quantize_scalar_returns_float(self):
+        assert isinstance(DEFAULT_FORMAT.quantize(0.12345), float)
+
+    def test_quantize_saturates(self):
+        fmt = FixedPointFormat(8, 4)  # range [-8, 7.9375]
+        assert fmt.quantize(100.0) == pytest.approx(fmt.max_value)
+        assert fmt.quantize(-100.0) == pytest.approx(fmt.min_value)
+
+    def test_representable(self):
+        fmt = FixedPointFormat(16, 10)
+        assert fmt.representable(1.0)
+        assert fmt.representable(1.0 + fmt.resolution)
+        assert not fmt.representable(1.0 + fmt.resolution / 3)
+        assert not fmt.representable(1e6)
+
+    @settings(max_examples=200, deadline=None)
+    @given(value=st.floats(-30.0, 30.0))
+    def test_error_bounded_by_half_step(self, value):
+        fmt = DEFAULT_FORMAT
+        assert abs(fmt.quantize(value) - value) <= fmt.resolution / 2 + 1e-12
+
+    def test_quantize_array(self):
+        out = DEFAULT_FORMAT.quantize(np.array([0.1, 0.2, 0.3]))
+        assert out.shape == (3,)
+        assert DEFAULT_FORMAT.representable(out)
+
+    def test_quantization_error_reporting(self):
+        fmt = FixedPointFormat(16, 10)
+        err = fmt.quantization_error(np.array([0.5 * fmt.resolution]))
+        assert err == pytest.approx(0.5 * fmt.resolution)
+
+
+class TestQuantizeAABB:
+    def test_never_shrinks(self):
+        box = AABB([0.12341, -0.5553, 0.9], [0.01231, 0.0771, 0.1499])
+        q = quantize_aabb(box)
+        assert np.all(q.half_extents >= box.half_extents - 1e-12)
+
+    def test_on_grid(self):
+        q = quantize_aabb(AABB([0.1, 0.2, 0.3], [0.05, 0.06, 0.07]))
+        assert DEFAULT_FORMAT.representable(q.center)
+        assert DEFAULT_FORMAT.representable(q.half_extents)
+
+
+class TestQuantizeOBB:
+    def test_never_shrinks_half_extents(self):
+        obb = OBB([0.1, 0.2, 0.3], [0.01231, 0.0771, 0.1499], rotation_z(0.37))
+        q = quantize_obb(obb)
+        assert np.all(q.half_extents >= obb.half_extents - 1e-12)
+
+    def test_values_on_grids(self):
+        obb = OBB([0.123456, -0.654321, 0.5], [0.04, 0.05, 0.06], rotation_z(1.234))
+        q = quantize_obb(obb)
+        assert DEFAULT_FORMAT.representable(q.center)
+        assert ROTATION_FORMAT.representable(q.rotation)
+
+    def test_rotation_error_small(self):
+        obb = OBB([0, 0, 0], [0.1, 0.1, 0.1], rotation_z(0.777))
+        q = quantize_obb(obb)
+        assert np.max(np.abs(q.rotation - obb.rotation)) <= ROTATION_FORMAT.resolution
+
+    def test_tiny_extent_clamps_to_one_lsb(self):
+        obb = OBB([0, 0, 0], [1e-9, 1e-9, 1e-9])
+        q = quantize_obb(obb)
+        assert np.all(q.half_extents >= DEFAULT_FORMAT.resolution - 1e-15)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        cx=st.floats(-0.8, 0.8),
+        angle=st.floats(-3.1, 3.1),
+    )
+    def test_quantized_obb_close_to_original(self, cx, angle):
+        obb = OBB([cx, 0.3, 0.5], [0.05, 0.07, 0.11], rotation_z(angle))
+        q = quantize_obb(obb)
+        assert np.linalg.norm(q.center - obb.center) < 3 * DEFAULT_FORMAT.resolution
+        assert np.max(np.abs(q.rotation - obb.rotation)) <= ROTATION_FORMAT.resolution

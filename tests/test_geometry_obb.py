@@ -1,0 +1,94 @@
+"""Tests for oriented bounding boxes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+from repro.geometry.transform import RigidTransform, rotation_z
+
+
+class TestConstruction:
+    def test_default_rotation_is_identity(self):
+        obb = OBB([0, 0, 0], [1, 2, 3])
+        assert np.allclose(obb.rotation, np.eye(3))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            OBB([0, 0], [1, 1, 1])
+        with pytest.raises(ValueError):
+            OBB([0, 0, 0], [1, 1, 1], np.eye(4))
+        with pytest.raises(ValueError):
+            OBB([0, 0, 0], [1, 0, 1])
+
+    def test_from_aabb(self):
+        aabb = AABB([1, 2, 3], [1, 1, 1])
+        obb = OBB.from_aabb(aabb)
+        assert np.allclose(obb.center, aabb.center)
+        assert np.allclose(obb.rotation, np.eye(3))
+
+
+class TestSphereRadii:
+    def test_bounding_sphere_is_half_diagonal(self):
+        obb = OBB([0, 0, 0], [3, 4, 12])
+        assert obb.bounding_sphere_radius == pytest.approx(13.0)
+
+    def test_inscribed_sphere_is_min_half_extent(self):
+        obb = OBB([0, 0, 0], [3, 4, 12])
+        assert obb.inscribed_sphere_radius == pytest.approx(3.0)
+
+    def test_radii_invariant_under_rotation(self):
+        plain = OBB([0, 0, 0], [1, 2, 3])
+        rotated = OBB([0, 0, 0], [1, 2, 3], rotation_z(0.7))
+        assert plain.bounding_sphere_radius == pytest.approx(
+            rotated.bounding_sphere_radius
+        )
+        assert plain.inscribed_sphere_radius == pytest.approx(
+            rotated.inscribed_sphere_radius
+        )
+
+    def test_corners_lie_on_bounding_sphere(self):
+        obb = OBB([1, 1, 1], [0.5, 0.7, 0.9], rotation_z(0.3))
+        distances = np.linalg.norm(obb.corners() - obb.center, axis=1)
+        assert np.allclose(distances, obb.bounding_sphere_radius)
+
+
+class TestGeometry:
+    def test_enclosing_aabb_contains_corners(self):
+        obb = OBB([0, 0, 0], [1, 2, 0.5], rotation_z(math.pi / 6))
+        aabb = obb.enclosing_aabb()
+        for corner in obb.corners():
+            assert aabb.contains_point(corner)
+
+    def test_enclosing_aabb_tight_for_axis_aligned(self):
+        obb = OBB([1, 2, 3], [0.5, 0.6, 0.7])
+        aabb = obb.enclosing_aabb()
+        assert np.allclose(aabb.half_extents, obb.half_extents)
+
+    def test_contains_point_rotated(self):
+        # A unit box rotated 45 degrees about z contains (1.2, 0, 0): the
+        # rotated box's x-reach is sqrt(2).
+        obb = OBB([0, 0, 0], [1, 1, 1], rotation_z(math.pi / 4))
+        assert obb.contains_point([1.2, 0, 0])
+        assert not obb.contains_point([1.2, 1.2, 0])
+
+    def test_transformed_moves_center_and_rotation(self):
+        obb = OBB([1, 0, 0], [1, 1, 1])
+        transform = RigidTransform.from_parts(rotation_z(math.pi / 2), [0, 0, 5])
+        moved = obb.transformed(transform)
+        assert np.allclose(moved.center, [0, 1, 5], atol=1e-12)
+        assert np.allclose(moved.half_extents, obb.half_extents)
+        assert np.allclose(moved.rotation, rotation_z(math.pi / 2))
+
+    def test_transformed_preserves_volume(self):
+        obb = OBB([0, 0, 0], [1, 2, 3])
+        transform = RigidTransform.from_parts(rotation_z(1.0), [1, 1, 1])
+        assert obb.transformed(transform).volume == pytest.approx(obb.volume)
+
+    def test_corner_count_and_symmetry(self):
+        obb = OBB([0, 0, 0], [1, 1, 1], rotation_z(0.3))
+        corners = obb.corners()
+        assert corners.shape == (8, 3)
+        assert np.allclose(corners.mean(axis=0), obb.center)

@@ -1,0 +1,174 @@
+"""Tests for the 15-axis separating-axis test."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+from repro.geometry.sat import (
+    SAT_AXIS_COUNT,
+    SAT_AXIS_MULTIPLIES,
+    SAT_TOTAL_MULTIPLIES,
+    extract_obb_scalars,
+    first_separating_axis,
+    obb_aabb_overlap,
+    sat_axis_test,
+    sat_obb_aabb,
+    stage_axis_ids,
+)
+from repro.geometry.transform import rotation_x, rotation_y, rotation_z
+
+
+def _rot(a, b, c):
+    return rotation_z(a) @ rotation_y(b) @ rotation_x(c)
+
+
+class TestConstants:
+    def test_total_multiplies_is_81(self):
+        assert SAT_TOTAL_MULTIPLIES == 81
+
+    def test_axis_cost_structure(self):
+        # 3 AABB faces at 3, 3 OBB faces at 6, 9 cross axes at 6.
+        assert SAT_AXIS_MULTIPLIES[:3] == (3, 3, 3)
+        assert SAT_AXIS_MULTIPLIES[3:6] == (6, 6, 6)
+        assert SAT_AXIS_MULTIPLIES[6:] == (6,) * 9
+
+    def test_stage_axis_ids_default(self):
+        stages = stage_axis_ids()
+        assert stages == (tuple(range(1, 7)), tuple(range(7, 12)), tuple(range(12, 16)))
+
+    def test_stage_axis_ids_validation(self):
+        with pytest.raises(ValueError):
+            stage_axis_ids((6, 5, 5))
+        with pytest.raises(ValueError):
+            stage_axis_ids((15, 0))
+
+
+class TestAxisAlignedCases:
+    """With identity rotation, SAT must reduce to the AABB interval test."""
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        center=st.tuples(*[st.floats(-4, 4) for _ in range(3)]),
+        half=st.tuples(*[st.floats(0.05, 2.0) for _ in range(3)]),
+    )
+    def test_matches_aabb_overlap(self, center, half):
+        aabb = AABB([0.0, 0.0, 0.0], [1.0, 1.5, 0.5])
+        obb = OBB(np.array(center), np.array(half))
+        expected = aabb.overlaps(AABB(np.array(center), np.array(half)))
+        assert obb_aabb_overlap(obb, aabb) == expected
+
+
+class TestRotatedCases:
+    def test_rotated_box_reaches_farther(self):
+        aabb = AABB([0, 0, 0], [1, 1, 1])
+        # An axis-aligned unit box at x=2.05 misses; rotated 45 deg it hits.
+        apart = OBB([2.05, 0, 0], [1, 1, 1])
+        assert not obb_aabb_overlap(apart, aabb)
+        rotated = OBB([2.05, 0, 0], [1, 1, 1], rotation_z(math.pi / 4))
+        assert obb_aabb_overlap(rotated, aabb)
+
+    def test_diagonal_gap_needs_cross_axes(self):
+        # Classic case where only an edge-edge (cross) axis separates.
+        aabb = AABB([0, 0, 0], [1, 1, 1])
+        rot = _rot(math.pi / 4, 0.0, math.pi / 4)
+        obb = OBB([1.85, 1.85, 0.0], [1.0, 1.0, 0.05], rot)
+        result = sat_obb_aabb(obb, aabb)
+        if result.separating_axis is not None:
+            assert 1 <= result.separating_axis <= 15
+
+    def test_containment_is_overlap(self):
+        aabb = AABB([0, 0, 0], [2, 2, 2])
+        inner = OBB([0.1, -0.2, 0.3], [0.2, 0.2, 0.2], rotation_z(0.5))
+        assert obb_aabb_overlap(inner, aabb)
+
+    def test_far_apart_separates_on_face_axis(self):
+        aabb = AABB([0, 0, 0], [1, 1, 1])
+        obb = OBB([10, 0, 0], [1, 1, 1], rotation_z(0.3))
+        assert first_separating_axis(obb, aabb) == 1
+
+
+class TestAgainstCornerReference:
+    """Verdicts must agree with an independent numeric reference.
+
+    The reference tests the 15 candidate axes by explicitly projecting all
+    8 corners of both boxes — no shared code with the production kernel's
+    closed-form radii.
+    """
+
+    @staticmethod
+    def _reference(obb: OBB, aabb: AABB) -> bool:
+        axes = [np.eye(3)[i] for i in range(3)]
+        axes += [obb.rotation[:, j] for j in range(3)]
+        for i in range(3):
+            for j in range(3):
+                cross = np.cross(np.eye(3)[i], obb.rotation[:, j])
+                axes.append(cross)
+        corners_a = aabb.corners()
+        corners_b = obb.corners()
+        for axis in axes:
+            norm = np.linalg.norm(axis)
+            if norm < 1e-9:
+                continue
+            pa = corners_a @ axis
+            pb = corners_b @ axis
+            if pa.max() < pb.min() - 1e-9 or pb.max() < pa.min() - 1e-9:
+                return False
+        return True
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        center=st.tuples(*[st.floats(-2.5, 2.5) for _ in range(3)]),
+        half=st.tuples(*[st.floats(0.1, 1.2) for _ in range(3)]),
+        angles=st.tuples(*[st.floats(-math.pi, math.pi) for _ in range(3)]),
+    )
+    def test_random_boxes(self, center, half, angles):
+        aabb = AABB([0.0, 0.0, 0.0], [1.0, 0.8, 1.3])
+        obb = OBB(np.array(center), np.array(half), _rot(*angles))
+        assert obb_aabb_overlap(obb, aabb) == self._reference(obb, aabb)
+
+
+class TestWorkAccounting:
+    def test_full_test_runs_all_axes_when_colliding(self):
+        aabb = AABB([0, 0, 0], [1, 1, 1])
+        obb = OBB([0, 0, 0], [0.5, 0.5, 0.5], rotation_z(0.4))
+        result = sat_obb_aabb(obb, aabb)
+        assert result.overlapping
+        assert result.axes_tested == SAT_AXIS_COUNT
+        assert result.multiplies == SAT_TOTAL_MULTIPLIES
+
+    def test_early_exit_counts_partial_work(self):
+        aabb = AABB([0, 0, 0], [1, 1, 1])
+        obb = OBB([10, 0, 0], [1, 1, 1])
+        result = sat_obb_aabb(obb, aabb)
+        assert result.separating_axis == 1
+        assert result.axes_tested == 1
+        assert result.multiplies == SAT_AXIS_MULTIPLIES[0]
+
+    def test_axis_subset(self):
+        aabb = AABB([0, 0, 0], [1, 1, 1])
+        obb = OBB([10, 0, 0], [1, 1, 1])
+        # Restricting to axes 4-6 must not find the axis-1 separation
+        # directly, but axis 4 separates too (the boxes are far apart).
+        result = sat_obb_aabb(obb, aabb, axis_ids=(4, 5, 6))
+        assert result.separating_axis in (4, 5, 6)
+
+    def test_single_axis_api(self):
+        aabb = AABB([0, 0, 0], [1, 1, 1])
+        obb = OBB([10, 0, 0], [1, 1, 1])
+        assert sat_axis_test(obb, aabb, 1)
+        with pytest.raises(ValueError):
+            sat_axis_test(obb, aabb, 16)
+
+    def test_extract_scalars_layout(self):
+        obb = OBB([1, 2, 3], [0.1, 0.2, 0.3], rotation_z(0.5))
+        rot9, half3, center3, r_bound, r_ins = extract_obb_scalars(obb)
+        assert len(rot9) == 9
+        assert half3 == (0.1, 0.2, 0.3)
+        assert center3 == (1.0, 2.0, 3.0)
+        assert r_bound == pytest.approx(obb.bounding_sphere_radius)
+        assert r_ins == pytest.approx(0.1)

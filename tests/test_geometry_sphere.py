@@ -1,0 +1,66 @@
+"""Tests for sphere primitives and the sphere-AABB overlap test."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.aabb import AABB
+from repro.geometry.sphere import (
+    Sphere,
+    sphere_aabb_overlap,
+    sphere_inside_aabb_test,
+    sphere_sphere_overlap,
+)
+
+
+class TestSphere:
+    def test_rejects_nonpositive_radius(self):
+        with pytest.raises(ValueError):
+            Sphere(center=(0, 0, 0), radius=0.0)
+
+
+class TestSphereAABB:
+    def test_center_inside_box(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        assert sphere_aabb_overlap([0.2, -0.3, 0.9], 0.01, box)
+
+    def test_touching_face(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        assert sphere_aabb_overlap([1.5, 0, 0], 0.5, box)
+        assert not sphere_aabb_overlap([1.51, 0, 0], 0.5, box)
+
+    def test_corner_distance(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        # Corner (1,1,1): sphere at (2,2,2) needs radius >= sqrt(3).
+        assert not sphere_aabb_overlap([2, 2, 2], 1.7, box)
+        assert sphere_aabb_overlap([2, 2, 2], 1.74, box)
+
+    def test_inside_alias(self):
+        box = AABB([0, 0, 0], [1, 1, 1])
+        assert sphere_inside_aabb_test([0, 0, 0], 0.5, box)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        cx=st.floats(-3, 3),
+        cy=st.floats(-3, 3),
+        cz=st.floats(-3, 3),
+        radius=st.floats(0.01, 2.0),
+    )
+    def test_matches_clamped_distance_reference(self, cx, cy, cz, radius):
+        """The 3-multiply test must equal the closed-form clamp distance."""
+        box = AABB([0.5, -0.25, 1.0], [0.75, 1.25, 0.5])
+        closest = np.clip([cx, cy, cz], box.minimum, box.maximum)
+        reference = np.linalg.norm(np.array([cx, cy, cz]) - closest) <= radius
+        assert sphere_aabb_overlap([cx, cy, cz], radius, box) == reference
+
+
+class TestSphereSphere:
+    def test_overlapping(self):
+        assert sphere_sphere_overlap([0, 0, 0], 1.0, [1.5, 0, 0], 1.0)
+
+    def test_touching(self):
+        assert sphere_sphere_overlap([0, 0, 0], 1.0, [2.0, 0, 0], 1.0)
+
+    def test_disjoint(self):
+        assert not sphere_sphere_overlap([0, 0, 0], 1.0, [2.001, 0, 0], 1.0)

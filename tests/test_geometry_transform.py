@@ -1,0 +1,95 @@
+"""Tests for rigid transforms and rotation constructors."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.transform import (
+    RigidTransform,
+    rotation_x,
+    rotation_y,
+    rotation_z,
+)
+
+
+class TestRotations:
+    @pytest.mark.parametrize("factory", [rotation_x, rotation_y, rotation_z])
+    @pytest.mark.parametrize("angle", [0.0, 0.3, -1.2, math.pi, 2 * math.pi])
+    def test_rotation_is_orthonormal(self, factory, angle):
+        rot = factory(angle)
+        assert np.allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+        assert np.isclose(np.linalg.det(rot), 1.0)
+
+    def test_rotation_z_quarter_turn_maps_x_to_y(self):
+        rot = rotation_z(math.pi / 2)
+        assert np.allclose(rot @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+    def test_rotation_x_quarter_turn_maps_y_to_z(self):
+        rot = rotation_x(math.pi / 2)
+        assert np.allclose(rot @ [0, 1, 0], [0, 0, 1], atol=1e-12)
+
+    def test_rotation_y_quarter_turn_maps_z_to_x(self):
+        rot = rotation_y(math.pi / 2)
+        assert np.allclose(rot @ [0, 0, 1], [1, 0, 0], atol=1e-12)
+
+    def test_zero_angle_is_identity(self):
+        for factory in (rotation_x, rotation_y, rotation_z):
+            assert np.allclose(factory(0.0), np.eye(3))
+
+
+class TestRigidTransform:
+    def test_identity_fixes_points(self):
+        t = RigidTransform.identity()
+        point = np.array([1.0, -2.0, 3.0])
+        assert np.allclose(t.apply(point), point)
+
+    def test_requires_4x4(self):
+        with pytest.raises(ValueError):
+            RigidTransform(np.eye(3))
+
+    def test_from_parts_shape_validation(self):
+        with pytest.raises(ValueError):
+            RigidTransform.from_parts(np.eye(2), [0, 0, 0])
+        with pytest.raises(ValueError):
+            RigidTransform.from_parts(np.eye(3), [0, 0])
+
+    def test_translation_only(self):
+        t = RigidTransform.from_translation([1.0, 2.0, 3.0])
+        assert np.allclose(t.apply([0, 0, 0]), [1, 2, 3])
+        assert np.allclose(t.apply_direction([1, 0, 0]), [1, 0, 0])
+
+    def test_compose_applies_right_transform_first(self):
+        rotate = RigidTransform.from_parts(rotation_z(math.pi / 2), [0, 0, 0])
+        shift = RigidTransform.from_translation([1.0, 0.0, 0.0])
+        # rotate after shift: (1,0,0) -> (2,0,0) -> (0,2,0)
+        combined = rotate @ shift
+        assert np.allclose(combined.apply([1, 0, 0]), [0, 2, 0], atol=1e-12)
+
+    def test_inverse_roundtrip(self, rng):
+        rot = rotation_x(0.7) @ rotation_z(-1.1)
+        t = RigidTransform.from_parts(rot, [0.5, -0.3, 2.0])
+        points = rng.normal(size=(10, 3))
+        assert np.allclose(t.inverse().apply(t.apply(points)), points, atol=1e-10)
+
+    def test_inverse_is_rigid(self):
+        t = RigidTransform.from_parts(rotation_y(0.4), [1, 2, 3])
+        assert t.inverse().is_rigid()
+
+    def test_apply_batch(self, rng):
+        t = RigidTransform.from_parts(rotation_z(0.3), [1, 0, 0])
+        points = rng.normal(size=(5, 3))
+        batch = t.apply(points)
+        for i in range(5):
+            assert np.allclose(batch[i], t.apply(points[i]))
+
+    def test_is_rigid_rejects_scaling(self):
+        matrix = np.eye(4)
+        matrix[0, 0] = 2.0
+        assert not RigidTransform(matrix).is_rigid()
+
+    def test_rotation_translation_accessors(self):
+        rot = rotation_z(0.2)
+        t = RigidTransform.from_parts(rot, [4, 5, 6])
+        assert np.allclose(t.rotation, rot)
+        assert np.allclose(t.translation, [4, 5, 6])

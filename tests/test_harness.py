@@ -1,0 +1,142 @@
+"""Tests for workload construction, trace generation, and the experiment registry."""
+
+import numpy as np
+import pytest
+
+from repro.harness.experiments import REGISTRY
+from repro.harness.experiments.context import (
+    Experiment,
+    ExperimentContext,
+    ExperimentScale,
+    SCALES,
+)
+from repro.harness.tables import format_table
+from repro.harness.traces import all_phases, generate_mpnet_traces
+from repro.harness.workloads import (
+    build_benchmarks,
+    collect_cascade_pairs,
+    random_link_obbs,
+)
+from repro.robot.presets import jaco2
+
+TINY = ExperimentScale(
+    name="tiny",
+    n_envs=1,
+    queries_per_env=1,
+    random_poses=40,
+    cdu_counts=(1, 8),
+    group_sizes=(1, 8),
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_benchmarks():
+    return build_benchmarks(jaco2, n_envs=2, queries_per_env=2, seed=5)
+
+
+class TestWorkloads:
+    def test_benchmark_structure(self, tiny_benchmarks):
+        assert len(tiny_benchmarks) == 2
+        for benchmark in tiny_benchmarks:
+            assert len(benchmark.queries) == 2
+            assert benchmark.octree.hardware_compatible
+            for q_start, q_goal in benchmark.queries:
+                assert not benchmark.checker.check_pose(q_start)
+                assert not benchmark.checker.check_pose(q_goal)
+
+    def test_build_validation(self):
+        with pytest.raises(ValueError):
+            build_benchmarks(jaco2, n_envs=0)
+
+    def test_random_link_obbs_count(self):
+        robot = jaco2()
+        obbs = random_link_obbs(robot, n_poses=5, seed=0)
+        assert len(obbs) == 5 * robot.num_links
+
+    def test_cascade_pairs_nonempty(self, tiny_benchmarks):
+        benchmark = tiny_benchmarks[0]
+        obbs = random_link_obbs(benchmark.robot, 10, seed=1)
+        pairs = collect_cascade_pairs(obbs, benchmark.octree)
+        assert pairs
+        from repro.geometry.aabb import AABB
+        from repro.geometry.obb import OBB
+
+        for obb, aabb in pairs[:10]:
+            assert isinstance(obb, OBB) and isinstance(aabb, AABB)
+
+    def test_cascade_pairs_max_cap(self, tiny_benchmarks):
+        benchmark = tiny_benchmarks[0]
+        obbs = random_link_obbs(benchmark.robot, 10, seed=1)
+        pairs = collect_cascade_pairs(obbs, benchmark.octree, max_pairs=7)
+        assert len(pairs) == 7
+
+
+class TestTraces:
+    def test_generate_traces(self, tiny_benchmarks):
+        traces = generate_mpnet_traces(tiny_benchmarks, queries_per_env=1, seed=2)
+        assert len(traces) == 2
+        for trace in traces:
+            assert trace.phases
+            if trace.result.success:
+                assert len(trace.result.path) >= 2
+        phases = all_phases(traces)
+        assert len(phases) == sum(len(t.phases) for t in traces)
+
+
+class TestTables:
+    def test_format_basic(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 123456.0}]
+        text = format_table(rows)
+        assert "| a " in text and "123,456" in text
+
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestExperiments:
+    def test_registry_covers_every_table_and_figure(self):
+        expected = {
+            "fig1b", "fig7", "fig8a", "fig8b", "fig15", "fig16", "fig17",
+            "fig18a", "fig18b", "fig19", "fig20", "table1", "table2", "table3",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_scales_registered(self):
+        assert set(SCALES) == {"quick", "paper"}
+
+    def test_table2_runs_instantly(self):
+        ctx = ExperimentContext(scale=TINY)
+        experiment = REGISTRY["table2"](ctx)
+        assert isinstance(experiment, Experiment)
+        assert experiment.rows
+        modules = {row["module"] for row in experiment.rows}
+        assert "Scheduler" in modules
+
+    def test_fig8b_histogram_shape(self):
+        ctx = ExperimentContext(scale=TINY)
+        experiment = REGISTRY["fig8b"](ctx)
+        assert len(experiment.rows) == 15
+        total = sum(row["frequency"] for row in experiment.rows)
+        assert total > 0
+        # Most separating axes must be found in the first six candidates.
+        first_six = sum(row["frequency"] for row in experiment.rows[:6])
+        assert first_six / total > 0.8
+
+    def test_table1_band(self):
+        ctx = ExperimentContext(scale=TINY)
+        experiment = REGISTRY["table1"](ctx)
+        assert len(experiment.rows) == 4
+        for row in experiment.rows:
+            assert 20 < row["latency_cycles"] < 400
+
+    def test_report_rendering(self):
+        from repro.harness.experiments.report import render_report
+
+        ctx = ExperimentContext(scale=TINY)
+        experiment = REGISTRY["table2"](ctx)
+        text = render_report([experiment], ctx)
+        assert "table2" in text and "Paper:" in text

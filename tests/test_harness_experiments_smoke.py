@@ -1,0 +1,94 @@
+"""Smoke tests for the cheaper experiment runners at a tiny scale.
+
+The benchmarks run every experiment with shape assertions; these tests
+exist so plain ``pytest tests/`` still exercises the runner plumbing
+(context caching, row schemas, normalization) without the heavy sweeps.
+"""
+
+import pytest
+
+from repro.harness.experiments import REGISTRY
+from repro.harness.experiments.context import ExperimentContext, ExperimentScale
+
+TINY = ExperimentScale(
+    name="tiny",
+    n_envs=1,
+    queries_per_env=1,
+    random_poses=60,
+    cdu_counts=(1, 8),
+    group_sizes=(1, 8, 16, 64),
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(scale=TINY, seed=11)
+
+
+class TestSchedulerRunners:
+    def test_fig1b_rows(self, ctx):
+        experiment = REGISTRY["fig1b"](ctx)
+        modes = [row["mode"] for row in experiment.rows]
+        assert modes == [
+            "sequential",
+            "parallel_small_np8",
+            "parallel_large_np64",
+            "mpaccel_mcsp16",
+        ]
+        sequential = experiment.rows[0]
+        assert sequential["speedup"] == 1.0
+        assert sequential["computation"] == 1.0
+        for row in experiment.rows[1:]:
+            assert row["speedup"] > 1.0
+
+    def test_fig16_rows_normalized(self, ctx):
+        experiment = REGISTRY["fig16"](ctx)
+        assert experiment.rows[0]["group_size"] == 1
+        assert experiment.rows[0]["normalized_runtime"] == 1.0
+        assert {row["group_size"] for row in experiment.rows} == set(TINY.group_sizes)
+
+
+class TestCascadeRunners:
+    def test_fig17_row_schema(self, ctx):
+        experiment = REGISTRY["fig17"](ctx)
+        configs = {row["config"] for row in experiment.rows}
+        assert "proposed_both_filters" in configs
+        assert "sequential_no_filters" in configs
+        for row in experiment.rows:
+            assert row["runtime_cycles"] > 0
+            assert row["multiplies"] > 0
+
+    def test_fig18a_sweeps_obstacles(self, ctx):
+        experiment = REGISTRY["fig18a"](ctx)
+        counts = {row["n_obstacles"] for row in experiment.rows}
+        assert counts == {2, 4, 8, 16}
+        configs = {row["config"] for row in experiment.rows}
+        assert configs == {"single_iu", "four_iu"}
+
+    def test_fig18b_fractions_sum_to_one(self, ctx):
+        experiment = REGISTRY["fig18b"](ctx)
+        for row in experiment.rows:
+            fractions = [
+                value
+                for key, value in row.items()
+                if key not in ("n_obstacles", "total_tests")
+            ]
+            assert sum(fractions) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestContextCaching:
+    def test_workloads_cached(self, ctx):
+        first = ctx.jaco2_benchmarks()
+        second = ctx.jaco2_benchmarks()
+        assert first is second
+
+    def test_traces_cached(self, ctx):
+        first = ctx.baxter_traces()
+        second = ctx.baxter_traces()
+        assert first is second
+
+    def test_experiments_share_traces(self, ctx):
+        # Running two experiments must not rebuild the trace workload.
+        before = ctx.baxter_traces()
+        REGISTRY["fig16"](ctx)
+        assert ctx.baxter_traces() is before

@@ -1,0 +1,146 @@
+"""Tests for trace serialization and replay (the artifact workflow)."""
+
+import numpy as np
+import pytest
+
+from repro.accel.sas import SASSimulator
+from repro.harness.serialization import (
+    load_phases,
+    load_traces,
+    phase_from_dict,
+    phase_to_dict,
+    save_phases,
+    save_traces,
+)
+from repro.harness.traces import QueryTrace
+from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+from repro.planning.mpnet import PlanResult
+from repro.planning.recorder import CDTraceRecorder
+
+
+@pytest.fixture()
+def recorded(jaco_checker, rng):
+    recorder = CDTraceRecorder(jaco_checker)
+    q_a = jaco_checker.sample_free_configuration(rng)
+    q_b = jaco_checker.sample_free_configuration(rng)
+    q_c = jaco_checker.sample_free_configuration(rng)
+    recorder.steer(q_a, q_b)
+    recorder.connectivity(q_a, [q_b, q_c])
+    recorder.feasibility([q_a, q_c, q_b])
+    return recorder.phases
+
+
+class TestPhaseRoundtrip:
+    def test_roundtrip_preserves_structure(self, recorded):
+        for phase in recorded:
+            data = phase_to_dict(phase)
+            restored = phase_from_dict(data)
+            assert restored.mode is phase.mode
+            assert restored.label == phase.label
+            assert len(restored.motions) == len(phase.motions)
+            for original, loaded in zip(phase.motions, restored.motions):
+                assert np.allclose(original.poses, loaded.poses)
+
+    def test_roundtrip_preserves_outcomes(self, recorded):
+        phase = recorded[-1]
+        restored = phase_from_dict(phase_to_dict(phase))
+        for original, loaded in zip(phase.motions, restored.motions):
+            for index in range(original.num_poses):
+                assert loaded.pose_collides(index) == original.pose_collides(index)
+
+    def test_restored_phase_needs_no_checker(self, recorded):
+        restored = phase_from_dict(phase_to_dict(recorded[0]))
+        # Every pose answers without touching any collision substrate.
+        for motion in restored.motions:
+            assert motion.evaluate_all() is not None
+
+    def test_sas_results_identical_on_replay(self, recorded):
+        sim = SASSimulator(n_cdus=8, policy="mcsp")
+        for phase in recorded:
+            original = sim.run(phase)
+            replayed = sim.run(phase_from_dict(phase_to_dict(phase)))
+            assert replayed.cycles == original.cycles
+            assert replayed.tests == original.tests
+            assert replayed.motion_outcomes == original.motion_outcomes
+
+
+class TestFileRoundtrip:
+    def test_phases_file(self, recorded, tmp_path):
+        path = str(tmp_path / "phases.json")
+        save_phases(path, list(recorded))
+        loaded = load_phases(path)
+        assert len(loaded) == len(recorded)
+        assert loaded[0].mode is recorded[0].mode
+
+    def test_traces_file(self, recorded, tmp_path):
+        trace = QueryTrace(
+            benchmark_index=3,
+            result=PlanResult(
+                success=True,
+                path=[np.zeros(6), np.ones(6)],
+                nn_inferences=4,
+                encoder_inferences=1,
+                fallback_used=True,
+                replans=2,
+            ),
+            phases=list(recorded),
+        )
+        path = str(tmp_path / "traces.json")
+        save_traces(path, [trace])
+        loaded = load_traces(path)
+        assert len(loaded) == 1
+        restored = loaded[0]
+        assert restored.benchmark_index == 3
+        assert restored.result.success
+        assert restored.result.nn_inferences == 4
+        assert restored.result.fallback_used
+        assert restored.result.replans == 2
+        assert np.allclose(restored.result.path[1], np.ones(6))
+        assert len(restored.phases) == len(recorded)
+
+    def test_version_check(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as handle:
+            handle.write('{"version": 99, "phases": []}')
+        with pytest.raises(ValueError):
+            load_phases(path)
+
+
+class TestPrecomputedMotions:
+    def test_from_precomputed_validation(self):
+        poses = np.zeros((3, 2))
+        with pytest.raises(ValueError):
+            MotionRecord.from_precomputed(poses, [False])
+
+    def test_missing_outcome_without_checker_raises(self):
+        motion = MotionRecord(np.zeros((3, 2)), checker=None)
+        with pytest.raises(RuntimeError):
+            motion.pose_collides(0)
+
+    def test_precomputed_phase_sequential_reference(self):
+        motion = MotionRecord.from_precomputed(
+            np.linspace([0.0], [1.0], 5), [False, False, True, False, False]
+        )
+        phase = CDPhase(FunctionMode.FEASIBILITY, [motion])
+        ref = phase.sequential_reference()
+        assert ref.tests == 3  # stops at the colliding pose
+        assert ref.outcomes == [True]
+
+
+class TestTracegenCLI:
+    def test_cli_writes_file(self, tmp_path, capsys):
+        from repro.harness.tracegen import main
+
+        out = str(tmp_path / "t.json")
+        code = main(
+            [
+                "--robot", "jaco2",
+                "--envs", "1",
+                "--queries", "1",
+                "--out", out,
+            ]
+        )
+        assert code == 0
+        loaded = load_traces(out)
+        assert loaded and loaded[0].phases
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,180 @@
+"""Tests for the numpy MLP, the MPNet network pair, and training."""
+
+import numpy as np
+import pytest
+
+from repro.neural.mlp import MLP
+from repro.neural.mpnet_nets import (
+    MPNetModel,
+    default_mpnet_model,
+    fixed_size_cloud,
+)
+from repro.neural.training import (
+    Demonstration,
+    demonstrations_to_samples,
+    train_mpnet,
+)
+
+
+class TestMLPBasics:
+    def test_forward_shapes(self):
+        net = MLP([4, 8, 2], seed=0)
+        single = net.forward(np.zeros(4))
+        batch = net.forward(np.zeros((5, 4)))
+        assert single.shape == (2,)
+        assert batch.shape == (5, 2)
+
+    def test_macs_and_params(self):
+        net = MLP([4, 8, 2])
+        assert net.macs == 4 * 8 + 8 * 2
+        assert net.parameter_count == 4 * 8 + 8 + 8 * 2 + 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MLP([4])
+        with pytest.raises(ValueError):
+            MLP([4, 0, 2])
+        with pytest.raises(ValueError):
+            MLP([4, 8, 2], dropout=1.0)
+
+    def test_deterministic_inference(self):
+        net = MLP([3, 6, 1], seed=1)
+        x = np.array([0.1, -0.2, 0.3])
+        assert np.allclose(net.forward(x), net.forward(x))
+
+    def test_dropout_at_inference_needs_rng(self):
+        net = MLP([3, 6, 1], dropout=0.5, dropout_at_inference=True)
+        with pytest.raises(ValueError):
+            net.forward(np.zeros(3))
+
+    def test_dropout_at_inference_is_stochastic(self):
+        net = MLP([3, 16, 1], dropout=0.5, dropout_at_inference=True, seed=2)
+        rng = np.random.default_rng(0)
+        x = np.array([1.0, 1.0, 1.0])
+        outputs = {float(net.forward(x, rng=rng)[0]) for _ in range(10)}
+        assert len(outputs) > 1
+
+
+class TestMLPGradients:
+    def test_gradient_matches_numerical(self):
+        """Backprop gradients must match central finite differences."""
+        net = MLP([3, 5, 2], seed=3)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 3))
+        y = rng.normal(size=(4, 2))
+
+        def loss():
+            pred = net.forward(x)
+            return float(np.mean((pred - y) ** 2))
+
+        activations, masks = net._forward_training(x, rng)
+        diff = activations[-1] - y
+        grad_out = 2.0 * diff / diff.size
+        weight_grads, bias_grads, _ = net.backward(activations, masks, grad_out)
+
+        eps = 1e-6
+        for layer in range(net.num_layers):
+            for index in [(0, 0), (1, 1)]:
+                original = net.weights[layer][index]
+                net.weights[layer][index] = original + eps
+                up = loss()
+                net.weights[layer][index] = original - eps
+                down = loss()
+                net.weights[layer][index] = original
+                numeric = (up - down) / (2 * eps)
+                assert weight_grads[layer][index] == pytest.approx(numeric, abs=1e-5)
+
+    def test_input_gradient_matches_numerical(self):
+        net = MLP([3, 5, 2], seed=4)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 3))
+        y = rng.normal(size=(1, 2))
+        activations, masks = net._forward_training(x, rng)
+        diff = activations[-1] - y
+        grad_out = 2.0 * diff / diff.size
+        _, _, input_grad = net.backward(activations, masks, grad_out)
+        eps = 1e-6
+        for j in range(3):
+            x_up = x.copy()
+            x_up[0, j] += eps
+            x_dn = x.copy()
+            x_dn[0, j] -= eps
+            up = float(np.mean((net.forward(x_up) - y) ** 2))
+            down = float(np.mean((net.forward(x_dn) - y) ** 2))
+            numeric = (up - down) / (2 * eps)
+            assert input_grad[0, j] == pytest.approx(numeric, abs=1e-5)
+
+    def test_training_reduces_loss(self):
+        net = MLP([2, 16, 1], seed=5)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(64, 2))
+        y = (x[:, :1] * x[:, 1:]) + 0.5
+        first = net.train_batch(x, y, rng)
+        for _ in range(200):
+            last = net.train_batch(x, y, rng)
+        assert last < first * 0.25
+
+
+class TestMPNetModel:
+    def test_default_model_shapes(self):
+        model = default_mpnet_model(dof=6)
+        latent = model.encode(np.zeros((model.n_cloud_points, 3)))
+        assert latent.shape == (model.latent_size,)
+        rng = np.random.default_rng(0)
+        q_next = model.next_pose(latent, np.zeros(6), np.ones(6), rng=rng)
+        assert q_next.shape == (6,)
+
+    def test_encode_validates_shape(self):
+        model = default_mpnet_model(dof=6)
+        with pytest.raises(ValueError):
+            model.encode(np.zeros((5, 3)))
+
+    def test_model_validation(self):
+        enet = MLP([96, 24])
+        bad_pnet = MLP([10, 6])
+        with pytest.raises(ValueError):
+            MPNetModel(enet=enet, pnet=bad_pnet, n_cloud_points=32, dof=6)
+
+    def test_fixed_size_cloud_pads_and_truncates(self, rng):
+        small = rng.normal(size=(3, 3))
+        out = fixed_size_cloud(small, 8, rng)
+        assert out.shape == (8, 3)
+        big = rng.normal(size=(100, 3))
+        out = fixed_size_cloud(big, 8, rng)
+        assert out.shape == (8, 3)
+
+    def test_fixed_size_cloud_empty(self, rng):
+        out = fixed_size_cloud(np.empty((0, 3)), 8, rng)
+        assert out.shape == (8, 3)
+        assert np.allclose(out, 0.0)
+
+
+class TestTraining:
+    def _demos(self, rng, n=6):
+        demos = []
+        for _ in range(n):
+            cloud = rng.normal(size=(16, 3))
+            path = [rng.uniform(-1, 1, size=2) for _ in range(4)]
+            demos.append(Demonstration(cloud=cloud, path=path))
+        return demos
+
+    def test_samples_flattening(self, rng):
+        demos = self._demos(rng)
+        clouds, inputs, targets = demonstrations_to_samples(demos)
+        assert len(clouds) == len(inputs) == len(targets) == 6 * 3
+        assert inputs.shape[1] == 4  # q + goal for dof 2
+        with pytest.raises(ValueError):
+            demonstrations_to_samples([])
+
+    def test_joint_training_reduces_loss(self, rng):
+        from repro.neural.mpnet_nets import MPNetModel
+
+        model = MPNetModel(
+            enet=MLP([48, 16, 8], seed=0),
+            pnet=MLP([8 + 4, 32, 2], seed=1),
+            n_cloud_points=16,
+            dof=2,
+        )
+        demos = self._demos(rng, n=12)
+        losses = train_mpnet(model, demos, epochs=30, batch_size=8, lr=3e-3)
+        assert losses[-1] < losses[0] * 0.7

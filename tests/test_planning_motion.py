@@ -1,0 +1,143 @@
+"""Tests for motions, phases, function modes, and C-space helpers."""
+
+import numpy as np
+import pytest
+
+from repro.planning.cspace import (
+    cspace_distance,
+    path_length,
+    steer_toward,
+    straight_line_path,
+)
+from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+
+
+class FakeChecker:
+    """Scriptable stand-in for RobotEnvironmentChecker.
+
+    ``collides(q)`` is a predicate over configurations; the class records
+    how many pose checks were issued so tests can verify laziness.
+    """
+
+    def __init__(self, collides, motion_step=0.25):
+        self._collides = collides
+        self.motion_step = motion_step
+        self.calls = 0
+
+    def check_pose(self, q):
+        self.calls += 1
+        return bool(self._collides(np.asarray(q, dtype=float)))
+
+
+def motion_from(checker, start, end):
+    return MotionRecord.from_endpoints(start, end, checker)
+
+
+class TestCspaceHelpers:
+    def test_distance(self):
+        assert cspace_distance([0, 0], [3, 4]) == pytest.approx(5.0)
+
+    def test_path_length(self):
+        path = [np.array([0.0, 0.0]), np.array([1.0, 0.0]), np.array([1.0, 2.0])]
+        assert path_length(path) == pytest.approx(3.0)
+        assert path_length(path[:1]) == 0.0
+
+    def test_straight_line_path(self):
+        path = straight_line_path([0, 0], [1, 1], n_points=5)
+        assert len(path) == 5
+        assert np.allclose(path[0], [0, 0]) and np.allclose(path[-1], [1, 1])
+        with pytest.raises(ValueError):
+            straight_line_path([0], [1], n_points=1)
+
+    def test_steer_toward_clamps_step(self):
+        out = steer_toward([0, 0], [10, 0], max_step=1.0)
+        assert np.allclose(out, [1, 0])
+
+    def test_steer_toward_reaches_close_target(self):
+        out = steer_toward([0, 0], [0.5, 0], max_step=1.0)
+        assert np.allclose(out, [0.5, 0])
+
+
+class TestMotionRecord:
+    def test_requires_two_poses(self):
+        checker = FakeChecker(lambda q: False)
+        with pytest.raises(ValueError):
+            MotionRecord(np.zeros((1, 2)), checker)
+
+    def test_lazy_evaluation(self):
+        checker = FakeChecker(lambda q: False)
+        motion = motion_from(checker, [0, 0], [1, 0])
+        assert checker.calls == 0
+        motion.pose_collides(0)
+        assert checker.calls == 1
+        motion.pose_collides(0)  # cached
+        assert checker.calls == 1
+        assert motion.evaluated_count() == 1
+
+    def test_first_collision_sequential(self):
+        # Collides when x > 0.5.
+        checker = FakeChecker(lambda q: q[0] > 0.5)
+        motion = motion_from(checker, [0, 0], [1, 0])
+        index = motion.first_collision()
+        assert index is not None
+        assert motion.poses[index][0] > 0.5
+        assert all(motion.poses[i][0] <= 0.5 for i in range(index))
+
+    def test_collision_free_motion(self):
+        checker = FakeChecker(lambda q: False)
+        motion = motion_from(checker, [0, 0], [1, 0])
+        assert motion.is_collision_free()
+        assert motion.first_collision() is None
+
+    def test_endpoints(self):
+        checker = FakeChecker(lambda q: False)
+        motion = motion_from(checker, [0, 1], [2, 3])
+        assert np.allclose(motion.start, [0, 1])
+        assert np.allclose(motion.end, [2, 3])
+
+
+class TestPhaseSequentialReference:
+    def _phase(self, mode, motion_specs):
+        """motion_specs: list of collide-predicates, one per motion."""
+        motions = []
+        for predicate in motion_specs:
+            checker = FakeChecker(predicate)
+            motions.append(motion_from(checker, [0.0], [1.0]))
+        return CDPhase(mode, motions)
+
+    def test_empty_phase_rejected(self):
+        with pytest.raises(ValueError):
+            CDPhase(FunctionMode.COMPLETE, [])
+
+    def test_feasibility_stops_at_first_collision(self):
+        phase = self._phase(
+            FunctionMode.FEASIBILITY,
+            [lambda q: False, lambda q: True, lambda q: False],
+        )
+        ref = phase.sequential_reference()
+        # Motion 0 fully checked, motion 1 stops at pose 0, motion 2 skipped.
+        n0 = phase.motions[0].num_poses
+        assert ref.tests == n0 + 1
+        assert ref.outcomes == [False, True, None]
+
+    def test_connectivity_stops_at_first_free(self):
+        phase = self._phase(
+            FunctionMode.CONNECTIVITY,
+            [lambda q: True, lambda q: False, lambda q: True],
+        )
+        ref = phase.sequential_reference()
+        assert ref.outcomes == [True, False, None]
+
+    def test_complete_checks_everything(self):
+        phase = self._phase(
+            FunctionMode.COMPLETE,
+            [lambda q: False, lambda q: True, lambda q: False],
+        )
+        ref = phase.sequential_reference()
+        assert None not in ref.outcomes
+        n_free = sum(m.num_poses for m, o in zip(phase.motions, ref.outcomes) if not o)
+        assert ref.tests >= n_free
+
+    def test_total_poses(self):
+        phase = self._phase(FunctionMode.COMPLETE, [lambda q: False] * 3)
+        assert phase.total_poses == sum(m.num_poses for m in phase.motions)

@@ -1,0 +1,211 @@
+"""Tests for RRT, RRT-Connect, shortcutting, and the MPNet-style planner."""
+
+import numpy as np
+import pytest
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.env.mapping import scan_scene_points
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+from repro.planning.mpnet import MPNetPlanner
+from repro.planning.recorder import CDTraceRecorder
+from repro.planning.rrt import RRTPlanner
+from repro.planning.rrt_connect import RRTConnectPlanner
+from repro.planning.samplers import HeuristicSampler
+from repro.planning.shortcut import greedy_shortcut
+from repro.robot.presets import planar_arm
+
+
+@pytest.fixture()
+def world():
+    scene = Scene(extent=4.0)
+    scene.add_obstacle(AABB.from_min_max([0.7, -0.4, 0.0], [0.9, 0.4, 0.2]))
+    octree = Octree.from_scene(scene, resolution=32)
+    robot = planar_arm(2)
+    checker = RobotEnvironmentChecker(robot, octree, motion_step=0.05)
+    recorder = CDTraceRecorder(checker)
+    return scene, robot, checker, recorder
+
+
+def _path_is_collision_free(checker, path):
+    return all(
+        checker.motion_is_free(a, b) for a, b in zip(path[:-1], path[1:])
+    )
+
+
+START = np.array([np.pi * 0.9, 0.0])
+GOAL = np.array([-np.pi * 0.9, 0.0])
+
+
+class TestRRT:
+    def test_finds_path_around_wall(self, world, rng):
+        _, robot, checker, recorder = world
+        planner = RRTPlanner(recorder, max_iterations=3000, max_step=0.4, goal_bias=0.2)
+        path = planner.plan(START, GOAL, rng)
+        assert path is not None
+        assert np.allclose(path[0], START) and np.allclose(path[-1], GOAL)
+        assert _path_is_collision_free(checker, path)
+
+    def test_records_extension_phases(self, world, rng):
+        _, robot, checker, recorder = world
+        RRTPlanner(recorder, max_iterations=50).plan(START, GOAL, rng)
+        assert recorder.phases_by_label("rrt_extend")
+
+    def test_validation(self, world):
+        _, _, _, recorder = world
+        with pytest.raises(ValueError):
+            RRTPlanner(recorder, max_iterations=0)
+        with pytest.raises(ValueError):
+            RRTPlanner(recorder, max_step=0.0)
+        with pytest.raises(ValueError):
+            RRTPlanner(recorder, goal_bias=1.5)
+
+
+class TestRRTConnect:
+    def test_finds_path_around_wall(self, world, rng):
+        _, robot, checker, recorder = world
+        planner = RRTConnectPlanner(recorder, max_iterations=800, max_step=0.4)
+        path = planner.plan(START, GOAL, rng)
+        assert path is not None
+        assert np.allclose(path[0], START) and np.allclose(path[-1], GOAL)
+        assert _path_is_collision_free(checker, path)
+
+    def test_trivial_query(self, world, rng):
+        _, robot, checker, recorder = world
+        near = START + 0.05
+        path = RRTConnectPlanner(recorder).plan(START, near, rng)
+        assert path is not None
+        assert _path_is_collision_free(checker, path)
+
+    def test_validation(self, world):
+        _, _, _, recorder = world
+        with pytest.raises(ValueError):
+            RRTConnectPlanner(recorder, max_iterations=0)
+
+
+class TestShortcut:
+    def test_contracts_redundant_waypoints(self, world):
+        _, robot, checker, recorder = world
+        # A dog-leg in free space (-x half plane) that contracts to a line.
+        path = [
+            np.array([np.pi, 0.0]),
+            np.array([np.pi * 0.8, 0.3]),
+            np.array([np.pi * 0.7, -0.2]),
+            np.array([np.pi * 0.6, 0.0]),
+        ]
+        short = greedy_shortcut(path, recorder)
+        assert len(short) == 2
+        assert np.allclose(short[0], path[0]) and np.allclose(short[-1], path[-1])
+
+    def test_keeps_necessary_waypoints(self, world, rng):
+        _, robot, checker, recorder = world
+        planner = RRTConnectPlanner(recorder, max_iterations=800, max_step=0.4)
+        path = planner.plan(START, GOAL, rng)
+        assert path is not None
+        short = greedy_shortcut(path, recorder)
+        assert len(short) <= len(path)
+        assert _path_is_collision_free(checker, short)
+
+    def test_short_paths_untouched(self, world):
+        _, _, _, recorder = world
+        path = [np.zeros(2), np.ones(2)]
+        assert greedy_shortcut(path, recorder) == path
+
+    def test_records_connectivity_phases(self, world):
+        _, _, _, recorder = world
+        path = [
+            np.array([np.pi, 0.0]),
+            np.array([np.pi * 0.8, 0.3]),
+            np.array([np.pi * 0.6, 0.0]),
+        ]
+        greedy_shortcut(path, recorder, label="myshort")
+        phases = recorder.phases_by_label("myshort")
+        assert phases
+        from repro.planning.motion import FunctionMode
+
+        assert all(p.mode is FunctionMode.CONNECTIVITY for p in phases)
+
+
+class TestMPNetPlanner:
+    def _planner(self, scene, robot, recorder, rng, **kwargs):
+        points = scan_scene_points(scene, 40, rng=rng)
+        return MPNetPlanner(recorder, HeuristicSampler(robot), points, **kwargs)
+
+    def test_plans_around_wall(self, world, rng):
+        scene, robot, checker, recorder = world
+        planner = self._planner(scene, robot, recorder, rng)
+        result = planner.plan(START, GOAL, rng)
+        assert result.success
+        assert np.allclose(result.path[0], START)
+        assert np.allclose(result.path[-1], GOAL)
+        assert _path_is_collision_free(checker, result.path)
+        assert result.nn_inferences >= 1
+        assert result.encoder_inferences == 1
+
+    def test_trivial_query_direct_connection(self, world, rng):
+        scene, robot, checker, recorder = world
+        planner = self._planner(scene, robot, recorder, rng)
+        result = planner.plan(START, START + 0.1, rng)
+        assert result.success
+        assert len(result.path) == 2
+
+    def test_records_expected_phase_labels(self, world, rng):
+        scene, robot, checker, recorder = world
+        planner = self._planner(scene, robot, recorder, rng)
+        planner.plan(START, GOAL, rng)
+        labels = {p.label for p in recorder.phases}
+        assert "neural_connect" in labels
+        assert "feasibility" in labels
+
+    def test_failure_reported_not_raised(self, world, rng):
+        scene, robot, checker, recorder = world
+        # An unreachable goal: inside the wall.
+        blocked = np.array([0.0, 0.0])
+        planner = self._planner(
+            scene, robot, recorder, rng, max_neural_steps=4, max_replans=1,
+            fallback_iterations=10,
+        )
+        result = planner.plan(START, blocked, rng)
+        assert not result.success
+        assert result.path == []
+
+    def test_validation(self, world):
+        scene, robot, checker, recorder = world
+        with pytest.raises(ValueError):
+            MPNetPlanner(recorder, HeuristicSampler(robot), np.zeros((1, 3)), max_neural_steps=1)
+        with pytest.raises(ValueError):
+            MPNetPlanner(recorder, HeuristicSampler(robot), np.zeros((1, 3)), max_replans=-1)
+
+
+class TestHeuristicSampler:
+    def test_respects_joint_limits(self, world, rng):
+        _, robot, _, _ = world
+        sampler = HeuristicSampler(robot)
+        q = np.zeros(robot.dof)
+        goal = robot.joint_limits[:, 1] * 2  # beyond limits
+        for _ in range(20):
+            q = sampler.sample_next(None, q, goal, rng)
+            assert robot.within_limits(q)
+
+    def test_stagnation_grows_and_resets(self, world):
+        _, robot, _, _ = world
+        sampler = HeuristicSampler(robot)
+        for _ in range(20):
+            sampler.notify_failure()
+        assert sampler.stagnation == 8  # capped
+        sampler.notify_success()
+        assert sampler.stagnation == 0
+
+    def test_validation(self, world):
+        _, robot, _, _ = world
+        with pytest.raises(ValueError):
+            HeuristicSampler(robot, max_step=0.0)
+        with pytest.raises(ValueError):
+            HeuristicSampler(robot, noise=-1.0)
+
+    def test_macs_are_mpnet_scale(self, world):
+        _, robot, _, _ = world
+        sampler = HeuristicSampler(robot)
+        assert sampler.pnet_macs > 1_000_000
+        assert sampler.enet_macs > 100_000

@@ -1,0 +1,87 @@
+"""Tests for the PRM planner."""
+
+import numpy as np
+import pytest
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+from repro.planning.prm import PRMPlanner
+from repro.planning.recorder import CDTraceRecorder
+from repro.robot.presets import planar_arm
+
+
+@pytest.fixture()
+def world():
+    scene = Scene(extent=4.0)
+    scene.add_obstacle(AABB.from_min_max([0.7, -0.4, 0.0], [0.9, 0.4, 0.2]))
+    octree = Octree.from_scene(scene, resolution=32)
+    robot = planar_arm(2)
+    checker = RobotEnvironmentChecker(robot, octree, motion_step=0.05)
+    return robot, checker, CDTraceRecorder(checker)
+
+
+START = np.array([np.pi * 0.9, 0.0])
+GOAL = np.array([-np.pi * 0.9, 0.0])
+
+
+class TestRoadmap:
+    def test_build_creates_free_nodes(self, world, rng):
+        robot, checker, recorder = world
+        planner = PRMPlanner(recorder, n_samples=60, k_neighbors=6)
+        planner.build_roadmap(rng)
+        assert planner.roadmap_built
+        assert planner.num_nodes > 0
+        for node in planner._nodes:
+            assert not checker.check_pose(node)
+
+    def test_edges_are_collision_free(self, world, rng):
+        robot, checker, recorder = world
+        planner = PRMPlanner(recorder, n_samples=40, k_neighbors=4)
+        planner.build_roadmap(rng)
+        for index, edges in planner._adjacency.items():
+            for neighbor, _weight in edges[:3]:
+                assert checker.motion_is_free(
+                    planner._nodes[index], planner._nodes[neighbor]
+                )
+
+    def test_roadmap_records_edge_phases(self, world, rng):
+        robot, checker, recorder = world
+        PRMPlanner(recorder, n_samples=30).build_roadmap(rng)
+        assert recorder.phases_by_label("prm_edge")
+
+    def test_validation(self, world):
+        _, _, recorder = world
+        with pytest.raises(ValueError):
+            PRMPlanner(recorder, n_samples=1)
+        with pytest.raises(ValueError):
+            PRMPlanner(recorder, k_neighbors=0)
+
+
+class TestQueries:
+    def test_plan_around_wall(self, world, rng):
+        robot, checker, recorder = world
+        planner = PRMPlanner(recorder, n_samples=150, k_neighbors=8)
+        path = planner.plan(START, GOAL, rng)
+        assert path is not None
+        assert np.allclose(path[0], START) and np.allclose(path[-1], GOAL)
+        for a, b in zip(path[:-1], path[1:]):
+            assert checker.motion_is_free(a, b)
+
+    def test_roadmap_reused_across_queries(self, world, rng):
+        robot, checker, recorder = world
+        planner = PRMPlanner(recorder, n_samples=120, k_neighbors=8)
+        planner.plan(START, GOAL, rng)
+        nodes_before = planner.num_nodes
+        planner.plan(GOAL, START, rng)
+        assert planner.num_nodes == nodes_before
+
+    def test_edge_count_grows_with_samples(self, world, rng):
+        """The paper's scalability argument: roadmap work grows fast."""
+        robot, checker, recorder = world
+        small = PRMPlanner(recorder, n_samples=30, k_neighbors=6)
+        small.build_roadmap(rng)
+        large = PRMPlanner(recorder, n_samples=120, k_neighbors=6)
+        large.build_roadmap(rng)
+        assert large.num_edges > small.num_edges

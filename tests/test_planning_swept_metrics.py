@@ -1,0 +1,138 @@
+"""Tests for swept volumes, the PRM memory model, and path metrics."""
+
+import numpy as np
+import pytest
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+from repro.planning.metrics import (
+    evaluate_path,
+    path_smoothness,
+    workspace_clearance,
+)
+from repro.planning.swept import (
+    roadmap_memory_estimate,
+    swept_volume_grid,
+    swept_voxels,
+)
+from repro.env.voxel import VoxelGrid
+from repro.robot.presets import planar_arm
+
+
+@pytest.fixture(scope="module")
+def arm_world():
+    scene = Scene(extent=4.0)
+    robot = planar_arm(2)
+    grid = VoxelGrid(scene.bounds, resolution=32)
+    return scene, robot, grid
+
+
+class TestSweptVolumes:
+    def test_swept_covers_both_endpoints(self, arm_world):
+        scene, robot, grid = arm_world
+        q_a = np.array([0.0, 0.0])
+        q_b = np.array([np.pi / 2, 0.0])
+        swept = swept_voxels(robot, q_a, q_b, grid)
+        for q in (q_a, q_b):
+            for obb in robot.link_obbs(q):
+                assert grid.index_of(obb.center) in swept
+
+    def test_swept_grows_with_motion_length(self, arm_world):
+        scene, robot, grid = arm_world
+        q_a = np.array([0.0, 0.0])
+        short = swept_voxels(robot, q_a, np.array([0.2, 0.0]), grid)
+        long = swept_voxels(robot, q_a, np.array([np.pi, 0.0]), grid)
+        assert len(long) > len(short)
+
+    def test_zero_motion_is_pose_footprint(self, arm_world):
+        scene, robot, grid = arm_world
+        q = np.array([0.3, -0.4])
+        swept = swept_voxels(robot, q, q, grid)
+        assert swept  # the robot occupies space even standing still
+
+    def test_grid_variant_matches_set(self, arm_world):
+        scene, robot, _ = arm_world
+        q_a, q_b = np.array([0.0, 0.0]), np.array([0.7, 0.0])
+        grid = swept_volume_grid(robot, q_a, q_b, scene.bounds, resolution=32)
+        reference = swept_voxels(
+            robot, q_a, q_b, VoxelGrid(scene.bounds, 32)
+        )
+        assert grid.occupied_count == len(reference)
+
+
+class TestRoadmapMemory:
+    def test_memory_grows_with_roadmap(self, arm_world):
+        """The paper's scalability argument: precomputed swept volumes
+        scale with the motion set, unlike MPAccel's on-the-fly OBBs."""
+        scene, robot, _ = arm_world
+        rng = np.random.default_rng(0)
+        motions = [
+            (robot.random_configuration(rng), robot.random_configuration(rng))
+            for _ in range(6)
+        ]
+        small = roadmap_memory_estimate(robot, motions[:2], scene.bounds, 32)
+        large = roadmap_memory_estimate(robot, motions, scene.bounds, 32)
+        assert large.voxel_bits > small.voxel_bits
+        assert large.octree_bits > small.octree_bits
+        assert large.n_motions == 6
+
+    def test_octree_compression_helps(self, arm_world):
+        scene, robot, _ = arm_world
+        rng = np.random.default_rng(1)
+        motions = [
+            (robot.random_configuration(rng), robot.random_configuration(rng))
+            for _ in range(3)
+        ]
+        estimate = roadmap_memory_estimate(robot, motions, scene.bounds, 32)
+        assert estimate.voxel_mb > 0
+        assert estimate.octree_mb > 0
+
+
+class TestPathMetrics:
+    def test_straight_path_smoothness_zero(self):
+        path = [np.array([0.0, 0.0]), np.array([0.5, 0.5]), np.array([1.0, 1.0])]
+        assert path_smoothness(path) == pytest.approx(0.0, abs=1e-6)
+
+    def test_right_angle_turn(self):
+        path = [np.array([0.0, 0.0]), np.array([1.0, 0.0]), np.array([1.0, 1.0])]
+        assert path_smoothness(path) == pytest.approx(np.pi / 2)
+
+    def test_short_paths(self):
+        assert path_smoothness([np.zeros(2)]) == 0.0
+        assert path_smoothness([np.zeros(2), np.ones(2)]) == 0.0
+
+    def test_evaluate_empty_path(self):
+        quality = evaluate_path([])
+        assert quality.length == 0.0 and quality.waypoints == 0
+
+    def test_evaluate_with_clearance(self):
+        scene = Scene(extent=4.0)
+        scene.add_obstacle(AABB.from_min_max([1.2, -0.3, 0.0], [1.5, 0.3, 0.2]))
+        octree = Octree.from_scene(scene, resolution=32)
+        robot = planar_arm(2)
+        checker = RobotEnvironmentChecker(robot, octree, motion_step=0.1)
+        path = [np.array([np.pi, 0.0]), np.array([np.pi * 0.7, 0.0])]
+        quality = evaluate_path(path, checker=checker, clearance_samples=3)
+        assert quality.min_clearance is not None
+        assert quality.min_clearance > 0.0  # far from the obstacle
+
+    def test_clearance_zero_in_collision(self):
+        scene = Scene(extent=4.0)
+        # Bury the whole arm under an obstacle.
+        scene.add_obstacle(AABB.from_min_max([-1.0, -1.0, 0.0], [1.0, 1.0, 0.3]))
+        octree = Octree.from_scene(scene, resolution=16)
+        robot = planar_arm(2)
+        checker = RobotEnvironmentChecker(robot, octree)
+        assert workspace_clearance(checker, np.zeros(2)) == 0.0
+
+    def test_clearance_decreases_near_obstacle(self):
+        scene = Scene(extent=4.0)
+        scene.add_obstacle(AABB.from_min_max([0.9, -0.3, 0.0], [1.2, 0.3, 0.2]))
+        octree = Octree.from_scene(scene, resolution=32)
+        robot = planar_arm(2)
+        checker = RobotEnvironmentChecker(robot, octree)
+        near = workspace_clearance(checker, np.array([0.1, 0.0]))  # toward +x
+        far = workspace_clearance(checker, np.array([np.pi, 0.0]))  # away
+        assert far >= near

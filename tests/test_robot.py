@@ -1,0 +1,148 @@
+"""Tests for DH kinematics, link geometry, and the robot presets."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.transform import RigidTransform
+from repro.robot.dh import DHParam, chain_forward_kinematics, dh_transform
+from repro.robot.link import LinkGeometry, link_along_z
+from repro.robot.model import RobotModel
+from repro.robot.presets import baxter_arm, jaco2, planar_arm
+
+
+class TestDH:
+    def test_zero_joint_pure_d_offset(self):
+        t = dh_transform(DHParam(a=0.0, alpha=0.0, d=0.5), theta=0.0)
+        assert np.allclose(t.translation, [0, 0, 0.5])
+        assert np.allclose(t.rotation, np.eye(3))
+
+    def test_pure_a_offset_rotates_with_theta(self):
+        t = dh_transform(DHParam(a=1.0, alpha=0.0, d=0.0), theta=math.pi / 2)
+        assert np.allclose(t.translation, [0, 1, 0], atol=1e-12)
+
+    def test_theta_offset_applied(self):
+        biased = dh_transform(DHParam(a=1.0, theta_offset=math.pi / 2), theta=0.0)
+        direct = dh_transform(DHParam(a=1.0), theta=math.pi / 2)
+        assert np.allclose(biased.matrix, direct.matrix)
+
+    def test_transform_is_rigid(self):
+        t = dh_transform(DHParam(a=0.3, alpha=0.7, d=0.2), theta=1.1)
+        assert t.is_rigid()
+
+    def test_chain_length_and_base(self):
+        params = [DHParam(d=0.1)] * 3
+        base = RigidTransform.from_translation([0, 0, 1.0])
+        frames = chain_forward_kinematics(params, [0, 0, 0], base=base)
+        assert len(frames) == 4
+        assert np.allclose(frames[0].translation, [0, 0, 1.0])
+        assert np.allclose(frames[3].translation, [0, 0, 1.3])
+
+    def test_chain_validates_lengths(self):
+        with pytest.raises(ValueError):
+            chain_forward_kinematics([DHParam()], [0.0, 0.0])
+
+
+class TestLinkGeometry:
+    def test_sphere_radii(self):
+        link = LinkGeometry("l", 0, (0.3, 0.4, 1.2))
+        assert link.bounding_sphere_radius == pytest.approx(
+            math.sqrt(0.09 + 0.16 + 1.44)
+        )
+        assert link.inscribed_sphere_radius == pytest.approx(0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkGeometry("l", -1, (1, 1, 1))
+        with pytest.raises(ValueError):
+            LinkGeometry("l", 0, (1, 0, 1))
+
+    def test_link_along_z_spans_segment(self):
+        link = link_along_z("l", 0, length=0.4, width=0.05)
+        obb = link.obb_in_world(RigidTransform.identity())
+        # The box must cover z in [0, 0.4] (with a little margin).
+        assert obb.center[2] == pytest.approx(0.2)
+        assert obb.contains_point([0, 0, 0.0])
+        assert obb.contains_point([0, 0, 0.4])
+
+    def test_link_along_z_validation(self):
+        with pytest.raises(ValueError):
+            link_along_z("l", 0, length=0.0, width=0.1)
+
+
+class TestRobotModel:
+    def test_planar_arm_straight_pose(self, planar2):
+        obbs = planar2.link_obbs([0.0, 0.0])
+        # Both links lie along +x; second link centered at 0.6.
+        assert np.allclose(obbs[0].center, [0.2, 0, 0], atol=1e-12)
+        assert np.allclose(obbs[1].center, [0.6, 0, 0], atol=1e-12)
+
+    def test_planar_arm_bent_pose(self, planar2):
+        obbs = planar2.link_obbs([math.pi / 2, -math.pi / 2])
+        # First link along +y, second along +x from (0, 0.4).
+        assert np.allclose(obbs[0].center, [0, 0.2, 0], atol=1e-12)
+        assert np.allclose(obbs[1].center, [0.2, 0.4, 0], atol=1e-12)
+
+    def test_limits_and_clamp(self, baxter):
+        q = np.full(baxter.dof, 10.0)
+        clamped = baxter.clamp(q)
+        assert baxter.within_limits(clamped)
+        assert not baxter.within_limits(q)
+
+    def test_random_configuration_within_limits(self, baxter, rng):
+        for _ in range(20):
+            assert baxter.within_limits(baxter.random_configuration(rng))
+
+    def test_configuration_shape_validation(self, jaco):
+        with pytest.raises(ValueError):
+            jaco.forward_kinematics([0.0, 0.0])
+
+    def test_presets_shape(self):
+        j = jaco2()
+        assert j.dof == 6 and j.num_links == 7
+        b = baxter_arm()
+        assert b.dof == 7 and b.num_links == 7
+
+    def test_reach_bounds_fk(self, jaco, rng):
+        reach = jaco.reach()
+        for _ in range(10):
+            frames = jaco.forward_kinematics(jaco.random_configuration(rng))
+            tip = frames[-1].translation
+            assert np.linalg.norm(tip) <= reach + 1e-9
+
+    def test_link_obbs_move_continuously(self, jaco):
+        q = np.zeros(jaco.dof)
+        dq = np.full(jaco.dof, 1e-4)
+        before = jaco.link_obbs(q)
+        after = jaco.link_obbs(q + dq)
+        for a, b in zip(before, after):
+            assert np.linalg.norm(a.center - b.center) < 1e-2
+
+    def test_model_validation(self):
+        with pytest.raises(ValueError):
+            RobotModel("bad", [], [link_along_z("l", 0, 0.1, 0.1)], np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            RobotModel(
+                "bad",
+                [DHParam(d=0.1)],
+                [link_along_z("l", 5, 0.1, 0.1)],  # frame index out of range
+                np.array([[-1.0, 1.0]]),
+            )
+        with pytest.raises(ValueError):
+            RobotModel(
+                "bad",
+                [DHParam(d=0.1)],
+                [link_along_z("l", 0, 0.1, 0.1)],
+                np.array([[1.0, -1.0]]),  # inverted limits
+            )
+
+    def test_base_transform_moves_all_links(self):
+        base = RigidTransform.from_translation([0, 0, 0.5])
+        arm = planar_arm(2, base=base)
+        obbs = arm.link_obbs([0.0, 0.0])
+        assert obbs[0].center[2] == pytest.approx(0.5)
+
+    def test_planar_arm_validation(self):
+        with pytest.raises(ValueError):
+            planar_arm(0)

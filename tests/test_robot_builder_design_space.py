@@ -1,0 +1,144 @@
+"""Tests for the spec-driven robot builder and the design-space explorer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.accel.config import CECDUConfig, IntersectionUnitKind, MPAccelConfig
+from repro.accel.design_space import (
+    DesignPoint,
+    enumerate_configs,
+    evaluate_design_space,
+    pareto_frontier,
+)
+from repro.robot.builder import robot_from_spec, spec_from_robot
+from repro.robot.presets import jaco2, planar_arm
+
+
+class TestRobotBuilder:
+    def test_minimal_spec(self):
+        robot = robot_from_spec(
+            {"joints": [{"d": 0.3, "alpha": math.pi / 2}, {"d": 0.25}]}
+        )
+        assert robot.dof == 2
+        assert robot.num_links == 2
+        assert robot.within_limits(np.zeros(2))
+
+    def test_explicit_links(self):
+        spec = {
+            "name": "boxy",
+            "joints": [{"d": 0.3}],
+            "links": [
+                {"frame": 0, "half_extents": [0.1, 0.1, 0.2], "offset": [0, 0, 0.2]}
+            ],
+        }
+        robot = robot_from_spec(spec)
+        obb = robot.link_obbs(np.zeros(1))[0]
+        assert np.allclose(obb.half_extents, [0.1, 0.1, 0.2])
+        assert np.allclose(obb.center, [0, 0, 0.2])
+
+    def test_limits_from_spec(self):
+        robot = robot_from_spec(
+            {"joints": [{"d": 0.2, "limits": [-1.0, 2.0]}]}
+        )
+        assert robot.within_limits([1.9])
+        assert not robot.within_limits([2.1])
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError):
+            robot_from_spec({"joints": [{"d": 0.2, "bogus": 1}]})
+        with pytest.raises(ValueError):
+            robot_from_spec({"joints": [{"d": 0.2}], "wheels": 4})
+        with pytest.raises(ValueError):
+            robot_from_spec(
+                {"joints": [{"d": 0.2}], "links": [{"frame": 0, "radius": 1}]}
+            )
+
+    def test_empty_joints_rejected(self):
+        with pytest.raises(ValueError):
+            robot_from_spec({"joints": []})
+
+    def test_link_needs_geometry(self):
+        with pytest.raises(ValueError):
+            robot_from_spec({"joints": [{"d": 0.2}], "links": [{"frame": 0}]})
+
+    def test_roundtrip_preserves_kinematics(self):
+        for factory in (jaco2, lambda: planar_arm(3)):
+            original = factory()
+            rebuilt = robot_from_spec(spec_from_robot(original))
+            q = np.zeros(original.dof)
+            for a, b in zip(original.link_obbs(q), rebuilt.link_obbs(q)):
+                assert np.allclose(a.center, b.center)
+                assert np.allclose(a.half_extents, b.half_extents)
+            q = np.linspace(-0.5, 0.5, original.dof)
+            for a, b in zip(original.link_obbs(q), rebuilt.link_obbs(q)):
+                assert np.allclose(a.center, b.center, atol=1e-12)
+
+    def test_spec_json_compatible(self):
+        import json
+
+        spec = spec_from_robot(jaco2())
+        rebuilt = robot_from_spec(json.loads(json.dumps(spec)))
+        assert rebuilt.dof == 6
+
+
+class TestDesignSpace:
+    def test_enumerate_grid(self):
+        configs = enumerate_configs()
+        assert len(configs) == 8
+        labels = {c.label() for c in configs}
+        assert "16_4_mc" in labels and "8_1_p" in labels
+
+    def test_evaluate_uses_evaluator(self):
+        configs = enumerate_configs(cecdu_counts=(8,), oocd_counts=(1,))
+
+        def evaluator(config):
+            return 1.0 if config.cecdu.pipelined else 2.0
+
+        points = evaluate_design_space(configs, evaluator)
+        by_label = {p.label: p for p in points}
+        assert by_label["8_1_p"].mean_latency_ms == 1.0
+        assert by_label["8_1_mc"].mean_latency_ms == 2.0
+        for point in points:
+            assert point.area_mm2 > 0 and point.power_w > 0
+
+    def test_pareto_frontier_filters_dominated(self):
+        def make(latency, area, power):
+            return DesignPoint(
+                config=MPAccelConfig(n_cecdus=8, cecdu=CECDUConfig(n_oocds=1)),
+                mean_latency_ms=latency,
+                area_mm2=area,
+                power_w=power,
+            )
+
+        fast_cheap = make(1.0, 1.0, 1.0)
+        slow_expensive = make(2.0, 2.0, 2.0)  # dominated
+        slow_cheap = make(2.0, 0.5, 1.0)
+        frontier = pareto_frontier([fast_cheap, slow_expensive, slow_cheap])
+        assert fast_cheap in frontier
+        assert slow_cheap in frontier
+        assert slow_expensive not in frontier
+
+    def test_frontier_sorted_by_latency(self):
+        configs = enumerate_configs()
+
+        def evaluator(config):
+            # Latency improves with total OOCDs; cost grows with them too,
+            # so several points survive.
+            return 10.0 / (config.n_cecdus * config.cecdu.n_oocds)
+
+        points = evaluate_design_space(configs, evaluator)
+        frontier = pareto_frontier(points)
+        latencies = [p.mean_latency_ms for p in frontier]
+        assert latencies == sorted(latencies)
+        assert 1 <= len(frontier) <= len(points)
+
+    def test_performance_density_metric(self):
+        point = DesignPoint(
+            config=MPAccelConfig(n_cecdus=16, cecdu=CECDUConfig(n_oocds=4)),
+            mean_latency_ms=0.1,
+            area_mm2=10.0,
+            power_w=3.5,
+        )
+        assert point.performance_density == pytest.approx((1e3 / 0.1) / 35.0)
