@@ -1,0 +1,102 @@
+"""Scalar-vs-batch collision throughput: the batching speedup guard.
+
+Run standalone for a throughput report::
+
+    PYTHONPATH=src python benchmarks/bench_batch_collision.py
+
+or as the tier-2 perf guard (skipped in tier-1, which only collects
+``tests/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch_collision.py -m perf
+
+The guard asserts the vectorized pipeline is at least 5x faster than the
+scalar checker on a 256-pose workload — the margin that makes batching
+worth its added complexity (observed speedups are well above that; the
+floor only catches pathological regressions).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.collision.batch import BatchPoseEvaluator
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.env.generator import random_scene
+from repro.env.octree import Octree
+from repro.robot.presets import jaco2
+
+N_POSES = 256
+SPEEDUP_FLOOR = 5.0
+
+
+def _workload(seed: int = 3, resolution: int = 16):
+    robot = jaco2()
+    octree = Octree.from_scene(random_scene(seed=seed), resolution=resolution)
+    poses = np.random.default_rng(0).uniform(-np.pi, np.pi, (N_POSES, robot.dof))
+    return robot, octree, poses
+
+
+def measure_speedup(repeats: int = 3) -> dict:
+    """Time scalar vs batch on the canonical 256-pose workload."""
+    robot, octree, poses = _workload()
+    scalar = RobotEnvironmentChecker(robot, octree, collect_stats=False)
+    evaluator = BatchPoseEvaluator(robot, octree)
+    evaluator.evaluate(poses[:4])  # warm caches before timing
+
+    scalar_best = min(
+        _timed(lambda: [scalar.check_pose(q) for q in poses]) for _ in range(repeats)
+    )
+    batch_best = min(_timed(lambda: evaluator.evaluate(poses)) for _ in range(repeats))
+    return {
+        "n_poses": N_POSES,
+        "scalar_s": scalar_best,
+        "batch_s": batch_best,
+        "speedup": scalar_best / batch_best,
+        "scalar_poses_per_s": N_POSES / scalar_best,
+        "batch_poses_per_s": N_POSES / batch_best,
+    }
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+@pytest.mark.perf
+def test_batch_backend_at_least_5x_faster():
+    report = measure_speedup()
+    assert report["speedup"] >= SPEEDUP_FLOOR, (
+        f"batch speedup {report['speedup']:.1f}x fell below the "
+        f"{SPEEDUP_FLOOR:.0f}x floor (scalar {report['scalar_s']:.4f}s, "
+        f"batch {report['batch_s']:.4f}s on {N_POSES} poses)"
+    )
+
+
+@pytest.mark.perf
+def test_batch_backend_verdicts_still_match():
+    # A perf run that returned wrong answers would be worse than a slow one.
+    robot, octree, poses = _workload()
+    scalar = RobotEnvironmentChecker(robot, octree, collect_stats=False)
+    batch = RobotEnvironmentChecker(
+        robot, octree, collect_stats=False, backend="batch"
+    )
+    sample = poses[:32]
+    assert list(batch.check_poses(sample)) == [scalar.check_pose(q) for q in sample]
+
+
+if __name__ == "__main__":
+    report = measure_speedup()
+    print(f"workload: {report['n_poses']} jaco2 poses, benchmark scene, octree r=16")
+    print(
+        f"scalar:  {report['scalar_s']:.4f} s"
+        f"  ({report['scalar_poses_per_s']:,.0f} poses/s)"
+    )
+    print(
+        f"batch:   {report['batch_s']:.4f} s"
+        f"  ({report['batch_poses_per_s']:,.0f} poses/s)"
+    )
+    print(f"speedup: {report['speedup']:.1f}x (floor {SPEEDUP_FLOOR:.0f}x)")

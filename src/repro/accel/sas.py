@@ -312,6 +312,32 @@ class SASSimulator:
         return total
 
 
+def prime_phase(phase: CDPhase, checker) -> int:
+    """Resolve every undecided pose of a phase in one batched dispatch.
+
+    The lazy ``MotionRecord`` cache answers the simulator's out-of-order
+    probes with one scalar ``check_pose`` call each; priming instead stacks
+    all unevaluated poses across the phase's motions into a single
+    ``checker.check_poses`` call — with a ``backend="batch"`` checker that is
+    one vectorized pipeline invocation for the whole MCSP batch.  Verdicts
+    and recorded stats are bit-identical either way (the batch backend's
+    contract), so simulation results do not change.  Returns the number of
+    poses primed.
+    """
+    targets = [
+        (motion, index)
+        for motion in phase.motions
+        for index in motion.unevaluated_indices()
+    ]
+    if not targets:
+        return 0
+    stacked = np.stack([motion.poses[index] for motion, index in targets])
+    verdicts = checker.check_poses(stacked)
+    for (motion, index), hit in zip(targets, verdicts):
+        motion.set_pose_outcome(index, bool(hit))
+    return len(targets)
+
+
 def sequential_reference_tests(phase: CDPhase) -> int:
     """Work of the early-exiting sequential evaluation (the efficiency baseline)."""
     return phase.sequential_reference().tests

@@ -21,6 +21,9 @@ import numpy as np
 
 from repro.baselines.cpu import QueryWork
 from repro.baselines.device import DeviceSpec, WARP_SIZE
+from repro.collision.cascade import CascadeConfig, DEFAULT_CASCADE
+from repro.env.octree import Octree
+from repro.geometry.obb import OBB
 
 
 class GPUKernel(Enum):
@@ -103,6 +106,22 @@ class GPUModel:
                 work, positions=positions, locality_sort=True, memory_interleaving=True
             )
         return self.leaf_time_s(len(work), n_leaves)
+
+
+def batch_reference_work(
+    obbs: Sequence[OBB], octree: Octree, config: CascadeConfig = DEFAULT_CASCADE
+) -> List[QueryWork]:
+    """Per-query work via the vectorized pipeline (the lane-level reference).
+
+    Functionally equivalent to :func:`repro.baselines.cpu.collect_query_work`
+    — the batch traversal replays the scalar early-exit accounting exactly —
+    but evaluates all queries in one vectorized pass, which is what the GPU
+    cost model's lane-per-query abstraction actually corresponds to.
+    """
+    from repro.collision.batch import BatchOBBs, BatchOctreeCollider
+
+    collider = BatchOctreeCollider(octree, config)
+    return collider.collide(BatchOBBs.from_obbs(obbs)).query_work()
 
 
 def _morton_order(positions: np.ndarray) -> List[int]:

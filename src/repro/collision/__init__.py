@@ -8,6 +8,18 @@ that planners call.  Every test records operation counts in a
 :class:`CollisionStats` so the energy model can price the work.
 """
 
+from repro.collision.batch import (
+    BatchCascadeOutcome,
+    BatchOBBs,
+    BatchOctreeCollider,
+    BatchPoseEvaluator,
+    BatchPoseOutcome,
+    BatchTraversalOutcome,
+    batch_cascade,
+    batch_forward_kinematics,
+    batch_link_obbs,
+    batch_quantize_obbs,
+)
 from repro.collision.cascade import (
     CascadeConfig,
     CascadeResult,
@@ -32,4 +44,14 @@ __all__ = [
     "MotionCollisionResult",
     "VoxelizedCollisionDetector",
     "VoxelCDResult",
+    "BatchOBBs",
+    "BatchCascadeOutcome",
+    "BatchTraversalOutcome",
+    "BatchPoseOutcome",
+    "BatchOctreeCollider",
+    "BatchPoseEvaluator",
+    "batch_cascade",
+    "batch_forward_kinematics",
+    "batch_link_obbs",
+    "batch_quantize_obbs",
 ]

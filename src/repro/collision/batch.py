@@ -1,0 +1,795 @@
+"""Vectorized batch collision pipeline: the Figure-10 cascade over pose tensors.
+
+The scalar modules (:mod:`repro.collision.cascade`,
+:mod:`repro.collision.octree_cd`, :mod:`repro.collision.checker`) evaluate one
+OBB-AABB pair at a time through Python loops — the faithful behavioral twin of
+one CECDU, but orders of magnitude slower than the arithmetic requires.  This
+module evaluates the same cascade over an ``(N_poses x N_links x
+N_leaf_candidates)`` batch of pairs in a handful of numpy calls:
+
+* :func:`batch_forward_kinematics` / :func:`batch_link_obbs` — the OBB
+  Generation Unit over a whole pose batch (DH chain as stacked 4x4 matmuls,
+  fixed-point quantization as array ops);
+* :func:`batch_cascade` — bounding-sphere filter, inscribed-sphere filter and
+  the staged/sequential/parallel SAT over M pairs at once;
+* :class:`BatchOctreeCollider` — level-synchronous octree traversal that
+  gathers every frontier octant of every query into one cascade call per tree
+  level, then replays the scalar traversal's early-exit accounting;
+* :class:`BatchPoseEvaluator` — the full robot-vs-environment pose check,
+  consumed by ``RobotEnvironmentChecker(backend="batch")``.
+
+**Contract: bit-identical to the scalar cascade.**  For the same inputs the
+batch engine returns the same booleans, the same per-pair
+:class:`~repro.collision.cascade.ExitStage`, and the same
+:class:`~repro.collision.stats.CollisionStats` operation counts as the scalar
+path — the energy model (:mod:`repro.accel.energy`) prices those counts, so
+"approximately equal" is not good enough.  Equality holds because every
+floating-point operation is replicated with the same operand order:
+
+* numpy elementwise ufuncs are IEEE-754 double ops, identical to Python float
+  arithmetic, and the expressions here copy the scalar source's association;
+* stacked ``(N,4,4) @ (N,4,4)`` matmul produces the same bits as the per-slice
+  2-D ``@`` the scalar FK uses (both dispatch to the same gemm kernel);
+* ``np.rint`` matches Python ``round`` (both half-to-even), so the
+  fixed-point snapping grids agree;
+* the bounding-sphere radius uses the ``(M,1,3) @ (M,3,1)`` stacked product,
+  which reproduces ``np.dot(h, h)`` (BLAS ddot) bit-for-bit.
+
+The differential harness (``tests/differential.py``) enforces the contract
+pair-by-pair; new backends (GPU, fixed-point, octree variants) should be run
+through the same harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.collision.cascade import (
+    CascadeConfig,
+    DEFAULT_CASCADE,
+    ExitStage,
+    SATMode,
+)
+from repro.collision.stats import CollisionStats
+from repro.env.octree import OctantState, Octree
+from repro.geometry.fixed_point import DEFAULT_FORMAT, FixedPointFormat, ROTATION_FORMAT
+from repro.geometry.obb import OBB
+from repro.geometry.sat import SAT_AXIS_MULTIPLIES, extract_obb_scalars, stage_axis_ids
+from repro.geometry.sphere import SPHERE_AABB_MULTIPLIES
+from repro.robot.model import RobotModel
+
+# Must match repro.geometry.sat._EPS: the cross-axis degeneracy guard.
+_EPS = 1e-9
+
+#: Canonical exit-stage order; the ``exit_code`` arrays index into this.
+EXIT_STAGE_ORDER: Tuple[ExitStage, ...] = (
+    ExitStage.BOUNDING_SPHERE,
+    ExitStage.INSCRIBED_SPHERE,
+    ExitStage.SAT_STAGE_1,
+    ExitStage.SAT_STAGE_2,
+    ExitStage.SAT_STAGE_3,
+    ExitStage.SAT_EXHAUSTED,
+)
+EXIT_CODE = {stage: code for code, stage in enumerate(EXIT_STAGE_ORDER)}
+_CODE_BOUNDING = EXIT_CODE[ExitStage.BOUNDING_SPHERE]
+_CODE_INSCRIBED = EXIT_CODE[ExitStage.INSCRIBED_SPHERE]
+_CODE_SAT_1 = EXIT_CODE[ExitStage.SAT_STAGE_1]
+_CODE_EXHAUSTED = EXIT_CODE[ExitStage.SAT_EXHAUSTED]
+
+#: Cumulative multiply cost of the sequential SAT through axis k (1-based).
+_CUM_AXIS_MULTIPLIES = np.cumsum(SAT_AXIS_MULTIPLIES)
+_SAT_FULL_MULTIPLIES = int(_CUM_AXIS_MULTIPLIES[-1])
+
+
+# ----------------------------------------------------------------------
+# Struct-of-arrays OBB batch
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BatchOBBs:
+    """M OBBs as a struct of arrays (the batch twin of 17-value OBB words).
+
+    ``rot`` is ``(M, 3, 3)`` row-major world-from-local rotations, ``half``
+    and ``center`` are ``(M, 3)``, and the sphere radii are ``(M,)`` — the
+    same five fields :func:`repro.geometry.sat.extract_obb_scalars` yields.
+    """
+
+    rot: np.ndarray
+    half: np.ndarray
+    center: np.ndarray
+    r_bound: np.ndarray
+    r_inscribed: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.center)
+
+    @classmethod
+    def from_arrays(cls, center, half, rot) -> "BatchOBBs":
+        """Build from raw arrays, deriving the sphere radii.
+
+        The bounding radius uses a stacked ``(M,1,3) @ (M,3,1)`` product so
+        the squared norm matches the scalar ``np.dot(h, h)`` bit-for-bit.
+        """
+        center = np.asarray(center, dtype=float).reshape(-1, 3)
+        half = np.asarray(half, dtype=float).reshape(-1, 3)
+        rot = np.asarray(rot, dtype=float).reshape(-1, 3, 3)
+        r_bound = np.sqrt((half[:, None, :] @ half[:, :, None])[:, 0, 0])
+        r_inscribed = np.min(half, axis=1)
+        return cls(rot, half, center, r_bound, r_inscribed)
+
+    @classmethod
+    def from_obbs(cls, obbs: Sequence[OBB]) -> "BatchOBBs":
+        """Pack OBB objects, taking radii through the scalar extraction."""
+        pre = [extract_obb_scalars(obb) for obb in obbs]
+        rot = np.array([p[0] for p in pre], dtype=float).reshape(-1, 3, 3)
+        half = np.array([p[1] for p in pre], dtype=float).reshape(-1, 3)
+        center = np.array([p[2] for p in pre], dtype=float).reshape(-1, 3)
+        r_bound = np.array([p[3] for p in pre], dtype=float)
+        r_inscribed = np.array([p[4] for p in pre], dtype=float)
+        return cls(rot, half, center, r_bound, r_inscribed)
+
+    def take(self, indices) -> "BatchOBBs":
+        """Gather a (possibly repeated) subset of rows."""
+        return BatchOBBs(
+            self.rot[indices],
+            self.half[indices],
+            self.center[indices],
+            self.r_bound[indices],
+            self.r_inscribed[indices],
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized cascade
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BatchCascadeOutcome:
+    """Per-pair cascade results for M pairs — the batch CascadeResult.
+
+    All arrays have length M.  ``separating_axis`` is the 1-based axis id or
+    0 where no tested axis separated; ``sphere_tests`` counts the sphere
+    filter evaluations the scalar path would have charged to each pair (the
+    inscribed filter only runs when the bounding filter did not exit).
+    """
+
+    hit: np.ndarray
+    exit_code: np.ndarray
+    exit_cycle: np.ndarray
+    multiplies: np.ndarray
+    sat_axes_tested: np.ndarray
+    separating_axis: np.ndarray
+    sphere_tests: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.hit)
+
+    def exit_stages(self) -> List[ExitStage]:
+        return [EXIT_STAGE_ORDER[code] for code in self.exit_code]
+
+    def record(self, stats: CollisionStats) -> None:
+        """Accumulate the same totals M scalar cascade calls would have."""
+        stats.intersection_tests += len(self.hit)
+        stats.multiplies += int(self.multiplies.sum())
+        stats.sat_axes_tested += int(self.sat_axes_tested.sum())
+        stats.sphere_tests += int(self.sphere_tests.sum())
+        counts = np.bincount(self.exit_code, minlength=len(EXIT_STAGE_ORDER))
+        for code, count in enumerate(counts):
+            if count:
+                stats.cascade_exits[EXIT_STAGE_ORDER[code].value] += int(count)
+
+
+def _sphere_box_separated_mask(center, box_center, box_half, radius) -> np.ndarray:
+    """Vectorized twin of ``cascade._sphere_box_separated`` (same op order)."""
+    dx = np.abs(center[:, 0] - box_center[:, 0]) - box_half[:, 0]
+    dy = np.abs(center[:, 1] - box_center[:, 1]) - box_half[:, 1]
+    dz = np.abs(center[:, 2] - box_center[:, 2]) - box_half[:, 2]
+    dist_sq = (
+        np.where(dx > 0.0, dx * dx, 0.0)
+        + np.where(dy > 0.0, dy * dy, 0.0)
+        + np.where(dz > 0.0, dz * dz, 0.0)
+    )
+    return dist_sq > radius * radius
+
+
+def _sat_separation_masks(rot, a, b, t) -> np.ndarray:
+    """All 15 axis tests for K pairs: ``(K, 15)`` separation booleans.
+
+    Each column transcribes ``repro.geometry.sat._test_axis`` with identical
+    operand association, so every comparison reproduces the scalar bits.
+    """
+    r00, r01, r02 = rot[:, 0, 0], rot[:, 0, 1], rot[:, 0, 2]
+    r10, r11, r12 = rot[:, 1, 0], rot[:, 1, 1], rot[:, 1, 2]
+    r20, r21, r22 = rot[:, 2, 0], rot[:, 2, 1], rot[:, 2, 2]
+    ar00, ar01, ar02 = np.abs(r00), np.abs(r01), np.abs(r02)
+    ar10, ar11, ar12 = np.abs(r10), np.abs(r11), np.abs(r12)
+    ar20, ar21, ar22 = np.abs(r20), np.abs(r21), np.abs(r22)
+    a0, a1, a2 = a[:, 0], a[:, 1], a[:, 2]
+    b0, b1, b2 = b[:, 0], b[:, 1], b[:, 2]
+    t0, t1, t2 = t[:, 0], t[:, 1], t[:, 2]
+
+    sep = np.empty((len(a0), 15), dtype=bool)
+    # AABB face axes.
+    sep[:, 0] = np.abs(t0) > a0 + b0 * ar00 + b1 * ar01 + b2 * ar02
+    sep[:, 1] = np.abs(t1) > a1 + b0 * ar10 + b1 * ar11 + b2 * ar12
+    sep[:, 2] = np.abs(t2) > a2 + b0 * ar20 + b1 * ar21 + b2 * ar22
+    # OBB face axes.
+    sep[:, 3] = np.abs(t0 * r00 + t1 * r10 + t2 * r20) > (
+        b0 + a0 * ar00 + a1 * ar10 + a2 * ar20
+    )
+    sep[:, 4] = np.abs(t0 * r01 + t1 * r11 + t2 * r21) > (
+        b1 + a0 * ar01 + a1 * ar11 + a2 * ar21
+    )
+    sep[:, 5] = np.abs(t0 * r02 + t1 * r12 + t2 * r22) > (
+        b2 + a0 * ar02 + a1 * ar12 + a2 * ar22
+    )
+    # Cross axes e_i x B_j, axis ids 7..15.
+    sep[:, 6] = np.abs(t2 * r10 - t1 * r20) > (
+        a1 * ar20 + a2 * ar10 + (b1 * ar02 + b2 * ar01) + _EPS
+    )
+    sep[:, 7] = np.abs(t2 * r11 - t1 * r21) > (
+        a1 * ar21 + a2 * ar11 + (b0 * ar02 + b2 * ar00) + _EPS
+    )
+    sep[:, 8] = np.abs(t2 * r12 - t1 * r22) > (
+        a1 * ar22 + a2 * ar12 + (b0 * ar01 + b1 * ar00) + _EPS
+    )
+    sep[:, 9] = np.abs(t0 * r20 - t2 * r00) > (
+        a0 * ar20 + a2 * ar00 + (b1 * ar12 + b2 * ar11) + _EPS
+    )
+    sep[:, 10] = np.abs(t0 * r21 - t2 * r01) > (
+        a0 * ar21 + a2 * ar01 + (b0 * ar12 + b2 * ar10) + _EPS
+    )
+    sep[:, 11] = np.abs(t0 * r22 - t2 * r02) > (
+        a0 * ar22 + a2 * ar02 + (b0 * ar11 + b1 * ar10) + _EPS
+    )
+    sep[:, 12] = np.abs(t1 * r00 - t0 * r10) > (
+        a0 * ar10 + a1 * ar00 + (b1 * ar22 + b2 * ar21) + _EPS
+    )
+    sep[:, 13] = np.abs(t1 * r01 - t0 * r11) > (
+        a0 * ar11 + a1 * ar01 + (b0 * ar22 + b2 * ar20) + _EPS
+    )
+    sep[:, 14] = np.abs(t1 * r02 - t0 * r12) > (
+        a0 * ar12 + a1 * ar02 + (b0 * ar21 + b1 * ar20) + _EPS
+    )
+    return sep
+
+
+_STAGE_TABLE_CACHE: dict = {}
+
+
+def _stage_tables(stages: Tuple[int, ...]):
+    """Cumulative sizes/costs and exit codes for a staged SAT layout."""
+    tables = _STAGE_TABLE_CACHE.get(stages)
+    if tables is None:
+        ids = stage_axis_ids(stages)
+        sizes = np.cumsum(stages)
+        costs = np.cumsum(
+            [sum(SAT_AXIS_MULTIPLIES[axis - 1] for axis in stage) for stage in ids]
+        )
+        codes = np.array(
+            [_CODE_SAT_1 + min(index, 2) for index in range(len(stages))],
+            dtype=np.int64,
+        )
+        tables = _STAGE_TABLE_CACHE[stages] = (sizes, costs, codes)
+    return tables
+
+
+def batch_cascade(
+    obbs: BatchOBBs,
+    box_center,
+    box_half,
+    config: CascadeConfig = DEFAULT_CASCADE,
+    stats: Optional[CollisionStats] = None,
+    obb_index=None,
+) -> BatchCascadeOutcome:
+    """The Figure-10 cascade over M pre-paired (OBB, AABB) rows.
+
+    ``box_center``/``box_half`` are ``(M, 3)`` and align row-for-row with
+    ``obbs`` — or, when ``obb_index`` is given, with ``obbs.take(obb_index)``
+    (the gather of the wide rotation matrices is then deferred to the pairs
+    that actually reach the SAT).  Passing ``stats`` accumulates exactly what
+    M scalar :func:`~repro.collision.cascade.cascade_intersect_scalars` calls
+    would.
+    """
+    box_center = np.asarray(box_center, dtype=float).reshape(-1, 3)
+    box_half = np.asarray(box_half, dtype=float).reshape(-1, 3)
+    if obb_index is None:
+        m = len(obbs)
+        center = obbs.center
+        r_bound = obbs.r_bound
+        r_inscribed = obbs.r_inscribed
+    else:
+        obb_index = np.asarray(obb_index, dtype=np.int64)
+        m = len(obb_index)
+        center = obbs.center[obb_index]
+        r_bound = obbs.r_bound[obb_index]
+        r_inscribed = obbs.r_inscribed[obb_index]
+    if len(box_center) != m or len(box_half) != m:
+        raise ValueError(
+            f"need one box per OBB: {m} OBBs vs {len(box_center)} boxes"
+        )
+
+    hit = np.zeros(m, dtype=bool)
+    exit_code = np.full(m, _CODE_EXHAUSTED, dtype=np.int64)
+    exit_cycle = np.zeros(m, dtype=np.int64)
+    multiplies = np.zeros(m, dtype=np.int64)
+    sat_axes = np.zeros(m, dtype=np.int64)
+    separating = np.zeros(m, dtype=np.int64)
+    sphere_tests = np.zeros(m, dtype=np.int64)
+
+    base_cycle = 1 if config.has_sphere_filters else 0
+    active = np.ones(m, dtype=bool)
+
+    if config.bounding_sphere:
+        multiplies += SPHERE_AABB_MULTIPLIES
+        sphere_tests += 1
+        separated = _sphere_box_separated_mask(
+            center, box_center, box_half, r_bound
+        )
+        exit_code[separated] = _CODE_BOUNDING
+        exit_cycle[separated] = base_cycle
+        active &= ~separated
+    if config.inscribed_sphere:
+        act = np.flatnonzero(active)
+        multiplies[act] += SPHERE_AABB_MULTIPLIES
+        sphere_tests[act] += 1
+        overlap = ~_sphere_box_separated_mask(
+            center[act], box_center[act], box_half[act], r_inscribed[act]
+        )
+        certain = act[overlap]
+        hit[certain] = True
+        exit_code[certain] = _CODE_INSCRIBED
+        exit_cycle[certain] = base_cycle
+        active[certain] = False
+
+    idx = np.flatnonzero(active)
+    if len(idx):
+        src = idx if obb_index is None else obb_index[idx]
+        t = center[idx] - box_center[idx]
+        sep = _sat_separation_masks(
+            obbs.rot[src], box_half[idx], obbs.half[src], t
+        )
+        any_sep = sep.any(axis=1)
+        axis_id = np.argmax(sep, axis=1) + 1  # meaningful only where any_sep
+        sat_mult = np.empty(len(idx), dtype=np.int64)
+        sat_tested = np.empty(len(idx), dtype=np.int64)
+        sat_cycle = np.empty(len(idx), dtype=np.int64)
+        sat_code = np.full(len(idx), _CODE_EXHAUSTED, dtype=np.int64)
+
+        stage_sizes, stage_costs, stage_codes = _stage_tables(config.stages)
+        stage_of_axis = np.searchsorted(stage_sizes, axis_id)
+        if config.sat_mode is SATMode.SEQUENTIAL:
+            sat_mult[:] = _SAT_FULL_MULTIPLIES
+            sat_tested[:] = 15
+            sat_cycle[:] = base_cycle + 15
+            sat_mult[any_sep] = _CUM_AXIS_MULTIPLIES[axis_id[any_sep] - 1]
+            sat_tested[any_sep] = axis_id[any_sep]
+            sat_cycle[any_sep] = base_cycle + axis_id[any_sep]
+            sat_code[any_sep] = stage_codes[stage_of_axis[any_sep]]
+        elif config.sat_mode is SATMode.PARALLEL:
+            sat_mult[:] = _SAT_FULL_MULTIPLIES
+            sat_tested[:] = 15
+            sat_cycle[:] = base_cycle + 1
+            sat_code[any_sep] = stage_codes[stage_of_axis[any_sep]]
+        else:  # staged (the proposal)
+            sat_mult[:] = stage_costs[-1]
+            sat_tested[:] = stage_sizes[-1]
+            sat_cycle[:] = base_cycle + len(config.stages)
+            sat_mult[any_sep] = stage_costs[stage_of_axis[any_sep]]
+            sat_tested[any_sep] = stage_sizes[stage_of_axis[any_sep]]
+            sat_cycle[any_sep] = base_cycle + stage_of_axis[any_sep] + 1
+            sat_code[any_sep] = stage_codes[stage_of_axis[any_sep]]
+
+        hit[idx] = ~any_sep
+        exit_code[idx] = sat_code
+        exit_cycle[idx] = sat_cycle
+        multiplies[idx] += sat_mult
+        sat_axes[idx] = sat_tested
+        separating[idx[any_sep]] = axis_id[any_sep]
+
+    outcome = BatchCascadeOutcome(
+        hit=hit,
+        exit_code=exit_code,
+        exit_cycle=exit_cycle,
+        multiplies=multiplies,
+        sat_axes_tested=sat_axes,
+        separating_axis=separating,
+        sphere_tests=sphere_tests,
+    )
+    if stats is not None:
+        outcome.record(stats)
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Vectorized octree traversal
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BatchTraversalOutcome:
+    """Per-query work and verdicts for Q OBB-octree queries.
+
+    Every array has length Q; ``exit_counts`` is ``(Q, 6)`` indexed by
+    :data:`EXIT_STAGE_ORDER`.  The counts equal what the scalar
+    :class:`~repro.collision.octree_cd.OBBOctreeCollider` records: only the
+    tests and node visits the early-exiting traversal actually executes.
+    """
+
+    hit: np.ndarray
+    node_visits: np.ndarray
+    tests: np.ndarray
+    multiplies: np.ndarray
+    sat_axes_tested: np.ndarray
+    sphere_tests: np.ndarray
+    exit_counts: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.hit)
+
+    def record(self, stats: CollisionStats, queries=None) -> None:
+        """Fold (a subset of) queries into ``stats``, scalar-identically."""
+        sel = slice(None) if queries is None else queries
+        stats.node_visits += int(self.node_visits[sel].sum())
+        stats.sram_reads += int(self.node_visits[sel].sum())
+        stats.intersection_tests += int(self.tests[sel].sum())
+        stats.multiplies += int(self.multiplies[sel].sum())
+        stats.sat_axes_tested += int(self.sat_axes_tested[sel].sum())
+        stats.sphere_tests += int(self.sphere_tests[sel].sum())
+        totals = self.exit_counts[sel].sum(axis=0)
+        for code, count in enumerate(totals):
+            if count:
+                stats.cascade_exits[EXIT_STAGE_ORDER[code].value] += int(count)
+
+    def query_work(self):
+        """Per-query ``QueryWork`` rows (the baselines' cost-model input)."""
+        from repro.baselines.cpu import QueryWork
+
+        return [
+            QueryWork(node_visits=int(n), tests=int(t), hit=bool(h))
+            for n, t, h in zip(self.node_visits, self.tests, self.hit)
+        ]
+
+
+class BatchOctreeCollider:
+    """Level-synchronous batched twin of :class:`OBBOctreeCollider`.
+
+    The scalar traverser is a FIFO BFS, so nodes pop in level order with a
+    deterministic within-level order (parent order x octant order).  This
+    collider therefore processes one level at a time: it gathers every
+    occupied octant of every query's frontier into a single
+    :func:`batch_cascade` call, then replays the early-exit bookkeeping — a
+    query's first FULL-octant hit truncates its executed-test prefix exactly
+    where the scalar ``break`` would, and anything past the truncation point
+    is neither counted nor expanded (the vectorized evaluation of those
+    pairs is discarded work, which is the batching trade-off).
+    """
+
+    def __init__(self, octree: Octree, config: CascadeConfig = DEFAULT_CASCADE):
+        self.octree = octree
+        self.config = config
+        n = len(octree.nodes)
+        self._states = np.zeros((n, 8), dtype=np.uint8)
+        self._children = np.full((n, 8), -1, dtype=np.int64)
+        for address, node in enumerate(octree.nodes):
+            for k in range(8):
+                self._states[address, k] = int(node.states[k])
+                if node.children[k] is not None:
+                    self._children[address, k] = node.children[k]
+
+    def collide(self, obbs: BatchOBBs) -> BatchTraversalOutcome:
+        """All Q queries against the octree; per-query verdicts and work."""
+        q_total = len(obbs)
+        hit = np.zeros(q_total, dtype=bool)
+        node_visits = np.zeros(q_total, dtype=np.int64)
+        tests = np.zeros(q_total, dtype=np.int64)
+        multiplies = np.zeros(q_total, dtype=np.int64)
+        sat_axes = np.zeros(q_total, dtype=np.int64)
+        sphere_tests = np.zeros(q_total, dtype=np.int64)
+        exit_counts = np.zeros((q_total, len(EXIT_STAGE_ORDER)), dtype=np.int64)
+
+        bounds = self.octree.bounds
+        # Frontier arrays, sorted by query id, FIFO order within each query.
+        f_query = np.arange(q_total, dtype=np.int64)
+        f_addr = np.zeros(q_total, dtype=np.int64)
+        f_center = np.broadcast_to(
+            np.asarray(bounds.center, dtype=float), (q_total, 3)
+        ).copy()
+        f_half = np.broadcast_to(
+            np.asarray(bounds.half_extents, dtype=float), (q_total, 3)
+        ).copy()
+        full_code = int(OctantState.FULL)
+        partial_code = int(OctantState.PARTIAL)
+
+        while len(f_query):
+            node_states = self._states[f_addr]  # (F, 8)
+            # Candidate tests: occupied octants, frontier-major / octant-minor
+            # — exactly the scalar pop + occupied_octants() order.
+            cand_f, cand_oct = np.nonzero(node_states)
+            cand_q = f_query[cand_f]
+            cand_state = node_states[cand_f, cand_oct]
+            quarter = f_half[cand_f] / 2.0
+            signs = np.empty_like(quarter)
+            signs[:, 0] = np.where(cand_oct & 1, 1.0, -1.0)
+            signs[:, 1] = np.where(cand_oct & 2, 1.0, -1.0)
+            signs[:, 2] = np.where(cand_oct & 4, 1.0, -1.0)
+            cand_center = f_center[cand_f] + signs * quarter
+
+            result = batch_cascade(
+                obbs, cand_center, quarter, self.config, obb_index=cand_q
+            )
+
+            # First FULL-octant hit per query ends that query's traversal.
+            n_cand = len(cand_q)
+            stop_key = np.flatnonzero(result.hit & (cand_state == full_code))
+            stop_of_query = np.full(q_total, n_cand, dtype=np.int64)
+            stopped_q, first = np.unique(cand_q[stop_key], return_index=True)
+            stop_of_query[stopped_q] = stop_key[first]
+            hit[stopped_q] = True
+
+            # Executed prefix: candidates at or before their query's stop.
+            # Queries are contiguous blocks in candidate order, so a global
+            # index comparison realizes the per-query prefix.
+            executed = np.arange(n_cand) <= stop_of_query[cand_q]
+            exec_q = cand_q[executed]
+            tests += np.bincount(exec_q, minlength=q_total)
+            multiplies += np.bincount(
+                exec_q, weights=result.multiplies[executed], minlength=q_total
+            ).astype(np.int64)
+            sat_axes += np.bincount(
+                exec_q, weights=result.sat_axes_tested[executed], minlength=q_total
+            ).astype(np.int64)
+            sphere_tests += np.bincount(
+                exec_q, weights=result.sphere_tests[executed], minlength=q_total
+            ).astype(np.int64)
+            exit_counts += np.bincount(
+                exec_q * len(EXIT_STAGE_ORDER) + result.exit_code[executed],
+                minlength=q_total * len(EXIT_STAGE_ORDER),
+            ).reshape(q_total, len(EXIT_STAGE_ORDER))
+
+            # Node pops: every frontier node up to (and including) the stop
+            # candidate's node; all of them when the query never stops.
+            f_count = np.bincount(f_query, minlength=q_total)
+            f_start = np.concatenate(([0], np.cumsum(f_count)))[:-1]
+            visits = f_count.copy()
+            visits[stopped_q] = cand_f[stop_key[first]] - f_start[stopped_q] + 1
+            node_visits += visits
+
+            # Next frontier: executed PARTIAL hits of still-running queries.
+            expand = (
+                executed
+                & result.hit
+                & (cand_state == partial_code)
+                & (stop_of_query[cand_q] == n_cand)
+            )
+            f_query = cand_q[expand]
+            f_addr = self._children[f_addr[cand_f[expand]], cand_oct[expand]]
+            f_center = cand_center[expand]
+            f_half = quarter[expand]
+
+        return BatchTraversalOutcome(
+            hit=hit,
+            node_visits=node_visits,
+            tests=tests,
+            multiplies=multiplies,
+            sat_axes_tested=sat_axes,
+            sphere_tests=sphere_tests,
+            exit_counts=exit_counts,
+        )
+
+
+# ----------------------------------------------------------------------
+# Vectorized OBB generation (forward kinematics + quantization)
+# ----------------------------------------------------------------------
+
+
+def batch_forward_kinematics(robot: RobotModel, poses) -> np.ndarray:
+    """World frames for a pose batch: ``(N, dof+1, 4, 4)``.
+
+    ``frames[:, 0]`` is the base frame; ``frames[:, i]`` for i >= 1 follows
+    joints 1..i.  The chain multiplies stacked 4x4 matrices in the same
+    left-to-right order as :func:`repro.robot.dh.chain_forward_kinematics`,
+    and stacked matmul matches the scalar 2-D ``@`` bit-for-bit, so these
+    frames equal the scalar FK exactly.
+    """
+    poses = np.asarray(poses, dtype=float)
+    if poses.ndim != 2 or poses.shape[1] != robot.dof:
+        raise ValueError(
+            f"poses must have shape (n, {robot.dof}), got {poses.shape}"
+        )
+    n = len(poses)
+    frames = np.empty((n, robot.dof + 1, 4, 4))
+    current = np.broadcast_to(robot.base.matrix, (n, 4, 4))
+    frames[:, 0] = current
+    for i, param in enumerate(robot.dh):
+        th = poses[:, i] + param.theta_offset
+        ct, st = np.cos(th), np.sin(th)
+        ca, sa = math.cos(param.alpha), math.sin(param.alpha)
+        step = np.zeros((n, 4, 4))
+        step[:, 0, 0] = ct
+        step[:, 0, 1] = -st * ca
+        step[:, 0, 2] = st * sa
+        step[:, 0, 3] = param.a * ct
+        step[:, 1, 0] = st
+        step[:, 1, 1] = ct * ca
+        step[:, 1, 2] = -ct * sa
+        step[:, 1, 3] = param.a * st
+        step[:, 2, 1] = sa
+        step[:, 2, 2] = ca
+        step[:, 2, 3] = param.d
+        step[:, 3, 3] = 1.0
+        current = current @ step
+        frames[:, i + 1] = current
+    return frames
+
+
+def batch_quantize_obbs(
+    center: np.ndarray,
+    half: np.ndarray,
+    rot: np.ndarray,
+    fmt: FixedPointFormat = DEFAULT_FORMAT,
+    rot_fmt: FixedPointFormat = ROTATION_FORMAT,
+):
+    """Array twin of :func:`repro.geometry.fixed_point.quantize_obb`.
+
+    Centers round to nearest (ties to even, like Python ``round``), half
+    extents round *up* with a one-LSB floor (quantization must never shrink
+    a robot link), rotations use the dedicated all-fractional format.
+    """
+    raw_max = 2 ** (fmt.total_bits - 1) - 1
+    raw_min = -(2 ** (fmt.total_bits - 1))
+    inv = 1.0 / fmt.scale
+    q_center = np.clip(np.rint(center * fmt.scale), raw_min, raw_max) * inv
+    q_half = np.clip(np.ceil(half * fmt.scale), 1, raw_max) * inv
+    r_max = 2 ** (rot_fmt.total_bits - 1) - 1
+    r_min = -(2 ** (rot_fmt.total_bits - 1))
+    r_inv = 1.0 / rot_fmt.scale
+    q_rot = np.clip(np.rint(rot * rot_fmt.scale), r_min, r_max) * r_inv
+    return q_center + 0.0, q_half, q_rot + 0.0
+
+
+def batch_link_obbs(
+    robot: RobotModel,
+    poses,
+    fixed_point: Optional[FixedPointFormat] = DEFAULT_FORMAT,
+    rot_fmt: FixedPointFormat = ROTATION_FORMAT,
+) -> BatchOBBs:
+    """Link OBBs for every pose, flattened pose-major: ``N * num_links`` rows.
+
+    Row ``i * num_links + j`` is link j at pose i — the tensor layout every
+    downstream batch stage assumes.  This is the vectorized twin of
+    ``RobotEnvironmentChecker.link_obbs`` (FK, local box placement, then
+    fixed-point quantization when ``fixed_point`` is given).
+    """
+    frames = batch_forward_kinematics(robot, poses)
+    n = len(frames)
+    n_links = robot.num_links
+    centers = np.empty((n, n_links, 3))
+    halves = np.empty((n, n_links, 3))
+    rots = np.empty((n, n_links, 3, 3))
+    for j, link in enumerate(robot.links):
+        pose = frames[:, link.frame_index] @ link.local.matrix
+        centers[:, j] = pose[:, :3, 3]
+        rots[:, j] = pose[:, :3, :3]
+        halves[:, j] = np.asarray(link.half_extents, dtype=float)
+    centers = centers.reshape(-1, 3)
+    halves = halves.reshape(-1, 3)
+    rots = rots.reshape(-1, 3, 3)
+    if fixed_point is not None:
+        centers, halves, rots = batch_quantize_obbs(
+            centers, halves, rots, fixed_point, rot_fmt
+        )
+    return BatchOBBs.from_arrays(centers, halves, rots)
+
+
+# ----------------------------------------------------------------------
+# Pose-batch evaluation (the backend behind RobotEnvironmentChecker)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BatchPoseOutcome:
+    """Verdicts and per-pose work for an N-pose batch.
+
+    ``links_checked[i]`` is how many link queries the scalar checker would
+    have executed at pose i (early exit after the first colliding link); the
+    per-pose stat arrays already account only those executed links.
+    """
+
+    hits: np.ndarray
+    links_checked: np.ndarray
+    node_visits: np.ndarray
+    tests: np.ndarray
+    multiplies: np.ndarray
+    sat_axes_tested: np.ndarray
+    sphere_tests: np.ndarray
+    exit_counts: np.ndarray  # (N, 6)
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def record(self, stats: CollisionStats, poses=None) -> None:
+        """Fold (a prefix or subset of) poses into ``stats``.
+
+        Does *not* touch ``pose_checks``/``motion_checks`` — the caller owns
+        the query-level counters, mirroring how the scalar checker splits
+        responsibility between ``check_pose`` and the collider.
+        """
+        sel = slice(None) if poses is None else poses
+        stats.node_visits += int(self.node_visits[sel].sum())
+        stats.sram_reads += int(self.node_visits[sel].sum())
+        stats.intersection_tests += int(self.tests[sel].sum())
+        stats.multiplies += int(self.multiplies[sel].sum())
+        stats.sat_axes_tested += int(self.sat_axes_tested[sel].sum())
+        stats.sphere_tests += int(self.sphere_tests[sel].sum())
+        totals = self.exit_counts[sel].sum(axis=0)
+        for code, count in enumerate(totals):
+            if count:
+                stats.cascade_exits[EXIT_STAGE_ORDER[code].value] += int(count)
+
+
+class BatchPoseEvaluator:
+    """Vectorized robot-vs-environment pose checking.
+
+    One ``evaluate`` call runs the whole pipeline — batched FK, quantized
+    OBB generation, and the batched octree traversal for all ``N x L`` link
+    queries — then replays the scalar checker's per-pose link early exit so
+    the recorded work matches ``RobotEnvironmentChecker.check_pose`` run N
+    times.
+    """
+
+    def __init__(
+        self,
+        robot: RobotModel,
+        octree: Octree,
+        config: CascadeConfig = DEFAULT_CASCADE,
+        fixed_point: Optional[FixedPointFormat] = DEFAULT_FORMAT,
+    ):
+        self.robot = robot
+        self.collider = BatchOctreeCollider(octree, config)
+        self.fixed_point = fixed_point
+
+    def link_obbs(self, poses) -> BatchOBBs:
+        """Quantized link OBBs for the batch, pose-major (``N * L`` rows)."""
+        return batch_link_obbs(self.robot, poses, self.fixed_point)
+
+    def evaluate(self, poses) -> BatchPoseOutcome:
+        """Check every pose; collision verdicts plus scalar-identical work."""
+        poses = np.asarray(poses, dtype=float)
+        if poses.ndim == 1:
+            poses = poses[None, :]
+        n = len(poses)
+        n_links = self.robot.num_links
+        trav = self.collider.collide(self.link_obbs(poses))
+
+        link_hits = trav.hit.reshape(n, n_links)
+        hits = link_hits.any(axis=1)
+        first_hit = np.argmax(link_hits, axis=1)
+        links_checked = np.where(hits, first_hit + 1, n_links)
+        # Executed-link mask: the scalar checker stops after the first
+        # colliding link, so later links contribute no work.
+        executed = np.arange(n_links) < links_checked[:, None]
+
+        def fold(per_query: np.ndarray) -> np.ndarray:
+            return (per_query.reshape(n, n_links) * executed).sum(axis=1)
+
+        exit_counts = (
+            trav.exit_counts.reshape(n, n_links, len(EXIT_STAGE_ORDER))
+            * executed[:, :, None]
+        ).sum(axis=1)
+        return BatchPoseOutcome(
+            hits=hits,
+            links_checked=links_checked,
+            node_visits=fold(trav.node_visits),
+            tests=fold(trav.tests),
+            multiplies=fold(trav.multiplies),
+            sat_axes_tested=fold(trav.sat_axes_tested),
+            sphere_tests=fold(trav.sphere_tests),
+            exit_counts=exit_counts,
+        )

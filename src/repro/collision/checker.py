@@ -78,9 +78,15 @@ class RobotEnvironmentChecker:
         motion_step: float = DEFAULT_MOTION_STEP,
         stats: Optional[CollisionStats] = None,
         collect_stats: bool = True,
+        backend: str = "scalar",
     ):
+        if backend not in ("scalar", "batch"):
+            raise ValueError(
+                f"unknown backend {backend!r}; expected 'scalar' or 'batch'"
+            )
         self.robot = robot
         self.octree = octree
+        self.config = config
         self.collider = OBBOctreeCollider(octree, config)
         self.fixed_point = fixed_point
         if motion_step <= 0:
@@ -90,6 +96,21 @@ class RobotEnvironmentChecker:
         # Planners that only need boolean verdicts can skip the per-test
         # operation accounting (it costs real time in the hot loop).
         self.collect_stats = collect_stats
+        # "batch" routes pose/motion checks through the vectorized pipeline
+        # (repro.collision.batch); verdicts and stats stay bit-identical.
+        self.backend = backend
+        self._batch_evaluator = None
+
+    @property
+    def batch_evaluator(self):
+        """The lazily built vectorized pipeline behind ``backend="batch"``."""
+        if self._batch_evaluator is None:
+            from repro.collision.batch import BatchPoseEvaluator
+
+            self._batch_evaluator = BatchPoseEvaluator(
+                self.robot, self.octree, self.config, self.fixed_point
+            )
+        return self._batch_evaluator
 
     def link_obbs(self, q) -> List[OBB]:
         """World-space (quantized) link OBBs for configuration ``q``."""
@@ -100,12 +121,35 @@ class RobotEnvironmentChecker:
 
     def check_pose(self, q) -> bool:
         """True when the robot collides with the environment at ``q``."""
+        if self.backend == "batch":
+            return bool(self.check_poses(q)[0])
         self.stats.pose_checks += 1
         stats = self.stats if self.collect_stats else None
         for obb in self.link_obbs(q):
             if self.collider.collides(obb, stats=stats):
                 return True
         return False
+
+    def check_poses(self, qs) -> np.ndarray:
+        """Boolean collision verdicts for an ``(N, dof)`` pose batch.
+
+        With ``backend="batch"`` the whole batch is one vectorized dispatch
+        through :class:`repro.collision.batch.BatchPoseEvaluator`; the scalar
+        backend falls back to a pose-at-a-time loop.  Either way the verdicts
+        and the recorded stats equal N scalar ``check_pose`` calls.
+        """
+        qs = np.asarray(qs, dtype=float)
+        if qs.ndim == 1:
+            qs = qs[None, :]
+        if self.backend != "batch":
+            return np.fromiter(
+                (self.check_pose(q) for q in qs), dtype=bool, count=len(qs)
+            )
+        self.stats.pose_checks += len(qs)
+        outcome = self.batch_evaluator.evaluate(qs)
+        if self.collect_stats:
+            outcome.record(self.stats)
+        return outcome.hits
 
     def check_pose_detailed(self, q) -> PoseCheckResult:
         """Pose check that keeps per-link traversal traces (for timing sims).
@@ -128,9 +172,28 @@ class RobotEnvironmentChecker:
         return interpolate_motion(q_start, q_end, self.motion_step)
 
     def check_motion(self, q_start, q_end) -> MotionCollisionResult:
-        """Sequential motion check: stop at the first colliding pose."""
+        """Sequential motion check: stop at the first colliding pose.
+
+        The batch backend evaluates every discrete pose in one vectorized
+        call, then charges only the pose prefix the scalar early exit would
+        have executed, so the recorded stats stay identical.
+        """
         self.stats.motion_checks += 1
         poses = self.motion_poses(q_start, q_end)
+        if self.backend == "batch":
+            outcome = self.batch_evaluator.evaluate(poses)
+            collision = bool(outcome.hits.any())
+            first = int(np.argmax(outcome.hits)) if collision else None
+            checked = first + 1 if collision else len(poses)
+            self.stats.pose_checks += checked
+            if self.collect_stats:
+                outcome.record(self.stats, poses=slice(0, checked))
+            return MotionCollisionResult(
+                collision=collision,
+                first_colliding_index=first,
+                poses_checked=checked,
+                total_poses=len(poses),
+            )
         for index, pose in enumerate(poses):
             if self.check_pose(pose):
                 return MotionCollisionResult(

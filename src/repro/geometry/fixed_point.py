@@ -58,8 +58,35 @@ class FixedPointFormat:
         arr = np.asarray(value, dtype=float)
         raw = np.rint(arr * self.scale)
         raw = np.clip(raw, -(2 ** (self.total_bits - 1)), 2 ** (self.total_bits - 1) - 1)
-        out = raw / self.scale
+        # ``+ 0.0`` normalizes -0.0 to +0.0: the hardware raw value 0 has one
+        # encoding, and the scalar snap path (integer ``round``) agrees.
+        out = raw / self.scale + 0.0
         if np.isscalar(value) or getattr(value, "shape", None) == ():
+            return float(out)
+        return out
+
+    def to_raw(self, value):
+        """The saturated integer raw word(s) backing ``quantize(value)``."""
+        arr = np.asarray(value, dtype=float)
+        raw = np.rint(arr * self.scale)
+        raw = np.clip(
+            raw, -(2 ** (self.total_bits - 1)), 2 ** (self.total_bits - 1) - 1
+        )
+        if np.isscalar(value) or getattr(value, "shape", None) == ():
+            return int(raw)
+        return raw.astype(np.int64)
+
+    def from_raw(self, raw):
+        """Grid value(s) for integer raw word(s); exact inverse of to_raw."""
+        arr = np.asarray(raw, dtype=np.int64)
+        lo = -(2 ** (self.total_bits - 1))
+        hi = 2 ** (self.total_bits - 1) - 1
+        if np.any(arr < lo) or np.any(arr > hi):
+            raise ValueError(
+                f"raw word out of range [{lo}, {hi}] for {self.total_bits}-bit format"
+            )
+        out = arr / self.scale
+        if np.isscalar(raw) or getattr(raw, "shape", None) == ():
             return float(out)
         return out
 

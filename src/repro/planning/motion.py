@@ -70,6 +70,19 @@ class MotionRecord:
         """Force ground truth for every pose (used before serialization)."""
         return [self.pose_collides(i) for i in range(self.num_poses)]
 
+    def unevaluated_indices(self) -> List[int]:
+        """Pose indices whose ground truth has not been computed yet."""
+        return [i for i, outcome in enumerate(self._outcomes) if outcome is None]
+
+    def set_pose_outcome(self, index: int, hit: bool) -> None:
+        """Install externally computed ground truth for one pose.
+
+        Used by :func:`repro.accel.sas.prime_phase` to fill the cache from
+        one vectorized ``check_poses`` dispatch instead of N lazy
+        ``check_pose`` calls.
+        """
+        self._outcomes[index] = bool(hit)
+
     @property
     def num_poses(self) -> int:
         return len(self.poses)

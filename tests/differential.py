@@ -1,0 +1,190 @@
+"""Reusable differential-testing harness: batch backends vs the scalar cascade.
+
+The batch collision pipeline (:mod:`repro.collision.batch`) promises
+*bit-identical* verdicts, exit stages, and operation counts against the
+scalar reference — a contract the energy model depends on.  This module
+holds the machinery to enforce that contract pair-by-pair, shared by the
+fuzz suite and by any future backend (GPU, fixed-point variants, alternative
+traversals):
+
+* seeded case generators covering random, degenerate, and adversarial
+  geometry (zero-extent boxes, touching faces, grid-aligned contacts);
+* scalar reference runners that evaluate the same pairs through
+  :func:`repro.collision.cascade.cascade_intersect_scalars`;
+* comparison helpers that report the first diverging pair with full context
+  instead of a bare boolean.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.collision.batch import BatchCascadeOutcome, BatchOBBs, batch_cascade
+from repro.collision.cascade import CascadeConfig, cascade_intersect_scalars
+from repro.collision.stats import CollisionStats
+from repro.geometry.transform import rotation_x, rotation_y, rotation_z
+
+
+def random_rotations(rng: np.random.Generator, n: int) -> np.ndarray:
+    """``(n, 3, 3)`` random rotations composed from Euler factors.
+
+    A slice of the batch is replaced with exact axis-aligned rotations
+    (identity and permutation-like matrices) because those make the SAT's
+    cross axes degenerate — the ``_EPS`` guard's worst case.
+    """
+    angles = rng.uniform(-math.pi, math.pi, size=(n, 3))
+    rots = np.empty((n, 3, 3))
+    for i, (az, ay, ax) in enumerate(angles):
+        rots[i] = (rotation_z(az) @ rotation_y(ay) @ rotation_x(ax))[:3, :3]
+    aligned = rng.random(n) < 0.15
+    for i in np.flatnonzero(aligned):
+        k = int(rng.integers(0, 4))
+        rots[i] = (rotation_z(k * math.pi / 2.0) @ rotation_x((k % 2) * math.pi))[
+            :3, :3
+        ]
+    return rots
+
+
+def random_pairs(
+    rng: np.random.Generator,
+    n: int,
+    extent: float = 3.0,
+    degenerate_fraction: float = 0.1,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """``n`` random (OBB, AABB) pairs as raw arrays.
+
+    Returns ``(center, half, rot, box_center, box_half)``.  A
+    ``degenerate_fraction`` slice of the batch gets adversarial geometry:
+    zero-extent OBB axes, zero-extent AABBs, coincident centers, and
+    exactly-touching faces on the fixed-point grid.
+    """
+    center = rng.uniform(-extent, extent, size=(n, 3))
+    half = rng.uniform(0.01, extent / 2.0, size=(n, 3))
+    rot = random_rotations(rng, n)
+    box_center = rng.uniform(-extent, extent, size=(n, 3))
+    box_half = rng.uniform(0.0, extent / 2.0, size=(n, 3))
+
+    flag = rng.random(n)
+    # Degenerate OBBs: one or more zero half extents (flat/line/point boxes).
+    zero_obb = flag < degenerate_fraction / 3.0
+    for i in np.flatnonzero(zero_obb):
+        half[i, rng.integers(0, 3)] = 0.0
+    # Zero-extent AABBs (empty octant leaves).
+    zero_box = (flag >= degenerate_fraction / 3.0) & (
+        flag < 2.0 * degenerate_fraction / 3.0
+    )
+    box_half[zero_box] = 0.0
+    # Touching faces: axis-aligned OBB placed so the gap is exactly zero, on
+    # a power-of-two grid so the arithmetic is exact and the > comparisons
+    # sit right on their boundary.
+    touching = (flag >= 2.0 * degenerate_fraction / 3.0) & (flag < degenerate_fraction)
+    for i in np.flatnonzero(touching):
+        rot[i] = np.eye(3)
+        half[i] = [0.25, 0.25, 0.25]
+        box_half[i] = [0.5, 0.5, 0.5]
+        box_center[i] = [0.0, 0.0, 0.0]
+        axis = rng.integers(0, 3)
+        center[i] = 0.0
+        center[i, axis] = 0.75 if rng.random() < 0.5 else -0.75
+    return center, half, rot, box_center, box_half
+
+
+def make_pre_obbs(center, half, rot) -> List[tuple]:
+    """Scalar ``pre_obb`` tuples for raw arrays, matching the batch packing.
+
+    The radii use the same expressions as ``OBB.bounding_sphere_radius`` /
+    ``inscribed_sphere_radius`` so the scalar and batch sides agree even for
+    zero-extent boxes the ``OBB`` class itself would reject.
+    """
+    pres = []
+    for c, h, r in zip(center, half, rot):
+        rot9 = tuple(float(v) for v in r.reshape(9))
+        half3 = (float(h[0]), float(h[1]), float(h[2]))
+        center3 = (float(c[0]), float(c[1]), float(c[2]))
+        r_bound = float(math.sqrt(float(np.dot(h, h))))
+        r_inscribed = float(np.min(h))
+        pres.append((rot9, half3, center3, r_bound, r_inscribed))
+    return pres
+
+
+def scalar_cascade_reference(
+    pres, box_center, box_half, config: CascadeConfig, stats: CollisionStats
+):
+    """Run every pair through the scalar cascade, returning CascadeResults."""
+    return [
+        cascade_intersect_scalars(
+            pre,
+            (
+                float(bc[0]),
+                float(bc[1]),
+                float(bc[2]),
+                float(bh[0]),
+                float(bh[1]),
+                float(bh[2]),
+            ),
+            config,
+            stats,
+        )
+        for pre, bc, bh in zip(pres, box_center, box_half)
+    ]
+
+
+def assert_cascade_outcomes_match(
+    scalar_results, batch: BatchCascadeOutcome, context: str = ""
+) -> None:
+    """Pair-by-pair equality of verdicts, exit stages, and work counts."""
+    assert len(scalar_results) == len(batch)
+    stages = batch.exit_stages()
+    for i, res in enumerate(scalar_results):
+        got = {
+            "hit": bool(batch.hit[i]),
+            "exit_stage": stages[i],
+            "exit_cycle": int(batch.exit_cycle[i]),
+            "multiplies": int(batch.multiplies[i]),
+            "sat_axes_tested": int(batch.sat_axes_tested[i]),
+            "separating_axis": int(batch.separating_axis[i]) or None,
+        }
+        want = {
+            "hit": res.hit,
+            "exit_stage": res.exit_stage,
+            "exit_cycle": res.exit_cycle,
+            "multiplies": res.multiplies,
+            "sat_axes_tested": res.sat_axes_tested,
+            "separating_axis": res.separating_axis,
+        }
+        assert got == want, (
+            f"pair {i} diverged{' (' + context + ')' if context else ''}: "
+            f"scalar={want} batch={got}"
+        )
+
+
+def assert_stats_match(
+    scalar_stats: CollisionStats, batch_stats: CollisionStats, context: str = ""
+) -> None:
+    """Operation-count equality, via the dict view the energy model prices."""
+    s, b = scalar_stats.as_dict(), batch_stats.as_dict()
+    assert s == b, (
+        f"stats diverged{' (' + context + ')' if context else ''}:\n"
+        f"  scalar: {s}\n  batch:  {b}"
+    )
+
+
+def run_cascade_differential(
+    rng: np.random.Generator, n: int, config: CascadeConfig, context: str = ""
+) -> None:
+    """Generate n pairs, run both paths, assert bit-identical everything."""
+    center, half, rot, box_center, box_half = random_pairs(rng, n)
+    batch_obbs = BatchOBBs.from_arrays(center, half, rot)
+    pres = make_pre_obbs(center, half, rot)
+
+    scalar_stats = CollisionStats()
+    scalar_results = scalar_cascade_reference(
+        pres, box_center, box_half, config, scalar_stats
+    )
+    batch_stats = CollisionStats()
+    batch = batch_cascade(batch_obbs, box_center, box_half, config, stats=batch_stats)
+    assert_cascade_outcomes_match(scalar_results, batch, context)
+    assert_stats_match(scalar_stats, batch_stats, context)

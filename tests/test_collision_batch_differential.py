@@ -1,0 +1,257 @@
+"""Differential fuzz: the batch pipeline vs the scalar cascade, bit for bit.
+
+Every test here runs the same inputs through the scalar reference and the
+vectorized batch engine and asserts *exact* agreement — verdicts, exit
+stages, exit cycles, and every operation count the energy model prices.
+The generators (``tests/differential.py``) include degenerate OBBs,
+zero-extent AABBs, and exactly-touching faces, because those sit on the
+comparison boundaries where a vectorized rewrite would first diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.accel.sas import SASSimulator, prime_phase
+from repro.baselines.cpu import collect_query_work
+from repro.baselines.gpu import batch_reference_work
+from repro.collision.batch import (
+    BatchOBBs,
+    BatchOctreeCollider,
+    BatchPoseEvaluator,
+    batch_link_obbs,
+)
+from repro.collision.cascade import CascadeConfig, SATMode, DEFAULT_CASCADE
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.collision.stats import CollisionStats
+from repro.env.generator import random_scene
+from repro.env.octree import Octree
+from repro.geometry.fixed_point import FixedPointFormat, quantize_obb
+from repro.geometry.obb import OBB
+from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+
+from tests.differential import run_cascade_differential
+
+CONFIGS = [
+    pytest.param(DEFAULT_CASCADE, 20230, id="staged-default"),
+    pytest.param(CascadeConfig(sat_mode=SATMode.SEQUENTIAL), 20231, id="sequential"),
+    pytest.param(CascadeConfig(sat_mode=SATMode.PARALLEL), 20232, id="parallel"),
+    pytest.param(CascadeConfig(bounding_sphere=False), 20233, id="no-bounding"),
+    pytest.param(CascadeConfig(inscribed_sphere=False), 20234, id="no-inscribed"),
+    pytest.param(
+        CascadeConfig(bounding_sphere=False, inscribed_sphere=False),
+        20235,
+        id="sat-only",
+    ),
+    pytest.param(CascadeConfig(stages=(5, 5, 5)), 20236, id="stages-555"),
+]
+
+
+class TestCascadeFuzz:
+    """>= 2000 random pairs across cascade configurations, zero mismatches."""
+
+    @pytest.mark.parametrize("config,seed", CONFIGS)
+    def test_random_pairs_bit_identical(self, config, seed):
+        rng = np.random.default_rng(seed)
+        run_cascade_differential(rng, 300, config, context=str(config))
+
+    def test_large_default_config_batch(self):
+        # The headline ">= 2000 pairs" criterion in one shot.
+        rng = np.random.default_rng(424242)
+        run_cascade_differential(rng, 2000, DEFAULT_CASCADE, context="2k-default")
+
+    def test_all_degenerate_batch(self):
+        rng = np.random.default_rng(77)
+        from tests.differential import (
+            assert_cascade_outcomes_match,
+            assert_stats_match,
+            make_pre_obbs,
+            random_pairs,
+            scalar_cascade_reference,
+        )
+        from repro.collision.batch import batch_cascade
+
+        center, half, rot, bc, bh = random_pairs(
+            rng, 300, degenerate_fraction=1.0
+        )
+        scalar_stats, batch_stats = CollisionStats(), CollisionStats()
+        scalar = scalar_cascade_reference(
+            make_pre_obbs(center, half, rot), bc, bh, DEFAULT_CASCADE, scalar_stats
+        )
+        batch = batch_cascade(
+            BatchOBBs.from_arrays(center, half, rot),
+            bc,
+            bh,
+            DEFAULT_CASCADE,
+            stats=batch_stats,
+        )
+        assert_cascade_outcomes_match(scalar, batch, "all-degenerate")
+        assert_stats_match(scalar_stats, batch_stats, "all-degenerate")
+
+
+class TestTraversalDifferential:
+    """Batched octree traversal vs the scalar collider's early-exit walk."""
+
+    def test_query_work_matches_scalar(self, jaco, bench_octree):
+        rng = np.random.default_rng(8)
+        checker = RobotEnvironmentChecker(jaco, bench_octree, collect_stats=False)
+        obbs = []
+        for _ in range(24):
+            obbs.extend(checker.link_obbs(jaco.random_configuration(rng)))
+        scalar_work = collect_query_work(obbs, bench_octree)
+        outcome = BatchOctreeCollider(bench_octree).collide(BatchOBBs.from_obbs(obbs))
+        assert outcome.query_work() == scalar_work
+
+    def test_gpu_reference_helper(self, jaco, bench_octree):
+        rng = np.random.default_rng(9)
+        checker = RobotEnvironmentChecker(jaco, bench_octree, collect_stats=False)
+        obbs = []
+        for _ in range(8):
+            obbs.extend(checker.link_obbs(jaco.random_configuration(rng)))
+        assert batch_reference_work(obbs, bench_octree) == collect_query_work(
+            obbs, bench_octree
+        )
+
+
+class TestCheckerBackend:
+    """RobotEnvironmentChecker(backend="batch") vs the scalar default."""
+
+    def test_link_obbs_bit_identical(self, jaco):
+        rng = np.random.default_rng(3)
+        poses = rng.uniform(-np.pi, np.pi, (16, jaco.dof))
+        batch = batch_link_obbs(jaco, poses)
+        row = 0
+        for q in poses:
+            for obb in (quantize_obb(o) for o in jaco.link_obbs(q)):
+                assert np.array_equal(batch.center[row], obb.center)
+                assert np.array_equal(batch.half[row], obb.half_extents)
+                assert np.array_equal(batch.rot[row], obb.rotation)
+                row += 1
+        assert row == len(batch)
+
+    def test_pose_verdicts_and_stats(self, jaco, bench_octree):
+        rng = np.random.default_rng(21)
+        poses = rng.uniform(-np.pi, np.pi, (48, jaco.dof))
+        scalar = RobotEnvironmentChecker(jaco, bench_octree)
+        batch = RobotEnvironmentChecker(jaco, bench_octree, backend="batch")
+        scalar_verdicts = [scalar.check_pose(q) for q in poses]
+        assert list(batch.check_poses(poses)) == scalar_verdicts
+        assert scalar.stats.as_dict() == batch.stats.as_dict()
+
+    def test_single_pose_route(self, jaco, bench_octree):
+        rng = np.random.default_rng(22)
+        q = rng.uniform(-np.pi, np.pi, jaco.dof)
+        scalar = RobotEnvironmentChecker(jaco, bench_octree)
+        batch = RobotEnvironmentChecker(jaco, bench_octree, backend="batch")
+        assert batch.check_pose(q) == scalar.check_pose(q)
+        assert scalar.stats.as_dict() == batch.stats.as_dict()
+
+    def test_motion_checks(self, jaco, bench_octree):
+        rng = np.random.default_rng(23)
+        poses = rng.uniform(-np.pi, np.pi, (12, jaco.dof))
+        scalar = RobotEnvironmentChecker(jaco, bench_octree)
+        batch = RobotEnvironmentChecker(jaco, bench_octree, backend="batch")
+        for i in range(0, 10, 2):
+            rs = scalar.check_motion(poses[i], poses[i + 1])
+            rb = batch.check_motion(poses[i], poses[i + 1])
+            assert (rs.collision, rs.first_colliding_index, rs.poses_checked) == (
+                rb.collision,
+                rb.first_colliding_index,
+                rb.poses_checked,
+            )
+        assert scalar.stats.as_dict() == batch.stats.as_dict()
+
+    def test_collect_stats_off(self, jaco, bench_octree):
+        rng = np.random.default_rng(24)
+        poses = rng.uniform(-np.pi, np.pi, (8, jaco.dof))
+        scalar = RobotEnvironmentChecker(jaco, bench_octree, collect_stats=False)
+        batch = RobotEnvironmentChecker(
+            jaco, bench_octree, collect_stats=False, backend="batch"
+        )
+        assert list(batch.check_poses(poses)) == [scalar.check_pose(q) for q in poses]
+        assert scalar.stats.as_dict() == batch.stats.as_dict()
+
+    def test_unknown_backend_rejected(self, jaco, bench_octree):
+        with pytest.raises(ValueError):
+            RobotEnvironmentChecker(jaco, bench_octree, backend="cuda")
+
+    def test_coarse_fixed_point_saturates_identically(self, jaco, bench_octree):
+        # A deliberately tiny format forces saturation clamps on both
+        # backends; the quantized OBBs and verdicts must still agree.
+        fmt = FixedPointFormat(total_bits=6, frac_bits=2)
+        rng = np.random.default_rng(25)
+        poses = rng.uniform(-np.pi, np.pi, (12, jaco.dof))
+        scalar = RobotEnvironmentChecker(jaco, bench_octree, fixed_point=fmt)
+        batch = RobotEnvironmentChecker(
+            jaco, bench_octree, fixed_point=fmt, backend="batch"
+        )
+        assert list(batch.check_poses(poses)) == [scalar.check_pose(q) for q in poses]
+        assert scalar.stats.as_dict() == batch.stats.as_dict()
+
+
+class TestSASPriming:
+    """prime_phase fills the lazy caches with batch-computed ground truth."""
+
+    def _make_phase(self, jaco, checker, seed):
+        rng = np.random.default_rng(seed)
+        qs = rng.uniform(-np.pi, np.pi, (6, jaco.dof))
+        motions = [
+            MotionRecord.from_endpoints(qs[i], qs[i + 1], checker) for i in range(5)
+        ]
+        return CDPhase(mode=FunctionMode.COMPLETE, motions=motions)
+
+    def test_primed_simulation_identical(self, jaco, bench_octree):
+        lazy_checker = RobotEnvironmentChecker(jaco, bench_octree)
+        lazy_phase = self._make_phase(jaco, lazy_checker, 31)
+        batch_checker = RobotEnvironmentChecker(jaco, bench_octree, backend="batch")
+        batch_phase = self._make_phase(jaco, batch_checker, 31)
+
+        primed = prime_phase(batch_phase, batch_checker)
+        assert primed == batch_phase.total_poses
+        assert prime_phase(batch_phase, batch_checker) == 0  # idempotent
+
+        r_lazy = SASSimulator(4, seed=0).run(lazy_phase)
+        r_batch = SASSimulator(4, seed=0).run(batch_phase)
+        assert r_lazy.motion_outcomes == r_batch.motion_outcomes
+        assert (r_lazy.cycles, r_lazy.tests) == (r_batch.cycles, r_batch.tests)
+
+        # After forcing full evaluation on the lazy side, the recorded
+        # work is identical — the batch backend's stats contract.
+        for motion in lazy_phase.motions:
+            motion.evaluate_all()
+        assert lazy_checker.stats.as_dict() == batch_checker.stats.as_dict()
+
+
+class TestEvaluatorEdgeCases:
+    def test_empty_octree(self, jaco):
+        scene = random_scene(seed=99, n_obstacles=0)
+        octree = Octree.from_scene(scene, resolution=8)
+        rng = np.random.default_rng(1)
+        poses = rng.uniform(-np.pi, np.pi, (4, jaco.dof))
+        scalar = RobotEnvironmentChecker(jaco, octree)
+        batch = RobotEnvironmentChecker(jaco, octree, backend="batch")
+        assert list(batch.check_poses(poses)) == [scalar.check_pose(q) for q in poses]
+        assert scalar.stats.as_dict() == batch.stats.as_dict()
+
+    def test_single_obb_query(self, bench_octree):
+        obb = OBB([0.2, 0.1, 0.4], [0.05, 0.08, 0.03])
+        scalar_work = collect_query_work([obb], bench_octree)
+        outcome = BatchOctreeCollider(bench_octree).collide(BatchOBBs.from_obbs([obb]))
+        assert outcome.query_work() == scalar_work
+
+    def test_empty_pose_batch(self, jaco, bench_octree):
+        evaluator = BatchPoseEvaluator(jaco, bench_octree)
+        outcome = evaluator.evaluate(np.zeros((0, jaco.dof)))
+        assert len(outcome) == 0
+        checker = RobotEnvironmentChecker(jaco, bench_octree, backend="batch")
+        assert list(checker.check_poses(np.zeros((0, jaco.dof)))) == []
+
+    def test_pose_evaluator_1d_input(self, jaco, bench_octree):
+        evaluator = BatchPoseEvaluator(jaco, bench_octree)
+        rng = np.random.default_rng(2)
+        q = rng.uniform(-np.pi, np.pi, jaco.dof)
+        outcome = evaluator.evaluate(q)
+        assert len(outcome) == 1
+        checker = RobotEnvironmentChecker(jaco, bench_octree, collect_stats=False)
+        assert bool(outcome.hits[0]) == checker.check_pose(q)

@@ -1,0 +1,96 @@
+"""Golden-trace regression: frozen cascade outcomes for canonical scenes.
+
+Three canonical scenes from :mod:`repro.env.generator` were evaluated once
+and their per-pose verdicts plus full operation counts checked into
+``tests/fixtures/collision_golden.json``.  Both the scalar and the batch
+backend must keep reproducing those traces exactly: a diff here means the
+collision semantics (or the operation accounting the energy model prices)
+changed, which invalidates every published figure downstream.
+
+Regenerate deliberately (after an intentional semantic change) with::
+
+    PYTHONPATH=src python tests/test_collision_golden.py --regenerate
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.env.generator import random_scene
+from repro.env.octree import Octree
+from repro.robot.presets import jaco2
+
+FIXTURE = Path(__file__).parent / "fixtures" / "collision_golden.json"
+
+#: (scene seed, pose-rng seed) per canonical scene.
+SCENES = ((1, 101), (2, 202), (3, 303))
+RESOLUTION = 16
+N_POSES = 24
+
+
+def _scene_trace(scene_seed: int, pose_seed: int, backend: str) -> dict:
+    """Verdicts + stats for one canonical scene through one backend."""
+    robot = jaco2()
+    octree = Octree.from_scene(random_scene(seed=scene_seed), resolution=RESOLUTION)
+    checker = RobotEnvironmentChecker(robot, octree, backend=backend)
+    poses = np.random.default_rng(pose_seed).uniform(
+        -np.pi, np.pi, (N_POSES, robot.dof)
+    )
+    verdicts = [bool(v) for v in checker.check_poses(poses)]
+    return {
+        "scene_seed": scene_seed,
+        "pose_seed": pose_seed,
+        "resolution": RESOLUTION,
+        "n_poses": N_POSES,
+        "verdicts": verdicts,
+        "stats": checker.stats.as_dict(),
+    }
+
+
+def _generate() -> dict:
+    return {
+        "scenes": [
+            _scene_trace(scene_seed, pose_seed, backend="scalar")
+            for scene_seed, pose_seed in SCENES
+        ]
+    }
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    assert FIXTURE.exists(), f"golden fixture missing: {FIXTURE}"
+    return json.loads(FIXTURE.read_text())
+
+
+@pytest.mark.parametrize("backend", ["scalar", "batch"])
+@pytest.mark.parametrize("index", range(len(SCENES)))
+def test_backend_reproduces_golden_trace(golden, index, backend):
+    frozen = golden["scenes"][index]
+    live = _scene_trace(frozen["scene_seed"], frozen["pose_seed"], backend)
+    assert live["verdicts"] == frozen["verdicts"], (
+        f"scene seed {frozen['scene_seed']} backend {backend}: verdicts diverged"
+    )
+    assert live["stats"] == frozen["stats"], (
+        f"scene seed {frozen['scene_seed']} backend {backend}: stats diverged"
+    )
+
+
+def test_fixture_covers_all_scenes(golden):
+    assert [
+        (s["scene_seed"], s["pose_seed"]) for s in golden["scenes"]
+    ] == list(SCENES)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" not in sys.argv:
+        sys.exit("pass --regenerate to overwrite the golden fixture")
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURE.write_text(json.dumps(_generate(), indent=2) + "\n")
+    print(f"wrote {FIXTURE}")

@@ -1,5 +1,7 @@
 """Tests for 16-bit fixed-point quantization."""
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -64,6 +66,96 @@ class TestFormat:
         fmt = FixedPointFormat(16, 10)
         err = fmt.quantization_error(np.array([0.5 * fmt.resolution]))
         assert err == pytest.approx(0.5 * fmt.resolution)
+
+
+class TestEdgeCases:
+    """Saturation boundaries, negative zero, and raw-word round trips.
+
+    The batch pipeline quantizes with array ufuncs while the scalar path
+    uses Python ``round``; these cases pin the exact boundary behavior both
+    must share so vectorized math can't silently diverge.
+    """
+
+    def test_negative_zero_normalized(self):
+        fmt = DEFAULT_FORMAT
+        out = fmt.quantize(-1e-12)
+        assert out == 0.0
+        assert math.copysign(1.0, out) == 1.0  # +0.0, not -0.0
+        arr = fmt.quantize(np.array([-1e-12, -0.0, 0.0]))
+        assert np.all(np.copysign(1.0, arr) == 1.0)
+
+    def test_scalar_and_array_paths_agree_near_zero(self):
+        # quantize_obb snaps with Python round() (int zero -> +0.0); the
+        # array API must produce the same bits.
+        obb = OBB([-1e-12, 1e-12, -0.0], [0.1, 0.1, 0.1])
+        q = quantize_obb(obb)
+        arr = DEFAULT_FORMAT.quantize(np.asarray(obb.center))
+        assert np.array_equal(q.center, arr)
+        assert np.all(np.copysign(1.0, q.center) == np.copysign(1.0, arr))
+
+    def test_round_trip_at_saturation_boundaries(self):
+        fmt = FixedPointFormat(8, 4)  # range [-8, 7.9375]
+        for value in (fmt.max_value, fmt.min_value):
+            assert fmt.quantize(value) == value
+            assert fmt.from_raw(fmt.to_raw(value)) == value
+        # One LSB inside each boundary survives the round trip too.
+        assert fmt.quantize(fmt.max_value - fmt.resolution) == (
+            fmt.max_value - fmt.resolution
+        )
+        assert fmt.quantize(fmt.min_value + fmt.resolution) == (
+            fmt.min_value + fmt.resolution
+        )
+
+    def test_saturation_clamps_to_exact_limits(self):
+        fmt = FixedPointFormat(8, 4)
+        assert fmt.quantize(1e9) == fmt.max_value
+        assert fmt.quantize(-1e9) == fmt.min_value
+        assert fmt.to_raw(1e9) == 2**7 - 1
+        assert fmt.to_raw(-1e9) == -(2**7)
+
+    def test_half_step_above_max_saturates_not_wraps(self):
+        fmt = FixedPointFormat(8, 4)
+        # Rounds to raw 128, which must clamp to 127 rather than wrap.
+        assert fmt.quantize(fmt.max_value + fmt.resolution / 2.0) == fmt.max_value
+
+    def test_to_raw_from_raw_inverse_on_grid(self):
+        fmt = DEFAULT_FORMAT
+        raws = np.array([-(2**15), -1, 0, 1, 2**15 - 1])
+        values = fmt.from_raw(raws)
+        assert np.array_equal(fmt.to_raw(values), raws)
+
+    def test_from_raw_rejects_out_of_range(self):
+        fmt = FixedPointFormat(8, 4)
+        with pytest.raises(ValueError):
+            fmt.from_raw(2**7)
+        with pytest.raises(ValueError):
+            fmt.from_raw(-(2**7) - 1)
+
+    def test_quantize_idempotent(self):
+        fmt = DEFAULT_FORMAT
+        values = np.array([-31.99, -0.37, -1e-12, 0.0, 0.37, 31.99])
+        once = fmt.quantize(values)
+        assert np.array_equal(fmt.quantize(once), once)
+
+    def test_batch_quantize_matches_scalar_at_saturation(self):
+        # A coarse format forces every clamp branch; the batch array path
+        # and the scalar per-OBB path must produce identical grids.
+        from repro.collision.batch import batch_quantize_obbs
+
+        fmt = FixedPointFormat(6, 2)
+        rot_fmt = FixedPointFormat(6, 4)
+        rng = np.random.default_rng(55)
+        centers = rng.uniform(-20.0, 20.0, (32, 3))
+        centers[0] = [-1e-12, 1e-12, -0.0]
+        halves = rng.uniform(1e-6, 12.0, (32, 3))
+        rots = np.stack([rotation_z(a)[:3, :3] for a in rng.uniform(-3, 3, 32)])
+        qc, qh, qr = batch_quantize_obbs(centers, halves, rots, fmt, rot_fmt)
+        for i in range(32):
+            q = quantize_obb(OBB(centers[i], halves[i], rots[i]), fmt, rot_fmt)
+            assert np.array_equal(qc[i], q.center), i
+            assert np.array_equal(qh[i], q.half_extents), i
+            assert np.array_equal(qr[i], q.rotation), i
+            assert np.all(np.copysign(1.0, qc[i]) == np.copysign(1.0, q.center)), i
 
 
 class TestQuantizeAABB:
