@@ -1,0 +1,97 @@
+"""Disabled-telemetry overhead guard for the SAS hot loop.
+
+Run standalone for a report::
+
+    PYTHONPATH=src python benchmarks/bench_telemetry_overhead.py
+
+or as the tier-2 perf guard::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_telemetry_overhead.py -m perf
+
+Simulators accept ``telemetry=None`` (the default) or a disabled
+:class:`MetricsRegistry`; both must leave the event loop essentially
+untouched — the instruments are hoisted out of the loop and a disabled
+registry hands back a shared no-op.  The guard runs a Figure-7-style limit
+study both ways and asserts the disabled-registry run costs at most 5%
+over the no-registry baseline (min-of-repeats to shed scheduler noise).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.accel.limit import limit_study
+from repro.accel.telemetry import MetricsRegistry
+from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+
+OVERHEAD_CEILING = 1.05
+POLICIES = ("np", "ms", "mnp", "mcsp")
+CDU_COUNTS = (1, 4, 16, 64)
+
+
+def _workload(seed: int = 11, n_phases: int = 6, n_motions: int = 8, n_poses: int = 24):
+    """Precomputed phases: the SAS event loop dominates, not the checker."""
+    rng = np.random.default_rng(seed)
+    phases = []
+    for _ in range(n_phases):
+        motions = []
+        for _ in range(n_motions):
+            poses = rng.uniform(-1.0, 1.0, (n_poses, 3))
+            outcomes = (rng.random(n_poses) < 0.1).tolist()
+            motions.append(MotionRecord.from_precomputed(poses, outcomes))
+        phases.append(CDPhase(FunctionMode.COMPLETE, motions))
+    return phases
+
+
+def _timed(func) -> float:
+    start = time.perf_counter()
+    func()
+    return time.perf_counter() - start
+
+
+def measure_overhead(repeats: int = 5) -> dict:
+    """Time the sweep with no registry vs a disabled registry."""
+    phases = _workload()
+
+    def run(telemetry):
+        limit_study(
+            phases, policies=POLICIES, cdu_counts=CDU_COUNTS, telemetry=telemetry
+        )
+
+    run(None)  # warm caches (pose ground truth is precomputed, but JIT-ish costs)
+    baseline = min(_timed(lambda: run(None)) for _ in range(repeats))
+    disabled = min(
+        _timed(lambda: run(MetricsRegistry(enabled=False))) for _ in range(repeats)
+    )
+    enabled = min(
+        _timed(lambda: run(MetricsRegistry(enabled=True))) for _ in range(repeats)
+    )
+    return {
+        "baseline_s": baseline,
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "disabled_overhead": disabled / baseline,
+        "enabled_overhead": enabled / baseline,
+    }
+
+
+@pytest.mark.perf
+def test_disabled_telemetry_overhead_under_5pct():
+    report = measure_overhead()
+    assert report["disabled_overhead"] <= OVERHEAD_CEILING, report
+
+
+if __name__ == "__main__":
+    report = measure_overhead()
+    print(f"baseline (telemetry=None):      {report['baseline_s'] * 1e3:8.2f} ms")
+    print(
+        f"disabled registry:              {report['disabled_s'] * 1e3:8.2f} ms "
+        f"({(report['disabled_overhead'] - 1) * 100:+.1f}%)"
+    )
+    print(
+        f"enabled registry:               {report['enabled_s'] * 1e3:8.2f} ms "
+        f"({(report['enabled_overhead'] - 1) * 100:+.1f}%)"
+    )

@@ -37,7 +37,21 @@ from repro.accel.policies import (
     make_policy,
     pose_order,
 )
-from repro.accel.sas import SASResult, SASSimulator
+from repro.accel.sas import (
+    DispatchEvent,
+    PhaseStats,
+    SASResult,
+    SASSimulator,
+    prime_phase,
+    prime_phases,
+)
+from repro.accel.telemetry import MetricsRegistry, ScopeRecord, TraceEvent
+from repro.accel.invariants import (
+    InvariantViolation,
+    SASInvariantError,
+    check_sas_result,
+    verify_sas_result,
+)
 
 __all__ = [
     "IntersectionUnitKind",
@@ -50,6 +64,17 @@ __all__ = [
     "PoseCDOutcome",
     "SASSimulator",
     "SASResult",
+    "DispatchEvent",
+    "PhaseStats",
+    "prime_phase",
+    "prime_phases",
+    "MetricsRegistry",
+    "ScopeRecord",
+    "TraceEvent",
+    "InvariantViolation",
+    "SASInvariantError",
+    "check_sas_result",
+    "verify_sas_result",
     "limit_study",
     "MPAccelSimulator",
     "MotionPlanningTiming",

@@ -1,0 +1,452 @@
+"""Invariant checking for SAS runs: the accounting audit layer.
+
+The reproduced figures are accounting claims (speedup, extra CD tests,
+utilization), so any SAS result must satisfy structural invariants that
+hold for the real hardware regardless of policy, latency model, or CDU
+count:
+
+- **dispatch conservation** — every dispatched query is retired inside the
+  measured window or abandoned at an early stop; nothing is double counted
+  or dropped;
+- **dispatch throttle** — at most ``dispatch_per_cycle`` dispatches share a
+  cycle when the CD Query Generator is rate limited;
+- **CDU capacity** — never more than ``n_cdus`` queries in flight at any
+  instant;
+- **busy-cycle consistency** — ``busy_cycles`` equals the timeline's
+  CDU-cycles truncated at the stop boundary, and ``abandoned_cycles`` the
+  in-flight remainder;
+- **pose orders** — no pose of a motion is dispatched twice, and a motion
+  proven collision-free had every pose dispatched exactly once (a
+  permutation);
+- **utilization** — a true fraction in [0, 1] *without* clamping.
+
+Run the checker standalone on any recorded :class:`SASResult`
+(:func:`check_sas_result` / :func:`verify_sas_result`), or inline during
+simulation with ``SASSimulator(check_invariants=True)``.  Tests carry the
+``invariants`` pytest marker so CI can run the audit as a dedicated job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.accel.config import SASConfig
+from repro.planning.motion import CDPhase, FunctionMode
+
+__all__ = [
+    "InvariantViolation",
+    "SASInvariantError",
+    "check_sas_result",
+    "verify_sas_result",
+]
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One failed invariant: which rule, and the evidence."""
+
+    name: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.name}] {self.message}"
+
+
+class SASInvariantError(AssertionError):
+    """Raised by :func:`verify_sas_result` when any invariant fails."""
+
+    def __init__(self, violations: List[InvariantViolation]):
+        self.violations = violations
+        lines = "\n".join(f"  - {v}" for v in violations)
+        super().__init__(f"{len(violations)} SAS invariant violation(s):\n{lines}")
+
+
+@dataclass(frozen=True)
+class _Window:
+    """One phase's cycle window inside an (aggregated) result."""
+
+    index: int
+    start: int
+    end: int
+    stopped_early: bool
+    mode: Optional[str]
+    busy_cycles: Optional[int]
+    abandoned_cycles: Optional[int]
+    tests: Optional[int]
+
+
+def _windows(result) -> List[_Window]:
+    if result.phase_breakdown:
+        return [
+            _Window(
+                index=stats.index,
+                start=stats.cycle_offset,
+                end=stats.cycle_offset + stats.cycles,
+                stopped_early=stats.stopped_early,
+                mode=stats.mode,
+                busy_cycles=stats.busy_cycles,
+                abandoned_cycles=stats.abandoned_cycles,
+                tests=stats.tests,
+            )
+            for stats in result.phase_breakdown
+        ]
+    return [
+        _Window(
+            index=0,
+            start=0,
+            end=result.cycles,
+            stopped_early=result.stopped_early,
+            mode=None,
+            busy_cycles=result.busy_cycles,
+            abandoned_cycles=result.abandoned_cycles,
+            tests=result.tests,
+        )
+    ]
+
+
+def check_sas_result(
+    result,
+    config: Optional[SASConfig] = None,
+    phases: Optional[Sequence[CDPhase]] = None,
+) -> List[InvariantViolation]:
+    """Audit one SAS result; returns the (possibly empty) violation list.
+
+    Counter-level invariants always run.  Timeline/event invariants run
+    when the result carries a recorded timeline (``run(...,
+    record_timeline=True)`` or ``check_invariants=True``).  ``config``
+    enables the dispatch-throttle check; ``phases`` enables ground-truth
+    checks (pose bounds, permutations, verdicts, outcome counts).
+    """
+    violations: List[InvariantViolation] = []
+
+    def bad(name: str, message: str) -> None:
+        violations.append(InvariantViolation(name, message))
+
+    windows = _windows(result)
+
+    # ---- counter sanity + utilization range (always) ------------------
+    if result.cycles < 0:
+        bad("counter-sanity", f"negative cycles: {result.cycles}")
+    if result.tests < 0:
+        bad("counter-sanity", f"negative tests: {result.tests}")
+    if result.busy_cycles < 0:
+        bad("counter-sanity", f"negative busy_cycles: {result.busy_cycles}")
+    if result.abandoned_cycles < 0:
+        bad("counter-sanity", f"negative abandoned_cycles: {result.abandoned_cycles}")
+    if result.abandoned_cycles > 0 and not result.stopped_early:
+        bad(
+            "dispatch-conservation",
+            f"abandoned_cycles={result.abandoned_cycles} without an early stop",
+        )
+    capacity = result.cycles * result.n_cdus
+    if result.busy_cycles > capacity:
+        bad(
+            "utilization-range",
+            f"busy_cycles={result.busy_cycles} exceeds window capacity "
+            f"{result.cycles} cycles x {result.n_cdus} CDUs = {capacity}",
+        )
+    utilization = result.utilization
+    if not 0.0 <= utilization <= 1.0:
+        bad("utilization-range", f"utilization {utilization} outside [0, 1]")
+
+    # ---- phase breakdown must sum to the aggregate --------------------
+    if result.phase_breakdown:
+        sums = {
+            "cycles": sum(s.cycles for s in result.phase_breakdown),
+            "tests": sum(s.tests for s in result.phase_breakdown),
+            "busy_cycles": sum(s.busy_cycles for s in result.phase_breakdown),
+            "abandoned_cycles": sum(s.abandoned_cycles for s in result.phase_breakdown),
+        }
+        for name, total in sums.items():
+            if total != getattr(result, name):
+                bad(
+                    "phase-breakdown",
+                    f"breakdown {name} sums to {total}, result has "
+                    f"{getattr(result, name)}",
+                )
+        if result.phase_count != len(result.phase_breakdown):
+            bad(
+                "phase-breakdown",
+                f"phase_count={result.phase_count} but breakdown has "
+                f"{len(result.phase_breakdown)} phases",
+            )
+        offset = 0
+        for stats in result.phase_breakdown:
+            if stats.cycle_offset != offset:
+                bad(
+                    "phase-breakdown",
+                    f"phase {stats.index} offset {stats.cycle_offset}, "
+                    f"expected cumulative {offset}",
+                )
+            offset += stats.cycles
+
+    # ---- ground-truth cross-checks (when phases are provided) ---------
+    if phases is not None:
+        n_motions = sum(len(p.motions) for p in phases)
+        if len(result.motion_outcomes) != n_motions:
+            bad(
+                "outcome-count",
+                f"{len(result.motion_outcomes)} outcomes for {n_motions} motions",
+            )
+        slice_start = 0
+        for window, phase in zip(windows, phases):
+            outcomes = result.motion_outcomes[
+                slice_start : slice_start + len(phase.motions)
+            ]
+            slice_start += len(phase.motions)
+            if phase.mode is FunctionMode.COMPLETE:
+                if window.stopped_early:
+                    bad(
+                        "stop-semantics",
+                        f"phase {window.index} is COMPLETE but stopped early",
+                    )
+                if None in outcomes:
+                    bad(
+                        "stop-semantics",
+                        f"phase {window.index} is COMPLETE with undecided motions",
+                    )
+
+    # ---- timeline invariants ------------------------------------------
+    if result.timeline:
+        if len(result.timeline) != result.tests:
+            bad(
+                "dispatch-conservation",
+                f"{len(result.timeline)} timeline events for {result.tests} tests",
+            )
+        by_phase: Dict[int, list] = {}
+        for event in result.timeline:
+            by_phase.setdefault(event.phase, []).append(event)
+        window_by_index = {w.index: w for w in windows}
+        for phase_index, events in sorted(by_phase.items()):
+            window = window_by_index.get(phase_index)
+            if window is None:
+                bad(
+                    "phase-breakdown",
+                    f"timeline events reference unknown phase {phase_index}",
+                )
+                continue
+            _check_phase_timeline(
+                events, window, result, config, phases, bad
+            )
+
+    # ---- event-trace conservation -------------------------------------
+    if result.events:
+        _check_event_trace(result, windows, bad)
+
+    return violations
+
+
+def _check_phase_timeline(events, window, result, config, phases, bad) -> None:
+    """Timeline invariants local to one phase's cycle window."""
+    phase = None
+    if phases is not None and window.index < len(phases):
+        phase = phases[window.index]
+
+    dispatch_counts: Dict[int, int] = {}
+    seen_poses: Dict[int, set] = {}
+    busy = 0
+    abandoned = 0
+    previous_dispatch = None
+    for event in events:
+        if event.dispatch_cycle < window.start or event.dispatch_cycle > window.end:
+            bad(
+                "dispatch-conservation",
+                f"phase {window.index}: dispatch at cycle {event.dispatch_cycle} "
+                f"outside window [{window.start}, {window.end}]",
+            )
+        if event.complete_cycle < event.dispatch_cycle:
+            bad(
+                "dispatch-conservation",
+                f"phase {window.index}: completion {event.complete_cycle} before "
+                f"dispatch {event.dispatch_cycle}",
+            )
+        if event.complete_cycle > window.end and not window.stopped_early:
+            bad(
+                "dispatch-conservation",
+                f"phase {window.index}: query completes at {event.complete_cycle} "
+                f"past window end {window.end} without an early stop",
+            )
+        if previous_dispatch is not None and event.dispatch_cycle < previous_dispatch:
+            bad(
+                "dispatch-order",
+                f"phase {window.index}: timeline not in dispatch order "
+                f"({event.dispatch_cycle} after {previous_dispatch})",
+            )
+        previous_dispatch = event.dispatch_cycle
+        dispatch_counts[event.dispatch_cycle] = (
+            dispatch_counts.get(event.dispatch_cycle, 0) + 1
+        )
+        poses = seen_poses.setdefault(event.motion_index, set())
+        if event.pose_index in poses:
+            bad(
+                "pose-order",
+                f"phase {window.index}: motion {event.motion_index} pose "
+                f"{event.pose_index} dispatched twice",
+            )
+        poses.add(event.pose_index)
+        busy += min(event.complete_cycle, window.end) - min(
+            event.dispatch_cycle, window.end
+        )
+        abandoned += max(0, event.complete_cycle - window.end)
+        if phase is not None:
+            motion = phase.motions[event.motion_index]
+            if not 0 <= event.pose_index < motion.num_poses:
+                bad(
+                    "pose-order",
+                    f"phase {window.index}: motion {event.motion_index} pose "
+                    f"{event.pose_index} out of range [0, {motion.num_poses})",
+                )
+            elif event.hit != motion.pose_collides(event.pose_index):
+                bad(
+                    "verdict-truth",
+                    f"phase {window.index}: motion {event.motion_index} pose "
+                    f"{event.pose_index} recorded hit={event.hit}, ground truth "
+                    f"{motion.pose_collides(event.pose_index)}",
+                )
+
+    # Throttle: the CD Query Generator's dispatch rate bound.
+    if config is not None and config.dispatch_per_cycle is not None:
+        limit = config.dispatch_per_cycle
+        for cycle, count in dispatch_counts.items():
+            if count > limit:
+                bad(
+                    "dispatch-throttle",
+                    f"phase {window.index}: {count} dispatches at cycle {cycle} "
+                    f"(limit {limit})",
+                )
+                break
+
+    # Capacity: sweep dispatch/completion edges; completions at a cycle
+    # free their CDU before same-cycle dispatches claim one (the simulator
+    # processes due results first).
+    edges: List[Tuple[int, int, int]] = []
+    for event in events:
+        edges.append((event.dispatch_cycle, 1, +1))
+        edges.append((event.complete_cycle, 0, -1))
+    in_flight = 0
+    for _cycle, _order, delta in sorted(edges):
+        in_flight += delta
+        if in_flight > result.n_cdus:
+            bad(
+                "cdu-capacity",
+                f"phase {window.index}: {in_flight} queries in flight with only "
+                f"{result.n_cdus} CDUs",
+            )
+            break
+
+    # Busy/abandoned consistency with the recorded schedule.
+    if window.busy_cycles is not None and busy != window.busy_cycles:
+        bad(
+            "busy-consistency",
+            f"phase {window.index}: timeline implies {busy} busy cycles, "
+            f"result reports {window.busy_cycles}",
+        )
+    if window.abandoned_cycles is not None and abandoned != window.abandoned_cycles:
+        bad(
+            "busy-consistency",
+            f"phase {window.index}: timeline implies {abandoned} abandoned "
+            f"cycles, result reports {window.abandoned_cycles}",
+        )
+    if window.tests is not None and len(events) != window.tests:
+        bad(
+            "dispatch-conservation",
+            f"phase {window.index}: {len(events)} dispatches for "
+            f"{window.tests} recorded tests",
+        )
+
+    # Permutation completeness: a motion proven collision-free must have
+    # had every pose dispatched exactly once.
+    if phase is not None and not window.stopped_early:
+        offset = sum(len(p.motions) for p in phases[: window.index])
+        for motion_idx, motion in enumerate(phase.motions):
+            outcome_idx = offset + motion_idx
+            if outcome_idx >= len(result.motion_outcomes):
+                continue
+            if result.motion_outcomes[outcome_idx] is False:
+                dispatched = seen_poses.get(motion_idx, set())
+                if dispatched != set(range(motion.num_poses)):
+                    missing = set(range(motion.num_poses)) - dispatched
+                    bad(
+                        "pose-order",
+                        f"phase {window.index}: motion {motion_idx} decided free "
+                        f"but poses {sorted(missing)[:5]} were never dispatched",
+                    )
+
+
+def _check_event_trace(result, windows, bad) -> None:
+    """Conservation over the dispatch/complete/kill/stop event trace."""
+    dispatches: Dict[Tuple[int, int, int], int] = {}
+    completes: Dict[Tuple[int, int, int], int] = {}
+    stops_per_phase: Dict[int, int] = {}
+    kills_per_phase: Dict[int, int] = {}
+    for event in result.events:
+        key = (event.phase, event.motion_index, event.pose_index)
+        if event.kind == "dispatch":
+            dispatches[key] = dispatches.get(key, 0) + 1
+        elif event.kind == "complete":
+            completes[key] = completes.get(key, 0) + 1
+        elif event.kind == "stop":
+            stops_per_phase[event.phase] = stops_per_phase.get(event.phase, 0) + 1
+        elif event.kind == "kill":
+            kills_per_phase[event.phase] = kills_per_phase.get(event.phase, 0) + 1
+    n_dispatch = sum(dispatches.values())
+    n_complete = sum(completes.values())
+    if n_dispatch != result.tests:
+        bad(
+            "dispatch-conservation",
+            f"{n_dispatch} dispatch events for {result.tests} tests",
+        )
+    if n_complete != n_dispatch:
+        bad(
+            "dispatch-conservation",
+            f"{n_dispatch} dispatches but {n_complete} completions "
+            "(dispatched != retired + abandoned-at-stop)",
+        )
+    for key, count in dispatches.items():
+        if count > 1:
+            bad(
+                "pose-order",
+                f"phase {key[0]}: motion {key[1]} pose {key[2]} dispatched "
+                f"{count} times",
+            )
+            break
+    unmatched = [k for k in dispatches if k not in completes]
+    if unmatched:
+        k = unmatched[0]
+        bad(
+            "dispatch-conservation",
+            f"phase {k[0]}: motion {k[1]} pose {k[2]} dispatched but its "
+            "completion was dropped",
+        )
+    window_by_index = {w.index: w for w in windows}
+    for phase_index, count in stops_per_phase.items():
+        window = window_by_index.get(phase_index)
+        if count > 1:
+            bad(
+                "stop-semantics",
+                f"phase {phase_index}: {count} stop events (at most one allowed)",
+            )
+        if window is not None and not window.stopped_early:
+            bad(
+                "stop-semantics",
+                f"phase {phase_index}: stop event recorded but stopped_early "
+                "is False",
+            )
+    for window in windows:
+        if window.stopped_early and stops_per_phase.get(window.index, 0) == 0:
+            bad(
+                "stop-semantics",
+                f"phase {window.index}: stopped_early without a stop event",
+            )
+
+
+def verify_sas_result(
+    result,
+    config: Optional[SASConfig] = None,
+    phases: Optional[Sequence[CDPhase]] = None,
+) -> None:
+    """Raise :class:`SASInvariantError` if any invariant fails."""
+    violations = check_sas_result(result, config=config, phases=phases)
+    if violations:
+        raise SASInvariantError(violations)

@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence
 
 from repro.accel.config import SASConfig
 from repro.accel.sas import SASSimulator, unit_latency_model
+from repro.accel.telemetry import MetricsRegistry
 from repro.planning.motion import CDPhase
 
 
@@ -43,11 +44,15 @@ def limit_study(
     step_size: int = 8,
     group_size: int = 16,
     seed: int = 0,
+    telemetry: MetricsRegistry | None = None,
+    check_invariants: bool = False,
 ) -> List[LimitStudyPoint]:
     """Run the Figure 7 sweep and return one point per (policy, CDU count).
 
     The sequential baseline (1 test per cycle, early exit, in-order) is
-    computed once per phase and shared across all points.
+    computed once per phase and shared across all points.  ``telemetry``
+    collects one scope per (policy, CDU count) cell; ``check_invariants``
+    audits every simulated phase with :mod:`repro.accel.invariants`.
     """
     sequential_tests = sum(p.sequential_reference().tests for p in phases)
     sequential_cycles = sequential_tests  # one test per cycle, one CDU
@@ -67,8 +72,14 @@ def limit_study(
                 config=config,
                 latency_model=unit_latency_model,
                 seed=seed,
+                telemetry=telemetry,
+                check_invariants=check_invariants,
             )
-            total = simulator.run_phases(list(phases))
+            if telemetry is not None and telemetry.enabled:
+                with telemetry.scope("limit_study", f"{policy}x{n_cdus}"):
+                    total = simulator.run_phases(list(phases))
+            else:
+                total = simulator.run_phases(list(phases))
             points.append(
                 LimitStudyPoint(
                     policy=policy,

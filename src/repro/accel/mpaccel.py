@@ -15,7 +15,8 @@ from typing import List, Optional
 from repro.accel.cecdu import CECDUModel
 from repro.accel.config import MPAccelConfig
 from repro.accel.energy import HardwareBlockLibrary
-from repro.accel.sas import SASSimulator
+from repro.accel.sas import SASSimulator, prime_phases
+from repro.accel.telemetry import MetricsRegistry
 from repro.planning.motion import CDPhase
 from repro.planning.mpnet import PlanResult
 
@@ -43,6 +44,14 @@ class MotionPlanningTiming:
     cd_tests: int = 0
     cd_energy_pj: float = 0.0
     phase_count: int = 0
+    #: CDU-cycles inside the measured windows (stop-boundary truncated) and
+    #: the in-flight remainder abandoned at early stops — mirrors
+    #: ``SASResult`` so telemetry and timing reports agree.
+    cd_busy_cycles: int = 0
+    cd_abandoned_cycles: int = 0
+    #: Poses resolved through one vectorized ``check_poses`` dispatch before
+    #: simulation (0 unless a ``backend="batch"`` checker is attached).
+    primed_poses: int = 0
 
     @property
     def total_s(self) -> float:
@@ -59,7 +68,15 @@ class MotionPlanningTiming:
 
 
 class MPAccelSimulator:
-    """Prices a recorded planner run on a full MPAccel configuration."""
+    """Prices a recorded planner run on a full MPAccel configuration.
+
+    ``checker`` (optional) is the collision checker that produced the
+    phases; when it reports ``backend="batch"`` every query's ground truth
+    is primed through one vectorized ``check_poses`` dispatch per phase
+    before simulation (verdicts are bit-identical by the batch backend's
+    contract).  ``telemetry`` receives per-query scopes and the SAS
+    counters; ``check_invariants`` audits every simulated phase.
+    """
 
     def __init__(
         self,
@@ -68,17 +85,24 @@ class MPAccelSimulator:
         sampler_pnet_macs: int,
         sampler_enet_macs: int,
         seed: int = 0,
+        checker=None,
+        telemetry: MetricsRegistry | None = None,
+        check_invariants: bool = False,
     ):
         self.config = config
         self.cecdu_model = cecdu_model
         self.sampler_pnet_macs = sampler_pnet_macs
         self.sampler_enet_macs = sampler_enet_macs
+        self.checker = checker
+        self.telemetry = telemetry
         self.sas = SASSimulator(
             n_cdus=config.n_cecdus,
             policy=config.sas.policy,
             config=config.sas,
             latency_model=cecdu_model.sas_latency_model(),
             seed=seed,
+            telemetry=telemetry,
+            check_invariants=check_invariants,
         )
 
     # ------------------------------------------------------------------
@@ -107,9 +131,15 @@ class MPAccelSimulator:
             dof = self.cecdu_model.robot.dof
         clock_period_s = self.cecdu_model.config.clock_period_ns * 1e-9
 
+        primed = 0
+        if self.checker is not None and getattr(self.checker, "backend", "scalar") == "batch":
+            primed = prime_phases(phases, self.checker, self.telemetry)
+
         cd_cycles = 0
         cd_tests = 0
         cd_energy = 0.0
+        cd_busy = 0
+        cd_abandoned = 0
         io_s = 0.0
         total_motions = 0
         for phase in phases:
@@ -117,6 +147,8 @@ class MPAccelSimulator:
             cd_cycles += sas_result.cycles
             cd_tests += sas_result.tests
             cd_energy += sas_result.energy_pj
+            cd_busy += sas_result.busy_cycles
+            cd_abandoned += sas_result.abandoned_cycles
             io_s += self.io_time_s(len(phase.motions), dof)
             total_motions += len(phase.motions)
 
@@ -126,7 +158,7 @@ class MPAccelSimulator:
         )
         controller_s = self.controller_time_s(total_motions)
 
-        return MotionPlanningTiming(
+        timing = MotionPlanningTiming(
             collision_detection_s=cd_cycles * clock_period_s,
             nn_inference_s=nn_s,
             io_s=io_s,
@@ -135,7 +167,16 @@ class MPAccelSimulator:
             cd_tests=cd_tests,
             cd_energy_pj=cd_energy,
             phase_count=len(phases),
+            cd_busy_cycles=cd_busy,
+            cd_abandoned_cycles=cd_abandoned,
+            primed_poses=primed,
         )
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter("mpaccel.queries").inc()
+            tel.counter("mpaccel.phases").inc(len(phases))
+            tel.timer("mpaccel.modeled_query_s").add(timing.total_s)
+        return timing
 
     # ------------------------------------------------------------------
 

@@ -16,9 +16,12 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
+from contextlib import nullcontext
+
 from repro.accel.cecdu import CECDUModel
 from repro.accel.config import MPAccelConfig
 from repro.accel.mpaccel import MPAccelSimulator
+from repro.accel.telemetry import MetricsRegistry
 from repro.collision.checker import RobotEnvironmentChecker
 from repro.env.mapping import scan_scene_points
 from repro.env.octree import Octree
@@ -72,6 +75,12 @@ class RobotRuntime:
     ``scene_update(scene, tick, rng)`` mutates the scene in place (move or
     add obstacles) and returns True when something changed; ticks without
     changes only revalidate the current path.
+
+    ``backend`` selects the collision checker implementation; with
+    ``"batch"`` the MPAccel simulator primes every CD phase's ground truth
+    through one vectorized dispatch before pricing it (bit-identical
+    verdicts, see :func:`repro.accel.sas.prime_phase`).  ``telemetry``
+    receives a per-tick scope with the SAS counters.
     """
 
     def __init__(
@@ -82,6 +91,8 @@ class RobotRuntime:
         scene_update: Callable[[Scene, int, np.random.Generator], bool],
         octree_resolution: int = 16,
         motion_step: float = 0.05,
+        backend: str = "scalar",
+        telemetry: MetricsRegistry | None = None,
     ):
         self.robot = robot
         self.scene = scene
@@ -89,7 +100,14 @@ class RobotRuntime:
         self.scene_update = scene_update
         self.octree_resolution = octree_resolution
         self.motion_step = motion_step
+        self.backend = backend
+        self.telemetry = telemetry
         self._previous_octree = None
+
+    def _tick_scope(self, tick: int):
+        if self.telemetry is not None and self.telemetry.enabled:
+            return self.telemetry.scope("tick", str(tick))
+        return nullcontext()
 
     def _octree_update_ms(self, octree: Octree) -> float:
         """Bus time to ship the environment update (delta when possible)."""
@@ -105,7 +123,8 @@ class RobotRuntime:
     def _build_stack(self, rng):
         octree = Octree.from_scene(self.scene, resolution=self.octree_resolution)
         checker = RobotEnvironmentChecker(
-            self.robot, octree, motion_step=self.motion_step, collect_stats=False
+            self.robot, octree, motion_step=self.motion_step, collect_stats=False,
+            backend=self.backend,
         )
         recorder = CDTraceRecorder(checker)
         planner = MPNetPlanner(
@@ -116,7 +135,8 @@ class RobotRuntime:
         cecdu = CECDUModel(self.robot, octree, self.config.cecdu)
         accel = MPAccelSimulator(
             self.config, cecdu, sampler_pnet_macs=3_800_000,
-            sampler_enet_macs=1_300_000,
+            sampler_enet_macs=1_300_000, checker=checker,
+            telemetry=self.telemetry,
         )
         return octree, checker, recorder, planner, accel
 
@@ -129,10 +149,11 @@ class RobotRuntime:
     ) -> RuntimeReport:
         """Plan once, then maintain the plan through ``n_ticks`` updates."""
         report = RuntimeReport()
-        octree, checker, recorder, planner, accel = self._build_stack(rng)
-        update_ms = self._octree_update_ms(octree)
-        result = planner.plan(q_start, q_goal, rng)
-        timing = accel.run_query(result, recorder.phases)
+        with self._tick_scope(0):
+            octree, checker, recorder, planner, accel = self._build_stack(rng)
+            update_ms = self._octree_update_ms(octree)
+            result = planner.plan(q_start, q_goal, rng)
+            timing = accel.run_query(result, recorder.phases)
         report.ticks.append(
             TickReport(
                 tick=0,
@@ -153,32 +174,33 @@ class RobotRuntime:
                     TickReport(tick, False, bool(path), 0.0, 0, 0)
                 )
                 continue
-            octree, checker, recorder, planner, accel = self._build_stack(rng)
-            update_ms = self._octree_update_ms(octree)
-            bad: Optional[int] = None
-            if path:
-                bad = recorder.feasibility(path, label="revalidate")
-            if path and bad is None:
-                # Path survived the update: the tick only paid revalidation.
-                result = PlanResult(success=True, path=path)
+            with self._tick_scope(tick):
+                octree, checker, recorder, planner, accel = self._build_stack(rng)
+                update_ms = self._octree_update_ms(octree)
+                bad: Optional[int] = None
+                if path:
+                    bad = recorder.feasibility(path, label="revalidate")
+                if path and bad is None:
+                    # Path survived the update: the tick only paid revalidation.
+                    result = PlanResult(success=True, path=path)
+                    timing = accel.run_query(result, recorder.phases)
+                    report.ticks.append(
+                        TickReport(
+                            tick, False, True, timing.total_ms,
+                            len(recorder.phases), recorder.total_poses,
+                            octree_update_ms=update_ms,
+                        )
+                    )
+                    continue
+                result = planner.plan(q_start, q_goal, rng)
                 timing = accel.run_query(result, recorder.phases)
+                path = list(result.path) if result.success else []
                 report.ticks.append(
                     TickReport(
-                        tick, False, True, timing.total_ms,
+                        tick, True, result.success, timing.total_ms,
                         len(recorder.phases), recorder.total_poses,
                         octree_update_ms=update_ms,
                     )
                 )
-                continue
-            result = planner.plan(q_start, q_goal, rng)
-            timing = accel.run_query(result, recorder.phases)
-            path = list(result.path) if result.success else []
-            report.ticks.append(
-                TickReport(
-                    tick, True, result.success, timing.total_ms,
-                    len(recorder.phases), recorder.total_poses,
-                    octree_update_ms=update_ms,
-                )
-            )
         report.final_path = path
         return report

@@ -13,19 +13,23 @@ mode decides when the whole phase may stop:
 
 Queries in flight when the stop condition fires were already dispatched, so
 their work counts toward energy — exactly the redundant computation the
-paper's schedulers are designed to minimize.
+paper's schedulers are designed to minimize.  Time accounting splits that
+work at the stop boundary: ``busy_cycles`` covers only CDU-cycles inside
+the measured window (so utilization is a true 0..1 fraction), and the
+in-flight remainder is reported as ``abandoned_cycles``.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
 from repro.accel.config import SASConfig
 from repro.accel.policies import SchedulingPolicy, make_policy
+from repro.accel.telemetry import MetricsRegistry, TraceEvent
 from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
 
 #: A latency model maps (motion, pose_index) to the query's outcome:
@@ -36,13 +40,36 @@ LatencyModel = Callable[[MotionRecord, int], tuple]
 
 @dataclass(frozen=True)
 class DispatchEvent:
-    """One scheduled query, for timeline inspection/debugging."""
+    """One scheduled query, for timeline inspection/debugging.
+
+    ``phase`` is 0 for a single-phase run; multi-phase aggregation
+    (:meth:`SASSimulator.run_phases`) rewrites it so every event stays
+    attributable after cycle offsets are applied.
+    """
 
     dispatch_cycle: int
     complete_cycle: int
     motion_index: int
     pose_index: int
     hit: bool
+    phase: int = 0
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Per-phase breakdown of an aggregated :meth:`run_phases` result."""
+
+    index: int
+    label: str
+    mode: str
+    cycle_offset: int
+    cycles: int
+    tests: int
+    energy_pj: float
+    busy_cycles: int
+    abandoned_cycles: int
+    stopped_early: bool
+    n_motions: int
 
 
 def unit_latency_model(motion: MotionRecord, pose_index: int) -> tuple:
@@ -52,19 +79,30 @@ def unit_latency_model(motion: MotionRecord, pose_index: int) -> tuple:
 
 @dataclass
 class SASResult:
-    """Outcome of simulating one CD phase on SAS."""
+    """Outcome of simulating one CD phase (or an aggregated sequence) on SAS."""
 
     cycles: int
     tests: int
     energy_pj: float
     motion_outcomes: List[Optional[bool]] = field(default_factory=list)
     stopped_early: bool = False
-    #: Total CDU-cycles spent executing queries (sum of query latencies).
+    #: CDU-cycles spent executing queries *inside* the measured window —
+    #: latencies truncated at the stop boundary on early exit.
     busy_cycles: int = 0
     #: CDU count the phase ran on (for utilization computation).
     n_cdus: int = 1
     #: Per-dispatch events (populated only when the simulator records them).
     timeline: List["DispatchEvent"] = field(default_factory=list)
+    #: In-flight CDU-cycles past the stop boundary on early exit.  This
+    #: work still counts toward ``tests``/``energy_pj`` (it was dispatched,
+    #: so the hardware pays for it) but not toward window utilization.
+    abandoned_cycles: int = 0
+    #: Number of CD phases aggregated into this result (1 for ``run``).
+    phase_count: int = 1
+    #: Per-phase stats with cycle offsets (populated by ``run_phases``).
+    phase_breakdown: List["PhaseStats"] = field(default_factory=list)
+    #: Scheduler event trace (populated alongside ``timeline``).
+    events: List[TraceEvent] = field(default_factory=list)
 
     @property
     def any_collision(self) -> bool:
@@ -75,17 +113,24 @@ class SASResult:
         return any(outcome is False for outcome in self.motion_outcomes)
 
     @property
-    def utilization(self) -> float:
-        """Fraction of CDU-cycles that executed a query (0..1).
+    def total_busy_cycles(self) -> int:
+        """All CDU-cycles dispatched, including work abandoned at a stop."""
+        return self.busy_cycles + self.abandoned_cycles
 
-        Low utilization at high CDU counts is the dispatch-rate bound the
-        paper describes in Section 7.1 ("if the latency of CDUs is less
-        than the number of CDUs ... the scheduler can not dispatch CD
-        queries fast enough").
+    @property
+    def utilization(self) -> float:
+        """Fraction of CDU-cycles that executed a query (0..1, unclamped).
+
+        ``busy_cycles`` is truncated at the stop boundary, so the ratio is
+        a true fraction — any value outside [0, 1] is an accounting bug
+        (``repro.accel.invariants`` asserts this).  Low utilization at high
+        CDU counts is the dispatch-rate bound the paper describes in
+        Section 7.1 ("if the latency of CDUs is less than the number of
+        CDUs ... the scheduler can not dispatch CD queries fast enough").
         """
         if self.cycles <= 0:
             return 0.0
-        return min(1.0, self.busy_cycles / (self.cycles * self.n_cdus))
+        return self.busy_cycles / (self.cycles * self.n_cdus)
 
 
 class _MotionState:
@@ -115,7 +160,13 @@ class _MotionState:
 
 
 class SASSimulator:
-    """Simulates SAS + a pool of CDUs over one CD phase."""
+    """Simulates SAS + a pool of CDUs over one CD phase.
+
+    ``telemetry`` (optional) receives dispatch/completion/kill counters and
+    latency histograms; ``check_invariants=True`` records the timeline and
+    validates every run with :mod:`repro.accel.invariants`, raising
+    ``SASInvariantError`` on any accounting violation.
+    """
 
     def __init__(
         self,
@@ -124,6 +175,8 @@ class SASSimulator:
         config: SASConfig | None = None,
         latency_model: LatencyModel = unit_latency_model,
         seed: int = 0,
+        telemetry: MetricsRegistry | None = None,
+        check_invariants: bool = False,
     ):
         if n_cdus < 1:
             raise ValueError(f"n_cdus must be >= 1, got {n_cdus}")
@@ -135,6 +188,8 @@ class SASSimulator:
         self.policy = policy
         self.config = config
         self.latency_model = latency_model
+        self.telemetry = telemetry
+        self.check_invariants = check_invariants
         self._rng = np.random.default_rng(seed)
 
     # ------------------------------------------------------------------
@@ -143,14 +198,30 @@ class SASSimulator:
         """Simulate one phase; optionally record the dispatch timeline.
 
         ``record_timeline=True`` fills ``SASResult.timeline`` with one
-        :class:`DispatchEvent` per query, in dispatch order — useful for
+        :class:`DispatchEvent` per query (in dispatch order) and
+        ``SASResult.events`` with the scheduler event trace — useful for
         inspecting a schedule or asserting scheduling properties in tests.
         """
+        record = record_timeline or self.check_invariants
         policy = self.policy
         group_size = self.config.group_size if policy.inter_motion else 1
         throttled = self.config.dispatch_per_cycle is not None
         timeline: List[DispatchEvent] = []
+        events: List[TraceEvent] = []
         motion_index = {id(m): i for i, m in enumerate(phase.motions)}
+
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            c_dispatch = tel.counter("sas.dispatches")
+            c_complete = tel.counter("sas.completions")
+            c_kill = tel.counter("sas.kills")
+            c_refill = tel.counter("sas.refills")
+            c_stop = tel.counter("sas.early_stops")
+            h_latency = tel.histogram("sas.query_latency_cycles")
+        else:
+            tel = None
+            c_dispatch = c_complete = c_kill = c_refill = c_stop = None
+            h_latency = None
 
         states = [
             _MotionState(m, policy.pose_order(m.num_poses, self._rng))
@@ -158,15 +229,6 @@ class SASSimulator:
         ]
         active: List[_MotionState] = []
         backlog = list(states)
-
-        def refill_active():
-            while len(active) < group_size and backlog:
-                candidate = backlog.pop(0)
-                if candidate.exhausted and candidate.in_flight == 0:
-                    continue
-                active.append(candidate)
-
-        refill_active()
 
         free_cdus = self.n_cdus
         completions: list = []  # heap of (time, seq, state, pose_index, hit, energy)
@@ -179,8 +241,38 @@ class SASSimulator:
         tests = 0
         energy = 0.0
         busy_cycles = 0
+        abandoned = 0
         stop = False
         stop_time = 0
+
+        def refill_active(cycle: int):
+            while len(active) < group_size and backlog:
+                candidate = backlog.pop(0)
+                if candidate.exhausted and candidate.in_flight == 0:
+                    continue
+                active.append(candidate)
+                if record:
+                    events.append(
+                        TraceEvent(
+                            "refill", cycle, motion_index[id(candidate.motion)]
+                        )
+                    )
+                if c_refill is not None:
+                    c_refill.inc()
+
+        def remove_active(state: _MotionState, cycle: int):
+            """Drop a motion from the group, keeping the round-robin cursor
+            pointed at the same next motion (removal must not skew fairness)."""
+            nonlocal rr_index
+            index = active.index(state)
+            active.pop(index)
+            if index < rr_index:
+                rr_index -= 1
+            if rr_index >= len(active):
+                rr_index = 0
+            refill_active(cycle)
+
+        refill_active(0)
 
         def select_query() -> Optional[_MotionState]:
             """Next motion to dispatch from, round-robin over the group."""
@@ -202,15 +294,23 @@ class SASSimulator:
             nonlocal stop, stop_time
             state.in_flight -= 1
             state.returned += 1
+            index = motion_index[id(state.motion)]
+            if record:
+                events.append(TraceEvent("complete", t, index, pose_index, hit))
+            if c_complete is not None:
+                c_complete.inc()
             if state.decided is None:
                 if hit:
                     # Kill: drop the motion's unscheduled poses and free its
                     # slot in the scheduling group immediately.
                     state.killed = True
                     state.decided = True
+                    if record:
+                        events.append(TraceEvent("kill", t, index, pose_index, True))
+                    if c_kill is not None:
+                        c_kill.inc()
                     if state in active:
-                        active.remove(state)
-                        refill_active()
+                        remove_active(state, t)
                 elif state.returned == len(state.order):
                     state.decided = False
             if not stop:
@@ -220,44 +320,69 @@ class SASSimulator:
                 elif phase.mode is FunctionMode.CONNECTIVITY and state.decided is False:
                     stop = True
                     stop_time = t
+                else:
+                    return
+                if record:
+                    events.append(TraceEvent("stop", t, index, pose_index, hit))
+                if c_stop is not None:
+                    c_stop.inc()
 
         last_completion = 0
+
+        def drain_one():
+            """Retire the earliest completion; truncate post-stop latency."""
+            nonlocal free_cdus, now, last_completion, abandoned
+            ct, _, state, pose_index, hit, _energy = heapq.heappop(completions)
+            free_cdus += 1
+            now = ct
+            if ct > last_completion:
+                last_completion = ct
+            process(state, pose_index, hit, ct)
+            if stop and ct > stop_time:
+                # The query was in flight when the phase stopped: the CDU-
+                # cycles past the stop boundary are abandoned work, outside
+                # the measured window.
+                abandoned += ct - stop_time
+
         while True:
-            candidate = None if stop else select_query()
-            if candidate is not None and free_cdus > 0:
-                t = max(now, next_dispatch)
-                # Results that land strictly before this dispatch slot must
-                # be processed first: they may kill the motion we would
-                # otherwise schedule from.
-                if completions and completions[0][0] <= t:
-                    ct, _, state, pose_index, hit, _energy = heapq.heappop(completions)
-                    free_cdus += 1
-                    now = ct
-                    last_completion = max(last_completion, ct)
-                    process(state, pose_index, hit, ct)
-                    continue
+            t = max(now, next_dispatch)
+            can_dispatch = not stop and free_cdus > 0
+            # Results due at or before this dispatch slot must be processed
+            # first: they may kill the motion we would otherwise schedule
+            # from.  Draining before selection also keeps the round-robin
+            # cursor untouched until a dispatch actually happens — an
+            # aborted attempt must not cost a motion its turn.
+            if can_dispatch and completions and completions[0][0] <= t:
+                drain_one()
+                continue
+            candidate = select_query() if can_dispatch else None
+            if candidate is not None:
                 pose_index = candidate.pop_pose()
                 if candidate.exhausted:
                     # No poses left to schedule: free the group slot so the
                     # next backlog motion can enter (Section 5.1).
-                    active.remove(candidate)
-                    refill_active()
+                    remove_active(candidate, t)
                 hit, latency, query_energy = self.latency_model(
                     candidate.motion, pose_index
                 )
                 tests += 1
                 energy += query_energy
                 busy_cycles += latency
-                if record_timeline:
+                if record:
+                    index = motion_index[id(candidate.motion)]
                     timeline.append(
                         DispatchEvent(
                             dispatch_cycle=t,
                             complete_cycle=t + latency,
-                            motion_index=motion_index[id(candidate.motion)],
+                            motion_index=index,
                             pose_index=pose_index,
                             hit=hit,
                         )
                     )
+                    events.append(TraceEvent("dispatch", t, index, pose_index))
+                if c_dispatch is not None:
+                    c_dispatch.inc()
+                    h_latency.record(latency)
                 free_cdus -= 1
                 seq += 1
                 heapq.heappush(
@@ -274,11 +399,7 @@ class SASSimulator:
                 now = t
                 continue
             if completions:
-                ct, _, state, pose_index, hit, _energy = heapq.heappop(completions)
-                free_cdus += 1
-                now = ct
-                last_completion = max(last_completion, ct)
-                process(state, pose_index, hit, ct)
+                drain_one()
                 continue
             break  # no dispatchable work and nothing in flight
 
@@ -287,28 +408,94 @@ class SASSimulator:
         else:
             cycles = last_completion
         outcomes = [state.decided for state in states]
-        return SASResult(
+        if tel is not None:
+            tel.counter("sas.runs").inc()
+            tel.counter("sas.cycles").inc(cycles)
+            tel.counter("sas.tests").inc(tests)
+            tel.counter("sas.busy_cycles").inc(busy_cycles - abandoned)
+            tel.counter("sas.abandoned_cycles").inc(abandoned)
+        result = SASResult(
             cycles=cycles,
             tests=tests,
             energy_pj=energy,
             motion_outcomes=outcomes,
             stopped_early=stop,
-            busy_cycles=busy_cycles,
+            busy_cycles=busy_cycles - abandoned,
             n_cdus=self.n_cdus,
             timeline=timeline,
+            abandoned_cycles=abandoned,
+            events=events,
         )
+        if self.check_invariants:
+            from repro.accel.invariants import verify_sas_result
 
-    def run_phases(self, phases: List[CDPhase]) -> SASResult:
-        """Simulate a sequence of phases; totals cycles/tests/energy."""
-        total = SASResult(cycles=0, tests=0, energy_pj=0.0, n_cdus=self.n_cdus)
-        for phase in phases:
-            result = self.run(phase)
+            verify_sas_result(result, config=self.config, phases=[phase])
+        return result
+
+    def run_phases(
+        self, phases: List[CDPhase], record_timeline: bool = False
+    ) -> SASResult:
+        """Simulate a sequence of phases; totals cycles/tests/energy.
+
+        The aggregate keeps per-phase state: ``phase_breakdown`` holds one
+        :class:`PhaseStats` per phase (with its cycle offset), and when
+        ``record_timeline=True`` the per-phase timelines/event traces are
+        merged with those offsets applied, so an aggregated trace is
+        globally ordered and phase-attributable.
+        """
+        tel = self.telemetry
+        total = SASResult(
+            cycles=0, tests=0, energy_pj=0.0, n_cdus=self.n_cdus, phase_count=0
+        )
+        for index, phase in enumerate(phases):
+            if tel is not None and tel.enabled:
+                label = f"{index}:{phase.label or phase.mode.value}"
+                with tel.scope("phase", label):
+                    result = self.run(phase, record_timeline=record_timeline)
+            else:
+                result = self.run(phase, record_timeline=record_timeline)
+            offset = total.cycles
             total.cycles += result.cycles
             total.tests += result.tests
             total.energy_pj += result.energy_pj
             total.busy_cycles += result.busy_cycles
+            total.abandoned_cycles += result.abandoned_cycles
             total.motion_outcomes.extend(result.motion_outcomes)
             total.stopped_early = total.stopped_early or result.stopped_early
+            total.phase_count += 1
+            total.phase_breakdown.append(
+                PhaseStats(
+                    index=index,
+                    label=phase.label,
+                    mode=phase.mode.value,
+                    cycle_offset=offset,
+                    cycles=result.cycles,
+                    tests=result.tests,
+                    energy_pj=result.energy_pj,
+                    busy_cycles=result.busy_cycles,
+                    abandoned_cycles=result.abandoned_cycles,
+                    stopped_early=result.stopped_early,
+                    n_motions=len(phase.motions),
+                )
+            )
+            if record_timeline:
+                total.timeline.extend(
+                    replace(
+                        event,
+                        dispatch_cycle=event.dispatch_cycle + offset,
+                        complete_cycle=event.complete_cycle + offset,
+                        phase=index,
+                    )
+                    for event in result.timeline
+                )
+                total.events.extend(
+                    replace(event, cycle=event.cycle + offset, phase=index)
+                    for event in result.events
+                )
+        if self.check_invariants:
+            from repro.accel.invariants import verify_sas_result
+
+            verify_sas_result(total, config=self.config, phases=list(phases))
         return total
 
 
@@ -336,6 +523,24 @@ def prime_phase(phase: CDPhase, checker) -> int:
     for (motion, index), hit in zip(targets, verdicts):
         motion.set_pose_outcome(index, bool(hit))
     return len(targets)
+
+
+def prime_phases(
+    phases: Sequence[CDPhase], checker, telemetry: MetricsRegistry | None = None
+) -> int:
+    """Prime a sequence of phases; returns total poses primed.
+
+    Used by :class:`repro.accel.mpaccel.MPAccelSimulator` and
+    :class:`repro.accel.runtime.RobotRuntime` when the checker reports the
+    vectorized backend, so every simulated query resolves its ground truth
+    through the batch pipeline instead of N scalar calls.
+    """
+    primed = 0
+    for phase in phases:
+        primed += prime_phase(phase, checker)
+    if telemetry is not None and telemetry.enabled and primed:
+        telemetry.counter("sas.primed_poses").inc(primed)
+    return primed
 
 
 def sequential_reference_tests(phase: CDPhase) -> int:

@@ -1,0 +1,371 @@
+"""Structured metrics and event tracing for the accelerator simulators.
+
+The paper's headline results are *accounting* claims — speedup, extra CD
+tests, utilization of a cycle-stepped scheduler — so the simulators need an
+observability layer that makes their counters inspectable and checkable.
+This module provides it in three parts:
+
+1. :class:`MetricsRegistry` — a counter/timer/histogram registry with
+   per-phase and per-tick scopes and JSON/CSV export.  Simulators take an
+   optional registry; the default (``None``) costs one predicate per run,
+   and a disabled registry hands out shared no-op instruments, so the hot
+   loops pay nothing measurable when telemetry is off.
+2. :class:`TraceEvent` — the scheduler event trace (dispatch, completion,
+   kill, refill, stop) that rides alongside the per-query
+   ``DispatchEvent`` timeline.  ``SASSimulator.run_phases`` aggregates both
+   with per-phase cycle offsets, and ``repro.harness.serialization`` can
+   save/load them for offline replay.
+3. The invariant checker in :mod:`repro.accel.invariants` consumes the
+   recorded trace to validate any SAS run.
+
+Vectorized planners (VAMP, pRRTC) validate their batched pipelines with
+exactly this instrumentation-plus-invariant tooling; here it locks the
+reproduced figures to the simulator's actual behavior.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Counter",
+    "Timer",
+    "Histogram",
+    "ScopeRecord",
+    "MetricsRegistry",
+    "TraceEvent",
+    "EVENT_KINDS",
+]
+
+
+#: The scheduler event vocabulary (Section 5.1's state machine, observable).
+EVENT_KINDS = ("dispatch", "complete", "kill", "refill", "stop")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One scheduler event, in phase-local cycles until aggregation.
+
+    ``phase`` is 0 for a single :meth:`SASSimulator.run`;
+    :meth:`SASSimulator.run_phases` rewrites it to the phase index and
+    shifts ``cycle`` by the phase's cumulative cycle offset, so an
+    aggregated trace is globally ordered yet still attributable.
+    """
+
+    kind: str  # one of EVENT_KINDS
+    cycle: int
+    motion_index: int = -1
+    pose_index: int = -1
+    hit: Optional[bool] = None
+    phase: int = 0
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Timer:
+    """Accumulated wall-clock time across any number of measured sections."""
+
+    __slots__ = ("total_s", "count")
+
+    def __init__(self):
+        self.total_s = 0.0
+        self.count = 0
+
+    def add(self, seconds: float) -> None:
+        self.total_s += seconds
+        self.count += 1
+
+    def time(self) -> "_TimerContext":
+        return _TimerContext(self)
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer: Timer):
+        self._timer = timer
+        self._start = 0.0
+
+    def __enter__(self) -> "_TimerContext":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._timer.add(time.perf_counter() - self._start)
+
+
+class Histogram:
+    """Power-of-two bucketed distribution (exact count/sum/min/max).
+
+    Bucket ``b`` holds values whose integer part has bit length ``b``
+    (bucket 0 is the value 0), so cycle latencies bin into <1, 1, 2-3,
+    4-7, ... without storing samples.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: Dict[int, int] = {}
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = max(0, int(value)).bit_length()
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+        }
+
+
+@dataclass
+class ScopeRecord:
+    """Counter deltas attributed to one scope (a phase, a tick, a query)."""
+
+    kind: str
+    label: str
+    duration_s: float = 0.0
+    counters: Dict[str, int] = field(default_factory=dict)
+
+
+class _NullInstrument:
+    """Shared no-op counter/timer/histogram for disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def add(self, seconds: float) -> None:
+        pass
+
+    def record(self, value: float) -> None:
+        pass
+
+    def time(self) -> "_NullInstrument":
+        return self
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+
+class _Scope:
+    """Context manager that attributes counter deltas to a labeled scope."""
+
+    __slots__ = ("_registry", "_kind", "_label", "_snapshot", "_start")
+
+    def __init__(self, registry: "MetricsRegistry", kind: str, label: str):
+        self._registry = registry
+        self._kind = kind
+        self._label = label
+        self._snapshot: Dict[str, int] = {}
+        self._start = 0.0
+
+    def __enter__(self) -> "_Scope":
+        self._snapshot = {
+            name: c.value for name, c in self._registry._counters.items()
+        }
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        duration = time.perf_counter() - self._start
+        before = self._snapshot
+        deltas = {}
+        for name, counter in self._registry._counters.items():
+            delta = counter.value - before.get(name, 0)
+            if delta:
+                deltas[name] = delta
+        self._registry.scopes.append(
+            ScopeRecord(
+                kind=self._kind,
+                label=self._label,
+                duration_s=duration,
+                counters=deltas,
+            )
+        )
+
+
+class MetricsRegistry:
+    """Named counters, timers, and histograms with scope attribution.
+
+    Instruments are created on first use and identified by dotted names
+    (``"sas.dispatches"``).  A disabled registry (``enabled=False``) hands
+    out a shared no-op instrument and records nothing.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.scopes: List[ScopeRecord] = []
+
+    # -- instruments ---------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter()
+        return counter
+
+    def timer(self, name: str) -> Timer:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        timer = self._timers.get(name)
+        if timer is None:
+            timer = self._timers[name] = Timer()
+        return timer
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        return histogram
+
+    def scope(self, kind: str, label: str):
+        """Attribute counter deltas inside the block to (kind, label)."""
+        if not self.enabled:
+            return _NULL
+        return _Scope(self, kind, label)
+
+    # -- introspection -------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def scopes_of(self, kind: str) -> List[ScopeRecord]:
+        return [s for s in self.scopes if s.kind == kind]
+
+    # -- export --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "timers": {
+                name: {"total_s": t.total_s, "count": t.count}
+                for name, t in sorted(self._timers.items())
+            },
+            "histograms": {
+                name: h.summary() for name, h in sorted(self._histograms.items())
+            },
+            "scopes": [
+                {
+                    "kind": s.kind,
+                    "label": s.label,
+                    "duration_s": s.duration_s,
+                    "counters": dict(s.counters),
+                }
+                for s in self.scopes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        registry = cls(enabled=bool(data.get("enabled", True)))
+        for name, value in data.get("counters", {}).items():
+            counter = registry._counters[name] = Counter()
+            counter.value = int(value)
+        for name, spec in data.get("timers", {}).items():
+            timer = registry._timers[name] = Timer()
+            timer.total_s = float(spec["total_s"])
+            timer.count = int(spec["count"])
+        for name, spec in data.get("histograms", {}).items():
+            histogram = registry._histograms[name] = Histogram()
+            histogram.count = int(spec["count"])
+            histogram.total = float(spec["total"])
+            histogram.min = spec["min"]
+            histogram.max = spec["max"]
+            histogram.buckets = {int(k): int(v) for k, v in spec["buckets"].items()}
+        for spec in data.get("scopes", []):
+            registry.scopes.append(
+                ScopeRecord(
+                    kind=spec["kind"],
+                    label=spec["label"],
+                    duration_s=float(spec["duration_s"]),
+                    counters={k: int(v) for k, v in spec["counters"].items()},
+                )
+            )
+        return registry
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def csv_rows(self) -> List[Dict[str, object]]:
+        """Flat metric rows for spreadsheet export (scopes excluded)."""
+        rows: List[Dict[str, object]] = []
+        for name, counter in sorted(self._counters.items()):
+            rows.append({"metric": "counter", "name": name, "value": counter.value})
+        for name, timer in sorted(self._timers.items()):
+            rows.append(
+                {
+                    "metric": "timer",
+                    "name": name,
+                    "value": timer.total_s,
+                    "count": timer.count,
+                }
+            )
+        for name, histogram in sorted(self._histograms.items()):
+            rows.append(
+                {
+                    "metric": "histogram",
+                    "name": name,
+                    "value": histogram.mean,
+                    "count": histogram.count,
+                }
+            )
+        return rows
+
+    def write_csv(self, path: str) -> None:
+        rows = self.csv_rows()
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(
+                handle, fieldnames=["metric", "name", "value", "count"]
+            )
+            writer.writeheader()
+            for row in rows:
+                writer.writerow(row)

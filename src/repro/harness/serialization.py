@@ -37,6 +37,8 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.accel.sas import DispatchEvent, PhaseStats, SASResult
+from repro.accel.telemetry import MetricsRegistry, TraceEvent
 from repro.harness.traces import QueryTrace
 from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
 from repro.planning.mpnet import PlanResult
@@ -143,3 +145,181 @@ def load_phases(path: str) -> List[CDPhase]:
             f"unsupported trace schema version {version!r}; expected {SCHEMA_VERSION}"
         )
     return [phase_from_dict(p) for p in payload["phases"]]
+
+
+# ----------------------------------------------------------------------
+# SAS run serialization: a simulated result with its timeline and event
+# trace, so a schedule can be saved, inspected offline, and re-audited by
+# the invariant checker without re-running the simulator.
+
+
+def dispatch_event_to_dict(event: DispatchEvent) -> dict:
+    return {
+        "dispatch_cycle": event.dispatch_cycle,
+        "complete_cycle": event.complete_cycle,
+        "motion_index": event.motion_index,
+        "pose_index": event.pose_index,
+        "hit": event.hit,
+        "phase": event.phase,
+    }
+
+
+def dispatch_event_from_dict(data: dict) -> DispatchEvent:
+    return DispatchEvent(
+        dispatch_cycle=int(data["dispatch_cycle"]),
+        complete_cycle=int(data["complete_cycle"]),
+        motion_index=int(data["motion_index"]),
+        pose_index=int(data["pose_index"]),
+        hit=bool(data["hit"]),
+        phase=int(data.get("phase", 0)),
+    )
+
+
+def trace_event_to_dict(event: TraceEvent) -> dict:
+    return {
+        "kind": event.kind,
+        "cycle": event.cycle,
+        "motion_index": event.motion_index,
+        "pose_index": event.pose_index,
+        "hit": event.hit,
+        "phase": event.phase,
+    }
+
+
+def trace_event_from_dict(data: dict) -> TraceEvent:
+    hit = data.get("hit")
+    return TraceEvent(
+        kind=data["kind"],
+        cycle=int(data["cycle"]),
+        motion_index=int(data.get("motion_index", -1)),
+        pose_index=int(data.get("pose_index", -1)),
+        hit=None if hit is None else bool(hit),
+        phase=int(data.get("phase", 0)),
+    )
+
+
+def phase_stats_to_dict(stats: PhaseStats) -> dict:
+    return {
+        "index": stats.index,
+        "label": stats.label,
+        "mode": stats.mode,
+        "cycle_offset": stats.cycle_offset,
+        "cycles": stats.cycles,
+        "tests": stats.tests,
+        "energy_pj": stats.energy_pj,
+        "busy_cycles": stats.busy_cycles,
+        "abandoned_cycles": stats.abandoned_cycles,
+        "stopped_early": stats.stopped_early,
+        "n_motions": stats.n_motions,
+    }
+
+
+def phase_stats_from_dict(data: dict) -> PhaseStats:
+    return PhaseStats(
+        index=int(data["index"]),
+        label=data["label"],
+        mode=data["mode"],
+        cycle_offset=int(data["cycle_offset"]),
+        cycles=int(data["cycles"]),
+        tests=int(data["tests"]),
+        energy_pj=float(data["energy_pj"]),
+        busy_cycles=int(data["busy_cycles"]),
+        abandoned_cycles=int(data["abandoned_cycles"]),
+        stopped_early=bool(data["stopped_early"]),
+        n_motions=int(data["n_motions"]),
+    )
+
+
+def sas_result_to_dict(result: SASResult) -> dict:
+    return {
+        "cycles": result.cycles,
+        "tests": result.tests,
+        "energy_pj": result.energy_pj,
+        "motion_outcomes": list(result.motion_outcomes),
+        "stopped_early": result.stopped_early,
+        "busy_cycles": result.busy_cycles,
+        "n_cdus": result.n_cdus,
+        "abandoned_cycles": result.abandoned_cycles,
+        "phase_count": result.phase_count,
+        "phase_breakdown": [phase_stats_to_dict(s) for s in result.phase_breakdown],
+        "timeline": [dispatch_event_to_dict(e) for e in result.timeline],
+        "events": [trace_event_to_dict(e) for e in result.events],
+    }
+
+
+def sas_result_from_dict(data: dict) -> SASResult:
+    return SASResult(
+        cycles=int(data["cycles"]),
+        tests=int(data["tests"]),
+        energy_pj=float(data["energy_pj"]),
+        motion_outcomes=[
+            None if o is None else bool(o) for o in data.get("motion_outcomes", [])
+        ],
+        stopped_early=bool(data.get("stopped_early", False)),
+        busy_cycles=int(data.get("busy_cycles", 0)),
+        n_cdus=int(data.get("n_cdus", 1)),
+        timeline=[dispatch_event_from_dict(e) for e in data.get("timeline", [])],
+        abandoned_cycles=int(data.get("abandoned_cycles", 0)),
+        phase_count=int(data.get("phase_count", 1)),
+        phase_breakdown=[
+            phase_stats_from_dict(s) for s in data.get("phase_breakdown", [])
+        ],
+        events=[trace_event_from_dict(e) for e in data.get("events", [])],
+    )
+
+
+def save_sas_run(
+    path: str, result: SASResult, phases: Optional[List[CDPhase]] = None
+) -> None:
+    """Write one SAS run (result + trace), optionally with its input phases.
+
+    Including ``phases`` makes the file self-contained for replay: the
+    invariant checker can re-audit the saved schedule against the saved
+    ground truth (``repro.accel.invariants.check_sas_result``).
+    """
+    payload = {
+        "version": SCHEMA_VERSION,
+        "result": sas_result_to_dict(result),
+    }
+    if phases is not None:
+        payload["phases"] = [phase_to_dict(p) for p in phases]
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_sas_run(path: str) -> tuple:
+    """Load a saved SAS run; returns ``(result, phases_or_None)``."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema version {version!r}; expected {SCHEMA_VERSION}"
+        )
+    result = sas_result_from_dict(payload["result"])
+    phases = None
+    if "phases" in payload:
+        phases = [phase_from_dict(p) for p in payload["phases"]]
+    return result, phases
+
+
+# ----------------------------------------------------------------------
+# Telemetry export: registry snapshots as JSON artifacts (the perf CI job
+# uploads these).
+
+
+def save_telemetry(path: str, registry: MetricsRegistry) -> None:
+    payload = {"version": SCHEMA_VERSION, "telemetry": registry.to_dict()}
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_telemetry(path: str) -> MetricsRegistry:
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema version {version!r}; expected {SCHEMA_VERSION}"
+        )
+    return MetricsRegistry.from_dict(payload["telemetry"])

@@ -1,0 +1,215 @@
+"""The SAS invariant audit: every policy/mode/CDU-count combination must
+produce a result that passes the full structural check, and seeded
+accounting bugs must be caught.
+
+Marked ``invariants`` so CI can run the audit as a dedicated job:
+``pytest -m invariants``.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.accel.config import SASConfig
+from repro.accel.invariants import (
+    SASInvariantError,
+    check_sas_result,
+    verify_sas_result,
+)
+from repro.accel.policies import POLICY_NAMES
+from repro.accel.sas import SASSimulator
+from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+
+pytestmark = pytest.mark.invariants
+
+MODES = [FunctionMode.FEASIBILITY, FunctionMode.CONNECTIVITY, FunctionMode.COMPLETE]
+CDU_COUNTS = [1, 4, 8, 32]
+
+
+class _FakeChecker:
+    def __init__(self, collides):
+        self._collides = collides
+        self.motion_step = 0.25
+
+    def check_pose(self, q):
+        return bool(self._collides(float(np.asarray(q)[0])))
+
+
+def _make_phase(mode, thresholds, n_poses=10):
+    motions = []
+    for t in thresholds:
+        predicate = (lambda x: False) if t is None else (lambda x, t=t: x >= t)
+        motions.append(
+            MotionRecord(np.linspace([0.0], [1.0], n_poses), _FakeChecker(predicate))
+        )
+    return CDPhase(mode, motions)
+
+
+def _variable_latency(motion, pose_index):
+    """Deterministic uneven latencies to stress the boundary accounting."""
+    hit = motion.pose_collides(pose_index)
+    return hit, 1 + (pose_index * 7) % 5, 1.0
+
+
+class TestFullSweep:
+    """The acceptance sweep: POLICY_NAMES x function modes x CDU counts."""
+
+    @pytest.mark.parametrize("policy", POLICY_NAMES)
+    @pytest.mark.parametrize("mode", MODES, ids=lambda m: m.value)
+    @pytest.mark.parametrize("n_cdus", CDU_COUNTS)
+    def test_run_passes_all_invariants(self, policy, mode, n_cdus):
+        phase = _make_phase(mode, [None, 0.4, None, 0.8])
+        sim = SASSimulator(
+            n_cdus=n_cdus,
+            policy=policy,
+            latency_model=_variable_latency,
+            check_invariants=True,  # inline verification raises on violation
+        )
+        result = sim.run(phase)
+        # Standalone audit of the recorded run agrees.
+        assert check_sas_result(result, config=sim.config, phases=[phase]) == []
+        assert 0.0 <= result.utilization <= 1.0
+
+    @pytest.mark.parametrize("policy", ["np", "mnp", "mcsp", "mbrp"])
+    def test_multi_phase_aggregate_passes(self, policy):
+        phases = [
+            _make_phase(FunctionMode.COMPLETE, [None, 0.5]),
+            _make_phase(FunctionMode.FEASIBILITY, [0.1, None]),
+            _make_phase(FunctionMode.CONNECTIVITY, [None, 0.3]),
+        ]
+        sim = SASSimulator(
+            n_cdus=4,
+            policy=policy,
+            config=SASConfig(dispatch_per_cycle=1),
+            latency_model=_variable_latency,
+            check_invariants=True,
+        )
+        total = sim.run_phases(phases, record_timeline=True)
+        assert check_sas_result(total, config=sim.config, phases=phases) == []
+
+    def test_throttled_dispatch_respected(self):
+        phase = _make_phase(FunctionMode.COMPLETE, [None] * 4, n_poses=20)
+        sim = SASSimulator(
+            n_cdus=32,
+            policy="mnp",
+            config=SASConfig(dispatch_per_cycle=1),
+            check_invariants=True,
+        )
+        result = sim.run(phase, record_timeline=True)
+        cycles_used = [e.dispatch_cycle for e in result.timeline]
+        assert len(cycles_used) == len(set(cycles_used))  # <= 1 per cycle
+
+
+def _clean_run(record=True):
+    phase = _make_phase(FunctionMode.FEASIBILITY, [None, 0.3, None], n_poses=16)
+    sim = SASSimulator(
+        n_cdus=4,
+        policy="mnp",
+        config=SASConfig(dispatch_per_cycle=1),
+        latency_model=_variable_latency,
+    )
+    return sim.run(phase, record_timeline=record), phase, sim.config
+
+
+def _names(violations):
+    return {v.name for v in violations}
+
+
+class TestMutationsCaught:
+    """Seeded accounting bugs must trip the checker (the audit's audit)."""
+
+    def test_clean_run_is_clean(self):
+        result, phase, config = _clean_run()
+        assert check_sas_result(result, config=config, phases=[phase]) == []
+
+    def test_double_dispatch_caught(self):
+        result, phase, config = _clean_run()
+        # Seed a duplicated dispatch: the same (motion, pose) scheduled twice.
+        dup = result.timeline[0]
+        result.timeline.append(replace(dup, dispatch_cycle=result.cycles))
+        result.events.append(
+            replace(result.events[0], cycle=result.cycles)
+        )
+        violations = check_sas_result(result, config=config, phases=[phase])
+        assert "pose-order" in _names(violations)
+
+    def test_dropped_completion_caught(self):
+        result, phase, config = _clean_run()
+        index = next(
+            i for i, e in enumerate(result.events) if e.kind == "complete"
+        )
+        del result.events[index]
+        violations = check_sas_result(result, config=config, phases=[phase])
+        assert any(
+            v.name == "dispatch-conservation" and "dropped" in v.message
+            for v in violations
+        )
+
+    def test_corrupted_busy_cycles_caught(self):
+        result, phase, config = _clean_run()
+        result.busy_cycles += 3
+        violations = check_sas_result(result, config=config, phases=[phase])
+        assert "busy-consistency" in _names(violations)
+
+    def test_overcount_utilization_caught(self):
+        result, phase, config = _clean_run(record=False)
+        result.timeline = []
+        result.events = []
+        result.busy_cycles = result.cycles * result.n_cdus + 10
+        violations = check_sas_result(result)
+        assert "utilization-range" in _names(violations)
+        assert result.utilization > 1.0  # unclamped, so the bug is visible
+
+    def test_phantom_abandoned_work_caught(self):
+        result, phase, config = _clean_run(record=False)
+        result.timeline = []
+        result.events = []
+        result.stopped_early = False
+        result.abandoned_cycles = 5
+        violations = check_sas_result(result)
+        assert "dispatch-conservation" in _names(violations)
+
+    def test_throttle_violation_caught(self):
+        result, phase, config = _clean_run()
+        # Move a dispatch onto another dispatch's cycle: two per cycle.
+        crowded = replace(
+            result.timeline[1], dispatch_cycle=result.timeline[0].dispatch_cycle
+        )
+        result.timeline[1] = crowded
+        violations = check_sas_result(result, config=config, phases=[phase])
+        assert "dispatch-throttle" in _names(violations)
+
+    def test_capacity_violation_caught(self):
+        result, phase, config = _clean_run()
+        # Stretch every completion far out so all queries overlap in flight.
+        result.timeline = [
+            replace(e, complete_cycle=e.dispatch_cycle + 10_000)
+            for e in result.timeline
+        ]
+        violations = check_sas_result(result, phases=[phase])
+        assert "cdu-capacity" in _names(violations)
+
+    def test_wrong_verdict_caught(self):
+        result, phase, config = _clean_run()
+        flipped = replace(result.timeline[0], hit=not result.timeline[0].hit)
+        result.timeline[0] = flipped
+        violations = check_sas_result(result, config=config, phases=[phase])
+        assert "verdict-truth" in _names(violations)
+
+    def test_verify_raises_with_evidence(self):
+        result, phase, config = _clean_run()
+        result.busy_cycles = -1
+        with pytest.raises(SASInvariantError) as excinfo:
+            verify_sas_result(result, config=config, phases=[phase])
+        assert "busy_cycles" in str(excinfo.value)
+        assert excinfo.value.violations  # structured evidence available
+
+    def test_inline_checking_raises_on_seeded_simulator_bug(self):
+        """A simulator whose latency model lies about capacity-relevant
+        accounting is caught by the inline audit path end to end."""
+        result, phase, config = _clean_run()
+        broken = replace(result.timeline[0], complete_cycle=result.timeline[0].dispatch_cycle - 1)
+        result.timeline[0] = broken
+        with pytest.raises(SASInvariantError):
+            verify_sas_result(result, config=config, phases=[phase])
