@@ -1,0 +1,167 @@
+"""Planner wall-clock under the three query engines: the batching payoff.
+
+Run standalone for a report::
+
+    PYTHONPATH=src python benchmarks/bench_planner_engines.py
+
+or as the tier-2 perf guard (skipped in tier-1, which only collects
+``tests/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_planner_engines.py -m perf
+
+The workload is the batch-shaped planner path: PRM roadmap construction
+(per-node COMPLETE edge batches) followed by greedy shortcutting of a
+roadmap query (CONNECTIVITY fan-outs).  Every engine sees the *identical*
+phase stream — a fresh rng with the same seed per engine, and the engine
+contract guarantees identical planner decisions — so the timing difference
+is purely the execution backend.  The guard asserts the batched engine
+beats the sequential engine by at least 3x; the simulated engine is
+reported (it prices every phase through SAS inline) but not guarded, since
+its cost is dominated by the simulation, not the collision substrate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.env.generator import random_scene
+from repro.env.octree import Octree
+from repro.planning.engine import make_engine
+from repro.planning.prm import PRMPlanner
+from repro.planning.recorder import CDTraceRecorder
+from repro.planning.shortcut import greedy_shortcut
+from repro.robot.presets import jaco2
+
+SEED = 7
+N_SAMPLES = 24
+K_NEIGHBORS = 5
+SPEEDUP_FLOOR = 3.0
+
+#: (engine kind, checker backend) for each timed configuration.
+CONFIGS = {
+    "sequential": ("sequential", "scalar"),
+    "batch": ("batch", "batch"),
+    "simulated": ("simulated", "scalar"),
+}
+
+
+def _workload(resolution: int = 16):
+    robot = jaco2()
+    octree = Octree.from_scene(random_scene(seed=3), resolution=resolution)
+    return robot, octree
+
+
+def _run_engine(robot, octree, engine_kind: str, backend: str) -> dict:
+    """One full PRM-build + query + shortcut pass under one engine."""
+    checker = RobotEnvironmentChecker(
+        robot, octree, collect_stats=False, backend=backend
+    )
+    kwargs = {"seed": SEED} if engine_kind == "simulated" else {}
+    recorder = CDTraceRecorder(
+        checker, engine=make_engine(engine_kind, checker, **kwargs)
+    )
+    planner = PRMPlanner(recorder, n_samples=N_SAMPLES, k_neighbors=K_NEIGHBORS)
+    rng = np.random.default_rng(SEED)
+    start = time.perf_counter()
+    planner.build_roadmap(rng)
+    q_start = checker.sample_free_configuration(rng)
+    q_goal = checker.sample_free_configuration(rng)
+    path = planner.plan(q_start, q_goal, rng)
+    if path is not None:
+        path = greedy_shortcut(path, recorder)
+    elapsed = time.perf_counter() - start
+    return {
+        "seconds": elapsed,
+        "path": path,
+        "phases": recorder.num_phases,
+        "poses": recorder.total_poses,
+        "recorder": recorder,
+    }
+
+
+def measure_engines(repeats: int = 2) -> dict:
+    """Time the PRM+shortcut workload under every engine configuration."""
+    robot, octree = _workload()
+    # Warm per-process caches (kinematics, octree layout, batch pipeline)
+    # before timing, so the first engine measured isn't penalized.
+    warm = RobotEnvironmentChecker(robot, octree, collect_stats=False, backend="batch")
+    warm.check_poses(np.zeros((4, robot.dof)))
+    warm_scalar = RobotEnvironmentChecker(robot, octree, collect_stats=False)
+    warm_scalar.check_pose(np.zeros(robot.dof))
+
+    report = {}
+    for name, (engine_kind, backend) in CONFIGS.items():
+        runs = [
+            _run_engine(robot, octree, engine_kind, backend)
+            for _ in range(repeats)
+        ]
+        best = min(runs, key=lambda r: r["seconds"])
+        report[name] = {
+            "seconds": best["seconds"],
+            "phases": best["phases"],
+            "poses": best["poses"],
+            "path_len": None if best["path"] is None else len(best["path"]),
+        }
+    report["speedup_batch"] = (
+        report["sequential"]["seconds"] / report["batch"]["seconds"]
+    )
+    return report
+
+
+@pytest.mark.perf
+def test_batched_engine_at_least_3x_faster():
+    report = measure_engines()
+    assert report["speedup_batch"] >= SPEEDUP_FLOOR, (
+        f"batched engine speedup {report['speedup_batch']:.1f}x fell below "
+        f"the {SPEEDUP_FLOOR:.0f}x floor (sequential "
+        f"{report['sequential']['seconds']:.3f}s, batch "
+        f"{report['batch']['seconds']:.3f}s on the PRM+shortcut workload)"
+    )
+
+
+@pytest.mark.perf
+def test_engines_saw_identical_workloads():
+    # A perf number over diverged workloads would be meaningless: every
+    # engine must have issued the same phase stream and found the same path.
+    robot, octree = _workload()
+    runs = {
+        name: _run_engine(robot, octree, kind, backend)
+        for name, (kind, backend) in CONFIGS.items()
+    }
+    reference = runs["sequential"]
+    for name, run in runs.items():
+        assert run["phases"] == reference["phases"], name
+        assert run["poses"] == reference["poses"], name
+        if reference["path"] is None:
+            assert run["path"] is None, name
+        else:
+            assert len(run["path"]) == len(reference["path"]), name
+            for q_ref, q_run in zip(reference["path"], run["path"]):
+                assert np.allclose(q_ref, q_run), name
+
+
+if __name__ == "__main__":
+    report = measure_engines()
+    print(
+        f"workload: jaco2 PRM ({N_SAMPLES} nodes, k={K_NEIGHBORS}) + query "
+        f"+ shortcut, benchmark scene, octree r=16"
+    )
+    for name in CONFIGS:
+        entry = report[name]
+        print(
+            f"{name:>10}: {entry['seconds']:.3f} s"
+            f"  ({entry['phases']} phases, {entry['poses']} poses"
+            + (
+                f", path len {entry['path_len']})"
+                if entry["path_len"] is not None
+                else ", no path)"
+            )
+        )
+    print(
+        f"batch speedup over sequential: {report['speedup_batch']:.1f}x "
+        f"(floor {SPEEDUP_FLOOR:.0f}x)"
+    )

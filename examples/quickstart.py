@@ -4,7 +4,9 @@ This walks the full public API in one page:
 
 1. generate a benchmark environment and its octree,
 2. build the collision checker for a Baxter arm,
-3. run the MPNet-style planner (recording its collision detection phases),
+3. run the MPNet-style planner through a query engine (recording its
+   collision detection phases; the batched engine answers each phase with
+   one vectorized dispatch),
 4. replay the recorded phases on the MPAccel simulator and print the
    end-to-end motion planning latency breakdown.
 
@@ -17,7 +19,7 @@ from repro.accel import CECDUConfig, CECDUModel, MPAccelConfig, MPAccelSimulator
 from repro.collision import RobotEnvironmentChecker
 from repro.env import Octree, random_scene
 from repro.env.mapping import scan_scene_points
-from repro.planning import CDTraceRecorder, HeuristicSampler, MPNetPlanner
+from repro.planning import CDTraceRecorder, HeuristicSampler, MPNetPlanner, make_engine
 from repro.robot import baxter_arm
 
 
@@ -31,13 +33,21 @@ def main() -> None:
     print(f"environment: {scene}")
     print(f"octree: {octree} (hardware compatible: {octree.hardware_compatible})")
 
-    # 2. Robot + collision checker (16-bit fixed-point datapath).
+    # 2. Robot + collision checker (16-bit fixed-point datapath).  The
+    #    "batch" backend feeds the vectorized pipeline the batched query
+    #    engine dispatches to.
     robot = baxter_arm()
-    checker = RobotEnvironmentChecker(robot, octree, collect_stats=False)
+    checker = RobotEnvironmentChecker(
+        robot, octree, collect_stats=False, backend="batch"
+    )
 
     # 3. Plan with the learning-based planner.  Every collision query is
-    #    recorded as a CD phase (motions + scheduler function mode).
-    recorder = CDTraceRecorder(checker)
+    #    recorded as a CD phase (motions + scheduler function mode) and
+    #    answered by a query engine — here the batched one, which resolves
+    #    each phase in a single vectorized dispatch.  Swapping the engine
+    #    ("sequential", "batch", "simulated") never changes the plan, only
+    #    how it is computed.
+    recorder = CDTraceRecorder(checker, engine=make_engine("batch", checker))
     planner = MPNetPlanner(
         recorder,
         HeuristicSampler(robot),

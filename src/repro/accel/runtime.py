@@ -26,6 +26,7 @@ from repro.collision.checker import RobotEnvironmentChecker
 from repro.env.mapping import scan_scene_points
 from repro.env.octree import Octree
 from repro.env.scene import Scene
+from repro.planning.engine import make_engine
 from repro.planning.mpnet import MPNetPlanner, PlanResult
 from repro.planning.recorder import CDTraceRecorder
 from repro.planning.samplers import HeuristicSampler
@@ -79,8 +80,15 @@ class RobotRuntime:
     ``backend`` selects the collision checker implementation; with
     ``"batch"`` the MPAccel simulator primes every CD phase's ground truth
     through one vectorized dispatch before pricing it (bit-identical
-    verdicts, see :func:`repro.accel.sas.prime_phase`).  ``telemetry``
-    receives a per-tick scope with the SAS counters.
+    verdicts, see :func:`repro.accel.sas.prime_phase`).  ``engine`` selects
+    the planner-side query engine (``"sequential"`` or ``"batch"``; see
+    :mod:`repro.planning.engine`) — with ``engine="batch"`` every planner
+    phase is answered by one vectorized dispatch *during* planning, which
+    both speeds up the tick and leaves the phases pre-primed for pricing.
+    The inline ``"simulated"`` engine is rejected here because the runtime
+    already prices each tick through :class:`MPAccelSimulator`; routing
+    planning through SAS as well would double-count the work.
+    ``telemetry`` receives a per-tick scope with the SAS counters.
     """
 
     def __init__(
@@ -92,8 +100,15 @@ class RobotRuntime:
         octree_resolution: int = 16,
         motion_step: float = 0.05,
         backend: str = "scalar",
+        engine: str = "sequential",
         telemetry: MetricsRegistry | None = None,
     ):
+        if engine not in ("sequential", "batch"):
+            raise ValueError(
+                f"RobotRuntime supports engine 'sequential' or 'batch', got {engine!r}"
+            )
+        if engine == "batch" and backend != "batch":
+            raise ValueError("engine='batch' requires backend='batch'")
         self.robot = robot
         self.scene = scene
         self.config = config
@@ -101,6 +116,7 @@ class RobotRuntime:
         self.octree_resolution = octree_resolution
         self.motion_step = motion_step
         self.backend = backend
+        self.engine = engine
         self.telemetry = telemetry
         self._previous_octree = None
 
@@ -126,7 +142,10 @@ class RobotRuntime:
             self.robot, octree, motion_step=self.motion_step, collect_stats=False,
             backend=self.backend,
         )
-        recorder = CDTraceRecorder(checker)
+        recorder = CDTraceRecorder(
+            checker,
+            engine=make_engine(self.engine, checker, telemetry=self.telemetry),
+        )
         planner = MPNetPlanner(
             recorder,
             HeuristicSampler(self.robot),

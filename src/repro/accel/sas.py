@@ -17,6 +17,12 @@ paper's schedulers are designed to minimize.  Time accounting splits that
 work at the stop boundary: ``busy_cycles`` covers only CDU-cycles inside
 the measured window (so utilization is a true 0..1 fraction), and the
 in-flight remainder is reported as ``abandoned_cycles``.
+
+Phases reach the simulator two ways: post-hoc replay of a recorded trace
+(:meth:`SASSimulator.run_phases`), or inline during planning through
+:class:`repro.planning.engine.SimulatedEngine`, which runs each phase the
+moment the planner issues it.  With matching seed/policy/config and a
+deterministic pose ordering the two routes produce identical results.
 """
 
 from __future__ import annotations

@@ -9,7 +9,11 @@ This module provides it in three parts:
    per-phase and per-tick scopes and JSON/CSV export.  Simulators take an
    optional registry; the default (``None``) costs one predicate per run,
    and a disabled registry hands out shared no-op instruments, so the hot
-   loops pay nothing measurable when telemetry is off.
+   loops pay nothing measurable when telemetry is off.  The planner-side
+   query engines (:mod:`repro.planning.engine`) report through the same
+   registry: every answered phase gets an ``engine.phase`` scope plus
+   per-engine/per-function-mode counters, so planning and simulation share
+   one observability surface.
 2. :class:`TraceEvent` — the scheduler event trace (dispatch, completion,
    kill, refill, stop) that rides alongside the per-query
    ``DispatchEvent`` timeline.  ``SASSimulator.run_phases`` aggregates both

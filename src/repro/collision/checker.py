@@ -10,6 +10,7 @@ and checks the discrete poses (Section 2.2).
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -111,6 +112,25 @@ class RobotEnvironmentChecker:
                 self.robot, self.octree, self.config, self.fixed_point
             )
         return self._batch_evaluator
+
+    @contextmanager
+    def divert_stats(self, stats: Optional[CollisionStats] = None):
+        """Temporarily charge all work to a different ``CollisionStats``.
+
+        Query engines use this when they must resolve ground truth beyond
+        what the sequential query semantics would have executed (e.g.
+        filling a phase's remaining poses before an inline SAS simulation):
+        the extra work is real, but it must not distort the planner-visible
+        operation counts.  Yields the substitute stats object.
+        """
+        if stats is None:
+            stats = CollisionStats()
+        previous = self.stats
+        self.stats = stats
+        try:
+            yield stats
+        finally:
+            self.stats = previous
 
     def link_obbs(self, q) -> List[OBB]:
         """World-space (quantized) link OBBs for configuration ``q``."""

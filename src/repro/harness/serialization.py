@@ -33,7 +33,8 @@ JSON schema (version 1):
 from __future__ import annotations
 
 import json
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
@@ -42,6 +43,9 @@ from repro.accel.telemetry import MetricsRegistry, TraceEvent
 from repro.harness.traces import QueryTrace
 from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
 from repro.planning.mpnet import PlanResult
+
+if TYPE_CHECKING:
+    from repro.planning.engine import PhaseAnswer
 
 SCHEMA_VERSION = 1
 
@@ -301,6 +305,84 @@ def load_sas_run(path: str) -> tuple:
     if "phases" in payload:
         phases = [phase_from_dict(p) for p in payload["phases"]]
     return result, phases
+
+
+# ----------------------------------------------------------------------
+# Engine run serialization: the phase stream a planner issued through a
+# query engine (labels, function modes, precomputed ground truth) together
+# with the per-phase answers and — for SimulatedEngine runs — the inline
+# SAS results.  A saved engine run can be re-audited offline: replay the
+# phases through any engine and compare answers, or hand each
+# (phase, sas_result) pair to ``repro.accel.invariants.check_sas_result``.
+
+
+@dataclass
+class EngineRun:
+    """One planner run as seen by its query engine, loaded from disk."""
+
+    engine: str
+    phases: List[CDPhase]
+    answers: List["PhaseAnswer"]
+    sas_results: List[SASResult] = field(default_factory=list)
+
+
+def save_engine_run(
+    path: str,
+    recorder,
+    sas_results: Optional[List[SASResult]] = None,
+) -> None:
+    """Write a recorder's phase trace plus the engine's answers.
+
+    ``recorder`` is a :class:`repro.planning.recorder.CDTraceRecorder`
+    whose ``phases``/``answers`` lists are serialized in lockstep.  When
+    ``sas_results`` is omitted and the recorder's engine is a
+    :class:`~repro.planning.engine.SimulatedEngine`, its accumulated
+    per-phase results are included automatically, making the file
+    self-contained for offline invariant re-audit.
+    """
+    if sas_results is None:
+        sas_results = list(getattr(recorder.engine, "results", []))
+    payload = {
+        "version": SCHEMA_VERSION,
+        "engine": recorder.engine.name,
+        "phases": [phase_to_dict(p) for p in recorder.phases],
+        "answers": [list(a.outcomes) for a in recorder.answers],
+        "sas_results": [sas_result_to_dict(r) for r in sas_results],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_engine_run(path: str) -> EngineRun:
+    """Load an engine run written by :func:`save_engine_run`."""
+    from repro.planning.engine import PhaseAnswer
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema version {version!r}; expected {SCHEMA_VERSION}"
+        )
+    engine = payload.get("engine", "sequential")
+    phases = [phase_from_dict(p) for p in payload["phases"]]
+    answers = [
+        PhaseAnswer(
+            outcomes=[None if o is None else bool(o) for o in outcomes],
+            engine=engine,
+        )
+        for outcomes in payload.get("answers", [])
+    ]
+    if len(answers) != len(phases):
+        raise ValueError(
+            f"engine run has {len(phases)} phases but {len(answers)} answers"
+        )
+    sas_results = [
+        sas_result_from_dict(r) for r in payload.get("sas_results", [])
+    ]
+    return EngineRun(
+        engine=engine, phases=phases, answers=answers, sas_results=sas_results
+    )
 
 
 # ----------------------------------------------------------------------

@@ -47,8 +47,14 @@ def build_benchmarks(
     n_obstacles: Optional[int] = None,
     motion_step: float = 0.05,
     seed: int = 2023,
+    backend: str = "scalar",
 ) -> List[Benchmark]:
-    """The Section 6 benchmark suite (sizes configurable)."""
+    """The Section 6 benchmark suite (sizes configurable).
+
+    ``backend`` is forwarded to every environment's checker; pass
+    ``"batch"`` to drive the suite through the vectorized pipeline (e.g.
+    for :class:`~repro.planning.engine.BatchedEngine` planner runs).
+    """
     if n_envs < 1 or queries_per_env < 1:
         raise ValueError("need at least one environment and one query")
     rng = np.random.default_rng(seed)
@@ -57,7 +63,8 @@ def build_benchmarks(
         scene = random_scene(rng=rng, n_obstacles=n_obstacles)
         octree = Octree.from_scene(scene, resolution=octree_resolution)
         checker = RobotEnvironmentChecker(
-            robot_factory(), octree, motion_step=motion_step, collect_stats=False
+            robot_factory(), octree, motion_step=motion_step, collect_stats=False,
+            backend=backend,
         )
         queries = []
         for _ in range(queries_per_env):

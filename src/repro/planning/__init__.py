@@ -5,10 +5,22 @@ classical planners (RRT, RRT-Connect) used for training data and fallback,
 greedy shortcutting (path optimization), and an MPNet-style learning-based
 planner.  Every collision query a planner issues flows through a
 :class:`CDTraceRecorder`, which captures the *phases* (groups of motions plus
-a scheduler function mode) that the SAS and MPAccel simulators replay.
+a scheduler function mode) and delegates answering them to a pluggable
+:class:`QueryEngine` — sequential reference, one-dispatch batched, or
+inline SAS simulation (see :mod:`repro.planning.engine`).  The SAS and
+MPAccel simulators replay the recorded phases (or, with the simulated
+engine, price them as the planner runs).
 """
 
 from repro.planning.cspace import path_length, straight_line_path
+from repro.planning.engine import (
+    BatchedEngine,
+    PhaseAnswer,
+    QueryEngine,
+    SequentialEngine,
+    SimulatedEngine,
+    make_engine,
+)
 from repro.planning.metrics import PathQuality, evaluate_path, path_smoothness
 from repro.planning.motion import FunctionMode, MotionRecord, CDPhase
 from repro.planning.mpnet import MPNetPlanner, PlanResult
@@ -24,6 +36,12 @@ __all__ = [
     "MotionRecord",
     "CDPhase",
     "CDTraceRecorder",
+    "QueryEngine",
+    "PhaseAnswer",
+    "SequentialEngine",
+    "BatchedEngine",
+    "SimulatedEngine",
+    "make_engine",
     "RRTPlanner",
     "RRTConnectPlanner",
     "PRMPlanner",

@@ -1,0 +1,343 @@
+"""Query engines: pluggable execution backends for planner CD phases.
+
+Planners describe their collision workload as :class:`CDPhase`s (motions +
+a scheduler function mode) and hand them to :class:`CDTraceRecorder`, which
+delegates *answering* to a :class:`QueryEngine`.  Three interchangeable
+backends implement the same semantics contract:
+
+- :class:`SequentialEngine` — the early-exiting sequential reference a CPU
+  implementation would run (motions in order, poses front to back, stop as
+  soon as the function mode allows).  This is the default and the ground
+  truth the other engines are differential-tested against.
+- :class:`BatchedEngine` — answers a whole phase with **one** vectorized
+  ``BatchPoseEvaluator`` dispatch over every undecided pose (the VAMP /
+  pRRTC strategy), then charges the checker's :class:`CollisionStats` for
+  exactly the pose prefix the sequential early exit would have executed.
+  Verdicts *and* operation counts are bit-identical to the sequential
+  engine; only wall-clock changes.  Requires a ``backend="batch"`` checker.
+- :class:`SimulatedEngine` — routes each phase through an inline
+  :class:`~repro.accel.sas.SASSimulator` run, so a planner run produces
+  cycle/energy numbers and (optionally invariant-audited)
+  :class:`~repro.accel.sas.SASResult`s *as it plans*, instead of via
+  post-hoc trace replay.  Ground truth beyond the sequential prefix is
+  resolved up front (vectorized with a batch checker, scalar otherwise)
+  and its cost is diverted to ``shadow_stats`` so the planner-visible
+  operation counts still match the sequential reference exactly.
+
+The semantics guarantee all three share: for the same phase stream, the
+per-motion verdicts (and therefore every planner decision, path, and the
+checker's recorded ``CollisionStats``) are identical.  The engines differ
+only in how the ground truth is *computed* (lazy scalar loop, one
+vectorized dispatch, primed dispatch + cycle-accurate simulation) and in
+what side products they leave behind (nothing, a warm outcome cache, a
+stream of ``SASResult``s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from repro.planning.motion import CDPhase, FunctionMode
+
+if TYPE_CHECKING:  # import at runtime would cycle through repro.accel
+    from repro.accel.telemetry import MetricsRegistry
+
+__all__ = [
+    "PhaseAnswer",
+    "QueryEngine",
+    "SequentialEngine",
+    "BatchedEngine",
+    "SimulatedEngine",
+    "ENGINE_KINDS",
+    "make_engine",
+]
+
+
+@dataclass
+class PhaseAnswer:
+    """What a query engine decided about one phase.
+
+    ``outcomes[i]`` is True when motion ``i`` collides, False when it is
+    collision-free, and None when the function mode allowed stopping before
+    motion ``i`` was evaluated — the same convention as
+    :class:`~repro.planning.motion.SequentialOutcome`.
+    """
+
+    outcomes: List[Optional[bool]] = field(default_factory=list)
+    engine: str = "sequential"
+
+    def first_colliding(self) -> Optional[int]:
+        """Index of the first colliding motion, or None (FEASIBILITY answer)."""
+        for index, outcome in enumerate(self.outcomes):
+            if outcome is True:
+                return index
+        return None
+
+    def first_free(self) -> Optional[int]:
+        """Index of the first free motion, or None (CONNECTIVITY answer)."""
+        for index, outcome in enumerate(self.outcomes):
+            if outcome is False:
+                return index
+        return None
+
+    @property
+    def all_free(self) -> bool:
+        return self.first_colliding() is None
+
+    def flags(self) -> List[bool]:
+        """Per-motion collision flags (COMPLETE answer; every motion decided)."""
+        if any(outcome is None for outcome in self.outcomes):
+            raise ValueError("undecided motions; flags() needs a COMPLETE answer")
+        return [bool(outcome) for outcome in self.outcomes]
+
+
+class QueryEngine:
+    """Base class: telemetry wrapping around a backend's ``_answer``.
+
+    ``answer`` wraps every phase in an ``engine.phase`` telemetry scope and
+    maintains per-engine and per-function-mode counters
+    (``engine.<name>.phases``, ``engine.mode.<mode>``, ``engine.motions``,
+    ``engine.poses``); subclasses implement ``_answer``.
+    """
+
+    name = "base"
+
+    def __init__(self, checker=None, telemetry: MetricsRegistry | None = None):
+        self.checker = checker
+        self.telemetry = telemetry
+
+    def answer(self, phase: CDPhase) -> PhaseAnswer:
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            label = f"{self.name}:{phase.label or phase.mode.value}"
+            with tel.scope("engine.phase", label):
+                answer = self._answer(phase)
+            tel.counter(f"engine.{self.name}.phases").inc()
+            tel.counter(f"engine.mode.{phase.mode.value}").inc()
+            tel.counter("engine.motions").inc(len(phase.motions))
+            tel.counter("engine.poses").inc(phase.total_poses)
+        else:
+            answer = self._answer(phase)
+        answer.engine = self.name
+        return answer
+
+    def _answer(self, phase: CDPhase) -> PhaseAnswer:
+        raise NotImplementedError
+
+
+class SequentialEngine(QueryEngine):
+    """The early-exiting sequential reference (current CPU semantics).
+
+    Delegates to :meth:`CDPhase.sequential_reference`, which evaluates
+    motions in order and poses front to back through the lazy
+    ``MotionRecord`` cache, stopping as soon as the function mode allows —
+    so both the verdicts and the checker's recorded operation counts are
+    exactly what the pre-engine recorder produced.
+    """
+
+    name = "sequential"
+
+    def _answer(self, phase: CDPhase) -> PhaseAnswer:
+        reference = phase.sequential_reference()
+        return PhaseAnswer(outcomes=list(reference.outcomes))
+
+
+def _batched_prime_and_answer(phase: CDPhase, checker) -> PhaseAnswer:
+    """One vectorized dispatch for the whole phase + sequential charging.
+
+    Every undecided pose across the phase's motions is stacked into a
+    single ``BatchPoseEvaluator.evaluate`` call and installed into the
+    motions' outcome caches; the answer is then the sequential reference
+    walked over the (now warm) cache.  Stats stay bit-identical to the
+    scalar engine: ``pose_checks`` and the per-operation counters are
+    charged only for the poses the sequential early exit would have
+    executed — the same prefix-charging contract as
+    :meth:`RobotEnvironmentChecker.check_motion` with ``backend="batch"``.
+    """
+    targets = [
+        (motion, index)
+        for motion in phase.motions
+        for index in motion.unevaluated_indices()
+    ]
+    outcome = None
+    row_of = {}
+    if targets:
+        stacked = np.stack([motion.poses[index] for motion, index in targets])
+        outcome = checker.batch_evaluator.evaluate(stacked)
+        for row, ((motion, index), hit) in enumerate(zip(targets, outcome.hits)):
+            motion.set_pose_outcome(index, bool(hit))
+            row_of[(id(motion), index)] = row
+
+    # Sequential-reference walk over the cached ground truth, collecting
+    # the rows the scalar early exit would have charged.
+    charged_rows: List[int] = []
+    outcomes: List[Optional[bool]] = [None] * len(phase.motions)
+    for motion_index, motion in enumerate(phase.motions):
+        collided = False
+        for pose_index in range(motion.num_poses):
+            row = row_of.get((id(motion), pose_index))
+            if row is not None:
+                charged_rows.append(row)
+            if motion.pose_collides(pose_index):
+                collided = True
+                break
+        outcomes[motion_index] = collided
+        if phase.mode is FunctionMode.FEASIBILITY and collided:
+            break
+        if phase.mode is FunctionMode.CONNECTIVITY and not collided:
+            break
+
+    stats = checker.stats
+    stats.pose_checks += len(charged_rows)
+    if outcome is not None and charged_rows and checker.collect_stats:
+        outcome.record(stats, poses=np.asarray(charged_rows, dtype=int))
+    return PhaseAnswer(outcomes=outcomes)
+
+
+class BatchedEngine(QueryEngine):
+    """Answers whole phases through one vectorized dispatch each.
+
+    Requires a ``backend="batch"``
+    :class:`~repro.collision.checker.RobotEnvironmentChecker` — the scalar
+    checker has no vectorized pipeline to dispatch to.  As a side effect
+    every pose of an answered phase carries cached ground truth, so a later
+    SAS replay of the recorded trace needs no collision substrate at all.
+    """
+
+    name = "batch"
+
+    def __init__(self, checker, telemetry: MetricsRegistry | None = None):
+        if getattr(checker, "backend", "scalar") != "batch":
+            raise ValueError(
+                "BatchedEngine needs a backend='batch' checker; got "
+                f"backend={getattr(checker, 'backend', None)!r}"
+            )
+        super().__init__(checker, telemetry)
+
+    def _answer(self, phase: CDPhase) -> PhaseAnswer:
+        return _batched_prime_and_answer(phase, self.checker)
+
+
+class SimulatedEngine(QueryEngine):
+    """Answers phases by running them through SAS inline while planning.
+
+    Each phase is ground-truth-resolved up front, simulated on the wrapped
+    :class:`~repro.accel.sas.SASSimulator` (one :class:`SASResult` appended
+    to ``results`` per phase, invariant-audited when ``check_invariants``),
+    and answered with the sequential reference — so planner decisions,
+    paths, and recorded ``CollisionStats`` match the other engines exactly
+    while cycle/energy numbers accumulate as the planner runs.
+
+    Ground-truth resolution depends on the checker backend:
+
+    - ``backend="batch"``: one vectorized dispatch per phase with
+      sequential prefix charging (identical to :class:`BatchedEngine`);
+    - scalar: the sequential prefix is evaluated lazily (charging the
+      checker normally), then the remaining poses the simulator may probe
+      are filled with the charges diverted to ``shadow_stats`` — the extra
+      work is real, but it belongs to the simulation, not to the planner's
+      query stream;
+    - ``checker=None``: phases must carry precomputed outcomes (the
+      serialized-trace replay workflow).
+
+    The inline results equal a post-hoc
+    :meth:`~repro.accel.sas.SASSimulator.run_phases` replay of the same
+    recorded trace when simulator seed, policy, and configuration match
+    and the policy's pose ordering is deterministic (every non-random
+    Figure 7 policy, including the default MCSP).
+    """
+
+    name = "simulated"
+
+    def __init__(
+        self,
+        checker=None,
+        simulator=None,
+        n_cdus: int = 16,
+        policy="mcsp",
+        config=None,
+        latency_model=None,
+        seed: int = 0,
+        telemetry: MetricsRegistry | None = None,
+        check_invariants: bool = True,
+        record_timeline: bool = False,
+    ):
+        super().__init__(checker, telemetry)
+        if simulator is None:
+            from repro.accel.sas import SASSimulator, unit_latency_model
+
+            simulator = SASSimulator(
+                n_cdus=n_cdus,
+                policy=policy,
+                config=config,
+                latency_model=latency_model or unit_latency_model,
+                seed=seed,
+                telemetry=telemetry,
+                check_invariants=check_invariants,
+            )
+        self.simulator = simulator
+        self.record_timeline = record_timeline
+        #: One SASResult per answered phase, in phase order.
+        self.results: List = []
+        #: Collision work performed only to feed the simulator (scalar
+        #: checkers): ground truth past the sequential early-exit boundary.
+        from repro.collision.stats import CollisionStats
+
+        self.shadow_stats = CollisionStats()
+
+    def _answer(self, phase: CDPhase) -> PhaseAnswer:
+        checker = self.checker
+        if checker is not None and getattr(checker, "backend", "scalar") == "batch":
+            answer = _batched_prime_and_answer(phase, checker)
+        else:
+            answer = PhaseAnswer(
+                outcomes=list(phase.sequential_reference().outcomes)
+            )
+            if checker is not None:
+                with checker.divert_stats(self.shadow_stats):
+                    for motion in phase.motions:
+                        motion.evaluate_all()
+        result = self.simulator.run(phase, record_timeline=self.record_timeline)
+        self.results.append(result)
+        return answer
+
+    # -- inline-simulation accessors -----------------------------------
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(result.cycles for result in self.results)
+
+    @property
+    def total_tests(self) -> int:
+        return sum(result.tests for result in self.results)
+
+    @property
+    def total_energy_pj(self) -> float:
+        return sum(result.energy_pj for result in self.results)
+
+    def clear(self) -> None:
+        self.results.clear()
+        self.shadow_stats.reset()
+
+
+#: Engine-kind names accepted by :func:`make_engine`.
+ENGINE_KINDS = ("sequential", "batch", "simulated")
+
+
+def make_engine(kind: str, checker, telemetry=None, **kwargs) -> QueryEngine:
+    """Build a query engine by name (``"sequential"``/``"batch"``/``"simulated"``).
+
+    Extra keyword arguments are forwarded to the engine constructor
+    (e.g. ``n_cdus``/``policy``/``seed`` for the simulated engine).
+    """
+    key = kind.lower()
+    if key == "sequential":
+        return SequentialEngine(checker, telemetry=telemetry, **kwargs)
+    if key in ("batch", "batched"):
+        return BatchedEngine(checker, telemetry=telemetry, **kwargs)
+    if key in ("simulated", "sas"):
+        return SimulatedEngine(checker, telemetry=telemetry, **kwargs)
+    raise ValueError(f"unknown engine kind {kind!r}; choose from {ENGINE_KINDS}")

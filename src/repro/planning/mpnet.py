@@ -156,11 +156,17 @@ class MPNetPlanner:
 
         The neural sampler proposes states without checking them (lazy
         evaluation, as in MPNet); a colliding waypoint can never anchor a
-        repair, so it is removed before contraction and replanning.
+        repair, so it is removed before contraction and replanning.  All
+        interior waypoints are checked in one ``check_poses`` batch (every
+        verdict is needed, so the call site is batch-shaped).
         """
+        if len(path) <= 2:
+            return list(path)
         checker = self.recorder.checker
+        interior = np.stack([np.asarray(q, dtype=float) for q in path[1:-1]])
+        hits = checker.check_poses(interior)
         kept = [path[0]]
-        kept += [q for q in path[1:-1] if not checker.check_pose(q)]
+        kept += [q for q, hit in zip(path[1:-1], hits) if not hit]
         kept.append(path[-1])
         return kept
 
@@ -190,10 +196,9 @@ class MPNetPlanner:
         return new_path
 
     def _subpath_feasible(self, sub: List[np.ndarray]) -> bool:
-        return all(
-            self.recorder.steer(a, b, label="replan_verify")
-            for a, b in zip(sub[:-1], sub[1:])
-        )
+        # One multi-motion FEASIBILITY phase instead of per-segment steers:
+        # same early-exit verdict, but a batch-shaped work unit.
+        return self.recorder.feasibility(sub, label="replan_verify") is None
 
     def _fallback(self, q_start, q_goal, rng, result: PlanResult):
         """Hybrid replanning: classical RRT-Connect on the same recorder."""

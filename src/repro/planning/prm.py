@@ -59,9 +59,13 @@ class PRMPlanner:
     def build_roadmap(self, rng: np.random.Generator) -> None:
         """Sample free configurations and connect k-nearest neighbors.
 
-        Edge checks go through the recorder (single-motion feasibility
-        phases), so roadmap construction produces the same CD workload
-        stream the PRM accelerators would precompute.
+        Each node's candidate edges are issued as *one* COMPLETE phase (a
+        per-node edge batch): the planner needs every edge's verdict, so
+        the phase is batch-shaped — a single vectorized dispatch under
+        :class:`~repro.planning.engine.BatchedEngine`, and an inter-motion
+        parallel work unit for SAS — while the recorded workload stream
+        stays equivalent to the per-edge checks the PRM accelerators would
+        precompute.
         """
         checker = self.recorder.checker
         self._nodes = []
@@ -75,15 +79,22 @@ class PRMPlanner:
         for index in range(len(self._nodes)):
             self._adjacency[index] = []
         for index, q in enumerate(self._nodes):
-            for neighbor in self._nearest(q, self.k_neighbors + 1):
-                if neighbor == index:
+            candidates = [
+                neighbor
+                for neighbor in self._nearest(q, self.k_neighbors + 1)
+                if neighbor != index
+                and not any(n == neighbor for n, _ in self._adjacency[index])
+            ]
+            flags = self.recorder.complete(
+                [(q, self._nodes[neighbor]) for neighbor in candidates],
+                label="prm_edge",
+            )
+            for neighbor, collided in zip(candidates, flags):
+                if collided:
                     continue
-                if any(n == neighbor for n, _ in self._adjacency[index]):
-                    continue
-                if self.recorder.steer(q, self._nodes[neighbor], label="prm_edge"):
-                    weight = cspace_distance(q, self._nodes[neighbor])
-                    self._adjacency[index].append((neighbor, weight))
-                    self._adjacency[neighbor].append((index, weight))
+                weight = cspace_distance(q, self._nodes[neighbor])
+                self._adjacency[index].append((neighbor, weight))
+                self._adjacency[neighbor].append((index, weight))
 
     def _nearest(self, q, k: int) -> List[int]:
         stacked = np.asarray(self._nodes)
@@ -119,12 +130,20 @@ class PRMPlanner:
         )
 
     def _attach(self, q) -> List[Tuple[int, float]]:
-        """Connect a query configuration to its reachable nearest nodes."""
-        links = []
-        for index in self._nearest(q, self.k_neighbors):
-            if self.recorder.steer(q, self._nodes[index], label="prm_attach"):
-                links.append((index, cspace_distance(q, self._nodes[index])))
-        return links
+        """Connect a query configuration to its reachable nearest nodes.
+
+        All k candidate attachments form one COMPLETE phase (the same
+        batch shape as roadmap edge construction).
+        """
+        candidates = self._nearest(q, self.k_neighbors)
+        flags = self.recorder.complete(
+            [(q, self._nodes[index]) for index in candidates], label="prm_attach"
+        )
+        return [
+            (index, cspace_distance(q, self._nodes[index]))
+            for index, collided in zip(candidates, flags)
+            if not collided
+        ]
 
     def _shortest_path(self, start_costs, goal_costs) -> Optional[List[int]]:
         """Dijkstra from the start attachments to any goal attachment."""

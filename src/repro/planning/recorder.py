@@ -1,11 +1,27 @@
 """The CD trace recorder: the bridge between planners and the accelerator.
 
 Planners do not call the collision checker directly for motions; they go
-through this recorder, which both answers the query (using the early-exiting
-sequential semantics a CPU implementation would have) and appends a
-:class:`CDPhase` describing the work unit the controller would have shipped
-to SAS.  Replaying the recorded phases through the SAS/MPAccel simulators
-yields the runtime and energy numbers of Sections 7.1 and 7.4.
+through this recorder, which records each query as a :class:`CDPhase` (the
+work unit the controller would have shipped to SAS) and delegates
+*answering* it to a pluggable :class:`~repro.planning.engine.QueryEngine`:
+
+- the default :class:`~repro.planning.engine.SequentialEngine` reproduces
+  the early-exiting sequential semantics a CPU implementation would have;
+- :class:`~repro.planning.engine.BatchedEngine` answers each phase with one
+  vectorized dispatch (bit-identical verdicts and stats, faster clock);
+- :class:`~repro.planning.engine.SimulatedEngine` additionally runs every
+  phase through SAS inline, producing cycle/energy numbers while planning.
+
+Replaying the recorded phases through the SAS/MPAccel simulators yields the
+runtime and energy numbers of Sections 7.1 and 7.4 (or, with the simulated
+engine, they accumulate inline as the planner runs).
+
+**Degenerate-input contract** (pinned by ``tests/test_planning_recorder.py``):
+a query with no work in it — ``feasibility`` of a path with fewer than two
+poses, ``connectivity`` with no targets, ``complete`` with no segments —
+returns its trivial answer (``None``/``None``/``[]``), records *no* phase,
+and consults neither the engine nor the checker.  Phases always contain at
+least one motion.
 """
 
 from __future__ import annotations
@@ -15,16 +31,34 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.collision.checker import RobotEnvironmentChecker
+from repro.planning.engine import PhaseAnswer, QueryEngine, SequentialEngine
 from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
 
 
 class CDTraceRecorder:
-    """Records collision-detection phases issued by a planner."""
+    """Records collision-detection phases issued by a planner.
 
-    def __init__(self, checker: RobotEnvironmentChecker, record: bool = True):
-        self.checker = checker
+    ``engine`` selects the execution backend (default: a
+    :class:`SequentialEngine` over ``checker``).  ``record=False`` keeps
+    answering queries but retains no trace.
+    """
+
+    def __init__(
+        self,
+        checker: Optional[RobotEnvironmentChecker] = None,
+        record: bool = True,
+        engine: Optional[QueryEngine] = None,
+    ):
+        if engine is None:
+            if checker is None:
+                raise ValueError("CDTraceRecorder needs a checker or an engine")
+            engine = SequentialEngine(checker)
+        self.engine = engine
+        self.checker = checker if checker is not None else engine.checker
         self.record = record
         self.phases: List[CDPhase] = []
+        #: Per-phase engine answers, parallel to ``phases`` (when recording).
+        self.answers: List[PhaseAnswer] = []
 
     # ------------------------------------------------------------------
     # Planner-facing queries
@@ -36,8 +70,8 @@ class CDTraceRecorder:
         Recorded as a single-motion FEASIBILITY phase.
         """
         motion = MotionRecord.from_endpoints(q_start, q_end, self.checker)
-        self._append(CDPhase(FunctionMode.FEASIBILITY, [motion], label))
-        return motion.is_collision_free()
+        answer = self._dispatch(CDPhase(FunctionMode.FEASIBILITY, [motion], label))
+        return answer.outcomes[0] is False
 
     def feasibility(
         self, path: Sequence[np.ndarray], label: str = "feasibility"
@@ -45,7 +79,8 @@ class CDTraceRecorder:
         """Check every segment of a path; returns the first infeasible
         segment index, or None when the whole path is collision-free.
 
-        Recorded as one FEASIBILITY phase over all segments.
+        Recorded as one FEASIBILITY phase over all segments.  A path with
+        fewer than two poses is trivially feasible and records nothing.
         """
         if len(path) < 2:
             return None
@@ -53,11 +88,8 @@ class CDTraceRecorder:
             MotionRecord.from_endpoints(path[i], path[i + 1], self.checker)
             for i in range(len(path) - 1)
         ]
-        self._append(CDPhase(FunctionMode.FEASIBILITY, motions, label))
-        for index, motion in enumerate(motions):
-            if not motion.is_collision_free():
-                return index
-        return None
+        answer = self._dispatch(CDPhase(FunctionMode.FEASIBILITY, motions, label))
+        return answer.first_colliding()
 
     def connectivity(
         self, q_anchor, targets: Sequence[np.ndarray], label: str = "shortcut"
@@ -66,6 +98,7 @@ class CDTraceRecorder:
 
         Recorded as one CONNECTIVITY phase; this is the shortcutting workload
         (Section 2.1), where the scheduler may stop at the first free motion.
+        An empty target set finds nothing and records nothing.
         """
         if not len(targets):
             return None
@@ -73,29 +106,34 @@ class CDTraceRecorder:
             MotionRecord.from_endpoints(q_anchor, target, self.checker)
             for target in targets
         ]
-        self._append(CDPhase(FunctionMode.CONNECTIVITY, motions, label))
-        for index, motion in enumerate(motions):
-            if motion.is_collision_free():
-                return index
-        return None
+        answer = self._dispatch(CDPhase(FunctionMode.CONNECTIVITY, motions, label))
+        return answer.first_free()
 
     def complete(self, segments: Sequence[tuple], label: str = "complete") -> List[bool]:
-        """Evaluate every (start, end) motion; returns per-motion collision flags."""
+        """Evaluate every (start, end) motion; returns per-motion collision flags.
+
+        Recorded as one COMPLETE phase.  An empty segment list returns
+        ``[]`` and records nothing.
+        """
+        if not len(segments):
+            return []
         motions = [
             MotionRecord.from_endpoints(q_start, q_end, self.checker)
             for q_start, q_end in segments
         ]
-        if motions:
-            self._append(CDPhase(FunctionMode.COMPLETE, motions, label))
-        return [not motion.is_collision_free() for motion in motions]
+        answer = self._dispatch(CDPhase(FunctionMode.COMPLETE, motions, label))
+        return answer.flags()
 
     # ------------------------------------------------------------------
     # Trace access
     # ------------------------------------------------------------------
 
-    def _append(self, phase: CDPhase) -> None:
+    def _dispatch(self, phase: CDPhase) -> PhaseAnswer:
+        answer = self.engine.answer(phase)
         if self.record:
             self.phases.append(phase)
+            self.answers.append(answer)
+        return answer
 
     @property
     def num_phases(self) -> int:
@@ -111,6 +149,7 @@ class CDTraceRecorder:
 
     def clear(self) -> None:
         self.phases.clear()
+        self.answers.clear()
 
     def phases_by_label(self, label: str) -> List[CDPhase]:
         return [phase for phase in self.phases if phase.label == label]

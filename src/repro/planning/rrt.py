@@ -3,6 +3,10 @@
 The classical sampling-based baseline.  Every edge check goes through the
 trace recorder, so an RRT run produces the same kind of CD phase stream the
 accelerator consumes (a long sequence of single-motion feasibility checks).
+Single-tree RRT extends one edge per iteration and each extension depends
+on the previous one, so its phases are inherently single-motion — it is
+the workload where the query-engine layer's batching helps least, included
+as the contrast case to PRM edge batches and RRT-Connect sweeps.
 """
 
 from __future__ import annotations

@@ -88,11 +88,34 @@ class RRTConnectPlanner:
         return _ADVANCED, index
 
     def _connect(self, tree: _Tree, target):
-        status = _ADVANCED
-        index = -1
-        while status == _ADVANCED:
-            status, index = self._extend(tree, target)
-        return status, index
+        """Greedy straight-line connect, issued as one extend sweep.
+
+        The classical CONNECT repeatedly extends toward ``target`` from the
+        branch it is growing, so the whole sweep is known up front: the
+        ``max_step`` waypoints from the nearest node to the target.  They
+        are checked as a single multi-motion FEASIBILITY phase (one
+        vectorized dispatch under the batched engine; an inter-motion
+        parallel work unit for SAS) and the free prefix joins the tree.
+        """
+        near = tree.nearest(target)
+        waypoints: List[np.ndarray] = []
+        cursor = tree.nodes[near]
+        while cspace_distance(cursor, target) >= 1e-9:
+            cursor = steer_toward(cursor, target, self.max_step)
+            waypoints.append(cursor)
+        if not waypoints:
+            # The tree already contains the target configuration.
+            return _REACHED, near
+        bad = self.recorder.feasibility(
+            [tree.nodes[near]] + waypoints, label="rrtc_connect"
+        )
+        index = near
+        n_free = len(waypoints) if bad is None else bad
+        for waypoint in waypoints[:n_free]:
+            index = tree.add(waypoint, index)
+        if bad is None:
+            return _REACHED, index
+        return _TRAPPED, -1
 
     @staticmethod
     def _join(tree_a, index_a, tree_b, index_b, a_is_start) -> List[np.ndarray]:

@@ -5,7 +5,11 @@ and {p3, ..., pN} are checked for collision.  If a motion from p2 to pi is
 collision-free, poses p3..pi-1 are considered redundant."  Each anchor's
 candidate set is recorded as one CONNECTIVITY phase, since the scheduler may
 stop at the first collision-free motion — this is the workload that makes
-the connectivity function mode useful (Section 7.1.1).
+the connectivity function mode useful (Section 7.1.1).  The fan-out is
+already batch-shaped: under :class:`~repro.planning.engine.BatchedEngine`
+each anchor's whole candidate set resolves in one vectorized dispatch, and
+under :class:`~repro.planning.engine.SimulatedEngine` it is exactly the
+inter-motion parallel phase SAS exploits.
 """
 
 from __future__ import annotations

@@ -1,0 +1,168 @@
+"""Differential harness: all three query engines are interchangeable.
+
+For fixed seeds, every planner workload (RRT, RRT-Connect, PRM, greedy
+shortcut) must produce the *identical* run under SequentialEngine,
+BatchedEngine, and SimulatedEngine:
+
+- the same planner path (same waypoints, to float precision),
+- the same per-phase engine answers (per-motion verdicts),
+- the same per-pose ground-truth verdicts for every recorded motion,
+- the same planner-visible ``CollisionStats`` operation counts,
+
+and every SimulatedEngine phase result must pass the SAS invariant audit.
+This is the acceptance gate for the engine refactor: planners cannot tell
+the engines apart except by wall clock and by the side products
+(cycle/energy numbers) the simulated engine accumulates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.invariants import check_sas_result
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+from repro.planning.engine import make_engine
+from repro.planning.prm import PRMPlanner
+from repro.planning.recorder import CDTraceRecorder
+from repro.planning.rrt import RRTPlanner
+from repro.planning.rrt_connect import RRTConnectPlanner
+from repro.planning.shortcut import greedy_shortcut
+from repro.robot.presets import planar_arm
+
+pytestmark = pytest.mark.engine_differential
+
+SEED = 2023
+START = np.array([np.pi * 0.9, 0.0])
+GOAL = np.array([-np.pi * 0.9, 0.0])
+
+#: (engine kind, checker backend) triples under differential test.
+ENGINES = [("sequential", "scalar"), ("batch", "batch"), ("simulated", "scalar")]
+
+
+@pytest.fixture(scope="module")
+def world():
+    scene = Scene(extent=4.0)
+    scene.add_obstacle(AABB.from_min_max([0.7, -0.4, 0.0], [0.9, 0.4, 0.2]))
+    octree = Octree.from_scene(scene, resolution=32)
+    robot = planar_arm(2)
+    return robot, octree
+
+
+def build_stack(world, engine_kind, backend):
+    robot, octree = world
+    checker = RobotEnvironmentChecker(
+        robot, octree, motion_step=0.05, collect_stats=True, backend=backend
+    )
+    engine = make_engine(engine_kind, checker, seed=SEED) if (
+        engine_kind == "simulated"
+    ) else make_engine(engine_kind, checker)
+    return checker, CDTraceRecorder(checker, engine=engine)
+
+
+def run_workload(world, workload, engine_kind, backend):
+    """Run one planner workload and snapshot everything comparable."""
+    checker, recorder = build_stack(world, engine_kind, backend)
+    path = workload(recorder, np.random.default_rng(SEED))
+    # Stats snapshot FIRST: forcing full ground truth below would charge
+    # the scalar checker for poses the engines never needed.
+    stats = checker.stats.as_dict()
+    verdicts = [
+        [motion.evaluate_all() for motion in phase.motions]
+        for phase in recorder.phases
+    ]
+    return {
+        "path": path,
+        "answers": [list(a.outcomes) for a in recorder.answers],
+        "labels": [(p.label, p.mode) for p in recorder.phases],
+        "verdicts": verdicts,
+        "stats": stats,
+        "recorder": recorder,
+    }
+
+
+def assert_identical_runs(runs):
+    reference = runs[0]
+    for run in runs[1:]:
+        if reference["path"] is None:
+            assert run["path"] is None
+        else:
+            assert run["path"] is not None
+            assert len(run["path"]) == len(reference["path"])
+            for q_ref, q_run in zip(reference["path"], run["path"]):
+                assert np.allclose(q_ref, q_run)
+        assert run["answers"] == reference["answers"]
+        assert run["labels"] == reference["labels"]
+        assert run["verdicts"] == reference["verdicts"]
+        assert run["stats"] == reference["stats"]
+
+
+def assert_simulated_audited(run):
+    engine = run["recorder"].engine
+    assert engine.name == "simulated"
+    assert len(engine.results) == len(run["recorder"].phases)
+    for phase, result in zip(run["recorder"].phases, engine.results):
+        assert check_sas_result(result, phases=[phase]) == []
+
+
+def differential(world, workload):
+    runs = [
+        run_workload(world, workload, kind, backend) for kind, backend in ENGINES
+    ]
+    assert_identical_runs(runs)
+    assert_simulated_audited(runs[-1])
+    return runs
+
+
+def rrt_workload(recorder, rng):
+    planner = RRTPlanner(recorder, max_iterations=3000, max_step=0.4, goal_bias=0.2)
+    return planner.plan(START, GOAL, rng)
+
+
+def rrt_connect_workload(recorder, rng):
+    planner = RRTConnectPlanner(recorder, max_iterations=800, max_step=0.4)
+    return planner.plan(START, GOAL, rng)
+
+
+def prm_workload(recorder, rng):
+    planner = PRMPlanner(recorder, n_samples=40, k_neighbors=5)
+    planner.build_roadmap(rng)
+    return planner.plan(START, GOAL, rng)
+
+
+def shortcut_workload(recorder, rng):
+    path = RRTConnectPlanner(recorder, max_iterations=800, max_step=0.4).plan(
+        START, GOAL, rng
+    )
+    assert path is not None
+    return greedy_shortcut(path, recorder)
+
+
+class TestEngineDifferential:
+    def test_rrt(self, world):
+        runs = differential(world, rrt_workload)
+        assert runs[0]["path"] is not None
+
+    def test_rrt_connect(self, world):
+        runs = differential(world, rrt_connect_workload)
+        assert runs[0]["path"] is not None
+
+    def test_prm(self, world):
+        runs = differential(world, prm_workload)
+        assert runs[0]["path"] is not None
+        # PRM issues batch-shaped COMPLETE phases for edges and attachments.
+        labels = {label for label, _ in runs[0]["labels"]}
+        assert "prm_edge" in labels and "prm_attach" in labels
+
+    def test_shortcut(self, world):
+        runs = differential(world, shortcut_workload)
+        assert runs[0]["path"] is not None
+
+    def test_simulated_batch_variant_matches_too(self, world):
+        """The fourth combination — simulated engine over a batch checker —
+        is also differential-identical on the heaviest workload."""
+        reference = run_workload(world, prm_workload, "sequential", "scalar")
+        simulated = run_workload(world, prm_workload, "simulated", "batch")
+        assert_identical_runs([reference, simulated])
+        assert_simulated_audited(simulated)

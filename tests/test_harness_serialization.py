@@ -144,3 +144,95 @@ class TestTracegenCLI:
         loaded = load_traces(out)
         assert loaded and loaded[0].phases
         assert "wrote" in capsys.readouterr().out
+
+
+class TestEngineRunRoundtrip:
+    """save_engine_run/load_engine_run: planner phase streams with their
+    engine answers (and inline SAS results) survive a disk round trip and
+    can be re-audited offline."""
+
+    def _record(self, jaco_checker, rng, engine=None):
+        recorder = CDTraceRecorder(jaco_checker, engine=engine)
+        q_a = jaco_checker.sample_free_configuration(rng)
+        q_b = jaco_checker.sample_free_configuration(rng)
+        q_c = jaco_checker.sample_free_configuration(rng)
+        recorder.steer(q_a, q_b, label="s")
+        recorder.connectivity(q_a, [q_b, q_c], label="c")
+        recorder.complete([(q_a, q_b), (q_b, q_c)], label="k")
+        return recorder
+
+    def test_roundtrip_preserves_answers_and_labels(
+        self, jaco_checker, rng, tmp_path
+    ):
+        from repro.harness.serialization import load_engine_run, save_engine_run
+
+        recorder = self._record(jaco_checker, rng)
+        path = str(tmp_path / "run.json")
+        save_engine_run(path, recorder)
+        run = load_engine_run(path)
+        assert run.engine == "sequential"
+        assert run.sas_results == []
+        assert len(run.phases) == len(recorder.phases) == 3
+        assert [p.label for p in run.phases] == ["s", "c", "k"]
+        assert [p.mode for p in run.phases] == [p.mode for p in recorder.phases]
+        assert [a.outcomes for a in run.answers] == [
+            list(a.outcomes) for a in recorder.answers
+        ]
+
+    def test_loaded_answers_match_sequential_reference(
+        self, jaco_checker, rng, tmp_path
+    ):
+        from repro.harness.serialization import load_engine_run, save_engine_run
+
+        recorder = self._record(jaco_checker, rng)
+        path = str(tmp_path / "run.json")
+        save_engine_run(path, recorder)
+        run = load_engine_run(path)
+        # The loaded phases carry full precomputed ground truth, so any
+        # engine can re-answer them offline; the stored answers must match
+        # the sequential reference (the semantics contract).
+        for phase, answer in zip(run.phases, run.answers):
+            assert answer.outcomes == list(phase.sequential_reference().outcomes)
+
+    def test_simulated_run_reaudits_offline(self, jaco_checker, rng, tmp_path):
+        from repro.accel.invariants import check_sas_result
+        from repro.harness.serialization import load_engine_run, save_engine_run
+        from repro.planning.engine import SimulatedEngine
+
+        engine = SimulatedEngine(jaco_checker, n_cdus=4, seed=9)
+        recorder = self._record(jaco_checker, rng, engine=engine)
+        path = str(tmp_path / "sim_run.json")
+        save_engine_run(path, recorder)  # pulls engine.results automatically
+        run = load_engine_run(path)
+        assert run.engine == "simulated"
+        assert len(run.sas_results) == len(run.phases) == 3
+        for phase, result in zip(run.phases, run.sas_results):
+            assert check_sas_result(result, phases=[phase]) == []
+        assert [r.cycles for r in run.sas_results] == [
+            r.cycles for r in engine.results
+        ]
+
+    def test_mismatched_answer_count_rejected(self, tmp_path):
+        import json
+
+        from repro.harness.serialization import load_engine_run
+
+        payload = {
+            "version": 1,
+            "engine": "sequential",
+            "phases": [
+                {
+                    "mode": "feasibility",
+                    "label": "x",
+                    "motions": [
+                        {"poses": [[0.0], [1.0]], "outcomes": [False, False]}
+                    ],
+                }
+            ],
+            "answers": [],
+        }
+        path = str(tmp_path / "bad_run.json")
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(ValueError, match="answers"):
+            load_engine_run(path)

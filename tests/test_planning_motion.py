@@ -141,3 +141,66 @@ class TestPhaseSequentialReference:
     def test_total_poses(self):
         phase = self._phase(FunctionMode.COMPLETE, [lambda q: False] * 3)
         assert phase.total_poses == sum(m.num_poses for m in phase.motions)
+
+
+class TestZeroLengthMotions:
+    """Regression: q_start == q_end must behave across the whole stack.
+
+    interpolate_motion collapses a zero-length segment to two identical
+    poses (never fewer — MotionRecord requires >= 2), and the verdict must
+    be the single pose's verdict under both checker backends.
+    """
+
+    def test_interpolation_yields_two_identical_poses(self):
+        from repro.collision.checker import interpolate_motion
+
+        q = np.array([0.3, -0.7])
+        poses = interpolate_motion(q, q, step=0.05)
+        assert poses.shape == (2, 2)
+        assert np.allclose(poses[0], q) and np.allclose(poses[1], q)
+
+    def test_motion_record_from_identical_endpoints(self):
+        checker = FakeChecker(lambda q: False)
+        motion = motion_from(checker, [0.5, 0.5], [0.5, 0.5])
+        assert motion.num_poses == 2
+        assert motion.is_collision_free()
+        # Both cached entries resolve, but laziness still applies per pose.
+        assert checker.calls == 2
+
+    def test_zero_length_phase_sequential_reference(self):
+        checker = FakeChecker(lambda q: True)
+        motion = motion_from(checker, [0.0, 0.0], [0.0, 0.0])
+        ref = CDPhase(FunctionMode.FEASIBILITY, [motion]).sequential_reference()
+        assert ref.outcomes == [True]
+        assert ref.tests == 1  # early exit on the first pose
+
+    def test_real_checker_scalar_and_batch_agree(self):
+        from repro.collision.checker import RobotEnvironmentChecker
+        from repro.env.octree import Octree
+        from repro.env.scene import Scene
+        from repro.geometry.aabb import AABB
+        from repro.robot.presets import planar_arm
+
+        scene = Scene(extent=4.0)
+        scene.add_obstacle(AABB.from_min_max([0.7, -0.4, 0.0], [0.9, 0.4, 0.2]))
+        octree = Octree.from_scene(scene, resolution=32)
+        robot = planar_arm(2)
+        free_q = np.array([np.pi, 0.0])
+        blocked_q = np.array([0.0, 0.0])
+        for q, expected in ((free_q, False), (blocked_q, True)):
+            results = {}
+            for backend in ("scalar", "batch"):
+                checker = RobotEnvironmentChecker(
+                    robot, octree, motion_step=0.05, backend=backend
+                )
+                result = checker.check_motion(q, q)
+                results[backend] = result
+                assert result.collision is expected
+                assert result.total_poses == 2
+            assert (
+                results["scalar"].poses_checked == results["batch"].poses_checked
+            )
+            assert (
+                results["scalar"].first_colliding_index
+                == results["batch"].first_colliding_index
+            )

@@ -99,6 +99,75 @@ class TestComplete:
         assert recorder.phases[0].mode is FunctionMode.COMPLETE
 
 
+class _ExplodingEngine:
+    """Engine stub that fails the test if the recorder consults it."""
+
+    name = "exploding"
+    checker = None
+
+    def answer(self, phase):
+        raise AssertionError("degenerate input must not reach the engine")
+
+
+class TestDegenerateInputs:
+    """The documented contract: no work in -> trivial answer out, no phase
+    recorded, engine and checker never consulted."""
+
+    def _recorder(self, world):
+        _, checker = world
+        return CDTraceRecorder(checker, engine=_ExplodingEngine())
+
+    def test_feasibility_short_path(self, world):
+        recorder = self._recorder(world)
+        assert recorder.feasibility([]) is None
+        assert recorder.feasibility([FREE_A]) is None
+        assert recorder.num_phases == 0
+        assert recorder.answers == []
+
+    def test_connectivity_no_targets(self, world):
+        recorder = self._recorder(world)
+        assert recorder.connectivity(FREE_A, []) is None
+        assert recorder.num_phases == 0
+        assert recorder.answers == []
+
+    def test_complete_no_segments(self, world):
+        recorder = self._recorder(world)
+        assert recorder.complete([]) == []
+        assert recorder.num_phases == 0
+        assert recorder.answers == []
+
+    def test_steer_always_records(self, world):
+        # steer has no degenerate form: even a zero-length motion is a
+        # real single-motion phase (two identical poses).
+        _, checker = world
+        recorder = CDTraceRecorder(checker)
+        assert recorder.steer(FREE_A, FREE_A)
+        assert recorder.num_phases == 1
+        assert recorder.phases[0].motions[0].num_poses == 2
+
+    @pytest.mark.parametrize("backend,engine_kind", [
+        ("scalar", "sequential"),
+        ("batch", "batch"),
+        ("scalar", "simulated"),
+    ])
+    def test_contract_holds_across_engines(self, world, backend, engine_kind):
+        from repro.planning.engine import make_engine
+
+        robot, base_checker = world
+        checker = RobotEnvironmentChecker(
+            base_checker.robot, base_checker.octree, motion_step=0.05,
+            backend=backend,
+        )
+        recorder = CDTraceRecorder(
+            checker, engine=make_engine(engine_kind, checker)
+        )
+        assert recorder.feasibility([FREE_A]) is None
+        assert recorder.connectivity(FREE_A, []) is None
+        assert recorder.complete([]) == []
+        assert recorder.num_phases == 0
+        assert checker.stats.pose_checks == 0
+
+
 class TestBookkeeping:
     def test_totals_and_clear(self, world):
         _, checker = world
