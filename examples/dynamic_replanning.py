@@ -7,8 +7,13 @@ a path, drops a new obstacle across it, detects the invalidation with a
 feasibility check, replans in the updated octree, and reports what the
 replanning cycle would cost on MPAccel versus an embedded CPU.
 
+The process exits nonzero when any stage fails (initial plan, replan, or
+the 1 ms budget), so this example doubles as a smoke test.
+
 Run:  python examples/dynamic_replanning.py
 """
+
+import sys
 
 import numpy as np
 
@@ -43,7 +48,7 @@ def _pose_along_path(path, fraction: float) -> np.ndarray:
     return np.asarray(path[-1], dtype=float)
 
 
-def main() -> None:
+def main() -> int:
     rng = np.random.default_rng(5)
     scene = random_scene(seed=9, n_obstacles=5)
     octree = Octree.from_scene(scene, resolution=16)
@@ -61,8 +66,8 @@ def main() -> None:
     result = planner.plan(q_start, q_goal, rng)
     print(f"initial plan: success={result.success}, waypoints={len(result.path)}")
     if not result.success:
-        print("initial planning failed; rerun with another seed")
-        return
+        print("FAIL: initial planning failed; rerun with another seed")
+        return 1
 
     # A new obstacle appears on top of the planned path: drop a box at the
     # robot's elbow position for the C-space midpoint of the path, making
@@ -87,15 +92,15 @@ def main() -> None:
         print(f"obstacle dropped at elbow {np.round(elbow, 2)} (t={fraction}); octree rebuilt")
         break
     if new_octree is None:
-        print("could not place an obstacle without blocking the endpoints")
-        return
+        print("FAIL: could not place an obstacle without blocking the endpoints")
+        return 1
 
     # Detect the invalidation (a feasibility-mode phase) and replan.
     replan_recorder = CDTraceRecorder(new_checker)
     bad_segment = replan_recorder.feasibility(result.path, label="revalidate")
     if bad_segment is None:
         print("old path still valid (obstacle missed it); nothing to do")
-        return
+        return 0
     print(f"old path invalidated at segment {bad_segment}; replanning...")
     replanner = MPNetPlanner(
         replan_recorder,
@@ -107,6 +112,9 @@ def main() -> None:
         f"replanned: success={new_result.success}, waypoints={len(new_result.path)}, "
         f"phases recorded={replan_recorder.num_phases}"
     )
+    if not new_result.success:
+        print("FAIL: replanning did not recover a valid path")
+        return 1
 
     # Price the replanning cycle on MPAccel vs an embedded CPU.
     config = MPAccelConfig(n_cecdus=16, cecdu=CECDUConfig(n_oocds=4))
@@ -120,9 +128,13 @@ def main() -> None:
     print(f"\nreplanning latency: MPAccel {timing.total_ms:.3f} ms "
           f"vs Cortex-A57 {cpu_ms:.2f} ms "
           f"({cpu_ms / max(1e-9, timing.total_ms):.0f}x)")
-    budget = "meets" if timing.total_ms < 1.0 else "misses"
-    print(f"MPAccel {budget} the 1 ms real-time budget")
+    budget_ok = timing.total_ms < 1.0
+    print(f"MPAccel {'meets' if budget_ok else 'misses'} the 1 ms real-time budget")
+    if not budget_ok:
+        print("FAIL: the 1 ms budget was violated")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -13,6 +13,8 @@ Public API tour:
 - :mod:`repro.accel` — the MPAccel cycle-level simulator: SAS scheduling
   policies, CECDU/OOCD timing, energy/area/power models.
 - :mod:`repro.baselines` — behavioral CPU and GPU device models.
+- :mod:`repro.resilience` — deterministic fault injection, per-tick
+  deadline budgets, and the graceful-degradation ladder.
 - :mod:`repro.harness` — workload construction and the per-figure/table
   experiment runners.
 """

@@ -88,6 +88,7 @@ class MPAccelSimulator:
         checker=None,
         telemetry: MetricsRegistry | None = None,
         check_invariants: bool = False,
+        fault_injector=None,
     ):
         self.config = config
         self.cecdu_model = cecdu_model
@@ -103,6 +104,7 @@ class MPAccelSimulator:
             seed=seed,
             telemetry=telemetry,
             check_invariants=check_invariants,
+            fault_injector=fault_injector,
         )
 
     # ------------------------------------------------------------------

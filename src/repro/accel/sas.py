@@ -92,6 +92,11 @@ class SASResult:
     energy_pj: float
     motion_outcomes: List[Optional[bool]] = field(default_factory=list)
     stopped_early: bool = False
+    #: Queries whose result was lost to an injected lane drop (each one is
+    #: re-dispatched; the lost work still counts toward tests/energy).
+    dropped_queries: int = 0
+    #: Queries delayed by an injected lane stall.
+    stalled_queries: int = 0
     #: CDU-cycles spent executing queries *inside* the measured window —
     #: latencies truncated at the stop boundary on early exit.
     busy_cycles: int = 0
@@ -142,11 +147,18 @@ class SASResult:
 class _MotionState:
     """Scheduler-side bookkeeping for one motion."""
 
-    __slots__ = ("motion", "order", "next_index", "in_flight", "returned", "killed", "decided")
+    __slots__ = (
+        "motion", "order", "n_poses", "next_index", "in_flight", "returned",
+        "killed", "decided",
+    )
 
     def __init__(self, motion: MotionRecord, order: List[int]):
         self.motion = motion
         self.order = order
+        # `order` starts as a permutation of the poses but may grow when an
+        # injected lane drop requeues a pose, so the free-motion decision
+        # compares against the pose count, not len(order).
+        self.n_poses = len(order)
         self.next_index = 0  # next position in `order` to dispatch
         self.in_flight = 0
         self.returned = 0
@@ -183,6 +195,7 @@ class SASSimulator:
         seed: int = 0,
         telemetry: MetricsRegistry | None = None,
         check_invariants: bool = False,
+        fault_injector=None,
     ):
         if n_cdus < 1:
             raise ValueError(f"n_cdus must be >= 1, got {n_cdus}")
@@ -196,7 +209,22 @@ class SASSimulator:
         self.latency_model = latency_model
         self.telemetry = telemetry
         self.check_invariants = check_invariants
+        # Optional repro.resilience.faults.FaultInjector: dispatched queries
+        # may be dropped (result lost, pose re-dispatched) or stalled (late
+        # completion).  One predicate per run when absent or disabled.
+        self.fault_injector = fault_injector
         self._rng = np.random.default_rng(seed)
+
+    def _lane_faults_active(self) -> bool:
+        injector = self.fault_injector
+        return (
+            injector is not None
+            and injector.enabled
+            and (
+                injector.models.lane_drop_rate > 0.0
+                or injector.models.lane_stall_rate > 0.0
+            )
+        )
 
     # ------------------------------------------------------------------
 
@@ -212,6 +240,8 @@ class SASSimulator:
         policy = self.policy
         group_size = self.config.group_size if policy.inter_motion else 1
         throttled = self.config.dispatch_per_cycle is not None
+        injector = self.fault_injector
+        lane_faults = self._lane_faults_active()
         timeline: List[DispatchEvent] = []
         events: List[TraceEvent] = []
         motion_index = {id(m): i for i, m in enumerate(phase.motions)}
@@ -237,7 +267,8 @@ class SASSimulator:
         backlog = list(states)
 
         free_cdus = self.n_cdus
-        completions: list = []  # heap of (time, seq, state, pose_index, hit, energy)
+        # heap of (time, seq, state, pose_index, hit, energy, dropped)
+        completions: list = []
         seq = 0
         now = 0
         next_dispatch = 0
@@ -248,6 +279,8 @@ class SASSimulator:
         energy = 0.0
         busy_cycles = 0
         abandoned = 0
+        dropped_queries = 0
+        stalled_queries = 0
         stop = False
         stop_time = 0
 
@@ -317,7 +350,7 @@ class SASSimulator:
                         c_kill.inc()
                     if state in active:
                         remove_active(state, t)
-                elif state.returned == len(state.order):
+                elif state.returned == state.n_poses:
                     state.decided = False
             if not stop:
                 if phase.mode is FunctionMode.FEASIBILITY and state.decided is True:
@@ -335,15 +368,43 @@ class SASSimulator:
 
         last_completion = 0
 
+        def requeue(state: _MotionState, pose_index: int, t: int):
+            """A lane drop lost this query's result: schedule the pose again.
+
+            The pose goes back to the front of the motion's dispatch order;
+            if the motion had already left the scheduling group (exhausted),
+            it re-enters through the backlog.  Moot once the motion is
+            killed or the phase has stopped — the result would be discarded
+            anyway.
+            """
+            state.in_flight -= 1
+            if state.killed or stop:
+                return
+            state.order.insert(state.next_index, pose_index)
+            if state not in active and state not in backlog:
+                backlog.insert(0, state)
+                refill_active(t)
+
         def drain_one():
             """Retire the earliest completion; truncate post-stop latency."""
             nonlocal free_cdus, now, last_completion, abandoned
-            ct, _, state, pose_index, hit, _energy = heapq.heappop(completions)
+            ct, _, state, pose_index, hit, _energy, dropped = heapq.heappop(
+                completions
+            )
             free_cdus += 1
             now = ct
             if ct > last_completion:
                 last_completion = ct
-            process(state, pose_index, hit, ct)
+            if dropped:
+                if record:
+                    events.append(
+                        TraceEvent(
+                            "drop", ct, motion_index[id(state.motion)], pose_index
+                        )
+                    )
+                requeue(state, pose_index, ct)
+            else:
+                process(state, pose_index, hit, ct)
             if stop and ct > stop_time:
                 # The query was in flight when the phase stopped: the CDU-
                 # cycles past the stop boundary are abandoned work, outside
@@ -371,6 +432,26 @@ class SASSimulator:
                 hit, latency, query_energy = self.latency_model(
                     candidate.motion, pose_index
                 )
+                dropped = False
+                if lane_faults:
+                    fault = injector.lane_fault()
+                    if fault is not None:
+                        if fault[0] == "stall":
+                            latency += fault[1]
+                            stalled_queries += 1
+                            if record:
+                                events.append(
+                                    TraceEvent(
+                                        "stall", t,
+                                        motion_index[id(candidate.motion)],
+                                        pose_index,
+                                    )
+                                )
+                        else:
+                            # The CDU runs the query but its result is lost:
+                            # the work is paid for, the verdict never lands.
+                            dropped = True
+                            dropped_queries += 1
                 tests += 1
                 energy += query_energy
                 busy_cycles += latency
@@ -392,7 +473,9 @@ class SASSimulator:
                 free_cdus -= 1
                 seq += 1
                 heapq.heappush(
-                    completions, (t + latency, seq, candidate, pose_index, hit, query_energy)
+                    completions,
+                    (t + latency, seq, candidate, pose_index, hit, query_energy,
+                     dropped),
                 )
                 if throttled:
                     if t == dispatch_cycle:
@@ -431,8 +514,14 @@ class SASSimulator:
             timeline=timeline,
             abandoned_cycles=abandoned,
             events=events,
+            dropped_queries=dropped_queries,
+            stalled_queries=stalled_queries,
         )
-        if self.check_invariants:
+        if self.check_invariants and not (dropped_queries or stalled_queries):
+            # Lane faults deliberately break the accounting invariants a
+            # healthy schedule must satisfy (a dropped pose dispatches
+            # twice, a stall decouples latency from the latency model), so
+            # the audit only runs on fault-free schedules.
             from repro.accel.invariants import verify_sas_result
 
             verify_sas_result(result, config=self.config, phases=[phase])
@@ -466,6 +555,8 @@ class SASSimulator:
             total.energy_pj += result.energy_pj
             total.busy_cycles += result.busy_cycles
             total.abandoned_cycles += result.abandoned_cycles
+            total.dropped_queries += result.dropped_queries
+            total.stalled_queries += result.stalled_queries
             total.motion_outcomes.extend(result.motion_outcomes)
             total.stopped_early = total.stopped_early or result.stopped_early
             total.phase_count += 1
@@ -498,7 +589,9 @@ class SASSimulator:
                     replace(event, cycle=event.cycle + offset, phase=index)
                     for event in result.events
                 )
-        if self.check_invariants:
+        if self.check_invariants and not (
+            total.dropped_queries or total.stalled_queries
+        ):
             from repro.accel.invariants import verify_sas_result
 
             verify_sas_result(total, config=self.config, phases=list(phases))

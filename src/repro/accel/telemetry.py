@@ -47,7 +47,9 @@ __all__ = [
 
 
 #: The scheduler event vocabulary (Section 5.1's state machine, observable).
-EVENT_KINDS = ("dispatch", "complete", "kill", "refill", "stop")
+#: ``drop``/``stall`` only appear when a fault injector is attached to the
+#: simulator (:mod:`repro.resilience.faults`).
+EVENT_KINDS = ("dispatch", "complete", "kill", "refill", "stop", "drop", "stall")
 
 
 @dataclass(frozen=True)

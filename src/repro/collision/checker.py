@@ -80,6 +80,7 @@ class RobotEnvironmentChecker:
         stats: Optional[CollisionStats] = None,
         collect_stats: bool = True,
         backend: str = "scalar",
+        fault_injector=None,
     ):
         if backend not in ("scalar", "batch"):
             raise ValueError(
@@ -101,6 +102,21 @@ class RobotEnvironmentChecker:
         # (repro.collision.batch); verdicts and stats stay bit-identical.
         self.backend = backend
         self._batch_evaluator = None
+        # Optional repro.resilience.faults.FaultInjector: when attached and
+        # enabled with a bit-flip model, quantized link OBBs may have one
+        # raw fixed-point bit flipped (an SEU in the 16-bit datapath).  The
+        # hook costs one predicate when absent or disabled.
+        self.fault_injector = fault_injector
+
+    def _bit_flips_active(self) -> bool:
+        """Whether the quantized-OBB corruption hook can fire."""
+        injector = self.fault_injector
+        return (
+            injector is not None
+            and injector.enabled
+            and injector.models.bit_flip_rate > 0.0
+            and self.fixed_point is not None
+        )
 
     @property
     def batch_evaluator(self):
@@ -137,11 +153,16 @@ class RobotEnvironmentChecker:
         obbs = self.robot.link_obbs(q)
         if self.fixed_point is not None:
             obbs = [quantize_obb(obb, self.fixed_point) for obb in obbs]
+            injector = self.fault_injector
+            if injector is not None and injector.enabled:
+                obbs = [
+                    injector.corrupt_obb(obb, self.fixed_point) for obb in obbs
+                ]
         return obbs
 
     def check_pose(self, q) -> bool:
         """True when the robot collides with the environment at ``q``."""
-        if self.backend == "batch":
+        if self.backend == "batch" and not self._bit_flips_active():
             return bool(self.check_poses(q)[0])
         self.stats.pose_checks += 1
         stats = self.stats if self.collect_stats else None
@@ -161,7 +182,12 @@ class RobotEnvironmentChecker:
         qs = np.asarray(qs, dtype=float)
         if qs.ndim == 1:
             qs = qs[None, :]
-        if self.backend != "batch":
+        if self.backend != "batch" or self._bit_flips_active():
+            # Bit-flip injection lives in the scalar quantized-OBB path;
+            # the vectorized pipeline would bypass it.  The scalar loop is
+            # verdict- and stats-identical by the batch backend's contract,
+            # so falling back only changes wall clock (faults are active —
+            # bit-identity with the healthy run is already off the table).
             return np.fromiter(
                 (self.check_pose(q) for q in qs), dtype=bool, count=len(qs)
             )
@@ -200,7 +226,7 @@ class RobotEnvironmentChecker:
         """
         self.stats.motion_checks += 1
         poses = self.motion_poses(q_start, q_end)
-        if self.backend == "batch":
+        if self.backend == "batch" and not self._bit_flips_active():
             outcome = self.batch_evaluator.evaluate(poses)
             collision = bool(outcome.hits.any())
             first = int(np.argmax(outcome.hits)) if collision else None

@@ -43,6 +43,7 @@ from repro.accel.telemetry import MetricsRegistry, TraceEvent
 from repro.harness.traces import QueryTrace
 from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
 from repro.planning.mpnet import PlanResult
+from repro.resilience.faults import FaultEvent, FaultModels, FaultSchedule
 
 if TYPE_CHECKING:
     from repro.planning.engine import PhaseAnswer
@@ -248,6 +249,8 @@ def sas_result_to_dict(result: SASResult) -> dict:
         "phase_breakdown": [phase_stats_to_dict(s) for s in result.phase_breakdown],
         "timeline": [dispatch_event_to_dict(e) for e in result.timeline],
         "events": [trace_event_to_dict(e) for e in result.events],
+        "dropped_queries": result.dropped_queries,
+        "stalled_queries": result.stalled_queries,
     }
 
 
@@ -269,6 +272,8 @@ def sas_result_from_dict(data: dict) -> SASResult:
             phase_stats_from_dict(s) for s in data.get("phase_breakdown", [])
         ],
         events=[trace_event_from_dict(e) for e in data.get("events", [])],
+        dropped_queries=int(data.get("dropped_queries", 0)),
+        stalled_queries=int(data.get("stalled_queries", 0)),
     )
 
 
@@ -383,6 +388,70 @@ def load_engine_run(path: str) -> EngineRun:
     return EngineRun(
         engine=engine, phases=phases, answers=answers, sas_results=sas_results
     )
+
+
+# ----------------------------------------------------------------------
+# Fault schedule serialization: the (models, seed) generator key of a
+# chaos run plus the log of faults that actually fired.  Because the
+# injector is deterministic, a loaded schedule rebuilds an identical
+# injector (``FaultSchedule.build_injector``), and the saved event log
+# lets a replay be diffed against the original run.
+
+
+def fault_event_to_dict(event: FaultEvent) -> dict:
+    return {
+        "site": event.site,
+        "kind": event.kind,
+        "index": event.index,
+        "detail": list(event.detail),
+    }
+
+
+def fault_event_from_dict(data: dict) -> FaultEvent:
+    return FaultEvent(
+        site=data["site"],
+        kind=data["kind"],
+        index=int(data["index"]),
+        detail=tuple(data.get("detail", [])),
+    )
+
+
+def fault_schedule_to_dict(schedule: FaultSchedule) -> dict:
+    return {
+        "models": schedule.models.to_dict(),
+        "seed": schedule.seed,
+        "events": [fault_event_to_dict(e) for e in schedule.events],
+    }
+
+
+def fault_schedule_from_dict(data: dict) -> FaultSchedule:
+    return FaultSchedule(
+        models=FaultModels.from_dict(data["models"]),
+        seed=int(data["seed"]),
+        events=[fault_event_from_dict(e) for e in data.get("events", [])],
+    )
+
+
+def save_fault_schedule(path: str, schedule: FaultSchedule) -> None:
+    """Write a fault schedule (generator key + fired-event log) as JSON."""
+    payload = {
+        "version": SCHEMA_VERSION,
+        "fault_schedule": fault_schedule_to_dict(schedule),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_fault_schedule(path: str) -> FaultSchedule:
+    """Load a schedule written by :func:`save_fault_schedule`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema version {version!r}; expected {SCHEMA_VERSION}"
+        )
+    return fault_schedule_from_dict(payload["fault_schedule"])
 
 
 # ----------------------------------------------------------------------

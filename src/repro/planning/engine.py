@@ -105,11 +105,24 @@ class QueryEngine:
 
     name = "base"
 
-    def __init__(self, checker=None, telemetry: MetricsRegistry | None = None):
+    def __init__(
+        self,
+        checker=None,
+        telemetry: MetricsRegistry | None = None,
+        fault_injector=None,
+    ):
         self.checker = checker
         self.telemetry = telemetry
+        # Optional repro.resilience.faults.FaultInjector: an answered phase
+        # may raise TransientEngineFault/EngineTimeoutFault before the
+        # backend runs (the runtime retries these with bounded backoff).
+        # One predicate per answer when absent or disabled.
+        self.fault_injector = fault_injector
 
     def answer(self, phase: CDPhase) -> PhaseAnswer:
+        injector = self.fault_injector
+        if injector is not None and injector.enabled:
+            injector.engine_phase(phase.label or phase.mode.value)
         tel = self.telemetry
         if tel is not None and tel.enabled:
             label = f"{self.name}:{phase.label or phase.mode.value}"
@@ -209,16 +222,27 @@ class BatchedEngine(QueryEngine):
 
     name = "batch"
 
-    def __init__(self, checker, telemetry: MetricsRegistry | None = None):
+    def __init__(
+        self,
+        checker,
+        telemetry: MetricsRegistry | None = None,
+        fault_injector=None,
+    ):
         if getattr(checker, "backend", "scalar") != "batch":
             raise ValueError(
                 "BatchedEngine needs a backend='batch' checker; got "
                 f"backend={getattr(checker, 'backend', None)!r}"
             )
-        super().__init__(checker, telemetry)
+        super().__init__(checker, telemetry, fault_injector=fault_injector)
 
     def _answer(self, phase: CDPhase) -> PhaseAnswer:
-        return _batched_prime_and_answer(phase, self.checker)
+        checker = self.checker
+        if checker._bit_flips_active():
+            # Bit-flip injection lives in the scalar quantized-OBB path;
+            # answer through the sequential reference so every ground-truth
+            # probe passes the corruption hook.
+            return PhaseAnswer(outcomes=list(phase.sequential_reference().outcomes))
+        return _batched_prime_and_answer(phase, checker)
 
 
 class SimulatedEngine(QueryEngine):
@@ -264,8 +288,9 @@ class SimulatedEngine(QueryEngine):
         telemetry: MetricsRegistry | None = None,
         check_invariants: bool = True,
         record_timeline: bool = False,
+        fault_injector=None,
     ):
-        super().__init__(checker, telemetry)
+        super().__init__(checker, telemetry, fault_injector=fault_injector)
         if simulator is None:
             from repro.accel.sas import SASSimulator, unit_latency_model
 
@@ -277,6 +302,7 @@ class SimulatedEngine(QueryEngine):
                 seed=seed,
                 telemetry=telemetry,
                 check_invariants=check_invariants,
+                fault_injector=fault_injector,
             )
         self.simulator = simulator
         self.record_timeline = record_timeline
@@ -290,7 +316,11 @@ class SimulatedEngine(QueryEngine):
 
     def _answer(self, phase: CDPhase) -> PhaseAnswer:
         checker = self.checker
-        if checker is not None and getattr(checker, "backend", "scalar") == "batch":
+        if (
+            checker is not None
+            and getattr(checker, "backend", "scalar") == "batch"
+            and not checker._bit_flips_active()
+        ):
             answer = _batched_prime_and_answer(phase, checker)
         else:
             answer = PhaseAnswer(

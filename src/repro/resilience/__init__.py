@@ -1,0 +1,40 @@
+"""Resilience: deterministic fault injection, deadlines, degradation.
+
+The robustness layer that turns the reproduction's realtime loop from a
+latency *meter* into a system that survives faults: seeded fault injection
+across the collision/scheduler/engine datapaths
+(:mod:`repro.resilience.faults`), enforceable per-tick deadline budgets
+with bounded retry backoff (:mod:`repro.resilience.deadline`), and the
+graceful-degradation ladder the runtime walks when a tick cannot afford a
+full replan (:mod:`repro.resilience.degradation`).
+"""
+
+from repro.resilience.deadline import DeadlineBudget, TickTimer
+from repro.resilience.degradation import DegradationLevel, degradation_histogram
+from repro.resilience.faults import (
+    FAULT_KINDS,
+    EngineTimeoutFault,
+    FaultEvent,
+    FaultInjector,
+    FaultModels,
+    FaultSchedule,
+    InjectedFault,
+    TransientEngineFault,
+    faults_active,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultModels",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultInjector",
+    "InjectedFault",
+    "TransientEngineFault",
+    "EngineTimeoutFault",
+    "faults_active",
+    "DeadlineBudget",
+    "TickTimer",
+    "DegradationLevel",
+    "degradation_histogram",
+]

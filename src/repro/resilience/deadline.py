@@ -1,0 +1,96 @@
+"""Per-tick deadline budgets and bounded retry backoff.
+
+The paper's deployment constraint is a ~1 ms actuator period: a control
+tick that takes longer has already failed, however good its plan.  The
+:class:`DeadlineBudget` makes that constraint *enforceable* rather than
+merely measurable: :class:`repro.accel.runtime.RobotRuntime` charges each
+tick's simulated cost (and optionally wall clock) against it and walks the
+degradation ladder (:mod:`repro.resilience.degradation`) when the budget is
+gone.
+
+Two clocks, deliberately separate:
+
+- ``sim_ms`` budgets the *modeled* tick cost — MPAccel planning latency
+  plus the octree-update bus time plus retry backoff penalties.  It is a
+  pure function of the workload, so deadline decisions driven by it are
+  deterministic and replayable (the chaos tests pin them).
+- ``wall_ms`` budgets the host's real elapsed time per tick.  Useful on a
+  deployed controller; left ``None`` in tests because wall clock is not
+  reproducible.
+
+Retries of transient engine faults are budgeted too: attempt ``k`` adds
+``backoff_ms * 2**k`` of simulated backoff, and at most ``max_retries``
+retries are spent before the tick gives up and degrades.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["DeadlineBudget", "TickTimer"]
+
+
+@dataclass(frozen=True)
+class DeadlineBudget:
+    """Per-tick time budget plus the transient-fault retry policy.
+
+    ``sim_ms``/``wall_ms`` of ``None`` disable that clock; a budget with
+    both disabled never triggers (it still bounds retries).
+    """
+
+    #: Simulated per-tick budget (MPAccel latency + bus time + backoff), ms.
+    sim_ms: Optional[float] = 1.0
+    #: Wall-clock per-tick budget, ms (None = not enforced).
+    wall_ms: Optional[float] = None
+    #: Retries allowed per tick for transient engine faults.
+    max_retries: int = 2
+    #: Simulated backoff charged for retry ``k``: ``backoff_ms * 2**k``.
+    backoff_ms: float = 0.05
+
+    def __post_init__(self):
+        if self.sim_ms is not None and self.sim_ms <= 0:
+            raise ValueError(f"sim_ms must be positive or None, got {self.sim_ms}")
+        if self.wall_ms is not None and self.wall_ms <= 0:
+            raise ValueError(f"wall_ms must be positive or None, got {self.wall_ms}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_ms < 0:
+            raise ValueError(f"backoff_ms must be >= 0, got {self.backoff_ms}")
+
+    def retry_penalty_ms(self, attempt: int) -> float:
+        """Simulated backoff cost of retry number ``attempt`` (0-based)."""
+        return self.backoff_ms * (2.0**attempt)
+
+    def sim_exceeded(self, spent_ms: float) -> bool:
+        return self.sim_ms is not None and spent_ms > self.sim_ms
+
+    def sim_remaining(self, spent_ms: float) -> float:
+        """Simulated budget left (inf when the sim clock is disabled)."""
+        if self.sim_ms is None:
+            return float("inf")
+        return self.sim_ms - spent_ms
+
+    def wall_exceeded(self, spent_ms: float) -> bool:
+        return self.wall_ms is not None and spent_ms > self.wall_ms
+
+
+class TickTimer:
+    """Wall-clock stopwatch for one tick, with an injectable clock.
+
+    Tests substitute a fake ``clock`` to exercise wall-budget decisions
+    deterministically; production uses :func:`time.perf_counter`.
+    """
+
+    __slots__ = ("_clock", "_start")
+
+    def __init__(self, clock=time.perf_counter):
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed_ms(self) -> float:
+        return (self._clock() - self._start) * 1e3
+
+    def restart(self) -> None:
+        self._start = self._clock()

@@ -1,0 +1,60 @@
+"""The graceful-degradation ladder the realtime runtime walks.
+
+When a control tick cannot afford (or repeatedly fails) a full replan, the
+runtime does not crash and does not ship a guess — it steps down a ladder
+of strictly cheaper behaviors, each preserving the safety invariant that
+*every emitted path was validated against the octree the runtime currently
+holds*:
+
+1. :attr:`DegradationLevel.FULL_REPLAN` — a fresh plan was produced and
+   validated this tick (normal operation under change).
+2. :attr:`DegradationLevel.REVALIDATE_ONLY` — the current path was
+   re-validated against this tick's octree and kept; no planning happened.
+3. :attr:`DegradationLevel.REUSE_LAST_VALID` — the current path was
+   invalid or unaffordable, but an older known-good path re-validated
+   clean against this tick's octree and was restored.
+4. :attr:`DegradationLevel.SAFE_STOP` — nothing could be validated inside
+   the budget; the runtime emits *no* path (the controller holds pose /
+   engages brakes) rather than an unvalidated one.
+
+Levels order by severity, so reports can aggregate with ``max`` and
+histograms read top-to-bottom as "how degraded was the run".
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Dict, Iterable
+
+__all__ = ["DegradationLevel", "degradation_histogram"]
+
+
+class DegradationLevel(IntEnum):
+    """Ladder rungs, ordered from healthy to safe-stop."""
+
+    FULL_REPLAN = 0
+    REVALIDATE_ONLY = 1
+    REUSE_LAST_VALID = 2
+    SAFE_STOP = 3
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "DegradationLevel":
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            raise ValueError(
+                f"unknown degradation level {label!r}; expected one of "
+                f"{[level.label for level in cls]}"
+            ) from None
+
+
+def degradation_histogram(levels: Iterable[DegradationLevel]) -> Dict[str, int]:
+    """Ladder-ordered ``{level label: count}`` over a run's tick levels."""
+    counts = {level.label: 0 for level in DegradationLevel}
+    for level in levels:
+        counts[DegradationLevel(level).label] += 1
+    return counts

@@ -1,0 +1,362 @@
+"""Deterministic fault injection for the MPAccel stack.
+
+A realtime motion planner that only *prices* its budget is not deployable:
+production stacks must survive corrupted datapaths, dropped accelerator
+lanes, sensor dropouts, and transient software failures.  This module
+provides the fault side of that story: a seeded :class:`FaultInjector`
+whose per-site random streams make every injected fault sequence exactly
+reproducible, so chaos tests are regular regression tests.
+
+Fault models (:class:`FaultModels`):
+
+- **bit flips** in the quantized OBB datapath — one raw 16-bit word of a
+  link OBB has one bit flipped after quantization, emulating an SEU in the
+  fixed-point register file (hooked in
+  :meth:`repro.collision.checker.RobotEnvironmentChecker.link_obbs`);
+- **CDU lane drops/stalls** — a dispatched SAS query either loses its
+  result (the pose must be re-dispatched) or completes late by a fixed
+  stall penalty (hooked in :meth:`repro.accel.sas.SASSimulator.run`);
+- **sensor dropout** — a control tick where the environment update never
+  arrives, so the runtime keeps planning against a stale octree (hooked in
+  :meth:`repro.accel.runtime.RobotRuntime.run`);
+- **engine phase faults** — a planner-issued CD phase raises a transient
+  exception or times out (hooked in
+  :meth:`repro.planning.engine.QueryEngine.answer`); the runtime retries
+  these with bounded backoff.
+
+Every hook is gated on ``injector is not None and injector.enabled`` at the
+call site, so a run without an injector (or with a disabled one) pays one
+predicate — ``benchmarks/bench_resilience_overhead.py`` guards this at <=5%.
+
+Determinism contract: each hook site owns an independent random stream
+seeded from ``(seed, site name)``.  For a fixed seed and a fixed sequence
+of hook calls per site, the injector fires the *same* faults with the same
+details; the fired sequence is recorded in :attr:`FaultInjector.events` and
+can be serialized for offline replay
+(:func:`repro.harness.serialization.save_fault_schedule`).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultModels",
+    "FaultEvent",
+    "FaultSchedule",
+    "InjectedFault",
+    "TransientEngineFault",
+    "EngineTimeoutFault",
+    "FaultInjector",
+    "faults_active",
+]
+
+
+#: The fault vocabulary, in the order the hooks live along the datapath.
+FAULT_KINDS = (
+    "bit_flip",
+    "lane_drop",
+    "lane_stall",
+    "sensor_dropout",
+    "engine_exception",
+    "engine_timeout",
+)
+
+
+class InjectedFault(RuntimeError):
+    """Base class for exceptions raised by injected faults."""
+
+
+class TransientEngineFault(InjectedFault):
+    """A query engine phase failed transiently; the caller may retry."""
+
+
+class EngineTimeoutFault(TransientEngineFault):
+    """A query engine phase exceeded its (simulated) time allowance."""
+
+
+@dataclass(frozen=True)
+class FaultModels:
+    """Per-model fault rates and parameters (all zero = inert injector).
+
+    Rates are per hook invocation: per quantized link OBB for
+    ``bit_flip_rate``, per SAS dispatch for the lane rates, per control
+    tick for ``sensor_dropout_rate``, and per answered phase for the
+    engine rates.
+    """
+
+    #: Probability a quantized link OBB gets one raw bit flipped.
+    bit_flip_rate: float = 0.0
+    #: Fixed bit position to flip (None = uniform over the word).
+    bit_flip_bit: Optional[int] = None
+    #: Probability a dispatched SAS query loses its result (re-dispatch).
+    lane_drop_rate: float = 0.0
+    #: Probability a dispatched SAS query stalls.
+    lane_stall_rate: float = 0.0
+    #: Extra completion latency of a stalled query, in CDU cycles.
+    lane_stall_cycles: int = 4
+    #: Probability a control tick sees no environment update (stale octree).
+    sensor_dropout_rate: float = 0.0
+    #: Probability an answered engine phase raises TransientEngineFault.
+    engine_exception_rate: float = 0.0
+    #: Probability an answered engine phase raises EngineTimeoutFault.
+    engine_timeout_rate: float = 0.0
+
+    def __post_init__(self):
+        for name in (
+            "bit_flip_rate",
+            "lane_drop_rate",
+            "lane_stall_rate",
+            "sensor_dropout_rate",
+            "engine_exception_rate",
+            "engine_timeout_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.lane_stall_cycles < 1:
+            raise ValueError(
+                f"lane_stall_cycles must be >= 1, got {self.lane_stall_cycles}"
+            )
+
+    @property
+    def any_active(self) -> bool:
+        """Whether any model can ever fire."""
+        return (
+            self.bit_flip_rate > 0.0
+            or self.lane_drop_rate > 0.0
+            or self.lane_stall_rate > 0.0
+            or self.sensor_dropout_rate > 0.0
+            or self.engine_exception_rate > 0.0
+            or self.engine_timeout_rate > 0.0
+        )
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultModels":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FaultModels fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fired fault: where, what, and the site-local draw it fired on.
+
+    ``detail`` carries model-specific data as a flat tuple (e.g. the word
+    index and bit position of a bit flip, or the stall penalty in cycles).
+    """
+
+    site: str
+    kind: str
+    index: int
+    detail: Tuple = ()
+
+
+@dataclass
+class FaultSchedule:
+    """A serializable fault run: the generator key plus what actually fired.
+
+    ``models`` + ``seed`` fully determine the schedule (the injector is
+    deterministic), so a loaded schedule can rebuild an identical injector
+    for replay; ``events`` is the fired-fault log of the recorded run, kept
+    so a replay can be checked against the original.
+    """
+
+    models: FaultModels
+    seed: int
+    events: List[FaultEvent] = field(default_factory=list)
+
+    def build_injector(self, telemetry=None) -> "FaultInjector":
+        """A fresh injector that will reproduce this schedule exactly."""
+        return FaultInjector(self.models, seed=self.seed, telemetry=telemetry)
+
+
+class FaultInjector:
+    """Seeded, deterministic fault source shared by every hook site.
+
+    Each site (``"checker.obb"``, ``"sas.lane"``, ``"runtime.sensor"``,
+    ``"engine.phase"``) draws from its own :class:`numpy.random.Generator`
+    seeded from ``(seed, crc32(site))``, so the decision stream at one site
+    is independent of how often the other sites are consulted — the
+    schedule is a pure function of the seed and each site's call count.
+
+    ``enabled=False`` turns every hook into a no-op without detaching it
+    (the disabled-overhead benchmark attaches exactly this).  ``telemetry``
+    (optional :class:`~repro.accel.telemetry.MetricsRegistry`) receives a
+    ``faults.<kind>`` counter increment per fired fault.
+    """
+
+    def __init__(
+        self,
+        models: Optional[FaultModels] = None,
+        seed: int = 0,
+        enabled: bool = True,
+        telemetry=None,
+    ):
+        self.models = models if models is not None else FaultModels()
+        self.seed = int(seed)
+        self.enabled = bool(enabled)
+        self.telemetry = telemetry
+        self.events: List[FaultEvent] = []
+        self._rngs: Dict[str, np.random.Generator] = {}
+        self._draws: Dict[str, int] = {}
+
+    # -- stream plumbing ------------------------------------------------
+
+    def _rng(self, site: str) -> np.random.Generator:
+        rng = self._rngs.get(site)
+        if rng is None:
+            entropy = [self.seed, zlib.crc32(site.encode("ascii"))]
+            rng = self._rngs[site] = np.random.default_rng(entropy)
+            self._draws[site] = 0
+        return rng
+
+    def _fire(self, site: str, kind: str, detail: Tuple = ()) -> FaultEvent:
+        event = FaultEvent(site, kind, self._draws[site], detail)
+        self.events.append(event)
+        tel = self.telemetry
+        if tel is not None and tel.enabled:
+            tel.counter(f"faults.{kind}").inc()
+        return event
+
+    def reset(self) -> None:
+        """Rewind every site stream and clear the fired-event log.
+
+        After a reset the injector reproduces its schedule from the start —
+        this is how a single injector instance drives two identical runs.
+        """
+        self.events.clear()
+        self._rngs.clear()
+        self._draws.clear()
+
+    def schedule(self) -> FaultSchedule:
+        """The serializable (models, seed, fired events) record of this run."""
+        return FaultSchedule(
+            models=self.models, seed=self.seed, events=list(self.events)
+        )
+
+    @property
+    def fault_count(self) -> int:
+        return len(self.events)
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        return counts
+
+    # -- hook sites -----------------------------------------------------
+
+    def corrupt_obb(self, obb, fmt):
+        """Maybe flip one raw fixed-point bit of a quantized link OBB.
+
+        The flip targets one of the six Q-format words (center xyz, half
+        extents xyz); a half-extent flip is clamped to raw >= 1 because the
+        conservative round-up of :func:`repro.geometry.fixed_point.quantize_obb`
+        guarantees that floor and the OBB constructor enforces it.  Returns
+        the (possibly corrupted) OBB.
+        """
+        models = self.models
+        if models.bit_flip_rate <= 0.0:
+            return obb
+        site = "checker.obb"
+        rng = self._rng(site)
+        self._draws[site] += 1
+        if rng.random() >= models.bit_flip_rate:
+            return obb
+        word = int(rng.integers(0, 6))
+        if models.bit_flip_bit is not None:
+            bit = int(models.bit_flip_bit) % fmt.total_bits
+        else:
+            bit = int(rng.integers(0, fmt.total_bits))
+        from repro.geometry.obb import OBB
+
+        center = np.array(obb.center, dtype=float)
+        half = np.array(obb.half_extents, dtype=float)
+        target = center if word < 3 else half
+        axis = word % 3
+        raw = fmt.to_raw(float(target[axis]))
+        mask = (1 << fmt.total_bits) - 1
+        flipped = (raw & mask) ^ (1 << bit)
+        if flipped >= 1 << (fmt.total_bits - 1):
+            flipped -= 1 << fmt.total_bits  # sign-extend back to two's complement
+        if word >= 3 and flipped < 1:
+            flipped = 1  # half extents stay positive (hardware round-up floor)
+        target[axis] = fmt.from_raw(flipped)
+        self._fire(site, "bit_flip", (word, bit))
+        return OBB(center, half, obb.rotation)
+
+    def lane_fault(self) -> Optional[Tuple]:
+        """Fault decision for one SAS dispatch.
+
+        Returns ``None`` (healthy), ``("drop",)`` (the query's result is
+        lost and its pose must be re-dispatched), or ``("stall", cycles)``
+        (the query completes late by ``cycles``).  Drop takes precedence
+        over stall when both models are active.
+        """
+        models = self.models
+        if models.lane_drop_rate <= 0.0 and models.lane_stall_rate <= 0.0:
+            return None
+        site = "sas.lane"
+        rng = self._rng(site)
+        self._draws[site] += 1
+        draw = rng.random()
+        if draw < models.lane_drop_rate:
+            self._fire(site, "lane_drop")
+            return ("drop",)
+        if draw < models.lane_drop_rate + models.lane_stall_rate:
+            cycles = int(models.lane_stall_cycles)
+            self._fire(site, "lane_stall", (cycles,))
+            return ("stall", cycles)
+        return None
+
+    def sensor_dropout(self, tick: int) -> bool:
+        """Whether the environment update for ``tick`` was lost."""
+        models = self.models
+        if models.sensor_dropout_rate <= 0.0:
+            return False
+        site = "runtime.sensor"
+        rng = self._rng(site)
+        self._draws[site] += 1
+        if rng.random() < models.sensor_dropout_rate:
+            self._fire(site, "sensor_dropout", (tick,))
+            return True
+        return False
+
+    def engine_phase(self, label: str = "") -> None:
+        """Maybe fail one engine phase; raises on injection.
+
+        Raises :class:`TransientEngineFault` (transient software failure)
+        or :class:`EngineTimeoutFault` (phase exceeded its allowance);
+        exception takes precedence when both models are active.
+        """
+        models = self.models
+        if models.engine_exception_rate <= 0.0 and models.engine_timeout_rate <= 0.0:
+            return
+        site = "engine.phase"
+        rng = self._rng(site)
+        self._draws[site] += 1
+        draw = rng.random()
+        if draw < models.engine_exception_rate:
+            self._fire(site, "engine_exception", (label,))
+            raise TransientEngineFault(
+                f"injected transient engine fault (phase {label!r})"
+            )
+        if draw < models.engine_exception_rate + models.engine_timeout_rate:
+            self._fire(site, "engine_timeout", (label,))
+            raise EngineTimeoutFault(f"injected engine timeout (phase {label!r})")
+
+
+def faults_active(injector: Optional[FaultInjector]) -> bool:
+    """The hook-site gate, shared so every call site agrees on it."""
+    return injector is not None and injector.enabled and injector.models.any_active

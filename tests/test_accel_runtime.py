@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.accel.config import CECDUConfig, MPAccelConfig, SASConfig
-from repro.accel.runtime import RobotRuntime
+from repro.accel.runtime import RobotRuntime, RuntimeReport, TickReport
 from repro.accel.sas import SASSimulator
 from repro.collision.checker import RobotEnvironmentChecker
 from repro.env.octree import Octree
@@ -69,6 +69,75 @@ class TestRobotRuntime:
         )
         assert report.worst_tick_ms > 0.0
         assert report.meets_budget(budget_ms=10.0)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError) as excinfo:
+            RobotRuntime(
+                robot=planar_arm(2),
+                scene=_scene_with_wall(),
+                config=MPAccelConfig(n_cecdus=8, cecdu=CECDUConfig(n_oocds=4)),
+                scene_update=lambda scene, tick, rng_: False,
+                backend="vectorised",
+            )
+        message = str(excinfo.value)
+        assert "vectorised" in message
+        assert "scalar" in message and "batch" in message
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError) as excinfo:
+            RobotRuntime(
+                robot=planar_arm(2),
+                scene=_scene_with_wall(),
+                config=MPAccelConfig(n_cecdus=8, cecdu=CECDUConfig(n_oocds=4)),
+                scene_update=lambda scene, tick, rng_: False,
+                engine="sas",
+            )
+        message = str(excinfo.value)
+        assert "sas" in message
+        assert "sequential" in message and "batch" in message
+
+
+class TestRuntimeReportEdgeCases:
+    """Regressions pinning the report math on degenerate inputs."""
+
+    def test_empty_report(self):
+        report = RuntimeReport()
+        assert report.worst_tick_ms == 0.0
+        assert report.replan_count == 0
+        assert report.meets_budget()  # max() default: an empty run holds
+        assert report.deadline_miss_count == 0
+        assert report.fault_count == 0
+        assert sum(report.degradation_histogram.values()) == 0
+
+    def test_single_tick_run(self, rng):
+        runtime = RobotRuntime(
+            robot=planar_arm(2),
+            scene=_scene_with_wall(),
+            config=MPAccelConfig(n_cecdus=8, cecdu=CECDUConfig(n_oocds=4)),
+            scene_update=lambda scene, tick, rng_: False,
+            octree_resolution=32,
+        )
+        report = runtime.run(
+            np.array([np.pi * 0.9, 0.0]), np.array([-np.pi * 0.9, 0.0]),
+            n_ticks=0, rng=rng,
+        )
+        assert len(report.ticks) == 1
+        assert report.replan_count == 1
+        first = report.ticks[0]
+        assert report.worst_tick_ms == first.total_ms
+        assert first.octree_update_ms > 0.0  # initial full octree transfer
+        assert not report.meets_budget(budget_ms=first.total_ms * 0.5)
+        assert report.meets_budget(budget_ms=first.total_ms)
+
+    def test_total_ms_includes_octree_update(self):
+        tick = TickReport(
+            tick=0, replanned=True, plan_valid=True, planning_ms=0.25,
+            phases=1, poses_checked=10, octree_update_ms=0.75,
+        )
+        assert tick.total_ms == pytest.approx(1.0)
+        report = RuntimeReport(ticks=[tick])
+        assert report.worst_tick_ms == pytest.approx(1.0)
+        assert not report.meets_budget(budget_ms=0.9)
 
 
 class _FakeChecker:
