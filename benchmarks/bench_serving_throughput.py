@@ -1,0 +1,165 @@
+"""Serving throughput: cross-request batching + verdict cache vs sequential.
+
+Run standalone for a report::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py
+
+or as the tier-2 perf guard (skipped in tier-1, which only collects
+``tests/``)::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving_throughput.py -m perf
+
+The workload is one wave of planning requests served three ways over the
+same environment:
+
+1. **sequential** — the single-client baseline: one request start to
+   finish at a time, scalar backend, no cache;
+2. **batched (cold)** — the multi-client service coalescing CD phases
+   across requests into vectorized dispatches, shared cache starting empty;
+3. **batched (warm)** — the same wave resubmitted to the same service, so
+   the octree-versioned cache already holds every verdict.
+
+Per-request results are bit-identical across all three (pinned by
+``tests/test_serving.py``); only wall clock and the work mix change.  The
+guard asserts the cache-warm batched path beats the sequential baseline by
+at least 2x wall-clock.  Reported but not guarded: cold-batch speedup,
+requests per wall-second, and the cache hit rate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.config import ReproConfig, ServiceConfig
+from repro.env.generator import random_scene
+from repro.env.octree import Octree
+from repro.robot.presets import planar_arm
+from repro.serving import PlanningService, PlanRequest
+
+SEED = 13
+N_REQUESTS = 6
+SPEEDUP_FLOOR = 2.0
+
+
+def _workload():
+    robot = planar_arm(3)
+    octree = Octree.from_scene(random_scene(seed=5), resolution=16)
+    checker = RobotEnvironmentChecker.from_config(robot, octree, ReproConfig())
+    rng = np.random.default_rng(SEED)
+    pairs = [
+        (
+            checker.sample_free_configuration(rng),
+            checker.sample_free_configuration(rng),
+        )
+        for _ in range(N_REQUESTS)
+    ]
+    return robot, octree, pairs
+
+
+def _requests(pairs, suffix=""):
+    return [
+        PlanRequest(f"req-{i}{suffix}", q_start, q_goal, seed=200 + i)
+        for i, (q_start, q_goal) in enumerate(pairs)
+    ]
+
+
+def _drain(service, requests):
+    """Submit a wave, drain it, and return (wall seconds, report)."""
+    for request in requests:
+        service.submit(request)
+    start = time.perf_counter()
+    report = service.run()
+    return time.perf_counter() - start, report
+
+
+def measure_serving() -> dict:
+    robot, octree, pairs = _workload()
+
+    sequential = PlanningService(
+        robot,
+        octree,
+        config=ReproConfig(service=ServiceConfig(mode="sequential")),
+    )
+    seq_seconds, seq_report = _drain(sequential, _requests(pairs))
+
+    batched = PlanningService(robot, octree)  # for_service(): batch + cache
+    cold_seconds, cold_report = _drain(batched, _requests(pairs))
+    hits_before = batched.cache.hits
+    warm_seconds, warm_report = _drain(batched, _requests(pairs, suffix="-w"))
+    warm_hits = batched.cache.hits - hits_before
+
+    # Same per-request outcomes everywhere (the differential suite pins
+    # bit-identity; this is the cheap smoke version of it).
+    for i in range(N_REQUESTS):
+        a = seq_report.responses[f"req-{i}"]
+        b = warm_report.responses[f"req-{i}-w"]
+        assert a.success == b.success
+        assert a.stats.pose_checks == b.stats.pose_checks
+
+    return {
+        "sequential_s": seq_seconds,
+        "cold_s": cold_seconds,
+        "warm_s": warm_seconds,
+        "speedup_cold": seq_seconds / cold_seconds,
+        "speedup_warm": seq_seconds / warm_seconds,
+        "requests_per_s_sequential": N_REQUESTS / seq_seconds,
+        "requests_per_s_warm": N_REQUESTS / warm_seconds,
+        "warm_hit_rate": warm_hits / max(1, warm_report.poses_dispatched),
+        "cache_counters": batched.cache.counters(),
+        "dispatches_cold": cold_report.dispatches,
+        "phases_cold": cold_report.phases_answered,
+    }
+
+
+@pytest.mark.perf
+def test_cache_warm_batched_at_least_2x_faster():
+    report = measure_serving()
+    assert report["speedup_warm"] >= SPEEDUP_FLOOR, (
+        f"cache-warm batched serving speedup {report['speedup_warm']:.1f}x "
+        f"fell below the {SPEEDUP_FLOOR:.0f}x floor (sequential "
+        f"{report['sequential_s']:.3f}s, warm {report['warm_s']:.3f}s)"
+    )
+
+
+@pytest.mark.perf
+def test_batching_coalesces_phases():
+    report = measure_serving()
+    assert report["dispatches_cold"] < report["phases_cold"]
+    assert report["warm_hit_rate"] > 0.5
+
+
+def main() -> int:
+    report = measure_serving()
+    print("serving throughput (wall clock)")
+    print(
+        f"  sequential baseline : {report['sequential_s']:.3f}s "
+        f"({report['requests_per_s_sequential']:.1f} req/s)"
+    )
+    print(
+        f"  batched, cold cache : {report['cold_s']:.3f}s "
+        f"({report['speedup_cold']:.1f}x)"
+    )
+    print(
+        f"  batched, warm cache : {report['warm_s']:.3f}s "
+        f"({report['speedup_warm']:.1f}x, "
+        f"{report['requests_per_s_warm']:.1f} req/s)"
+    )
+    print(
+        f"  coalescing          : {report['phases_cold']} phases in "
+        f"{report['dispatches_cold']} dispatches (cold wave)"
+    )
+    print(f"  warm hit rate       : {report['warm_hit_rate']:.1%}")
+    print(f"  cache               : {report['cache_counters']}")
+    floor_met = report["speedup_warm"] >= SPEEDUP_FLOOR
+    print(
+        f"  2x floor            : {'met' if floor_met else 'MISSED'}"
+    )
+    return 0 if floor_met else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,7 +10,8 @@ Run:  python examples/cspace_tour.py
 
 import numpy as np
 
-from repro.collision import RobotEnvironmentChecker
+from repro.api import make_checker
+from repro.config import ReproConfig
 from repro.env import Octree, Scene, render_top_down
 from repro.geometry.aabb import AABB
 from repro.planning import CDTraceRecorder, greedy_shortcut
@@ -25,7 +26,7 @@ def main() -> None:
     scene.add_obstacle(AABB.from_min_max([0.7, -0.4, 0.0], [0.9, 0.4, 0.2]))
     octree = Octree.from_scene(scene, resolution=32)
     robot = planar_arm(2)
-    checker = RobotEnvironmentChecker(robot, octree, motion_step=0.05)
+    checker = make_checker(robot, octree, ReproConfig(motion_step=0.05))
 
     q_start = np.array([np.pi * 0.9, 0.0])
     q_goal = np.array([-np.pi * 0.9, 0.0])

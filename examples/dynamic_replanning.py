@@ -18,9 +18,11 @@ import sys
 import numpy as np
 
 from repro.accel import CECDUConfig, CECDUModel, MPAccelConfig, MPAccelSimulator
+from repro.api import make_checker
 from repro.baselines.device import CPU_DEVICES
 from repro.baselines.system import BaselineSystemModel
 from repro.collision import RobotEnvironmentChecker
+from repro.config import ReproConfig
 from repro.env import Octree, random_scene
 from repro.env.mapping import scan_scene_points
 from repro.geometry.aabb import AABB
@@ -53,7 +55,12 @@ def main() -> int:
     scene = random_scene(seed=9, n_obstacles=5)
     octree = Octree.from_scene(scene, resolution=16)
     robot = baxter_arm()
-    checker = RobotEnvironmentChecker(robot, octree, collect_stats=False)
+    # Deprecated string-kwarg construction, left in on purpose as the shim
+    # demo: it emits a DeprecationWarning and is pinned bit-identical to
+    # the typed path (make_checker / from_config) used everywhere else.
+    checker = RobotEnvironmentChecker(
+        robot, octree, collect_stats=False, backend="scalar"
+    )
 
     recorder = CDTraceRecorder(checker)
     planner = MPNetPlanner(
@@ -84,7 +91,9 @@ def main() -> int:
         candidate = AABB.from_min_max(lo, hi)
         scene.add_obstacle(candidate)
         octree_try = Octree.from_scene(scene, resolution=16)
-        checker_try = RobotEnvironmentChecker(robot, octree_try, collect_stats=False)
+        checker_try = make_checker(
+            robot, octree_try, ReproConfig(collect_stats=False)
+        )
         if checker_try.check_pose(q_start) or checker_try.check_pose(q_goal):
             scene.obstacles.remove(candidate)  # endpoints blocked: retry
             continue

@@ -16,10 +16,11 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro.accel import CECDUConfig, CECDUModel, MPAccelConfig, MPAccelSimulator
-from repro.collision import RobotEnvironmentChecker
+from repro.api import make_recorder
+from repro.config import EngineConfig, ReproConfig
 from repro.env import Octree, random_scene
 from repro.env.mapping import scan_scene_points
-from repro.planning import CDTraceRecorder, HeuristicSampler, MPNetPlanner, make_engine
+from repro.planning import HeuristicSampler, MPNetPlanner
 from repro.robot import baxter_arm
 
 
@@ -33,21 +34,22 @@ def main() -> None:
     print(f"environment: {scene}")
     print(f"octree: {octree} (hardware compatible: {octree.hardware_compatible})")
 
-    # 2. Robot + collision checker (16-bit fixed-point datapath).  The
-    #    "batch" backend feeds the vectorized pipeline the batched query
-    #    engine dispatches to.
+    # 2. One typed config wires the whole software stack: the "batch"
+    #    checker backend feeds the vectorized pipeline the batched query
+    #    engine dispatches to (16-bit fixed-point datapath throughout).
     robot = baxter_arm()
-    checker = RobotEnvironmentChecker(
-        robot, octree, collect_stats=False, backend="batch"
+    repro_config = ReproConfig(
+        backend="batch", collect_stats=False, engine=EngineConfig(kind="batch")
     )
 
     # 3. Plan with the learning-based planner.  Every collision query is
     #    recorded as a CD phase (motions + scheduler function mode) and
     #    answered by a query engine — here the batched one, which resolves
-    #    each phase in a single vectorized dispatch.  Swapping the engine
-    #    ("sequential", "batch", "simulated") never changes the plan, only
-    #    how it is computed.
-    recorder = CDTraceRecorder(checker, engine=make_engine("batch", checker))
+    #    each phase in a single vectorized dispatch.  Swapping
+    #    EngineConfig(kind=...) ("sequential", "batch", "simulated") never
+    #    changes the plan, only how it is computed.
+    recorder = make_recorder(robot, octree, repro_config)
+    checker = recorder.checker
     planner = MPNetPlanner(
         recorder,
         HeuristicSampler(robot),

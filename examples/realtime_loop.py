@@ -7,7 +7,8 @@ period every time it runs.  This example drives the closed-loop
 the workspace, prints an ASCII map of the evolving scene, and reports the
 per-tick MPAccel latency series.
 
-The run is enforced, not just measured: a :class:`DeadlineBudget` caps each
+The run is enforced, not just measured: the typed config's
+:class:`~repro.config.ResilienceConfig` deadline caps each
 tick's simulated cost at the 1 ms actuator period and the runtime walks the
 graceful-degradation ladder rather than shipping an unvalidated path.  The
 process exits nonzero when the budget is missed or the final path is
@@ -21,9 +22,9 @@ import sys
 import numpy as np
 
 from repro.accel import CECDUConfig, MPAccelConfig, RobotRuntime
+from repro.config import EngineConfig, ReproConfig, ResilienceConfig
 from repro.env import Scene, render_top_down
 from repro.geometry.aabb import AABB
-from repro.resilience import DeadlineBudget
 from repro.robot import planar_arm
 
 
@@ -56,16 +57,20 @@ def main() -> int:
         scene=scene,
         config=MPAccelConfig(n_cecdus=8, cecdu=CECDUConfig(n_oocds=4)),
         scene_update=sweep_mover,
-        octree_resolution=32,
-        # Answer every planner phase with one vectorized dispatch: the
-        # batched query engine (over the batch checker backend) keeps each
-        # tick's wall clock down without changing any planner decision.
-        backend="batch",
-        engine="batch",
-        # Enforce the actuator period per tick: if the simulated tick cost
-        # exceeds 1 ms the runtime degrades (revalidate-only, reuse the
-        # last validated path, or safe-stop) instead of running long.
-        deadline=DeadlineBudget(sim_ms=1.0),
+        repro=ReproConfig(
+            octree_resolution=32,
+            # Answer every planner phase with one vectorized dispatch: the
+            # batched query engine (over the batch checker backend) keeps
+            # each tick's wall clock down without changing any planner
+            # decision.
+            backend="batch",
+            engine=EngineConfig(kind="batch"),
+            # Enforce the actuator period per tick: if the simulated tick
+            # cost exceeds 1 ms the runtime degrades (revalidate-only,
+            # reuse the last validated path, or safe-stop) instead of
+            # running long.
+            resilience=ResilienceConfig(sim_ms=1.0),
+        ),
     )
 
     q_start = np.array([np.pi * 0.9, 0.0])

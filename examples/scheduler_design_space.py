@@ -11,7 +11,8 @@ Run:  python examples/scheduler_design_space.py
 import numpy as np
 
 from repro.accel.limit import limit_study, tabulate
-from repro.collision import RobotEnvironmentChecker
+from repro.api import make_checker
+from repro.config import ReproConfig
 from repro.env import Octree, random_scene
 from repro.env.mapping import scan_scene_points
 from repro.planning import CDTraceRecorder, HeuristicSampler, MPNetPlanner
@@ -23,7 +24,7 @@ def build_workload(n_queries: int = 4, seed: int = 17):
     scene = random_scene(seed=seed, n_obstacles=8)
     octree = Octree.from_scene(scene, resolution=16)
     robot = jaco2()
-    checker = RobotEnvironmentChecker(robot, octree, collect_stats=False)
+    checker = make_checker(robot, octree, ReproConfig(collect_stats=False))
     recorder = CDTraceRecorder(checker)
     planner = MPNetPlanner(
         recorder,

@@ -14,7 +14,8 @@ import numpy as np
 
 from repro.accel import SASSimulator
 from repro.accel.config import SASConfig
-from repro.collision import RobotEnvironmentChecker
+from repro.api import make_checker
+from repro.config import ReproConfig
 from repro.env import Scene
 from repro.env.mapping import OccupancyMapper, scan_scene_points
 from repro.geometry.aabb import AABB
@@ -54,7 +55,7 @@ def main() -> None:
     print(f"sensed octree: {octree}")
 
     robot = jaco2()
-    checker = RobotEnvironmentChecker(robot, octree, collect_stats=False)
+    checker = make_checker(robot, octree, ReproConfig(collect_stats=False))
     recorder = CDTraceRecorder(checker)
     planner = MPNetPlanner(
         recorder, HeuristicSampler(robot), environment_points=cloud

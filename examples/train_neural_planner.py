@@ -11,7 +11,8 @@ Run:  python examples/train_neural_planner.py
 
 import numpy as np
 
-from repro.collision import RobotEnvironmentChecker
+from repro.api import make_checker
+from repro.config import ReproConfig
 from repro.env import Octree, Scene
 from repro.env.mapping import scan_scene_points
 from repro.geometry.aabb import AABB
@@ -66,7 +67,7 @@ def main() -> None:
     scene = training_scenes(8)[-1]
     octree = Octree.from_scene(scene, resolution=32)
     robot = robot_factory()
-    checker = RobotEnvironmentChecker(robot, octree, motion_step=0.05)
+    checker = make_checker(robot, octree, ReproConfig(motion_step=0.05))
     recorder = CDTraceRecorder(checker)
     sampler = NeuralSampler(model, robot)
     planner = MPNetPlanner(

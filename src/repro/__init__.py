@@ -15,6 +15,12 @@ Public API tour:
 - :mod:`repro.baselines` — behavioral CPU and GPU device models.
 - :mod:`repro.resilience` — deterministic fault injection, per-tick
   deadline budgets, and the graceful-degradation ladder.
+- :mod:`repro.serving` — the multi-client planning service: cross-request
+  batching over an octree-versioned collision cache.
+- :mod:`repro.config` — frozen, validated configuration dataclasses; the
+  one coherent way to wire the stack (JSON round-trip included).
+- :mod:`repro.api` — the facade: ``plan``/``make_runtime``/``make_service``
+  from a :class:`~repro.config.ReproConfig`.
 - :mod:`repro.harness` — workload construction and the per-figure/table
   experiment runners.
 """

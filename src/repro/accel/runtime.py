@@ -40,6 +40,7 @@ bit-identical to it.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -51,7 +52,10 @@ from repro.accel.cecdu import CECDUModel
 from repro.accel.config import MPAccelConfig
 from repro.accel.mpaccel import MPAccelSimulator
 from repro.accel.telemetry import MetricsRegistry
+from repro.collision.cache import CollisionCache
 from repro.collision.checker import RobotEnvironmentChecker
+from repro.config import EngineConfig, ReproConfig
+from repro.env.diff import octree_delta_regions
 from repro.env.mapping import scan_scene_points
 from repro.env.octree import Octree
 from repro.env.scene import Scene
@@ -170,6 +174,14 @@ class RobotRuntime:
     add obstacles) and returns True when something changed; ticks without
     changes only revalidate the current path.
 
+    ``repro`` (:class:`repro.config.ReproConfig`) is the typed way to wire
+    the planning stack: collision backend, query-engine kind, motion step,
+    octree resolution, resilience policy (deadline budget + audit flag),
+    and the optional collision cache all come from one validated bundle.
+    The legacy loose kwargs (``backend=``/``engine=`` strings, ``deadline=``,
+    ``audit=``) keep working but emit a :class:`DeprecationWarning`, and
+    cannot be combined with ``repro=``.
+
     ``backend`` selects the collision checker implementation; with
     ``"batch"`` the MPAccel simulator primes every CD phase's ground truth
     through one vectorized dispatch before pricing it (bit-identical
@@ -182,6 +194,13 @@ class RobotRuntime:
     already prices each tick through :class:`MPAccelSimulator`; routing
     planning through SAS as well would double-count the work.
     ``telemetry`` receives a per-tick scope with the SAS counters.
+
+    With ``repro.cache.enabled`` the runtime keeps one
+    :class:`~repro.collision.cache.CollisionCache` across ticks: each tick's
+    rebuilt checker shares it, and the octree delta between consecutive
+    ticks selectively invalidates only the cached verdicts whose robot
+    footprints overlap a changed region — verdicts for poses far from the
+    moving obstacle survive the update.
 
     Resilience:
 
@@ -209,46 +228,114 @@ class RobotRuntime:
         scene: Scene,
         config: MPAccelConfig,
         scene_update: Callable[[Scene, int, np.random.Generator], bool],
-        octree_resolution: int = 16,
-        motion_step: float = 0.05,
-        backend: str = "scalar",
-        engine: str = "sequential",
+        octree_resolution: Optional[int] = None,
+        motion_step: Optional[float] = None,
+        backend: Optional[str] = None,
+        engine: Optional[str] = None,
         telemetry: MetricsRegistry | None = None,
         deadline: DeadlineBudget | None = None,
         faults: FaultInjector | None = None,
-        audit: bool = False,
+        audit: Optional[bool] = None,
         clock=time.perf_counter,
+        repro: Optional[ReproConfig] = None,
     ):
-        if backend not in VALID_BACKENDS:
-            raise ValueError(
-                f"unknown backend {backend!r}; valid choices: {list(VALID_BACKENDS)}"
+        if repro is not None:
+            overlapping = {
+                "octree_resolution": octree_resolution,
+                "motion_step": motion_step,
+                "backend": backend,
+                "engine": engine,
+                "deadline": deadline,
+                "audit": audit,
+            }
+            passed = sorted(k for k, v in overlapping.items() if v is not None)
+            if passed:
+                raise ValueError(
+                    f"got both repro= and the legacy kwarg(s) {passed}; "
+                    "express them through the ReproConfig instead"
+                )
+            if repro.engine.kind not in VALID_ENGINES:
+                raise ValueError(
+                    f"unknown engine {repro.engine.kind!r}; valid choices: "
+                    f"{list(VALID_ENGINES)} (the 'simulated' engine is not "
+                    "supported here: the runtime already prices ticks "
+                    "through MPAccelSimulator)"
+                )
+            self.repro = repro
+            deadline = repro.resilience.make_deadline()
+            audit = repro.resilience.audit
+        else:
+            legacy = sorted(
+                name
+                for name, value in (
+                    ("backend", backend),
+                    ("engine", engine),
+                    ("deadline", deadline),
+                    ("audit", audit),
+                )
+                if value is not None
             )
-        if engine not in VALID_ENGINES:
-            raise ValueError(
-                f"unknown engine {engine!r}; valid choices: {list(VALID_ENGINES)} "
-                "(the 'simulated' engine is not supported here: the runtime "
-                "already prices ticks through MPAccelSimulator)"
+            if legacy:
+                warnings.warn(
+                    f"passing {legacy} to RobotRuntime directly is "
+                    "deprecated; wire them through "
+                    "RobotRuntime(..., repro=ReproConfig(...)) or "
+                    "repro.api.make_runtime",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            backend = "scalar" if backend is None else backend
+            engine = "sequential" if engine is None else engine
+            if backend not in VALID_BACKENDS:
+                raise ValueError(
+                    f"unknown backend {backend!r}; valid choices: {list(VALID_BACKENDS)}"
+                )
+            if engine not in VALID_ENGINES:
+                raise ValueError(
+                    f"unknown engine {engine!r}; valid choices: {list(VALID_ENGINES)} "
+                    "(the 'simulated' engine is not supported here: the runtime "
+                    "already prices ticks through MPAccelSimulator)"
+                )
+            if engine == "batch" and backend != "batch":
+                raise ValueError("engine='batch' requires backend='batch'")
+            self.repro = ReproConfig(
+                backend=backend,
+                motion_step=0.05 if motion_step is None else motion_step,
+                octree_resolution=(
+                    16 if octree_resolution is None else octree_resolution
+                ),
+                collect_stats=False,
+                engine=EngineConfig(kind=engine),
             )
-        if engine == "batch" and backend != "batch":
-            raise ValueError("engine='batch' requires backend='batch'")
         self.robot = robot
         self.scene = scene
         self.config = config
         self.scene_update = scene_update
-        self.octree_resolution = octree_resolution
-        self.motion_step = motion_step
-        self.backend = backend
-        self.engine = engine
+        self.octree_resolution = self.repro.octree_resolution
+        self.motion_step = self.repro.motion_step
+        self.backend = self.repro.backend
+        self.engine = self.repro.engine.kind
         self.telemetry = telemetry
         self.deadline = deadline
         self.faults = faults
-        self.audit = audit
+        self.audit = bool(audit)
         self._clock = clock
         self._previous_octree = None
         self._stack: Optional[tuple] = None
         self._last_validated_path: List[np.ndarray] = []
         #: (tick, path, octree) per emitted path when ``audit=True``.
         self.audit_trail: List[tuple] = []
+        #: Persistent verdict cache (``repro.cache.enabled``): survives the
+        #: per-tick checker rebuild and is selectively invalidated from the
+        #: octree delta each tick instead of being dropped.
+        self._cache: Optional[CollisionCache] = None
+        self._cache_octree: Optional[Octree] = None
+        if self.repro.cache.enabled:
+            self._cache = CollisionCache(
+                quantum=self.repro.cache.quantum,
+                max_entries=self.repro.cache.max_entries,
+                telemetry=telemetry,
+            )
 
     # -- plumbing ------------------------------------------------------
 
@@ -285,14 +372,21 @@ class RobotRuntime:
 
     def _build_stack(self, rng):
         octree = Octree.from_scene(self.scene, resolution=self.octree_resolution)
-        checker = RobotEnvironmentChecker(
-            self.robot, octree, motion_step=self.motion_step, collect_stats=False,
-            backend=self.backend, fault_injector=self.faults,
+        if self._cache is not None:
+            if self._cache_octree is not None:
+                self._cache.invalidate_regions(
+                    octree_delta_regions(self._cache_octree, octree)
+                )
+            self._cache_octree = octree
+        checker = RobotEnvironmentChecker.from_config(
+            self.robot, octree, self.repro,
+            fault_injector=self.faults, cache=self._cache,
+            telemetry=self.telemetry,
         )
         recorder = CDTraceRecorder(
             checker,
             engine=make_engine(
-                self.engine, checker, telemetry=self.telemetry,
+                self.repro.engine, checker, telemetry=self.telemetry,
                 fault_injector=self.faults,
             ),
         )

@@ -20,6 +20,7 @@ from repro.collision.batch import (
     batch_link_obbs,
     batch_quantize_obbs,
 )
+from repro.collision.cache import CollisionCache, footprint_of_obbs
 from repro.collision.cascade import (
     CascadeConfig,
     CascadeResult,
@@ -37,6 +38,8 @@ __all__ = [
     "ExitStage",
     "cascade_intersect",
     "CollisionStats",
+    "CollisionCache",
+    "footprint_of_obbs",
     "OBBOctreeCollider",
     "TraversalTrace",
     "NodeVisit",

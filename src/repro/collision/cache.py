@@ -1,0 +1,241 @@
+"""Octree-versioned collision verdict cache.
+
+Multi-client serving (:mod:`repro.serving`) re-checks the same quantized
+poses over and over: requests share an environment, planners revisit
+configurations, and motion discretizations overlap.  This cache memoizes
+per-pose verdicts keyed on the quantized configuration, versioned by an
+*environment epoch* that advances on every octree update.
+
+**Bit-identity contract.**  Alongside each verdict the cache stores the
+exact :class:`~repro.collision.stats.CollisionStats` delta the fresh
+evaluation charged for that pose (node visits, SAT axes, cascade exits, ...
+— everything except the caller-owned ``pose_checks``/``motion_checks``
+counters).  A hit replays the stored delta into the live stats object, so a
+cache-on run records *identical* operation counts to a cache-off run — the
+energy model prices those counts, so "the check was skipped" must not be
+visible in the accounting.  The evaluator is deterministic, which makes the
+stored delta equal to what a fresh evaluation would have charged, always.
+
+**Selective invalidation.**  On an environment update the owner computes
+the changed-region boxes with :func:`repro.env.diff.octree_delta_regions`
+and calls :meth:`invalidate_regions`.  An entry survives iff its
+*footprint* — the AABB over the robot's quantized link OBBs at the cached
+pose — is disjoint from every changed box.  This is safe because the
+octree traversal only examines an octant whose parent node it visited, and
+it only visits nodes whose box intersects the query volume: when no
+changed node's box touches the footprint, the traversal (verdict *and*
+work counts) is identical in the old and new trees.  Footprints are
+computed lazily at first invalidation and cached on the entry.
+
+Hit/miss/invalidation counters are mirrored into an optional
+:class:`~repro.accel.telemetry.MetricsRegistry` (``cache.hits``,
+``cache.misses``, ``cache.invalidated``, ``cache.epoch_advances``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.collision.stats import CollisionStats
+from repro.geometry.aabb import AABB
+
+__all__ = ["CacheEntry", "CollisionCache", "DEFAULT_QUANTUM"]
+
+#: Default pose-key quantum (radians).  Far below any meaningful joint
+#: resolution, so distinct planner poses virtually never alias; equal poses
+#: (the common repeat case) always do.
+DEFAULT_QUANTUM = 1e-9
+
+
+class CacheEntry:
+    """One cached pose verdict with its replayable stats delta."""
+
+    __slots__ = ("verdict", "stats", "pose", "epoch", "footprint")
+
+    def __init__(
+        self,
+        verdict: bool,
+        stats: CollisionStats,
+        pose: np.ndarray,
+        epoch: int,
+    ):
+        self.verdict = verdict
+        self.stats = stats
+        self.pose = pose
+        self.epoch = epoch
+        self.footprint: Optional[AABB] = None
+
+
+class CollisionCache:
+    """Pose-verdict cache keyed on (quantized pose, environment epoch).
+
+    ``quantum`` sets the pose quantization grid; ``max_entries`` bounds
+    memory with FIFO eviction (insertion order).  ``telemetry`` mirrors the
+    counters into a metrics registry.  The cache is attached to one or more
+    :class:`~repro.collision.checker.RobotEnvironmentChecker` instances
+    (sharing a robot and environment); the first attach binds the
+    stats-collection mode and the footprint function, later attaches must
+    agree — mixing ``collect_stats`` modes would replay empty deltas into a
+    collecting stats object and break bit-identity.
+    """
+
+    def __init__(
+        self,
+        quantum: float = DEFAULT_QUANTUM,
+        max_entries: int = 1_000_000,
+        telemetry=None,
+    ):
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.quantum = quantum
+        self.max_entries = max_entries
+        self.telemetry = telemetry
+        self.epoch = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidated = 0
+        self.epoch_advances = 0
+        self.collect_stats: Optional[bool] = None
+        self._footprint_fn: Optional[Callable[[np.ndarray], AABB]] = None
+        self._entries: dict = {}
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+
+    def attach(
+        self, collect_stats: bool, footprint_fn: Callable[[np.ndarray], AABB]
+    ) -> None:
+        """Bind the cache to a checker's stats mode and footprint geometry."""
+        if self.collect_stats is None:
+            self.collect_stats = collect_stats
+            self._footprint_fn = footprint_fn
+        elif self.collect_stats != collect_stats:
+            raise ValueError(
+                "cache is shared between checkers with different collect_stats "
+                f"modes ({self.collect_stats} vs {collect_stats}); stored stat "
+                "deltas would not match what a cache-off run records"
+            )
+
+    # ------------------------------------------------------------------
+    # Lookup / store
+    # ------------------------------------------------------------------
+
+    def key(self, q) -> bytes:
+        """Quantized-pose dictionary key."""
+        q = np.asarray(q, dtype=float)
+        return np.round(q / self.quantum).astype(np.int64).tobytes()
+
+    def lookup(self, q) -> Optional[CacheEntry]:
+        """The entry for a pose at the current epoch, or None (counted)."""
+        entry = self._entries.get(self.key(q))
+        if entry is not None and entry.epoch == self.epoch:
+            self.hits += 1
+            if self.telemetry is not None and self.telemetry.enabled:
+                self.telemetry.counter("cache.hits").inc()
+            return entry
+        self.misses += 1
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.counter("cache.misses").inc()
+        return None
+
+    def store(self, q, verdict: bool, stats_delta: CollisionStats) -> None:
+        """Insert a freshly evaluated pose verdict (FIFO-evicting)."""
+        if len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        pose = np.array(q, dtype=float, copy=True)
+        self._entries[self.key(q)] = CacheEntry(
+            bool(verdict), stats_delta, pose, self.epoch
+        )
+
+    # ------------------------------------------------------------------
+    # Invalidation
+    # ------------------------------------------------------------------
+
+    def advance_epoch(self) -> None:
+        """Invalidate everything (an update with unknown extent)."""
+        self.epoch += 1
+        self.epoch_advances += 1
+        self.invalidated += len(self._entries)
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.counter("cache.epoch_advances").inc()
+            self.telemetry.counter("cache.invalidated").inc(len(self._entries))
+        self._entries.clear()
+
+    def invalidate_regions(self, regions: Sequence[AABB]) -> int:
+        """Advance the epoch, dropping entries whose footprint meets a region.
+
+        Entries whose footprint is disjoint from *every* changed box are
+        re-stamped to the new epoch (their traversal is provably identical
+        in the updated tree); the rest are dropped.  Returns the number of
+        dropped entries.
+        """
+        self.epoch += 1
+        self.epoch_advances += 1
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.counter("cache.epoch_advances").inc()
+        if not regions:
+            for entry in self._entries.values():
+                entry.epoch = self.epoch
+            return 0
+        if self._footprint_fn is None:
+            # Never attached: no geometry to prove survival with.
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            survivors = {}
+            for key, entry in self._entries.items():
+                if entry.footprint is None:
+                    entry.footprint = self._footprint_fn(entry.pose)
+                if any(entry.footprint.overlaps(region) for region in regions):
+                    continue
+                entry.epoch = self.epoch
+                survivors[key] = entry
+            dropped = len(self._entries) - len(survivors)
+            self._entries = survivors
+        self.invalidated += dropped
+        if self.telemetry is not None and self.telemetry.enabled and dropped:
+            self.telemetry.counter("cache.invalidated").inc(dropped)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidated": self.invalidated,
+            "epoch_advances": self.epoch_advances,
+            "entries": len(self._entries),
+            "epoch": self.epoch,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries and counters (the epoch is preserved)."""
+        self._entries.clear()
+        self.hits = self.misses = self.invalidated = 0
+
+
+def footprint_of_obbs(obbs) -> AABB:
+    """AABB enclosing a set of OBBs (the cache's pose footprint)."""
+    lo = np.full(3, np.inf)
+    hi = np.full(3, -np.inf)
+    for obb in obbs:
+        extent = np.abs(obb.rotation) @ obb.half_extents
+        lo = np.minimum(lo, obb.center - extent)
+        hi = np.maximum(hi, obb.center + extent)
+    return AABB.from_min_max(lo, hi)

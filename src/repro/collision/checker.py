@@ -10,12 +10,14 @@ and checks the discrete poses (Section 2.2).
 from __future__ import annotations
 
 import math
+import warnings
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 import numpy as np
 
+from repro.collision.cache import CollisionCache, footprint_of_obbs
 from repro.collision.cascade import CascadeConfig, DEFAULT_CASCADE
 from repro.collision.octree_cd import OBBOctreeCollider, TraversalTrace
 from repro.collision.stats import CollisionStats
@@ -23,6 +25,9 @@ from repro.env.octree import Octree
 from repro.geometry.fixed_point import DEFAULT_FORMAT, FixedPointFormat, quantize_obb
 from repro.geometry.obb import OBB
 from repro.robot.model import RobotModel
+
+if TYPE_CHECKING:  # runtime import would be circular through repro.config
+    from repro.config import ReproConfig
 
 #: Default C-space discretization step (radians of joint-space distance).
 DEFAULT_MOTION_STEP = 0.05
@@ -67,6 +72,37 @@ class MotionCollisionResult:
     total_poses: int
 
 
+class _CachedPoseOutcome:
+    """Batch-outcome facade assembled from cache hits plus fresh rows.
+
+    Mirrors the :class:`~repro.collision.batch.BatchPoseOutcome` surface the
+    stats-charging call sites use (``hits`` + ``record(stats, poses=...)``);
+    ``record`` replays each selected row's stored per-pose delta instead of
+    summing outcome arrays — same integer totals, by construction.
+    """
+
+    __slots__ = ("hits", "_deltas")
+
+    def __init__(self, hits: np.ndarray, deltas: List[Optional[CollisionStats]]):
+        self.hits = hits
+        self._deltas = deltas
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def record(self, stats: CollisionStats, poses=None) -> None:
+        if poses is None:
+            rows = range(len(self.hits))
+        elif isinstance(poses, slice):
+            rows = range(*poses.indices(len(self.hits)))
+        else:
+            rows = poses
+        for row in rows:
+            delta = self._deltas[int(row)]
+            if delta is not None:
+                stats.merge(delta)
+
+
 class RobotEnvironmentChecker:
     """Collision checker binding a robot model to an environment octree."""
 
@@ -79,9 +115,21 @@ class RobotEnvironmentChecker:
         motion_step: float = DEFAULT_MOTION_STEP,
         stats: Optional[CollisionStats] = None,
         collect_stats: bool = True,
-        backend: str = "scalar",
+        backend: Optional[str] = None,
         fault_injector=None,
+        cache: Optional[CollisionCache] = None,
     ):
+        if backend is None:
+            backend = "scalar"
+        else:
+            warnings.warn(
+                "passing backend= as a string to RobotEnvironmentChecker is "
+                "deprecated; build checkers with "
+                "RobotEnvironmentChecker.from_config(robot, octree, ReproConfig"
+                "(backend=...)) or through repro.api",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if backend not in ("scalar", "batch"):
             raise ValueError(
                 f"unknown backend {backend!r}; expected 'scalar' or 'batch'"
@@ -107,6 +155,53 @@ class RobotEnvironmentChecker:
         # raw fixed-point bit flipped (an SEU in the 16-bit datapath).  The
         # hook costs one predicate when absent or disabled.
         self.fault_injector = fault_injector
+        # Optional octree-versioned verdict cache (repro.collision.cache).
+        # Bypassed whenever bit-flip injection is active — corrupted-OBB
+        # verdicts are not a function of the pose alone.
+        self.cache = cache
+        if cache is not None:
+            cache.attach(collect_stats, self.pose_footprint)
+
+    @classmethod
+    def from_config(
+        cls,
+        robot: RobotModel,
+        octree: Octree,
+        config: "ReproConfig",
+        cascade: CascadeConfig = DEFAULT_CASCADE,
+        fixed_point: Optional[FixedPointFormat] = DEFAULT_FORMAT,
+        stats: Optional[CollisionStats] = None,
+        fault_injector=None,
+        cache: Optional[CollisionCache] = None,
+        telemetry=None,
+    ) -> "RobotEnvironmentChecker":
+        """Build a checker from a :class:`repro.config.ReproConfig`.
+
+        This is the non-deprecated construction path: backend, motion step,
+        and stats collection come from the typed config, and a
+        :class:`CollisionCache` is created from ``config.cache`` when
+        enabled (unless an explicit ``cache`` instance is shared in).
+        """
+        if cache is None and config.cache.enabled:
+            cache = CollisionCache(
+                quantum=config.cache.quantum,
+                max_entries=config.cache.max_entries,
+                telemetry=telemetry,
+            )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            return cls(
+                robot,
+                octree,
+                cascade,
+                fixed_point,
+                motion_step=config.motion_step,
+                stats=stats,
+                collect_stats=config.collect_stats,
+                backend=config.backend,
+                fault_injector=fault_injector,
+                cache=cache,
+            )
 
     def _bit_flips_active(self) -> bool:
         """Whether the quantized-OBB corruption hook can fire."""
@@ -160,8 +255,26 @@ class RobotEnvironmentChecker:
                 ]
         return obbs
 
+    def pose_footprint(self, q):
+        """AABB over the (quantized, uncorrupted) link OBBs at ``q``.
+
+        This bounds the query volume the octree traversal tests against, so
+        the cache can prove an environment update cannot have changed a
+        cached verdict.  Fault corruption is deliberately excluded — the
+        cache is bypassed while bit flips are active.
+        """
+        obbs = self.robot.link_obbs(q)
+        if self.fixed_point is not None:
+            obbs = [quantize_obb(obb, self.fixed_point) for obb in obbs]
+        return footprint_of_obbs(obbs)
+
+    def _cache_active(self) -> bool:
+        return self.cache is not None and not self._bit_flips_active()
+
     def check_pose(self, q) -> bool:
         """True when the robot collides with the environment at ``q``."""
+        if self._cache_active():
+            return self._check_pose_cached(q)
         if self.backend == "batch" and not self._bit_flips_active():
             return bool(self.check_poses(q)[0])
         self.stats.pose_checks += 1
@@ -170,6 +283,41 @@ class RobotEnvironmentChecker:
             if self.collider.collides(obb, stats=stats):
                 return True
         return False
+
+    def _check_pose_cached(self, q) -> bool:
+        """One pose check through the verdict cache.
+
+        A hit charges ``pose_checks`` and replays the stored per-pose stats
+        delta; a miss evaluates fresh (scalar or batched, per backend),
+        charges normally, and stores the verdict with its delta — so the
+        recorded stats equal a cache-off run bit for bit.
+        """
+        cache = self.cache
+        entry = cache.lookup(q)
+        self.stats.pose_checks += 1
+        if entry is not None:
+            if self.collect_stats:
+                self.stats.merge(entry.stats)
+            return entry.verdict
+        delta = CollisionStats()
+        if self.backend == "batch":
+            outcome = self.batch_evaluator.evaluate(
+                np.asarray(q, dtype=float)[None, :]
+            )
+            verdict = bool(outcome.hits[0])
+            if self.collect_stats:
+                outcome.record(delta, poses=[0])
+        else:
+            verdict = False
+            stats = delta if self.collect_stats else None
+            for obb in self.link_obbs(q):
+                if self.collider.collides(obb, stats=stats):
+                    verdict = True
+                    break
+        if self.collect_stats:
+            self.stats.merge(delta)
+        cache.store(q, verdict, delta)
+        return verdict
 
     def check_poses(self, qs) -> np.ndarray:
         """Boolean collision verdicts for an ``(N, dof)`` pose batch.
@@ -192,10 +340,49 @@ class RobotEnvironmentChecker:
                 (self.check_pose(q) for q in qs), dtype=bool, count=len(qs)
             )
         self.stats.pose_checks += len(qs)
-        outcome = self.batch_evaluator.evaluate(qs)
+        outcome = self.evaluate_poses(qs)
         if self.collect_stats:
             outcome.record(self.stats)
         return outcome.hits
+
+    def evaluate_poses(self, qs):
+        """Batch-evaluate poses through the cache (when one is attached).
+
+        The cache-aware twin of ``self.batch_evaluator.evaluate``: cached
+        rows skip evaluation, fresh rows go through the vectorized pipeline
+        in one dispatch and are inserted.  Returns an outcome with the same
+        ``hits``/``record(stats, poses=...)`` surface as
+        :class:`~repro.collision.batch.BatchPoseOutcome`, where ``record``
+        replays each selected row's per-pose delta — identical counts to a
+        cache-off evaluation.  Does not touch ``pose_checks`` (caller-owned).
+        """
+        qs = np.asarray(qs, dtype=float)
+        if qs.ndim == 1:
+            qs = qs[None, :]
+        if not self._cache_active():
+            return self.batch_evaluator.evaluate(qs)
+        cache = self.cache
+        n = len(qs)
+        hits = np.zeros(n, dtype=bool)
+        deltas: List[Optional[CollisionStats]] = [None] * n
+        fresh: List[int] = []
+        for i, q in enumerate(qs):
+            entry = cache.lookup(q)
+            if entry is None:
+                fresh.append(i)
+            else:
+                hits[i] = entry.verdict
+                deltas[i] = entry.stats
+        if fresh:
+            outcome = self.batch_evaluator.evaluate(qs[fresh])
+            hits[fresh] = outcome.hits
+            for row, i in enumerate(fresh):
+                delta = CollisionStats()
+                if self.collect_stats:
+                    outcome.record(delta, poses=[row])
+                deltas[i] = delta
+                cache.store(qs[i], bool(outcome.hits[row]), delta)
+        return _CachedPoseOutcome(hits, deltas)
 
     def check_pose_detailed(self, q) -> PoseCheckResult:
         """Pose check that keeps per-link traversal traces (for timing sims).
@@ -227,7 +414,7 @@ class RobotEnvironmentChecker:
         self.stats.motion_checks += 1
         poses = self.motion_poses(q_start, q_end)
         if self.backend == "batch" and not self._bit_flips_active():
-            outcome = self.batch_evaluator.evaluate(poses)
+            outcome = self.evaluate_poses(poses)
             collision = bool(outcome.hits.any())
             first = int(np.argmax(outcome.hits)) if collision else None
             checked = first + 1 if collision else len(poses)
@@ -257,6 +444,25 @@ class RobotEnvironmentChecker:
 
     def motion_is_free(self, q_start, q_end) -> bool:
         return not self.check_motion(q_start, q_end).collision
+
+    def update_octree(self, octree: Octree) -> int:
+        """Swap in an updated environment octree (same bounds).
+
+        Rebuilds the scalar collider and drops the lazily built batch
+        pipeline; an attached cache is selectively invalidated from the
+        changed-region boxes (:func:`repro.env.diff.octree_delta_regions`)
+        so entries the update provably cannot affect survive.  Returns the
+        number of cache entries dropped (0 without a cache).
+        """
+        from repro.env.diff import octree_delta_regions
+
+        regions = octree_delta_regions(self.octree, octree)
+        self.octree = octree
+        self.collider = OBBOctreeCollider(octree, self.config)
+        self._batch_evaluator = None
+        if self.cache is not None:
+            return self.cache.invalidate_regions(regions)
+        return 0
 
     def sample_free_configuration(
         self, rng: np.random.Generator, max_attempts: int = 200

@@ -1,0 +1,340 @@
+"""Typed configuration objects: the one coherent way to wire the stack.
+
+Before this module the public surface had accreted three uncoordinated
+string-kwarg vocabularies — ``backend=`` on the collision checker,
+``engine=`` on the runtime and :func:`repro.planning.engine.make_engine`,
+and the loose fault/deadline kwargs on :class:`repro.accel.runtime.
+RobotRuntime`.  Each validated its own strings, none composed, and a new
+layer (the multi-client planning service) would have added a fourth.
+
+This module replaces them with frozen dataclasses:
+
+- :class:`EngineConfig` — which query engine answers planner CD phases and
+  how the simulated one is parameterized;
+- :class:`ResilienceConfig` — the per-tick deadline budget, retry policy,
+  and audit flag (:mod:`repro.resilience`);
+- :class:`CacheConfig` — the octree-versioned collision cache
+  (:mod:`repro.collision.cache`);
+- :class:`ServiceConfig` — the multi-client planning service
+  (:mod:`repro.serving`): admission, batching window, and the simulated
+  cost model;
+- :class:`ReproConfig` — the top-level bundle the :mod:`repro.api` facade
+  consumes.
+
+Every config is immutable, validates its fields on construction with
+error messages that list the valid choices, and round-trips through
+``to_dict``/``from_dict`` (and JSON via
+:func:`repro.harness.serialization.save_config`).  ``from_dict`` rejects
+unknown keys by name so a typo in a saved config fails loudly.
+
+The legacy string kwargs keep working everywhere they existed, but emit a
+:class:`DeprecationWarning`; the library itself only builds through the
+typed path (CI runs the new-API suite under ``-W error::DeprecationWarning``
+to prove it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Type, TypeVar
+
+__all__ = [
+    "BACKENDS",
+    "ENGINE_KINDS",
+    "PLANNERS",
+    "SERVICE_MODES",
+    "EngineConfig",
+    "ResilienceConfig",
+    "CacheConfig",
+    "ServiceConfig",
+    "ReproConfig",
+    "config_from_dict",
+    "config_to_dict",
+]
+
+#: Collision-checker backends (see :class:`repro.collision.checker`).
+BACKENDS = ("scalar", "batch")
+#: Query-engine kinds (see :mod:`repro.planning.engine`).
+ENGINE_KINDS = ("sequential", "batch", "simulated")
+#: Planner kinds the facade and the serving layer can instantiate.
+PLANNERS = ("rrt", "rrt_connect", "prm", "mpnet")
+#: Serving dispatch modes (see :class:`repro.serving.PlanningService`).
+SERVICE_MODES = ("sequential", "batched")
+
+
+def _check_choice(name: str, value: str, choices: Tuple[str, ...]) -> None:
+    if value not in choices:
+        raise ValueError(
+            f"unknown {name} {value!r}; valid choices: {list(choices)}"
+        )
+
+
+def _check_positive(name: str, value, allow_none: bool = False) -> None:
+    if value is None:
+        if allow_none:
+            return
+        raise ValueError(f"{name} must not be None")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def _check_non_negative(name: str, value) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+
+
+_C = TypeVar("_C")
+
+
+def config_to_dict(config) -> dict:
+    """Serialize any config dataclass (nested configs become nested dicts)."""
+    out = {}
+    for f in dataclasses.fields(config):
+        value = getattr(config, f.name)
+        out[f.name] = config_to_dict(value) if dataclasses.is_dataclass(value) else value
+    return out
+
+
+def config_from_dict(cls: Type[_C], data: dict) -> _C:
+    """Build a config dataclass from a dict, rejecting unknown keys.
+
+    Nested config fields accept nested dicts.  The error message for an
+    unknown key lists every valid key (mirroring the name-validation
+    pattern of the string-kwarg era, but for whole config objects).
+    """
+    if not isinstance(data, dict):
+        raise TypeError(f"{cls.__name__} expects a dict, got {type(data).__name__}")
+    fields_by_name = {f.name: f for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - set(fields_by_name))
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} key(s) {unknown}; "
+            f"valid keys: {sorted(fields_by_name)}"
+        )
+    kwargs = {}
+    for name, value in data.items():
+        f = fields_by_name[name]
+        nested = _NESTED_FIELDS.get((cls.__name__, name))
+        if nested is not None and isinstance(value, dict):
+            value = config_from_dict(nested, value)
+        kwargs[name] = value
+    return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Which :class:`~repro.planning.engine.QueryEngine` answers CD phases.
+
+    ``n_cdus``/``policy``/``seed``/``check_invariants``/``record_timeline``
+    only matter for ``kind="simulated"`` (they parameterize the inline SAS
+    run); the other kinds ignore them.
+    """
+
+    kind: str = "sequential"
+    n_cdus: int = 16
+    policy: str = "mcsp"
+    seed: int = 0
+    check_invariants: bool = True
+    record_timeline: bool = False
+
+    def __post_init__(self):
+        _check_choice("engine kind", self.kind, ENGINE_KINDS)
+        _check_positive("n_cdus", self.n_cdus)
+
+    def to_dict(self) -> dict:
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineConfig":
+        return config_from_dict(cls, data)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Deadline budget + retry policy + audit flag for the realtime loop.
+
+    ``sim_ms``/``wall_ms`` of ``None`` disable that clock; with both
+    disabled no :class:`~repro.resilience.deadline.DeadlineBudget` is built
+    and the runtime follows the legacy (non-resilient) flow exactly.
+    """
+
+    sim_ms: Optional[float] = None
+    wall_ms: Optional[float] = None
+    max_retries: int = 2
+    backoff_ms: float = 0.05
+    audit: bool = False
+
+    def __post_init__(self):
+        if self.sim_ms is not None:
+            _check_positive("sim_ms", self.sim_ms)
+        if self.wall_ms is not None:
+            _check_positive("wall_ms", self.wall_ms)
+        _check_non_negative("max_retries", self.max_retries)
+        _check_non_negative("backoff_ms", self.backoff_ms)
+
+    @property
+    def has_deadline(self) -> bool:
+        return self.sim_ms is not None or self.wall_ms is not None
+
+    def make_deadline(self):
+        """The equivalent :class:`DeadlineBudget`, or None when disabled."""
+        if not self.has_deadline:
+            return None
+        from repro.resilience.deadline import DeadlineBudget
+
+        return DeadlineBudget(
+            sim_ms=self.sim_ms,
+            wall_ms=self.wall_ms,
+            max_retries=self.max_retries,
+            backoff_ms=self.backoff_ms,
+        )
+
+    def to_dict(self) -> dict:
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ResilienceConfig":
+        return config_from_dict(cls, data)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """The octree-versioned collision cache (:mod:`repro.collision.cache`).
+
+    ``quantum`` is the pose-quantization step of the cache key: poses are
+    snapped to a grid of this pitch (radians) before hashing, so two poses
+    closer than half a quantum share a verdict.  The default is far below
+    any workload's pose spacing, which makes the key effectively exact
+    (pinned by the differential tests); raise it to trade fidelity for hit
+    rate.  ``max_entries`` bounds memory with deterministic FIFO eviction.
+    """
+
+    enabled: bool = False
+    quantum: float = 1e-9
+    max_entries: int = 1_000_000
+
+    def __post_init__(self):
+        _check_positive("quantum", self.quantum)
+        _check_positive("max_entries", self.max_entries)
+
+    def to_dict(self) -> dict:
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CacheConfig":
+        return config_from_dict(cls, data)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """The multi-client planning service (:mod:`repro.serving`).
+
+    ``mode="batched"`` coalesces CD phases from up to ``batch_window``
+    in-flight requests into single vectorized dispatches (inter-query
+    MCSP); ``"sequential"`` serves one request start-to-finish at a time
+    (the one-at-a-time baseline the differential tests compare against).
+
+    The ``*_us`` fields are the simulated cost model the service clock
+    charges per round: a fixed ``dispatch_overhead_us`` per dispatch, plus
+    per-pose costs that mirror the measured scalar/vectorized/cache-hit
+    gap (``pose_cost_us`` for scalar sequential evaluation,
+    ``batch_pose_cost_us`` per pose inside a coalesced vectorized dispatch,
+    ``cache_hit_cost_us`` per verdict served from the collision cache).
+    """
+
+    mode: str = "batched"
+    batch_window: int = 8
+    max_inflight: int = 8
+    default_deadline_ms: Optional[float] = None
+    cancel_on_deadline_miss: bool = False
+    dispatch_overhead_us: float = 25.0
+    pose_cost_us: float = 1.0
+    batch_pose_cost_us: float = 0.05
+    cache_hit_cost_us: float = 0.01
+
+    def __post_init__(self):
+        _check_choice("service mode", self.mode, SERVICE_MODES)
+        _check_positive("batch_window", self.batch_window)
+        _check_positive("max_inflight", self.max_inflight)
+        if self.default_deadline_ms is not None:
+            _check_positive("default_deadline_ms", self.default_deadline_ms)
+        _check_non_negative("dispatch_overhead_us", self.dispatch_overhead_us)
+        _check_non_negative("pose_cost_us", self.pose_cost_us)
+        _check_non_negative("batch_pose_cost_us", self.batch_pose_cost_us)
+        _check_non_negative("cache_hit_cost_us", self.cache_hit_cost_us)
+
+    def to_dict(self) -> dict:
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceConfig":
+        return config_from_dict(cls, data)
+
+
+@dataclass(frozen=True)
+class ReproConfig:
+    """Top-level configuration bundle for the :mod:`repro.api` facade.
+
+    One object wires the whole stack: collision backend, planner kind,
+    query engine, resilience policy, collision cache, and serving layer.
+    Cross-field constraints are validated here (e.g. the batched engine
+    needs the batch collision backend to dispatch to).
+    """
+
+    backend: str = "scalar"
+    planner: str = "rrt_connect"
+    motion_step: float = 0.05
+    octree_resolution: int = 16
+    collect_stats: bool = True
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self):
+        _check_choice("backend", self.backend, BACKENDS)
+        _check_choice("planner", self.planner, PLANNERS)
+        _check_positive("motion_step", self.motion_step)
+        _check_positive("octree_resolution", self.octree_resolution)
+        if self.engine.kind == "batch" and self.backend != "batch":
+            raise ValueError(
+                "engine kind 'batch' requires backend 'batch' "
+                "(the scalar checker has no vectorized pipeline to dispatch to)"
+            )
+        # (service mode "batched" additionally requires backend "batch";
+        # PlanningService enforces that at construction, where the service
+        # section actually binds — the default bundle stays valid for
+        # non-serving uses.)
+
+    @classmethod
+    def for_service(cls, **overrides) -> "ReproConfig":
+        """The serving default: batch backend + enabled collision cache."""
+        overrides.setdefault("backend", "batch")
+        overrides.setdefault("cache", CacheConfig(enabled=True))
+        return cls(**overrides)
+
+    def to_dict(self) -> dict:
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReproConfig":
+        return config_from_dict(cls, data)
+
+
+#: (owner class name, field name) -> nested config class, for from_dict.
+_NESTED_FIELDS = {
+    ("ReproConfig", "engine"): EngineConfig,
+    ("ReproConfig", "resilience"): ResilienceConfig,
+    ("ReproConfig", "cache"): CacheConfig,
+    ("ReproConfig", "service"): ServiceConfig,
+}
+
+#: Config classes by name, for serialization dispatch.
+CONFIG_CLASSES = {
+    "EngineConfig": EngineConfig,
+    "ResilienceConfig": ResilienceConfig,
+    "CacheConfig": CacheConfig,
+    "ServiceConfig": ServiceConfig,
+    "ReproConfig": ReproConfig,
+}

@@ -9,7 +9,7 @@ point-cloud mapping stage (the Jia et al. mapping-accelerator substrate).
 
 from repro.env.generator import BENCHMARK_EXTENT, random_scene, scenario_suite
 from repro.env.mapping import OccupancyMapper, scan_scene_points
-from repro.env.diff import OctreeDelta, octree_delta
+from repro.env.diff import OctreeDelta, octree_delta, octree_delta_regions
 from repro.env.octree import OctreeNode, Octree, OctantState
 from repro.env.render import render_octree, render_scene, render_top_down
 from repro.env.scene import Scene
@@ -30,5 +30,6 @@ __all__ = [
     "render_octree",
     "render_top_down",
     "octree_delta",
+    "octree_delta_regions",
     "OctreeDelta",
 ]

@@ -12,8 +12,10 @@ per-tick IO cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.env.octree import NODE_BITS, Octree
+from repro.geometry.aabb import AABB
 
 
 @dataclass(frozen=True)
@@ -65,6 +67,67 @@ def _canonical_nodes(octree: Octree):
             if child is not None:
                 stack.append((child, path + (octant,)))
     return out
+
+
+def _path_box(bounds: AABB, path: Tuple[int, ...]) -> AABB:
+    """The AABB of the node reached by an octant path from the root.
+
+    Uses the same octant convention as the traverser
+    (:meth:`Octree.octant_aabb`): bit 0 = +x half, bit 1 = +y, bit 2 = +z.
+    """
+    box = bounds
+    for octant in path:
+        box = box.octant(octant)
+    return box
+
+
+def octree_delta_regions(before: Octree, after: Octree) -> List[AABB]:
+    """The octant boxes whose stored occupancy state changed between trees.
+
+    For a node present in both trees, only the octants whose per-octant
+    state differs contribute their (child-sized) boxes — not the node's
+    whole box, which would invalidate eight times too much space per
+    change.  A node present in only one tree contributes its whole box
+    (its parent's octant state changed too, so this is redundant cover,
+    kept for safety).
+
+    The returned boxes bound every region whose occupancy *or traversal
+    structure* can have changed: a traverser only reads an octant's state
+    when the query volume intersects that octant's box, and only descends
+    where the state says to, so any collision query whose footprint is
+    disjoint from every returned box reads identical states and traverses
+    identically in both trees.  The collision cache
+    (:mod:`repro.collision.cache`) uses this to invalidate selectively on
+    environment updates.
+    """
+    import numpy as np
+
+    if not np.allclose(before.bounds.center, after.bounds.center) or not np.allclose(
+        before.bounds.half_extents, after.bounds.half_extents
+    ):
+        raise ValueError("octree delta requires identical bounds")
+    old = _canonical_nodes(before)
+    new = _canonical_nodes(after)
+    regions: List[AABB] = []
+    seen = set()
+
+    def add(box: AABB) -> None:
+        key = (tuple(box.center), tuple(box.half_extents))
+        if key not in seen:
+            seen.add(key)
+            regions.append(box)
+
+    for path in sorted(set(old) | set(new)):
+        if path in old and path in new:
+            states_old, states_new = old[path], new[path]
+            if states_old != states_new:
+                box = _path_box(after.bounds, path)
+                for octant, (a, b) in enumerate(zip(states_old, states_new)):
+                    if a != b:
+                        add(box.octant(octant))
+        else:
+            add(_path_box(after.bounds, path))
+    return regions
 
 
 def octree_delta(before: Octree, after: Octree) -> OctreeDelta:

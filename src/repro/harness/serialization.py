@@ -455,6 +455,53 @@ def load_fault_schedule(path: str) -> FaultSchedule:
 
 
 # ----------------------------------------------------------------------
+# Config serialization: typed configuration bundles (repro.config) as
+# versioned JSON.  The payload names its config class, so any of the
+# bundle's dataclasses round-trips through the same two functions, and a
+# stale or hand-edited file fails loudly: unknown keys are rejected by
+# name (listing the valid ones) and enum-like fields are re-validated by
+# the dataclass' own __post_init__ (listing the valid choices).
+
+
+def save_config(path: str, config) -> None:
+    """Write any :mod:`repro.config` dataclass as versioned JSON."""
+    from repro.config import CONFIG_CLASSES
+
+    name = type(config).__name__
+    if name not in CONFIG_CLASSES:
+        raise TypeError(
+            f"cannot serialize {name}; expected one of {sorted(CONFIG_CLASSES)}"
+        )
+    payload = {
+        "version": SCHEMA_VERSION,
+        "config_class": name,
+        "config": config.to_dict(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_config(path: str):
+    """Load a config written by :func:`save_config` (re-validated fully)."""
+    from repro.config import CONFIG_CLASSES, config_from_dict
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported config schema version {version!r}; expected {SCHEMA_VERSION}"
+        )
+    name = payload.get("config_class")
+    cls = CONFIG_CLASSES.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown config class {name!r}; expected one of {sorted(CONFIG_CLASSES)}"
+        )
+    return config_from_dict(cls, payload["config"])
+
+
+# ----------------------------------------------------------------------
 # Telemetry export: registry snapshots as JSON artifacts (the perf CI job
 # uploads these).
 

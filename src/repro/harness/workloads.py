@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.collision.checker import RobotEnvironmentChecker
 from repro.collision.octree_cd import OBBOctreeCollider
+from repro.config import ReproConfig
 from repro.env.generator import random_scene
 from repro.env.octree import Octree
 from repro.env.scene import Scene
@@ -57,14 +58,19 @@ def build_benchmarks(
     """
     if n_envs < 1 or queries_per_env < 1:
         raise ValueError("need at least one environment and one query")
+    config = ReproConfig(
+        backend=backend,
+        motion_step=motion_step,
+        octree_resolution=octree_resolution,
+        collect_stats=False,
+    )
     rng = np.random.default_rng(seed)
     benchmarks: List[Benchmark] = []
     for index in range(n_envs):
         scene = random_scene(rng=rng, n_obstacles=n_obstacles)
         octree = Octree.from_scene(scene, resolution=octree_resolution)
-        checker = RobotEnvironmentChecker(
-            robot_factory(), octree, motion_step=motion_step, collect_stats=False,
-            backend=backend,
+        checker = RobotEnvironmentChecker.from_config(
+            robot_factory(), octree, config
         )
         queries = []
         for _ in range(queries_per_env):

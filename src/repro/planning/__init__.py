@@ -25,6 +25,7 @@ from repro.planning.metrics import PathQuality, evaluate_path, path_smoothness
 from repro.planning.motion import FunctionMode, MotionRecord, CDPhase
 from repro.planning.mpnet import MPNetPlanner, PlanResult
 from repro.planning.prm import PRMPlanner
+from repro.planning.queries import CDQuery, drive_queries
 from repro.planning.recorder import CDTraceRecorder
 from repro.planning.rrt import RRTPlanner
 from repro.planning.rrt_connect import RRTConnectPlanner
@@ -35,6 +36,8 @@ __all__ = [
     "FunctionMode",
     "MotionRecord",
     "CDPhase",
+    "CDQuery",
+    "drive_queries",
     "CDTraceRecorder",
     "QueryEngine",
     "PhaseAnswer",

@@ -53,6 +53,7 @@ __all__ = [
     "SimulatedEngine",
     "ENGINE_KINDS",
     "make_engine",
+    "walk_warm_phase",
 ]
 
 
@@ -179,13 +180,33 @@ def _batched_prime_and_answer(phase: CDPhase, checker) -> PhaseAnswer:
     row_of = {}
     if targets:
         stacked = np.stack([motion.poses[index] for motion, index in targets])
-        outcome = checker.batch_evaluator.evaluate(stacked)
+        outcome = checker.evaluate_poses(stacked)
         for row, ((motion, index), hit) in enumerate(zip(targets, outcome.hits)):
             motion.set_pose_outcome(index, bool(hit))
             row_of[(id(motion), index)] = row
 
-    # Sequential-reference walk over the cached ground truth, collecting
-    # the rows the scalar early exit would have charged.
+    outcomes, charged_rows = walk_warm_phase(phase, row_of)
+
+    stats = checker.stats
+    stats.pose_checks += len(charged_rows)
+    if outcome is not None and charged_rows and checker.collect_stats:
+        outcome.record(stats, poses=np.asarray(charged_rows, dtype=int))
+    return PhaseAnswer(outcomes=outcomes)
+
+
+def walk_warm_phase(phase: CDPhase, row_of: dict):
+    """Sequential-reference walk over warm outcome caches.
+
+    Returns ``(outcomes, charged_rows)``: the per-motion verdicts the
+    sequential engine would produce, plus — in execution order — the
+    dispatch rows the scalar early exit would have charged.  ``row_of``
+    maps ``(id(motion), pose_index)`` to the row that freshly evaluated
+    that pose; poses warm before the dispatch have no row and charge
+    nothing (their cost was charged when first evaluated).  Every pose the
+    walk touches must already carry a cached ground-truth verdict.  Shared
+    by the per-phase batched engine and the serving layer's cross-request
+    batcher, which must charge each request's stats by exactly this walk.
+    """
     charged_rows: List[int] = []
     outcomes: List[Optional[bool]] = [None] * len(phase.motions)
     for motion_index, motion in enumerate(phase.motions):
@@ -202,12 +223,7 @@ def _batched_prime_and_answer(phase: CDPhase, checker) -> PhaseAnswer:
             break
         if phase.mode is FunctionMode.CONNECTIVITY and not collided:
             break
-
-    stats = checker.stats
-    stats.pose_checks += len(charged_rows)
-    if outcome is not None and charged_rows and checker.collect_stats:
-        outcome.record(stats, poses=np.asarray(charged_rows, dtype=int))
-    return PhaseAnswer(outcomes=outcomes)
+    return outcomes, charged_rows
 
 
 class BatchedEngine(QueryEngine):
@@ -357,17 +373,37 @@ class SimulatedEngine(QueryEngine):
 ENGINE_KINDS = ("sequential", "batch", "simulated")
 
 
-def make_engine(kind: str, checker, telemetry=None, **kwargs) -> QueryEngine:
-    """Build a query engine by name (``"sequential"``/``"batch"``/``"simulated"``).
+def make_engine(kind, checker, telemetry=None, **kwargs) -> QueryEngine:
+    """Build a query engine from an :class:`repro.config.EngineConfig`.
 
-    Extra keyword arguments are forwarded to the engine constructor
-    (e.g. ``n_cdus``/``policy``/``seed`` for the simulated engine).
+    ``kind`` may be an ``EngineConfig`` (the typed API: its ``kind``,
+    ``n_cdus``, ``policy``, ``seed``, ``check_invariants``, and
+    ``record_timeline`` fields select and parameterize the engine) or —
+    deprecated — a bare string (``"sequential"``/``"batch"``/
+    ``"simulated"``).  Extra keyword arguments are forwarded to the engine
+    constructor (e.g. ``fault_injector``).
     """
-    key = kind.lower()
+    import warnings
+
+    if not isinstance(kind, str):  # EngineConfig (duck-typed to avoid a cycle)
+        config = kind
+        key = config.kind
+        if key == "simulated":
+            for name in ("n_cdus", "policy", "seed", "check_invariants",
+                         "record_timeline"):
+                kwargs.setdefault(name, getattr(config, name))
+    else:
+        warnings.warn(
+            "passing the engine kind as a string to make_engine is "
+            "deprecated; pass a repro.config.EngineConfig instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        key = kind.lower()
     if key == "sequential":
         return SequentialEngine(checker, telemetry=telemetry, **kwargs)
     if key in ("batch", "batched"):
         return BatchedEngine(checker, telemetry=telemetry, **kwargs)
     if key in ("simulated", "sas"):
         return SimulatedEngine(checker, telemetry=telemetry, **kwargs)
-    raise ValueError(f"unknown engine kind {kind!r}; choose from {ENGINE_KINDS}")
+    raise ValueError(f"unknown engine kind {key!r}; choose from {ENGINE_KINDS}")

@@ -18,9 +18,10 @@ from typing import List, Optional
 import numpy as np
 
 from repro.planning.cspace import cspace_distance, path_length
+from repro.planning.queries import CDQuery, drive_queries
 from repro.planning.recorder import CDTraceRecorder
 from repro.planning.rrt_connect import RRTConnectPlanner
-from repro.planning.shortcut import greedy_shortcut
+from repro.planning.shortcut import shortcut_steps
 
 
 @dataclass
@@ -70,6 +71,10 @@ class MPNetPlanner:
 
     def plan(self, q_start, q_goal, rng: np.random.Generator) -> PlanResult:
         """Plan a collision-free path from ``q_start`` to ``q_goal``."""
+        return drive_queries(self.plan_steps(q_start, q_goal, rng), self.recorder)
+
+    def plan_steps(self, q_start, q_goal, rng: np.random.Generator):
+        """Generator form of :meth:`plan` (yields :class:`CDQuery` steps)."""
         robot = self.recorder.checker.robot
         q_start = robot.clamp(q_start)
         q_goal = robot.clamp(q_goal)
@@ -78,22 +83,22 @@ class MPNetPlanner:
         latent = self.sampler.encode(self.environment_points, rng)
         result.encoder_inferences = 1
 
-        path = self._neural_plan(latent, q_start, q_goal, rng, result)
+        path = yield from self._neural_plan(latent, q_start, q_goal, rng, result)
         if path is None:
-            path = self._fallback(q_start, q_goal, rng, result)
+            path = yield from self._fallback(q_start, q_goal, rng, result)
             if path is None:
                 return result
 
-        path = greedy_shortcut(self._prune_colliding(path), self.recorder, label="lvc")
-        bad = self.recorder.feasibility(path, label="feasibility")
+        path = yield from shortcut_steps(self._prune_colliding(path), label="lvc")
+        bad = yield CDQuery.feasibility(path, "feasibility")
         while bad is not None and result.replans < self.max_replans:
             result.replans += 1
-            repaired = self._replan_round(latent, path, rng, result)
+            repaired = yield from self._replan_round(latent, path, rng, result)
             if repaired is None:
                 return result
             repaired = self._prune_colliding(repaired)
-            path = greedy_shortcut(repaired, self.recorder, label="lvc")
-            bad = self.recorder.feasibility(path, label="feasibility")
+            path = yield from shortcut_steps(repaired, label="lvc")
+            bad = yield CDQuery.feasibility(path, "feasibility")
 
         if bad is not None:
             return result
@@ -105,9 +110,7 @@ class MPNetPlanner:
     # Internals
     # ------------------------------------------------------------------
 
-    def _neural_plan(
-        self, latent, q_start, q_goal, rng, result: PlanResult
-    ) -> Optional[List[np.ndarray]]:
+    def _neural_plan(self, latent, q_start, q_goal, rng, result: PlanResult):
         """Bidirectional neural planning: grow both ends toward each other."""
         forward = [np.asarray(q_start, dtype=float)]
         backward = [np.asarray(q_goal, dtype=float)]
@@ -120,7 +123,7 @@ class MPNetPlanner:
                 forward.append(q_new)
             else:
                 backward.append(q_new)
-            if self.recorder.steer(forward[-1], backward[-1], label="neural_connect"):
+            if (yield CDQuery.steer(forward[-1], backward[-1], "neural_connect")):
                 self.sampler.notify_success()
                 return forward + backward[::-1]
             self.sampler.notify_failure()
@@ -170,35 +173,32 @@ class MPNetPlanner:
         kept.append(path[-1])
         return kept
 
-    def _replan_round(
-        self, latent, path: List[np.ndarray], rng, result: PlanResult
-    ) -> Optional[List[np.ndarray]]:
+    def _replan_round(self, latent, path: List[np.ndarray], rng, result: PlanResult):
         """One MPNet replanning round: walk the path and re-plan *every*
         consecutive pair that is not directly connectable, neurally first
         and with the RRT-Connect hybrid as fallback."""
         new_path: List[np.ndarray] = [path[0]]
         for index in range(len(path) - 1):
             seg_start, seg_end = path[index], path[index + 1]
-            if self.recorder.steer(seg_start, seg_end, label="replan_check"):
+            if (yield CDQuery.steer(seg_start, seg_end, "replan_check")):
                 new_path.append(seg_end)
                 continue
-            sub = self._neural_plan(latent, seg_start, seg_end, rng, result)
-            if sub is not None and not self._subpath_feasible(sub):
+            sub = yield from self._neural_plan(latent, seg_start, seg_end, rng, result)
+            if sub is not None and (
+                (yield CDQuery.feasibility(sub, "replan_verify")) is not None
+            ):
                 # The neural patch connected its tips but left an infeasible
                 # interior segment; escalate to the classical planner, whose
                 # edges are verified by construction (hybrid replanning).
+                # (One multi-motion FEASIBILITY phase instead of per-segment
+                # steers: same early-exit verdict, a batch-shaped work unit.)
                 sub = None
             if sub is None:
-                sub = self._fallback(seg_start, seg_end, rng, result)
+                sub = yield from self._fallback(seg_start, seg_end, rng, result)
                 if sub is None:
                     return None
             new_path.extend(sub[1:])
         return new_path
-
-    def _subpath_feasible(self, sub: List[np.ndarray]) -> bool:
-        # One multi-motion FEASIBILITY phase instead of per-segment steers:
-        # same early-exit verdict, but a batch-shaped work unit.
-        return self.recorder.feasibility(sub, label="replan_verify") is None
 
     def _fallback(self, q_start, q_goal, rng, result: PlanResult):
         """Hybrid replanning: classical RRT-Connect on the same recorder."""
@@ -206,7 +206,7 @@ class MPNetPlanner:
         planner = RRTConnectPlanner(
             self.recorder, max_iterations=self.fallback_iterations, max_step=0.5
         )
-        path = planner.plan(q_start, q_goal, rng)
+        path = yield from planner.plan_steps(q_start, q_goal, rng)
         if path is not None and cspace_distance(path[0], q_start) > 1e-9:
             return None
         return path

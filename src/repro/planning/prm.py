@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.planning.cspace import cspace_distance
+from repro.planning.queries import CDQuery, drive_queries
 from repro.planning.recorder import CDTraceRecorder
 
 
@@ -67,6 +68,10 @@ class PRMPlanner:
         stays equivalent to the per-edge checks the PRM accelerators would
         precompute.
         """
+        drive_queries(self.build_roadmap_steps(rng), self.recorder)
+
+    def build_roadmap_steps(self, rng: np.random.Generator):
+        """Generator form of :meth:`build_roadmap` (yields :class:`CDQuery`)."""
         checker = self.recorder.checker
         self._nodes = []
         self._adjacency = {}
@@ -85,9 +90,9 @@ class PRMPlanner:
                 if neighbor != index
                 and not any(n == neighbor for n, _ in self._adjacency[index])
             ]
-            flags = self.recorder.complete(
+            flags = yield CDQuery.complete(
                 [(q, self._nodes[neighbor]) for neighbor in candidates],
-                label="prm_edge",
+                "prm_edge",
             )
             for neighbor, collided in zip(candidates, flags):
                 if collided:
@@ -110,12 +115,16 @@ class PRMPlanner:
         self, q_start, q_goal, rng: np.random.Generator
     ) -> Optional[List[np.ndarray]]:
         """Answer a query against the roadmap (building it on first use)."""
+        return drive_queries(self.plan_steps(q_start, q_goal, rng), self.recorder)
+
+    def plan_steps(self, q_start, q_goal, rng: np.random.Generator):
+        """Generator form of :meth:`plan` (yields :class:`CDQuery` steps)."""
         if not self.roadmap_built:
-            self.build_roadmap(rng)
+            yield from self.build_roadmap_steps(rng)
         if not self._nodes:
             return None
-        start_links = self._attach(q_start)
-        goal_links = self._attach(q_goal)
+        start_links = yield from self._attach(q_start)
+        goal_links = yield from self._attach(q_goal)
         if not start_links or not goal_links:
             return None
         start_costs = dict(start_links)
@@ -129,15 +138,15 @@ class PRMPlanner:
             + [np.asarray(q_goal, dtype=float)]
         )
 
-    def _attach(self, q) -> List[Tuple[int, float]]:
+    def _attach(self, q):
         """Connect a query configuration to its reachable nearest nodes.
 
         All k candidate attachments form one COMPLETE phase (the same
         batch shape as roadmap edge construction).
         """
         candidates = self._nearest(q, self.k_neighbors)
-        flags = self.recorder.complete(
-            [(q, self._nodes[index]) for index in candidates], label="prm_attach"
+        flags = yield CDQuery.complete(
+            [(q, self._nodes[index]) for index in candidates], "prm_attach"
         )
         return [
             (index, cspace_distance(q, self._nodes[index]))

@@ -1,0 +1,96 @@
+"""Collision-query descriptors and the generator-planner protocol.
+
+The serving layer (:mod:`repro.serving`) interleaves many in-flight
+planning queries and coalesces their collision-detection phases into
+single vectorized dispatches.  That requires planners to be *suspendable*
+at CD-query boundaries without threads, so every planner exposes its
+control flow as a generator (``plan_steps``) that **yields**
+:class:`CDQuery` descriptors and receives the planner-facing answer back
+through ``send()``:
+
+    def plan_steps(self, q_start, q_goal, rng):
+        ...
+        free = yield CDQuery.steer(q_near, q_new, "rrt_extend")
+        ...
+
+The classic synchronous ``plan()`` API is a thin driver
+(:func:`drive_queries`) over the *same* generator, answering each yielded
+query immediately through the planner's own
+:class:`~repro.planning.recorder.CDTraceRecorder`.  There is one control
+flow, not two: a planner driven solo and the same planner driven by the
+service (with answers computed in cross-request batches) make identical
+decisions because each request's answers are identical — pinned by the
+serving differential tests.
+
+A :class:`CDQuery` is a *description* of a recorder call, not a phase: the
+recorder still owns MotionRecord construction, the degenerate-input
+contract, trace recording, and answer conversion
+(:meth:`CDTraceRecorder.prepare` / :meth:`CDTraceRecorder.commit`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Tuple
+
+__all__ = ["CDQuery", "QUERY_KINDS", "drive_queries"]
+
+#: Recorder entry points a planner may request.
+QUERY_KINDS = ("steer", "feasibility", "connectivity", "complete")
+
+
+@dataclass(frozen=True)
+class CDQuery:
+    """One pending recorder call: kind + positional payload + label.
+
+    ``args`` matches the corresponding recorder method's positional
+    signature: ``(q_start, q_end)`` for steer, ``(path,)`` for
+    feasibility, ``(q_anchor, targets)`` for connectivity, and
+    ``(segments,)`` for complete.
+    """
+
+    kind: str
+    args: Tuple[Any, ...]
+    label: str
+
+    def __post_init__(self):
+        if self.kind not in QUERY_KINDS:
+            raise ValueError(
+                f"unknown query kind {self.kind!r}; valid choices: {list(QUERY_KINDS)}"
+            )
+
+    # -- constructors (mirror the recorder's planner-facing methods) ----
+
+    @classmethod
+    def steer(cls, q_start, q_end, label: str = "steer") -> "CDQuery":
+        return cls("steer", (q_start, q_end), label)
+
+    @classmethod
+    def feasibility(cls, path, label: str = "feasibility") -> "CDQuery":
+        return cls("feasibility", (path,), label)
+
+    @classmethod
+    def connectivity(cls, q_anchor, targets, label: str = "shortcut") -> "CDQuery":
+        return cls("connectivity", (q_anchor, targets), label)
+
+    @classmethod
+    def complete(cls, segments, label: str = "complete") -> "CDQuery":
+        return cls("complete", (segments,), label)
+
+
+def drive_queries(gen: Generator, recorder) -> Any:
+    """Run a ``plan_steps`` generator to completion against one recorder.
+
+    Each yielded :class:`CDQuery` is answered immediately via
+    ``recorder.ask`` — the exact call the pre-generator planners made —
+    and the generator's return value becomes the result.  This is the
+    synchronous single-client execution mode; the serving layer drives the
+    same generators with deferred, batched answers instead.
+    """
+    try:
+        value = None
+        while True:
+            query = gen.send(value)
+            value = recorder.ask(query)
+    except StopIteration as stop:
+        return stop.value

@@ -33,6 +33,7 @@ import numpy as np
 from repro.collision.checker import RobotEnvironmentChecker
 from repro.planning.engine import PhaseAnswer, QueryEngine, SequentialEngine
 from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
+from repro.planning.queries import CDQuery
 
 
 class CDTraceRecorder:
@@ -69,9 +70,7 @@ class CDTraceRecorder:
 
         Recorded as a single-motion FEASIBILITY phase.
         """
-        motion = MotionRecord.from_endpoints(q_start, q_end, self.checker)
-        answer = self._dispatch(CDPhase(FunctionMode.FEASIBILITY, [motion], label))
-        return answer.outcomes[0] is False
+        return self.ask(CDQuery.steer(q_start, q_end, label))
 
     def feasibility(
         self, path: Sequence[np.ndarray], label: str = "feasibility"
@@ -82,14 +81,7 @@ class CDTraceRecorder:
         Recorded as one FEASIBILITY phase over all segments.  A path with
         fewer than two poses is trivially feasible and records nothing.
         """
-        if len(path) < 2:
-            return None
-        motions = [
-            MotionRecord.from_endpoints(path[i], path[i + 1], self.checker)
-            for i in range(len(path) - 1)
-        ]
-        answer = self._dispatch(CDPhase(FunctionMode.FEASIBILITY, motions, label))
-        return answer.first_colliding()
+        return self.ask(CDQuery.feasibility(path, label))
 
     def connectivity(
         self, q_anchor, targets: Sequence[np.ndarray], label: str = "shortcut"
@@ -100,14 +92,7 @@ class CDTraceRecorder:
         (Section 2.1), where the scheduler may stop at the first free motion.
         An empty target set finds nothing and records nothing.
         """
-        if not len(targets):
-            return None
-        motions = [
-            MotionRecord.from_endpoints(q_anchor, target, self.checker)
-            for target in targets
-        ]
-        answer = self._dispatch(CDPhase(FunctionMode.CONNECTIVITY, motions, label))
-        return answer.first_free()
+        return self.ask(CDQuery.connectivity(q_anchor, targets, label))
 
     def complete(self, segments: Sequence[tuple], label: str = "complete") -> List[bool]:
         """Evaluate every (start, end) motion; returns per-motion collision flags.
@@ -115,25 +100,89 @@ class CDTraceRecorder:
         Recorded as one COMPLETE phase.  An empty segment list returns
         ``[]`` and records nothing.
         """
-        if not len(segments):
-            return []
-        motions = [
-            MotionRecord.from_endpoints(q_start, q_end, self.checker)
-            for q_start, q_end in segments
-        ]
-        answer = self._dispatch(CDPhase(FunctionMode.COMPLETE, motions, label))
+        return self.ask(CDQuery.complete(segments, label))
+
+    # ------------------------------------------------------------------
+    # The prepare / commit split (used by the serving batcher)
+    # ------------------------------------------------------------------
+
+    def prepare(self, query: CDQuery) -> Optional[CDPhase]:
+        """Build the CD phase a query describes, or None when degenerate.
+
+        Degenerate queries (feasibility of a sub-2-pose path, connectivity
+        with no targets, complete with no segments) have no phase; their
+        trivial answer comes from :meth:`trivial_result` and nothing is
+        recorded — the same contract the planner-facing methods pin.
+        """
+        kind = query.kind
+        if kind == "steer":
+            q_start, q_end = query.args
+            motion = MotionRecord.from_endpoints(q_start, q_end, self.checker)
+            return CDPhase(FunctionMode.FEASIBILITY, [motion], query.label)
+        if kind == "feasibility":
+            (path,) = query.args
+            if len(path) < 2:
+                return None
+            motions = [
+                MotionRecord.from_endpoints(path[i], path[i + 1], self.checker)
+                for i in range(len(path) - 1)
+            ]
+            return CDPhase(FunctionMode.FEASIBILITY, motions, query.label)
+        if kind == "connectivity":
+            q_anchor, targets = query.args
+            if not len(targets):
+                return None
+            motions = [
+                MotionRecord.from_endpoints(q_anchor, target, self.checker)
+                for target in targets
+            ]
+            return CDPhase(FunctionMode.CONNECTIVITY, motions, query.label)
+        if kind == "complete":
+            (segments,) = query.args
+            if not len(segments):
+                return None
+            motions = [
+                MotionRecord.from_endpoints(q_start, q_end, self.checker)
+                for q_start, q_end in segments
+            ]
+            return CDPhase(FunctionMode.COMPLETE, motions, query.label)
+        raise ValueError(f"unknown query kind {kind!r}")
+
+    @staticmethod
+    def trivial_result(query: CDQuery):
+        """The planner-facing answer of a degenerate (phase-less) query."""
+        return [] if query.kind == "complete" else None
+
+    def commit(self, query: CDQuery, phase: CDPhase, answer: PhaseAnswer):
+        """Record an externally answered phase; returns the planner-facing value.
+
+        The serving batcher answers phases outside the recorder's engine
+        (one coalesced dispatch for many requests); this folds the answer
+        back into the trace and converts it exactly as the synchronous
+        methods do.
+        """
+        if self.record:
+            self.phases.append(phase)
+            self.answers.append(answer)
+        kind = query.kind
+        if kind == "steer":
+            return answer.outcomes[0] is False
+        if kind == "feasibility":
+            return answer.first_colliding()
+        if kind == "connectivity":
+            return answer.first_free()
         return answer.flags()
+
+    def ask(self, query: CDQuery):
+        """Answer one query synchronously through this recorder's engine."""
+        phase = self.prepare(query)
+        if phase is None:
+            return self.trivial_result(query)
+        return self.commit(query, phase, self.engine.answer(phase))
 
     # ------------------------------------------------------------------
     # Trace access
     # ------------------------------------------------------------------
-
-    def _dispatch(self, phase: CDPhase) -> PhaseAnswer:
-        answer = self.engine.answer(phase)
-        if self.record:
-            self.phases.append(phase)
-            self.answers.append(answer)
-        return answer
 
     @property
     def num_phases(self) -> int:

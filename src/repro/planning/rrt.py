@@ -16,6 +16,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.planning.cspace import cspace_distance, steer_toward
+from repro.planning.queries import CDQuery, drive_queries
 from repro.planning.recorder import CDTraceRecorder
 
 
@@ -46,8 +47,16 @@ class RRTPlanner:
         self, q_start, q_goal, rng: np.random.Generator
     ) -> Optional[List[np.ndarray]]:
         """A collision-free path from start to goal, or None on failure."""
-        checker = self.recorder.checker
-        robot = checker.robot
+        return drive_queries(self.plan_steps(q_start, q_goal, rng), self.recorder)
+
+    def plan_steps(self, q_start, q_goal, rng: np.random.Generator):
+        """Generator form of :meth:`plan`: yields :class:`CDQuery` steps.
+
+        Identical control flow to the synchronous API — ``plan`` drives
+        this very generator — but suspendable at collision-query
+        boundaries so the serving layer can batch queries across requests.
+        """
+        robot = self.recorder.checker.robot
         q_start = robot.clamp(q_start)
         q_goal = robot.clamp(q_goal)
         nodes = [np.asarray(q_start, dtype=float)]
@@ -60,15 +69,15 @@ class RRTPlanner:
                 target = robot.random_configuration(rng)
             near_index = self._nearest(nodes, target)
             q_new = steer_toward(nodes[near_index], target, self.max_step)
-            if not self.recorder.steer(nodes[near_index], q_new, label="rrt_extend"):
+            if not (yield CDQuery.steer(nodes[near_index], q_new, "rrt_extend")):
                 continue
             nodes.append(q_new)
             parents.append(near_index)
             if cspace_distance(q_new, q_goal) <= self.goal_tolerance:
                 return self._trace_back(nodes, parents, len(nodes) - 1)
             # Try to connect the new node straight to the goal.
-            if cspace_distance(q_new, q_goal) <= self.max_step and self.recorder.steer(
-                q_new, q_goal, label="rrt_goal"
+            if cspace_distance(q_new, q_goal) <= self.max_step and (
+                yield CDQuery.steer(q_new, q_goal, "rrt_goal")
             ):
                 nodes.append(np.asarray(q_goal, dtype=float))
                 parents.append(len(nodes) - 2)

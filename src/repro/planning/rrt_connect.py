@@ -12,6 +12,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.planning.cspace import cspace_distance, steer_toward
+from repro.planning.queries import CDQuery, drive_queries
 from repro.planning.recorder import CDTraceRecorder
 
 _TRAPPED, _ADVANCED, _REACHED = 0, 1, 2
@@ -60,6 +61,10 @@ class RRTConnectPlanner:
     def plan(
         self, q_start, q_goal, rng: np.random.Generator
     ) -> Optional[List[np.ndarray]]:
+        return drive_queries(self.plan_steps(q_start, q_goal, rng), self.recorder)
+
+    def plan_steps(self, q_start, q_goal, rng: np.random.Generator):
+        """Generator form of :meth:`plan` (yields :class:`CDQuery` steps)."""
         robot = self.recorder.checker.robot
         tree_a = _Tree(robot.clamp(q_start))
         tree_b = _Tree(robot.clamp(q_goal))
@@ -67,10 +72,10 @@ class RRTConnectPlanner:
 
         for _ in range(self.max_iterations):
             sample = robot.random_configuration(rng)
-            status, new_index = self._extend(tree_a, sample)
+            status, new_index = yield from self._extend(tree_a, sample)
             if status != _TRAPPED:
                 q_new = tree_a.nodes[new_index]
-                status_b, index_b = self._connect(tree_b, q_new)
+                status_b, index_b = yield from self._connect(tree_b, q_new)
                 if status_b == _REACHED:
                     return self._join(tree_a, new_index, tree_b, index_b, a_is_start)
             tree_a, tree_b = tree_b, tree_a
@@ -80,7 +85,7 @@ class RRTConnectPlanner:
     def _extend(self, tree: _Tree, target):
         near = tree.nearest(target)
         q_new = steer_toward(tree.nodes[near], target, self.max_step)
-        if not self.recorder.steer(tree.nodes[near], q_new, label="rrtc_extend"):
+        if not (yield CDQuery.steer(tree.nodes[near], q_new, "rrtc_extend")):
             return _TRAPPED, -1
         index = tree.add(q_new, near)
         if cspace_distance(q_new, target) < 1e-9:
@@ -106,8 +111,8 @@ class RRTConnectPlanner:
         if not waypoints:
             # The tree already contains the target configuration.
             return _REACHED, near
-        bad = self.recorder.feasibility(
-            [tree.nodes[near]] + waypoints, label="rrtc_connect"
+        bad = yield CDQuery.feasibility(
+            [tree.nodes[near]] + waypoints, "rrtc_connect"
         )
         index = near
         n_free = len(waypoints) if bad is None else bad

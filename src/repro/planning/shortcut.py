@@ -18,6 +18,7 @@ from typing import List
 
 import numpy as np
 
+from repro.planning.queries import CDQuery, drive_queries
 from repro.planning.recorder import CDTraceRecorder
 
 
@@ -32,6 +33,11 @@ def greedy_shortcut(
     one is collision-free; all poses between the anchor and the connected
     pose are dropped.  The input path is not modified.
     """
+    return drive_queries(shortcut_steps(path, label=label), recorder)
+
+
+def shortcut_steps(path: List[np.ndarray], label: str = "shortcut"):
+    """Generator form of :func:`greedy_shortcut` (yields :class:`CDQuery`)."""
     if len(path) <= 2:
         return list(path)
     result = [np.asarray(q, dtype=float) for q in path]
@@ -40,7 +46,7 @@ def greedy_shortcut(
         # Candidates from the far end down to (but excluding) the neighbor.
         candidate_indices = list(range(len(result) - 1, anchor + 1, -1))
         targets = [result[k] for k in candidate_indices]
-        found = recorder.connectivity(result[anchor], targets, label=label)
+        found = yield CDQuery.connectivity(result[anchor], targets, label)
         if found is not None:
             connected = candidate_indices[found]
             if connected > anchor + 1:

@@ -1,0 +1,25 @@
+"""Multi-client planning service with cross-request batching.
+
+The serving layer runs many concurrent planning requests on one
+deterministic simulated clock, coalescing their collision-detection phases
+into shared vectorized dispatches and memoizing verdicts in an
+octree-versioned cache — while keeping every request's answers, path, and
+operation counts bit-identical to running it alone.
+"""
+
+from repro.serving.batcher import CrossRequestBatcher, FlushReport
+from repro.serving.service import (
+    PlanningService,
+    PlanRequest,
+    PlanResponse,
+    ServiceReport,
+)
+
+__all__ = [
+    "CrossRequestBatcher",
+    "FlushReport",
+    "PlanningService",
+    "PlanRequest",
+    "PlanResponse",
+    "ServiceReport",
+]

@@ -1,0 +1,127 @@
+"""Cross-request batching: one vectorized dispatch for many clients' phases.
+
+The per-phase :class:`~repro.planning.engine.BatchedEngine` already
+coalesces every undecided pose *within* one phase into a single
+``BatchPoseEvaluator`` call.  A multi-client service can go further: at any
+instant it holds one pending CD phase per in-flight request, and those
+phases are independent — so their poses can be stacked into one dispatch
+*across* requests (the wider the batch, the better the vectorized pipeline
+amortizes).
+
+**Bit-identity.**  The batch evaluator's per-pose results do not depend on
+batch composition (established by the batch-pipeline differential tests),
+so evaluating request A's poses in a shared dispatch with request B yields
+exactly the rows A would have gotten alone.  After the dispatch each phase
+is resolved by the same sequential-reference walk the per-phase engine uses
+(:func:`repro.planning.engine.walk_warm_phase`), and each request's
+:class:`~repro.collision.stats.CollisionStats` is charged for exactly its
+own prefix rows — per-request verdicts, paths, and stats are bit-identical
+to running that request alone.
+
+Evaluation goes through the shared checker's cache-aware
+``evaluate_poses``, so a :class:`~repro.collision.cache.CollisionCache`
+attached to the service filters already-known poses out of the dispatch and
+replays their stored stats deltas instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.planning.engine import PhaseAnswer, walk_warm_phase
+from repro.planning.motion import CDPhase
+
+__all__ = ["CrossRequestBatcher", "FlushReport"]
+
+
+@dataclass
+class FlushReport:
+    """Work accounting for one coalesced dispatch."""
+
+    phases: int
+    total_rows: int  # undecided poses stacked across all phases
+    fresh_rows: int  # rows actually evaluated (cache misses)
+    cached_rows: int  # rows served from the verdict cache
+
+    @property
+    def coalesced(self) -> bool:
+        return self.phases > 1
+
+
+class CrossRequestBatcher:
+    """Answers batches of (recorder, phase) pairs with single dispatches.
+
+    ``checker`` is the shared evaluation substrate: a ``backend="batch"``
+    :class:`~repro.collision.checker.RobotEnvironmentChecker` over the
+    service's robot/octree, optionally carrying the shared
+    :class:`~repro.collision.cache.CollisionCache`.  Its stats object is
+    never charged — each request's own checker stats receive that request's
+    prefix charges.
+    """
+
+    def __init__(self, checker):
+        if getattr(checker, "backend", "scalar") != "batch":
+            raise ValueError(
+                "CrossRequestBatcher needs a backend='batch' checker; got "
+                f"backend={getattr(checker, 'backend', None)!r}"
+            )
+        self.checker = checker
+        self.dispatches = 0
+        self.phases_answered = 0
+        self.poses_dispatched = 0
+
+    def flush(
+        self, items: Sequence[Tuple[object, CDPhase]]
+    ) -> Tuple[List[PhaseAnswer], FlushReport]:
+        """One vectorized dispatch answering every phase in ``items``.
+
+        ``items`` is a sequence of ``(recorder, phase)`` pairs, one per
+        request.  Returns the per-item answers (parallel to ``items``) and
+        the dispatch's work report.  Each recorder's checker stats are
+        charged for exactly the pose prefix its phase's sequential early
+        exit would have executed.
+        """
+        targets = []
+        for _, phase in items:
+            for motion in phase.motions:
+                for index in motion.unevaluated_indices():
+                    targets.append((motion, index))
+
+        outcome = None
+        row_of: dict = {}
+        fresh_rows = 0
+        cached_rows = 0
+        if targets:
+            cache = self.checker.cache
+            hits_before = cache.hits if cache is not None else 0
+            stacked = np.stack([motion.poses[index] for motion, index in targets])
+            outcome = self.checker.evaluate_poses(stacked)
+            for row, ((motion, index), hit) in enumerate(
+                zip(targets, outcome.hits)
+            ):
+                motion.set_pose_outcome(index, bool(hit))
+                row_of[(id(motion), index)] = row
+            cached_rows = (cache.hits - hits_before) if cache is not None else 0
+            fresh_rows = len(targets) - cached_rows
+
+        answers: List[PhaseAnswer] = []
+        for recorder, phase in items:
+            outcomes, charged_rows = walk_warm_phase(phase, row_of)
+            stats = recorder.checker.stats
+            stats.pose_checks += len(charged_rows)
+            if outcome is not None and charged_rows and recorder.checker.collect_stats:
+                outcome.record(stats, poses=np.asarray(charged_rows, dtype=int))
+            answers.append(PhaseAnswer(outcomes=outcomes, engine="cross_batch"))
+
+        self.dispatches += 1
+        self.phases_answered += len(items)
+        self.poses_dispatched += len(targets)
+        return answers, FlushReport(
+            phases=len(items),
+            total_rows=len(targets),
+            fresh_rows=fresh_rows,
+            cached_rows=cached_rows,
+        )

@@ -1,0 +1,493 @@
+"""The multi-client planning service: admission, batching, deadlines.
+
+:class:`PlanningService` accepts many concurrent plan requests and runs
+them to completion on one deterministic *simulated clock* — no threads, no
+wall-clock nondeterminism.  Planners are suspendable generators
+(``plan_steps``, :mod:`repro.planning.queries`), so the service interleaves
+requests at collision-query boundaries:
+
+1. **Admission.**  Submitted requests wait in a priority queue ordered by
+   ``(priority, arrival, sequence)``; at most ``max_inflight`` run at once.
+2. **Rounds.**  Each round resumes every in-flight request's generator to
+   its next CD phase (degenerate queries are answered inline per the
+   recorder contract), then flushes the collected phases through the
+   :class:`~repro.serving.batcher.CrossRequestBatcher` in windows of
+   ``batch_window`` phases — one vectorized dispatch per window, coalescing
+   work *across* requests.
+3. **Deadlines.**  Every request carries a
+   :class:`~repro.resilience.deadline.DeadlineBudget` (simulated
+   milliseconds).  By default a miss is flagged on the response; with
+   ``cancel_on_deadline_miss`` the request is cancelled at the next
+   scheduling point after its budget lapses.
+
+**Determinism and per-request bit-identity.**  The round structure, the
+admission order, and the simulated cost model are all pure functions of the
+submitted requests and the :class:`~repro.config.ServiceConfig`; there is
+no hidden state.  Because each planner is one generator driven by answers
+that are bit-identical to a solo run (see
+:mod:`repro.serving.batcher`), every request's path, verdicts, and
+:class:`~repro.collision.stats.CollisionStats` are independent of arrival
+interleaving, batch window size, and the other requests in flight — pinned
+by ``tests/test_serving.py``.
+
+The simulated cost model (microseconds) makes batching visible in service
+latency: a batched dispatch costs ``dispatch_overhead_us`` once plus
+per-pose costs (cheap for cache hits), while sequential mode pays the
+overhead per phase and the full per-pose cost — the same
+overhead-amortization argument as the paper's SAS dispatch model.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.collision.cache import CollisionCache
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.collision.stats import CollisionStats
+from repro.config import ReproConfig
+from repro.env.diff import octree_delta_regions
+from repro.env.octree import Octree
+from repro.planning.recorder import CDTraceRecorder
+from repro.resilience.deadline import DeadlineBudget
+from repro.robot.model import RobotModel
+from repro.serving.batcher import CrossRequestBatcher
+
+__all__ = ["PlanRequest", "PlanResponse", "ServiceReport", "PlanningService"]
+
+
+@dataclass
+class PlanRequest:
+    """One client's planning query.
+
+    ``planner`` names a built-in planner (``"rrt"``, ``"rrt_connect"``,
+    ``"prm"``); ``planner_factory`` overrides it with any callable taking a
+    recorder and returning an object with ``plan_steps(q_start, q_goal,
+    rng)``.  ``seed`` feeds the request's private RNG; ``deadline_ms`` (in
+    simulated milliseconds) defaults to the service's
+    ``default_deadline_ms``.  Lower ``priority`` admits first.
+    """
+
+    request_id: str
+    q_start: object
+    q_goal: object
+    planner: str = "rrt_connect"
+    planner_factory: Optional[object] = None
+    seed: int = 0
+    priority: int = 0
+    deadline_ms: Optional[float] = None
+
+
+@dataclass
+class PlanResponse:
+    """What the service returns for one request."""
+
+    request_id: str
+    success: bool
+    path: Optional[list]
+    result: object
+    stats: CollisionStats
+    num_phases: int
+    submitted_ms: float
+    admitted_ms: float
+    completed_ms: float
+    deadline_ms: Optional[float]
+    deadline_missed: bool
+    cancelled: bool
+    env_epoch: int
+
+    @property
+    def latency_ms(self) -> float:
+        return self.completed_ms - self.submitted_ms
+
+
+@dataclass
+class ServiceReport:
+    """Aggregate accounting for one :meth:`PlanningService.run` drain."""
+
+    responses: Dict[str, PlanResponse]
+    sim_ms: float
+    rounds: int
+    dispatches: int
+    phases_answered: int
+    poses_dispatched: int
+    cache_counters: Optional[dict]
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for r in self.responses.values() if r.success)
+
+    @property
+    def requests_per_sim_s(self) -> float:
+        if self.sim_ms <= 0:
+            return 0.0
+        return len(self.responses) / (self.sim_ms / 1e3)
+
+
+class _Task:
+    """Internal per-request state (generator + recorder + clocks)."""
+
+    __slots__ = (
+        "request",
+        "gen",
+        "recorder",
+        "deadline",
+        "submitted_us",
+        "admitted_us",
+        "pending_value",
+        "pending_item",
+        "done",
+        "result",
+        "cancelled",
+    )
+
+    def __init__(self, request, gen, recorder, deadline, submitted_us):
+        self.request = request
+        self.gen = gen
+        self.recorder = recorder
+        self.deadline: Optional[DeadlineBudget] = deadline
+        self.submitted_us = submitted_us
+        self.admitted_us = submitted_us
+        self.pending_value = None
+        self.pending_item = None  # (query, phase) awaiting a batched answer
+        self.done = False
+        self.result = None
+        self.cancelled = False
+
+
+class PlanningService:
+    """Deterministic multi-client planning service over one environment.
+
+    ``config`` is a :class:`~repro.config.ReproConfig`; its ``service``
+    section selects the mode (``"batched"`` coalesces phases across
+    requests, ``"sequential"`` is the single-client baseline), the batch
+    window, admission limits, and the simulated cost model, while
+    ``config.cache`` controls the shared octree-versioned verdict cache.
+    """
+
+    def __init__(
+        self,
+        robot: RobotModel,
+        octree: Octree,
+        config: Optional[ReproConfig] = None,
+        telemetry=None,
+    ):
+        if config is None:
+            config = ReproConfig.for_service()
+        if config.service.mode == "batched" and config.backend != "batch":
+            raise ValueError(
+                "service mode 'batched' requires backend 'batch' "
+                "(cross-request coalescing dispatches through the vectorized "
+                "pipeline); use ReproConfig.for_service() or service mode "
+                "'sequential'"
+            )
+        self.robot = robot
+        self.octree = octree
+        self.config = config
+        self.telemetry = telemetry
+        self.env_epoch = 0
+        self.clock_us = 0.0
+        self.rounds = 0
+        self._seq = itertools.count()
+        self._queue: list = []  # (priority, submitted_us, seq, task)
+        self._inflight: List[_Task] = []
+        self._responses: Dict[str, PlanResponse] = {}
+        self._request_ids: set = set()
+
+        self.cache: Optional[CollisionCache] = None
+        if config.cache.enabled:
+            self.cache = CollisionCache(
+                quantum=config.cache.quantum,
+                max_entries=config.cache.max_entries,
+                telemetry=telemetry,
+            )
+
+        self.batcher: Optional[CrossRequestBatcher] = None
+        self._shared_evaluator = None
+        if config.service.mode == "batched":
+            shared = RobotEnvironmentChecker.from_config(
+                robot, octree, config, cache=self.cache
+            )
+            self._shared_evaluator = shared.batch_evaluator
+            self.batcher = CrossRequestBatcher(shared)
+
+    # ------------------------------------------------------------------
+    # Submission / environment
+    # ------------------------------------------------------------------
+
+    def submit(self, request: PlanRequest) -> None:
+        """Enqueue a request at the current simulated time."""
+        if request.request_id in self._request_ids:
+            raise ValueError(f"duplicate request_id {request.request_id!r}")
+        self._request_ids.add(request.request_id)
+        task = self._make_task(request)
+        heapq.heappush(
+            self._queue,
+            (request.priority, task.submitted_us, next(self._seq), task),
+        )
+
+    def update_environment(self, octree: Octree) -> int:
+        """Swap the environment octree between drains (service must be idle).
+
+        Advances the environment epoch and selectively invalidates the
+        shared cache from the changed-region boxes.  Returns the number of
+        cache entries dropped.
+        """
+        if self._queue or self._inflight:
+            raise RuntimeError(
+                "update_environment requires an idle service (drain with "
+                "run() first)"
+            )
+        regions = octree_delta_regions(self.octree, octree)
+        self.octree = octree
+        self.env_epoch += 1
+        dropped = 0
+        if self.cache is not None:
+            dropped = self.cache.invalidate_regions(regions)
+        if self.batcher is not None:
+            shared = RobotEnvironmentChecker.from_config(
+                self.robot, octree, self.config, cache=self.cache
+            )
+            self._shared_evaluator = shared.batch_evaluator
+            self.batcher = CrossRequestBatcher(shared)
+        return dropped
+
+    def _make_task(self, request: PlanRequest) -> _Task:
+        checker = RobotEnvironmentChecker.from_config(
+            self.robot, self.octree, self.config, cache=self.cache
+        )
+        if self._shared_evaluator is not None:
+            # All requests share one vectorized pipeline (it is stateless
+            # apart from precomputed octree arrays).
+            checker._batch_evaluator = self._shared_evaluator
+        recorder = CDTraceRecorder(checker)
+        planner = self._make_planner(request, recorder)
+        rng = np.random.default_rng(request.seed)
+        gen = planner.plan_steps(request.q_start, request.q_goal, rng)
+        deadline_ms = (
+            request.deadline_ms
+            if request.deadline_ms is not None
+            else self.config.service.default_deadline_ms
+        )
+        deadline = (
+            DeadlineBudget(sim_ms=deadline_ms) if deadline_ms is not None else None
+        )
+        return _Task(request, gen, recorder, deadline, self.clock_us)
+
+    @staticmethod
+    def _make_planner(request: PlanRequest, recorder: CDTraceRecorder):
+        if request.planner_factory is not None:
+            return request.planner_factory(recorder)
+        from repro.planning.prm import PRMPlanner
+        from repro.planning.rrt import RRTPlanner
+        from repro.planning.rrt_connect import RRTConnectPlanner
+
+        factories = {
+            "rrt": RRTPlanner,
+            "rrt_connect": RRTConnectPlanner,
+            "prm": PRMPlanner,
+        }
+        factory = factories.get(request.planner)
+        if factory is None:
+            raise ValueError(
+                f"unknown planner {request.planner!r}; valid choices: "
+                f"{sorted(factories)} (or pass planner_factory)"
+            )
+        return factory(recorder)
+
+    # ------------------------------------------------------------------
+    # The drain loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> ServiceReport:
+        """Drain every submitted request; returns the aggregate report.
+
+        Deterministic: same requests + config -> same responses, clock, and
+        dispatch sequence.
+        """
+        start_dispatches = (
+            self.batcher.dispatches if self.batcher is not None else 0
+        )
+        start_phases = (
+            self.batcher.phases_answered if self.batcher is not None else 0
+        )
+        start_poses = (
+            self.batcher.poses_dispatched if self.batcher is not None else 0
+        )
+        seq_dispatches = 0
+        seq_phases = 0
+        seq_poses = 0
+        rounds = 0
+
+        while self._queue or self._inflight:
+            rounds += 1
+            self._admit()
+            if self.config.service.mode == "batched":
+                self._round_batched()
+            else:
+                d, p, n = self._round_sequential()
+                seq_dispatches += d
+                seq_phases += p
+                seq_poses += n
+        self.rounds += rounds
+
+        if self.batcher is not None:
+            dispatches = self.batcher.dispatches - start_dispatches
+            phases = self.batcher.phases_answered - start_phases
+            poses = self.batcher.poses_dispatched - start_poses
+        else:
+            dispatches, phases, poses = seq_dispatches, seq_phases, seq_poses
+        return ServiceReport(
+            responses=dict(self._responses),
+            sim_ms=self.clock_us / 1e3,
+            rounds=rounds,
+            dispatches=dispatches,
+            phases_answered=phases,
+            poses_dispatched=poses,
+            cache_counters=self.cache.counters() if self.cache else None,
+        )
+
+    def _admit(self) -> None:
+        limit = self.config.service.max_inflight
+        while self._queue and len(self._inflight) < limit:
+            _, _, _, task = heapq.heappop(self._queue)
+            task.admitted_us = self.clock_us
+            self._inflight.append(task)
+
+    def _round_batched(self) -> None:
+        """One scheduling round: advance every task, flush phase windows."""
+        service = self.config.service
+        pending: List[_Task] = []
+        for task in list(self._inflight):
+            if self._cancel_if_expired(task):
+                continue
+            item = self._advance(task)
+            if task.done:
+                self._finish(task)
+            elif item is not None:
+                task.pending_item = item
+                pending.append(task)
+
+        window = service.batch_window
+        for at in range(0, len(pending), window):
+            chunk = pending[at : at + window]
+            items = [
+                (task.recorder, task.pending_item[1]) for task in chunk
+            ]
+            answers, report = self.batcher.flush(items)
+            self.clock_us += (
+                service.dispatch_overhead_us
+                + service.batch_pose_cost_us * report.fresh_rows
+                + service.cache_hit_cost_us * report.cached_rows
+            )
+            for task, answer in zip(chunk, answers):
+                query, phase = task.pending_item
+                task.pending_item = None
+                task.pending_value = task.recorder.commit(query, phase, answer)
+
+    def _round_sequential(self):
+        """Baseline: run the single oldest in-flight request to completion."""
+        service = self.config.service
+        task = self._inflight[0]
+        dispatches = phases = poses = 0
+        while not task.done:
+            if self._cancel_if_expired(task):
+                return dispatches, phases, poses
+            item = self._advance(task)
+            if item is None:
+                break
+            query, phase = item
+            checks_before = task.recorder.checker.stats.pose_checks
+            answer = task.recorder.engine.answer(phase)
+            charged = task.recorder.checker.stats.pose_checks - checks_before
+            task.pending_value = task.recorder.commit(query, phase, answer)
+            dispatches += 1
+            phases += 1
+            poses += charged
+            self.clock_us += (
+                service.dispatch_overhead_us + service.pose_cost_us * charged
+            )
+        if task.done:
+            self._finish(task)
+        return dispatches, phases, poses
+
+    def _advance(self, task: _Task):
+        """Resume a task's generator to its next non-degenerate query.
+
+        Returns ``(query, phase)`` or None when the task finished.
+        Degenerate queries (no phase) are answered inline from the
+        recorder's trivial-result contract — they cost no dispatch.
+        """
+        while True:
+            try:
+                query = task.gen.send(task.pending_value)
+            except StopIteration as stop:
+                task.result = stop.value
+                task.done = True
+                return None
+            task.pending_value = None
+            phase = task.recorder.prepare(query)
+            if phase is None:
+                task.pending_value = task.recorder.trivial_result(query)
+                continue
+            return query, phase
+
+    def _cancel_if_expired(self, task: _Task) -> bool:
+        """Cancel a task whose deadline lapsed (when the policy says so)."""
+        if not self.config.service.cancel_on_deadline_miss:
+            return False
+        if task.deadline is None:
+            return False
+        elapsed_ms = (self.clock_us - task.submitted_us) / 1e3
+        if not task.deadline.sim_exceeded(elapsed_ms):
+            return False
+        task.cancelled = True
+        task.done = True
+        task.gen.close()
+        self._finish(task)
+        return True
+
+    def _finish(self, task: _Task) -> None:
+        self._inflight.remove(task)
+        result = task.result
+        path: Optional[list] = None
+        success = False
+        if isinstance(result, list):
+            path = result
+            success = True
+        elif result is not None and hasattr(result, "success"):
+            success = bool(result.success)
+            path = list(result.path) if success else None
+        deadline_ms = task.deadline.sim_ms if task.deadline is not None else None
+        elapsed_ms = (self.clock_us - task.submitted_us) / 1e3
+        missed = deadline_ms is not None and elapsed_ms > deadline_ms
+        self._responses[task.request.request_id] = PlanResponse(
+            request_id=task.request.request_id,
+            success=success and not task.cancelled,
+            path=path,
+            result=result,
+            stats=task.recorder.checker.stats.copy(),
+            num_phases=task.recorder.num_phases,
+            submitted_ms=task.submitted_us / 1e3,
+            admitted_ms=task.admitted_us / 1e3,
+            completed_ms=self.clock_us / 1e3,
+            deadline_ms=deadline_ms,
+            deadline_missed=missed or task.cancelled,
+            cancelled=task.cancelled,
+            env_epoch=self.env_epoch,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_pending(self) -> int:
+        return len(self._queue) + len(self._inflight)
+
+    def response(self, request_id: str) -> PlanResponse:
+        return self._responses[request_id]
