@@ -144,7 +144,33 @@ def test_engines_saw_identical_workloads():
                 assert np.allclose(q_ref, q_run), name
 
 
+def write_artifact(report: dict, path: str) -> None:
+    """Emit the run as a BENCH artifact for the cross-PR trajectory."""
+    from repro.harness.bench_artifact import make_bench_payload, save_bench
+
+    cases = []
+    for name in CONFIGS:
+        entry = report[name]
+        metrics = {
+            "seconds": round(entry["seconds"], 6),
+            "phases": entry["phases"],
+            "poses": entry["poses"],
+        }
+        if entry["path_len"] is not None:
+            metrics["path_len"] = entry["path_len"]
+        cases.append({"name": name, "metrics": metrics})
+    payload = make_bench_payload(
+        bench="planner_engines",
+        seed=SEED,
+        cases=cases,
+        summary={"speedup_batch": round(report["speedup_batch"], 3)},
+    )
+    save_bench(path, payload)
+
+
 if __name__ == "__main__":
+    import os
+
     report = measure_engines()
     print(
         f"workload: jaco2 PRM ({N_SAMPLES} nodes, k={K_NEIGHBORS}) + query "
@@ -165,3 +191,8 @@ if __name__ == "__main__":
         f"batch speedup over sequential: {report['speedup_batch']:.1f}x "
         f"(floor {SPEEDUP_FLOOR:.0f}x)"
     )
+    artifact = os.path.join(
+        os.path.dirname(__file__), "BENCH_planner_engines.json"
+    )
+    write_artifact(report, artifact)
+    print(f"wrote {artifact}")

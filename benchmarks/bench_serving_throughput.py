@@ -132,7 +132,49 @@ def test_batching_coalesces_phases():
     assert report["warm_hit_rate"] > 0.5
 
 
+def write_artifact(report: dict, path: str) -> None:
+    """Emit the run as a BENCH artifact for the cross-PR trajectory."""
+    from repro.harness.bench_artifact import make_bench_payload, save_bench
+
+    cases = [
+        {
+            "name": "sequential",
+            "metrics": {
+                "seconds": round(report["sequential_s"], 6),
+                "requests_per_s": round(report["requests_per_s_sequential"], 3),
+            },
+        },
+        {
+            "name": "batched_cold",
+            "metrics": {
+                "seconds": round(report["cold_s"], 6),
+                "speedup": round(report["speedup_cold"], 3),
+                "dispatches": report["dispatches_cold"],
+                "phases": report["phases_cold"],
+            },
+        },
+        {
+            "name": "batched_warm",
+            "metrics": {
+                "seconds": round(report["warm_s"], 6),
+                "speedup": round(report["speedup_warm"], 3),
+                "requests_per_s": round(report["requests_per_s_warm"], 3),
+                "hit_rate": round(report["warm_hit_rate"], 4),
+            },
+        },
+    ]
+    payload = make_bench_payload(
+        bench="serving_throughput",
+        seed=SEED,
+        cases=cases,
+        summary={"speedup_warm": round(report["speedup_warm"], 3)},
+    )
+    save_bench(path, payload)
+
+
 def main() -> int:
+    import os
+
     report = measure_serving()
     print("serving throughput (wall clock)")
     print(
@@ -158,6 +200,11 @@ def main() -> int:
     print(
         f"  2x floor            : {'met' if floor_met else 'MISSED'}"
     )
+    artifact = os.path.join(
+        os.path.dirname(__file__), "BENCH_serving_throughput.json"
+    )
+    write_artifact(report, artifact)
+    print(f"wrote {artifact}")
     return 0 if floor_met else 1
 
 

@@ -1,0 +1,68 @@
+"""Collect every ``BENCH_*.json`` artifact into one trajectory file.
+
+The Megatron-style half of the workflow: benchmark runs each write one
+schema-validated artifact (``benchmarks/bench_scenarios.py`` and the
+``__main__`` blocks of the perf benchmarks); this collector folds all of
+them into ``bench_trajectory.json`` — the machine-readable perf
+trajectory CI uploads per PR, and ``plot_bench.py`` renders.
+
+::
+
+    PYTHONPATH=src python benchmarks/collect_bench.py
+    PYTHONPATH=src python benchmarks/collect_bench.py --dir benchmarks \
+        --out benchmarks/bench_trajectory.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+
+from repro.harness.bench_artifact import (
+    collect_bench_payloads,
+    find_bench_files,
+)
+
+DEFAULT_DIR = os.path.dirname(__file__)
+DEFAULT_OUT = os.path.join(DEFAULT_DIR, "bench_trajectory.json")
+
+
+def collect(directories, out_path: str) -> dict:
+    """Validate and merge every artifact found under ``directories``."""
+    paths = []
+    for directory in directories:
+        paths.extend(find_bench_files(directory))
+    trajectory = collect_bench_payloads(paths)
+    with open(out_path, "w") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return trajectory
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--dir", action="append", dest="dirs", default=None,
+        help="directory to scan for BENCH_*.json (repeatable; "
+        "default: the benchmarks directory and the repo root)",
+    )
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    dirs = args.dirs or [DEFAULT_DIR, os.path.dirname(DEFAULT_DIR) or "."]
+    trajectory = collect(dirs, args.out)
+
+    print(f"collected {trajectory['n_runs']} run(s) from {len(dirs)} dir(s)")
+    for run in trajectory["runs"]:
+        summary = run["summary"]
+        rollup = ", ".join(
+            f"{key}={value}" for key, value in sorted(summary.items())
+        ) or f"{run['n_cases']} cases"
+        print(f"  {run['bench']:<24} [{run['file']}] {rollup}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

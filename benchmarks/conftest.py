@@ -10,6 +10,8 @@ Run with:  pytest benchmarks/ --benchmark-only
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.harness.experiments.context import ExperimentContext, ExperimentScale
@@ -32,3 +34,22 @@ def ctx() -> ExperimentContext:
 def run_once(benchmark, func, *args):
     """Time one full run of an experiment (they are too heavy to repeat)."""
     return benchmark.pedantic(func, args=args, rounds=1, iterations=1)
+
+
+def pytest_sessionstart(session):
+    """Schema-validate every BENCH_*.json artifact before any test runs.
+
+    A malformed artifact would silently poison the collected trajectory;
+    failing the session start names the file and the violation instead.
+    """
+    from repro.harness.bench_artifact import find_bench_files, load_bench
+
+    here = os.path.dirname(__file__)
+    for directory in (here, os.path.dirname(here) or "."):
+        for path in find_bench_files(directory):
+            try:
+                load_bench(path)
+            except (ValueError, OSError) as exc:
+                raise pytest.UsageError(
+                    f"invalid bench artifact {path}: {exc}"
+                ) from exc

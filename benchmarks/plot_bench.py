@@ -1,0 +1,136 @@
+"""Render the collected bench trajectory (terminal bars + standalone SVG).
+
+The plotting half of the collect/plot harness: reads the
+``bench_trajectory.json`` that ``collect_bench.py`` produced and renders
+one horizontal bar chart per tracked metric — ASCII to the terminal
+always, and a dependency-free hand-built SVG when ``--svg`` is given (the
+container has no matplotlib, and the artifact should render anywhere).
+
+::
+
+    PYTHONPATH=src python benchmarks/collect_bench.py
+    PYTHONPATH=src python benchmarks/plot_bench.py
+    PYTHONPATH=src python benchmarks/plot_bench.py --metric sim_ms_p99 \
+        --svg benchmarks/bench_trajectory.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from typing import Dict, List, Tuple
+
+DEFAULT_IN = os.path.join(os.path.dirname(__file__), "bench_trajectory.json")
+
+#: Metrics plotted by default when present (one chart each).
+DEFAULT_METRICS = ("success_rate", "sim_ms_p50", "sim_ms_p99", "energy_uj")
+
+BAR_WIDTH = 40
+
+
+def load_trajectory(path: str) -> dict:
+    with open(path) as handle:
+        trajectory = json.load(handle)
+    if trajectory.get("kind") != "bench_trajectory":
+        raise ValueError(
+            f"{path} is not a bench trajectory (run collect_bench.py first)"
+        )
+    return trajectory
+
+
+def metric_rows(trajectory: dict, metric: str) -> List[Tuple[str, float]]:
+    """Every (case label, value) carrying ``metric``, across all runs."""
+    rows: List[Tuple[str, float]] = []
+    for run in trajectory["runs"]:
+        for case in run["cases"]:
+            value = case["metrics"].get(metric)
+            if value is not None:
+                rows.append((f"{run['bench']}:{case['name']}", float(value)))
+    return rows
+
+
+def ascii_chart(metric: str, rows: List[Tuple[str, float]]) -> str:
+    top = max(value for _, value in rows)
+    width = max(len(label) for label, _ in rows)
+    lines = [f"{metric} (max {top:g})"]
+    for label, value in rows:
+        filled = int(round(BAR_WIDTH * value / top)) if top > 0 else 0
+        lines.append(f"  {label:<{width}} |{'#' * filled:<{BAR_WIDTH}}| {value:g}")
+    return "\n".join(lines)
+
+
+def svg_chart(charts: Dict[str, List[Tuple[str, float]]]) -> str:
+    """All charts stacked in one standalone SVG (no plotting deps)."""
+    row_h, label_w, bar_w, pad, title_h = 18, 320, 420, 10, 26
+    blocks: List[str] = []
+    y = pad
+    for metric, rows in charts.items():
+        top = max(value for _, value in rows) or 1.0
+        blocks.append(
+            f'<text x="{pad}" y="{y + 14}" font-size="14" '
+            f'font-family="monospace" font-weight="bold">{metric}</text>'
+        )
+        y += title_h
+        for label, value in rows:
+            width = bar_w * value / top
+            blocks.append(
+                f'<text x="{pad}" y="{y + 12}" font-size="11" '
+                f'font-family="monospace">{label}</text>'
+            )
+            blocks.append(
+                f'<rect x="{label_w}" y="{y + 2}" width="{width:.1f}" '
+                f'height="{row_h - 6}" fill="#4878a8"/>'
+            )
+            blocks.append(
+                f'<text x="{label_w + width + 4:.1f}" y="{y + 12}" '
+                f'font-size="11" font-family="monospace">{value:g}</text>'
+            )
+            y += row_h
+        y += pad
+    total_w = label_w + bar_w + 90
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{total_w}" '
+        f'height="{y}" viewBox="0 0 {total_w} {y}">\n'
+        f'<rect width="{total_w}" height="{y}" fill="white"/>\n'
+        + "\n".join(blocks)
+        + "\n</svg>\n"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--in", dest="in_path", default=DEFAULT_IN)
+    parser.add_argument(
+        "--metric", action="append", dest="metrics", default=None,
+        help=f"metric(s) to plot (repeatable; default: {', '.join(DEFAULT_METRICS)})",
+    )
+    parser.add_argument("--svg", default=None, help="also write an SVG here")
+    args = parser.parse_args(argv)
+
+    trajectory = load_trajectory(args.in_path)
+    metrics = args.metrics or list(DEFAULT_METRICS)
+
+    charts: Dict[str, List[Tuple[str, float]]] = {}
+    for metric in metrics:
+        rows = metric_rows(trajectory, metric)
+        if rows:
+            charts[metric] = rows
+        else:
+            print(f"(no cases carry metric {metric!r}; skipped)")
+    if not charts:
+        print("nothing to plot")
+        return 1
+
+    for metric, rows in charts.items():
+        print(ascii_chart(metric, rows))
+        print()
+    if args.svg:
+        with open(args.svg, "w") as handle:
+            handle.write(svg_chart(charts))
+        print(f"wrote {args.svg}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

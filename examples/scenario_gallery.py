@@ -1,0 +1,186 @@
+"""Scenario gallery: a tour of the seeded benchmark corpus.
+
+The scenario DSL (:mod:`repro.scenarios`) freezes every benchmark
+instance as a (name, family, seed, params) spec that regenerates its
+scene, octree, robot placement, and query set bit-identically.  This
+example walks the smoke corpus end to end:
+
+1. build every generator family and print what it produced;
+2. save one spec to JSON, reload it, and verify the regenerated
+   instance is bit-identical to the original;
+3. plan one query per scenario and price it on the MPAccel model
+   (simulated milliseconds + energy);
+4. drive a moving-obstacle script through a cache-enabled checker
+   (selective invalidation via ``update_octree``) and through the
+   deadline-enforced realtime runtime, so the scripted epochs exercise
+   the graceful-degradation ladder;
+5. run a cross-robot collision check in the multi-arm scene.
+
+The process exits nonzero when any stage fails, so this example doubles
+as a smoke test.
+
+Run:  python examples/scenario_gallery.py
+"""
+
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.accel import CECDUConfig, MPAccelConfig, RobotRuntime
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.config import CacheConfig, EngineConfig, ReproConfig, ResilienceConfig
+from repro.env import Scene
+from repro.harness.serialization import load_scenario, save_scenario
+from repro.scenarios import FAMILIES, build_scenario, default_corpus, run_case
+from repro.scenarios.multiarm import robots_collide
+
+
+def tour_the_corpus(specs):
+    print("the smoke corpus (every instance frozen by name + seed):")
+    instances = {}
+    for spec in specs:
+        instance = build_scenario(spec)
+        instances[spec.name] = instance
+        family = FAMILIES[spec.family]
+        extra = ""
+        if instance.is_dynamic:
+            extra = f", {instance.n_epochs} scripted epochs"
+        if len(instance.robots) > 1:
+            extra = f", {len(instance.robots)} arms"
+        print(
+            f"  {spec.name:<14} [{spec.family}] seed={spec.seed}: "
+            f"{len(instance.scene.obstacles)} obstacles, "
+            f"{len(instance.queries)} queries{extra}"
+        )
+        print(f"    {family.description}")
+    return instances
+
+
+def roundtrip_one(spec) -> bool:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, f"{spec.name}.json")
+        save_scenario(path, spec)
+        reloaded = load_scenario(path)
+    identical = (
+        build_scenario(spec).fingerprint()
+        == build_scenario(reloaded).fingerprint()
+    )
+    state = "bit-identical" if identical else "DIVERGED"
+    print(f"\nsave -> load -> regenerate [{spec.name}]: {state}")
+    return identical
+
+
+def plan_the_corpus(instances) -> int:
+    print("\none query per scenario, priced on MPAccel (16 CECDUs):")
+    failures = 0
+    for name, instance in instances.items():
+        case = run_case(instance, "rrt_connect", "batch", seed=0, max_queries=1)
+        ok = case.successes == case.n_queries
+        failures += 0 if ok else 1
+        metrics = case.metrics()
+        print(
+            f"  {name:<14} success={case.successes}/{case.n_queries} "
+            f"sim={metrics['sim_ms_p50']:.4f} ms "
+            f"energy={metrics['energy_uj']:.4f} uJ"
+        )
+    return failures
+
+
+def drive_moving_scenario(instance) -> bool:
+    # (a) The collision cache sees every scripted epoch through
+    # update_octree: entries whose footprint overlaps a changed region are
+    # dropped, everything else survives.
+    config = ReproConfig(cache=CacheConfig(enabled=True))
+    checker = RobotEnvironmentChecker.from_config(
+        instance.robot, instance.epoch_octrees[0], config
+    )
+    rng = np.random.default_rng(1)
+    for _ in range(12):
+        checker.check_pose(instance.robot.random_configuration(rng))
+    print(f"\nmoving scenario '{instance.spec.name}' through the cached checker:")
+    for epoch in range(1, instance.n_epochs):
+        dropped = checker.update_octree(instance.epoch_octrees[epoch])
+        print(
+            f"  epoch {epoch}: cache dropped {dropped} entr"
+            f"{'y' if dropped == 1 else 'ies'}, {len(checker.cache)} kept"
+        )
+
+    # (b) The same script through the deadline-enforced realtime runtime:
+    # each tick replays the next epoch's scene, and the 1 ms actuator
+    # deadline makes the runtime walk the degradation ladder rather than
+    # run long.
+    params = instance.spec.resolved_params()
+    scene = Scene(params["extent"], list(instance.epoch_scenes[0].obstacles))
+
+    def scripted_update(s: Scene, tick: int, _rng) -> bool:
+        if tick == 0 or tick >= instance.n_epochs:
+            return False
+        s.obstacles[:] = instance.epoch_scenes[tick].obstacles
+        return True
+
+    runtime = RobotRuntime(
+        robot=instance.robot,
+        scene=scene,
+        config=MPAccelConfig(n_cecdus=8, cecdu=CECDUConfig(n_oocds=4)),
+        scene_update=scripted_update,
+        repro=ReproConfig(
+            octree_resolution=params["octree_resolution"],
+            backend="batch",
+            engine=EngineConfig(kind="batch"),
+            cache=CacheConfig(enabled=True),
+            resilience=ResilienceConfig(sim_ms=1.0),
+        ),
+    )
+    q_start, q_goal = instance.queries[0]
+    report = runtime.run(
+        q_start, q_goal, n_ticks=instance.n_epochs, rng=np.random.default_rng(2)
+    )
+    histogram = {k: v for k, v in report.degradation_histogram.items() if v}
+    print(
+        f"  realtime replay: {report.replan_count} replans over "
+        f"{instance.n_epochs} ticks, worst tick "
+        f"{report.worst_tick_ms:.3f} ms, ladder: {histogram or 'quiet'}"
+    )
+    if not report.final_path:
+        print("  FAIL: the runtime ended without a validated path")
+        return False
+    return True
+
+
+def check_multi_arm(instance) -> bool:
+    jaco, other = instance.robots[0], instance.robots[1]
+    rest = instance.rest_configurations[1]
+    q = instance.queries[0][0]
+    ab = robots_collide(jaco, q, other, rest)
+    ba = robots_collide(other, rest, jaco, q)
+    print(
+        f"\nmulti-arm '{instance.spec.name}': arm A at its start pose "
+        f"{'CONTACTS' if ab else 'clears'} arm B at rest "
+        f"(symmetric check agrees: {ab == ba})"
+    )
+    return ab == ba
+
+
+def main() -> int:
+    specs = default_corpus("smoke")
+    instances = tour_the_corpus(specs)
+
+    ok = roundtrip_one(specs[1])  # the narrow-passage spec
+    plan_failures = plan_the_corpus(instances)
+    ok &= drive_moving_scenario(instances["sweep_cart"])
+    ok &= check_multi_arm(instances["dual_arm_cell"])
+
+    if plan_failures:
+        print(f"\nFAIL: {plan_failures} scenario(s) had failing queries")
+        return 1
+    if not ok:
+        print("\nFAIL: a gallery stage failed")
+        return 1
+    print("\nall gallery stages passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

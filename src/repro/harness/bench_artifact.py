@@ -1,0 +1,202 @@
+"""Machine-readable benchmark artifacts: the ``BENCH_*.json`` schema.
+
+Every benchmark run emits one artifact so perf claims accumulate into a
+cross-PR trajectory instead of evaporating in terminal scrollback (the
+Megatron collect/plot workflow: runs write JSON, a collector folds every
+artifact into one trajectory file, a plotter renders it).  The schema is
+deliberately small and **deterministic** — no timestamps, hostnames, or
+wall-clock-only fields at the top level — so rerunning a seeded benchmark
+reproduces the artifact byte-for-byte:
+
+```
+{
+  "schema_version": 1,
+  "bench": "scenarios",          # which benchmark produced this
+  "seed": 0,                     # the run's master seed
+  "cases": [                     # one entry per measured case
+    {"name": "shelf_pick/rrt_connect/batch",
+     "metrics": {"success_rate": 1.0, "sim_ms_p50": 0.41, ...},
+     ...}                        # extra context keys allowed
+  ],
+  "summary": {...},              # optional run-level rollup (numeric)
+  ...                            # optional bench-specific extras
+}
+```
+
+``validate_bench_payload`` is the single gate: the suite runner calls it
+before writing, ``load_bench`` calls it after reading, and
+``benchmarks/conftest.py`` schema-checks every ``BENCH_*.json`` it finds.
+``collect_bench_payloads`` merges artifacts into the trajectory consumed
+by ``benchmarks/plot_bench.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BENCH_FILE_PREFIX",
+    "make_bench_payload",
+    "validate_bench_payload",
+    "save_bench",
+    "load_bench",
+    "find_bench_files",
+    "collect_bench_payloads",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+#: Artifact filename convention: ``BENCH_<bench>.json``.
+BENCH_FILE_PREFIX = "BENCH_"
+
+_TOP_REQUIRED = ("schema_version", "bench", "seed", "cases")
+
+
+def _is_number(value) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def make_bench_payload(
+    bench: str,
+    seed: int,
+    cases: Sequence[dict],
+    summary: Optional[Dict[str, float]] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Assemble and validate one artifact payload."""
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "bench": bench,
+        "seed": seed,
+        "cases": list(cases),
+    }
+    if summary is not None:
+        payload["summary"] = dict(summary)
+    if extra:
+        clash = sorted(set(extra) & set(payload))
+        if clash:
+            raise ValueError(f"extra key(s) {clash} clash with schema keys")
+        payload.update(extra)
+    validate_bench_payload(payload)
+    return payload
+
+
+def validate_bench_payload(payload: dict, source: str = "payload") -> dict:
+    """Check an artifact against the schema; raises naming each violation."""
+    if not isinstance(payload, dict):
+        raise ValueError(f"{source}: bench artifact must be a dict, got {type(payload).__name__}")
+    missing = sorted(set(_TOP_REQUIRED) - set(payload))
+    if missing:
+        raise ValueError(f"{source}: missing required key(s) {missing}")
+    version = payload["schema_version"]
+    if version != BENCH_SCHEMA_VERSION:
+        raise ValueError(
+            f"{source}: unsupported bench schema version {version!r}; "
+            f"expected {BENCH_SCHEMA_VERSION}"
+        )
+    if not isinstance(payload["bench"], str) or not payload["bench"]:
+        raise ValueError(f"{source}: 'bench' must be a non-empty string")
+    if not isinstance(payload["seed"], int) or isinstance(payload["seed"], bool):
+        raise ValueError(f"{source}: 'seed' must be an integer")
+    cases = payload["cases"]
+    if not isinstance(cases, list):
+        raise ValueError(f"{source}: 'cases' must be a list")
+    seen = set()
+    for i, case in enumerate(cases):
+        where = f"{source}: cases[{i}]"
+        if not isinstance(case, dict):
+            raise ValueError(f"{where} must be a dict")
+        name = case.get("name")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{where} missing non-empty string 'name'")
+        if name in seen:
+            raise ValueError(f"{source}: duplicate case name {name!r}")
+        seen.add(name)
+        metrics = case.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            raise ValueError(f"{where} ({name!r}) missing non-empty 'metrics' dict")
+        for key, value in metrics.items():
+            if not _is_number(value):
+                raise ValueError(
+                    f"{where} ({name!r}): metric {key!r} must be a finite "
+                    f"number, got {value!r}"
+                )
+    summary = payload.get("summary")
+    if summary is not None:
+        if not isinstance(summary, dict):
+            raise ValueError(f"{source}: 'summary' must be a dict")
+        for key, value in summary.items():
+            if not _is_number(value):
+                raise ValueError(
+                    f"{source}: summary metric {key!r} must be a finite "
+                    f"number, got {value!r}"
+                )
+    return payload
+
+
+def save_bench(path: str, payload: dict) -> None:
+    """Validate then write one artifact (stable key order, indented)."""
+    validate_bench_payload(payload, source=os.path.basename(path))
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_bench(path: str) -> dict:
+    """Read and validate one artifact."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return validate_bench_payload(payload, source=os.path.basename(path))
+
+
+def find_bench_files(directory: str) -> List[str]:
+    """All ``BENCH_*.json`` artifacts in ``directory``, sorted by name."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.startswith(BENCH_FILE_PREFIX) and name.endswith(".json")
+    )
+
+
+def collect_bench_payloads(paths: Sequence[str]) -> dict:
+    """Fold many artifacts into one trajectory payload.
+
+    Deterministic: entries are ordered by (bench, filename) and carry each
+    run's summary plus the per-case metric table.  Duplicate bench names
+    (e.g. artifacts from several PRs' runs collected side by side) are
+    allowed — the filename disambiguates.
+    """
+    runs = []
+    for path in paths:
+        payload = load_bench(path)
+        runs.append(
+            {
+                "file": os.path.basename(path),
+                "bench": payload["bench"],
+                "seed": payload["seed"],
+                "n_cases": len(payload["cases"]),
+                "summary": payload.get("summary", {}),
+                "cases": [
+                    {"name": case["name"], "metrics": case["metrics"]}
+                    for case in payload["cases"]
+                ],
+            }
+        )
+    runs.sort(key=lambda run: (run["bench"], run["file"]))
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "bench_trajectory",
+        "n_runs": len(runs),
+        "benches": sorted({run["bench"] for run in runs}),
+        "runs": runs,
+    }

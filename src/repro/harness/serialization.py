@@ -502,6 +502,48 @@ def load_config(path: str):
 
 
 # ----------------------------------------------------------------------
+# Scenario serialization: frozen benchmark instances (repro.scenarios) as
+# versioned JSON.  A scenario file holds only the spec — (name, family,
+# seed, params) — because the instance is a pure function of it:
+# ``build_scenario(load_scenario(path))`` regenerates the scene, octree,
+# robot placement, and query set bit-identically.  Loading re-validates
+# everything through ``ScenarioSpec.from_dict`` (unknown keys, unknown
+# families/params, out-of-band values all rejected by name).
+
+
+def save_scenario(path: str, spec) -> None:
+    """Write a :class:`repro.scenarios.ScenarioSpec` as versioned JSON."""
+    from repro.scenarios.dsl import ScenarioSpec
+
+    if not isinstance(spec, ScenarioSpec):
+        raise TypeError(
+            f"save_scenario expects a ScenarioSpec, got {type(spec).__name__}"
+        )
+    payload = {
+        "version": SCHEMA_VERSION,
+        "scenario": spec.to_dict(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_scenario(path: str):
+    """Load a spec written by :func:`save_scenario` (re-validated fully)."""
+    from repro.scenarios.dsl import ScenarioSpec
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported scenario file version {version!r}; expected {SCHEMA_VERSION}"
+        )
+    if "scenario" not in payload:
+        raise ValueError("scenario file missing required key 'scenario'")
+    return ScenarioSpec.from_dict(payload["scenario"])
+
+
+# ----------------------------------------------------------------------
 # Telemetry export: registry snapshots as JSON artifacts (the perf CI job
 # uploads these).
 

@@ -1,0 +1,58 @@
+"""Seeded scenario corpus and standardized benchmark suite.
+
+``repro.scenarios`` turns benchmark instances into data: a
+:class:`~repro.scenarios.dsl.ScenarioSpec` (name, family, seed, params)
+regenerates its scene, octree, robot placement, and query set
+bit-identically via :func:`~repro.scenarios.dsl.build_scenario`.  Five
+generator families ship in :mod:`repro.scenarios.generators`; the
+planner x engine x scenario sweep lives in
+:mod:`repro.scenarios.suite`; cross-robot collision checks for
+multi-arm scenes in :mod:`repro.scenarios.multiarm`.
+"""
+
+from repro.scenarios.dsl import (
+    FAMILIES,
+    SCENARIO_SCHEMA_VERSION,
+    ParamSpec,
+    ScenarioFamily,
+    ScenarioInstance,
+    ScenarioSpec,
+    build_scenario,
+    family_names,
+    make_robot,
+    register_family,
+)
+
+# Importing the generators registers the built-in families.
+from repro.scenarios import generators as _generators  # noqa: F401
+from repro.scenarios.suite import (
+    SUITE_ENGINES,
+    SUITE_PLANNERS,
+    CaseResult,
+    SuiteReport,
+    default_corpus,
+    run_case,
+    run_suite,
+    suite_payload,
+)
+
+__all__ = [
+    "SCENARIO_SCHEMA_VERSION",
+    "ParamSpec",
+    "ScenarioFamily",
+    "ScenarioInstance",
+    "ScenarioSpec",
+    "FAMILIES",
+    "build_scenario",
+    "family_names",
+    "make_robot",
+    "register_family",
+    "SUITE_ENGINES",
+    "SUITE_PLANNERS",
+    "CaseResult",
+    "SuiteReport",
+    "default_corpus",
+    "run_case",
+    "run_suite",
+    "suite_payload",
+]

@@ -1,0 +1,326 @@
+"""The seeded scenario DSL: frozen, parameterized, replayable instances.
+
+Every benchmark instance in the corpus is described by a
+:class:`ScenarioSpec` — a (name, family, seed, params) tuple that is pure
+data.  Building the spec (:func:`build_scenario`) regenerates the scene,
+octree, robot placement, and query set **bit-identically**: the instance
+is a pure function of the spec, with all randomness drawn from
+independent :class:`numpy.random.SeedSequence` children of ``seed`` in a
+fixed order.  Specs serialize through ``to_dict``/``from_dict`` (and JSON
+via :func:`repro.harness.serialization.save_scenario`), are
+schema-versioned, and fail loudly on unknown keys, unknown families,
+unknown parameters, or out-of-band values — always naming the valid
+choices.
+
+This is the robometrics-style fixed-problem-set discipline: planner and
+engine claims are measured against frozen scenario instances that any
+future run can regenerate exactly, instead of against whatever a live RNG
+produced that day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.robot.model import RobotModel
+
+__all__ = [
+    "SCENARIO_SCHEMA_VERSION",
+    "ParamSpec",
+    "ScenarioFamily",
+    "ScenarioSpec",
+    "ScenarioInstance",
+    "FAMILIES",
+    "register_family",
+    "family_names",
+    "build_scenario",
+]
+
+SCENARIO_SCHEMA_VERSION = 1
+
+#: Robot presets a scenario may place (validated by name).
+ROBOT_KINDS = ("planar2", "planar3", "jaco2", "baxter")
+
+
+def make_robot(kind: str, base=None) -> RobotModel:
+    """Instantiate a robot preset by its DSL name."""
+    from repro.robot.presets import baxter_arm, jaco2, planar_arm
+
+    if kind == "planar2":
+        return planar_arm(2, base=base)
+    if kind == "planar3":
+        return planar_arm(3, base=base)
+    if kind == "jaco2":
+        return jaco2(base=base)
+    if kind == "baxter":
+        return baxter_arm(base=base)
+    raise ValueError(
+        f"unknown robot kind {kind!r}; valid choices: {list(ROBOT_KINDS)}"
+    )
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One parameter a family accepts: default + validation envelope.
+
+    ``kind`` is ``"int"``, ``"float"``, or ``"enum"``.  Numeric parameters
+    validate against the closed ``[low, high]`` band; enum parameters
+    against ``choices``.  Validation errors name the parameter and list
+    the valid band/choices, mirroring the typed-config error style.
+    """
+
+    default: object
+    kind: str = "float"
+    low: Optional[float] = None
+    high: Optional[float] = None
+    choices: Optional[Tuple[str, ...]] = None
+
+    def validate(self, name: str, value):
+        if self.kind == "enum":
+            if value not in self.choices:
+                raise ValueError(
+                    f"invalid scenario param {name}={value!r}; "
+                    f"valid choices: {list(self.choices)}"
+                )
+            return value
+        if self.kind == "int":
+            if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+                raise ValueError(
+                    f"scenario param {name} must be an integer, got {value!r}"
+                )
+            value = int(value)
+        elif self.kind == "float":
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float, np.integer, np.floating)
+            ):
+                raise ValueError(
+                    f"scenario param {name} must be a number, got {value!r}"
+                )
+            value = float(value)
+        else:  # pragma: no cover - registration error, not user input
+            raise ValueError(f"unknown ParamSpec kind {self.kind!r}")
+        if self.low is not None and value < self.low:
+            raise ValueError(
+                f"scenario param {name}={value} below minimum {self.low}"
+            )
+        if self.high is not None and value > self.high:
+            raise ValueError(
+                f"scenario param {name}={value} above maximum {self.high}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A registered generator family: parameter table + builder."""
+
+    name: str
+    description: str
+    params: Mapping[str, ParamSpec]
+    #: builder(spec, resolved_params) -> ScenarioInstance
+    builder: Callable[["ScenarioSpec", Dict[str, object]], "ScenarioInstance"]
+
+    def resolve_params(self, overrides: Mapping[str, object]) -> Dict[str, object]:
+        """Defaults overlaid with validated overrides; unknown keys rejected."""
+        unknown = sorted(set(overrides) - set(self.params))
+        if unknown:
+            raise ValueError(
+                f"unknown param(s) {unknown} for scenario family "
+                f"{self.name!r}; valid params: {sorted(self.params)}"
+            )
+        resolved: Dict[str, object] = {}
+        for name, pspec in self.params.items():
+            value = overrides.get(name, pspec.default)
+            resolved[name] = pspec.validate(name, value)
+        return resolved
+
+
+#: Registry of generator families, populated by repro.scenarios.generators.
+FAMILIES: Dict[str, ScenarioFamily] = {}
+
+
+def register_family(family: ScenarioFamily) -> ScenarioFamily:
+    if family.name in FAMILIES:
+        raise ValueError(f"scenario family {family.name!r} already registered")
+    FAMILIES[family.name] = family
+    return family
+
+
+def family_names() -> List[str]:
+    return sorted(FAMILIES)
+
+
+def _get_family(name: str) -> ScenarioFamily:
+    family = FAMILIES.get(name)
+    if family is None:
+        raise ValueError(
+            f"unknown scenario family {name!r}; "
+            f"valid choices: {family_names()}"
+        )
+    return family
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A frozen scenario description: (name, family, seed, params).
+
+    ``params`` holds only the overrides (defaults are not materialized),
+    so a spec's serialized form stays stable when a family gains new
+    defaulted parameters.  Construction validates the family name and
+    every override against the family's parameter table.
+    """
+
+    name: str
+    family: str
+    seed: int = 0
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not self.name or not isinstance(self.name, str):
+            raise ValueError(f"scenario name must be a non-empty string, got {self.name!r}")
+        if not isinstance(self.seed, (int, np.integer)) or isinstance(self.seed, bool):
+            raise ValueError(f"scenario seed must be an integer, got {self.seed!r}")
+        family = _get_family(self.family)
+        resolved = dict(self.params)
+        family.resolve_params(resolved)  # validates overrides + names
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "params", MappingProxyType(resolved))
+
+    # -- derived -------------------------------------------------------
+
+    def resolved_params(self) -> Dict[str, object]:
+        """The full parameter set (defaults + validated overrides)."""
+        return _get_family(self.family).resolve_params(self.params)
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        return np.random.SeedSequence(self.seed)
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": SCENARIO_SCHEMA_VERSION,
+            "name": self.name,
+            "family": self.family,
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioSpec":
+        if not isinstance(data, dict):
+            raise TypeError(
+                f"ScenarioSpec expects a dict, got {type(data).__name__}"
+            )
+        valid_keys = {"schema_version", "name", "family", "seed", "params"}
+        unknown = sorted(set(data) - valid_keys)
+        if unknown:
+            raise ValueError(
+                f"unknown ScenarioSpec key(s) {unknown}; "
+                f"valid keys: {sorted(valid_keys)}"
+            )
+        version = data.get("schema_version", SCENARIO_SCHEMA_VERSION)
+        if version != SCENARIO_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported scenario schema version {version!r}; "
+                f"expected {SCENARIO_SCHEMA_VERSION}"
+            )
+        missing = sorted({"name", "family"} - set(data))
+        if missing:
+            raise ValueError(f"ScenarioSpec missing required key(s) {missing}")
+        return cls(
+            name=data["name"],
+            family=data["family"],
+            seed=data.get("seed", 0),
+            params=data.get("params", {}),
+        )
+
+
+@dataclass
+class ScenarioInstance:
+    """One regenerated scenario: geometry, robots, queries, update script.
+
+    ``robots`` lists every placed arm (one for single-arm families); the
+    planner's queries target ``robots[0]``.  ``rest_configurations[i]`` is
+    the frozen pose of robot ``i`` while it is *not* the planning subject
+    (multi-arm scenes).  ``epoch_scenes``/``epoch_octrees`` hold the
+    scripted moving-obstacle sequence — index 0 is the initial state, so
+    static scenarios have exactly one epoch.
+    """
+
+    spec: ScenarioSpec
+    scene: Scene
+    octree: Octree
+    robots: List[RobotModel]
+    queries: List[Tuple[np.ndarray, np.ndarray]]
+    rest_configurations: List[np.ndarray]
+    epoch_scenes: List[Scene] = field(default_factory=list)
+    epoch_octrees: List[Octree] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.epoch_scenes:
+            self.epoch_scenes = [self.scene]
+        if not self.epoch_octrees:
+            self.epoch_octrees = [self.octree]
+
+    @property
+    def robot(self) -> RobotModel:
+        """The planning subject."""
+        return self.robots[0]
+
+    @property
+    def n_epochs(self) -> int:
+        return len(self.epoch_octrees)
+
+    @property
+    def is_dynamic(self) -> bool:
+        return self.n_epochs > 1
+
+    def fingerprint(self) -> dict:
+        """A JSON-safe digest used to assert bit-identical regeneration."""
+        return {
+            "octree": self.octree.to_dict(),
+            "queries": [
+                [qs.tolist(), qg.tolist()] for qs, qg in self.queries
+            ],
+            "rest": [q.tolist() for q in self.rest_configurations],
+            "epochs": [o.to_dict() for o in self.epoch_octrees],
+        }
+
+
+def build_scenario(spec: ScenarioSpec) -> ScenarioInstance:
+    """Regenerate a scenario instance from its spec (pure, deterministic)."""
+    family = _get_family(spec.family)
+    params = family.resolve_params(spec.params)
+    return family.builder(spec, params)
+
+
+def sample_queries(
+    robot: RobotModel,
+    octree: Octree,
+    n_queries: int,
+    rng: np.random.Generator,
+    motion_step: float = 0.05,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Collision-free start/goal pairs, sampled the Section 6 way.
+
+    Always uses the scalar sequential checker so the sampled set is
+    independent of whatever backend/engine the suite later sweeps.
+    """
+    from repro.collision.checker import RobotEnvironmentChecker
+    from repro.config import ReproConfig
+
+    config = ReproConfig(motion_step=motion_step, collect_stats=False)
+    checker = RobotEnvironmentChecker.from_config(robot, octree, config)
+    queries = []
+    for _ in range(n_queries):
+        q_start = checker.sample_free_configuration(rng)
+        q_goal = checker.sample_free_configuration(rng)
+        queries.append((q_start, q_goal))
+    return queries

@@ -1,0 +1,406 @@
+"""The scenario generator families.
+
+Five families beyond-and-including the paper's Section 6 workload:
+
+- ``random_cuboids`` — the paper's generator (5-9 random cuboids sized
+  3%-12% of the extent), wrapped in the DSL so instances freeze and
+  replay;
+- ``narrow_passage`` — a wall splits the workspace, pierced by one
+  rectangular window whose size is the difficulty knob (the classic
+  narrow-corridor stressor from the sampling-based planning literature);
+- ``cluttered_shelf`` — a shelf unit (boards, side panels, back panel)
+  in front of the robot with loose clutter boxes on every board, the
+  tabletop-manipulation regime where most of C-space is blocked;
+- ``moving_obstacles`` — a static backdrop plus one scripted dynamic box
+  whose position is a pure function of the epoch index (sweep, orbit, or
+  toggle scripts); the per-epoch octrees drive
+  :meth:`~repro.collision.checker.RobotEnvironmentChecker.update_octree`
+  and therefore the collision cache's selective invalidation;
+- ``multi_arm`` — two arms (Jaco2 + Baxter by default) sharing one
+  workspace with their bases offset along x, for cross-robot collision
+  checking (:mod:`repro.scenarios.multiarm`).
+
+Every builder draws randomness only from :class:`numpy.random.SeedSequence`
+children of the spec's seed, spawned in a fixed order (scene first, then
+queries, then rest poses), so regeneration is bit-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.env.generator import BENCHMARK_EXTENT, random_scene
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+from repro.geometry.transform import RigidTransform
+from repro.scenarios.dsl import (
+    ParamSpec,
+    ROBOT_KINDS,
+    ScenarioFamily,
+    ScenarioInstance,
+    ScenarioSpec,
+    make_robot,
+    register_family,
+    sample_queries,
+)
+
+__all__ = ["MOVING_SCRIPTS"]
+
+#: Moving-obstacle script kinds (validated by name).
+MOVING_SCRIPTS = ("sweep", "orbit", "toggle")
+
+_COMMON_PARAMS = {
+    "extent": ParamSpec(BENCHMARK_EXTENT, "float", low=0.5, high=10.0),
+    "octree_resolution": ParamSpec(16, "int", low=2, high=128),
+    "n_queries": ParamSpec(4, "int", low=1, high=1000),
+    "motion_step": ParamSpec(0.05, "float", low=1e-4, high=1.0),
+    "robot": ParamSpec("jaco2", "enum", choices=ROBOT_KINDS),
+}
+
+
+def _rngs(spec: ScenarioSpec, n: int) -> List[np.random.Generator]:
+    """``n`` independent generators spawned from the spec seed, in order."""
+    children = spec.seed_sequence().spawn(n)
+    return [np.random.default_rng(child) for child in children]
+
+
+def _static_instance(
+    spec: ScenarioSpec, params: Dict[str, object], scene: Scene
+) -> ScenarioInstance:
+    """Finish a single-robot static scenario: octree + sampled queries."""
+    octree = Octree.from_scene(scene, resolution=params["octree_resolution"])
+    robot = make_robot(params["robot"])
+    (query_rng,) = _rngs(spec, 2)[1:]
+    queries = sample_queries(
+        robot, octree, params["n_queries"], query_rng, params["motion_step"]
+    )
+    return ScenarioInstance(
+        spec=spec,
+        scene=scene,
+        octree=octree,
+        robots=[robot],
+        queries=queries,
+        rest_configurations=[],
+    )
+
+
+# ----------------------------------------------------------------------
+# random_cuboids: the paper's Section 6 generator, frozen.
+
+
+def _build_random_cuboids(spec, params):
+    scene_rng = _rngs(spec, 1)[0]
+    n_obstacles = params["n_obstacles"] if params["n_obstacles"] > 0 else None
+    scene = random_scene(
+        extent=params["extent"], n_obstacles=n_obstacles, rng=scene_rng
+    )
+    return _static_instance(spec, params, scene)
+
+
+register_family(
+    ScenarioFamily(
+        name="random_cuboids",
+        description="Section 6: 5-9 random cuboids, 3%-12% of the extent",
+        params={
+            **_COMMON_PARAMS,
+            # 0 means "draw the paper's 5-9 band from the seed".
+            "n_obstacles": ParamSpec(0, "int", low=0, high=64),
+        },
+        builder=_build_random_cuboids,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# narrow_passage: a wall with one window.
+
+
+def _build_narrow_passage(spec, params):
+    extent = params["extent"]
+    scene_rng = _rngs(spec, 1)[0]
+    scene = Scene(extent)
+    half = extent / 2.0
+    wall_x = params["wall_offset_fraction"] * extent
+    t = params["wall_thickness_fraction"] * extent / 2.0  # half thickness
+    gap = params["gap_fraction"] * extent  # window side length
+
+    # Window center: drawn within the middle band so the window never
+    # degenerates against the workspace boundary.
+    wy = scene_rng.uniform(-half + gap, half - gap)
+    wz = scene_rng.uniform(gap, extent - gap)
+    g = gap / 2.0
+
+    # Four slabs around the [wy±g] x [wz±g] window at x = wall_x.
+    def slab(y0, y1, z0, z1):
+        if y1 - y0 < 1e-9 or z1 - z0 < 1e-9:
+            return
+        scene.add_obstacle(
+            AABB.from_min_max([wall_x - t, y0, z0], [wall_x + t, y1, z1])
+        )
+
+    slab(-half, half, 0.0, wz - g)          # below the window
+    slab(-half, half, wz + g, extent)       # above the window
+    slab(-half, wy - g, wz - g, wz + g)     # left of the window
+    slab(wy + g, half, wz - g, wz + g)      # right of the window
+
+    for _ in range(params["n_clutter"]):
+        size = scene_rng.uniform(0.03, 0.08, size=3) * extent / 2.0
+        lo_x, hi_x = wall_x + t + size[0], half - size[0]
+        if hi_x <= lo_x:  # thick wall near the boundary: no room behind it
+            continue
+        center = scene_rng.uniform(
+            [lo_x, -half + size[1], size[2]],
+            [hi_x, half - size[1], extent - size[2]],
+        )
+        scene.add_obstacle(AABB(center, size))
+    return _static_instance(spec, params, scene)
+
+
+register_family(
+    ScenarioFamily(
+        name="narrow_passage",
+        description="a wall pierced by one window; gap_fraction is the difficulty",
+        params={
+            **_COMMON_PARAMS,
+            "gap_fraction": ParamSpec(0.18, "float", low=0.05, high=0.45),
+            "wall_thickness_fraction": ParamSpec(0.04, "float", low=0.01, high=0.2),
+            "wall_offset_fraction": ParamSpec(0.22, "float", low=0.15, high=0.45),
+            "n_clutter": ParamSpec(2, "int", low=0, high=32),
+        },
+        builder=_build_narrow_passage,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# cluttered_shelf: boards + panels + loose clutter.
+
+
+def _build_cluttered_shelf(spec, params):
+    extent = params["extent"]
+    scene_rng = _rngs(spec, 1)[0]
+    scene = Scene(extent)
+    half = extent / 2.0
+    n_shelves = params["n_shelves"]
+    depth = params["shelf_depth_fraction"] * extent
+    board_t = params["board_thickness_fraction"] * extent / 2.0
+    x0 = half - depth  # shelf unit occupies the far x band
+    shelf_w = params["shelf_width_fraction"] * extent
+    y0, y1 = -shelf_w / 2.0, shelf_w / 2.0
+    top = params["shelf_height_fraction"] * extent
+
+    # Horizontal boards (n_shelves + 1 including the top board).
+    board_z = np.linspace(0.0, top, n_shelves + 1)
+    for z in board_z[1:]:
+        scene.add_obstacle(
+            AABB.from_min_max([x0, y0, z - board_t], [half, y1, z + board_t])
+        )
+    # Side panels and back panel.
+    scene.add_obstacle(AABB.from_min_max([x0, y0 - board_t, 0.0], [half, y0 + board_t, top]))
+    scene.add_obstacle(AABB.from_min_max([x0, y1 - board_t, 0.0], [half, y1 + board_t, top]))
+    scene.add_obstacle(AABB.from_min_max([half - board_t, y0, 0.0], [half, y1, top]))
+
+    # Loose clutter on each board's upper face.
+    bay = (y1 - y0) / max(1, params["clutter_per_shelf"])
+    for level in range(n_shelves):
+        z_floor = board_z[level] + (board_t if level > 0 else 0.0)
+        z_ceiling = board_z[level + 1] - board_t
+        for slot in range(params["clutter_per_shelf"]):
+            size = scene_rng.uniform(0.02, 0.05, size=3) * extent / 2.0
+            size[2] = min(size[2], max(1e-3, (z_ceiling - z_floor) / 2.0 - 1e-3))
+            lo_y, hi_y = y0 + slot * bay + size[1], y0 + (slot + 1) * bay - size[1]
+            lo_x, hi_x = x0 + size[0], half - 2 * board_t - size[0]
+            if hi_y <= lo_y or hi_x <= lo_x:  # bay too small for this piece
+                continue
+            cy = scene_rng.uniform(lo_y, hi_y)
+            cx = scene_rng.uniform(lo_x, hi_x)
+            scene.add_obstacle(AABB([cx, cy, z_floor + size[2]], size))
+    return _static_instance(spec, params, scene)
+
+
+register_family(
+    ScenarioFamily(
+        name="cluttered_shelf",
+        description="a shelf unit with per-board clutter in front of the robot",
+        params={
+            **_COMMON_PARAMS,
+            "n_shelves": ParamSpec(3, "int", low=1, high=8),
+            "shelf_depth_fraction": ParamSpec(0.18, "float", low=0.08, high=0.4),
+            "shelf_width_fraction": ParamSpec(0.7, "float", low=0.2, high=1.0),
+            "shelf_height_fraction": ParamSpec(0.6, "float", low=0.2, high=1.0),
+            "board_thickness_fraction": ParamSpec(0.02, "float", low=0.005, high=0.08),
+            "clutter_per_shelf": ParamSpec(2, "int", low=0, high=8),
+        },
+        builder=_build_cluttered_shelf,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# moving_obstacles: a scripted dynamic box over epochs.
+
+
+def _dynamic_center(script: str, epoch: int, n_epochs: int, extent: float):
+    """The dynamic box center at ``epoch`` (None = box absent this epoch)."""
+    half = extent / 2.0
+    r = 0.30 * extent
+    z = 0.25 * extent
+    if script == "toggle":
+        # Present on even epochs at a fixed spot: the same octants flip
+        # occupied/free repeatedly (the cache-invalidation worst case).
+        if epoch % 2 == 1:
+            return None
+        return np.array([r, 0.0, z])
+    if script == "sweep":
+        # Back and forth along y across the reachable band.
+        period = max(1, n_epochs - 1)
+        phase = (epoch % (2 * period)) / period  # 0..2
+        frac = phase if phase <= 1.0 else 2.0 - phase
+        y = -0.35 * extent + 0.7 * extent * frac
+        return np.array([r, y, z])
+    if script == "orbit":
+        # A circle around the mount in the x-y plane.
+        angle = 2.0 * np.pi * epoch / max(1, n_epochs)
+        return np.array([r * np.cos(angle), r * np.sin(angle), z])
+    raise ValueError(
+        f"unknown moving script {script!r}; valid choices: {list(MOVING_SCRIPTS)}"
+    )
+
+
+def _build_moving_obstacles(spec, params):
+    extent = params["extent"]
+    scene_rng = _rngs(spec, 1)[0]
+    n_epochs = params["n_epochs"]
+    script = params["script"]
+    box_half = np.full(3, params["obstacle_size_fraction"] * extent / 2.0)
+
+    static = random_scene(
+        extent=extent,
+        n_obstacles=params["n_static"],
+        rng=scene_rng,
+    )
+
+    def epoch_scene(epoch: int) -> Scene:
+        scene = Scene(extent, static.obstacles)
+        center = _dynamic_center(script, epoch, n_epochs, extent)
+        if center is not None:
+            lo = np.minimum(
+                np.maximum(center - box_half, static.bounds.minimum),
+                static.bounds.maximum - 2 * box_half,
+            )
+            scene.add_obstacle(AABB(lo + box_half, box_half))
+        return scene
+
+    scenes = [epoch_scene(e) for e in range(n_epochs)]
+    octrees = [
+        Octree.from_scene(s, resolution=params["octree_resolution"]) for s in scenes
+    ]
+    robot = make_robot(params["robot"])
+    (query_rng,) = _rngs(spec, 2)[1:]
+    queries = sample_queries(
+        robot, octrees[0], params["n_queries"], query_rng, params["motion_step"]
+    )
+    return ScenarioInstance(
+        spec=spec,
+        scene=scenes[0],
+        octree=octrees[0],
+        robots=[robot],
+        queries=queries,
+        rest_configurations=[],
+        epoch_scenes=scenes,
+        epoch_octrees=octrees,
+    )
+
+
+register_family(
+    ScenarioFamily(
+        name="moving_obstacles",
+        description="static backdrop + one scripted dynamic box over epochs",
+        params={
+            **_COMMON_PARAMS,
+            "n_static": ParamSpec(3, "int", low=0, high=32),
+            "n_epochs": ParamSpec(6, "int", low=2, high=64),
+            "script": ParamSpec("sweep", "enum", choices=MOVING_SCRIPTS),
+            "obstacle_size_fraction": ParamSpec(0.10, "float", low=0.02, high=0.3),
+        },
+        builder=_build_moving_obstacles,
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# multi_arm: two arms sharing one workspace.
+
+_ARM_PAIRS = ("jaco2+baxter", "jaco2+jaco2", "planar3+planar3")
+
+
+def _build_multi_arm(spec, params):
+    extent = params["extent"]
+    kinds = params["arms"].split("+")
+    sep = params["separation_fraction"] * extent
+    bases = [
+        RigidTransform.from_translation([-sep / 2.0, 0.0, 0.0]),
+        RigidTransform.from_translation([+sep / 2.0, 0.0, 0.0]),
+    ]
+    robots = [make_robot(kind, base=base) for kind, base in zip(kinds, bases)]
+
+    scene_rng, query_rng, rest_rng = _rngs(spec, 3)
+    scene = Scene(extent)
+    half = extent / 2.0
+    for _ in range(params["n_obstacles"]):
+        size = scene_rng.uniform(0.03, 0.10, size=3) * extent / 2.0
+        center = scene_rng.uniform(
+            [-half + size[0], -half + size[1], size[2]],
+            [half - size[0], half - size[1], extent - size[2]],
+        )
+        # Keep both mounts clear so rest poses are not trivially buried.
+        clear = 0.12 * extent
+        if any(
+            float(np.linalg.norm(np.clip(b.translation, center - size, center + size) - b.translation))
+            <= clear
+            for b in bases
+        ):
+            continue
+        scene.add_obstacle(AABB(center, size))
+
+    octree = Octree.from_scene(scene, resolution=params["octree_resolution"])
+    queries = sample_queries(
+        robots[0], octree, params["n_queries"], query_rng, params["motion_step"]
+    )
+    # The second arm holds a collision-free rest pose (vs the environment).
+    from repro.collision.checker import RobotEnvironmentChecker
+    from repro.config import ReproConfig
+
+    rest_checker = RobotEnvironmentChecker.from_config(
+        robots[1], octree, ReproConfig(collect_stats=False)
+    )
+    rest = [np.zeros(robots[0].dof), rest_checker.sample_free_configuration(rest_rng)]
+    return ScenarioInstance(
+        spec=spec,
+        scene=scene,
+        octree=octree,
+        robots=robots,
+        queries=queries,
+        rest_configurations=rest,
+    )
+
+
+register_family(
+    ScenarioFamily(
+        name="multi_arm",
+        description="two arms (Jaco2 + Baxter) sharing a workspace",
+        params={
+            "extent": ParamSpec(2.4, "float", low=0.5, high=10.0),
+            "octree_resolution": ParamSpec(16, "int", low=2, high=128),
+            "n_queries": ParamSpec(4, "int", low=1, high=1000),
+            "motion_step": ParamSpec(0.05, "float", low=1e-4, high=1.0),
+            "arms": ParamSpec("jaco2+baxter", "enum", choices=_ARM_PAIRS),
+            "separation_fraction": ParamSpec(0.45, "float", low=0.1, high=0.9),
+            "n_obstacles": ParamSpec(3, "int", low=0, high=32),
+        },
+        builder=_build_multi_arm,
+    )
+)

@@ -1,0 +1,133 @@
+"""Cross-robot collision checking for multi-arm scenes.
+
+The paper's collision substrate checks one robot against the environment
+octree.  A shared workspace adds a second hazard class: arm-vs-arm.  This
+module closes that gap with OBB-vs-OBB tests built on the same
+separating-axis machinery as the robot-vs-octree cascade
+(:mod:`repro.geometry.sat`): robot B's link boxes are expressed in robot
+A's link frame, where A's box is an AABB at the origin, and the existing
+15-axis OBB-vs-AABB test applies unchanged.
+
+Two deliberately distinct masking policies:
+
+- **self-collision** (one arm against itself) ignores *adjacent* link
+  pairs — consecutive links share a joint and always touch there, so the
+  adjacency mask is part of the robot's own collision model;
+- **cross-robot** checks test **every** link pair.  Two different robots
+  share no joints, so no pair is exempt — the adjacency mask must not
+  leak across robots (pinned by ``tests/test_scenarios_multiarm.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.geometry.aabb import AABB
+from repro.geometry.obb import OBB
+from repro.geometry.sat import obb_aabb_overlap
+from repro.robot.model import RobotModel
+
+__all__ = [
+    "obb_pair_overlap",
+    "cross_robot_link_pairs",
+    "robots_collide",
+    "adjacent_link_mask",
+    "self_collision_pairs",
+    "path_cross_robot_contacts",
+]
+
+
+def obb_pair_overlap(a: OBB, b: OBB) -> bool:
+    """Whether two oriented boxes overlap (15-axis SAT).
+
+    ``b`` is re-expressed in ``a``'s frame, where ``a`` becomes an AABB at
+    the origin and the existing OBB-vs-AABB test applies.  The test is
+    symmetric: swapping the operands changes only which frame hosts the
+    axis projections, not the verdict.
+    """
+    rot_a = a.rotation
+    b_local = OBB(
+        rot_a.T @ (b.center - a.center),
+        b.half_extents,
+        rot_a.T @ b.rotation,
+    )
+    return obb_aabb_overlap(b_local, AABB(np.zeros(3), a.half_extents))
+
+
+def cross_robot_link_pairs(
+    robot_a: RobotModel,
+    q_a,
+    robot_b: RobotModel,
+    q_b,
+) -> List[Tuple[int, int]]:
+    """All colliding (link of A, link of B) index pairs — no mask.
+
+    Every pair is tested: cross-robot adjacency does not exist, so the
+    self-collision exemptions never apply here.
+    """
+    obbs_a = robot_a.link_obbs(q_a)
+    obbs_b = robot_b.link_obbs(q_b)
+    hits: List[Tuple[int, int]] = []
+    for i, obb_a in enumerate(obbs_a):
+        for j, obb_b in enumerate(obbs_b):
+            if obb_pair_overlap(obb_a, obb_b):
+                hits.append((i, j))
+    return hits
+
+
+def robots_collide(robot_a: RobotModel, q_a, robot_b: RobotModel, q_b) -> bool:
+    """Whether any link of A overlaps any link of B."""
+    obbs_a = robot_a.link_obbs(q_a)
+    obbs_b = robot_b.link_obbs(q_b)
+    return any(
+        obb_pair_overlap(obb_a, obb_b) for obb_a in obbs_a for obb_b in obbs_b
+    )
+
+
+def adjacent_link_mask(robot: RobotModel) -> Set[Tuple[int, int]]:
+    """The default self-collision exemptions: consecutive link pairs.
+
+    Consecutive links in the chain share a joint and touch there by
+    construction; exempting them is standard practice (and what vendor
+    SRDF files encode).  The mask belongs to *one* robot — cross-robot
+    checks must never apply it.
+    """
+    return {(i, i + 1) for i in range(robot.num_links - 1)}
+
+
+def self_collision_pairs(
+    robot: RobotModel,
+    q,
+    ignore: Optional[Set[Tuple[int, int]]] = None,
+) -> List[Tuple[int, int]]:
+    """Colliding link pairs of one arm against itself, minus the mask."""
+    if ignore is None:
+        ignore = adjacent_link_mask(robot)
+    obbs = robot.link_obbs(q)
+    hits: List[Tuple[int, int]] = []
+    for i in range(len(obbs)):
+        for j in range(i + 1, len(obbs)):
+            if (i, j) in ignore or (j, i) in ignore:
+                continue
+            if obb_pair_overlap(obbs[i], obbs[j]):
+                hits.append((i, j))
+    return hits
+
+
+def path_cross_robot_contacts(
+    robot_a: RobotModel,
+    path,
+    robot_b: RobotModel,
+    q_b_rest,
+) -> int:
+    """How many waypoints of A's path contact B frozen at its rest pose.
+
+    The scenario suite reports this per multi-arm case: a plan that is
+    octree-clean can still sweep through the other arm, and this counter
+    makes that visible in the benchmark artifact.
+    """
+    return sum(
+        1 for q in path if robots_collide(robot_a, q, robot_b, q_b_rest)
+    )

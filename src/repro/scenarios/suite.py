@@ -1,0 +1,412 @@
+"""The standardized benchmark suite: planner x engine x scenario sweeps.
+
+Nova-benchmark-style discipline over the scenario corpus
+(:mod:`repro.scenarios.dsl`): every case is one (scenario, planner,
+engine) cell, run on the frozen instance regenerated from the spec, and
+reported with
+
+- **success rate** over the scenario's query set,
+- **latency percentiles in simulated ms** — each query's recorded phase
+  trace priced on the MPAccel model
+  (:class:`~repro.accel.mpaccel.MPAccelSimulator`, cycle-accurate SAS
+  replay), so the number is hardware latency, not Python wall clock
+  (wall clock is reported alongside, unguarded),
+- **collision-check counts** from the checker's
+  :class:`~repro.collision.stats.CollisionStats` (bit-identical across
+  engines by the engine contract — the suite asserts nothing less),
+- **energy** via the accelerator energy model (pJ accumulated by the SAS
+  replay),
+- for multi-arm scenes, **cross-robot contacts** along the emitted path
+  (:func:`repro.scenarios.multiarm.path_cross_robot_contacts`),
+- for moving-obstacle scenarios, a per-epoch ledger of cache
+  invalidations and replan outcomes driven through
+  :meth:`~repro.collision.checker.RobotEnvironmentChecker.update_octree`.
+
+:func:`suite_payload` shapes a run into the machine-readable
+``BENCH_scenarios.json`` artifact
+(:mod:`repro.harness.bench_artifact`), which
+``benchmarks/collect_bench.py`` folds into the cross-PR trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.scenarios.dsl import ScenarioInstance, ScenarioSpec, build_scenario
+
+__all__ = [
+    "SUITE_PLANNERS",
+    "SUITE_ENGINES",
+    "CaseResult",
+    "SuiteReport",
+    "default_corpus",
+    "run_case",
+    "run_suite",
+    "suite_payload",
+    "percentile",
+]
+
+#: Planner kinds the suite sweeps (the facade-constructible ones).
+SUITE_PLANNERS = ("rrt", "rrt_connect", "prm")
+#: Engine kinds the suite sweeps.
+SUITE_ENGINES = ("sequential", "batch")
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Nearest-rank percentile (deterministic, no interpolation)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    return float(ordered[min(rank, len(ordered)) - 1])
+
+
+@dataclass
+class CaseResult:
+    """One (scenario, planner, engine) cell of the sweep."""
+
+    scenario: str
+    family: str
+    planner: str
+    engine: str
+    n_queries: int
+    successes: int
+    #: Per-query verdict/path digest, for reproducibility assertions:
+    #: (success, path length in waypoints).
+    verdicts: List[Tuple[bool, int]]
+    sim_ms: List[float]
+    wall_ms: List[float]
+    energy_pj: float
+    cd_cycles: int
+    pose_checks: int
+    intersection_tests: int
+    node_visits: int
+    cross_robot_contacts: Optional[int] = None
+    epochs: List[dict] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.n_queries if self.n_queries else 0.0
+
+    def metrics(self) -> Dict[str, float]:
+        """Flat numeric metrics for the bench artifact.
+
+        Deliberately excludes wall clock: the artifact must be
+        byte-identical across reruns of the same seed, so only simulated
+        time, counts, and energy go in.  Wall clock stays on the
+        :class:`CaseResult` (``wall_ms``) for interactive reports.
+        """
+        out = {
+            "n_queries": self.n_queries,
+            "success_rate": round(self.success_rate, 6),
+            "sim_ms_p50": round(percentile(self.sim_ms, 50.0), 6),
+            "sim_ms_p99": round(percentile(self.sim_ms, 99.0), 6),
+            "sim_ms_max": round(max(self.sim_ms), 6) if self.sim_ms else 0.0,
+            "energy_uj": round(self.energy_pj / 1e6, 6),
+            "cd_cycles": self.cd_cycles,
+            "pose_checks": self.pose_checks,
+            "intersection_tests": self.intersection_tests,
+            "node_visits": self.node_visits,
+        }
+        if self.cross_robot_contacts is not None:
+            out["cross_robot_contacts"] = self.cross_robot_contacts
+        if self.epochs:
+            out["n_epochs"] = len(self.epochs) + 1
+            out["cache_dropped_total"] = sum(e["cache_dropped"] for e in self.epochs)
+            out["epoch_successes"] = sum(1 for e in self.epochs if e["success"])
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "name": f"{self.scenario}/{self.planner}/{self.engine}",
+            "scenario": self.scenario,
+            "family": self.family,
+            "planner": self.planner,
+            "engine": self.engine,
+            "metrics": self.metrics(),
+            "verdicts": [[bool(s), int(n)] for s, n in self.verdicts],
+            "epochs": self.epochs,
+        }
+
+
+@dataclass
+class SuiteReport:
+    """A full sweep: the case grid plus run-level metadata."""
+
+    seed: int
+    cases: List[CaseResult]
+
+    def summary(self) -> Dict[str, float]:
+        total = sum(c.n_queries for c in self.cases)
+        succ = sum(c.successes for c in self.cases)
+        all_sim = [ms for c in self.cases for ms in c.sim_ms]
+        return {
+            "n_cases": len(self.cases),
+            "n_queries": total,
+            "success_rate": round(succ / total, 6) if total else 0.0,
+            "sim_ms_p50": round(percentile(all_sim, 50.0), 6),
+            "sim_ms_p99": round(percentile(all_sim, 99.0), 6),
+            "energy_uj": round(sum(c.energy_pj for c in self.cases) / 1e6, 6),
+        }
+
+
+def default_corpus(profile: str = "smoke") -> List[ScenarioSpec]:
+    """The frozen corpus the benchmark ships.
+
+    ``smoke`` keeps planar arms and tiny query counts so the sweep runs in
+    CI time; ``paper`` uses the paper's Jaco2/Baxter robots at the same
+    instance geometry.  Both are *fixed* problem sets: the specs (and
+    therefore every regenerated instance) are pinned by name and seed.
+    """
+    profiles = ("smoke", "paper")
+    if profile not in profiles:
+        raise ValueError(
+            f"unknown corpus profile {profile!r}; valid choices: {list(profiles)}"
+        )
+    arm = "planar3" if profile == "smoke" else "jaco2"
+    nq = 2 if profile == "smoke" else 4
+    arms = "planar3+planar3" if profile == "smoke" else "jaco2+baxter"
+    return [
+        ScenarioSpec(
+            "sec6_cuboids", "random_cuboids", seed=101,
+            params={"robot": arm, "n_queries": nq},
+        ),
+        ScenarioSpec(
+            "narrow_window", "narrow_passage", seed=202,
+            params={"robot": arm, "n_queries": nq, "gap_fraction": 0.2},
+        ),
+        ScenarioSpec(
+            "shelf_pick", "cluttered_shelf", seed=303,
+            params={"robot": arm, "n_queries": nq},
+        ),
+        ScenarioSpec(
+            "sweep_cart", "moving_obstacles", seed=404,
+            params={"robot": arm, "n_queries": nq, "script": "sweep", "n_epochs": 4},
+        ),
+        ScenarioSpec(
+            "toggle_door", "moving_obstacles", seed=505,
+            params={"robot": arm, "n_queries": nq, "script": "toggle", "n_epochs": 4},
+        ),
+        ScenarioSpec(
+            "dual_arm_cell", "multi_arm", seed=606,
+            params={"arms": arms, "n_queries": max(1, nq - 1)},
+        ),
+    ]
+
+
+def _default_accel_config():
+    from repro.accel.config import CECDUConfig, MPAccelConfig
+
+    # The paper's flagship configuration: 16 CECDUs, 4 multi-cycle OOCDs.
+    return MPAccelConfig(n_cecdus=16, cecdu=CECDUConfig(n_oocds=4))
+
+
+def _make_simulator(robot, octree, accel_config):
+    from repro.accel.cecdu import CECDUModel
+    from repro.accel.mpaccel import MPAccelSimulator
+    from repro.neural.mpnet_nets import ORIGINAL_ENET_MACS, ORIGINAL_PNET_MACS
+
+    cecdu = CECDUModel(robot, octree, accel_config.cecdu)
+    return MPAccelSimulator(
+        accel_config,
+        cecdu,
+        sampler_pnet_macs=ORIGINAL_PNET_MACS,
+        sampler_enet_macs=ORIGINAL_ENET_MACS,
+    )
+
+
+def _case_config(planner: str, engine: str, motion_step: float):
+    from repro.config import EngineConfig, ReproConfig
+
+    backend = "batch" if engine == "batch" else "scalar"
+    return ReproConfig(
+        backend=backend,
+        planner=planner,
+        motion_step=motion_step,
+        engine=EngineConfig(kind=engine),
+    )
+
+
+def _run_epoch_script(
+    instance: ScenarioInstance, planner: str, engine: str, config, seed: int
+) -> List[dict]:
+    """Drive the scripted octree updates through a cached checker.
+
+    One persistent checker (collision cache enabled) survives across
+    epochs; every epoch applies its octree through ``update_octree`` —
+    exercising the selective cache invalidation — and replans the
+    scenario's first query on the updated environment.
+    """
+    import dataclasses
+
+    from repro.api import make_planner
+    from repro.collision.checker import RobotEnvironmentChecker
+    from repro.config import CacheConfig
+    from repro.planning.engine import make_engine
+    from repro.planning.recorder import CDTraceRecorder
+
+    cached_config = dataclasses.replace(config, cache=CacheConfig(enabled=True))
+    checker = RobotEnvironmentChecker.from_config(
+        instance.robot, instance.epoch_octrees[0], cached_config
+    )
+    engine_obj = make_engine(cached_config.engine, checker)
+    recorder = CDTraceRecorder(checker, engine=engine_obj)
+    q_start, q_goal = instance.queries[0]
+    ledger: List[dict] = []
+    for epoch in range(1, instance.n_epochs):
+        dropped = checker.update_octree(instance.epoch_octrees[epoch])
+        rng = np.random.default_rng(
+            np.random.SeedSequence([seed, 7000 + epoch])
+        )
+        planner_obj = make_planner(recorder, planner)
+        result = planner_obj.plan(q_start, q_goal, rng)
+        success = result is not None and (
+            bool(result.success) if hasattr(result, "success") else True
+        )
+        ledger.append(
+            {
+                "epoch": epoch,
+                "cache_dropped": int(dropped),
+                "cache_size": len(checker.cache) if checker.cache else 0,
+                "success": bool(success),
+            }
+        )
+        recorder.clear()
+    return ledger
+
+
+def run_case(
+    instance: ScenarioInstance,
+    planner: str,
+    engine: str,
+    seed: int = 0,
+    accel_config=None,
+    max_queries: Optional[int] = None,
+) -> CaseResult:
+    """One sweep cell: plan every query, price each trace on MPAccel."""
+    from repro.api import plan
+    from repro.planning.mpnet import PlanResult
+    from repro.scenarios.multiarm import path_cross_robot_contacts
+
+    if planner not in SUITE_PLANNERS:
+        raise ValueError(
+            f"unknown suite planner {planner!r}; valid choices: {list(SUITE_PLANNERS)}"
+        )
+    if accel_config is None:
+        accel_config = _default_accel_config()
+    config = _case_config(
+        planner, engine, instance.spec.resolved_params()["motion_step"]
+    )
+    simulator = _make_simulator(instance.robot, instance.octree, accel_config)
+
+    queries = instance.queries
+    if max_queries is not None:
+        queries = queries[:max_queries]
+
+    verdicts: List[Tuple[bool, int]] = []
+    sim_ms: List[float] = []
+    wall_ms: List[float] = []
+    energy_pj = 0.0
+    cd_cycles = 0
+    pose_checks = inter_tests = node_visits = 0
+    cross_contacts: Optional[int] = None
+    paths: List[list] = []
+
+    for qi, (q_start, q_goal) in enumerate(queries):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, qi]))
+        started = time.perf_counter()
+        outcome = plan(
+            instance.robot, instance.octree, q_start, q_goal, config, rng=rng
+        )
+        wall_ms.append((time.perf_counter() - started) * 1e3)
+        stats = outcome.stats.copy()
+        pose_checks += stats.pose_checks
+        inter_tests += stats.intersection_tests
+        node_visits += stats.node_visits
+        verdicts.append((outcome.success, len(outcome.path or [])))
+        if outcome.success:
+            paths.append(outcome.path)
+        synthetic = PlanResult(success=outcome.success, path=outcome.path or [])
+        timing = simulator.run_query(synthetic, outcome.recorder.phases)
+        sim_ms.append(timing.total_ms)
+        energy_pj += timing.cd_energy_pj
+        cd_cycles += timing.cd_cycles
+
+    if len(instance.robots) > 1:
+        rest = instance.rest_configurations[1]
+        cross_contacts = sum(
+            path_cross_robot_contacts(
+                instance.robot, path, instance.robots[1], rest
+            )
+            for path in paths
+        )
+
+    epochs: List[dict] = []
+    if instance.is_dynamic:
+        epochs = _run_epoch_script(instance, planner, engine, config, seed)
+
+    return CaseResult(
+        scenario=instance.spec.name,
+        family=instance.spec.family,
+        planner=planner,
+        engine=engine,
+        n_queries=len(queries),
+        successes=sum(1 for s, _ in verdicts if s),
+        verdicts=verdicts,
+        sim_ms=sim_ms,
+        wall_ms=wall_ms,
+        energy_pj=energy_pj,
+        cd_cycles=cd_cycles,
+        pose_checks=pose_checks,
+        intersection_tests=inter_tests,
+        node_visits=node_visits,
+        cross_robot_contacts=cross_contacts,
+        epochs=epochs,
+    )
+
+
+def run_suite(
+    specs: Sequence[ScenarioSpec],
+    planners: Sequence[str] = ("rrt_connect",),
+    engines: Sequence[str] = SUITE_ENGINES,
+    seed: int = 0,
+    accel_config=None,
+    max_queries: Optional[int] = None,
+) -> SuiteReport:
+    """Sweep planner x engine over every scenario spec."""
+    if accel_config is None:
+        accel_config = _default_accel_config()
+    cases: List[CaseResult] = []
+    for spec in specs:
+        instance = build_scenario(spec)
+        for planner in planners:
+            for engine in engines:
+                cases.append(
+                    run_case(
+                        instance,
+                        planner,
+                        engine,
+                        seed=seed,
+                        accel_config=accel_config,
+                        max_queries=max_queries,
+                    )
+                )
+    return SuiteReport(seed=seed, cases=cases)
+
+
+def suite_payload(report: SuiteReport, specs: Sequence[ScenarioSpec]) -> dict:
+    """Shape a suite run into the ``BENCH_scenarios.json`` artifact."""
+    from repro.harness.bench_artifact import make_bench_payload
+
+    return make_bench_payload(
+        bench="scenarios",
+        seed=report.seed,
+        cases=[case.to_dict() for case in report.cases],
+        summary=report.summary(),
+        extra={"scenarios": [spec.to_dict() for spec in specs]},
+    )

@@ -1,0 +1,161 @@
+"""`octree_delta_regions` edge cases surfaced by the moving-obstacle scripts.
+
+The delta's contract (its docstring, relied on by the collision cache's
+selective invalidation): any query whose footprint is disjoint from every
+returned box reads identical states in both trees.  These tests pin the
+script-shaped edge cases — no-op updates, full-occupancy flips, repeated
+toggling of the same octants — plus a fuzz sweep asserting the regions
+are **symmetric-difference-exact** at octree semantics level:
+
+- *coverage*: every point whose occupancy differs between the trees lies
+  inside some delta region;
+- *minimality*: every delta region contains at least one point whose
+  occupancy (or reachable traversal state) actually differs — no box is
+  pure slack.
+"""
+
+import numpy as np
+import pytest
+
+from repro.env.diff import octree_delta_regions
+from repro.env.generator import random_scene
+from repro.env.octree import Octree
+from repro.env.scene import Scene
+from repro.geometry.aabb import AABB
+
+pytestmark = pytest.mark.scenarios
+
+RESOLUTION = 8
+
+
+def _probe_points(octree):
+    """Voxel-center probe lattice at the build resolution."""
+    bounds = octree.bounds
+    lo = bounds.minimum
+    step = 2.0 * bounds.half_extents / RESOLUTION
+    centers = [
+        lo + step * (np.array([i, j, k]) + 0.5)
+        for i in range(RESOLUTION)
+        for j in range(RESOLUTION)
+        for k in range(RESOLUTION)
+    ]
+    return centers
+
+
+def _region_key(box: AABB):
+    return (tuple(np.round(box.center, 12)), tuple(np.round(box.half_extents, 12)))
+
+
+def _check_exactness(before: Octree, after: Octree):
+    """Assert coverage + minimality of the delta on the probe lattice."""
+    regions = octree_delta_regions(before, after)
+    diff_points = [
+        p
+        for p in _probe_points(before)
+        if before.point_occupied(p) != after.point_occupied(p)
+    ]
+    # Coverage: every differing point lies inside some region.
+    for point in diff_points:
+        assert any(r.contains_point(point) for r in regions), (
+            f"differing point {point} not covered by any delta region"
+        )
+    # Minimality: every region contains at least one differing point.
+    for region in regions:
+        assert any(region.contains_point(p) for p in diff_points), (
+            f"delta region {region} covers no differing point"
+        )
+    return regions
+
+
+def _octree(scene: Scene) -> Octree:
+    return Octree.from_scene(scene, resolution=RESOLUTION)
+
+
+def _box_scene(extent: float, boxes) -> Scene:
+    scene = Scene(extent)
+    for lo, hi in boxes:
+        scene.add_obstacle(AABB.from_min_max(lo, hi))
+    return scene
+
+
+class TestScriptedEdgeCases:
+    def test_noop_update_is_empty(self):
+        a = _octree(random_scene(seed=17))
+        b = _octree(random_scene(seed=17))
+        assert octree_delta_regions(a, b) == []
+
+    def test_full_occupancy_flip(self):
+        extent = 2.0
+        empty = _octree(_box_scene(extent, []))
+        full = _octree(
+            _box_scene(
+                extent,
+                [([-extent / 2, -extent / 2, 0.0], [extent / 2, extent / 2, extent])],
+            )
+        )
+        regions = _check_exactness(empty, full)
+        assert regions  # everything changed
+        # The union covers the whole workspace: every probe point differs
+        # (empty -> full), and coverage above already pinned each one.
+        assert all(
+            empty.point_occupied(p) != full.point_occupied(p)
+            for p in _probe_points(empty)
+        )
+
+    def test_repeated_toggle_is_symmetric_and_stable(self):
+        # The toggle script's regime: the same box appears and disappears.
+        extent = 2.0
+        without = _octree(_box_scene(extent, []))
+        box = ([0.2, -0.3, 0.1], [0.7, 0.3, 0.6])
+        with_box = _octree(_box_scene(extent, [box]))
+
+        forward = {_region_key(r) for r in octree_delta_regions(without, with_box)}
+        backward = {_region_key(r) for r in octree_delta_regions(with_box, without)}
+        # Symmetric difference: direction must not matter.
+        assert forward == backward
+        # Stable under repetition: each toggle of the same octants yields
+        # the identical region set, every time.
+        for _ in range(3):
+            again = {
+                _region_key(r) for r in octree_delta_regions(without, with_box)
+            }
+            assert again == forward
+        _check_exactness(without, with_box)
+        _check_exactness(with_box, without)
+
+    def test_identical_bounds_required(self):
+        a = _octree(_box_scene(2.0, []))
+        b = _octree(_box_scene(4.0, []))
+        with pytest.raises(ValueError, match="bounds"):
+            octree_delta_regions(a, b)
+
+
+class TestFuzzExactness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_scene_pairs(self, seed):
+        rng = np.random.default_rng(seed)
+        a = _octree(random_scene(seed=int(rng.integers(1000))))
+        b = _octree(random_scene(seed=int(rng.integers(1000))))
+        _check_exactness(a, b)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_single_box_perturbation(self, seed):
+        # The moving-obstacle shape: identical backdrop, one box moved.
+        rng = np.random.default_rng(100 + seed)
+        extent = 2.0
+        base = random_scene(seed=55, extent=extent, n_obstacles=3)
+
+        def with_extra(center):
+            scene = Scene(extent, base.obstacles)
+            scene.add_obstacle(AABB(center, np.full(3, 0.12)))
+            return _octree(scene)
+
+        c1 = np.array([rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5), 0.4])
+        c2 = c1 + np.array([0.0, 0.45, 0.0])
+        regions = _check_exactness(with_extra(c1), with_extra(c2))
+        # A localized move must not invalidate the whole workspace.
+        workspace_volume = float(np.prod(2 * with_extra(c1).bounds.half_extents))
+        region_volume = sum(
+            float(np.prod(2 * r.half_extents)) for r in regions
+        )
+        assert region_volume < workspace_volume

@@ -29,7 +29,8 @@ def _run_example(name: str) -> subprocess.CompletedProcess:
 
 
 @pytest.mark.parametrize(
-    "script", ["realtime_loop.py", "dynamic_replanning.py"]
+    "script",
+    ["realtime_loop.py", "dynamic_replanning.py", "scenario_gallery.py"],
 )
 def test_example_exits_zero(script):
     proc = _run_example(script)

@@ -1,0 +1,154 @@
+"""Cross-robot collision checks for multi-arm scenes.
+
+Satellite of the scenario corpus: the arm-vs-arm substrate
+(:mod:`repro.scenarios.multiarm`) must be *symmetric* — checking A
+against B and B against A yields the same verdict and the same colliding
+link pairs — and the self-collision adjacency mask must never leak into
+cross-robot checks (two different robots share no joints, so no pair is
+exempt).
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.transform import RigidTransform
+from repro.scenarios import ScenarioSpec, build_scenario, make_robot
+from repro.scenarios.multiarm import (
+    adjacent_link_mask,
+    cross_robot_link_pairs,
+    obb_pair_overlap,
+    path_cross_robot_contacts,
+    robots_collide,
+    self_collision_pairs,
+)
+
+pytestmark = pytest.mark.scenarios
+
+
+def _two_arms(separation: float):
+    """Two planar3 arms with bases offset along x."""
+    a = make_robot(
+        "planar3", base=RigidTransform.from_translation([-separation / 2, 0.0, 0.0])
+    )
+    b = make_robot(
+        "planar3", base=RigidTransform.from_translation([+separation / 2, 0.0, 0.0])
+    )
+    return a, b
+
+
+def _reaching_configs(robot_a, robot_b):
+    """Poses that point both arms at each other (guaranteed contact when
+    the bases are close enough for the links to span the gap)."""
+    return np.zeros(robot_a.dof), np.array([np.pi] + [0.0] * (robot_b.dof - 1))
+
+
+class TestSymmetry:
+    def test_obb_pair_overlap_is_symmetric(self):
+        rng = np.random.default_rng(7)
+        robot = make_robot("planar3")
+        for _ in range(20):
+            obbs = robot.link_obbs(robot.random_configuration(rng))
+            for a in obbs:
+                for b in obbs:
+                    assert obb_pair_overlap(a, b) == obb_pair_overlap(b, a)
+
+    @pytest.mark.parametrize("separation", [0.3, 0.8, 3.0])
+    def test_verdicts_symmetric_at_any_separation(self, separation):
+        robot_a, robot_b = _two_arms(separation)
+        rng = np.random.default_rng(11)
+        for _ in range(10):
+            q_a = robot_a.random_configuration(rng)
+            q_b = robot_b.random_configuration(rng)
+            assert robots_collide(robot_a, q_a, robot_b, q_b) == robots_collide(
+                robot_b, q_b, robot_a, q_a
+            )
+
+    def test_colliding_pairs_transpose_exactly(self):
+        robot_a, robot_b = _two_arms(0.4)
+        q_a, q_b = _reaching_configs(robot_a, robot_b)
+        ab = cross_robot_link_pairs(robot_a, q_a, robot_b, q_b)
+        ba = cross_robot_link_pairs(robot_b, q_b, robot_a, q_a)
+        assert ab, "arms this close must actually touch"
+        assert sorted((j, i) for i, j in ab) == sorted(ba)
+
+
+class TestMaskIsolation:
+    #: Joint 1 folded back by pi: link 1 lies on top of link 0, so the
+    #: adjacent pair (0, 1) genuinely overlaps (at the zero pose adjacent
+    #: boxes only share a face, which SAT counts as separation).
+    FOLDED = np.array([0.0, np.pi, 0.0])
+
+    def test_adjacent_mask_does_not_leak_across_robots(self):
+        # Two coincident copies of the same arm in the folded pose: the
+        # cross-robot check must report the (0, 1)/(1, 0) contacts that
+        # the self-collision mask would exempt, plus the diagonal.
+        robot_a = make_robot("planar3")
+        robot_b = make_robot("planar3")
+        cross = set(
+            cross_robot_link_pairs(robot_a, self.FOLDED, robot_b, self.FOLDED)
+        )
+        mask = adjacent_link_mask(robot_a)
+        assert mask, "a serial arm has adjacent link pairs"
+        assert (0, 0) in cross and (1, 1) in cross
+        assert (0, 1) in cross and (1, 0) in cross
+        assert (0, 1) in mask  # ...exactly what self-collision would skip
+
+    def test_self_collision_respects_its_own_mask(self):
+        robot = make_robot("planar3")
+        mask = adjacent_link_mask(robot)
+        hits = self_collision_pairs(robot, self.FOLDED)
+        for pair in hits:
+            assert pair not in mask
+            assert (pair[1], pair[0]) not in mask
+        # With an empty ignore set the folded adjacent contact reappears.
+        unmasked = set(self_collision_pairs(robot, self.FOLDED, ignore=set()))
+        assert (0, 1) in unmasked
+        assert unmasked - set(hits) <= mask
+
+    def test_masks_are_per_robot(self):
+        jaco = make_robot("jaco2")
+        planar = make_robot("planar2")
+        assert adjacent_link_mask(jaco) != adjacent_link_mask(planar)
+
+
+class TestScenarioIntegration:
+    @pytest.fixture(scope="class")
+    def instance(self):
+        return build_scenario(
+            ScenarioSpec(
+                "cell",
+                "multi_arm",
+                seed=13,
+                params={
+                    "arms": "jaco2+baxter",
+                    "n_queries": 1,
+                    "octree_resolution": 8,
+                },
+            )
+        )
+
+    def test_scene_places_two_distinct_arms(self, instance):
+        assert len(instance.robots) == 2
+        assert len(instance.rest_configurations) == 2
+        base_a = instance.robots[0].base.translation
+        base_b = instance.robots[1].base.translation
+        assert not np.allclose(base_a, base_b)
+
+    def test_jaco_vs_baxter_verdict_symmetric(self, instance):
+        jaco, baxter = instance.robots
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            q_j = jaco.random_configuration(rng)
+            q_b = baxter.random_configuration(rng)
+            assert robots_collide(jaco, q_j, baxter, q_b) == robots_collide(
+                baxter, q_b, jaco, q_j
+            )
+
+    def test_path_contact_counter(self, instance):
+        jaco, baxter = instance.robots
+        rest = instance.rest_configurations[1]
+        # A static path at the rest-vs-rest configuration: the count is
+        # just n_waypoints x the single-pose verdict.
+        q = np.zeros(jaco.dof)
+        expected = 3 if robots_collide(jaco, q, baxter, rest) else 0
+        assert path_cross_robot_contacts(jaco, [q, q, q], baxter, rest) == expected
