@@ -18,6 +18,13 @@ is purely the execution backend.  The guard asserts the batched engine
 beats the sequential engine by at least 3x; the simulated engine is
 reported (it prices every phase through SAS inline) but not guarded, since
 its cost is dominated by the simulation, not the collision substrate.
+
+The ``batch_swept`` configuration is the batched engine with the
+swept-motion prefilter (ISSUE 7): whole motions certified collision-free
+against the octree skip the exact per-pose dispatch.  Its hit-rate and
+certified-motion counters land in the BENCH artifact, and its >= 5x
+aspiration over the plain batched engine is guarded non-blocking (xfail)
+until ``REPRO_ENFORCE_SWEPT_FLOOR`` is set.
 """
 
 from __future__ import annotations
@@ -40,12 +47,17 @@ SEED = 7
 N_SAMPLES = 24
 K_NEIGHBORS = 5
 SPEEDUP_FLOOR = 3.0
+#: Aspirational floor for the swept-prefilter engine over the plain batched
+#: engine (ISSUE 7).  Non-blocking unless REPRO_ENFORCE_SWEPT_FLOOR is set —
+#: same pattern as the original perf guard's introduction.
+SWEPT_SPEEDUP_FLOOR = 5.0
 
-#: (engine kind, checker backend) for each timed configuration.
+#: (engine kind, checker backend, engine kwargs) per timed configuration.
 CONFIGS = {
-    "sequential": ("sequential", "scalar"),
-    "batch": ("batch", "batch"),
-    "simulated": ("simulated", "scalar"),
+    "sequential": ("sequential", "scalar", {}),
+    "batch": ("batch", "batch", {}),
+    "batch_swept": ("batch", "batch", {"prefilter": True}),
+    "simulated": ("simulated", "scalar", {}),
 }
 
 
@@ -55,15 +67,17 @@ def _workload(resolution: int = 16):
     return robot, octree
 
 
-def _run_engine(robot, octree, engine_kind: str, backend: str) -> dict:
+def _run_engine(
+    robot, octree, engine_kind: str, backend: str, engine_kwargs: dict = {}
+) -> dict:
     """One full PRM-build + query + shortcut pass under one engine."""
     checker = RobotEnvironmentChecker(
         robot, octree, collect_stats=False, backend=backend
     )
     kwargs = {"seed": SEED} if engine_kind == "simulated" else {}
-    recorder = CDTraceRecorder(
-        checker, engine=make_engine(engine_kind, checker, **kwargs)
-    )
+    kwargs.update(engine_kwargs)
+    engine = make_engine(engine_kind, checker, **kwargs)
+    recorder = CDTraceRecorder(checker, engine=engine)
     planner = PRMPlanner(recorder, n_samples=N_SAMPLES, k_neighbors=K_NEIGHBORS)
     rng = np.random.default_rng(SEED)
     start = time.perf_counter()
@@ -74,12 +88,14 @@ def _run_engine(robot, octree, engine_kind: str, backend: str) -> dict:
     if path is not None:
         path = greedy_shortcut(path, recorder)
     elapsed = time.perf_counter() - start
+    prefilter = getattr(engine, "prefilter", None)
     return {
         "seconds": elapsed,
         "path": path,
         "phases": recorder.num_phases,
         "poses": recorder.total_poses,
         "recorder": recorder,
+        "prefilter": None if prefilter is None else prefilter.counters(),
     }
 
 
@@ -94,9 +110,9 @@ def measure_engines(repeats: int = 2) -> dict:
     warm_scalar.check_pose(np.zeros(robot.dof))
 
     report = {}
-    for name, (engine_kind, backend) in CONFIGS.items():
+    for name, (engine_kind, backend, engine_kwargs) in CONFIGS.items():
         runs = [
-            _run_engine(robot, octree, engine_kind, backend)
+            _run_engine(robot, octree, engine_kind, backend, engine_kwargs)
             for _ in range(repeats)
         ]
         best = min(runs, key=lambda r: r["seconds"])
@@ -105,9 +121,16 @@ def measure_engines(repeats: int = 2) -> dict:
             "phases": best["phases"],
             "poses": best["poses"],
             "path_len": None if best["path"] is None else len(best["path"]),
+            "prefilter": best["prefilter"],
         }
     report["speedup_batch"] = (
         report["sequential"]["seconds"] / report["batch"]["seconds"]
+    )
+    report["speedup_swept"] = (
+        report["sequential"]["seconds"] / report["batch_swept"]["seconds"]
+    )
+    report["swept_over_batch"] = (
+        report["batch"]["seconds"] / report["batch_swept"]["seconds"]
     )
     return report
 
@@ -124,13 +147,36 @@ def test_batched_engine_at_least_3x_faster():
 
 
 @pytest.mark.perf
+def test_swept_prefilter_speedup_floor():
+    """ISSUE 7 target: the swept-prefilter engine at >= 5x over the plain
+    batched engine.  Non-blocking until REPRO_ENFORCE_SWEPT_FLOOR is set
+    (the pattern PR 1 used to introduce the original perf guard): the run
+    is measured and reported either way, but only enforced on opt-in."""
+    import os
+
+    report = measure_engines()
+    ratio = report["swept_over_batch"]
+    message = (
+        f"swept prefilter at {ratio:.2f}x over the batched engine "
+        f"(floor {SWEPT_SPEEDUP_FLOOR:.0f}x; batch "
+        f"{report['batch']['seconds']:.3f}s, swept "
+        f"{report['batch_swept']['seconds']:.3f}s)"
+    )
+    if ratio < SWEPT_SPEEDUP_FLOOR and not os.environ.get(
+        "REPRO_ENFORCE_SWEPT_FLOOR"
+    ):
+        pytest.xfail(message)
+    assert ratio >= SWEPT_SPEEDUP_FLOOR, message
+
+
+@pytest.mark.perf
 def test_engines_saw_identical_workloads():
     # A perf number over diverged workloads would be meaningless: every
     # engine must have issued the same phase stream and found the same path.
     robot, octree = _workload()
     runs = {
-        name: _run_engine(robot, octree, kind, backend)
-        for name, (kind, backend) in CONFIGS.items()
+        name: _run_engine(robot, octree, kind, backend, engine_kwargs)
+        for name, (kind, backend, engine_kwargs) in CONFIGS.items()
     }
     reference = runs["sequential"]
     for name, run in runs.items():
@@ -158,12 +204,22 @@ def write_artifact(report: dict, path: str) -> None:
         }
         if entry["path_len"] is not None:
             metrics["path_len"] = entry["path_len"]
+        if entry["prefilter"] is not None:
+            counters = entry["prefilter"]
+            metrics["prefilter_hit_rate"] = round(counters["hit_rate"], 6)
+            metrics["motions_certified"] = counters["motions_certified"]
+            metrics["motions_tested"] = counters["motions_tested"]
+            metrics["poses_certified"] = counters["poses_certified"]
         cases.append({"name": name, "metrics": metrics})
     payload = make_bench_payload(
         bench="planner_engines",
         seed=SEED,
         cases=cases,
-        summary={"speedup_batch": round(report["speedup_batch"], 3)},
+        summary={
+            "speedup_batch": round(report["speedup_batch"], 3),
+            "speedup_swept": round(report["speedup_swept"], 3),
+            "swept_over_batch": round(report["swept_over_batch"], 3),
+        },
     )
     save_bench(path, payload)
 
@@ -179,7 +235,7 @@ if __name__ == "__main__":
     for name in CONFIGS:
         entry = report[name]
         print(
-            f"{name:>10}: {entry['seconds']:.3f} s"
+            f"{name:>11}: {entry['seconds']:.3f} s"
             f"  ({entry['phases']} phases, {entry['poses']} poses"
             + (
                 f", path len {entry['path_len']})"
@@ -187,9 +243,22 @@ if __name__ == "__main__":
                 else ", no path)"
             )
         )
+        if entry["prefilter"] is not None:
+            counters = entry["prefilter"]
+            print(
+                f"{'':>11}  prefilter: {counters['motions_certified']}/"
+                f"{counters['motions_tested']} motions certified "
+                f"(hit rate {counters['hit_rate']:.1%}, "
+                f"{counters['poses_certified']} poses skipped exact dispatch)"
+            )
     print(
         f"batch speedup over sequential: {report['speedup_batch']:.1f}x "
         f"(floor {SPEEDUP_FLOOR:.0f}x)"
+    )
+    print(
+        f"swept-prefilter engine: {report['speedup_swept']:.1f}x over "
+        f"sequential, {report['swept_over_batch']:.2f}x over batch "
+        f"(aspirational floor {SWEPT_SPEEDUP_FLOOR:.0f}x, non-blocking)"
     )
     artifact = os.path.join(
         os.path.dirname(__file__), "BENCH_planner_engines.json"

@@ -86,6 +86,55 @@ _SAT_FULL_MULTIPLIES = int(_CUM_AXIS_MULTIPLIES[-1])
 
 
 # ----------------------------------------------------------------------
+# Persistent SoA scratch buffers
+# ----------------------------------------------------------------------
+
+
+class SoAScratch:
+    """Growable persistent buffers for the batch pipeline.
+
+    The batched planner path dispatches one pose tensor per CD phase, so a
+    planning run makes hundreds of ``batch_forward_kinematics`` /
+    ``batch_link_obbs`` calls whose large intermediates (frame stacks, DH
+    step matrices, per-link pose products, OBB arrays) would otherwise be
+    re-allocated every call.  A scratch instance keeps one buffer per
+    (name, trailing-shape) slot and grows it geometrically when a larger
+    batch arrives, handing out leading-axis views — so steady-state phases
+    allocate nothing.
+
+    **Lifetime contract:** an array returned by :meth:`array` (and any
+    pipeline output that aliases one, e.g. ``batch_link_obbs(...,
+    fixed_point=None, scratch=...)``) is valid only until the next call
+    that uses the same scratch.  Callers that need the data beyond that
+    must copy.  The default quantized pipeline materializes fresh output
+    arrays, so :class:`BatchPoseEvaluator` results never alias scratch.
+    """
+
+    def __init__(self):
+        self._buffers: dict = {}
+        #: How many times a slot (re-)allocated — tests pin steady-state 0.
+        self.reallocations = 0
+
+    def array(self, name: str, n: int, trailing: Tuple[int, ...], dtype=float):
+        """A ``(n, *trailing)`` view of the named buffer, growing as needed."""
+        trailing = tuple(int(t) for t in trailing)
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape[1:] != trailing or buf.dtype != dtype:
+            capacity = n
+        elif buf.shape[0] < n:
+            capacity = max(n, 2 * buf.shape[0])
+        else:
+            return buf[:n]
+        buf = np.empty((capacity,) + trailing, dtype=dtype)
+        self._buffers[name] = buf
+        self.reallocations += 1
+        return buf[:n]
+
+    def clear(self) -> None:
+        self._buffers.clear()
+
+
+# ----------------------------------------------------------------------
 # Struct-of-arrays OBB batch
 # ----------------------------------------------------------------------
 
@@ -583,20 +632,95 @@ class BatchOctreeCollider:
             exit_counts=exit_counts,
         )
 
+    def certify_disjoint(self, sphere_center, sphere_radius, lo, hi) -> np.ndarray:
+        """Prove per-query bounding volumes disjoint from every FULL octant.
+
+        Each of the Q queries is a conservative bound — a sphere
+        (``sphere_center``/``sphere_radius``) **and** an AABB (``lo``/``hi``);
+        the certified volume is their intersection.  The traversal descends
+        only into occupied octants whose box overlaps *both* bounds (overlap
+        tests are inclusive, so tangency counts as overlap) and returns a
+        ``(Q,)`` boolean mask: ``True`` means no FULL octant anywhere in the
+        tree touches the query's bound.
+
+        This is the motion prefilter's primitive: the exact cascade can only
+        report a collision against a FULL octant whose box intersects a link
+        OBB, every such octant's ancestors also intersect the OBB's bounds
+        (child boxes nest), and the scalar/batch traversals reach octants
+        only through intersecting PARTIAL ancestors — so a certified query's
+        volume provably produces a collision-free verdict under the exact
+        path.  No :class:`~repro.collision.stats.CollisionStats` are charged:
+        certification is a shortcut *around* the priced cascade, and its
+        savings are reported through separate prefilter counters.
+        """
+        sphere_center = np.asarray(sphere_center, dtype=float).reshape(-1, 3)
+        sphere_radius = np.asarray(sphere_radius, dtype=float).reshape(-1)
+        lo = np.asarray(lo, dtype=float).reshape(-1, 3)
+        hi = np.asarray(hi, dtype=float).reshape(-1, 3)
+        q_total = len(sphere_radius)
+        certified = np.ones(q_total, dtype=bool)
+
+        bounds = self.octree.bounds
+        f_query = np.arange(q_total, dtype=np.int64)
+        f_addr = np.zeros(q_total, dtype=np.int64)
+        f_center = np.broadcast_to(
+            np.asarray(bounds.center, dtype=float), (q_total, 3)
+        )
+        f_half = np.broadcast_to(
+            np.asarray(bounds.half_extents, dtype=float), (q_total, 3)
+        )
+        full_code = int(OctantState.FULL)
+        partial_code = int(OctantState.PARTIAL)
+        radius_sq = sphere_radius * sphere_radius
+
+        while len(f_query):
+            node_states = self._states[f_addr]  # (F, 8)
+            cand_f, cand_oct = np.nonzero(node_states)
+            cand_q = f_query[cand_f]
+            cand_state = node_states[cand_f, cand_oct]
+            quarter = f_half[cand_f] / 2.0
+            signs = np.empty_like(quarter)
+            signs[:, 0] = np.where(cand_oct & 1, 1.0, -1.0)
+            signs[:, 1] = np.where(cand_oct & 2, 1.0, -1.0)
+            signs[:, 2] = np.where(cand_oct & 4, 1.0, -1.0)
+            cand_center = f_center[cand_f] + signs * quarter
+
+            box_lo = cand_center - quarter
+            box_hi = cand_center + quarter
+            overlap = np.all((lo[cand_q] <= box_hi) & (hi[cand_q] >= box_lo), axis=1)
+            gap = np.abs(sphere_center[cand_q] - cand_center) - quarter
+            np.maximum(gap, 0.0, out=gap)
+            overlap &= np.einsum("ij,ij->i", gap, gap) <= radius_sq[cand_q]
+
+            certified[cand_q[overlap & (cand_state == full_code)]] = False
+
+            expand = overlap & (cand_state == partial_code) & certified[cand_q]
+            f_query = cand_q[expand]
+            f_addr = self._children[f_addr[cand_f[expand]], cand_oct[expand]]
+            f_center = cand_center[expand]
+            f_half = quarter[expand]
+
+        return certified
+
 
 # ----------------------------------------------------------------------
 # Vectorized OBB generation (forward kinematics + quantization)
 # ----------------------------------------------------------------------
 
 
-def batch_forward_kinematics(robot: RobotModel, poses) -> np.ndarray:
+def batch_forward_kinematics(
+    robot: RobotModel, poses, scratch: Optional[SoAScratch] = None
+) -> np.ndarray:
     """World frames for a pose batch: ``(N, dof+1, 4, 4)``.
 
     ``frames[:, 0]`` is the base frame; ``frames[:, i]`` for i >= 1 follows
     joints 1..i.  The chain multiplies stacked 4x4 matrices in the same
     left-to-right order as :func:`repro.robot.dh.chain_forward_kinematics`,
     and stacked matmul matches the scalar 2-D ``@`` bit-for-bit, so these
-    frames equal the scalar FK exactly.
+    frames equal the scalar FK exactly.  With ``scratch`` the frame stack
+    and DH step buffer are persistent views (see :class:`SoAScratch` for
+    the lifetime contract); the arithmetic — and therefore the bits — is
+    unchanged, only the allocations go away.
     """
     poses = np.asarray(poses, dtype=float)
     if poses.ndim != 2 or poses.shape[1] != robot.dof:
@@ -604,14 +728,19 @@ def batch_forward_kinematics(robot: RobotModel, poses) -> np.ndarray:
             f"poses must have shape (n, {robot.dof}), got {poses.shape}"
         )
     n = len(poses)
-    frames = np.empty((n, robot.dof + 1, 4, 4))
-    current = np.broadcast_to(robot.base.matrix, (n, 4, 4))
-    frames[:, 0] = current
+    if scratch is None:
+        frames = np.empty((n, robot.dof + 1, 4, 4))
+        step = np.empty((n, 4, 4))
+    else:
+        frames = scratch.array("fk.frames", n, (robot.dof + 1, 4, 4))
+        step = scratch.array("fk.step", n, (4, 4))
+    # Every iteration writes the same ten step entries; the rest stay zero.
+    step[:] = 0.0
+    frames[:, 0] = robot.base.matrix
     for i, param in enumerate(robot.dh):
         th = poses[:, i] + param.theta_offset
         ct, st = np.cos(th), np.sin(th)
         ca, sa = math.cos(param.alpha), math.sin(param.alpha)
-        step = np.zeros((n, 4, 4))
         step[:, 0, 0] = ct
         step[:, 0, 1] = -st * ca
         step[:, 0, 2] = st * sa
@@ -624,8 +753,7 @@ def batch_forward_kinematics(robot: RobotModel, poses) -> np.ndarray:
         step[:, 2, 2] = ca
         step[:, 2, 3] = param.d
         step[:, 3, 3] = 1.0
-        current = current @ step
-        frames[:, i + 1] = current
+        np.matmul(frames[:, i], step, out=frames[:, i + 1])
     return frames
 
 
@@ -659,22 +787,34 @@ def batch_link_obbs(
     poses,
     fixed_point: Optional[FixedPointFormat] = DEFAULT_FORMAT,
     rot_fmt: FixedPointFormat = ROTATION_FORMAT,
+    scratch: Optional[SoAScratch] = None,
 ) -> BatchOBBs:
     """Link OBBs for every pose, flattened pose-major: ``N * num_links`` rows.
 
     Row ``i * num_links + j`` is link j at pose i — the tensor layout every
     downstream batch stage assumes.  This is the vectorized twin of
     ``RobotEnvironmentChecker.link_obbs`` (FK, local box placement, then
-    fixed-point quantization when ``fixed_point`` is given).
+    fixed-point quantization when ``fixed_point`` is given).  With
+    ``scratch`` the FK stack and the SoA center/half/rotation intermediates
+    are persistent buffers; when ``fixed_point`` is ``None`` the returned
+    arrays alias them (see :class:`SoAScratch`), while the default
+    quantized path always returns fresh arrays.
     """
-    frames = batch_forward_kinematics(robot, poses)
+    frames = batch_forward_kinematics(robot, poses, scratch=scratch)
     n = len(frames)
     n_links = robot.num_links
-    centers = np.empty((n, n_links, 3))
-    halves = np.empty((n, n_links, 3))
-    rots = np.empty((n, n_links, 3, 3))
+    if scratch is None:
+        centers = np.empty((n, n_links, 3))
+        halves = np.empty((n, n_links, 3))
+        rots = np.empty((n, n_links, 3, 3))
+        pose = np.empty((n, 4, 4))
+    else:
+        centers = scratch.array("obb.centers", n, (n_links, 3))
+        halves = scratch.array("obb.halves", n, (n_links, 3))
+        rots = scratch.array("obb.rots", n, (n_links, 3, 3))
+        pose = scratch.array("obb.pose", n, (4, 4))
     for j, link in enumerate(robot.links):
-        pose = frames[:, link.frame_index] @ link.local.matrix
+        np.matmul(frames[:, link.frame_index], link.local.matrix, out=pose)
         centers[:, j] = pose[:, :3, 3]
         rots[:, j] = pose[:, :3, :3]
         halves[:, j] = np.asarray(link.half_extents, dtype=float)
@@ -742,6 +882,12 @@ class BatchPoseEvaluator:
     queries — then replays the scalar checker's per-pose link early exit so
     the recorded work matches ``RobotEnvironmentChecker.check_pose`` run N
     times.
+
+    The evaluator owns a persistent :class:`SoAScratch`, so the large FK
+    and OBB intermediates are reused across phases instead of re-allocated
+    per call.  Outputs never alias the scratch in the default quantized
+    configuration; with ``fixed_point=None`` they do (see the scratch
+    lifetime contract).
     """
 
     def __init__(
@@ -754,10 +900,13 @@ class BatchPoseEvaluator:
         self.robot = robot
         self.collider = BatchOctreeCollider(octree, config)
         self.fixed_point = fixed_point
+        self.scratch = SoAScratch()
 
     def link_obbs(self, poses) -> BatchOBBs:
         """Quantized link OBBs for the batch, pose-major (``N * L`` rows)."""
-        return batch_link_obbs(self.robot, poses, self.fixed_point)
+        return batch_link_obbs(
+            self.robot, poses, self.fixed_point, scratch=self.scratch
+        )
 
     def evaluate(self, poses) -> BatchPoseOutcome:
         """Check every pose; collision verdicts plus scalar-identical work."""

@@ -144,12 +144,19 @@ class CollisionCache:
         return None
 
     def store(self, q, verdict: bool, stats_delta: CollisionStats) -> None:
-        """Insert a freshly evaluated pose verdict (FIFO-evicting)."""
-        if len(self._entries) >= self.max_entries:
+        """Insert a freshly evaluated pose verdict (FIFO-evicting).
+
+        Overwriting an existing key (e.g. re-storing a pose after an epoch
+        advance stale-ed its entry) is not an insert and must not evict:
+        evicting on overwrites drops a live entry and permanently shrinks
+        the effective capacity below ``max_entries``.
+        """
+        key = self.key(q)
+        if key not in self._entries and len(self._entries) >= self.max_entries:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
         pose = np.array(q, dtype=float, copy=True)
-        self._entries[self.key(q)] = CacheEntry(
+        self._entries[key] = CacheEntry(
             bool(verdict), stats_delta, pose, self.epoch
         )
 

@@ -128,7 +128,10 @@ class EngineConfig:
 
     ``n_cdus``/``policy``/``seed``/``check_invariants``/``record_timeline``
     only matter for ``kind="simulated"`` (they parameterize the inline SAS
-    run); the other kinds ignore them.
+    run); ``prefilter`` only matters for ``kind="batch"`` (it enables the
+    conservative swept-motion prefilter,
+    :class:`~repro.planning.swept.SweptMotionPrefilter`); the other kinds
+    ignore them.
     """
 
     kind: str = "sequential"
@@ -137,6 +140,7 @@ class EngineConfig:
     seed: int = 0
     check_invariants: bool = True
     record_timeline: bool = False
+    prefilter: bool = False
 
     def __post_init__(self):
         _check_choice("engine kind", self.kind, ENGINE_KINDS)

@@ -159,7 +159,9 @@ class SequentialEngine(QueryEngine):
         return PhaseAnswer(outcomes=list(reference.outcomes))
 
 
-def _batched_prime_and_answer(phase: CDPhase, checker) -> PhaseAnswer:
+def _batched_prime_and_answer(
+    phase: CDPhase, checker, prefilter=None
+) -> PhaseAnswer:
     """One vectorized dispatch for the whole phase + sequential charging.
 
     Every undecided pose across the phase's motions is stacked into a
@@ -170,12 +172,45 @@ def _batched_prime_and_answer(phase: CDPhase, checker) -> PhaseAnswer:
     charged only for the poses the sequential early exit would have
     executed — the same prefix-charging contract as
     :meth:`RobotEnvironmentChecker.check_motion` with ``backend="batch"``.
+
+    With a :class:`~repro.planning.swept.SweptMotionPrefilter`, every
+    fully-undecided motion is first run through the conservative swept
+    certification.  When the checker is *not* collecting per-operation
+    stats, certified motions skip the exact dispatch entirely: their poses
+    get provably-correct collision-free ground truth installed wholesale,
+    and the walk charges ``pose_checks`` for exactly the poses the
+    sequential reference would have visited — verdicts, per-pose ground
+    truth, and ``pose_checks`` stay identical, only the priced per-op
+    counters (which the checker is not collecting) go unaccounted.  With
+    ``collect_stats`` on, certification still runs (feeding the prefilter
+    counters) but nothing is skipped, so the recorded ``CollisionStats``
+    stay bit-identical to the sequential reference.
     """
-    targets = [
-        (motion, index)
-        for motion in phase.motions
-        for index in motion.unevaluated_indices()
-    ]
+    skipped = None
+    if prefilter is not None:
+        eligible = [m for m in phase.motions if m.fully_unevaluated]
+        if eligible:
+            certified = prefilter.certify_motions(eligible)
+            if not checker.collect_stats and certified.any():
+                skipped = set()
+                for motion, is_free in zip(eligible, certified):
+                    if is_free:
+                        motion.set_all_free()
+                        skipped.add(id(motion))
+
+    if skipped:
+        targets = [
+            (motion, index)
+            for motion in phase.motions
+            if id(motion) not in skipped
+            for index in motion.unevaluated_indices()
+        ]
+    else:
+        targets = [
+            (motion, index)
+            for motion in phase.motions
+            for index in motion.unevaluated_indices()
+        ]
     outcome = None
     row_of = {}
     if targets:
@@ -185,13 +220,52 @@ def _batched_prime_and_answer(phase: CDPhase, checker) -> PhaseAnswer:
             motion.set_pose_outcome(index, bool(hit))
             row_of[(id(motion), index)] = row
 
-    outcomes, charged_rows = walk_warm_phase(phase, row_of)
+    if skipped:
+        outcomes, charged_rows, certified_checks = _walk_with_certified(
+            phase, row_of, skipped
+        )
+        checker.stats.pose_checks += certified_checks
+    else:
+        outcomes, charged_rows = walk_warm_phase(phase, row_of)
 
     stats = checker.stats
     stats.pose_checks += len(charged_rows)
     if outcome is not None and charged_rows and checker.collect_stats:
         outcome.record(stats, poses=np.asarray(charged_rows, dtype=int))
     return PhaseAnswer(outcomes=outcomes)
+
+
+def _walk_with_certified(phase: CDPhase, row_of: dict, skipped: set):
+    """The warm-phase walk with an O(1) fast path for certified motions.
+
+    Semantically identical to :func:`walk_warm_phase` over the same warm
+    caches — certified motions are known all-free, so their per-pose inner
+    loop collapses to ``outcome=False`` plus a ``num_poses`` bump of the
+    pose-check charge (the sequential reference visits every pose of a
+    free motion).  Returns ``(outcomes, charged_rows, certified_checks)``.
+    """
+    charged_rows: List[int] = []
+    certified_checks = 0
+    outcomes: List[Optional[bool]] = [None] * len(phase.motions)
+    for motion_index, motion in enumerate(phase.motions):
+        if id(motion) in skipped:
+            collided = False
+            certified_checks += motion.num_poses
+        else:
+            collided = False
+            for pose_index in range(motion.num_poses):
+                row = row_of.get((id(motion), pose_index))
+                if row is not None:
+                    charged_rows.append(row)
+                if motion.pose_collides(pose_index):
+                    collided = True
+                    break
+        outcomes[motion_index] = collided
+        if phase.mode is FunctionMode.FEASIBILITY and collided:
+            break
+        if phase.mode is FunctionMode.CONNECTIVITY and not collided:
+            break
+    return outcomes, charged_rows, certified_checks
 
 
 def walk_warm_phase(phase: CDPhase, row_of: dict):
@@ -243,6 +317,7 @@ class BatchedEngine(QueryEngine):
         checker,
         telemetry: MetricsRegistry | None = None,
         fault_injector=None,
+        prefilter: bool = False,
     ):
         if getattr(checker, "backend", "scalar") != "batch":
             raise ValueError(
@@ -250,6 +325,16 @@ class BatchedEngine(QueryEngine):
                 f"backend={getattr(checker, 'backend', None)!r}"
             )
         super().__init__(checker, telemetry, fault_injector=fault_injector)
+        self._prefilter = None
+        if prefilter:
+            from repro.planning.swept import SweptMotionPrefilter
+
+            self._prefilter = SweptMotionPrefilter(checker)
+
+    @property
+    def prefilter(self):
+        """The :class:`SweptMotionPrefilter`, or None when disabled."""
+        return self._prefilter
 
     def _answer(self, phase: CDPhase) -> PhaseAnswer:
         checker = self.checker
@@ -258,7 +343,7 @@ class BatchedEngine(QueryEngine):
             # answer through the sequential reference so every ground-truth
             # probe passes the corruption hook.
             return PhaseAnswer(outcomes=list(phase.sequential_reference().outcomes))
-        return _batched_prime_and_answer(phase, checker)
+        return _batched_prime_and_answer(phase, checker, prefilter=self._prefilter)
 
 
 class SimulatedEngine(QueryEngine):
@@ -392,6 +477,8 @@ def make_engine(kind, checker, telemetry=None, **kwargs) -> QueryEngine:
             for name in ("n_cdus", "policy", "seed", "check_invariants",
                          "record_timeline"):
                 kwargs.setdefault(name, getattr(config, name))
+        elif key in ("batch", "batched"):
+            kwargs.setdefault("prefilter", getattr(config, "prefilter", False))
     else:
         warnings.warn(
             "passing the engine kind as a string to make_engine is "

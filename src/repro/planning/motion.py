@@ -43,6 +43,7 @@ class MotionRecord:
         self.poses = poses
         self._checker = checker
         self._outcomes: List[Optional[bool]] = [None] * len(poses)
+        self._n_unevaluated = len(poses)
 
     @classmethod
     def from_endpoints(
@@ -64,6 +65,7 @@ class MotionRecord:
                 f"need {len(motion.poses)} outcomes, got {len(outcomes)}"
             )
         motion._outcomes = [bool(o) for o in outcomes]
+        motion._n_unevaluated = 0
         return motion
 
     def evaluate_all(self) -> List[bool]:
@@ -74,6 +76,16 @@ class MotionRecord:
         """Pose indices whose ground truth has not been computed yet."""
         return [i for i, outcome in enumerate(self._outcomes) if outcome is None]
 
+    @property
+    def fully_unevaluated(self) -> bool:
+        """True when no pose has cached ground truth yet (O(1)).
+
+        The motion prefilter only targets such motions: a motion with any
+        warm pose is left to the exact path, keeping the eligibility check
+        off the per-pose hot loop.
+        """
+        return self._n_unevaluated == self.num_poses
+
     def set_pose_outcome(self, index: int, hit: bool) -> None:
         """Install externally computed ground truth for one pose.
 
@@ -81,7 +93,20 @@ class MotionRecord:
         one vectorized ``check_poses`` dispatch instead of N lazy
         ``check_pose`` calls.
         """
+        if self._outcomes[index] is None:
+            self._n_unevaluated -= 1
         self._outcomes[index] = bool(hit)
+
+    def set_all_free(self) -> None:
+        """Install collision-free ground truth for every pose at once.
+
+        Only a *proof* justifies this call — the motion prefilter's
+        certification is one (a certified motion's every discretized pose
+        is collision-free under the exact cascade).  After this the motion
+        behaves exactly as if each pose had been evaluated individually.
+        """
+        self._outcomes = [False] * self.num_poses
+        self._n_unevaluated = 0
 
     @property
     def num_poses(self) -> int:
@@ -106,6 +131,7 @@ class MotionRecord:
                 )
             outcome = self._checker.check_pose(self.poses[index])
             self._outcomes[index] = outcome
+            self._n_unevaluated -= 1
         return outcome
 
     def is_collision_free(self) -> bool:

@@ -42,21 +42,34 @@ class _Tree:
 
 
 class RRTConnectPlanner:
-    """RRT-Connect: grow two trees toward each other with a greedy connect."""
+    """RRT-Connect: grow two trees toward each other with a greedy connect.
+
+    With ``batch_extends > 1`` each iteration runs a pRRTC-style
+    multi-extend: that many samples are drawn at once, each steered from
+    its nearest node in the same tree snapshot, and all candidate motions
+    are evaluated as one COMPLETE phase — a single vectorized dispatch
+    under the batched engine instead of one phase per sample.  The default
+    of 1 preserves the classical single-extend control flow (and its rng
+    stream) exactly.
+    """
 
     def __init__(
         self,
         recorder: CDTraceRecorder,
         max_iterations: int = 1000,
         max_step: float = 0.5,
+        batch_extends: int = 1,
     ):
         if max_iterations < 1:
             raise ValueError(f"max_iterations must be >= 1, got {max_iterations}")
         if max_step <= 0:
             raise ValueError(f"max_step must be positive, got {max_step}")
+        if batch_extends < 1:
+            raise ValueError(f"batch_extends must be >= 1, got {batch_extends}")
         self.recorder = recorder
         self.max_iterations = max_iterations
         self.max_step = max_step
+        self.batch_extends = batch_extends
 
     def plan(
         self, q_start, q_goal, rng: np.random.Generator
@@ -71,8 +84,13 @@ class RRTConnectPlanner:
         a_is_start = True
 
         for _ in range(self.max_iterations):
-            sample = robot.random_configuration(rng)
-            status, new_index = yield from self._extend(tree_a, sample)
+            if self.batch_extends > 1:
+                status, new_index = yield from self._extend_batch(
+                    tree_a, robot, rng
+                )
+            else:
+                sample = robot.random_configuration(rng)
+                status, new_index = yield from self._extend(tree_a, sample)
             if status != _TRAPPED:
                 q_new = tree_a.nodes[new_index]
                 status_b, index_b = yield from self._connect(tree_b, q_new)
@@ -91,6 +109,43 @@ class RRTConnectPlanner:
         if cspace_distance(q_new, target) < 1e-9:
             return _REACHED, index
         return _ADVANCED, index
+
+    def _extend_batch(self, tree: _Tree, robot, rng: np.random.Generator):
+        """pRRTC-style multi-extend: B steer attempts funneled into one phase.
+
+        ``batch_extends`` samples are drawn up front and each is steered
+        from its nearest node in the *same* tree snapshot (no candidate
+        sees another candidate as a potential parent), so the B candidate
+        motions are independent and can be evaluated as a single COMPLETE
+        phase.  Every collision-free candidate joins the tree; the first
+        one added plays the classical extend's role of the new node the
+        follow-up connect grows toward.
+        """
+        samples = [
+            robot.random_configuration(rng) for _ in range(self.batch_extends)
+        ]
+        parents = [tree.nearest(sample) for sample in samples]
+        candidates = [
+            steer_toward(tree.nodes[parent], sample, self.max_step)
+            for parent, sample in zip(parents, samples)
+        ]
+        collides = yield CDQuery.complete(
+            [
+                (tree.nodes[parent], q_new)
+                for parent, q_new in zip(parents, candidates)
+            ],
+            "rrtc_multi_extend",
+        )
+        first_index = -1
+        for parent, q_new, hit in zip(parents, candidates, collides):
+            if hit:
+                continue
+            index = tree.add(q_new, parent)
+            if first_index < 0:
+                first_index = index
+        if first_index < 0:
+            return _TRAPPED, -1
+        return _ADVANCED, first_index
 
     def _connect(self, tree: _Tree, target):
         """Greedy straight-line connect, issued as one extend sweep.

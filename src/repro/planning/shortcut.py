@@ -39,7 +39,11 @@ def greedy_shortcut(
 def shortcut_steps(path: List[np.ndarray], label: str = "shortcut"):
     """Generator form of :func:`greedy_shortcut` (yields :class:`CDQuery`)."""
     if len(path) <= 2:
-        return list(path)
+        # Trivial paths get the same per-waypoint normalization as the
+        # general branch below — callers must never observe integer-dtype
+        # (or otherwise unnormalized) waypoints just because the path was
+        # too short to shortcut.
+        return [np.asarray(q, dtype=float) for q in path]
     result = [np.asarray(q, dtype=float) for q in path]
     anchor = 0
     while anchor < len(result) - 2:

@@ -357,9 +357,19 @@ def _build_multi_arm(spec, params):
             [half - size[0], half - size[1], extent - size[2]],
         )
         # Keep both mounts clear so rest poses are not trivially buried.
+        # The octree rasterizer marks every voxel the obstacle touches, so
+        # the obstacle the checker actually sees is the AABB grid-snapped
+        # outward to voxel boundaries; at coarse resolutions that inflation
+        # can swallow a mount the exact AABB clears (leaving a robot with
+        # no free configurations at all).  Measure clearance against the
+        # snapped box.
         clear = 0.12 * extent
+        cell = extent / params["octree_resolution"]
+        origin = np.array([-half, -half, 0.0])
+        snapped_lo = origin + np.floor((center - size - origin) / cell) * cell
+        snapped_hi = origin + np.ceil((center + size - origin) / cell) * cell
         if any(
-            float(np.linalg.norm(np.clip(b.translation, center - size, center + size) - b.translation))
+            float(np.linalg.norm(np.clip(b.translation, snapped_lo, snapped_hi) - b.translation))
             <= clear
             for b in bases
         ):

@@ -171,6 +171,36 @@ class TestCacheMechanics:
         assert cache.lookup(qs[0]) is None  # evicted first-in
         assert cache.lookup(qs[2]) is not None
 
+    def test_overwrite_does_not_evict(self):
+        """Re-storing an existing key is not an insert: at capacity, an
+        overwrite must not drop the FIFO-oldest live entry (the old bug
+        shrank effective capacity by one per overwrite)."""
+        cache = CollisionCache(quantum=1e-9, max_entries=2)
+        cache.attach(False, None)
+        qs = [np.array([float(i)]) for i in range(2)]
+        for q in qs:
+            cache.store(q, False, None)
+        assert len(cache) == 2
+        for _ in range(5):  # repeated same-key stores at capacity
+            cache.store(qs[1], True, None)
+        assert len(cache) == 2
+        assert cache.lookup(qs[0]) is not None  # survived every overwrite
+        assert cache.lookup(qs[1]).verdict is True
+
+    def test_overwrite_keeps_fifo_order(self):
+        """An overwrite keeps the key's original insertion slot, so the
+        next genuine insert at capacity still evicts the true oldest."""
+        cache = CollisionCache(quantum=1e-9, max_entries=2)
+        cache.attach(False, None)
+        q0, q1, q2 = (np.array([float(i)]) for i in range(3))
+        cache.store(q0, False, None)
+        cache.store(q1, False, None)
+        cache.store(q0, True, None)  # overwrite: q0 stays the oldest
+        cache.store(q2, False, None)  # genuine insert evicts q0
+        assert cache.lookup(q0) is None
+        assert cache.lookup(q1) is not None
+        assert cache.lookup(q2) is not None
+
     def test_attach_mode_mismatch_rejected(self):
         cache = CollisionCache(quantum=1e-9)
         cache.attach(True, None)

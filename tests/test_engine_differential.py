@@ -37,8 +37,16 @@ SEED = 2023
 START = np.array([np.pi * 0.9, 0.0])
 GOAL = np.array([-np.pi * 0.9, 0.0])
 
-#: (engine kind, checker backend) triples under differential test.
-ENGINES = [("sequential", "scalar"), ("batch", "batch"), ("simulated", "scalar")]
+#: (engine kind, checker backend) triples under differential test.  The
+#: "batch+prefilter" variant runs the swept-motion prefilter in front of
+#: the exact cascade; with ``collect_stats=True`` (this harness) nothing
+#: may be skipped, so its stats must stay bit-identical too.
+ENGINES = [
+    ("sequential", "scalar"),
+    ("batch", "batch"),
+    ("batch+prefilter", "batch"),
+    ("simulated", "scalar"),
+]
 
 
 @pytest.fixture(scope="module")
@@ -55,9 +63,12 @@ def build_stack(world, engine_kind, backend):
     checker = RobotEnvironmentChecker(
         robot, octree, motion_step=0.05, collect_stats=True, backend=backend
     )
-    engine = make_engine(engine_kind, checker, seed=SEED) if (
-        engine_kind == "simulated"
-    ) else make_engine(engine_kind, checker)
+    if engine_kind == "simulated":
+        engine = make_engine(engine_kind, checker, seed=SEED)
+    elif engine_kind == "batch+prefilter":
+        engine = make_engine("batch", checker, prefilter=True)
+    else:
+        engine = make_engine(engine_kind, checker)
     return checker, CDTraceRecorder(checker, engine=engine)
 
 
@@ -125,6 +136,13 @@ def rrt_connect_workload(recorder, rng):
     return planner.plan(START, GOAL, rng)
 
 
+def rrt_connect_multi_extend_workload(recorder, rng):
+    planner = RRTConnectPlanner(
+        recorder, max_iterations=800, max_step=0.4, batch_extends=4
+    )
+    return planner.plan(START, GOAL, rng)
+
+
 def prm_workload(recorder, rng):
     planner = PRMPlanner(recorder, n_samples=40, k_neighbors=5)
     planner.build_roadmap(rng)
@@ -147,6 +165,14 @@ class TestEngineDifferential:
     def test_rrt_connect(self, world):
         runs = differential(world, rrt_connect_workload)
         assert runs[0]["path"] is not None
+
+    def test_rrt_connect_multi_extend(self, world):
+        """pRRTC-style multi-extend batches are engine-agnostic too: the
+        COMPLETE phases it issues answer identically everywhere."""
+        runs = differential(world, rrt_connect_multi_extend_workload)
+        assert runs[0]["path"] is not None
+        labels = {label for label, _ in runs[0]["labels"]}
+        assert "rrtc_multi_extend" in labels
 
     def test_prm(self, world):
         runs = differential(world, prm_workload)

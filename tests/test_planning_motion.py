@@ -95,6 +95,36 @@ class TestMotionRecord:
         assert np.allclose(motion.start, [0, 1])
         assert np.allclose(motion.end, [2, 3])
 
+    def test_fully_unevaluated_tracks_cache_state(self):
+        checker = FakeChecker(lambda q: False)
+        motion = motion_from(checker, [0, 0], [1, 0])
+        assert motion.fully_unevaluated
+        motion.pose_collides(0)
+        assert not motion.fully_unevaluated
+        # Re-touching a warm pose must not double-count.
+        motion.set_pose_outcome(0, False)
+        motion.pose_collides(0)
+        assert motion.evaluated_count() == 1
+        for i in range(motion.num_poses):
+            motion.set_pose_outcome(i, False)
+        assert not motion.fully_unevaluated
+        assert motion.evaluated_count() == motion.num_poses
+
+    def test_set_all_free_installs_ground_truth_without_checker_calls(self):
+        checker = FakeChecker(lambda q: True)  # would collide if consulted
+        motion = motion_from(checker, [0, 0], [1, 0])
+        motion.set_all_free()
+        assert not motion.fully_unevaluated
+        assert motion.is_collision_free()
+        assert checker.calls == 0
+
+    def test_from_precomputed_is_fully_evaluated(self):
+        motion = MotionRecord.from_precomputed(
+            np.zeros((3, 2)), [False, True, False]
+        )
+        assert not motion.fully_unevaluated
+        assert motion.evaluated_count() == 3
+
 
 class TestPhaseSequentialReference:
     def _phase(self, mode, motion_specs):

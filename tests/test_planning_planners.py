@@ -112,6 +112,23 @@ class TestShortcut:
         path = [np.zeros(2), np.ones(2)]
         assert greedy_shortcut(path, recorder) == path
 
+    def test_trivial_paths_normalized_like_general_branch(self, world):
+        """Sub-3-waypoint paths get the same ``np.asarray(q, dtype=float)``
+        normalization as longer ones: integer or list waypoints come back
+        as float arrays, never raw (possibly integer-dtype) inputs."""
+        _, _, _, recorder = world
+        trivial = [[3, 0], np.array([2, 1], dtype=int)]
+        out = greedy_shortcut(trivial, recorder)
+        assert all(isinstance(q, np.ndarray) for q in out)
+        assert all(q.dtype == np.float64 for q in out)
+        assert np.allclose(out[0], [3.0, 0.0]) and np.allclose(out[1], [2.0, 1.0])
+        # Same normalization contract as the general branch on the same
+        # waypoint types: already-float arrays pass through either branch
+        # unchanged.
+        longer = [np.array([3.0, 0.0]), np.array([2.5, 0.5]), np.array([2.0, 1.0])]
+        general = greedy_shortcut(longer, recorder)
+        assert all(q.dtype == np.float64 for q in general)
+
     def test_records_connectivity_phases(self, world):
         _, _, _, recorder = world
         path = [

@@ -1,0 +1,71 @@
+"""Pin :func:`repro.scenarios.suite.percentile` (nearest-rank, no interpolation).
+
+The suite's BENCH p50/p99 fields come straight from this helper, so its
+edge-case behavior (empty input, extreme p, ties) is part of the artifact
+contract.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.scenarios.suite import percentile
+
+
+def nearest_rank_reference(values, p):
+    """Independent textbook nearest-rank: value at rank ceil(p/100 * N)."""
+    ordered = sorted(values)
+    rank = max(1, min(len(ordered), math.ceil(p / 100.0 * len(ordered))))
+    return float(ordered[rank - 1])
+
+
+class TestEdgeCases:
+    def test_empty_returns_zero(self):
+        assert percentile([], 50.0) == 0.0
+        assert percentile([], 0.0) == 0.0
+        assert percentile([], 100.0) == 0.0
+
+    def test_singleton_is_its_own_every_percentile(self):
+        for p in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert percentile([42.5], p) == 42.5
+
+    def test_p0_is_minimum(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+
+    def test_p100_is_maximum(self):
+        values = [5.0, 1.0, 9.0, 3.0]
+        assert percentile(values, 100.0) == 9.0
+
+    def test_heavy_duplicates(self):
+        values = [2.0] * 99 + [100.0]
+        assert percentile(values, 50.0) == 2.0
+        assert percentile(values, 99.0) == 2.0
+        assert percentile(values, 99.5) == 100.0
+        assert percentile(values, 100.0) == 100.0
+
+    def test_input_order_irrelevant(self):
+        rng = np.random.default_rng(3)
+        values = list(rng.uniform(0, 10, size=31))
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        for p in (10.0, 50.0, 90.0):
+            assert percentile(values, p) == percentile(shuffled, p)
+
+
+class TestAgainstIndependentReference:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 100, 101])
+    def test_matches_nearest_rank_reference(self, n):
+        rng = np.random.default_rng(n)
+        values = list(rng.uniform(-5, 5, size=n))
+        for p in (0.0, 1.0, 25.0, 50.0, 75.0, 99.0, 100.0):
+            assert percentile(values, p) == nearest_rank_reference(values, p)
+
+    def test_result_is_an_observed_value(self):
+        """Nearest-rank never interpolates: the result is always one of
+        the inputs."""
+        rng = np.random.default_rng(17)
+        values = list(rng.uniform(0, 1, size=13))
+        for p in np.linspace(0, 100, 21):
+            assert percentile(values, float(p)) in values

@@ -78,6 +78,30 @@ def test_dict_roundtrip_regenerates_bit_identically(spec):
     assert build_scenario(spec).fingerprint() == build_scenario(clone).fingerprint()
 
 
+def test_multi_arm_clearance_accounts_for_voxel_inflation():
+    """Regression (hypothesis seed 436): at octree_resolution=8 the voxel
+    rasterizer inflates an obstacle by up to a whole 0.3-unit cell, and the
+    old exact-AABB mount-clearance test let an obstacle through whose
+    *voxelized* form buried the second arm's mount — leaving that robot
+    with zero free configurations and the rest-pose sampler failing after
+    200 draws.  The clearance test now measures against the grid-snapped
+    box, so this spec builds."""
+    spec = ScenarioSpec(
+        "prop-multi_arm",
+        "multi_arm",
+        seed=436,
+        params={
+            "arms": "planar3+planar3",
+            "n_queries": 1,
+            "octree_resolution": 8,
+            "separation_fraction": 0.5,
+        },
+    )
+    instance = build_scenario(spec)
+    assert len(instance.rest_configurations) == 2
+    assert build_scenario(spec).fingerprint() == instance.fingerprint()
+
+
 @pytest.mark.parametrize("family", sorted(family_names()))
 def test_file_roundtrip_per_family(family, tmp_path):
     spec = ScenarioSpec(f"file-{family}", family, seed=9, params=_fast_params(family))
