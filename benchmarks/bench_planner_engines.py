@@ -20,11 +20,12 @@ reported (it prices every phase through SAS inline) but not guarded, since
 its cost is dominated by the simulation, not the collision substrate.
 
 The ``batch_swept`` configuration is the batched engine with the
-swept-motion prefilter (ISSUE 7): whole motions certified collision-free
+swept-motion prefilter (ISSUE 7): spans of poses certified collision-free
 against the octree skip the exact per-pose dispatch.  Its hit-rate and
-certified-motion counters land in the BENCH artifact, and its >= 5x
-aspiration over the plain batched engine is guarded non-blocking (xfail)
-until ``REPRO_ENFORCE_SWEPT_FLOOR`` is set.
+certified-pose counters land in the BENCH artifact, and its advantage
+over the plain batched engine is enforced at the measured floor
+(:data:`SWEPT_SPEEDUP_FLOOR`; the perf CI job stays non-blocking via
+``continue-on-error``).
 """
 
 from __future__ import annotations
@@ -47,10 +48,12 @@ SEED = 7
 N_SAMPLES = 24
 K_NEIGHBORS = 5
 SPEEDUP_FLOOR = 3.0
-#: Aspirational floor for the swept-prefilter engine over the plain batched
-#: engine (ISSUE 7).  Non-blocking unless REPRO_ENFORCE_SWEPT_FLOOR is set —
-#: same pattern as the original perf guard's introduction.
-SWEPT_SPEEDUP_FLOOR = 5.0
+#: Enforced floor for the swept-prefilter engine over the plain batched
+#: engine, set with margin under the measured ~2.2x (ISSUE 8).  The ratio's
+#: denominator moved this cycle: the hits-only traversal mode sped the
+#: *plain* batched engine ~1.3x too, so the ratio understates the swept
+#: engine's absolute gain (see ROADMAP item 2 for the absolute trajectory).
+SWEPT_SPEEDUP_FLOOR = 1.7
 
 #: (engine kind, checker backend, engine kwargs) per timed configuration.
 CONFIGS = {
@@ -132,6 +135,7 @@ def measure_engines(repeats: int = 2) -> dict:
     report["swept_over_batch"] = (
         report["batch"]["seconds"] / report["batch_swept"]["seconds"]
     )
+    report["swept_over_batch_floor"] = SWEPT_SPEEDUP_FLOOR
     return report
 
 
@@ -148,25 +152,18 @@ def test_batched_engine_at_least_3x_faster():
 
 @pytest.mark.perf
 def test_swept_prefilter_speedup_floor():
-    """ISSUE 7 target: the swept-prefilter engine at >= 5x over the plain
-    batched engine.  Non-blocking until REPRO_ENFORCE_SWEPT_FLOOR is set
-    (the pattern PR 1 used to introduce the original perf guard): the run
-    is measured and reported either way, but only enforced on opt-in."""
-    import os
-
+    """Enforced perf guard: the swept-prefilter engine must beat the plain
+    batched engine by :data:`SWEPT_SPEEDUP_FLOOR`.  The floor sits under
+    the measured ratio with noise margin; the perf CI job stays
+    non-blocking at the workflow level (``continue-on-error``)."""
     report = measure_engines()
     ratio = report["swept_over_batch"]
-    message = (
+    assert ratio >= SWEPT_SPEEDUP_FLOOR, (
         f"swept prefilter at {ratio:.2f}x over the batched engine "
-        f"(floor {SWEPT_SPEEDUP_FLOOR:.0f}x; batch "
+        f"(floor {SWEPT_SPEEDUP_FLOOR:.1f}x; batch "
         f"{report['batch']['seconds']:.3f}s, swept "
         f"{report['batch_swept']['seconds']:.3f}s)"
     )
-    if ratio < SWEPT_SPEEDUP_FLOOR and not os.environ.get(
-        "REPRO_ENFORCE_SWEPT_FLOOR"
-    ):
-        pytest.xfail(message)
-    assert ratio >= SWEPT_SPEEDUP_FLOOR, message
 
 
 @pytest.mark.perf
@@ -258,7 +255,7 @@ if __name__ == "__main__":
     print(
         f"swept-prefilter engine: {report['speedup_swept']:.1f}x over "
         f"sequential, {report['swept_over_batch']:.2f}x over batch "
-        f"(aspirational floor {SWEPT_SPEEDUP_FLOOR:.0f}x, non-blocking)"
+        f"(enforced floor {SWEPT_SPEEDUP_FLOOR:.1f}x)"
     )
     artifact = os.path.join(
         os.path.dirname(__file__), "BENCH_planner_engines.json"

@@ -234,6 +234,18 @@ class BatchCascadeOutcome:
                 stats.cascade_exits[EXIT_STAGE_ORDER[code].value] += int(count)
 
 
+#: Octant index -> child-center offset signs, one gather instead of three
+#: ``np.where`` calls in the traversal level loops.  Row k is
+#: ``(+1 if k & 1 else -1, +1 if k & 2 else -1, +1 if k & 4 else -1)`` —
+#: identical values to the bit tests, so child centers are bit-identical.
+_OCTANT_SIGNS = np.array(
+    [
+        [1.0 if k & 1 else -1.0, 1.0 if k & 2 else -1.0, 1.0 if k & 4 else -1.0]
+        for k in range(8)
+    ]
+)
+
+
 def _sphere_box_separated_mask(center, box_center, box_half, radius) -> np.ndarray:
     """Vectorized twin of ``cascade._sphere_box_separated`` (same op order)."""
     dx = np.abs(center[:, 0] - box_center[:, 0]) - box_half[:, 0]
@@ -336,6 +348,7 @@ def batch_cascade(
     config: CascadeConfig = DEFAULT_CASCADE,
     stats: Optional[CollisionStats] = None,
     obb_index=None,
+    need_work: bool = True,
 ) -> BatchCascadeOutcome:
     """The Figure-10 cascade over M pre-paired (OBB, AABB) rows.
 
@@ -345,6 +358,11 @@ def batch_cascade(
     that actually reach the SAT).  Passing ``stats`` accumulates exactly what
     M scalar :func:`~repro.collision.cascade.cascade_intersect_scalars` calls
     would.
+
+    ``need_work=False`` computes verdicts only: the same sphere filters and
+    SAT produce bit-identical ``hit``, but exit codes/cycles and the priced
+    per-op counters are left zero (callers that never read them — the
+    engines with stats collection off — skip that bookkeeping entirely).
     """
     box_center = np.asarray(box_center, dtype=float).reshape(-1, 3)
     box_half = np.asarray(box_half, dtype=float).reshape(-1, 3)
@@ -362,6 +380,40 @@ def batch_cascade(
     if len(box_center) != m or len(box_half) != m:
         raise ValueError(
             f"need one box per OBB: {m} OBBs vs {len(box_center)} boxes"
+        )
+
+    if not need_work:
+        hit = np.zeros(m, dtype=bool)
+        active = np.ones(m, dtype=bool)
+        if config.bounding_sphere:
+            active &= ~_sphere_box_separated_mask(
+                center, box_center, box_half, r_bound
+            )
+        if config.inscribed_sphere:
+            act = np.flatnonzero(active)
+            overlap = ~_sphere_box_separated_mask(
+                center[act], box_center[act], box_half[act], r_inscribed[act]
+            )
+            certain = act[overlap]
+            hit[certain] = True
+            active[certain] = False
+        idx = np.flatnonzero(active)
+        if len(idx):
+            src = idx if obb_index is None else obb_index[idx]
+            t = center[idx] - box_center[idx]
+            sep = _sat_separation_masks(
+                obbs.rot[src], box_half[idx], obbs.half[src], t
+            )
+            hit[idx] = ~sep.any(axis=1)
+        zeros = np.zeros(m, dtype=np.int64)
+        return BatchCascadeOutcome(
+            hit=hit,
+            exit_code=zeros,
+            exit_cycle=zeros,
+            multiplies=zeros,
+            sat_axes_tested=zeros,
+            separating_axis=zeros,
+            sphere_tests=zeros,
         )
 
     hit = np.zeros(m, dtype=bool)
@@ -532,8 +584,18 @@ class BatchOctreeCollider:
                 if node.children[k] is not None:
                     self._children[address, k] = node.children[k]
 
-    def collide(self, obbs: BatchOBBs) -> BatchTraversalOutcome:
-        """All Q queries against the octree; per-query verdicts and work."""
+    def collide(
+        self, obbs: BatchOBBs, need_work: bool = True
+    ) -> BatchTraversalOutcome:
+        """All Q queries against the octree; per-query verdicts and work.
+
+        ``need_work=False`` runs the verdict-only traversal: identical
+        ``hit`` bits, zeroed work arrays, and none of the per-level
+        bincount/prefix bookkeeping (used by the engines when stats
+        collection is off).
+        """
+        if not need_work:
+            return self._collide_hits_only(obbs)
         q_total = len(obbs)
         hit = np.zeros(q_total, dtype=bool)
         node_visits = np.zeros(q_total, dtype=np.int64)
@@ -564,11 +626,7 @@ class BatchOctreeCollider:
             cand_q = f_query[cand_f]
             cand_state = node_states[cand_f, cand_oct]
             quarter = f_half[cand_f] / 2.0
-            signs = np.empty_like(quarter)
-            signs[:, 0] = np.where(cand_oct & 1, 1.0, -1.0)
-            signs[:, 1] = np.where(cand_oct & 2, 1.0, -1.0)
-            signs[:, 2] = np.where(cand_oct & 4, 1.0, -1.0)
-            cand_center = f_center[cand_f] + signs * quarter
+            cand_center = f_center[cand_f] + _OCTANT_SIGNS[cand_oct] * quarter
 
             result = batch_cascade(
                 obbs, cand_center, quarter, self.config, obb_index=cand_q
@@ -632,6 +690,69 @@ class BatchOctreeCollider:
             exit_counts=exit_counts,
         )
 
+    def _collide_hits_only(self, obbs: BatchOBBs) -> BatchTraversalOutcome:
+        """Verdict-only twin of :meth:`collide`.
+
+        ``hit`` is monotone (a FULL-octant hit is final and deeper
+        traversal can never clear it), so the scalar early-exit prefix
+        bookkeeping is irrelevant to verdicts: pruning a stopped query's
+        PARTIAL expansions with ``~hit`` yields the same final bits while
+        skipping every per-level bincount.  Work arrays come back zeroed.
+        """
+        q_total = len(obbs)
+        hit = np.zeros(q_total, dtype=bool)
+
+        bounds = self.octree.bounds
+        f_query = np.arange(q_total, dtype=np.int64)
+        f_addr = np.zeros(q_total, dtype=np.int64)
+        f_center = np.broadcast_to(
+            np.asarray(bounds.center, dtype=float), (q_total, 3)
+        )
+        f_half = np.broadcast_to(
+            np.asarray(bounds.half_extents, dtype=float), (q_total, 3)
+        )
+        full_code = int(OctantState.FULL)
+        partial_code = int(OctantState.PARTIAL)
+
+        while len(f_query):
+            node_states = self._states[f_addr]  # (F, 8)
+            cand_f, cand_oct = np.nonzero(node_states)
+            cand_q = f_query[cand_f]
+            cand_state = node_states[cand_f, cand_oct]
+            quarter = f_half[cand_f] / 2.0
+            cand_center = f_center[cand_f] + _OCTANT_SIGNS[cand_oct] * quarter
+
+            result = batch_cascade(
+                obbs,
+                cand_center,
+                quarter,
+                self.config,
+                obb_index=cand_q,
+                need_work=False,
+            )
+
+            hit[cand_q[result.hit & (cand_state == full_code)]] = True
+            expand = (
+                result.hit & (cand_state == partial_code) & ~hit[cand_q]
+            )
+            f_query = cand_q[expand]
+            f_addr = self._children[f_addr[cand_f[expand]], cand_oct[expand]]
+            f_center = cand_center[expand]
+            f_half = quarter[expand]
+
+        zeros = np.zeros(q_total, dtype=np.int64)
+        return BatchTraversalOutcome(
+            hit=hit,
+            node_visits=zeros,
+            tests=zeros,
+            multiplies=zeros,
+            sat_axes_tested=zeros,
+            sphere_tests=zeros,
+            exit_counts=np.zeros(
+                (q_total, len(EXIT_STAGE_ORDER)), dtype=np.int64
+            ),
+        )
+
     def certify_disjoint(self, sphere_center, sphere_radius, lo, hi) -> np.ndarray:
         """Prove per-query bounding volumes disjoint from every FULL octant.
 
@@ -679,11 +800,7 @@ class BatchOctreeCollider:
             cand_q = f_query[cand_f]
             cand_state = node_states[cand_f, cand_oct]
             quarter = f_half[cand_f] / 2.0
-            signs = np.empty_like(quarter)
-            signs[:, 0] = np.where(cand_oct & 1, 1.0, -1.0)
-            signs[:, 1] = np.where(cand_oct & 2, 1.0, -1.0)
-            signs[:, 2] = np.where(cand_oct & 4, 1.0, -1.0)
-            cand_center = f_center[cand_f] + signs * quarter
+            cand_center = f_center[cand_f] + _OCTANT_SIGNS[cand_oct] * quarter
 
             box_lo = cand_center - quarter
             box_hi = cand_center + quarter
@@ -883,11 +1000,14 @@ class BatchPoseEvaluator:
     the recorded work matches ``RobotEnvironmentChecker.check_pose`` run N
     times.
 
-    The evaluator owns a persistent :class:`SoAScratch`, so the large FK
+    The evaluator uses a persistent :class:`SoAScratch`, so the large FK
     and OBB intermediates are reused across phases instead of re-allocated
     per call.  Outputs never alias the scratch in the default quantized
     configuration; with ``fixed_point=None`` they do (see the scratch
-    lifetime contract).
+    lifetime contract).  Pass ``scratch`` to share one instance with other
+    SoA consumers (the checker shares its scratch between this pipeline
+    and the planners' :class:`~repro.planning.nodestore.NodeStore`
+    temporaries); by default the evaluator owns a fresh one.
     """
 
     def __init__(
@@ -896,11 +1016,12 @@ class BatchPoseEvaluator:
         octree: Octree,
         config: CascadeConfig = DEFAULT_CASCADE,
         fixed_point: Optional[FixedPointFormat] = DEFAULT_FORMAT,
+        scratch: Optional[SoAScratch] = None,
     ):
         self.robot = robot
         self.collider = BatchOctreeCollider(octree, config)
         self.fixed_point = fixed_point
-        self.scratch = SoAScratch()
+        self.scratch = scratch if scratch is not None else SoAScratch()
 
     def link_obbs(self, poses) -> BatchOBBs:
         """Quantized link OBBs for the batch, pose-major (``N * L`` rows)."""
@@ -908,19 +1029,39 @@ class BatchPoseEvaluator:
             self.robot, poses, self.fixed_point, scratch=self.scratch
         )
 
-    def evaluate(self, poses) -> BatchPoseOutcome:
-        """Check every pose; collision verdicts plus scalar-identical work."""
+    def evaluate(self, poses, need_work: bool = True) -> BatchPoseOutcome:
+        """Check every pose; collision verdicts plus scalar-identical work.
+
+        ``need_work=False`` returns identical ``hits``/``links_checked``
+        but zeroed per-pose work arrays, skipping the traversal
+        bookkeeping and the executed-link fold entirely (the outcome must
+        then never be ``record``-ed — callers gate on stats collection).
+        """
         poses = np.asarray(poses, dtype=float)
         if poses.ndim == 1:
             poses = poses[None, :]
         n = len(poses)
         n_links = self.robot.num_links
-        trav = self.collider.collide(self.link_obbs(poses))
+        trav = self.collider.collide(self.link_obbs(poses), need_work=need_work)
 
         link_hits = trav.hit.reshape(n, n_links)
         hits = link_hits.any(axis=1)
         first_hit = np.argmax(link_hits, axis=1)
         links_checked = np.where(hits, first_hit + 1, n_links)
+        if not need_work:
+            zeros = np.zeros(n, dtype=np.int64)
+            return BatchPoseOutcome(
+                hits=hits,
+                links_checked=links_checked,
+                node_visits=zeros,
+                tests=zeros,
+                multiplies=zeros,
+                sat_axes_tested=zeros,
+                sphere_tests=zeros,
+                exit_counts=np.zeros(
+                    (n, len(EXIT_STAGE_ORDER)), dtype=np.int64
+                ),
+            )
         # Executed-link mask: the scalar checker stops after the first
         # colliding link, so later links contribute no work.
         executed = np.arange(n_links) < links_checked[:, None]

@@ -150,6 +150,7 @@ class RobotEnvironmentChecker:
         # (repro.collision.batch); verdicts and stats stay bit-identical.
         self.backend = backend
         self._batch_evaluator = None
+        self._shared_scratch = None
         # Optional repro.resilience.faults.FaultInjector: when attached and
         # enabled with a bit-flip model, quantized link OBBs may have one
         # raw fixed-point bit flipped (an SEU in the 16-bit datapath).  The
@@ -214,13 +215,34 @@ class RobotEnvironmentChecker:
         )
 
     @property
+    def shared_scratch(self):
+        """The checker-owned :class:`~repro.collision.batch.SoAScratch`.
+
+        One scratch instance is shared between the batch collision
+        pipeline's FK/OBB intermediates and the planners' SoA node stores
+        (:class:`~repro.planning.nodestore.NodeStore` query temporaries),
+        so a full planning stack keeps a single set of warm buffers.  It
+        survives :meth:`update_octree` (the batch evaluator is rebuilt
+        around it), keeping the buffers warm across environment swaps.
+        """
+        if self._shared_scratch is None:
+            from repro.collision.batch import SoAScratch
+
+            self._shared_scratch = SoAScratch()
+        return self._shared_scratch
+
+    @property
     def batch_evaluator(self):
         """The lazily built vectorized pipeline behind ``backend="batch"``."""
         if self._batch_evaluator is None:
             from repro.collision.batch import BatchPoseEvaluator
 
             self._batch_evaluator = BatchPoseEvaluator(
-                self.robot, self.octree, self.config, self.fixed_point
+                self.robot,
+                self.octree,
+                self.config,
+                self.fixed_point,
+                scratch=self.shared_scratch,
             )
         return self._batch_evaluator
 
@@ -340,12 +362,12 @@ class RobotEnvironmentChecker:
                 (self.check_pose(q) for q in qs), dtype=bool, count=len(qs)
             )
         self.stats.pose_checks += len(qs)
-        outcome = self.evaluate_poses(qs)
+        outcome = self.evaluate_poses(qs, need_work=self.collect_stats)
         if self.collect_stats:
             outcome.record(self.stats)
         return outcome.hits
 
-    def evaluate_poses(self, qs):
+    def evaluate_poses(self, qs, need_work: bool = True):
         """Batch-evaluate poses through the cache (when one is attached).
 
         The cache-aware twin of ``self.batch_evaluator.evaluate``: cached
@@ -355,12 +377,18 @@ class RobotEnvironmentChecker:
         :class:`~repro.collision.batch.BatchPoseOutcome`, where ``record``
         replays each selected row's per-pose delta — identical counts to a
         cache-off evaluation.  Does not touch ``pose_checks`` (caller-owned).
+
+        ``need_work=False`` runs the verdict-only batch pipeline (identical
+        hits, zeroed work) — callers pass their own ``collect_stats`` so the
+        flag never drops counters anyone would have read.  With a cache
+        attached this matches the existing contract: stats-off runs already
+        store empty per-pose deltas.
         """
         qs = np.asarray(qs, dtype=float)
         if qs.ndim == 1:
             qs = qs[None, :]
         if not self._cache_active():
-            return self.batch_evaluator.evaluate(qs)
+            return self.batch_evaluator.evaluate(qs, need_work=need_work)
         cache = self.cache
         n = len(qs)
         hits = np.zeros(n, dtype=bool)
@@ -374,7 +402,7 @@ class RobotEnvironmentChecker:
                 hits[i] = entry.verdict
                 deltas[i] = entry.stats
         if fresh:
-            outcome = self.batch_evaluator.evaluate(qs[fresh])
+            outcome = self.batch_evaluator.evaluate(qs[fresh], need_work=need_work)
             hits[fresh] = outcome.hits
             for row, i in enumerate(fresh):
                 delta = CollisionStats()

@@ -42,3 +42,45 @@ def steer_toward(q_from, q_to, max_step: float) -> np.ndarray:
     if distance <= max_step or distance == 0.0:
         return q_to.copy()
     return q_from + delta * (max_step / distance)
+
+
+def rowwise_norms(rows) -> np.ndarray:
+    """Euclidean norm of every row, bit-identical to per-row ``np.linalg.norm``.
+
+    ``np.linalg.norm`` on a 1-D vector is ``sqrt(dot(x, x))`` through BLAS;
+    the stacked ``(N,1,D) @ (N,D,1)`` product runs the same ddot kernel per
+    row, so the batch reproduces N scalar calls bit for bit (pinned by
+    ``tests/test_nodestore.py``).
+    """
+    rows = np.asarray(rows, dtype=float)
+    return np.sqrt((rows[:, None, :] @ rows[:, :, None])[:, 0, 0])
+
+
+def rowwise_distances(qs, target) -> np.ndarray:
+    """Per-row Euclidean distance to ``target``; the vectorized twin of
+    calling :func:`cspace_distance` once per row."""
+    qs = np.asarray(qs, dtype=float)
+    return rowwise_norms(qs - np.asarray(target, dtype=float))
+
+
+def steer_toward_batch(q_from, q_to, max_step: float) -> np.ndarray:
+    """Row-wise :func:`steer_toward`: each output row is bit-identical to
+    ``steer_toward(q_from[i], q_to[i], max_step)``.
+
+    The per-row arithmetic replicates the scalar helper exactly: the same
+    elementwise delta, the same BLAS-ddot norm (:func:`rowwise_norms`), the
+    same scalar ``max_step / distance`` rescale applied only to rows beyond
+    ``max_step``.
+    """
+    q_from = np.asarray(q_from, dtype=float)
+    q_to = np.asarray(q_to, dtype=float)
+    deltas = q_to - q_from
+    distances = rowwise_norms(deltas)
+    # Scalar near/degenerate branch (distance <= max_step or distance == 0
+    # with max_step > 0) collapses to distance <= max_step.
+    out = q_to.copy()
+    far = distances > max_step
+    if far.any():
+        scale = max_step / distances[far]
+        out[far] = q_from[far] + deltas[far] * scale[:, None]
+    return out

@@ -185,7 +185,17 @@ def _batched_prime_and_answer(
     ``collect_stats`` on, certification still runs (feeding the prefilter
     counters) but nothing is skipped, so the recorded ``CollisionStats``
     stay bit-identical to the sequential reference.
+
+    Phases carrying the recorder's fused SoA layout (``phase.stacked``)
+    with every motion still unevaluated — the planner hot path — take
+    :func:`_fused_prime_and_answer` instead: the same dispatch, charging,
+    and verdicts, computed from the phase-level arrays without per-pose
+    Python.
     """
+    if phase.stacked is not None and all(
+        motion.fully_unevaluated for motion in phase.motions
+    ):
+        return _fused_prime_and_answer(phase, checker, prefilter=prefilter)
     skipped = None
     if prefilter is not None:
         eligible = [m for m in phase.motions if m.fully_unevaluated]
@@ -215,7 +225,7 @@ def _batched_prime_and_answer(
     row_of = {}
     if targets:
         stacked = np.stack([motion.poses[index] for motion, index in targets])
-        outcome = checker.evaluate_poses(stacked)
+        outcome = checker.evaluate_poses(stacked, need_work=checker.collect_stats)
         for row, ((motion, index), hit) in enumerate(zip(targets, outcome.hits)):
             motion.set_pose_outcome(index, bool(hit))
             row_of[(id(motion), index)] = row
@@ -232,6 +242,123 @@ def _batched_prime_and_answer(
     stats.pose_checks += len(charged_rows)
     if outcome is not None and charged_rows and checker.collect_stats:
         outcome.record(stats, poses=np.asarray(charged_rows, dtype=int))
+    return PhaseAnswer(outcomes=outcomes)
+
+
+def _ranges_to_rows(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(start, start + length)`` blocks, vectorized.
+
+    Every length must be >= 1 (callers pass per-motion visited-pose counts,
+    and a motion always has at least two poses).
+    """
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    steps = np.ones(total, dtype=np.int64)
+    steps[0] = starts[0]
+    boundaries = np.cumsum(lengths)[:-1]
+    previous_last = starts[:-1] + lengths[:-1] - 1
+    steps[boundaries] = starts[1:] - previous_last
+    return np.cumsum(steps)
+
+
+def _fused_prime_and_answer(
+    phase: CDPhase, checker, prefilter=None
+) -> PhaseAnswer:
+    """The SoA fast path of :func:`_batched_prime_and_answer`.
+
+    Preconditions (checked by the caller): the phase carries the fused
+    layout (``stacked``/``offsets``/``counts``) and every motion is fully
+    unevaluated, so the dispatch target is exactly ``stacked`` (minus any
+    prefilter-certified motions) and every visited pose charges its fresh
+    dispatch row.  Everything the per-pose path computes with Python loops
+    — the dispatch stack, the outcome install, the early-exiting
+    sequential walk, the charged-row list — becomes a handful of array
+    operations: first-hit-per-motion via ``flatnonzero`` + ``searchsorted``
+    over the motion row ranges, verdict/visit vectors, and one
+    block-``arange`` for the charged rows.  Verdicts, per-pose ground
+    truth, and every ``CollisionStats`` charge are identical to the
+    unfused path by construction (the dispatch rows and the walked prefix
+    are the same sets, and all stats counters are order-independent
+    integer sums).
+    """
+    motions = phase.motions
+    stacked, offsets, counts = phase.stacked, phase.offsets, phase.counts
+    n_motions = len(motions)
+    total = len(stacked)
+
+    # Prefilter: in skip mode (stats off), certification runs at span
+    # granularity and certified *rows* — not just whole motions — are
+    # elided from the exact dispatch; their ground truth is provably
+    # collision-free.  With stats collection on, certification only feeds
+    # the prefilter counters and everything dispatches.
+    certified_rows = None
+    if prefilter is not None:
+        if checker.collect_stats:
+            prefilter.certify_motions(motions, stacked=stacked, counts=counts)
+        else:
+            certified_rows, _ = prefilter.certify_pose_spans(
+                motions, stacked, counts
+            )
+            if not certified_rows.any():
+                certified_rows = None
+
+    outcome = None
+    need_work = checker.collect_stats
+    if certified_rows is None:
+        outcome = checker.evaluate_poses(stacked, need_work=need_work)
+        hits = np.asarray(outcome.hits, dtype=bool)
+    else:
+        keep_rows = ~certified_rows
+        hits = np.zeros(total, dtype=bool)
+        if keep_rows.any():
+            outcome = checker.evaluate_poses(
+                stacked[keep_rows], need_work=need_work
+            )
+            hits[keep_rows] = outcome.hits
+
+    hit_list = hits.tolist()
+    for motion, offset, count in zip(
+        motions, offsets.tolist(), counts.tolist()
+    ):
+        motion.install_outcomes(hit_list[offset : offset + count])
+
+    # Sequential-reference walk, vectorized: first colliding pose per
+    # motion, then the per-motion verdicts and visited-pose counts.
+    collided = np.zeros(n_motions, dtype=bool)
+    visited = counts
+    if hits.any():
+        hit_rows = np.flatnonzero(hits)
+        first_pos = np.searchsorted(hit_rows, offsets)
+        in_range = first_pos < len(hit_rows)
+        first_row = np.where(
+            in_range, hit_rows[np.minimum(first_pos, len(hit_rows) - 1)], -1
+        )
+        collided = in_range & (first_row < offsets + counts)
+        visited = np.where(collided, first_row - offsets + 1, counts)
+
+    mode = phase.mode
+    if mode is FunctionMode.FEASIBILITY:
+        stoppers = np.flatnonzero(collided)
+        stop = int(stoppers[0]) if len(stoppers) else n_motions - 1
+    elif mode is FunctionMode.CONNECTIVITY:
+        stoppers = np.flatnonzero(~collided)
+        stop = int(stoppers[0]) if len(stoppers) else n_motions - 1
+    else:
+        stop = n_motions - 1
+
+    outcomes: List[Optional[bool]] = [None] * n_motions
+    outcomes[: stop + 1] = collided[: stop + 1].tolist()
+
+    # Charging: one pose check per pose the sequential reference visits —
+    # whether that pose was freshly dispatched or span-certified.  The
+    # priced per-op counters are recorded only with stats collection on,
+    # where nothing was skipped and walk rows index the dispatch directly.
+    checker.stats.pose_checks += int(visited[: stop + 1].sum())
+    if checker.collect_stats and outcome is not None:
+        charged_rows = _ranges_to_rows(offsets[: stop + 1], visited[: stop + 1])
+        if len(charged_rows):
+            outcome.record(checker.stats, poses=charged_rows)
     return PhaseAnswer(outcomes=outcomes)
 
 

@@ -14,7 +14,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.collision.checker import RobotEnvironmentChecker, interpolate_motion
-from repro.planning.cspace import path_length
+from repro.planning.cspace import path_length, rowwise_norms
 
 
 @dataclass(frozen=True)
@@ -28,23 +28,33 @@ class PathQuality:
 
 
 def path_smoothness(path: List[np.ndarray]) -> float:
-    """Mean turning angle at interior waypoints (0 = straight line)."""
+    """Mean turning angle at interior waypoints (0 = straight line).
+
+    One vectorized ``diff``/norm/arccos pass over the whole path; each
+    waypoint's angle is bit-identical to the per-waypoint scalar
+    computation (same BLAS-ddot dot products and norms, same clip/arccos).
+    """
     if len(path) < 3:
         return 0.0
-    angles = []
-    for previous, current, following in zip(path[:-2], path[1:-1], path[2:]):
-        v1 = np.asarray(current, dtype=float) - np.asarray(previous, dtype=float)
-        v2 = np.asarray(following, dtype=float) - np.asarray(current, dtype=float)
-        n1, n2 = np.linalg.norm(v1), np.linalg.norm(v2)
-        if n1 < 1e-12 or n2 < 1e-12:
-            continue
-        cosine = float(np.clip(v1 @ v2 / (n1 * n2), -1.0, 1.0))
-        angles.append(float(np.arccos(cosine)))
-    return float(np.mean(angles)) if angles else 0.0
+    waypoints = np.asarray(path, dtype=float)
+    diffs = np.diff(waypoints, axis=0)
+    norms = rowwise_norms(diffs)
+    dots = (diffs[:-1][:, None, :] @ diffs[1:][:, :, None])[:, 0, 0]
+    valid = (norms[:-1] >= 1e-12) & (norms[1:] >= 1e-12)
+    if not valid.any():
+        return 0.0
+    cosines = np.clip(
+        dots[valid] / (norms[:-1][valid] * norms[1:][valid]), -1.0, 1.0
+    )
+    return float(np.mean(np.arccos(cosines)))
 
 
 def workspace_clearance(
-    checker: RobotEnvironmentChecker, q, probe_step: float = 0.02, max_probe: float = 0.3
+    checker: RobotEnvironmentChecker,
+    q,
+    probe_step: float = 0.02,
+    max_probe: float = 0.3,
+    collider=None,
 ) -> float:
     """Approximate clearance of a pose: how far the robot's links can grow
     before the octree reports a collision.
@@ -52,11 +62,16 @@ def workspace_clearance(
     Probed by inflating every link OBB uniformly; returns the largest
     inflation that stays collision-free (capped at ``max_probe``).  A pose
     already in collision has clearance 0.
+
+    Pass ``collider`` (an ``OBBOctreeCollider`` over ``checker.octree``) to
+    amortize its construction across poses; by default a fresh one is built
+    per call.
     """
     from repro.collision.octree_cd import OBBOctreeCollider
     from repro.geometry.obb import OBB
 
-    collider = OBBOctreeCollider(checker.octree, checker.collider.config)
+    if collider is None:
+        collider = OBBOctreeCollider(checker.octree, checker.collider.config)
     base_obbs = checker.link_obbs(q)
     if any(collider.collides(obb) for obb in base_obbs):
         return 0.0
@@ -87,9 +102,13 @@ def evaluate_path(
         for q_start, q_end in zip(path[:-1], path[1:]):
             poses.extend(interpolate_motion(q_start, q_end, checker.motion_step))
         if poses:
+            from repro.collision.octree_cd import OBBOctreeCollider
+
             indices = np.linspace(0, len(poses) - 1, clearance_samples).astype(int)
+            collider = OBBOctreeCollider(checker.octree, checker.collider.config)
             min_clearance = min(
-                workspace_clearance(checker, poses[i]) for i in indices
+                workspace_clearance(checker, poses[i], collider=collider)
+                for i in indices
             )
     return PathQuality(
         length=path_length(path),

@@ -97,6 +97,21 @@ class MotionRecord:
             self._n_unevaluated -= 1
         self._outcomes[index] = bool(hit)
 
+    def install_outcomes(self, hits) -> None:
+        """Install ground truth for *every* pose from one dispatch block.
+
+        The bulk twin of per-index :meth:`set_pose_outcome`, used by the
+        fused batched engine: ``hits[i]`` is pose ``i``'s collision flag,
+        typically a ``.tolist()`` slice of the phase-wide dispatch output.
+        """
+        hits = list(hits)
+        if len(hits) != self.num_poses:
+            raise ValueError(
+                f"need {self.num_poses} outcomes, got {len(hits)}"
+            )
+        self._outcomes = [bool(hit) for hit in hits]
+        self._n_unevaluated = 0
+
     def set_all_free(self) -> None:
         """Install collision-free ground truth for every pose at once.
 
@@ -152,11 +167,26 @@ class MotionRecord:
 
 @dataclass
 class CDPhase:
-    """A scheduler work unit: motions + function mode + a provenance label."""
+    """A scheduler work unit: motions + function mode + a provenance label.
+
+    Phases assembled by :class:`~repro.planning.recorder.CDTraceRecorder`
+    additionally carry the fused SoA layout: ``stacked`` is the phase's
+    every pose as one contiguous ``(total_poses, dof)`` block (each
+    motion's ``poses`` is a row-range view into it), with ``offsets`` /
+    ``counts`` giving motion ``m`` the rows
+    ``stacked[offsets[m] : offsets[m] + counts[m]]``.  The batched engine
+    dispatches ``stacked`` directly — no per-pose re-marshalling — and the
+    swept prefilter bounds it without re-concatenating.  Phases built
+    elsewhere (tests, serialized-trace replay) may leave the layout fields
+    ``None``; every consumer falls back to the per-motion view.
+    """
 
     mode: FunctionMode
     motions: List[MotionRecord]
     label: str = ""
+    stacked: Optional[np.ndarray] = field(default=None, compare=False, repr=False)
+    offsets: Optional[np.ndarray] = field(default=None, compare=False, repr=False)
+    counts: Optional[np.ndarray] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         if not self.motions:

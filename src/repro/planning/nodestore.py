@@ -1,0 +1,229 @@
+"""Shared SoA planner cores: the vectorized node store behind the planners.
+
+VAMP ("Motions in Microseconds", Thomason et al.) gets its planner speed
+from data layout, not just from vectorized collision checking: tree and
+roadmap nodes live in struct-of-arrays form so every inner-loop primitive
+— nearest neighbor, k-NN, distance fields — is one vectorized operation
+over a contiguous prefix.  This module brings that structure to the
+repository's planners.
+
+A :class:`NodeStore` keeps live node configurations in one preallocated
+``(capacity, dof)`` float array with parent/cost companion arrays, grown
+by amortized doubling (the same discipline as
+:class:`repro.collision.batch.SoAScratch`, including the pinned
+``reallocations`` counter).  Appends are O(1); nearest-neighbor and k-NN
+queries are a single subtract + ``einsum`` + ``argmin``/``argsort`` over
+the live prefix view — replacing the ``np.asarray(list_of_arrays)``
+re-stack the planners previously performed on every iteration.
+
+**Determinism contract.**  The queries are bit-identical to the
+list-of-ndarray implementations they replace: the prefix view is
+C-contiguous, so ``configurations[:n] - target`` and
+``einsum("ij,ij->i")`` produce exactly the floats the old
+``np.asarray(nodes) - target`` path produced, and tie-breaking is pinned
+explicitly (regression-tested in ``tests/test_nodestore.py``):
+
+- :meth:`nearest` returns the *lowest index* among equidistant nodes
+  (``np.argmin`` first-occurrence semantics);
+- :meth:`knn` orders equidistant nodes by *ascending index*
+  (``np.argsort(kind="stable")``).
+
+An optional :class:`~repro.collision.batch.SoAScratch` — typically the
+one owned by the checker's :class:`BatchPoseEvaluator`, via
+``RobotEnvironmentChecker.shared_scratch`` — backs the per-query delta
+and squared-distance temporaries, so steady-state nearest-neighbor
+queries allocate nothing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["NodeStore", "sample_configuration_block"]
+
+
+def sample_configuration_block(robot, rng: np.random.Generator, n: int) -> np.ndarray:
+    """``n`` uniform random configurations as one ``(n, dof)`` block.
+
+    **Stream-exact:** one sized ``rng.uniform(lo, hi, size=(n, dof))`` draw
+    consumes the generator stream exactly as ``n`` sequential
+    ``robot.random_configuration(rng)`` calls do — the returned rows *and*
+    the generator's final state are bit-identical (numpy fills sized
+    uniform draws row-major from the same bit stream; pinned by
+    ``tests/test_nodestore.py``).  The SoA planners use this to replace
+    per-iteration scalar draws with block draws without perturbing any
+    fixed seed.
+
+    Lives here (rather than ``repro.planning.samplers``, which re-exports
+    it) so the planner cores can import it without pulling in the neural
+    stack.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    lo, hi = robot.joint_limits[:, 0], robot.joint_limits[:, 1]
+    return rng.uniform(lo, hi, size=(n, robot.dof))
+
+
+class NodeStore:
+    """SoA storage for planner nodes: configurations + parents + costs.
+
+    ``capacity`` is the initial preallocation; growth doubles (never less
+    than the requested size), copying the live prefix.  ``scratch`` is an
+    optional :class:`~repro.collision.batch.SoAScratch` used for query
+    temporaries (named ``nodestore.*`` slots).
+    """
+
+    def __init__(self, dof: int, capacity: int = 64, scratch=None):
+        if dof < 1:
+            raise ValueError(f"dof must be >= 1, got {dof}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.dof = int(dof)
+        self._configs = np.empty((int(capacity), self.dof), dtype=float)
+        self._parents = np.full(int(capacity), -1, dtype=np.int64)
+        self._costs = np.zeros(int(capacity), dtype=float)
+        self._n = 0
+        self._scratch = scratch
+        #: How many times the buffers grew — tests pin steady-state 0,
+        #: the same contract as ``SoAScratch.reallocations``.
+        self.reallocations = 0
+
+    # -- capacity ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n
+
+    @property
+    def capacity(self) -> int:
+        return len(self._costs)
+
+    def reserve(self, n: int) -> None:
+        """Ensure room for ``n`` total nodes (one reallocation at most)."""
+        if n > self.capacity:
+            self._grow(n)
+
+    def _grow(self, minimum: int) -> None:
+        new_capacity = max(int(minimum), 2 * self.capacity)
+        configs = np.empty((new_capacity, self.dof), dtype=float)
+        parents = np.full(new_capacity, -1, dtype=np.int64)
+        costs = np.zeros(new_capacity, dtype=float)
+        n = self._n
+        configs[:n] = self._configs[:n]
+        parents[:n] = self._parents[:n]
+        costs[:n] = self._costs[:n]
+        self._configs, self._parents, self._costs = configs, parents, costs
+        self.reallocations += 1
+
+    def clear(self) -> None:
+        """Drop all nodes but keep the warmed buffers (no reallocation)."""
+        self._n = 0
+
+    # -- append --------------------------------------------------------
+
+    def append(self, q, parent: int = -1, cost: float = 0.0) -> int:
+        """Add one node; returns its index.  Amortized O(1)."""
+        n = self._n
+        if n == self.capacity:
+            self._grow(n + 1)
+        self._configs[n] = q
+        self._parents[n] = parent
+        self._costs[n] = cost
+        self._n = n + 1
+        return n
+
+    def extend(self, qs, parents=None, costs=None) -> np.ndarray:
+        """Bulk-append an ``(m, dof)`` block; returns the new indices."""
+        qs = np.asarray(qs, dtype=float)
+        if qs.ndim == 1:
+            qs = qs[None, :]
+        m = len(qs)
+        n = self._n
+        if n + m > self.capacity:
+            self._grow(n + m)
+        self._configs[n : n + m] = qs
+        if parents is not None:
+            self._parents[n : n + m] = parents
+        if costs is not None:
+            self._costs[n : n + m] = costs
+        self._n = n + m
+        return np.arange(n, n + m)
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def configurations(self) -> np.ndarray:
+        """The live ``(n, dof)`` prefix view (C-contiguous, do not hold
+        across appends — growth swaps the backing buffer)."""
+        return self._configs[: self._n]
+
+    @property
+    def parents(self) -> np.ndarray:
+        return self._parents[: self._n]
+
+    @property
+    def costs(self) -> np.ndarray:
+        return self._costs[: self._n]
+
+    def configuration(self, index: int) -> np.ndarray:
+        """A *copy* of one node's configuration (safe to hold)."""
+        return self._configs[int(index)].copy()
+
+    # -- queries -------------------------------------------------------
+
+    def squared_distances(self, target) -> np.ndarray:
+        """Squared Euclidean distance from every live node to ``target``.
+
+        Bit-identical to ``np.einsum("ij,ij->i", stacked - target, ...)``
+        over the old re-stacked node list.  The returned array may be a
+        scratch view — consume it before the next store query.
+        """
+        n = self._n
+        configs = self._configs[:n]
+        target = np.asarray(target, dtype=float)
+        if self._scratch is not None:
+            deltas = self._scratch.array("nodestore.deltas", n, (self.dof,))
+            d2 = self._scratch.array("nodestore.d2", n, ())
+            np.subtract(configs, target, out=deltas)
+            np.einsum("ij,ij->i", deltas, deltas, out=d2)
+            return d2
+        deltas = configs - target
+        return np.einsum("ij,ij->i", deltas, deltas)
+
+    def nearest(self, target) -> int:
+        """Index of the nearest live node (lowest index wins ties)."""
+        if self._n == 0:
+            raise ValueError("nearest() on an empty NodeStore")
+        return int(np.argmin(self.squared_distances(target)))
+
+    def knn(self, target, k: int) -> np.ndarray:
+        """Indices of the ``k`` nearest live nodes, nearest first.
+
+        Equidistant nodes order by ascending index (stable argsort) —
+        the explicitly pinned tie-break that guards the SoA swap against
+        silent ``argsort`` tie-order drift.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        return np.argsort(self.squared_distances(target), kind="stable")[:k]
+
+    # -- tree walk -----------------------------------------------------
+
+    def path_to_root(self, index: int) -> List[np.ndarray]:
+        """Configurations from ``index`` up to its root (inclusive).
+
+        Returned arrays are copies, valid across later appends.
+        """
+        path: List[np.ndarray] = []
+        cursor = int(index)
+        while cursor >= 0:
+            path.append(self._configs[cursor].copy())
+            cursor = int(self._parents[cursor])
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"NodeStore(dof={self.dof}, n={self._n}, "
+            f"capacity={self.capacity}, reallocations={self.reallocations})"
+        )

@@ -8,16 +8,28 @@ it lets the repository demonstrate the paper's scalability argument — the
 roadmap's edge set (precomputed swept volumes in the accelerators) grows
 quickly with environment/task complexity, which is what pushed those
 designs to tens of MB of on-chip memory.
+
+The roadmap is stored SoA-style: nodes live in a
+:class:`~repro.planning.nodestore.NodeStore` (vectorized k-NN over the
+live prefix), free configurations are sampled in stream-exact blocks
+through one ``check_poses`` dispatch per block, and the edge set is
+assembled as chronological half-edge index arrays finalized into a
+CSR-style adjacency (``indptr``/``neighbors``/``weights``) — Dijkstra
+iterates array slices instead of dict-of-list lookups.  Every transform
+preserves the classical loop's rng stream, check order, and tie-breaking,
+so fixed-seed roadmaps, phases, and paths are bit-identical to the
+pre-SoA implementation (pinned by the engine-differential golden leg).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.planning.cspace import cspace_distance
+from repro.planning.cspace import rowwise_distances
+from repro.planning.nodestore import NodeStore, sample_configuration_block
 from repro.planning.queries import CDQuery, drive_queries
 from repro.planning.recorder import CDTraceRecorder
 
@@ -38,8 +50,18 @@ class PRMPlanner:
         self.recorder = recorder
         self.n_samples = n_samples
         self.k_neighbors = k_neighbors
-        self._nodes: List[np.ndarray] = []
-        self._adjacency: Dict[int, List[Tuple[int, float]]] = {}
+        self._store: Optional[NodeStore] = None
+        # Chronological half-edge arrays: edge acceptance appends the
+        # (src -> dst) and (dst -> src) halves back to back, preserving the
+        # per-node neighbor order the dict-of-lists layout produced.
+        self._edge_src: List[int] = []
+        self._edge_dst: List[int] = []
+        self._edge_weight: List[float] = []
+        self._neighbor_sets: List[Set[int]] = []
+        # CSR adjacency, finalized after the build.
+        self._csr_indptr: Optional[np.ndarray] = None
+        self._csr_neighbors: Optional[np.ndarray] = None
+        self._csr_weights: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Roadmap construction
@@ -47,15 +69,39 @@ class PRMPlanner:
 
     @property
     def roadmap_built(self) -> bool:
-        return bool(self._nodes)
+        return self._store is not None and len(self._store) > 0
 
     @property
     def num_nodes(self) -> int:
-        return len(self._nodes)
+        return 0 if self._store is None else len(self._store)
 
     @property
     def num_edges(self) -> int:
-        return sum(len(edges) for edges in self._adjacency.values()) // 2
+        return len(self._edge_src) // 2
+
+    @property
+    def _nodes(self) -> List[np.ndarray]:
+        """Node configurations as a list of row views (legacy shape)."""
+        if self._store is None:
+            return []
+        configurations = self._store.configurations
+        return [configurations[i] for i in range(len(configurations))]
+
+    @property
+    def _adjacency(self) -> Dict[int, List[Tuple[int, float]]]:
+        """The roadmap as the legacy dict-of-lists adjacency.
+
+        Rebuilt from the chronological half-edges, so per-node neighbor
+        order matches the pre-CSR implementation exactly.
+        """
+        adjacency: Dict[int, List[Tuple[int, float]]] = {
+            index: [] for index in range(self.num_nodes)
+        }
+        for src, dst, weight in zip(
+            self._edge_src, self._edge_dst, self._edge_weight
+        ):
+            adjacency[src].append((dst, weight))
+        return adjacency
 
     def build_roadmap(self, rng: np.random.Generator) -> None:
         """Sample free configurations and connect k-nearest neighbors.
@@ -73,39 +119,82 @@ class PRMPlanner:
     def build_roadmap_steps(self, rng: np.random.Generator):
         """Generator form of :meth:`build_roadmap` (yields :class:`CDQuery`)."""
         checker = self.recorder.checker
-        self._nodes = []
-        self._adjacency = {}
+        robot = checker.robot
+        store = NodeStore(
+            robot.dof,
+            capacity=max(2, self.n_samples),
+            scratch=getattr(checker, "shared_scratch", None),
+        )
+        self._store = store
+        self._edge_src = []
+        self._edge_dst = []
+        self._edge_weight = []
+        self._csr_indptr = self._csr_neighbors = self._csr_weights = None
+
+        # Block sampling, stream-exact: each block draws
+        # min(nodes still needed, attempts left) samples — the classical
+        # one-at-a-time loop could not have terminated inside that many
+        # draws (it stops only once the node target is reached, and a
+        # block never contains more frees than nodes needed), so the rng
+        # stream, the check sequence, and the accepted set are identical.
         attempts = 0
-        while len(self._nodes) < self.n_samples and attempts < 50 * self.n_samples:
-            attempts += 1
-            q = checker.robot.random_configuration(rng)
-            if not checker.check_pose(q):
-                self._nodes.append(q)
-        for index in range(len(self._nodes)):
-            self._adjacency[index] = []
-        for index, q in enumerate(self._nodes):
+        attempts_cap = 50 * self.n_samples
+        while len(store) < self.n_samples and attempts < attempts_cap:
+            block = min(self.n_samples - len(store), attempts_cap - attempts)
+            samples = sample_configuration_block(robot, rng, block)
+            attempts += block
+            hits = checker.check_poses(samples)
+            free = samples[~np.asarray(hits, dtype=bool)]
+            if len(free):
+                store.extend(free)
+
+        self._neighbor_sets = [set() for _ in range(len(store))]
+        for index in range(len(store)):
+            q = store.configurations[index]
+            neighbors = store.knn(q, self.k_neighbors + 1)
+            linked = self._neighbor_sets[index]
             candidates = [
                 neighbor
-                for neighbor in self._nearest(q, self.k_neighbors + 1)
-                if neighbor != index
-                and not any(n == neighbor for n, _ in self._adjacency[index])
+                for neighbor in neighbors.tolist()
+                if neighbor != index and neighbor not in linked
             ]
             flags = yield CDQuery.complete(
-                [(q, self._nodes[neighbor]) for neighbor in candidates],
+                [(q, store.configurations[neighbor]) for neighbor in candidates],
                 "prm_edge",
             )
-            for neighbor, collided in zip(candidates, flags):
-                if collided:
-                    continue
-                weight = cspace_distance(q, self._nodes[neighbor])
-                self._adjacency[index].append((neighbor, weight))
-                self._adjacency[neighbor].append((index, weight))
+            accepted = [
+                neighbor
+                for neighbor, collided in zip(candidates, flags)
+                if not collided
+            ]
+            if not accepted:
+                continue
+            weights = rowwise_distances(store.configurations[accepted], q)
+            for neighbor, weight in zip(accepted, weights.tolist()):
+                self._edge_src.extend((index, neighbor))
+                self._edge_dst.extend((neighbor, index))
+                self._edge_weight.extend((weight, weight))
+                self._neighbor_sets[index].add(neighbor)
+                self._neighbor_sets[neighbor].add(index)
+        self._finalize_csr()
 
-    def _nearest(self, q, k: int) -> List[int]:
-        stacked = np.asarray(self._nodes)
-        deltas = stacked - np.asarray(q, dtype=float)
-        distances = np.einsum("ij,ij->i", deltas, deltas)
-        return list(np.argsort(distances)[:k])
+    def _finalize_csr(self) -> None:
+        """Assemble the CSR adjacency from the chronological half-edges.
+
+        A *stable* argsort by source groups each node's half-edges while
+        preserving their acceptance order, so iterating a CSR row visits
+        neighbors exactly as the legacy per-node append lists did — graph
+        search tie behavior is unchanged.
+        """
+        n = self.num_nodes
+        src = np.asarray(self._edge_src, dtype=np.int64)
+        order = np.argsort(src, kind="stable")
+        self._csr_neighbors = np.asarray(self._edge_dst, dtype=np.int64)[order]
+        self._csr_weights = np.asarray(self._edge_weight, dtype=float)[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        if len(src):
+            np.cumsum(np.bincount(src, minlength=n), out=indptr[1:])
+        self._csr_indptr = indptr
 
     # ------------------------------------------------------------------
     # Queries
@@ -121,7 +210,7 @@ class PRMPlanner:
         """Generator form of :meth:`plan` (yields :class:`CDQuery` steps)."""
         if not self.roadmap_built:
             yield from self.build_roadmap_steps(rng)
-        if not self._nodes:
+        if self._store is None or len(self._store) == 0:
             return None
         start_links = yield from self._attach(q_start)
         goal_links = yield from self._attach(q_goal)
@@ -134,7 +223,7 @@ class PRMPlanner:
             return None
         return (
             [np.asarray(q_start, dtype=float)]
-            + [self._nodes[i] for i in node_path]
+            + [self._store.configuration(i) for i in node_path]
             + [np.asarray(q_goal, dtype=float)]
         )
 
@@ -144,18 +233,30 @@ class PRMPlanner:
         All k candidate attachments form one COMPLETE phase (the same
         batch shape as roadmap edge construction).
         """
-        candidates = self._nearest(q, self.k_neighbors)
+        store = self._store
+        candidates = store.knn(q, self.k_neighbors).tolist()
         flags = yield CDQuery.complete(
-            [(q, self._nodes[index]) for index in candidates], "prm_attach"
+            [(q, store.configurations[index]) for index in candidates],
+            "prm_attach",
         )
-        return [
-            (index, cspace_distance(q, self._nodes[index]))
-            for index, collided in zip(candidates, flags)
-            if not collided
+        reachable = [
+            index for index, collided in zip(candidates, flags) if not collided
         ]
+        if not reachable:
+            return []
+        weights = rowwise_distances(store.configurations[reachable], q)
+        return list(zip(reachable, weights.tolist()))
 
     def _shortest_path(self, start_costs, goal_costs) -> Optional[List[int]]:
-        """Dijkstra from the start attachments to any goal attachment."""
+        """Dijkstra from the start attachments to any goal attachment.
+
+        Neighbor expansion iterates CSR row slices; per-row order equals
+        the legacy adjacency lists, so path choice under cost ties is
+        unchanged.
+        """
+        indptr = self._csr_indptr
+        csr_neighbors = self._csr_neighbors
+        csr_weights = self._csr_weights
         best: Dict[int, float] = {}
         parent: Dict[int, Optional[int]] = {}
         heap = []
@@ -174,7 +275,10 @@ class PRMPlanner:
                     path.append(cursor)
                     cursor = parent[cursor]
                 return list(reversed(path))
-            for neighbor, weight in self._adjacency.get(node, []):
+            row = slice(indptr[node], indptr[node + 1])
+            for neighbor, weight in zip(
+                csr_neighbors[row].tolist(), csr_weights[row].tolist()
+            ):
                 candidate = cost + weight
                 if candidate < best.get(neighbor, float("inf")):
                     best[neighbor] = candidate

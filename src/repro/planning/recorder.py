@@ -30,7 +30,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.collision.checker import RobotEnvironmentChecker
+from repro.collision.checker import RobotEnvironmentChecker, interpolate_motion
 from repro.planning.engine import PhaseAnswer, QueryEngine, SequentialEngine
 from repro.planning.motion import CDPhase, FunctionMode, MotionRecord
 from repro.planning.queries import CDQuery
@@ -113,40 +113,65 @@ class CDTraceRecorder:
         with no targets, complete with no segments) have no phase; their
         trivial answer comes from :meth:`trivial_result` and nothing is
         recorded — the same contract the planner-facing methods pin.
+
+        Phases are assembled in the fused SoA layout: each segment is
+        discretized with the same per-motion ``interpolate_motion`` call as
+        before (the per-segment ``np.linspace`` association is part of the
+        bit-identity contract), the blocks are concatenated into one
+        ``stacked`` pose tensor, and every :class:`MotionRecord` holds a
+        row-range view into it — so the batched engine can dispatch the
+        whole phase without restacking a single pose.
         """
         kind = query.kind
         if kind == "steer":
             q_start, q_end = query.args
-            motion = MotionRecord.from_endpoints(q_start, q_end, self.checker)
-            return CDPhase(FunctionMode.FEASIBILITY, [motion], query.label)
+            return self._assemble_phase(
+                FunctionMode.FEASIBILITY, [(q_start, q_end)], query.label
+            )
         if kind == "feasibility":
             (path,) = query.args
             if len(path) < 2:
                 return None
-            motions = [
-                MotionRecord.from_endpoints(path[i], path[i + 1], self.checker)
-                for i in range(len(path) - 1)
-            ]
-            return CDPhase(FunctionMode.FEASIBILITY, motions, query.label)
+            segments = list(zip(path[:-1], path[1:]))
+            return self._assemble_phase(
+                FunctionMode.FEASIBILITY, segments, query.label
+            )
         if kind == "connectivity":
             q_anchor, targets = query.args
             if not len(targets):
                 return None
-            motions = [
-                MotionRecord.from_endpoints(q_anchor, target, self.checker)
-                for target in targets
-            ]
-            return CDPhase(FunctionMode.CONNECTIVITY, motions, query.label)
+            segments = [(q_anchor, target) for target in targets]
+            return self._assemble_phase(
+                FunctionMode.CONNECTIVITY, segments, query.label
+            )
         if kind == "complete":
             (segments,) = query.args
             if not len(segments):
                 return None
-            motions = [
-                MotionRecord.from_endpoints(q_start, q_end, self.checker)
-                for q_start, q_end in segments
-            ]
-            return CDPhase(FunctionMode.COMPLETE, motions, query.label)
+            return self._assemble_phase(
+                FunctionMode.COMPLETE, list(segments), query.label
+            )
         raise ValueError(f"unknown query kind {kind!r}")
+
+    def _assemble_phase(self, mode, segments, label: str) -> CDPhase:
+        """Discretize segments and lay the phase out as one SoA pose block."""
+        step = self.checker.motion_step
+        blocks = [
+            interpolate_motion(q_start, q_end, step) for q_start, q_end in segments
+        ]
+        counts = np.fromiter(
+            (len(block) for block in blocks), dtype=np.int64, count=len(blocks)
+        )
+        offsets = np.zeros(len(blocks), dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        stacked = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
+        motions = [
+            MotionRecord(stacked[offset : offset + count], self.checker)
+            for offset, count in zip(offsets.tolist(), counts.tolist())
+        ]
+        return CDPhase(
+            mode, motions, label, stacked=stacked, offsets=offsets, counts=counts
+        )
 
     @staticmethod
     def trivial_result(query: CDQuery):

@@ -7,6 +7,11 @@ Single-tree RRT extends one edge per iteration and each extension depends
 on the previous one, so its phases are inherently single-motion — it is
 the workload where the query-engine layer's batching helps least, included
 as the contrast case to PRM edge batches and RRT-Connect sweeps.
+
+The tree lives in a :class:`~repro.planning.nodestore.NodeStore` (VAMP-style
+SoA layout): one preallocated configuration array with parent indices, so
+the per-iteration nearest-neighbor scan is a single vectorized pass over
+the live prefix instead of a re-stack of a Python list.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.planning.cspace import cspace_distance, steer_toward
+from repro.planning.nodestore import NodeStore
 from repro.planning.queries import CDQuery, drive_queries
 from repro.planning.recorder import CDTraceRecorder
 
@@ -56,45 +62,38 @@ class RRTPlanner:
         this very generator — but suspendable at collision-query
         boundaries so the serving layer can batch queries across requests.
         """
-        robot = self.recorder.checker.robot
+        checker = self.recorder.checker
+        robot = checker.robot
         q_start = robot.clamp(q_start)
         q_goal = robot.clamp(q_goal)
-        nodes = [np.asarray(q_start, dtype=float)]
-        parents = [-1]
+        tree = NodeStore(robot.dof, scratch=getattr(checker, "shared_scratch", None))
+        tree.append(np.asarray(q_start, dtype=float))
 
         for _ in range(self.max_iterations):
             if rng.random() < self.goal_bias:
                 target = q_goal
             else:
                 target = robot.random_configuration(rng)
-            near_index = self._nearest(nodes, target)
-            q_new = steer_toward(nodes[near_index], target, self.max_step)
-            if not (yield CDQuery.steer(nodes[near_index], q_new, "rrt_extend")):
+            near_index = tree.nearest(target)
+            q_near = tree.configurations[near_index]
+            q_new = steer_toward(q_near, target, self.max_step)
+            if not (yield CDQuery.steer(q_near, q_new, "rrt_extend")):
                 continue
-            nodes.append(q_new)
-            parents.append(near_index)
+            new_index = tree.append(q_new, parent=near_index)
             if cspace_distance(q_new, q_goal) <= self.goal_tolerance:
-                return self._trace_back(nodes, parents, len(nodes) - 1)
+                return self._trace_back(tree, new_index)
             # Try to connect the new node straight to the goal.
             if cspace_distance(q_new, q_goal) <= self.max_step and (
                 yield CDQuery.steer(q_new, q_goal, "rrt_goal")
             ):
-                nodes.append(np.asarray(q_goal, dtype=float))
-                parents.append(len(nodes) - 2)
-                return self._trace_back(nodes, parents, len(nodes) - 1)
+                goal_index = tree.append(
+                    np.asarray(q_goal, dtype=float), parent=new_index
+                )
+                return self._trace_back(tree, goal_index)
         return None
 
     @staticmethod
-    def _nearest(nodes: List[np.ndarray], target) -> int:
-        stacked = np.asarray(nodes)
-        deltas = stacked - np.asarray(target, dtype=float)
-        return int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))
-
-    @staticmethod
-    def _trace_back(nodes, parents, index) -> List[np.ndarray]:
-        path = []
-        while index >= 0:
-            path.append(nodes[index])
-            index = parents[index]
+    def _trace_back(tree: NodeStore, index: int) -> List[np.ndarray]:
+        path = tree.path_to_root(index)
         path.reverse()
         return path

@@ -3,6 +3,11 @@
 Used both as the demonstration generator for training the neural sampler and
 as the hybrid fallback/replanning engine inside the MPNet-style planner
 (as in Qureshi et al.).
+
+Both trees are :class:`~repro.planning.nodestore.NodeStore`s (SoA layout),
+so every nearest-neighbor scan is one vectorized pass over the live prefix,
+and the pRRTC-style multi-extend draws its candidate block with a single
+stream-exact rng call and steers all candidates in one batch.
 """
 
 from __future__ import annotations
@@ -11,7 +16,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.planning.cspace import cspace_distance, steer_toward
+from repro.planning.cspace import cspace_distance, steer_toward, steer_toward_batch
+from repro.planning.nodestore import NodeStore, sample_configuration_block
 from repro.planning.queries import CDQuery, drive_queries
 from repro.planning.recorder import CDTraceRecorder
 
@@ -19,26 +25,24 @@ _TRAPPED, _ADVANCED, _REACHED = 0, 1, 2
 
 
 class _Tree:
-    def __init__(self, root):
-        self.nodes: List[np.ndarray] = [np.asarray(root, dtype=float)]
-        self.parents: List[int] = [-1]
+    """A thin tree facade over a :class:`NodeStore`."""
+
+    def __init__(self, root, dof: int, scratch=None):
+        self.store = NodeStore(dof, scratch=scratch)
+        self.store.append(np.asarray(root, dtype=float))
 
     def nearest(self, target) -> int:
-        stacked = np.asarray(self.nodes)
-        deltas = stacked - np.asarray(target, dtype=float)
-        return int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))
+        return self.store.nearest(target)
+
+    def node(self, index: int) -> np.ndarray:
+        """The node's configuration row (a live store view, write-once)."""
+        return self.store.configurations[index]
 
     def add(self, q, parent: int) -> int:
-        self.nodes.append(np.asarray(q, dtype=float))
-        self.parents.append(parent)
-        return len(self.nodes) - 1
+        return self.store.append(q, parent=parent)
 
     def path_to_root(self, index: int) -> List[np.ndarray]:
-        path = []
-        while index >= 0:
-            path.append(self.nodes[index])
-            index = self.parents[index]
-        return path
+        return self.store.path_to_root(index)
 
 
 class RRTConnectPlanner:
@@ -78,9 +82,11 @@ class RRTConnectPlanner:
 
     def plan_steps(self, q_start, q_goal, rng: np.random.Generator):
         """Generator form of :meth:`plan` (yields :class:`CDQuery` steps)."""
-        robot = self.recorder.checker.robot
-        tree_a = _Tree(robot.clamp(q_start))
-        tree_b = _Tree(robot.clamp(q_goal))
+        checker = self.recorder.checker
+        robot = checker.robot
+        scratch = getattr(checker, "shared_scratch", None)
+        tree_a = _Tree(robot.clamp(q_start), robot.dof, scratch=scratch)
+        tree_b = _Tree(robot.clamp(q_goal), robot.dof, scratch=scratch)
         a_is_start = True
 
         for _ in range(self.max_iterations):
@@ -92,7 +98,7 @@ class RRTConnectPlanner:
                 sample = robot.random_configuration(rng)
                 status, new_index = yield from self._extend(tree_a, sample)
             if status != _TRAPPED:
-                q_new = tree_a.nodes[new_index]
+                q_new = tree_a.node(new_index)
                 status_b, index_b = yield from self._connect(tree_b, q_new)
                 if status_b == _REACHED:
                     return self._join(tree_a, new_index, tree_b, index_b, a_is_start)
@@ -102,8 +108,9 @@ class RRTConnectPlanner:
 
     def _extend(self, tree: _Tree, target):
         near = tree.nearest(target)
-        q_new = steer_toward(tree.nodes[near], target, self.max_step)
-        if not (yield CDQuery.steer(tree.nodes[near], q_new, "rrtc_extend")):
+        q_near = tree.node(near)
+        q_new = steer_toward(q_near, target, self.max_step)
+        if not (yield CDQuery.steer(q_near, q_new, "rrtc_extend")):
             return _TRAPPED, -1
         index = tree.add(q_new, near)
         if cspace_distance(q_new, target) < 1e-9:
@@ -113,25 +120,23 @@ class RRTConnectPlanner:
     def _extend_batch(self, tree: _Tree, robot, rng: np.random.Generator):
         """pRRTC-style multi-extend: B steer attempts funneled into one phase.
 
-        ``batch_extends`` samples are drawn up front and each is steered
-        from its nearest node in the *same* tree snapshot (no candidate
-        sees another candidate as a potential parent), so the B candidate
+        ``batch_extends`` samples are drawn as one stream-exact block
+        (:func:`sample_configuration_block`) and each is steered from its
+        nearest node in the *same* tree snapshot (no candidate sees
+        another candidate as a potential parent), so the B candidate
         motions are independent and can be evaluated as a single COMPLETE
         phase.  Every collision-free candidate joins the tree; the first
         one added plays the classical extend's role of the new node the
         follow-up connect grows toward.
         """
-        samples = [
-            robot.random_configuration(rng) for _ in range(self.batch_extends)
-        ]
+        samples = sample_configuration_block(robot, rng, self.batch_extends)
         parents = [tree.nearest(sample) for sample in samples]
-        candidates = [
-            steer_toward(tree.nodes[parent], sample, self.max_step)
-            for parent, sample in zip(parents, samples)
-        ]
+        candidates = steer_toward_batch(
+            tree.store.configurations[parents], samples, self.max_step
+        )
         collides = yield CDQuery.complete(
             [
-                (tree.nodes[parent], q_new)
+                (tree.node(parent), q_new)
                 for parent, q_new in zip(parents, candidates)
             ],
             "rrtc_multi_extend",
@@ -158,17 +163,16 @@ class RRTConnectPlanner:
         parallel work unit for SAS) and the free prefix joins the tree.
         """
         near = tree.nearest(target)
+        q_near = tree.node(near)
         waypoints: List[np.ndarray] = []
-        cursor = tree.nodes[near]
+        cursor = q_near
         while cspace_distance(cursor, target) >= 1e-9:
             cursor = steer_toward(cursor, target, self.max_step)
             waypoints.append(cursor)
         if not waypoints:
             # The tree already contains the target configuration.
             return _REACHED, near
-        bad = yield CDQuery.feasibility(
-            [tree.nodes[near]] + waypoints, "rrtc_connect"
-        )
+        bad = yield CDQuery.feasibility([q_near] + waypoints, "rrtc_connect")
         index = near
         n_free = len(waypoints) if bad is None else bad
         for waypoint in waypoints[:n_free]:

@@ -24,6 +24,7 @@ from repro.neural.mpnet_nets import (
     ORIGINAL_PNET_MACS,
     fixed_size_cloud,
 )
+from repro.planning.nodestore import sample_configuration_block  # noqa: F401
 from repro.robot.model import RobotModel
 
 

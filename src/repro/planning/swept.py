@@ -105,6 +105,23 @@ class SweptMemoryEstimate:
 _FLOAT_SLACK = 1e-9
 
 
+def _split_spans(counts: np.ndarray, max_span: int):
+    """Cut per-motion pose counts into spans of at most ``max_span`` poses.
+
+    Returns ``(span_counts, spans_per_motion)``; span order is
+    motion-major, so the spans tile the motions' concatenated rows.
+    """
+    span_counts: List[int] = []
+    spans_per_motion = np.empty(len(counts), dtype=np.int64)
+    for m, count in enumerate(counts.tolist()):
+        full, remainder = divmod(count, max_span)
+        spans_per_motion[m] = full + (1 if remainder else 0)
+        span_counts.extend([max_span] * full)
+        if remainder:
+            span_counts.append(remainder)
+    return np.asarray(span_counts, dtype=np.int64), spans_per_motion
+
+
 class SweptMotionPrefilter:
     """Conservative motion-level broad phase over the batched octree.
 
@@ -180,9 +197,9 @@ class SweptMotionPrefilter:
                 + (np.sqrt(3.0) / 2.0) * lsb
                 + _FLOAT_SLACK
             )
-        self._frame_index = frame_index
-        self._local_t = local_t
-        self._extent_u = extent_u
+        self._frame_index = np.asarray(frame_index, dtype=np.int64)
+        self._local_t = np.asarray(local_t, dtype=float)  # (L, 3)
+        self._extent_u = np.asarray(extent_u, dtype=float)  # (L, 3)
         self._sphere_r = np.asarray(sphere_r, dtype=float)
         #: Savings counters (reported in bench artifacts, never in stats).
         self.phases = 0
@@ -202,6 +219,17 @@ class SweptMotionPrefilter:
         ``(M, L)`` — one conservative swept sphere and swept AABB per
         (motion, link), enclosing the quantized link OBB at every pose.
         """
+        centers, extents = self._pose_link_bounds(poses)
+        return self._segment_bounds(centers, extents, counts)
+
+    def _pose_link_bounds(self, poses: np.ndarray):
+        """Per-(pose, link) conservative center/extent arrays, ``(n, L, 3)``.
+
+        One batched FK pass plus one gathered einsum over all (pose, link)
+        pairs — no per-link loop.  ``center ± extent`` is a world AABB that
+        encloses the link's quantized OBB at that pose (with the
+        construction-time padding folded into ``_extent_u``).
+        """
         from repro.collision.batch import batch_forward_kinematics
 
         checker = self.checker
@@ -209,15 +237,22 @@ class SweptMotionPrefilter:
         frames = batch_forward_kinematics(
             checker.robot, poses, scratch=evaluator.scratch
         )
+        link_frames = frames[:, self._frame_index]  # (n, L, 4, 4)
+        rot = link_frames[:, :, :3, :3]
+        centers = (
+            np.einsum("nlij,lj->nli", rot, self._local_t)
+            + link_frames[:, :, :3, 3]
+        )
+        extents = np.einsum("nlij,lj->nli", np.abs(rot), self._extent_u)
+        return centers, extents
+
+    def _segment_bounds(self, centers, extents, counts):
+        """Reduce per-pose bounds into per-segment swept spheres/AABBs.
+
+        Segments are the contiguous row blocks described by ``counts`` —
+        whole motions or sub-motion spans; the reduction is the same.
+        """
         counts = np.asarray(counts, dtype=np.int64)
-        n = len(poses)
-        n_links = len(self._frame_index)
-        centers = np.empty((n, n_links, 3))
-        extents = np.empty((n, n_links, 3))
-        for j, fi in enumerate(self._frame_index):
-            rot = frames[:, fi, :3, :3]
-            centers[:, j] = rot @ self._local_t[j] + frames[:, fi, :3, 3]
-            extents[:, j] = np.abs(rot) @ self._extent_u[j]
         offsets = np.concatenate(([0], np.cumsum(counts[:-1])))
         lo = np.minimum.reduceat(centers - extents, offsets, axis=0)
         hi = np.maximum.reduceat(centers + extents, offsets, axis=0)
@@ -231,20 +266,42 @@ class SweptMotionPrefilter:
         )
         return sphere_center, sphere_radius, lo, hi
 
+    def _certify_segments(self, centers, extents, counts) -> np.ndarray:
+        """Per-segment certification verdicts (AND over links), ``(S,)``."""
+        sphere_center, sphere_radius, lo, hi = self._segment_bounds(
+            centers, extents, counts
+        )
+        n_segments, n_links = sphere_radius.shape
+        free = self.checker.batch_evaluator.collider.certify_disjoint(
+            sphere_center.reshape(-1, 3),
+            sphere_radius.reshape(-1),
+            lo.reshape(-1, 3),
+            hi.reshape(-1, 3),
+        )
+        return free.reshape(n_segments, n_links).all(axis=1)
+
     # -- certification -------------------------------------------------
 
-    def certify_motions(self, motions) -> np.ndarray:
+    def certify_motions(self, motions, stacked=None, counts=None) -> np.ndarray:
         """Certify each motion collision-free, or not (``(M,)`` bool).
 
         ``True`` is a proof: every discretized pose of the motion is
         collision-free under the exact quantized cascade.  ``False`` means
         only that the conservative bound touched an occupied FULL octant —
         the motion may still be free.  Counters accumulate per call.
+
+        Fused phases pass their preassembled ``stacked`` pose block and
+        per-motion ``counts`` (the motions' poses are views into it), so
+        no re-concatenation happens on the hot path; both default to being
+        rebuilt from the motions.
         """
         if not len(motions):
             return np.zeros(0, dtype=bool)
-        counts = [m.num_poses for m in motions]
-        poses = np.concatenate([m.poses for m in motions], axis=0)
+        if counts is None:
+            counts = [m.num_poses for m in motions]
+        if stacked is None:
+            stacked = np.concatenate([m.poses for m in motions], axis=0)
+        poses = stacked
         sphere_center, sphere_radius, lo, hi = self.link_bounds(poses, counts)
         n_motions, n_links = sphere_radius.shape
         free = self.checker.batch_evaluator.collider.certify_disjoint(
@@ -260,6 +317,61 @@ class SweptMotionPrefilter:
         self.poses_tested += int(len(poses))
         self.poses_certified += int(np.asarray(counts)[certified].sum())
         return certified
+
+    def certify_pose_spans(
+        self, motions, stacked: np.ndarray, counts, max_span: int = 16
+    ):
+        """Segment-granular certification: ``(certified_rows, certified_motions)``.
+
+        Certification is hierarchical: every motion is first tested with
+        one whole-motion bound, and only the motions that fail are cut
+        into contiguous spans of at most ``max_span`` poses, each with its
+        own swept sphere/AABB — far tighter than the motion bound, so long
+        motions that graze an obstacle still certify most of their poses.
+        ``certified_rows`` flags each row of ``stacked`` whose span is
+        proven collision-free (sound: a flagged pose passes the exact
+        cascade by the same enclosure argument as
+        :meth:`certify_motions`); ``certified_motions`` is the per-motion
+        AND of its spans.  Counters advance with the same motion-level
+        meaning as :meth:`certify_motions`, except ``poses_certified``
+        counts certified *rows* (the poses a skip-mode engine can actually
+        elide).
+        """
+        counts = np.asarray(counts, dtype=np.int64)
+        n_motions = len(motions)
+        if not n_motions:
+            return np.zeros(0, dtype=bool), np.zeros(0, dtype=bool)
+        # Hierarchical: one bound per whole motion first (an octree query
+        # per (motion, link)), then span granularity only for the motions
+        # the coarse bound could not clear — in free-leaning workloads the
+        # span-level descent runs on a small residue instead of every span
+        # of every motion.  Both levels are sound certificates, so mixing
+        # them skips a superset of what span-only certification skipped.
+        centers, extents = self._pose_link_bounds(stacked)
+        certified_motions = self._certify_segments(centers, extents, counts)
+        certified_rows = np.repeat(certified_motions, counts)
+        if not certified_motions.all():
+            residual = ~certified_motions
+            row_mask = np.repeat(residual, counts)
+            span_counts, spans_per_motion = _split_spans(
+                counts[residual], max_span
+            )
+            span_certified = self._certify_segments(
+                centers[row_mask], extents[row_mask], span_counts
+            )
+            certified_rows[row_mask] = np.repeat(span_certified, span_counts)
+            span_offsets = np.zeros(len(spans_per_motion), dtype=np.int64)
+            np.cumsum(spans_per_motion[:-1], out=span_offsets[1:])
+            certified_motions = certified_motions.copy()
+            certified_motions[residual] = np.minimum.reduceat(
+                span_certified, span_offsets
+            )
+        self.phases += 1
+        self.motions_tested += n_motions
+        self.motions_certified += int(certified_motions.sum())
+        self.poses_tested += int(len(stacked))
+        self.poses_certified += int(certified_rows.sum())
+        return certified_rows, certified_motions
 
     # -- introspection -------------------------------------------------
 

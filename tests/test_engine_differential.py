@@ -192,3 +192,112 @@ class TestEngineDifferential:
         simulated = run_workload(world, prm_workload, "simulated", "batch")
         assert_identical_runs([reference, simulated])
         assert_simulated_audited(simulated)
+
+
+# ----------------------------------------------------------------------
+# Pre-refactor golden leg (the SoA planner-core acceptance gate)
+# ----------------------------------------------------------------------
+#
+# The fixture was captured at the pre-NodeStore reference commit: float-hex
+# path digests, sorted stats dicts, phase/motion/pose totals, and a sha256
+# over every phase answer, for five fixed-seed planar workloads under the
+# sequential engine plus the bench-shaped jaco2 PRM workload under the
+# batched engine.  The SoA planner cores must reproduce every byte.
+
+
+def _path_hex(path):
+    if path is None:
+        return None
+    return [
+        [float(v).hex() for v in np.asarray(q, dtype=float)] for q in path
+    ]
+
+
+def _stats_digest(stats_dict):
+    return {
+        k: (
+            dict(sorted((str(kk), vv) for kk, vv in v.items()))
+            if isinstance(v, dict)
+            else v
+        )
+        for k, v in sorted(stats_dict.items())
+    }
+
+
+def _answers_sha256(recorder):
+    import hashlib
+
+    h = hashlib.sha256()
+    for answer in recorder.answers:
+        h.update(
+            repr(
+                [None if o is None else bool(o) for o in answer.outcomes]
+            ).encode()
+        )
+    return h.hexdigest()
+
+
+def _golden_snapshot(checker, recorder, path):
+    return {
+        "path": _path_hex(path),
+        "stats": _stats_digest(checker.stats.as_dict()),
+        "num_phases": recorder.num_phases,
+        "total_motions": recorder.total_motions,
+        "total_poses": recorder.total_poses,
+        "answers_sha256": _answers_sha256(recorder),
+    }
+
+
+@pytest.fixture(scope="module")
+def golden():
+    import json
+    import os
+
+    fixture = os.path.join(
+        os.path.dirname(__file__), "fixtures", "planner_refactor_golden.json"
+    )
+    with open(fixture) as fh:
+        return json.load(fh)
+
+
+class TestPreRefactorGolden:
+    """Bit-exact equality with the pre-refactor planner reference."""
+
+    @pytest.mark.parametrize(
+        "name, workload",
+        [
+            ("rrt", rrt_workload),
+            ("rrt_connect", rrt_connect_workload),
+            ("rrt_connect_multi_extend", rrt_connect_multi_extend_workload),
+            ("prm", prm_workload),
+            ("shortcut", shortcut_workload),
+        ],
+    )
+    def test_planar_workloads_sequential(self, world, golden, name, workload):
+        checker, recorder = build_stack(world, "sequential", "scalar")
+        path = workload(recorder, np.random.default_rng(SEED))
+        assert _golden_snapshot(checker, recorder, path) == (
+            golden["workloads"][name]
+        )
+
+    def test_jaco2_prm_batch(self, golden):
+        from repro.env.generator import random_scene
+        from repro.robot.presets import jaco2
+
+        robot = jaco2()
+        octree = Octree.from_scene(random_scene(seed=3), resolution=16)
+        checker = RobotEnvironmentChecker(
+            robot, octree, collect_stats=True, backend="batch"
+        )
+        recorder = CDTraceRecorder(checker, engine=make_engine("batch", checker))
+        planner = PRMPlanner(recorder, n_samples=24, k_neighbors=5)
+        rng = np.random.default_rng(7)
+        planner.build_roadmap(rng)
+        q_start = checker.sample_free_configuration(rng)
+        q_goal = checker.sample_free_configuration(rng)
+        path = planner.plan(q_start, q_goal, rng)
+        if path is not None:
+            path = greedy_shortcut(path, recorder)
+        assert _golden_snapshot(checker, recorder, path) == (
+            golden["workloads"]["jaco2_prm_batch"]
+        )

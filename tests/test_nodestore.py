@@ -1,0 +1,263 @@
+"""NodeStore SoA planner core: growth, queries, tie-breaks, block sampling.
+
+These tests pin the contracts the SoA planner refactor leans on:
+
+* amortized-doubling growth with a ``reallocations`` counter that stays at
+  zero once the store is warm (the ``SoAScratch`` contract);
+* nearest/k-NN queries bit-identical to the list-of-ndarray re-stack
+  implementation they replaced;
+* explicit tie-breaking — ``nearest`` returns the lowest index among
+  equidistant nodes, ``knn`` orders equidistant nodes by ascending index —
+  guarding the swap against silent ``argsort`` tie-order drift;
+* ``sample_configuration_block`` consuming the rng stream exactly as the
+  sequential per-sample draws did (values and final generator state);
+* ``steer_toward_batch`` matching per-row ``steer_toward`` bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collision.batch import SoAScratch
+from repro.planning.cspace import steer_toward, steer_toward_batch
+from repro.planning.nodestore import NodeStore, sample_configuration_block
+from repro.robot.presets import planar_arm
+
+
+def _filled_store(n: int, dof: int = 3, seed: int = 0, **kwargs) -> NodeStore:
+    rng = np.random.default_rng(seed)
+    store = NodeStore(dof, **kwargs)
+    for _ in range(n):
+        store.append(rng.uniform(-1.0, 1.0, size=dof))
+    return store
+
+
+class TestGrowth:
+    def test_append_and_len(self):
+        store = NodeStore(2, capacity=4)
+        assert len(store) == 0
+        assert store.append([1.0, 2.0]) == 0
+        assert store.append([3.0, 4.0], parent=0, cost=2.5) == 1
+        assert len(store) == 2
+        np.testing.assert_array_equal(store.parents, [-1, 0])
+        np.testing.assert_array_equal(store.costs, [0.0, 2.5])
+
+    def test_zero_reallocations_once_warm(self):
+        store = NodeStore(3, capacity=8)
+        for _ in range(100):
+            store.append(np.zeros(3))
+        warm_reallocations = store.reallocations
+        assert store.capacity >= 100
+        # Refill to the same size after clear(): the buffers are warm, so
+        # no further growth may happen — the pinned steady-state contract.
+        store.clear()
+        assert len(store) == 0
+        assert store.capacity >= 100
+        for _ in range(100):
+            store.append(np.zeros(3))
+        assert store.reallocations == warm_reallocations
+
+    def test_doubling_growth_is_amortized(self):
+        store = NodeStore(2, capacity=1)
+        for _ in range(1024):
+            store.append(np.zeros(2))
+        # 1 -> 2 -> 4 -> ... -> 1024: log2 growth, not linear.
+        assert store.reallocations == 10
+
+    def test_reserve_preallocates_in_one_step(self):
+        store = NodeStore(2, capacity=4)
+        store.reserve(1000)
+        assert store.reallocations == 1
+        for _ in range(1000):
+            store.append(np.zeros(2))
+        assert store.reallocations == 1
+
+    def test_growth_preserves_live_prefix(self):
+        store = NodeStore(2, capacity=2)
+        rows = [np.array([float(i), float(-i)]) for i in range(20)]
+        for i, row in enumerate(rows):
+            store.append(row, parent=i - 1, cost=float(i))
+        np.testing.assert_array_equal(store.configurations, np.stack(rows))
+        np.testing.assert_array_equal(store.parents, np.arange(20) - 1)
+        np.testing.assert_array_equal(store.costs, np.arange(20.0))
+
+    def test_extend_matches_sequential_appends(self):
+        block = np.random.default_rng(1).normal(size=(17, 4))
+        bulk = NodeStore(4, capacity=2)
+        indices = bulk.extend(block)
+        one_by_one = NodeStore(4, capacity=2)
+        for row in block:
+            one_by_one.append(row)
+        np.testing.assert_array_equal(indices, np.arange(17))
+        np.testing.assert_array_equal(
+            bulk.configurations, one_by_one.configurations
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeStore(0)
+        with pytest.raises(ValueError):
+            NodeStore(2, capacity=0)
+        with pytest.raises(ValueError):
+            NodeStore(2).nearest([0.0, 0.0])
+        with pytest.raises(ValueError):
+            _filled_store(3).knn(np.zeros(3), 0)
+
+
+class TestQueries:
+    """nearest/knn must equal the legacy list-restack implementation."""
+
+    @staticmethod
+    def _legacy_nearest(nodes, target):
+        stacked = np.asarray(nodes)
+        deltas = stacked - np.asarray(target, dtype=float)
+        return int(np.argmin(np.einsum("ij,ij->i", deltas, deltas)))
+
+    def test_nearest_matches_list_restack(self):
+        rng = np.random.default_rng(7)
+        store = _filled_store(50, dof=5, seed=7)
+        nodes = [row.copy() for row in store.configurations]
+        for _ in range(20):
+            target = rng.normal(size=5)
+            assert store.nearest(target) == self._legacy_nearest(nodes, target)
+
+    def test_knn_matches_full_distance_sort(self):
+        rng = np.random.default_rng(11)
+        store = _filled_store(40, dof=4, seed=11)
+        stacked = store.configurations.copy()
+        for k in (1, 5, 40):
+            target = rng.normal(size=4)
+            deltas = stacked - target
+            expected = np.argsort(
+                np.einsum("ij,ij->i", deltas, deltas), kind="stable"
+            )[:k]
+            np.testing.assert_array_equal(store.knn(target, k), expected)
+
+    def test_squared_distances_values(self):
+        store = NodeStore(2)
+        store.append([0.0, 0.0])
+        store.append([3.0, 4.0])
+        np.testing.assert_array_equal(
+            store.squared_distances([0.0, 0.0]), [0.0, 25.0]
+        )
+
+    def test_shared_scratch_queries_allocate_nothing(self):
+        scratch = SoAScratch()
+        store = _filled_store(32, dof=3, seed=3, scratch=scratch)
+        store.nearest(np.zeros(3))
+        store.knn(np.zeros(3), 4)
+        warm = scratch.reallocations
+        for _ in range(50):
+            store.nearest(np.ones(3))
+            store.knn(np.ones(3), 4)
+        assert scratch.reallocations == warm
+
+    def test_scratch_and_plain_agree(self):
+        plain = _filled_store(25, dof=4, seed=9)
+        shared = _filled_store(25, dof=4, seed=9, scratch=SoAScratch())
+        target = np.random.default_rng(2).normal(size=4)
+        np.testing.assert_array_equal(
+            plain.squared_distances(target).copy(),
+            shared.squared_distances(target).copy(),
+        )
+
+
+class TestTieBreaks:
+    """Pinned index selection for equidistant nodes (RRT/PRM NN shapes)."""
+
+    def test_nearest_returns_lowest_index_on_tie(self):
+        # Four corners of a square: all equidistant from the center.
+        store = NodeStore(2)
+        for corner in ([1, 1], [1, -1], [-1, 1], [-1, -1]):
+            store.append(np.asarray(corner, dtype=float))
+        assert store.nearest([0.0, 0.0]) == 0
+
+    def test_nearest_tie_after_closer_node(self):
+        # RRT shape: the tree holds duplicates of the same configuration
+        # (zero-distance ties); the first one added must win.
+        store = NodeStore(3)
+        q = np.array([0.25, -0.5, 1.0])
+        store.append(q + 1.0)
+        store.append(q)
+        store.append(q)
+        assert store.nearest(q) == 1
+
+    def test_knn_orders_ties_by_ascending_index(self):
+        # PRM shape: k-NN over a roadmap with equidistant candidates.
+        store = NodeStore(2)
+        store.append([2.0, 0.0])  # d2 = 4
+        for corner in ([1, 0], [0, 1], [-1, 0], [0, -1]):  # d2 = 1 each
+            store.append(np.asarray(corner, dtype=float))
+        np.testing.assert_array_equal(
+            store.knn([0.0, 0.0], 5), [1, 2, 3, 4, 0]
+        )
+
+    def test_knn_tie_block_straddles_k(self):
+        # The stable sort must cut a tie block at k deterministically:
+        # lowest indices survive.
+        store = NodeStore(1)
+        for value in (5.0, 1.0, 1.0, 1.0, 1.0):
+            store.append([value])
+        np.testing.assert_array_equal(store.knn([0.0], 2), [1, 2])
+
+
+class TestBlockSampling:
+    def test_block_matches_sequential_draws_and_stream(self):
+        robot = planar_arm()
+        rng_block = np.random.default_rng(42)
+        rng_seq = np.random.default_rng(42)
+        block = sample_configuration_block(robot, rng_block, 16)
+        sequential = np.stack(
+            [robot.random_configuration(rng_seq) for _ in range(16)]
+        )
+        np.testing.assert_array_equal(block, sequential)
+        # The generator states must coincide too: later draws are part of
+        # the fixed-seed contract.
+        np.testing.assert_array_equal(
+            rng_block.uniform(size=8), rng_seq.uniform(size=8)
+        )
+
+    def test_block_of_one_is_a_single_draw(self):
+        robot = planar_arm()
+        a, b = np.random.default_rng(5), np.random.default_rng(5)
+        np.testing.assert_array_equal(
+            sample_configuration_block(robot, a, 1)[0],
+            robot.random_configuration(b),
+        )
+
+    def test_rejects_empty_block(self):
+        with pytest.raises(ValueError):
+            sample_configuration_block(planar_arm(), np.random.default_rng(), 0)
+
+
+class TestSteerBatch:
+    def test_matches_scalar_rows_bitwise(self):
+        rng = np.random.default_rng(13)
+        q_from = rng.normal(size=(30, 4))
+        q_to = rng.normal(size=(30, 4))
+        # Mix of far rows, near rows, and exact-duplicate (zero-distance)
+        # rows — all three scalar branches.
+        q_to[10] = q_from[10]
+        q_to[11] = q_from[11] + 1e-12
+        batch = steer_toward_batch(q_from, q_to, 0.5)
+        for i in range(len(q_from)):
+            np.testing.assert_array_equal(
+                batch[i], steer_toward(q_from[i], q_to[i], 0.5)
+            )
+
+
+class TestPathToRoot:
+    def test_walks_parent_chain(self):
+        store = NodeStore(1)
+        a = store.append([0.0])
+        b = store.append([1.0], parent=a)
+        c = store.append([2.0], parent=b)
+        path = store.path_to_root(c)
+        np.testing.assert_array_equal(np.concatenate(path), [2.0, 1.0, 0.0])
+
+    def test_copies_survive_growth(self):
+        store = NodeStore(1, capacity=1)
+        store.append([7.0])
+        path = store.path_to_root(0)
+        for i in range(50):
+            store.append([float(i)], parent=0)
+        np.testing.assert_array_equal(path[0], [7.0])

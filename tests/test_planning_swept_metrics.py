@@ -136,3 +136,55 @@ class TestPathMetrics:
         near = workspace_clearance(checker, np.array([0.1, 0.0]))  # toward +x
         far = workspace_clearance(checker, np.array([np.pi, 0.0]))  # away
         assert far >= near
+
+class TestVectorizedMetricPins:
+    """The vectorized metrics must equal their scalar loop references."""
+
+    @staticmethod
+    def _scalar_smoothness(path):
+        # The pre-vectorization implementation, kept as the reference.
+        if len(path) < 3:
+            return 0.0
+        angles = []
+        for i in range(1, len(path) - 1):
+            v_in = np.asarray(path[i], dtype=float) - np.asarray(
+                path[i - 1], dtype=float
+            )
+            v_out = np.asarray(path[i + 1], dtype=float) - np.asarray(
+                path[i], dtype=float
+            )
+            norm_in = np.linalg.norm(v_in)
+            norm_out = np.linalg.norm(v_out)
+            if norm_in < 1e-12 or norm_out < 1e-12:
+                continue
+            cosine = np.clip(np.dot(v_in, v_out) / (norm_in * norm_out), -1.0, 1.0)
+            angles.append(float(np.arccos(cosine)))
+        return float(np.mean(angles)) if angles else 0.0
+
+    def test_smoothness_matches_scalar_loop(self):
+        rng = np.random.default_rng(31)
+        for length in (3, 4, 9, 40):
+            path = [rng.normal(size=3) for _ in range(length)]
+            assert path_smoothness(path) == self._scalar_smoothness(path)
+
+    def test_smoothness_skips_degenerate_segments(self):
+        # Repeated waypoints produce zero-length segments the scalar loop
+        # skipped; the vectorized mask must skip exactly the same angles.
+        q = np.array([0.0, 0.0])
+        path = [q, q, np.array([1.0, 0.0]), np.array([1.0, 1.0]), q + [2.0, 2.0]]
+        assert path_smoothness(path) == self._scalar_smoothness(path)
+        assert path_smoothness([q, q, q]) == 0.0
+
+    def test_clearance_with_shared_collider_matches_fresh(self):
+        from repro.collision.octree_cd import OBBOctreeCollider
+
+        scene = Scene(extent=4.0)
+        scene.add_obstacle(AABB.from_min_max([0.9, -0.3, 0.0], [1.2, 0.3, 0.2]))
+        octree = Octree.from_scene(scene, resolution=32)
+        robot = planar_arm(2)
+        checker = RobotEnvironmentChecker(robot, octree)
+        collider = OBBOctreeCollider(checker.octree, checker.collider.config)
+        for q in (np.array([0.1, 0.0]), np.array([np.pi, 0.0]), np.zeros(2)):
+            assert workspace_clearance(
+                checker, q, collider=collider
+            ) == workspace_clearance(checker, q)
