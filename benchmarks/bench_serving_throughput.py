@@ -24,6 +24,17 @@ Per-request results are bit-identical across all three (pinned by
 guard asserts the cache-warm batched path beats the sequential baseline by
 at least 2x wall-clock.  Reported but not guarded: cold-batch speedup,
 requests per wall-second, and the cache hit rate.
+
+**Overload sweep.**  A second experiment drives the service with seeded
+Poisson traffic at multiples of its measured capacity, with admission
+control and fairness on: per offered load it reports goodput (useful
+completions per simulated second), shed counts, and p50/p99/p999
+*simulated* latency — all deterministic, emitted as
+``BENCH_serving_overload.json``.  The (non-blocking) guard asserts the
+load-shedding keeps post-knee goodput at >=70% of peak — i.e. the service
+degrades by refusing work, not by collapsing.  A third guard pins the
+disabled-hook cost: with admission control and fairness enabled but inert,
+a polite wave must cost at most 5% over the default service.
 """
 
 from __future__ import annotations
@@ -38,11 +49,23 @@ from repro.config import ReproConfig, ServiceConfig
 from repro.env.generator import random_scene
 from repro.env.octree import Octree
 from repro.robot.presets import planar_arm
-from repro.serving import PlanningService, PlanRequest
+from repro.scenarios.suite import percentile
+from repro.serving import (
+    PlanningService,
+    PlanRequest,
+    TrafficSpec,
+    requests_from_trace,
+)
 
 SEED = 13
 N_REQUESTS = 6
 SPEEDUP_FLOOR = 2.0
+
+OVERLOAD_SEED = 29
+OVERLOAD_N = 48
+LOAD_MULTIPLES = (0.5, 1.0, 2.0, 4.0, 8.0)
+GOODPUT_FLOOR = 0.70
+HOOK_OVERHEAD_CEILING = 1.05
 
 
 def _workload():
@@ -132,6 +155,156 @@ def test_batching_coalesces_phases():
     assert report["warm_hit_rate"] > 0.5
 
 
+def measure_overload() -> dict:
+    """Sweep offered load over multiples of measured capacity.
+
+    Everything here runs on the *simulated* clock, so the whole sweep —
+    arrival trace, shed set, tail latencies, goodput curve — is a pure
+    function of the seeds.
+    """
+    robot, octree, pairs = _workload()
+
+    # Capacity estimate: drain one polite wave through the default
+    # batched service and read its simulated throughput.
+    probe = PlanningService(robot, octree)
+    _, unloaded = _drain(probe, _requests(pairs, suffix="-cap"))
+    capacity_rps = unloaded.requests_per_sim_s
+    unloaded_ms = unloaded.sim_ms
+
+    sweep = []
+    for multiple in LOAD_MULTIPLES:
+        spec = TrafficSpec(
+            kind="poisson",
+            seed=OVERLOAD_SEED,
+            n_requests=OVERLOAD_N,
+            n_clients=4,
+            rate_rps=multiple * capacity_rps,
+            deadline_ms=1.5 * unloaded_ms,
+        )
+        config = ReproConfig.for_service(
+            service=ServiceConfig(
+                admission_control=True,
+                max_inflight=4,
+                max_queue_depth=6,
+                fairness=True,
+            )
+        )
+        service = PlanningService(robot, octree, config=config)
+        for request, arrival_ms in requests_from_trace(spec.generate(), pairs):
+            service.submit(request, arrival_ms=arrival_ms)
+        report = service.run()
+        latencies = [r.latency_ms for r in report.responses.values()]
+        sweep.append(
+            {
+                "load_multiple": multiple,
+                "offered_rps": spec.generate().offered_rps,
+                "goodput_per_sim_s": report.goodput_per_sim_s,
+                "completed": report.status_counts.get("completed", 0),
+                "shed": report.status_counts.get("shed", 0),
+                "sim_ms_p50": percentile(latencies, 50.0),
+                "sim_ms_p99": percentile(latencies, 99.0),
+                "sim_ms_p999": percentile(latencies, 99.9),
+            }
+        )
+
+    peak = max(point["goodput_per_sim_s"] for point in sweep)
+    post_knee = sweep[-1]["goodput_per_sim_s"]
+    return {
+        "capacity_rps": capacity_rps,
+        "sweep": sweep,
+        "peak_goodput": peak,
+        "post_knee_goodput": post_knee,
+        "post_knee_ratio": post_knee / peak if peak > 0 else 0.0,
+    }
+
+
+def measure_hook_overhead(repeats: int = 3) -> dict:
+    """Disabled-hook cost: inert admission+fairness vs the default service.
+
+    Interleaved min-of-repeats (the resilience-overhead methodology): a
+    polite wave through a service with admission control and fairness
+    enabled but never firing must cost at most a few percent over the
+    default service with the hooks compiled out of the path.
+    """
+    robot, octree, pairs = _workload()
+    inert = ReproConfig.for_service(
+        service=ServiceConfig(
+            admission_control=True,
+            max_queue_depth=1_000_000,
+            fairness=True,
+        )
+    )
+    base_s = hook_s = float("inf")
+    for repeat in range(repeats):
+        seconds, _ = _drain(
+            PlanningService(robot, octree),
+            _requests(pairs, suffix=f"-b{repeat}"),
+        )
+        base_s = min(base_s, seconds)
+        seconds, _ = _drain(
+            PlanningService(robot, octree, config=inert),
+            _requests(pairs, suffix=f"-h{repeat}"),
+        )
+        hook_s = min(hook_s, seconds)
+    return {
+        "baseline_s": base_s,
+        "inert_hooks_s": hook_s,
+        "ratio": hook_s / base_s,
+    }
+
+
+@pytest.mark.perf
+def test_post_knee_goodput_floor():
+    report = measure_overload()
+    assert report["post_knee_ratio"] >= GOODPUT_FLOOR, (
+        f"goodput at {LOAD_MULTIPLES[-1]}x offered load fell to "
+        f"{report['post_knee_ratio']:.0%} of peak (floor {GOODPUT_FLOOR:.0%}): "
+        f"load shedding is no longer protecting the service"
+    )
+
+
+@pytest.mark.perf
+def test_inert_overload_hooks_are_cheap():
+    report = measure_hook_overhead()
+    assert report["ratio"] <= HOOK_OVERHEAD_CEILING, (
+        f"inert admission/fairness hooks cost {report['ratio']:.2f}x the "
+        f"default service (ceiling {HOOK_OVERHEAD_CEILING:.2f}x)"
+    )
+
+
+def write_overload_artifact(report: dict, path: str) -> None:
+    """Emit the overload sweep as a BENCH artifact."""
+    from repro.harness.bench_artifact import make_bench_payload, save_bench
+
+    cases = [
+        {
+            "name": f"load_{point['load_multiple']:g}x",
+            "metrics": {
+                "offered_rps": round(point["offered_rps"], 3),
+                "goodput_per_sim_s": round(point["goodput_per_sim_s"], 3),
+                "completed": point["completed"],
+                "shed": point["shed"],
+                "sim_ms_p50": round(point["sim_ms_p50"], 4),
+                "sim_ms_p99": round(point["sim_ms_p99"], 4),
+                "sim_ms_p999": round(point["sim_ms_p999"], 4),
+            },
+        }
+        for point in report["sweep"]
+    ]
+    payload = make_bench_payload(
+        bench="serving_overload",
+        seed=OVERLOAD_SEED,
+        cases=cases,
+        summary={
+            "capacity_rps": round(report["capacity_rps"], 3),
+            "peak_goodput": round(report["peak_goodput"], 3),
+            "post_knee_goodput": round(report["post_knee_goodput"], 3),
+            "post_knee_ratio": round(report["post_knee_ratio"], 4),
+        },
+    )
+    save_bench(path, payload)
+
+
 def write_artifact(report: dict, path: str) -> None:
     """Emit the run as a BENCH artifact for the cross-PR trajectory."""
     from repro.harness.bench_artifact import make_bench_payload, save_bench
@@ -205,7 +378,30 @@ def main() -> int:
     )
     write_artifact(report, artifact)
     print(f"wrote {artifact}")
-    return 0 if floor_met else 1
+
+    overload = measure_overload()
+    print("overload sweep (simulated clock)")
+    print(f"  capacity            : {overload['capacity_rps']:.1f} req/sim-s")
+    for point in overload["sweep"]:
+        print(
+            f"  {point['load_multiple']:>4g}x offered "
+            f"({point['offered_rps']:7.1f} rps): goodput "
+            f"{point['goodput_per_sim_s']:7.1f}/s, "
+            f"{point['completed']:2d} ok / {point['shed']:2d} shed, "
+            f"p50 {point['sim_ms_p50']:.2f}ms p99 {point['sim_ms_p99']:.2f}ms "
+            f"p999 {point['sim_ms_p999']:.2f}ms"
+        )
+    goodput_met = overload["post_knee_ratio"] >= GOODPUT_FLOOR
+    print(
+        f"  post-knee goodput   : {overload['post_knee_ratio']:.0%} of peak "
+        f"({'met' if goodput_met else 'MISSED'}, floor {GOODPUT_FLOOR:.0%})"
+    )
+    overload_artifact = os.path.join(
+        os.path.dirname(__file__), "BENCH_serving_overload.json"
+    )
+    write_overload_artifact(overload, overload_artifact)
+    print(f"wrote {overload_artifact}")
+    return 0 if (floor_met and goodput_met) else 1
 
 
 if __name__ == "__main__":

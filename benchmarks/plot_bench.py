@@ -24,7 +24,13 @@ from typing import Dict, List, Tuple
 DEFAULT_IN = os.path.join(os.path.dirname(__file__), "bench_trajectory.json")
 
 #: Metrics plotted by default when present (one chart each).
-DEFAULT_METRICS = ("success_rate", "sim_ms_p50", "sim_ms_p99", "energy_uj")
+DEFAULT_METRICS = (
+    "success_rate",
+    "sim_ms_p50",
+    "sim_ms_p99",
+    "energy_uj",
+    "goodput_per_sim_s",
+)
 
 BAR_WIDTH = 40
 

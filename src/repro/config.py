@@ -245,6 +245,19 @@ class ServiceConfig:
     gap (``pose_cost_us`` for scalar sequential evaluation,
     ``batch_pose_cost_us`` per pose inside a coalesced vectorized dispatch,
     ``cache_hit_cost_us`` per verdict served from the collision cache).
+
+    The overload fields (all off by default — the defaults reproduce the
+    pre-overload service bit-for-bit) gate :mod:`repro.serving.admission`:
+    ``admission_control`` turns on the shedding gates, with
+    ``max_queue_depth`` bounding the backlog and driving the
+    queue-depth → :class:`~repro.resilience.degradation.DegradationLevel`
+    ladder; ``fairness`` admits via deficit round-robin over
+    ``PlanRequest.client_id`` with per-visit credit ``fairness_quantum``
+    (in units of ``PlanRequest.size``); ``preempt_energy_budget_pj``
+    evicts an in-flight request once its consumed work, priced through the
+    MPAccel energy model, exceeds the budget; ``max_fault_retries`` bounds
+    per-phase retries against injected engine faults in sequential mode
+    before the request fails.
     """
 
     mode: str = "batched"
@@ -256,6 +269,12 @@ class ServiceConfig:
     pose_cost_us: float = 1.0
     batch_pose_cost_us: float = 0.05
     cache_hit_cost_us: float = 0.01
+    admission_control: bool = False
+    max_queue_depth: Optional[int] = None
+    fairness: bool = False
+    fairness_quantum: float = 1.0
+    preempt_energy_budget_pj: Optional[float] = None
+    max_fault_retries: int = 2
 
     def __post_init__(self):
         _check_choice("service mode", self.mode, SERVICE_MODES)
@@ -267,6 +286,14 @@ class ServiceConfig:
         _check_non_negative("pose_cost_us", self.pose_cost_us)
         _check_non_negative("batch_pose_cost_us", self.batch_pose_cost_us)
         _check_non_negative("cache_hit_cost_us", self.cache_hit_cost_us)
+        if self.max_queue_depth is not None:
+            _check_positive("max_queue_depth", self.max_queue_depth)
+        _check_positive("fairness_quantum", self.fairness_quantum)
+        if self.preempt_energy_budget_pj is not None:
+            _check_positive(
+                "preempt_energy_budget_pj", self.preempt_energy_budget_pj
+            )
+        _check_non_negative("max_fault_retries", self.max_fault_retries)
 
     def to_dict(self) -> dict:
         return config_to_dict(self)

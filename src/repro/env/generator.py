@@ -29,10 +29,29 @@ OBSTACLE_COUNT_RANGE = (5, 9)
 _MOUNT_CLEARANCE_FRACTION = 0.12
 
 
-def _mount_clear(center: np.ndarray, half: np.ndarray, extent: float) -> bool:
-    """Whether an obstacle candidate stays clear of the robot mount region."""
+def _mount_clear(
+    center: np.ndarray,
+    half: np.ndarray,
+    extent: float,
+    voxel_size: Optional[float] = None,
+) -> bool:
+    """Whether an obstacle candidate stays clear of the robot mount region.
+
+    With ``voxel_size`` given, clearance is measured against the candidate
+    box snapped *outward* to the voxel grid the octree rasterizer will use:
+    the rasterizer marks every voxel the box touches, so at coarse
+    resolutions the obstacle the checker actually sees can extend up to a
+    whole cell past the exact AABB and bury a mount the exact box clears
+    (leaving that robot with zero free configurations).
+    """
     mount = np.array([0.0, 0.0, 0.0])
-    closest = np.clip(mount, center - half, center + half)
+    lo = center - half
+    hi = center + half
+    if voxel_size is not None:
+        origin = np.array([-extent / 2.0, -extent / 2.0, 0.0])
+        lo = origin + np.floor((lo - origin) / voxel_size) * voxel_size
+        hi = origin + np.ceil((hi - origin) / voxel_size) * voxel_size
+    closest = np.clip(mount, lo, hi)
     clearance = _MOUNT_CLEARANCE_FRACTION * extent
     return float(np.linalg.norm(closest - mount)) > clearance
 
@@ -43,8 +62,17 @@ def random_scene(
     n_obstacles: Optional[int] = None,
     size_fraction: Tuple[float, float] = OBSTACLE_SIZE_FRACTION,
     rng: Optional[np.random.Generator] = None,
+    voxel_size: Optional[float] = None,
 ) -> Scene:
-    """One benchmark environment with randomly placed cuboid obstacles."""
+    """One benchmark environment with randomly placed cuboid obstacles.
+
+    ``voxel_size`` (optional) is the rasterization cell size of the octree
+    the scene will be voxelized at; when given, the mount keep-out test is
+    applied to the grid-snapped obstacle box rather than the exact AABB,
+    so coarse-resolution voxel inflation can never bury the mount.  The
+    default (``None``) preserves the historical exact-box behavior and its
+    rng acceptance stream bit-for-bit.
+    """
     if rng is None:
         rng = np.random.default_rng(seed)
     if n_obstacles is None:
@@ -67,7 +95,7 @@ def random_scene(
             )
         half = rng.uniform(lo_frac, hi_frac, size=3) * extent / 2.0
         center = rng.uniform(bounds.minimum + half, bounds.maximum - half)
-        if not _mount_clear(center, half, extent):
+        if not _mount_clear(center, half, extent, voxel_size):
             continue
         scene.add_obstacle(AABB(center, half))
         placed += 1

@@ -563,3 +563,55 @@ def load_telemetry(path: str) -> MetricsRegistry:
             f"unsupported trace schema version {version!r}; expected {SCHEMA_VERSION}"
         )
     return MetricsRegistry.from_dict(payload["telemetry"])
+
+
+# ----------------------------------------------------------------------
+# Traffic traces: seeded arrival schedules for overload serving
+# experiments (repro.serving.traffic), saved like fault schedules — the
+# file carries the generating spec *and* the expanded events, and loading
+# re-validates that the events match the spec's regeneration so a
+# hand-edited trace cannot silently drift from its seed.
+
+
+def save_traffic_trace(path: str, trace) -> None:
+    from repro.serving.traffic import TrafficTrace
+
+    if not isinstance(trace, TrafficTrace):
+        raise TypeError(
+            f"save_traffic_trace expects a TrafficTrace, got "
+            f"{type(trace).__name__}"
+        )
+    payload = {
+        "version": SCHEMA_VERSION,
+        "traffic": {
+            "spec": trace.spec.to_dict(),
+            "events": [event.to_dict() for event in trace.events],
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_traffic_trace(path: str):
+    from repro.serving.traffic import TrafficEvent, TrafficSpec, TrafficTrace
+
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported traffic trace version {version!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    if "traffic" not in payload:
+        raise ValueError("traffic trace file missing required key 'traffic'")
+    data = payload["traffic"]
+    spec = TrafficSpec.from_dict(data["spec"])
+    events = tuple(TrafficEvent.from_dict(event) for event in data["events"])
+    trace = TrafficTrace(spec=spec, events=events)
+    if trace != spec.generate():
+        raise ValueError(
+            "traffic trace events do not match the spec's regeneration "
+            "(tampered or truncated file)"
+        )
+    return trace

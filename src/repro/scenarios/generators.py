@@ -94,8 +94,16 @@ def _static_instance(
 def _build_random_cuboids(spec, params):
     scene_rng = _rngs(spec, 1)[0]
     n_obstacles = params["n_obstacles"] if params["n_obstacles"] > 0 else None
+    # Mount clearance is measured against the voxel-snapped box (PR-7
+    # multi_arm precedent): at coarse resolutions the rasterizer inflates
+    # an obstacle by up to a whole cell, and an exact-AABB clearance test
+    # can admit a box whose voxelized form buries the mount (hypothesis
+    # seed 65536: planar3 at resolution 8 had zero free configurations).
     scene = random_scene(
-        extent=params["extent"], n_obstacles=n_obstacles, rng=scene_rng
+        extent=params["extent"],
+        n_obstacles=n_obstacles,
+        rng=scene_rng,
+        voxel_size=params["extent"] / params["octree_resolution"],
     )
     return _static_instance(spec, params, scene)
 
@@ -281,6 +289,7 @@ def _build_moving_obstacles(spec, params):
         extent=extent,
         n_obstacles=params["n_static"],
         rng=scene_rng,
+        voxel_size=extent / params["octree_resolution"],
     )
 
     def epoch_scene(epoch: int) -> Scene:

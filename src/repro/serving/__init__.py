@@ -5,21 +5,53 @@ deterministic simulated clock, coalescing their collision-detection phases
 into shared vectorized dispatches and memoizing verdicts in an
 octree-versioned cache — while keeping every request's answers, path, and
 operation counts bit-identical to running it alone.
+
+Overload is a first-class regime: seeded open-loop traffic models
+(:mod:`repro.serving.traffic`) replay bursty arrivals bit-identically, and
+the admission layer (:mod:`repro.serving.admission`) sheds infeasible work
+with typed statuses, enforces per-client fairness via deficit round-robin,
+and preempts requests that exceed their priced energy budget.
 """
 
+from repro.serving.admission import (
+    AdmissionController,
+    DeficitRoundRobin,
+    RequestStatus,
+    SHED_REASONS,
+    overload_level,
+    priced_energy_pj,
+)
 from repro.serving.batcher import CrossRequestBatcher, FlushReport
 from repro.serving.service import (
     PlanningService,
     PlanRequest,
     PlanResponse,
     ServiceReport,
+    group_pending_by_epoch,
+)
+from repro.serving.traffic import (
+    TrafficEvent,
+    TrafficSpec,
+    TrafficTrace,
+    requests_from_trace,
 )
 
 __all__ = [
+    "AdmissionController",
     "CrossRequestBatcher",
+    "DeficitRoundRobin",
     "FlushReport",
     "PlanningService",
     "PlanRequest",
     "PlanResponse",
+    "RequestStatus",
+    "SHED_REASONS",
     "ServiceReport",
+    "TrafficEvent",
+    "TrafficSpec",
+    "TrafficTrace",
+    "group_pending_by_epoch",
+    "overload_level",
+    "priced_energy_pj",
+    "requests_from_trace",
 ]

@@ -6,29 +6,54 @@ wall-clock nondeterminism.  Planners are suspendable generators
 (``plan_steps``, :mod:`repro.planning.queries`), so the service interleaves
 requests at collision-query boundaries:
 
-1. **Admission.**  Submitted requests wait in a priority queue ordered by
-   ``(priority, arrival, sequence)``; at most ``max_inflight`` run at once.
-2. **Rounds.**  Each round resumes every in-flight request's generator to
+1. **Arrival.**  ``submit`` enqueues a request either immediately or at a
+   future simulated time (``arrival_ms``), which is how seeded traffic
+   traces (:mod:`repro.serving.traffic`) replay open-loop arrivals: the
+   drain loop ingests each arrival when the clock reaches it, and fast-
+   forwards the clock to the next arrival when the service is idle.
+2. **Admission.**  Queued requests wait in a priority queue with an
+   explicit, documented order — ``(priority, arrival_us, sequence)``, so
+   equal-priority requests are admitted strictly FIFO by arrival and the
+   tiebreak among simultaneous arrivals is submission order (pinned by
+   ``tests/test_serving_overload.py``).  At most ``max_inflight`` run at
+   once.  With ``admission_control`` on, the gates of
+   :mod:`repro.serving.admission` may *shed* a request instead — at
+   arrival (queue full, provably/estimably infeasible deadline,
+   best-effort refusal under overload) or at dequeue (deadline expired
+   while queued) — producing a typed ``status="shed"`` response with a
+   named reason; the planner never runs.  With ``fairness`` on, admission
+   runs deficit round-robin over ``client_id`` instead of the global
+   queue, so a flooding client cannot starve the others.
+3. **Rounds.**  Each round resumes every in-flight request's generator to
    its next CD phase (degenerate queries are answered inline per the
    recorder contract), then flushes the collected phases through the
    :class:`~repro.serving.batcher.CrossRequestBatcher` in windows of
    ``batch_window`` phases — one vectorized dispatch per window, coalescing
-   work *across* requests.
-3. **Deadlines.**  Every request carries a
+   work *across* requests.  Windows are grouped by environment epoch
+   (:func:`group_pending_by_epoch`): requests planning against the same
+   octree version coalesce into the same flush, so a flush never mixes
+   epochs (cache-aware routing).
+4. **Deadlines and budgets.**  Every request carries a
    :class:`~repro.resilience.deadline.DeadlineBudget` (simulated
    milliseconds).  By default a miss is flagged on the response; with
    ``cancel_on_deadline_miss`` the request is cancelled at the next
-   scheduling point after its budget lapses.
+   scheduling point after its budget lapses.  With
+   ``preempt_energy_budget_pj`` set, a request whose consumed work —
+   priced through the MPAccel energy model
+   (:func:`repro.serving.admission.priced_energy_pj`) — exceeds the budget
+   is preempted at the next scheduling point (``status="preempted"``).
 
 **Determinism and per-request bit-identity.**  The round structure, the
-admission order, and the simulated cost model are all pure functions of the
-submitted requests and the :class:`~repro.config.ServiceConfig`; there is
-no hidden state.  Because each planner is one generator driven by answers
-that are bit-identical to a solo run (see
-:mod:`repro.serving.batcher`), every request's path, verdicts, and
-:class:`~repro.collision.stats.CollisionStats` are independent of arrival
-interleaving, batch window size, and the other requests in flight — pinned
-by ``tests/test_serving.py``.
+admission order, the shed set, and the simulated cost model are all pure
+functions of the submitted requests and the
+:class:`~repro.config.ServiceConfig`; there is no hidden state.  Because
+each planner is one generator driven by answers that are bit-identical to
+a solo run (see :mod:`repro.serving.batcher`), every *surviving* request's
+path, verdicts, and :class:`~repro.collision.stats.CollisionStats` are
+independent of arrival interleaving, batch window size, and the other
+requests in flight — pinned by ``tests/test_serving.py`` and
+``tests/test_serving_overload.py``.  With every overload knob at its
+default the service reproduces the pre-overload behavior bit-for-bit.
 
 The simulated cost model (microseconds) makes batching visible in service
 latency: a batched dispatch costs ``dispatch_overhead_us`` once plus
@@ -41,8 +66,8 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -52,12 +77,26 @@ from repro.collision.stats import CollisionStats
 from repro.config import ReproConfig
 from repro.env.diff import octree_delta_regions
 from repro.env.octree import Octree
+from repro.planning.engine import SequentialEngine
 from repro.planning.recorder import CDTraceRecorder
 from repro.resilience.deadline import DeadlineBudget
+from repro.resilience.degradation import degradation_histogram
+from repro.resilience.faults import EngineTimeoutFault, TransientEngineFault
 from repro.robot.model import RobotModel
+from repro.serving.admission import (
+    AdmissionController,
+    DeficitRoundRobin,
+    priced_energy_pj,
+)
 from repro.serving.batcher import CrossRequestBatcher
 
-__all__ = ["PlanRequest", "PlanResponse", "ServiceReport", "PlanningService"]
+__all__ = [
+    "PlanRequest",
+    "PlanResponse",
+    "ServiceReport",
+    "PlanningService",
+    "group_pending_by_epoch",
+]
 
 
 @dataclass
@@ -70,6 +109,11 @@ class PlanRequest:
     rng)``.  ``seed`` feeds the request's private RNG; ``deadline_ms`` (in
     simulated milliseconds) defaults to the service's
     ``default_deadline_ms``.  Lower ``priority`` admits first.
+
+    ``client_id`` groups requests for fairness accounting (deficit
+    round-robin under ``ServiceConfig.fairness``); ``size`` is the
+    request's fairness cost, in the same units as ``fairness_quantum``
+    (heavy-tailed sizes come from the traffic model).
     """
 
     request_id: str
@@ -80,11 +124,21 @@ class PlanRequest:
     seed: int = 0
     priority: int = 0
     deadline_ms: Optional[float] = None
+    client_id: str = ""
+    size: float = 1.0
 
 
 @dataclass
 class PlanResponse:
-    """What the service returns for one request."""
+    """What the service returns for one request.
+
+    ``status`` is the typed terminal state (the values of
+    :class:`repro.serving.admission.RequestStatus`): ``"completed"``,
+    ``"cancelled"`` (deadline policy), ``"shed"`` (refused at admission —
+    ``shed_reason`` names the gate), ``"preempted"`` (energy budget), or
+    ``"failed"`` (engine-fault retries exhausted).  Only ``"completed"``
+    responses can carry a path.
+    """
 
     request_id: str
     success: bool
@@ -99,10 +153,19 @@ class PlanResponse:
     deadline_missed: bool
     cancelled: bool
     env_epoch: int
+    status: str = "completed"
+    shed_reason: Optional[str] = None
+    client_id: str = ""
 
     @property
     def latency_ms(self) -> float:
-        return self.completed_ms - self.submitted_ms
+        """Submission-to-terminal latency, clamped non-negative.
+
+        Well-defined for every terminal status: a request shed at its own
+        arrival instant has latency exactly 0.0, never a negative value
+        from float round-off.
+        """
+        return max(0.0, self.completed_ms - self.submitted_ms)
 
 
 @dataclass
@@ -116,16 +179,45 @@ class ServiceReport:
     phases_answered: int
     poses_dispatched: int
     cache_counters: Optional[dict]
+    #: Terminal-status tally over ``responses`` (completed/cancelled/...).
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    #: Shed-reason tally (zero-filled when admission control is off).
+    shed_counts: Dict[str, int] = field(default_factory=dict)
+    #: Overload-level histogram over arrival-gate checks (admission only).
+    overload_histogram: Dict[str, int] = field(default_factory=dict)
 
     @property
     def completed(self) -> int:
         return sum(1 for r in self.responses.values() if r.success)
 
     @property
+    def shed(self) -> int:
+        return sum(1 for r in self.responses.values() if r.status == "shed")
+
+    @property
+    def goodput(self) -> int:
+        """Completed, successful responses that met their deadline."""
+        return sum(
+            1
+            for r in self.responses.values()
+            if r.status == "completed" and r.success and not r.deadline_missed
+        )
+
+    @property
     def requests_per_sim_s(self) -> float:
+        """Terminal responses per simulated second (0.0 on a zero-time
+        drain — e.g. every request shed at arrival — never a
+        division-by-zero)."""
         if self.sim_ms <= 0:
             return 0.0
         return len(self.responses) / (self.sim_ms / 1e3)
+
+    @property
+    def goodput_per_sim_s(self) -> float:
+        """Useful completions per simulated second (same zero-time guard)."""
+        if self.sim_ms <= 0:
+            return 0.0
+        return self.goodput / (self.sim_ms / 1e3)
 
 
 class _Task:
@@ -143,9 +235,12 @@ class _Task:
         "done",
         "result",
         "cancelled",
+        "status",
+        "env_epoch",
+        "retries",
     )
 
-    def __init__(self, request, gen, recorder, deadline, submitted_us):
+    def __init__(self, request, gen, recorder, deadline, submitted_us, env_epoch):
         self.request = request
         self.gen = gen
         self.recorder = recorder
@@ -157,6 +252,26 @@ class _Task:
         self.done = False
         self.result = None
         self.cancelled = False
+        self.status = "completed"
+        self.env_epoch = env_epoch
+        self.retries = 0
+
+
+def group_pending_by_epoch(pending: List[_Task]) -> List[List[_Task]]:
+    """Partition pending tasks into flush groups by environment epoch.
+
+    Groups are ordered by epoch (oldest first) and preserve scheduling
+    order within a group, so a flush window never mixes requests planning
+    against different octree versions — requests sharing an epoch coalesce
+    into the same vectorized dispatch and share its cache locality.  (The
+    service only changes epochs while nothing is in flight, so at runtime
+    a single drain sees one group; the partition is the documented routing
+    rule and is unit-tested directly.)
+    """
+    groups: Dict[int, List[_Task]] = {}
+    for task in pending:
+        groups.setdefault(task.env_epoch, []).append(task)
+    return [groups[epoch] for epoch in sorted(groups)]
 
 
 class PlanningService:
@@ -165,8 +280,13 @@ class PlanningService:
     ``config`` is a :class:`~repro.config.ReproConfig`; its ``service``
     section selects the mode (``"batched"`` coalesces phases across
     requests, ``"sequential"`` is the single-client baseline), the batch
-    window, admission limits, and the simulated cost model, while
-    ``config.cache`` controls the shared octree-versioned verdict cache.
+    window, admission limits, the simulated cost model, and the overload
+    policy (admission control, fairness, preemption).  ``config.cache``
+    controls the shared octree-versioned verdict cache.  ``fault_injector``
+    (a :class:`repro.resilience.faults.FaultInjector`) threads the chaos
+    hooks through per-request checkers and sequential-mode engines; engine
+    phase faults are retried up to ``max_fault_retries`` times before the
+    request fails with ``status="failed"`` (and no path).
     """
 
     def __init__(
@@ -175,6 +295,7 @@ class PlanningService:
         octree: Octree,
         config: Optional[ReproConfig] = None,
         telemetry=None,
+        fault_injector=None,
     ):
         if config is None:
             config = ReproConfig.for_service()
@@ -189,14 +310,28 @@ class PlanningService:
         self.octree = octree
         self.config = config
         self.telemetry = telemetry
+        self.fault_injector = fault_injector
         self.env_epoch = 0
         self.clock_us = 0.0
         self.rounds = 0
         self._seq = itertools.count()
-        self._queue: list = []  # (priority, submitted_us, seq, task)
+        self._queue: list = []  # (priority, arrival_us, seq, request)
+        self._arrivals: list = []  # (arrival_us, seq, request) in the future
         self._inflight: List[_Task] = []
         self._responses: Dict[str, PlanResponse] = {}
         self._request_ids: set = set()
+
+        service = config.service
+        self.admission: Optional[AdmissionController] = None
+        if service.admission_control:
+            self.admission = AdmissionController(
+                max_queue_depth=service.max_queue_depth,
+                floor_ms=service.dispatch_overhead_us / 1e3,
+                telemetry=telemetry,
+            )
+        self._drr: Optional[DeficitRoundRobin] = None
+        if service.fairness:
+            self._drr = DeficitRoundRobin(quantum=service.fairness_quantum)
 
         self.cache: Optional[CollisionCache] = None
         if config.cache.enabled:
@@ -219,25 +354,69 @@ class PlanningService:
     # Submission / environment
     # ------------------------------------------------------------------
 
-    def submit(self, request: PlanRequest) -> None:
-        """Enqueue a request at the current simulated time."""
+    def submit(
+        self, request: PlanRequest, arrival_ms: Optional[float] = None
+    ) -> None:
+        """Enqueue a request, now or at a future simulated time.
+
+        With ``arrival_ms`` (simulated milliseconds, absolute) beyond the
+        current clock the request is held until the drain loop's clock
+        reaches it — the open-loop replay path for traffic traces; the
+        admission gates run at that arrival instant, not at submission.
+        """
         if request.request_id in self._request_ids:
             raise ValueError(f"duplicate request_id {request.request_id!r}")
+        self._validate_planner(request)
         self._request_ids.add(request.request_id)
-        task = self._make_task(request)
-        heapq.heappush(
-            self._queue,
-            (request.priority, task.submitted_us, next(self._seq), task),
+        arrival_us = (
+            self.clock_us if arrival_ms is None else float(arrival_ms) * 1e3
         )
+        if arrival_us > self.clock_us:
+            heapq.heappush(
+                self._arrivals, (arrival_us, next(self._seq), request)
+            )
+        else:
+            self._ingest(request, self.clock_us)
+
+    def _ingest(self, request: PlanRequest, arrival_us: float) -> None:
+        """Run the arrival gate and enqueue (or shed) one request."""
+        if self.admission is not None:
+            decision = self.admission.check_arrival(
+                queue_depth=self._queue_depth(),
+                deadline_ms=self._effective_deadline_ms(request),
+                priority=request.priority,
+            )
+            if not decision.admitted:
+                self._shed(request, arrival_us, decision.reason)
+                return
+        seq = next(self._seq)
+        if self._drr is not None:
+            self._drr.push(
+                request.client_id,
+                request.priority,
+                arrival_us,
+                seq,
+                request.size,
+                (request, arrival_us),
+            )
+        else:
+            # FIFO-stable ordering contract: among equal priorities,
+            # strictly by arrival time, then by submission sequence.
+            heapq.heappush(
+                self._queue, (request.priority, arrival_us, seq, request)
+            )
 
     def update_environment(self, octree: Octree) -> int:
         """Swap the environment octree between drains (service must be idle).
 
         Advances the environment epoch and selectively invalidates the
         shared cache from the changed-region boxes.  Returns the number of
-        cache entries dropped.
+        cache entries dropped.  Because the epoch can only change while
+        nothing is queued or in flight, every task in a drain shares one
+        epoch — the invariant behind :func:`group_pending_by_epoch`'s
+        single-group fast path.
         """
-        if self._queue or self._inflight:
+        if self._queue_depth() or self._inflight or self._arrivals:
             raise RuntimeError(
                 "update_environment requires an idle service (drain with "
                 "run() first)"
@@ -256,27 +435,45 @@ class PlanningService:
             self.batcher = CrossRequestBatcher(shared)
         return dropped
 
-    def _make_task(self, request: PlanRequest) -> _Task:
+    def _effective_deadline_ms(self, request: PlanRequest) -> Optional[float]:
+        if request.deadline_ms is not None:
+            return request.deadline_ms
+        return self.config.service.default_deadline_ms
+
+    def _make_task(self, request: PlanRequest, arrival_us: float) -> _Task:
         checker = RobotEnvironmentChecker.from_config(
-            self.robot, self.octree, self.config, cache=self.cache
+            self.robot,
+            self.octree,
+            self.config,
+            cache=self.cache,
+            fault_injector=self.fault_injector,
         )
         if self._shared_evaluator is not None:
             # All requests share one vectorized pipeline (it is stateless
             # apart from precomputed octree arrays).
             checker._batch_evaluator = self._shared_evaluator
-        recorder = CDTraceRecorder(checker)
+        engine = SequentialEngine(checker, fault_injector=self.fault_injector)
+        recorder = CDTraceRecorder(checker, engine=engine)
         planner = self._make_planner(request, recorder)
         rng = np.random.default_rng(request.seed)
         gen = planner.plan_steps(request.q_start, request.q_goal, rng)
-        deadline_ms = (
-            request.deadline_ms
-            if request.deadline_ms is not None
-            else self.config.service.default_deadline_ms
-        )
+        deadline_ms = self._effective_deadline_ms(request)
         deadline = (
             DeadlineBudget(sim_ms=deadline_ms) if deadline_ms is not None else None
         )
-        return _Task(request, gen, recorder, deadline, self.clock_us)
+        return _Task(request, gen, recorder, deadline, arrival_us, self.env_epoch)
+
+    #: Built-in planner names submit accepts (task construction is lazy,
+    #: so the name is validated eagerly at submission).
+    _PLANNER_NAMES = ("prm", "rrt", "rrt_connect")
+
+    @classmethod
+    def _validate_planner(cls, request: PlanRequest) -> None:
+        if request.planner_factory is None and request.planner not in cls._PLANNER_NAMES:
+            raise ValueError(
+                f"unknown planner {request.planner!r}; valid choices: "
+                f"{sorted(cls._PLANNER_NAMES)} (or pass planner_factory)"
+            )
 
     @staticmethod
     def _make_planner(request: PlanRequest, recorder: CDTraceRecorder):
@@ -306,8 +503,8 @@ class PlanningService:
     def run(self) -> ServiceReport:
         """Drain every submitted request; returns the aggregate report.
 
-        Deterministic: same requests + config -> same responses, clock, and
-        dispatch sequence.
+        Deterministic: same requests + config -> same responses, shed set,
+        clock, and dispatch sequence.
         """
         start_dispatches = (
             self.batcher.dispatches if self.batcher is not None else 0
@@ -323,9 +520,18 @@ class PlanningService:
         seq_poses = 0
         rounds = 0
 
-        while self._queue or self._inflight:
+        while self._queue_depth() or self._inflight or self._arrivals:
+            self._ingest_due_arrivals()
+            if not self._queue_depth() and not self._inflight:
+                if not self._arrivals:
+                    break
+                # Idle: fast-forward the clock to the next arrival.
+                self.clock_us = max(self.clock_us, self._arrivals[0][0])
+                continue
             rounds += 1
             self._admit()
+            if not self._inflight:
+                continue
             if self.config.service.mode == "batched":
                 self._round_batched()
             else:
@@ -341,6 +547,11 @@ class PlanningService:
             poses = self.batcher.poses_dispatched - start_poses
         else:
             dispatches, phases, poses = seq_dispatches, seq_phases, seq_poses
+        status_counts: Dict[str, int] = {}
+        for response in self._responses.values():
+            status_counts[response.status] = (
+                status_counts.get(response.status, 0) + 1
+            )
         return ServiceReport(
             responses=dict(self._responses),
             sim_ms=self.clock_us / 1e3,
@@ -349,14 +560,52 @@ class PlanningService:
             phases_answered=phases,
             poses_dispatched=poses,
             cache_counters=self.cache.counters() if self.cache else None,
+            status_counts=status_counts,
+            shed_counts=(
+                dict(self.admission.shed_counts)
+                if self.admission is not None
+                else {}
+            ),
+            overload_histogram=(
+                degradation_histogram(self.admission.level_history)
+                if self.admission is not None
+                else {}
+            ),
         )
+
+    def _queue_depth(self) -> int:
+        return len(self._drr) if self._drr is not None else len(self._queue)
+
+    def _ingest_due_arrivals(self) -> None:
+        while self._arrivals and self._arrivals[0][0] <= self.clock_us:
+            _, _, request = heapq.heappop(self._arrivals)
+            self._ingest(request, self.clock_us)
 
     def _admit(self) -> None:
         limit = self.config.service.max_inflight
+        if self._drr is not None:
+            while self._queue_depth() and len(self._inflight) < limit:
+                released = self._drr.pop_round(limit - len(self._inflight))
+                for request, arrival_us in released:
+                    self._start_or_shed(request, arrival_us)
+            return
         while self._queue and len(self._inflight) < limit:
-            _, _, _, task = heapq.heappop(self._queue)
-            task.admitted_us = self.clock_us
-            self._inflight.append(task)
+            _, arrival_us, _, request = heapq.heappop(self._queue)
+            self._start_or_shed(request, arrival_us)
+
+    def _start_or_shed(self, request: PlanRequest, arrival_us: float) -> None:
+        """The dequeue gate: start a task, or shed if it expired in queue."""
+        if self.admission is not None:
+            decision = self.admission.check_admission(
+                waited_ms=(self.clock_us - arrival_us) / 1e3,
+                deadline_ms=self._effective_deadline_ms(request),
+            )
+            if not decision.admitted:
+                self._shed(request, arrival_us, decision.reason)
+                return
+        task = self._make_task(request, arrival_us)
+        task.admitted_us = self.clock_us
+        self._inflight.append(task)
 
     def _round_batched(self) -> None:
         """One scheduling round: advance every task, flush phase windows."""
@@ -364,6 +613,8 @@ class PlanningService:
         pending: List[_Task] = []
         for task in list(self._inflight):
             if self._cancel_if_expired(task):
+                continue
+            if self._preempt_if_over_budget(task):
                 continue
             item = self._advance(task)
             if task.done:
@@ -373,21 +624,24 @@ class PlanningService:
                 pending.append(task)
 
         window = service.batch_window
-        for at in range(0, len(pending), window):
-            chunk = pending[at : at + window]
-            items = [
-                (task.recorder, task.pending_item[1]) for task in chunk
-            ]
-            answers, report = self.batcher.flush(items)
-            self.clock_us += (
-                service.dispatch_overhead_us
-                + service.batch_pose_cost_us * report.fresh_rows
-                + service.cache_hit_cost_us * report.cached_rows
-            )
-            for task, answer in zip(chunk, answers):
-                query, phase = task.pending_item
-                task.pending_item = None
-                task.pending_value = task.recorder.commit(query, phase, answer)
+        for group in group_pending_by_epoch(pending):
+            for at in range(0, len(group), window):
+                chunk = group[at : at + window]
+                items = [
+                    (task.recorder, task.pending_item[1]) for task in chunk
+                ]
+                answers, report = self.batcher.flush(items)
+                self.clock_us += (
+                    service.dispatch_overhead_us
+                    + service.batch_pose_cost_us * report.fresh_rows
+                    + service.cache_hit_cost_us * report.cached_rows
+                )
+                for task, answer in zip(chunk, answers):
+                    query, phase = task.pending_item
+                    task.pending_item = None
+                    task.pending_value = task.recorder.commit(
+                        query, phase, answer
+                    )
 
     def _round_sequential(self):
         """Baseline: run the single oldest in-flight request to completion."""
@@ -397,12 +651,31 @@ class PlanningService:
         while not task.done:
             if self._cancel_if_expired(task):
                 return dispatches, phases, poses
+            if self._preempt_if_over_budget(task):
+                return dispatches, phases, poses
             item = self._advance(task)
             if item is None:
                 break
             query, phase = item
             checks_before = task.recorder.checker.stats.pose_checks
-            answer = task.recorder.engine.answer(phase)
+            answer = None
+            while answer is None:
+                try:
+                    answer = task.recorder.engine.answer(phase)
+                except (TransientEngineFault, EngineTimeoutFault):
+                    # Injected engine fault: charge a retry dispatch and
+                    # re-answer the same phase, up to the configured bound;
+                    # past it the request fails — no path is ever emitted
+                    # from a faulted, unvalidated phase.
+                    task.retries += 1
+                    self.clock_us += service.dispatch_overhead_us
+                    if task.retries > service.max_fault_retries:
+                        task.status = "failed"
+                        task.done = True
+                        task.gen.close()
+                        break
+            if answer is None:
+                break
             charged = task.recorder.checker.stats.pose_checks - checks_before
             task.pending_value = task.recorder.commit(query, phase, answer)
             dispatches += 1
@@ -446,28 +719,76 @@ class PlanningService:
         if not task.deadline.sim_exceeded(elapsed_ms):
             return False
         task.cancelled = True
+        task.status = "cancelled"
         task.done = True
         task.gen.close()
         self._finish(task)
         return True
+
+    def _preempt_if_over_budget(self, task: _Task) -> bool:
+        """Preempt a task whose priced energy exceeds the configured budget.
+
+        The budget is priced through the MPAccel energy model over the
+        request's own collision stats, so "over budget" means the same
+        thing here as in the paper's energy accounting.
+        """
+        budget = self.config.service.preempt_energy_budget_pj
+        if budget is None:
+            return False
+        if priced_energy_pj(task.recorder.checker.stats) <= budget:
+            return False
+        task.status = "preempted"
+        task.done = True
+        task.gen.close()
+        if self.telemetry is not None:
+            self.telemetry.counter("service.preempted").inc()
+        self._finish(task)
+        return True
+
+    def _shed(
+        self, request: PlanRequest, arrival_us: float, reason: Optional[str]
+    ) -> None:
+        """Record a typed shed response (the planner never ran)."""
+        deadline_ms = self._effective_deadline_ms(request)
+        self._responses[request.request_id] = PlanResponse(
+            request_id=request.request_id,
+            success=False,
+            path=None,
+            result=None,
+            stats=CollisionStats(),
+            num_phases=0,
+            submitted_ms=arrival_us / 1e3,
+            admitted_ms=self.clock_us / 1e3,
+            completed_ms=self.clock_us / 1e3,
+            deadline_ms=deadline_ms,
+            deadline_missed=reason in ("infeasible_deadline", "expired_in_queue"),
+            cancelled=False,
+            env_epoch=self.env_epoch,
+            status="shed",
+            shed_reason=reason,
+            client_id=request.client_id,
+        )
 
     def _finish(self, task: _Task) -> None:
         self._inflight.remove(task)
         result = task.result
         path: Optional[list] = None
         success = False
-        if isinstance(result, list):
-            path = result
-            success = True
-        elif result is not None and hasattr(result, "success"):
-            success = bool(result.success)
-            path = list(result.path) if success else None
+        if task.status == "completed":
+            if isinstance(result, list):
+                path = result
+                success = True
+            elif result is not None and hasattr(result, "success"):
+                success = bool(result.success)
+                path = list(result.path) if success else None
         deadline_ms = task.deadline.sim_ms if task.deadline is not None else None
         elapsed_ms = (self.clock_us - task.submitted_us) / 1e3
         missed = deadline_ms is not None and elapsed_ms > deadline_ms
+        if self.admission is not None and task.status == "completed":
+            self.admission.observe_completion(self.clock_us - task.admitted_us)
         self._responses[task.request.request_id] = PlanResponse(
             request_id=task.request.request_id,
-            success=success and not task.cancelled,
+            success=success,
             path=path,
             result=result,
             stats=task.recorder.checker.stats.copy(),
@@ -478,7 +799,10 @@ class PlanningService:
             deadline_ms=deadline_ms,
             deadline_missed=missed or task.cancelled,
             cancelled=task.cancelled,
-            env_epoch=self.env_epoch,
+            env_epoch=task.env_epoch,
+            status=task.status,
+            shed_reason=None,
+            client_id=task.request.client_id,
         )
 
     # ------------------------------------------------------------------
@@ -487,7 +811,7 @@ class PlanningService:
 
     @property
     def num_pending(self) -> int:
-        return len(self._queue) + len(self._inflight)
+        return self._queue_depth() + len(self._inflight) + len(self._arrivals)
 
     def response(self, request_id: str) -> PlanResponse:
         return self._responses[request_id]

@@ -1,0 +1,302 @@
+"""Seeded trace-driven load generation for the planning service.
+
+Production traffic is not a polite wave of simultaneous submissions: it is
+an *open-loop* arrival process — clients do not wait for the service to
+catch up before sending more — with bursts and heavy-tailed request sizes.
+This module models that traffic as a pure function of a seed, so an
+overload experiment replays bit-identically:
+
+- :class:`TrafficSpec` freezes the model: ``kind="poisson"`` (open-loop
+  Poisson arrivals at ``rate_rps``) or ``kind="onoff"`` (a Markov-modulated
+  on/off process — exponentially distributed dwell times alternate between
+  a burst state at ``burst_rate_rps`` and an idle state at
+  ``idle_rate_rps``, the classic bursty-traffic model).  Request sizes are
+  drawn from a bounded Pareto (``size_alpha``/``size_min``/``size_max``),
+  the heavy-tailed shape measured for real request-size distributions.
+- :meth:`TrafficSpec.generate` expands the spec into a
+  :class:`TrafficTrace` — a frozen, ordered list of :class:`TrafficEvent`
+  arrivals.  All randomness comes from ``SeedSequence(seed)`` children
+  spawned in a fixed order, so the same spec always yields the same trace.
+- Traces serialize through
+  :func:`repro.harness.serialization.save_traffic_trace` /
+  ``load_traffic_trace`` exactly like fault schedules: the file carries the
+  spec *and* the expanded events, and loading re-validates that the events
+  match the spec's regeneration (a tampered trace fails loudly).
+
+:func:`requests_from_trace` maps a trace onto concrete
+:class:`~repro.serving.service.PlanRequest` objects over a pool of
+start/goal query pairs: an event's heavy-tailed ``size`` picks the pair
+(by size rank, so bigger sizes select later — typically harder — pairs)
+and becomes the request's fairness cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "TRAFFIC_KINDS",
+    "TrafficSpec",
+    "TrafficEvent",
+    "TrafficTrace",
+    "requests_from_trace",
+]
+
+#: Arrival-process kinds (validated by name).
+TRAFFIC_KINDS = ("poisson", "onoff")
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """One frozen traffic model: arrivals, burstiness, sizes, clients.
+
+    ``rate_rps`` is the mean arrival rate in requests per *simulated*
+    second.  For ``kind="onoff"`` the process alternates between a burst
+    state emitting at ``burst_rate_rps`` and an idle state at
+    ``idle_rate_rps`` with exponential dwell times (``mean_burst_ms`` /
+    ``mean_idle_ms``); ``rate_rps`` is ignored there.  ``hot_fraction``
+    routes that fraction of requests to client 0 (the "flooding" client of
+    the fairness tests); the rest are spread uniformly over all clients.
+    ``deadline_ms``/``priority`` stamp every generated request.
+    """
+
+    kind: str = "poisson"
+    seed: int = 0
+    n_requests: int = 64
+    n_clients: int = 4
+    rate_rps: float = 200.0
+    burst_rate_rps: float = 2000.0
+    idle_rate_rps: float = 20.0
+    mean_burst_ms: float = 40.0
+    mean_idle_ms: float = 160.0
+    size_alpha: float = 1.5
+    size_min: float = 1.0
+    size_max: float = 8.0
+    deadline_ms: Optional[float] = None
+    priority: int = 0
+    hot_fraction: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in TRAFFIC_KINDS:
+            raise ValueError(
+                f"unknown traffic kind {self.kind!r}; valid choices: "
+                f"{list(TRAFFIC_KINDS)}"
+            )
+        for name in (
+            "rate_rps",
+            "burst_rate_rps",
+            "idle_rate_rps",
+            "mean_burst_ms",
+            "mean_idle_ms",
+            "size_alpha",
+            "size_min",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(
+                    f"{name} must be positive, got {getattr(self, name)}"
+                )
+        if self.n_requests < 1:
+            raise ValueError(f"n_requests must be >= 1, got {self.n_requests}")
+        if self.n_clients < 1:
+            raise ValueError(f"n_clients must be >= 1, got {self.n_clients}")
+        if self.size_max < self.size_min:
+            raise ValueError(
+                f"size_max ({self.size_max}) must be >= size_min "
+                f"({self.size_min})"
+            )
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError(
+                f"deadline_ms must be positive or None, got {self.deadline_ms}"
+            )
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError(
+                f"hot_fraction must be in [0, 1], got {self.hot_fraction}"
+            )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficSpec":
+        if not isinstance(data, dict):
+            raise TypeError(
+                f"TrafficSpec expects a dict, got {type(data).__name__}"
+            )
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown TrafficSpec key(s) {unknown}; valid keys: "
+                f"{sorted(valid)}"
+            )
+        return cls(**data)
+
+    # ------------------------------------------------------------------
+
+    def generate(self) -> "TrafficTrace":
+        """Expand the spec into its arrival trace (pure function of seed).
+
+        Three independent streams are spawned in a fixed order — arrivals,
+        client assignment, sizes — so adding clients or resizing one stream
+        never perturbs the others.
+        """
+        arrival_rng, client_rng, size_rng = (
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(self.seed).spawn(3)
+        )
+        arrivals_ms = self._arrival_times_ms(arrival_rng)
+        clients = self._client_ids(client_rng)
+        sizes = self._sizes(size_rng)
+        events = tuple(
+            TrafficEvent(
+                arrival_ms=float(arrivals_ms[i]),
+                client_id=clients[i],
+                request_id=f"t{i}",
+                seed=self.seed * 100_003 + i,
+                size=float(sizes[i]),
+                priority=self.priority,
+                deadline_ms=self.deadline_ms,
+            )
+            for i in range(self.n_requests)
+        )
+        return TrafficTrace(spec=self, events=events)
+
+    def _arrival_times_ms(self, rng: np.random.Generator) -> np.ndarray:
+        if self.kind == "poisson":
+            gaps_ms = rng.exponential(1e3 / self.rate_rps, size=self.n_requests)
+            return np.cumsum(gaps_ms)
+        # onoff: walk the two-state chain, emitting arrivals at the state's
+        # rate until the dwell expires.
+        times: List[float] = []
+        now_ms = 0.0
+        burst = True
+        state_end_ms = now_ms + rng.exponential(self.mean_burst_ms)
+        while len(times) < self.n_requests:
+            rate = self.burst_rate_rps if burst else self.idle_rate_rps
+            gap_ms = rng.exponential(1e3 / rate)
+            if now_ms + gap_ms > state_end_ms:
+                now_ms = state_end_ms
+                burst = not burst
+                dwell = self.mean_burst_ms if burst else self.mean_idle_ms
+                state_end_ms = now_ms + rng.exponential(dwell)
+                continue
+            now_ms += gap_ms
+            times.append(now_ms)
+        return np.asarray(times)
+
+    def _client_ids(self, rng: np.random.Generator) -> List[str]:
+        ids = []
+        for _ in range(self.n_requests):
+            if self.hot_fraction > 0.0 and rng.random() < self.hot_fraction:
+                ids.append("client-0")
+            else:
+                ids.append(f"client-{int(rng.integers(self.n_clients))}")
+        return ids
+
+    def _sizes(self, rng: np.random.Generator) -> np.ndarray:
+        """Bounded Pareto via inverse-CDF over uniform draws."""
+        lo, hi, alpha = self.size_min, self.size_max, self.size_alpha
+        if hi == lo:
+            return np.full(self.n_requests, lo)
+        u = rng.random(self.n_requests)
+        la, ha = lo**alpha, hi**alpha
+        return (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+
+
+@dataclass(frozen=True)
+class TrafficEvent:
+    """One arrival: when, who, how big, and the request's own seed."""
+
+    arrival_ms: float
+    client_id: str
+    request_id: str
+    seed: int
+    size: float
+    priority: int = 0
+    deadline_ms: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficEvent":
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown TrafficEvent key(s) {unknown}; valid keys: "
+                f"{sorted(valid)}"
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TrafficTrace:
+    """A spec plus its expanded, time-ordered arrival events."""
+
+    spec: TrafficSpec
+    events: Tuple[TrafficEvent, ...]
+
+    def __post_init__(self):
+        times = [e.arrival_ms for e in self.events]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("trace events must be ordered by arrival_ms")
+
+    @property
+    def duration_ms(self) -> float:
+        return self.events[-1].arrival_ms if self.events else 0.0
+
+    @property
+    def offered_rps(self) -> float:
+        """Offered load over the trace span, requests per simulated second."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return len(self.events) / (self.duration_ms / 1e3)
+
+    def clients(self) -> List[str]:
+        """Distinct client ids, in first-arrival order."""
+        seen: List[str] = []
+        for event in self.events:
+            if event.client_id not in seen:
+                seen.append(event.client_id)
+        return seen
+
+
+def requests_from_trace(
+    trace: TrafficTrace,
+    pairs: Sequence[Tuple[np.ndarray, np.ndarray]],
+    planner: str = "rrt_connect",
+) -> List[Tuple[object, float]]:
+    """Materialize ``(PlanRequest, arrival_ms)`` pairs from a trace.
+
+    Each event's heavy-tailed ``size`` is mapped to a query pair by rank
+    within the spec's size band (``size_min`` → pair 0, ``size_max`` → the
+    last pair) and carried on the request as its fairness cost.
+    """
+    from repro.serving.service import PlanRequest
+
+    if not pairs:
+        raise ValueError("requests_from_trace needs a non-empty pair pool")
+    spec = trace.spec
+    span = max(spec.size_max - spec.size_min, 1e-12)
+    out = []
+    for event in trace.events:
+        frac = min(max((event.size - spec.size_min) / span, 0.0), 1.0)
+        q_start, q_goal = pairs[int(round(frac * (len(pairs) - 1)))]
+        request = PlanRequest(
+            request_id=event.request_id,
+            q_start=q_start,
+            q_goal=q_goal,
+            planner=planner,
+            seed=event.seed,
+            priority=event.priority,
+            deadline_ms=event.deadline_ms,
+            client_id=event.client_id,
+            size=event.size,
+        )
+        out.append((request, event.arrival_ms))
+    return out

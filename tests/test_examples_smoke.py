@@ -30,7 +30,12 @@ def _run_example(name: str) -> subprocess.CompletedProcess:
 
 @pytest.mark.parametrize(
     "script",
-    ["realtime_loop.py", "dynamic_replanning.py", "scenario_gallery.py"],
+    [
+        "realtime_loop.py",
+        "dynamic_replanning.py",
+        "scenario_gallery.py",
+        "overload_serving.py",
+    ],
 )
 def test_example_exits_zero(script):
     proc = _run_example(script)
@@ -46,3 +51,10 @@ def test_realtime_loop_reports_ladder():
     assert proc.returncode == 0
     assert "degradation histogram" in proc.stdout
     assert "real-time budget holds" in proc.stdout
+
+
+def test_overload_serving_reports_shedding():
+    proc = _run_example("overload_serving.py")
+    assert proc.returncode == 0
+    assert "shed reasons" in proc.stdout
+    assert "all overload contracts held" in proc.stdout

@@ -102,6 +102,31 @@ def test_multi_arm_clearance_accounts_for_voxel_inflation():
     assert build_scenario(spec).fingerprint() == instance.fingerprint()
 
 
+def test_random_cuboids_clearance_accounts_for_voxel_inflation():
+    """Regression (hypothesis seed 65536): at octree_resolution=8 over the
+    1.8-unit extent a cell is 0.225 units, and the old exact-AABB mount
+    clearance admitted an obstacle whose closest point sat 0.001 past the
+    0.216 keep-out ball — its voxelized form reached down to z=0 over the
+    mount, leaving planar3 with zero free configurations and the query
+    sampler failing after 200 draws.  random_cuboids (and the
+    moving_obstacles backdrop) now measure clearance against the
+    grid-snapped box, so this spec builds."""
+    spec = ScenarioSpec(
+        "prop-random_cuboids",
+        "random_cuboids",
+        seed=65536,
+        params={
+            "robot": "planar3",
+            "n_queries": 1,
+            "octree_resolution": 8,
+            "n_obstacles": 4,
+        },
+    )
+    instance = build_scenario(spec)
+    assert len(instance.queries) == 1
+    assert build_scenario(spec).fingerprint() == instance.fingerprint()
+
+
 @pytest.mark.parametrize("family", sorted(family_names()))
 def test_file_roundtrip_per_family(family, tmp_path):
     spec = ScenarioSpec(f"file-{family}", family, seed=9, params=_fast_params(family))

@@ -1,0 +1,123 @@
+"""Chaos serving: the planning service under injected engine faults.
+
+The serving leg of the chaos contract: with a seeded
+:class:`~repro.resilience.faults.FaultInjector` raising transient engine
+faults under live multi-request traffic, the service (a) never emits a
+path that was not validated by a successfully answered phase — a request
+whose retries are exhausted fails with ``status="failed"`` and no path;
+(b) remains deterministic per request — two runs with the same seeds
+produce bit-identical responses, statuses, and clocks; and (c) any path it
+does emit revalidates cleanly against a fault-free checker.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collision.checker import RobotEnvironmentChecker
+from repro.config import ReproConfig, ServiceConfig
+from repro.env.generator import random_scene
+from repro.env.octree import Octree
+from repro.resilience.faults import FaultInjector, FaultModels
+from repro.robot.presets import planar_arm
+from repro.serving import PlanningService, PlanRequest
+
+pytestmark = [pytest.mark.chaos, pytest.mark.serving]
+
+
+@pytest.fixture(scope="module")
+def world():
+    scene = random_scene(seed=1)
+    octree = Octree.from_scene(scene, resolution=16)
+    return scene, octree, planar_arm()
+
+
+@pytest.fixture(scope="module")
+def requests(world):
+    _, octree, robot = world
+    checker = RobotEnvironmentChecker.from_config(robot, octree, ReproConfig())
+    rng = np.random.default_rng(7)
+    qs = [checker.sample_free_configuration(rng) for _ in range(8)]
+    return [
+        PlanRequest(f"chaos-{i}", qs[2 * i], qs[2 * i + 1], seed=200 + i)
+        for i in range(4)
+    ]
+
+
+def _chaos_drain(world, requests, rate, max_fault_retries=2):
+    _, octree, robot = world
+    injector = FaultInjector(
+        FaultModels(engine_exception_rate=rate / 2, engine_timeout_rate=rate / 2),
+        seed=99,
+    )
+    config = ReproConfig(
+        service=ServiceConfig(
+            mode="sequential", max_fault_retries=max_fault_retries
+        )
+    )
+    service = PlanningService(
+        robot, octree, config=config, fault_injector=injector
+    )
+    for request in requests:
+        service.submit(request)
+    return service.run(), injector
+
+
+class TestChaosServing:
+    def test_deterministic_under_faults(self, world, requests):
+        def fingerprint():
+            report, injector = _chaos_drain(world, requests, rate=0.05)
+            return (
+                {
+                    rid: (
+                        r.status,
+                        r.success,
+                        None
+                        if r.path is None
+                        else [q.tolist() for q in r.path],
+                        r.stats.as_dict(),
+                    )
+                    for rid, r in report.responses.items()
+                },
+                report.sim_ms,
+                [event.kind for event in injector.events],
+            )
+
+        first, second = fingerprint(), fingerprint()
+        assert first == second
+        assert first[2], "the fault schedule should have fired"
+
+    def test_exhausted_retries_fail_without_a_path(self, world, requests):
+        # Every phase faults: retries always exhaust, every request fails,
+        # and no path is ever emitted from an unvalidated phase.
+        report, injector = _chaos_drain(
+            world, requests, rate=2.0, max_fault_retries=1
+        )
+        assert len(report.responses) == len(requests)
+        for response in report.responses.values():
+            assert response.status == "failed"
+            assert response.path is None
+            assert not response.success
+            assert response.latency_ms >= 0.0
+        assert report.status_counts == {"failed": len(requests)}
+        assert any(
+            event.kind in ("engine_exception", "engine_timeout")
+            for event in injector.events
+        )
+
+    def test_surviving_paths_revalidate_cleanly(self, world, requests):
+        # Moderate fault rate: some requests complete; every emitted path
+        # must be collision-free under a fresh fault-free checker.
+        _, octree, robot = world
+        report, _ = _chaos_drain(world, requests, rate=0.02)
+        clean = RobotEnvironmentChecker.from_config(
+            robot, octree, ReproConfig()
+        )
+        validated = 0
+        for response in report.responses.values():
+            if response.path is None:
+                continue
+            assert response.status == "completed"
+            for q_start, q_end in zip(response.path, response.path[1:]):
+                assert not clean.check_motion(q_start, q_end).collision
+            validated += 1
+        assert validated > 0, "expected at least one survivor at this rate"
