@@ -108,6 +108,45 @@ class TickReport:
     def total_ms(self) -> float:
         return self.planning_ms + self.octree_update_ms
 
+    _KEYS = (
+        "tick",
+        "replanned",
+        "plan_valid",
+        "planning_ms",
+        "phases",
+        "poses_checked",
+        "octree_update_ms",
+        "degradation",
+        "deadline_miss",
+        "stale_octree",
+        "faults",
+        "retries",
+    )
+
+    def to_dict(self) -> dict:
+        """JSON-native payload (nested inside a serialized report)."""
+        return {
+            "tick": self.tick,
+            "replanned": self.replanned,
+            "plan_valid": self.plan_valid,
+            "planning_ms": self.planning_ms,
+            "phases": self.phases,
+            "poses_checked": self.poses_checked,
+            "octree_update_ms": self.octree_update_ms,
+            "degradation": self.degradation,
+            "deadline_miss": self.deadline_miss,
+            "stale_octree": self.stale_octree,
+            "faults": self.faults,
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TickReport":
+        from repro.harness.reports import check_keys
+
+        check_keys("TickReport", data, cls._KEYS)
+        return cls(**data)
+
 
 @dataclass
 class RuntimeReport:
@@ -165,6 +204,36 @@ class RuntimeReport:
     def degradation_histogram(self) -> Dict[str, int]:
         """Ladder-ordered ``{rung label: tick count}`` for the run."""
         return degradation_histogram(self.degradation_levels())
+
+    _KEYS = ("ticks", "final_path")
+
+    def to_dict(self) -> dict:
+        """Serialize under the common report protocol (kind
+        ``"runtime_report"``; see :mod:`repro.harness.reports`)."""
+        from repro.harness.reports import stamp_report
+
+        return stamp_report(
+            "runtime_report",
+            {
+                "ticks": [tick.to_dict() for tick in self.ticks],
+                "final_path": [
+                    np.asarray(q, dtype=float).tolist()
+                    for q in self.final_path
+                ],
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RuntimeReport":
+        from repro.harness.reports import unpack_report
+
+        body = unpack_report(data, "runtime_report", cls._KEYS)
+        return cls(
+            ticks=[TickReport.from_dict(tick) for tick in body["ticks"]],
+            final_path=[
+                np.asarray(q, dtype=float) for q in body["final_path"]
+            ],
+        )
 
 
 class RobotRuntime:

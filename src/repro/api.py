@@ -14,8 +14,11 @@ constructors:
   replaying the phase trace through the simulators);
 - :func:`make_runtime` — the closed-loop realtime runtime
   (:class:`repro.accel.runtime.RobotRuntime`);
+- :func:`make_fleet` — the sharded planning fleet
+  (:class:`repro.serving.fleet.PlanningFleet`);
 - :func:`make_service` — the multi-client planning service
-  (:class:`repro.serving.PlanningService`).
+  (:class:`repro.serving.PlanningService`), built as the 1-shard special
+  case of :func:`make_fleet`.
 
 The facade is intentionally thin: everything it builds can also be built
 directly from the underlying classes' ``from_config`` / typed-config
@@ -44,6 +47,7 @@ __all__ = [
     "make_planner",
     "plan",
     "make_runtime",
+    "make_fleet",
     "make_service",
 ]
 
@@ -104,16 +108,9 @@ def make_planner(recorder: CDTraceRecorder, kind: str):
     — build :class:`~repro.planning.mpnet.MPNetPlanner` directly or use
     :func:`make_runtime` (whose stack scans the scene each tick).
     """
-    from repro.planning.prm import PRMPlanner
-    from repro.planning.rrt import RRTPlanner
-    from repro.planning.rrt_connect import RRTConnectPlanner
+    from repro.planning import PLANNER_FACTORIES
 
-    factories = {
-        "rrt": RRTPlanner,
-        "rrt_connect": RRTConnectPlanner,
-        "prm": PRMPlanner,
-    }
-    factory = factories.get(kind)
+    factory = PLANNER_FACTORIES.get(kind)
     if factory is None:
         extra = (
             " ('mpnet' needs scene context: build MPNetPlanner directly "
@@ -122,7 +119,8 @@ def make_planner(recorder: CDTraceRecorder, kind: str):
             else ""
         )
         raise ValueError(
-            f"unknown planner {kind!r}; valid choices: {sorted(factories)}{extra}"
+            f"unknown planner {kind!r}; valid choices: "
+            f"{sorted(PLANNER_FACTORIES)}{extra}"
         )
     return factory(recorder)
 
@@ -220,12 +218,35 @@ def make_runtime(
     )
 
 
+def make_fleet(robot, octree, config: Optional[ReproConfig] = None, *, telemetry=None):
+    """The sharded planning fleet, wired from ``config``.
+
+    Defaults to :meth:`ReproConfig.for_fleet` when ``config`` is None;
+    ``config.fleet`` selects the shard count, router policy, worker mode,
+    and global cache tier.
+    """
+    from repro.serving.fleet import PlanningFleet
+
+    if config is None:
+        config = ReproConfig.for_fleet()
+    return PlanningFleet(robot, octree, config=config, telemetry=telemetry)
+
+
 def make_service(robot, octree, config: Optional[ReproConfig] = None, *, telemetry=None):
-    """The multi-client planning service, wired from ``config``.
+    """The multi-client planning service: the 1-shard case of the fleet.
 
     Defaults to :meth:`ReproConfig.for_service` (batch backend + enabled
-    collision cache) when ``config`` is None.
+    collision cache) when ``config`` is None.  The service returned is the
+    single shard of a 1-shard :func:`make_fleet` — one construction path
+    for every shard count — so ``config.fleet.n_shards`` must be 1 here;
+    ask for more shards through :func:`make_fleet`.
     """
-    from repro.serving.service import PlanningService
-
-    return PlanningService(robot, octree, config=config, telemetry=telemetry)
+    if config is None:
+        config = ReproConfig.for_service()
+    if config.fleet.n_shards != 1:
+        raise ValueError(
+            f"make_service builds the 1-shard special case, but "
+            f"config.fleet.n_shards is {config.fleet.n_shards}; use "
+            "make_fleet for a sharded deployment"
+        )
+    return make_fleet(robot, octree, config, telemetry=telemetry).shards[0]

@@ -30,18 +30,36 @@ computed lazily at first invalidation and cached on the entry.
 Hit/miss/invalidation counters are mirrored into an optional
 :class:`~repro.accel.telemetry.MetricsRegistry` (``cache.hits``,
 ``cache.misses``, ``cache.invalidated``, ``cache.epoch_advances``).
+
+**Tiered caching for the sharded fleet.**  :class:`TieredCollisionCache`
+stacks a shard-private *local* tier over an optional fleet-wide *global*
+tier (:mod:`repro.serving.fleet`).  During a drain a shard reads
+local-then-global and writes local only, logging its fresh entries; at the
+drain boundary the fleet router merges every shard's fresh entries into
+the global tier in shard-index order (:meth:`CollisionCache.adopt`), so
+the global tier's content is a deterministic function of the drain — not
+of worker interleaving.  Both tiers observe every environment update at
+the same epoch boundary with the same changed-region boxes, so an entry's
+survival verdict is identical in every tier.  Cache *content* never
+affects verdicts or stats (hits replay exact deltas), so tiering is purely
+a performance protocol — the bit-identity contract above is unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.collision.stats import CollisionStats
 from repro.geometry.aabb import AABB
 
-__all__ = ["CacheEntry", "CollisionCache", "DEFAULT_QUANTUM"]
+__all__ = [
+    "CacheEntry",
+    "CollisionCache",
+    "TieredCollisionCache",
+    "DEFAULT_QUANTUM",
+]
 
 #: Default pose-key quantum (radians).  Far below any meaningful joint
 #: resolution, so distinct planner poses virtually never alias; equal poses
@@ -211,6 +229,36 @@ class CollisionCache:
         return dropped
 
     # ------------------------------------------------------------------
+    # Fleet sync (drain-boundary entry exchange)
+    # ------------------------------------------------------------------
+
+    def adopt(self, items: Sequence[Tuple[bytes, CacheEntry]]) -> int:
+        """Merge externally evaluated entries (the fleet's global-tier sync).
+
+        ``items`` are ``(key, entry)`` pairs in a deterministic order (the
+        fleet merges shards in shard-index order).  Entries whose epoch
+        does not match this cache's current epoch are skipped — they were
+        evaluated against a different octree version and their survival was
+        never proven.  Existing keys are kept (first writer wins, matching
+        the deterministic merge order); genuine inserts FIFO-evict like
+        :meth:`store`.  Returns the number of entries adopted.
+        """
+        adopted = 0
+        for key, entry in items:
+            if entry.epoch != self.epoch or key in self._entries:
+                continue
+            if len(self._entries) >= self.max_entries:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[key] = entry
+            adopted += 1
+        return adopted
+
+    def export_entries(self) -> List[Tuple[bytes, CacheEntry]]:
+        """Every live entry as ``(key, entry)`` pairs, in insertion order."""
+        return list(self._entries.items())
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -235,6 +283,194 @@ class CollisionCache:
         """Drop all entries and counters (the epoch is preserved)."""
         self._entries.clear()
         self.hits = self.misses = self.invalidated = 0
+
+
+class TieredCollisionCache:
+    """Local + global two-tier verdict cache for one fleet shard.
+
+    Drop-in for :class:`CollisionCache` where checkers and the serving
+    layer are concerned (``attach``/``lookup``/``store``/``counters``/
+    ``invalidate_regions``/``hits``), with the fleet cache protocol on top:
+
+    - **Reads** go local tier first, then the shared global tier.  A
+      global hit is *promoted* into the local tier so the shard keeps
+      serving it locally (promotions are not logged as fresh — the global
+      tier already has the entry).
+    - **Writes** land in the local tier only and are logged; the fleet
+      collects the log with :meth:`export_fresh` at the drain boundary and
+      merges it into the global tier in shard-index order.  The global
+      tier is therefore frozen for the whole drain, which is what makes a
+      multiprocessing drain bit-identical to the inline one.
+    - **Invalidation** (:meth:`invalidate_regions`) applies to the local
+      tier only; the owner of the shared global tier (the fleet)
+      invalidates it exactly once per environment update with the same
+      region boxes, so both tiers advance through the same epoch sequence.
+
+    ``hits``/``misses`` on this object count *tiered* outcomes (a lookup
+    that hits either tier is one hit), which is what the service's
+    simulated cost model and the batcher's cached-row accounting read.
+    """
+
+    def __init__(
+        self,
+        local: CollisionCache,
+        global_tier: Optional[CollisionCache] = None,
+    ):
+        if global_tier is not None and global_tier.quantum != local.quantum:
+            raise ValueError(
+                "tier quantum mismatch: local "
+                f"{local.quantum} vs global {global_tier.quantum} — tiers "
+                "must share one pose-key grid"
+            )
+        if global_tier is not None and global_tier.epoch != local.epoch:
+            raise ValueError(
+                f"tier epoch mismatch: local {local.epoch} vs global "
+                f"{global_tier.epoch} — tiers must join at the same epoch"
+            )
+        self.local = local
+        self.global_tier = global_tier
+        self.hits = 0
+        self.misses = 0
+        self.hits_local = 0
+        self.hits_global = 0
+        self._fresh: List[bytes] = []
+
+    # -- CollisionCache interface --------------------------------------
+
+    @property
+    def quantum(self) -> float:
+        return self.local.quantum
+
+    @property
+    def epoch(self) -> int:
+        return self.local.epoch
+
+    @property
+    def collect_stats(self) -> Optional[bool]:
+        return self.local.collect_stats
+
+    def attach(
+        self, collect_stats: bool, footprint_fn: Callable[[np.ndarray], AABB]
+    ) -> None:
+        self.local.attach(collect_stats, footprint_fn)
+        if self.global_tier is not None:
+            self.global_tier.attach(collect_stats, footprint_fn)
+
+    def key(self, q) -> bytes:
+        return self.local.key(q)
+
+    def lookup(self, q) -> Optional[CacheEntry]:
+        entry = self.local.lookup(q)
+        if entry is not None:
+            self.hits += 1
+            self.hits_local += 1
+            return entry
+        if self.global_tier is not None:
+            entry = self.global_tier.lookup(q)
+            if entry is not None:
+                self.hits += 1
+                self.hits_global += 1
+                # Promote so subsequent lookups stay shard-local.  Not
+                # logged as fresh: the global tier already holds it.
+                key = self.local.key(q)
+                self.local.adopt([(key, entry)])
+                return entry
+        self.misses += 1
+        return None
+
+    def store(self, q, verdict: bool, stats_delta: CollisionStats) -> None:
+        key = self.local.key(q)
+        fresh_insert = key not in self.local._entries
+        self.local.store(q, verdict, stats_delta)
+        if fresh_insert:
+            self._fresh.append(key)
+
+    def invalidate_regions(self, regions: Sequence[AABB]) -> int:
+        """Invalidate the *local* tier (the fleet does the global tier once)."""
+        dropped = self.local.invalidate_regions(regions)
+        self._fresh.clear()
+        return dropped
+
+    def advance_epoch(self) -> None:
+        self.local.advance_epoch()
+        self._fresh.clear()
+
+    def __len__(self) -> int:
+        return len(self.local)
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def counters(self) -> dict:
+        out = self.local.counters()
+        out.update(
+            {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hits_local": self.hits_local,
+                "hits_global": self.hits_global,
+                "entries": len(self.local),
+                "epoch": self.local.epoch,
+            }
+        )
+        return out
+
+    def clear(self) -> None:
+        self.local.clear()
+        self.hits = self.misses = self.hits_local = self.hits_global = 0
+        self._fresh.clear()
+
+    # -- fleet protocol -------------------------------------------------
+
+    def export_fresh(self) -> List[Tuple[bytes, CacheEntry]]:
+        """Entries stored (not promoted) since the last export, in order.
+
+        Clears the log: the fleet calls this exactly once per drain, after
+        every shard finished, and merges the results into the global tier.
+        Entries evicted from the local tier since being logged are skipped.
+        """
+        out = []
+        for key in self._fresh:
+            entry = self.local._entries.get(key)
+            if entry is not None:
+                out.append((key, entry))
+        self._fresh.clear()
+        return out
+
+    def export_state(self) -> dict:
+        """Picklable local-tier snapshot for a process-mode worker."""
+        return {
+            "entries": self.local.export_entries(),
+            "epoch": self.local.epoch,
+            "counters": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "hits_local": self.hits_local,
+                "hits_global": self.hits_global,
+                "local_hits": self.local.hits,
+                "local_misses": self.local.misses,
+                "local_invalidated": self.local.invalidated,
+                "local_epoch_advances": self.local.epoch_advances,
+            },
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        self.local._entries = dict(state["entries"])
+        self.local.epoch = state["epoch"]
+        if self.global_tier is not None:
+            self.global_tier.epoch = state["epoch"]
+        counters = state["counters"]
+        self.hits = counters["hits"]
+        self.misses = counters["misses"]
+        self.hits_local = counters["hits_local"]
+        self.hits_global = counters["hits_global"]
+        self.local.hits = counters["local_hits"]
+        self.local.misses = counters["local_misses"]
+        self.local.invalidated = counters["local_invalidated"]
+        self.local.epoch_advances = counters["local_epoch_advances"]
+        self._fresh.clear()
 
 
 def footprint_of_obbs(obbs) -> AABB:

@@ -81,6 +81,25 @@ class CollisionStats:
             "cascade_exits": dict(self.cascade_exits),
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "CollisionStats":
+        """Inverse of :meth:`as_dict` (report round-trips)."""
+        out = cls(
+            multiplies=int(data["multiplies"]),
+            additions=int(data["additions"]),
+            sphere_tests=int(data["sphere_tests"]),
+            sat_axes_tested=int(data["sat_axes_tested"]),
+            intersection_tests=int(data["intersection_tests"]),
+            node_visits=int(data["node_visits"]),
+            sram_reads=int(data["sram_reads"]),
+            pose_checks=int(data["pose_checks"]),
+            motion_checks=int(data["motion_checks"]),
+        )
+        out.cascade_exits = Counter(
+            {stage: int(count) for stage, count in data["cascade_exits"].items()}
+        )
+        return out
+
     def __repr__(self) -> str:
         return (
             f"CollisionStats(mults={self.multiplies}, tests={self.intersection_tests}, "

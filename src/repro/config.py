@@ -16,8 +16,11 @@ This module replaces them with frozen dataclasses:
 - :class:`CacheConfig` — the octree-versioned collision cache
   (:mod:`repro.collision.cache`);
 - :class:`ServiceConfig` — the multi-client planning service
-  (:mod:`repro.serving`): admission, batching window, and the simulated
-  cost model;
+  (:mod:`repro.serving`): admission, batching window, the simulated
+  cost model, and the in-config fault-injection regime;
+- :class:`FleetConfig` — the sharded planning fleet
+  (:mod:`repro.serving.fleet`): shard count, routing policy, and the
+  worker substrate (inline vs ``multiprocessing``);
 - :class:`ReproConfig` — the top-level bundle the :mod:`repro.api` facade
   consumes.
 
@@ -39,15 +42,20 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional, Tuple, Type, TypeVar
 
+from repro.resilience.faults import FaultModels
+
 __all__ = [
     "BACKENDS",
     "ENGINE_KINDS",
     "PLANNERS",
     "SERVICE_MODES",
+    "ROUTER_POLICIES",
+    "FLEET_WORKER_MODES",
     "EngineConfig",
     "ResilienceConfig",
     "CacheConfig",
     "ServiceConfig",
+    "FleetConfig",
     "ReproConfig",
     "config_from_dict",
     "config_to_dict",
@@ -61,6 +69,10 @@ ENGINE_KINDS = ("sequential", "batch", "simulated")
 PLANNERS = ("rrt", "rrt_connect", "prm", "mpnet")
 #: Serving dispatch modes (see :class:`repro.serving.PlanningService`).
 SERVICE_MODES = ("sequential", "batched")
+#: Fleet request-routing policies (see :class:`repro.serving.router.FleetRouter`).
+ROUTER_POLICIES = ("hash", "round_robin", "client", "region")
+#: Fleet shard execution substrates (see :class:`repro.serving.fleet.PlanningFleet`).
+FLEET_WORKER_MODES = ("inline", "process")
 
 
 def _check_choice(name: str, value: str, choices: Tuple[str, ...]) -> None:
@@ -258,6 +270,15 @@ class ServiceConfig:
     MPAccel energy model, exceeds the budget; ``max_fault_retries`` bounds
     per-phase retries against injected engine faults in sequential mode
     before the request fails.
+
+    ``fault_models`` (a :class:`repro.resilience.faults.FaultModels`) plus
+    ``fault_seed`` describe the chaos regime in-config: when
+    ``fault_models`` is set the service builds its own seeded
+    :class:`~repro.resilience.faults.FaultInjector` at construction
+    (exposed as ``service.fault_injector`` for event inspection).  This
+    replaces the legacy ``fault_injector=`` constructor kwarg, which still
+    works behind a :class:`DeprecationWarning` shim pinned bit-identical
+    in the tests.
     """
 
     mode: str = "batched"
@@ -275,6 +296,8 @@ class ServiceConfig:
     fairness_quantum: float = 1.0
     preempt_energy_budget_pj: Optional[float] = None
     max_fault_retries: int = 2
+    fault_seed: int = 0
+    fault_models: Optional[FaultModels] = None
 
     def __post_init__(self):
         _check_choice("service mode", self.mode, SERVICE_MODES)
@@ -294,12 +317,64 @@ class ServiceConfig:
                 "preempt_energy_budget_pj", self.preempt_energy_budget_pj
             )
         _check_non_negative("max_fault_retries", self.max_fault_retries)
+        if self.fault_models is not None and not isinstance(
+            self.fault_models, FaultModels
+        ):
+            raise TypeError(
+                "fault_models must be a repro.resilience.faults.FaultModels "
+                f"(or None), got {type(self.fault_models).__name__}"
+            )
 
     def to_dict(self) -> dict:
         return config_to_dict(self)
 
     @classmethod
     def from_dict(cls, data: dict) -> "ServiceConfig":
+        return config_from_dict(cls, data)
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """The sharded planning fleet (:mod:`repro.serving.fleet`).
+
+    ``n_shards`` is the number of :class:`~repro.serving.PlanningService`
+    shards behind the :class:`~repro.serving.fleet.PlanningFleet` facade;
+    ``router`` picks the deterministic request-to-shard assignment policy
+    (:class:`~repro.serving.router.FleetRouter`): ``"hash"`` — seeded hash
+    of the request id; ``"round_robin"`` — global submission order;
+    ``"client"`` — seeded hash of ``PlanRequest.client_id`` (all of one
+    robot's/client's requests land on one shard, preserving per-client
+    FIFO); ``"region"`` — seeded hash of the request's start configuration
+    quantized to ``region_quantum`` (spatial locality).  ``router_seed``
+    keys the hashes.
+
+    ``workers`` selects the execution substrate: ``"inline"`` drains every
+    shard in-process (the deterministic reference), ``"process"`` drains
+    shards in parallel ``multiprocessing`` workers fed by shared-memory
+    numpy octree/pose buffers — bit-identical to inline by construction
+    (pinned by the fleet differential tests).  ``global_cache`` enables the
+    fleet-wide global verdict-cache tier that shards sync into at drain
+    boundaries (requires ``CacheConfig.enabled``).
+    """
+
+    n_shards: int = 1
+    router: str = "hash"
+    router_seed: int = 0
+    workers: str = "inline"
+    region_quantum: float = 1.0
+    global_cache: bool = True
+
+    def __post_init__(self):
+        _check_positive("n_shards", self.n_shards)
+        _check_choice("router policy", self.router, ROUTER_POLICIES)
+        _check_choice("fleet worker mode", self.workers, FLEET_WORKER_MODES)
+        _check_positive("region_quantum", self.region_quantum)
+
+    def to_dict(self) -> dict:
+        return config_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FleetConfig":
         return config_from_dict(cls, data)
 
 
@@ -322,6 +397,7 @@ class ReproConfig:
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     cache: CacheConfig = field(default_factory=CacheConfig)
     service: ServiceConfig = field(default_factory=ServiceConfig)
+    fleet: FleetConfig = field(default_factory=FleetConfig)
 
     def __post_init__(self):
         _check_choice("backend", self.backend, BACKENDS)
@@ -345,6 +421,12 @@ class ReproConfig:
         overrides.setdefault("cache", CacheConfig(enabled=True))
         return cls(**overrides)
 
+    @classmethod
+    def for_fleet(cls, n_shards: int = 1, **overrides) -> "ReproConfig":
+        """The fleet default: serving defaults plus an ``n_shards`` fleet."""
+        overrides.setdefault("fleet", FleetConfig(n_shards=n_shards))
+        return cls.for_service(**overrides)
+
     def to_dict(self) -> dict:
         return config_to_dict(self)
 
@@ -359,6 +441,8 @@ _NESTED_FIELDS = {
     ("ReproConfig", "resilience"): ResilienceConfig,
     ("ReproConfig", "cache"): CacheConfig,
     ("ReproConfig", "service"): ServiceConfig,
+    ("ReproConfig", "fleet"): FleetConfig,
+    ("ServiceConfig", "fault_models"): FaultModels,
 }
 
 #: Config classes by name, for serialization dispatch.
@@ -367,5 +451,6 @@ CONFIG_CLASSES = {
     "ResilienceConfig": ResilienceConfig,
     "CacheConfig": CacheConfig,
     "ServiceConfig": ServiceConfig,
+    "FleetConfig": FleetConfig,
     "ReproConfig": ReproConfig,
 }

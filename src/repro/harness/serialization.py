@@ -615,3 +615,76 @@ def load_traffic_trace(path: str):
             "(tampered or truncated file)"
         )
     return trace
+
+
+# ----------------------------------------------------------------------
+# Report serialization: the common report protocol.  ServiceReport,
+# RuntimeReport, and FleetReport all serialize through schema-versioned
+# to_dict/from_dict (repro.harness.reports); these are the file-level
+# entry points.  The envelope names the report kind, so one loader reads
+# all three, and everything is strict: unknown envelope keys, unknown
+# kinds, and unknown report keys are rejected by name.
+
+
+def _report_registry() -> dict:
+    # Lazy: the report classes live above the harness in the layering
+    # (serving/accel import nothing from harness at module scope, and the
+    # harness only touches them when a report file is actually handled).
+    from repro.accel.runtime import RuntimeReport
+    from repro.serving.fleet import FleetReport
+    from repro.serving.service import ServiceReport
+
+    return {
+        "service_report": ServiceReport,
+        "runtime_report": RuntimeReport,
+        "fleet_report": FleetReport,
+    }
+
+
+def save_report(path: str, report) -> None:
+    """Write a Service/Runtime/Fleet report as versioned JSON."""
+    registry = _report_registry()
+    kind = next(
+        (k for k, cls in registry.items() if type(report) is cls), None
+    )
+    if kind is None:
+        expected = sorted(cls.__name__ for cls in registry.values())
+        raise TypeError(
+            f"cannot serialize {type(report).__name__} as a report; "
+            f"expected one of {expected}"
+        )
+    payload = {
+        "version": SCHEMA_VERSION,
+        "kind": kind,
+        "report": report.to_dict(),
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2)
+
+
+def load_report(path: str):
+    """Load a report written by :func:`save_report` (strictly validated)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    unknown = sorted(set(payload) - {"version", "kind", "report"})
+    if unknown:
+        raise ValueError(
+            f"unknown keys in report envelope: {', '.join(unknown)}"
+        )
+    version = payload.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported report file version {version!r}; "
+            f"expected {SCHEMA_VERSION}"
+        )
+    registry = _report_registry()
+    kind = payload.get("kind")
+    cls = registry.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown report kind {kind!r}; expected one of "
+            f"{sorted(registry)}"
+        )
+    if "report" not in payload:
+        raise ValueError("report file missing required key 'report'")
+    return cls.from_dict(payload["report"])

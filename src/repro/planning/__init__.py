@@ -32,7 +32,22 @@ from repro.planning.rrt_connect import RRTConnectPlanner
 from repro.planning.samplers import HeuristicSampler, NeuralSampler
 from repro.planning.shortcut import greedy_shortcut
 
+#: The recorder-only planner registry: planners that can be built from a
+#: bare :class:`CDTraceRecorder` with no extra scene context.  This is the
+#: single source of truth for planner-name strings — the :mod:`repro.api`
+#: facade and the serving layer (:class:`repro.serving.PlanningService`,
+#: :class:`repro.serving.fleet.PlanningFleet`) all validate and construct
+#: through it.  (``"mpnet"`` is deliberately absent: the neural planner
+#: needs a sampler and a scanned point cloud.)
+PLANNER_FACTORIES = {
+    "rrt": RRTPlanner,
+    "rrt_connect": RRTConnectPlanner,
+    "prm": PRMPlanner,
+}
+
+
 __all__ = [
+    "PLANNER_FACTORIES",
     "FunctionMode",
     "MotionRecord",
     "CDPhase",

@@ -11,6 +11,12 @@ Overload is a first-class regime: seeded open-loop traffic models
 the admission layer (:mod:`repro.serving.admission`) sheds infeasible work
 with typed statuses, enforces per-client fairness via deficit round-robin,
 and preempts requests that exceed their priced energy budget.
+
+Scaling past the single event loop is the fleet layer
+(:mod:`repro.serving.fleet`): N service shards behind a deterministic
+router (:mod:`repro.serving.router`), tiered local+global verdict caches,
+and optional multiprocessing workers fed through shared-memory scene
+buffers — bit-identical to the inline drain by construction.
 """
 
 from repro.serving.admission import (
@@ -22,6 +28,8 @@ from repro.serving.admission import (
     priced_energy_pj,
 )
 from repro.serving.batcher import CrossRequestBatcher, FlushReport
+from repro.serving.fleet import FleetReport, PlanningFleet
+from repro.serving.router import FleetRouter
 from repro.serving.service import (
     PlanningService,
     PlanRequest,
@@ -40,7 +48,10 @@ __all__ = [
     "AdmissionController",
     "CrossRequestBatcher",
     "DeficitRoundRobin",
+    "FleetReport",
+    "FleetRouter",
     "FlushReport",
+    "PlanningFleet",
     "PlanningService",
     "PlanRequest",
     "PlanResponse",

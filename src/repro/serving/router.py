@@ -1,0 +1,76 @@
+"""Deterministic request-to-shard assignment for the planning fleet.
+
+The router is the fleet's only scheduling authority: given a request it
+names the shard that will serve it, and nothing downstream (worker pool
+scheduling, process interleaving, drain order) may move the request
+elsewhere.  Every policy is a pure function of the request's own fields
+plus the router's fixed seed, so the assignment — and therefore each
+shard's exact workload — is reproducible from the configuration alone.
+
+Policies (see :data:`repro.config.ROUTER_POLICIES`):
+
+``"hash"``
+    Seeded CRC32 of the request id.  Uniform spread, no locality.
+``"round_robin"``
+    Submission order modulo shard count.  Exact load balance; the one
+    policy that depends on call order rather than request content.
+``"client"``
+    Seeded CRC32 of the client id — all of one client's requests land on
+    one shard, so per-client cache locality and FIFO ordering survive
+    sharding.
+``"region"``
+    Seeded CRC32 of the start pose quantized to ``region_quantum`` —
+    requests starting in the same configuration-space cell share a shard
+    and therefore a local verdict-cache working set.
+
+CRC32 rather than ``hash()``: Python's string hashing is salted per
+process (PYTHONHASHSEED), which would break run-to-run determinism.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.config import FleetConfig
+
+__all__ = ["FleetRouter"]
+
+
+class FleetRouter:
+    """Maps :class:`~repro.serving.service.PlanRequest` objects to shards."""
+
+    def __init__(self, config: FleetConfig):
+        self.config = config
+        self.n_shards = config.n_shards
+        self._seed_bytes = str(config.router_seed).encode()
+        self._rr_next = 0
+
+    def _crc(self, payload: bytes) -> int:
+        return zlib.crc32(self._seed_bytes + payload)
+
+    def assign(self, request) -> int:
+        """The shard index (``0 <= i < n_shards``) that serves ``request``."""
+        if self.n_shards == 1:
+            return 0
+        policy = self.config.router
+        if policy == "round_robin":
+            shard = self._rr_next
+            self._rr_next = (self._rr_next + 1) % self.n_shards
+            return shard
+        if policy == "hash":
+            payload = request.request_id.encode()
+        elif policy == "client":
+            payload = request.client_id.encode()
+        elif policy == "region":
+            q = np.asarray(request.q_start, dtype=float)
+            cells = np.round(q / self.config.region_quantum).astype(np.int64)
+            payload = cells.tobytes()
+        else:  # pragma: no cover - FleetConfig validates the policy name
+            raise ValueError(f"unknown router policy {policy!r}")
+        return self._crc(payload) % self.n_shards
+
+    def reset(self) -> None:
+        """Rewind order-dependent state (the round-robin cursor)."""
+        self._rr_next = 0

@@ -65,9 +65,9 @@ overhead-amortization argument as the paper's SAS dispatch model.
 from __future__ import annotations
 
 import heapq
-import itertools
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -77,11 +77,16 @@ from repro.collision.stats import CollisionStats
 from repro.config import ReproConfig
 from repro.env.diff import octree_delta_regions
 from repro.env.octree import Octree
+from repro.geometry.aabb import AABB
 from repro.planning.engine import SequentialEngine
 from repro.planning.recorder import CDTraceRecorder
 from repro.resilience.deadline import DeadlineBudget
 from repro.resilience.degradation import degradation_histogram
-from repro.resilience.faults import EngineTimeoutFault, TransientEngineFault
+from repro.resilience.faults import (
+    EngineTimeoutFault,
+    FaultInjector,
+    TransientEngineFault,
+)
 from repro.robot.model import RobotModel
 from repro.serving.admission import (
     AdmissionController,
@@ -167,6 +172,114 @@ class PlanResponse:
         """
         return max(0.0, self.completed_ms - self.submitted_ms)
 
+    _KEYS = (
+        "request_id",
+        "success",
+        "path",
+        "result",
+        "stats",
+        "num_phases",
+        "submitted_ms",
+        "admitted_ms",
+        "completed_ms",
+        "deadline_ms",
+        "deadline_missed",
+        "cancelled",
+        "env_epoch",
+        "status",
+        "shed_reason",
+        "client_id",
+    )
+
+    def to_dict(self) -> dict:
+        """JSON-native payload (nested inside a serialized report)."""
+        if self.result is None:
+            result: dict = {"kind": "none"}
+        elif isinstance(self.result, list):
+            result = {"kind": "path", "path": _path_to_lists(self.result)}
+        else:
+            result = {
+                "kind": "plan_result",
+                "success": bool(self.result.success),
+                "path": _path_to_lists(self.result.path),
+                "nn_inferences": int(self.result.nn_inferences),
+                "encoder_inferences": int(self.result.encoder_inferences),
+                "fallback_used": bool(self.result.fallback_used),
+                "replans": int(self.result.replans),
+            }
+        return {
+            "request_id": self.request_id,
+            "success": self.success,
+            "path": None if self.path is None else _path_to_lists(self.path),
+            "result": result,
+            "stats": self.stats.as_dict(),
+            "num_phases": self.num_phases,
+            "submitted_ms": self.submitted_ms,
+            "admitted_ms": self.admitted_ms,
+            "completed_ms": self.completed_ms,
+            "deadline_ms": self.deadline_ms,
+            "deadline_missed": self.deadline_missed,
+            "cancelled": self.cancelled,
+            "env_epoch": self.env_epoch,
+            "status": self.status,
+            "shed_reason": self.shed_reason,
+            "client_id": self.client_id,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PlanResponse":
+        from repro.harness.reports import check_keys
+
+        check_keys("PlanResponse", data, cls._KEYS)
+        raw = data["result"]
+        result: object
+        if raw["kind"] == "none":
+            result = None
+        elif raw["kind"] == "path":
+            result = _path_from_lists(raw["path"])
+        elif raw["kind"] == "plan_result":
+            from repro.planning.mpnet import PlanResult
+
+            result = PlanResult(
+                success=raw["success"],
+                path=_path_from_lists(raw["path"]),
+                nn_inferences=raw["nn_inferences"],
+                encoder_inferences=raw["encoder_inferences"],
+                fallback_used=raw["fallback_used"],
+                replans=raw["replans"],
+            )
+        else:
+            raise ValueError(f"unknown result kind {raw['kind']!r}")
+        return cls(
+            request_id=data["request_id"],
+            success=data["success"],
+            path=(
+                None if data["path"] is None else _path_from_lists(data["path"])
+            ),
+            result=result,
+            stats=CollisionStats.from_dict(data["stats"]),
+            num_phases=data["num_phases"],
+            submitted_ms=data["submitted_ms"],
+            admitted_ms=data["admitted_ms"],
+            completed_ms=data["completed_ms"],
+            deadline_ms=data["deadline_ms"],
+            deadline_missed=data["deadline_missed"],
+            cancelled=data["cancelled"],
+            env_epoch=data["env_epoch"],
+            status=data["status"],
+            shed_reason=data["shed_reason"],
+            client_id=data["client_id"],
+        )
+
+
+def _path_to_lists(path) -> list:
+    """Waypoints as nested float lists (exact: doubles survive JSON)."""
+    return [np.asarray(q, dtype=float).tolist() for q in path]
+
+
+def _path_from_lists(rows: list) -> list:
+    return [np.asarray(q, dtype=float) for q in rows]
+
 
 @dataclass
 class ServiceReport:
@@ -218,6 +331,64 @@ class ServiceReport:
         if self.sim_ms <= 0:
             return 0.0
         return self.goodput / (self.sim_ms / 1e3)
+
+    _KEYS = (
+        "responses",
+        "sim_ms",
+        "rounds",
+        "dispatches",
+        "phases_answered",
+        "poses_dispatched",
+        "cache_counters",
+        "status_counts",
+        "shed_counts",
+        "overload_histogram",
+    )
+
+    def to_dict(self) -> dict:
+        """Serialize under the common report protocol (kind
+        ``"service_report"``; see :mod:`repro.harness.reports`)."""
+        from repro.harness.reports import stamp_report
+
+        return stamp_report(
+            "service_report",
+            {
+                "responses": {
+                    rid: response.to_dict()
+                    for rid, response in sorted(self.responses.items())
+                },
+                "sim_ms": self.sim_ms,
+                "rounds": self.rounds,
+                "dispatches": self.dispatches,
+                "phases_answered": self.phases_answered,
+                "poses_dispatched": self.poses_dispatched,
+                "cache_counters": self.cache_counters,
+                "status_counts": dict(self.status_counts),
+                "shed_counts": dict(self.shed_counts),
+                "overload_histogram": dict(self.overload_histogram),
+            },
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceReport":
+        from repro.harness.reports import unpack_report
+
+        body = unpack_report(data, "service_report", cls._KEYS)
+        return cls(
+            responses={
+                rid: PlanResponse.from_dict(response)
+                for rid, response in body["responses"].items()
+            },
+            sim_ms=body["sim_ms"],
+            rounds=body["rounds"],
+            dispatches=body["dispatches"],
+            phases_answered=body["phases_answered"],
+            poses_dispatched=body["poses_dispatched"],
+            cache_counters=body["cache_counters"],
+            status_counts=dict(body["status_counts"]),
+            shed_counts=dict(body["shed_counts"]),
+            overload_histogram=dict(body["overload_histogram"]),
+        )
 
 
 class _Task:
@@ -282,11 +453,20 @@ class PlanningService:
     requests, ``"sequential"`` is the single-client baseline), the batch
     window, admission limits, the simulated cost model, and the overload
     policy (admission control, fairness, preemption).  ``config.cache``
-    controls the shared octree-versioned verdict cache.  ``fault_injector``
-    (a :class:`repro.resilience.faults.FaultInjector`) threads the chaos
-    hooks through per-request checkers and sequential-mode engines; engine
-    phase faults are retried up to ``max_fault_retries`` times before the
-    request fails with ``status="failed"`` (and no path).
+    controls the shared octree-versioned verdict cache.
+
+    Fault injection is configured through the typed config:
+    ``ServiceConfig(fault_models=..., fault_seed=...)`` builds the
+    service-owned :class:`repro.resilience.faults.FaultInjector` threaded
+    through per-request checkers and sequential-mode engines; engine phase
+    faults are retried up to ``max_fault_retries`` times before the request
+    fails with ``status="failed"`` (and no path).  The legacy
+    ``fault_injector=`` kwarg still works behind a ``DeprecationWarning``
+    shim (pinned bit-identical in ``tests/test_config_api.py``).
+
+    ``cache=`` injects an externally owned cache — the fleet's hook for
+    mounting a :class:`~repro.collision.cache.TieredCollisionCache` per
+    shard; by default the service builds its own from ``config.cache``.
     """
 
     def __init__(
@@ -296,6 +476,7 @@ class PlanningService:
         config: Optional[ReproConfig] = None,
         telemetry=None,
         fault_injector=None,
+        cache=None,
     ):
         if config is None:
             config = ReproConfig.for_service()
@@ -310,11 +491,33 @@ class PlanningService:
         self.octree = octree
         self.config = config
         self.telemetry = telemetry
-        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            if config.service.fault_models is not None:
+                raise ValueError(
+                    "faults configured twice: ServiceConfig.fault_models is "
+                    "set and a fault_injector= was passed; use the config "
+                    "field only"
+                )
+            warnings.warn(
+                "PlanningService(fault_injector=...) is deprecated; "
+                "configure faults with ServiceConfig(fault_models=..., "
+                "fault_seed=...)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.fault_injector = fault_injector
+        elif config.service.fault_models is not None:
+            self.fault_injector = FaultInjector(
+                models=config.service.fault_models,
+                seed=config.service.fault_seed,
+                telemetry=telemetry,
+            )
+        else:
+            self.fault_injector = None
         self.env_epoch = 0
         self.clock_us = 0.0
         self.rounds = 0
-        self._seq = itertools.count()
+        self._seq = 0
         self._queue: list = []  # (priority, arrival_us, seq, request)
         self._arrivals: list = []  # (arrival_us, seq, request) in the future
         self._inflight: List[_Task] = []
@@ -334,7 +537,14 @@ class PlanningService:
             self._drr = DeficitRoundRobin(quantum=service.fairness_quantum)
 
         self.cache: Optional[CollisionCache] = None
-        if config.cache.enabled:
+        if cache is not None:
+            if not config.cache.enabled:
+                raise ValueError(
+                    "cache= was injected but config.cache.enabled is False; "
+                    "enable the cache section or drop the injection"
+                )
+            self.cache = cache
+        elif config.cache.enabled:
             self.cache = CollisionCache(
                 quantum=config.cache.quantum,
                 max_entries=config.cache.max_entries,
@@ -373,10 +583,27 @@ class PlanningService:
         )
         if arrival_us > self.clock_us:
             heapq.heappush(
-                self._arrivals, (arrival_us, next(self._seq), request)
+                self._arrivals, (arrival_us, self._next_seq(), request)
             )
         else:
             self._ingest(request, self.clock_us)
+
+    def submit_many(
+        self, requests: Sequence[Tuple[PlanRequest, Optional[float]]]
+    ) -> None:
+        """Submit ``(request, arrival_ms)`` pairs in order.
+
+        The shape :func:`repro.serving.traffic.requests_from_trace` emits,
+        and the shard-submission unit of the fleet protocol.
+        """
+        for request, arrival_ms in requests:
+            self.submit(request, arrival_ms=arrival_ms)
+
+    def _next_seq(self) -> int:
+        """Monotone submission sequence (an int so state export can peek)."""
+        seq = self._seq
+        self._seq += 1
+        return seq
 
     def _ingest(self, request: PlanRequest, arrival_us: float) -> None:
         """Run the arrival gate and enqueue (or shed) one request."""
@@ -389,7 +616,7 @@ class PlanningService:
             if not decision.admitted:
                 self._shed(request, arrival_us, decision.reason)
                 return
-        seq = next(self._seq)
+        seq = self._next_seq()
         if self._drr is not None:
             self._drr.push(
                 request.client_id,
@@ -416,14 +643,39 @@ class PlanningService:
         epoch — the invariant behind :func:`group_pending_by_epoch`'s
         single-group fast path.
         """
+        regions = octree_delta_regions(self.octree, octree)
+        return self.apply_environment_update(
+            octree, regions, self.env_epoch + 1
+        )
+
+    def apply_environment_update(
+        self, octree: Octree, regions: Sequence[AABB], epoch: int
+    ) -> int:
+        """The shard half of the fleet's epoch-consistent update broadcast.
+
+        The caller (:meth:`update_environment` solo, or
+        :class:`repro.serving.fleet.PlanningFleet` fanning one update out)
+        computes the changed-region boxes once and names the target epoch
+        explicitly; every shard applies the same ``(octree, regions,
+        epoch)`` triple, so all local cache tiers and the fleet's global
+        tier advance through identical epoch sequences.  The epoch must be
+        exactly the successor of this service's current epoch — a skipped
+        or repeated broadcast is a protocol bug, not something to paper
+        over.  Returns the number of cache entries dropped.
+        """
         if self._queue_depth() or self._inflight or self._arrivals:
             raise RuntimeError(
                 "update_environment requires an idle service (drain with "
                 "run() first)"
             )
-        regions = octree_delta_regions(self.octree, octree)
+        if epoch != self.env_epoch + 1:
+            raise ValueError(
+                f"non-consecutive environment epoch: service is at "
+                f"{self.env_epoch}, broadcast names {epoch} (expected "
+                f"{self.env_epoch + 1})"
+            )
         self.octree = octree
-        self.env_epoch += 1
+        self.env_epoch = epoch
         dropped = 0
         if self.cache is not None:
             dropped = self.cache.invalidate_regions(regions)
@@ -463,36 +715,36 @@ class PlanningService:
         )
         return _Task(request, gen, recorder, deadline, arrival_us, self.env_epoch)
 
-    #: Built-in planner names submit accepts (task construction is lazy,
-    #: so the name is validated eagerly at submission).
-    _PLANNER_NAMES = ("prm", "rrt", "rrt_connect")
+    @staticmethod
+    def _validate_planner(request: PlanRequest) -> None:
+        """Check the planner name eagerly at submission (tasks build lazily).
 
-    @classmethod
-    def _validate_planner(cls, request: PlanRequest) -> None:
-        if request.planner_factory is None and request.planner not in cls._PLANNER_NAMES:
+        Names resolve through the one registry,
+        :data:`repro.planning.PLANNER_FACTORIES` (imported lazily — the
+        planning package is heavyweight and submit may never need it if a
+        factory was passed).
+        """
+        if request.planner_factory is not None:
+            return
+        from repro.planning import PLANNER_FACTORIES
+
+        if request.planner not in PLANNER_FACTORIES:
             raise ValueError(
                 f"unknown planner {request.planner!r}; valid choices: "
-                f"{sorted(cls._PLANNER_NAMES)} (or pass planner_factory)"
+                f"{sorted(PLANNER_FACTORIES)} (or pass planner_factory)"
             )
 
     @staticmethod
     def _make_planner(request: PlanRequest, recorder: CDTraceRecorder):
         if request.planner_factory is not None:
             return request.planner_factory(recorder)
-        from repro.planning.prm import PRMPlanner
-        from repro.planning.rrt import RRTPlanner
-        from repro.planning.rrt_connect import RRTConnectPlanner
+        from repro.planning import PLANNER_FACTORIES
 
-        factories = {
-            "rrt": RRTPlanner,
-            "rrt_connect": RRTConnectPlanner,
-            "prm": PRMPlanner,
-        }
-        factory = factories.get(request.planner)
+        factory = PLANNER_FACTORIES.get(request.planner)
         if factory is None:
             raise ValueError(
                 f"unknown planner {request.planner!r}; valid choices: "
-                f"{sorted(factories)} (or pass planner_factory)"
+                f"{sorted(PLANNER_FACTORIES)} (or pass planner_factory)"
             )
         return factory(recorder)
 
@@ -804,6 +1056,100 @@ class PlanningService:
             shed_reason=None,
             client_id=task.request.client_id,
         )
+
+    # ------------------------------------------------------------------
+    # Fleet state shipping (process-mode shard jobs)
+    # ------------------------------------------------------------------
+
+    def export_state(self) -> dict:
+        """Picklable snapshot of the service core, taken between drains.
+
+        The fleet's process mode ships this to a worker, which rebuilds an
+        identical service (same robot/octree/config), restores the state,
+        drains, and ships the post-drain snapshot back — the drain in the
+        worker is bit-identical to draining in place because *all* mutable
+        core state rides along: clock, epoch, submission sequence, queues,
+        prior responses, admission estimator, fairness deficits, and the
+        fault injector's RNG streams.  The cache is shipped separately by
+        the fleet (it owns the tier topology).  Only queued state can ship:
+        in-flight tasks hold live generators, which cannot cross a process
+        boundary.
+        """
+        if self._inflight:
+            raise RuntimeError(
+                "export_state requires no in-flight tasks (drain first)"
+            )
+        if self.fault_injector is None:
+            faults = None
+        else:
+            faults = {
+                "models": self.fault_injector.models,
+                "seed": self.fault_injector.seed,
+                "enabled": self.fault_injector.enabled,
+                "events": list(self.fault_injector.events),
+                # np.random.Generator pickles with its stream position, so
+                # the worker resumes each site's decision stream mid-flow.
+                "rngs": dict(self.fault_injector._rngs),
+                "draws": dict(self.fault_injector._draws),
+            }
+        return {
+            "clock_us": self.clock_us,
+            "env_epoch": self.env_epoch,
+            "rounds": self.rounds,
+            "seq": self._seq,
+            "queue": list(self._queue),
+            "arrivals": list(self._arrivals),
+            "responses": dict(self._responses),
+            "request_ids": set(self._request_ids),
+            "admission": (
+                self.admission.export_state()
+                if self.admission is not None
+                else None
+            ),
+            "drr": self._drr.export_state() if self._drr is not None else None,
+            "faults": faults,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot produced by :meth:`export_state`."""
+        if self._inflight:
+            raise RuntimeError(
+                "load_state requires no in-flight tasks (drain first)"
+            )
+        self.clock_us = state["clock_us"]
+        self.env_epoch = state["env_epoch"]
+        self.rounds = state["rounds"]
+        self._seq = state["seq"]
+        self._queue = list(state["queue"])
+        self._arrivals = list(state["arrivals"])
+        self._responses = dict(state["responses"])
+        self._request_ids = set(state["request_ids"])
+        if state["admission"] is not None:
+            if self.admission is None:
+                raise ValueError(
+                    "snapshot has admission state but this service was "
+                    "built without admission_control"
+                )
+            self.admission.load_state(state["admission"])
+        if state["drr"] is not None:
+            if self._drr is None:
+                raise ValueError(
+                    "snapshot has fairness state but this service was "
+                    "built without fairness"
+                )
+            self._drr.load_state(state["drr"])
+        faults = state["faults"]
+        if faults is not None:
+            injector = FaultInjector(
+                models=faults["models"],
+                seed=faults["seed"],
+                enabled=faults["enabled"],
+                telemetry=self.telemetry,
+            )
+            injector.events = list(faults["events"])
+            injector._rngs = dict(faults["rngs"])
+            injector._draws = dict(faults["draws"])
+            self.fault_injector = injector
 
     # ------------------------------------------------------------------
     # Introspection

@@ -21,6 +21,7 @@ from repro.collision.checker import RobotEnvironmentChecker
 from repro.config import (
     CacheConfig,
     EngineConfig,
+    FleetConfig,
     ReproConfig,
     ResilienceConfig,
     ServiceConfig,
@@ -84,6 +85,25 @@ class TestValidation:
         override = ReproConfig.for_service(planner="rrt")
         assert override.planner == "rrt" and override.backend == "batch"
 
+    def test_fleet_config_validates_fields(self):
+        with pytest.raises(ValueError, match="n_shards"):
+            FleetConfig(n_shards=0)
+        with pytest.raises(ValueError, match="round_robin"):
+            FleetConfig(router="sticky")
+        with pytest.raises(ValueError, match="inline"):
+            FleetConfig(workers="threads")
+        with pytest.raises(ValueError, match="region_quantum"):
+            FleetConfig(region_quantum=0.0)
+
+    def test_for_fleet_defaults(self):
+        config = ReproConfig.for_fleet(4)
+        assert config.fleet.n_shards == 4
+        assert config.backend == "batch" and config.cache.enabled
+        override = ReproConfig.for_fleet(
+            2, fleet=FleetConfig(n_shards=2, workers="process")
+        )
+        assert override.fleet.workers == "process"
+
 
 class TestRoundTrip:
     def _sample(self):
@@ -95,6 +115,14 @@ class TestRoundTrip:
             resilience=ResilienceConfig(sim_ms=2.0, audit=True),
             cache=CacheConfig(enabled=True, quantum=1e-6, max_entries=128),
             service=ServiceConfig(batch_window=4, default_deadline_ms=5.0),
+            fleet=FleetConfig(
+                n_shards=4,
+                router="region",
+                router_seed=3,
+                workers="process",
+                region_quantum=0.5,
+                global_cache=False,
+            ),
         )
 
     def test_dict_round_trip(self):
@@ -103,6 +131,8 @@ class TestRoundTrip:
         assert rebuilt == config
         assert isinstance(rebuilt.engine, EngineConfig)
         assert isinstance(rebuilt.cache, CacheConfig)
+        assert isinstance(rebuilt.fleet, FleetConfig)
+        assert rebuilt.fleet == config.fleet
 
     def test_json_round_trip(self, tmp_path):
         config = self._sample()
@@ -284,6 +314,79 @@ class TestLegacyShims:
                 repro=ReproConfig(backend="batch"),
             )
 
+    def _chaos_run(self, world, fault_injector=None, fault_models=None):
+        from repro.collision.checker import RobotEnvironmentChecker
+        from repro.serving import PlanningService, PlanRequest
+
+        _, octree, robot = world
+        config = ReproConfig.for_service(
+            service=ServiceConfig(
+                mode="sequential",
+                max_fault_retries=4,
+                fault_models=fault_models,
+                fault_seed=99,
+            )
+        )
+        service = PlanningService(
+            robot, octree, config=config, fault_injector=fault_injector
+        )
+        checker = RobotEnvironmentChecker.from_config(
+            robot, octree, ReproConfig()
+        )
+        rng = np.random.default_rng(11)
+        poses = [checker.sample_free_configuration(rng) for _ in range(4)]
+        service.submit(
+            PlanRequest("a", poses[0], poses[1], planner="rrt_connect", seed=5)
+        )
+        service.submit(
+            PlanRequest("b", poses[2], poses[3], planner="rrt", seed=6)
+        )
+        report = service.run()
+        return {
+            rid: (
+                resp.success,
+                None
+                if resp.path is None
+                else [q.tolist() for q in resp.path],
+                resp.stats.as_dict(),
+                resp.status,
+            )
+            for rid, resp in report.responses.items()
+        }, service.fault_injector.events
+
+    def test_service_fault_injector_kwarg_warns_and_matches(self, world):
+        """The deprecated fault_injector= shim is pinned bit-identical to
+        the typed ServiceConfig.fault_models path."""
+        from repro.resilience.faults import FaultInjector, FaultModels
+
+        models = FaultModels(
+            engine_exception_rate=0.05, engine_timeout_rate=0.05
+        )
+        with pytest.warns(DeprecationWarning, match="fault_models"):
+            legacy, legacy_events = self._chaos_run(
+                world, fault_injector=FaultInjector(models=models, seed=99)
+            )
+        typed, typed_events = self._chaos_run(world, fault_models=models)
+        assert legacy == typed
+        assert legacy_events == typed_events
+
+    def test_service_rejects_config_plus_fault_kwarg(self, world):
+        from repro.resilience.faults import FaultInjector, FaultModels
+        from repro.serving import PlanningService
+
+        _, octree, robot = world
+        models = FaultModels(engine_exception_rate=0.1)
+        config = ReproConfig.for_service(
+            service=ServiceConfig(fault_models=models, fault_seed=99)
+        )
+        with pytest.raises(ValueError, match="fault_injector"):
+            PlanningService(
+                robot,
+                octree,
+                config=config,
+                fault_injector=FaultInjector(models=models, seed=99),
+            )
+
 
 @pytest.mark.filterwarnings("error::DeprecationWarning")
 class TestFacade:
@@ -341,6 +444,20 @@ class TestFacade:
         service = api.make_service(robot, octree)
         assert service.config.backend == "batch"
         assert service.cache is not None
+
+    def test_make_service_rejects_multi_shard_config(self, world):
+        _, octree, robot = world
+        with pytest.raises(ValueError, match="make_fleet"):
+            api.make_service(robot, octree, ReproConfig.for_fleet(3))
+
+    def test_make_fleet_default_config(self, world):
+        _, octree, robot = world
+        fleet = api.make_fleet(
+            robot, octree, ReproConfig.for_fleet(2)
+        )
+        assert fleet.n_shards == 2
+        assert all(s.config.backend == "batch" for s in fleet.shards)
+        assert fleet.global_cache is not None
 
     def test_make_runtime_typed_only(self):
         from repro.accel.cecdu import CECDUConfig

@@ -1,8 +1,8 @@
 """Chaos serving: the planning service under injected engine faults.
 
-The serving leg of the chaos contract: with a seeded
-:class:`~repro.resilience.faults.FaultInjector` raising transient engine
-faults under live multi-request traffic, the service (a) never emits a
+The serving leg of the chaos contract: with seeded fault models
+configured through ``ServiceConfig(fault_models=..., fault_seed=...)``
+raising transient engine faults under live multi-request traffic, the service (a) never emits a
 path that was not validated by a successfully answered phase — a request
 whose retries are exhausted fails with ``status="failed"`` and no path;
 (b) remains deterministic per request — two runs with the same seeds
@@ -17,7 +17,7 @@ from repro.collision.checker import RobotEnvironmentChecker
 from repro.config import ReproConfig, ServiceConfig
 from repro.env.generator import random_scene
 from repro.env.octree import Octree
-from repro.resilience.faults import FaultInjector, FaultModels
+from repro.resilience.faults import FaultModels
 from repro.robot.presets import planar_arm
 from repro.serving import PlanningService, PlanRequest
 
@@ -45,21 +45,20 @@ def requests(world):
 
 def _chaos_drain(world, requests, rate, max_fault_retries=2):
     _, octree, robot = world
-    injector = FaultInjector(
-        FaultModels(engine_exception_rate=rate / 2, engine_timeout_rate=rate / 2),
-        seed=99,
-    )
     config = ReproConfig(
         service=ServiceConfig(
-            mode="sequential", max_fault_retries=max_fault_retries
+            mode="sequential",
+            max_fault_retries=max_fault_retries,
+            fault_models=FaultModels(
+                engine_exception_rate=rate / 2, engine_timeout_rate=rate / 2
+            ),
+            fault_seed=99,
         )
     )
-    service = PlanningService(
-        robot, octree, config=config, fault_injector=injector
-    )
+    service = PlanningService(robot, octree, config=config)
     for request in requests:
         service.submit(request)
-    return service.run(), injector
+    return service.run(), service.fault_injector
 
 
 class TestChaosServing:
